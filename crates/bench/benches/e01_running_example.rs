@@ -1,0 +1,63 @@
+//! E1 — exact construction of the three uniform Markov chains on the
+//! paper's running example (Figure 1) and on slightly larger instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use ucqa_bench::fixtures;
+use ucqa_repair::{GeneratorSpec, OperationalSemantics, TreeLimits};
+use ucqa_workload::BlockWorkload;
+
+fn bench_exact_chains(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e01_exact_chain_construction");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+
+    let (db, sigma) = fixtures::running_example();
+    for spec in [
+        GeneratorSpec::uniform_repairs(),
+        GeneratorSpec::uniform_sequences(),
+        GeneratorSpec::uniform_operations(),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("running_example", spec.short_name()),
+            &spec,
+            |b, spec| {
+                b.iter(|| {
+                    let chain = spec
+                        .build_chain(black_box(&db), black_box(&sigma), TreeLimits::default())
+                        .expect("tiny instance");
+                    black_box(OperationalSemantics::from_chain(&chain).repair_count())
+                })
+            },
+        );
+    }
+
+    // Exact construction cost explodes with the instance size — the reason
+    // the paper moves to approximation.
+    for blocks in [2usize, 3, 4] {
+        let (db, sigma) = BlockWorkload::uniform(blocks, 3, 5).generate();
+        group.bench_with_input(
+            BenchmarkId::new("uniform_operations_blocks_of_3", blocks),
+            &blocks,
+            |b, _| {
+                b.iter(|| {
+                    let chain = GeneratorSpec::uniform_operations()
+                        .build_chain(
+                            black_box(&db),
+                            black_box(&sigma),
+                            TreeLimits { max_nodes: 5_000_000 },
+                        )
+                        .expect("within the node limit");
+                    black_box(chain.tree().leaf_count())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact_chains);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! E2 — candidate-repair counting and the uniform repair sampler
+//! (Lemma 5.2) across block workload sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+
+use ucqa_core::counting;
+use ucqa_core::sample_repairs::RepairSampler;
+use ucqa_workload::BlockWorkload;
+
+fn bench_repair_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e02_repair_sampler");
+    group.sample_size(30);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for blocks in [16usize, 64, 256] {
+        let (db, sigma) = BlockWorkload::uniform(blocks, 4, 7).generate();
+        let sizes = counting::block_sizes(&db, &sigma, &db.all_facts()).expect("primary keys");
+        group.bench_with_input(
+            BenchmarkId::new("count_candidate_repairs", db.len()),
+            &sizes,
+            |b, sizes| b.iter(|| black_box(counting::count_candidate_repairs(black_box(sizes)))),
+        );
+        let sampler = RepairSampler::new(&db, &sigma).expect("primary keys");
+        group.bench_with_input(
+            BenchmarkId::new("sample_repair", db.len()),
+            &sampler,
+            |b, sampler| {
+                let mut rng = StdRng::seed_from_u64(1);
+                b.iter(|| black_box(sampler.sample(&mut rng)))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sample_repair_singleton", db.len()),
+            &sampler,
+            |b, sampler| {
+                let mut rng = StdRng::seed_from_u64(2);
+                b.iter(|| black_box(sampler.sample_singleton(&mut rng)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_repair_sampling);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! E3 — the Lemma C.1 dynamic program for `|CRS(D, Σ)|` across block
+//! profiles, and the uniform sequence sampler built on top of it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+
+use ucqa_core::counting::count_complete_sequences;
+use ucqa_core::sample_sequences::SequenceSampler;
+use ucqa_workload::BlockWorkload;
+
+fn bench_crs_counting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e03_crs_counting");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for (blocks, size) in [(4usize, 4usize), (8, 4), (16, 4), (16, 8)] {
+        let profile = vec![size; blocks];
+        group.bench_with_input(
+            BenchmarkId::new("lemma_c1_dp", format!("{blocks}x{size}")),
+            &profile,
+            |b, profile| b.iter(|| black_box(count_complete_sequences(black_box(profile)))),
+        );
+    }
+    for blocks in [8usize, 16, 32] {
+        let (db, sigma) = BlockWorkload::uniform(blocks, 4, 3).generate();
+        group.bench_with_input(
+            BenchmarkId::new("sequence_sampler_build", db.len()),
+            &blocks,
+            |b, _| b.iter(|| black_box(SequenceSampler::new(&db, &sigma).expect("primary keys"))),
+        );
+        let sampler = SequenceSampler::new(&db, &sigma).expect("primary keys");
+        group.bench_with_input(
+            BenchmarkId::new("sequence_sampler_sample", db.len()),
+            &sampler,
+            |b, sampler| {
+                let mut rng = StdRng::seed_from_u64(5);
+                b.iter(|| black_box(sampler.sample_result(&mut rng)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_crs_counting);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! E7 — the uniform-operations walk and its FPRAS on multi-key workloads
+//! (Theorem 7.1(2)): the regime beyond primary keys.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+
+use ucqa_core::fpras::{ApproximationParams, OcqaEstimator};
+use ucqa_core::sample_operations::OperationWalkSampler;
+use ucqa_query::QueryEvaluator;
+use ucqa_repair::GeneratorSpec;
+use ucqa_workload::{queries::fact_membership_query, MultiKeyWorkload};
+
+fn bench_uniform_operations_keys(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e07_uniform_operations_keys");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for facts in [20usize, 40, 80] {
+        let (db, sigma) = MultiKeyWorkload::new(facts, facts / 4, 17).generate();
+        let walk = OperationWalkSampler::new(&db, &sigma);
+        group.bench_with_input(BenchmarkId::new("walk_sample", facts), &facts, |b, _| {
+            let mut rng = StdRng::seed_from_u64(7);
+            b.iter(|| black_box(walk.sample_result(&mut rng)))
+        });
+    }
+    for facts in [20usize, 40] {
+        let (db, sigma) = MultiKeyWorkload::new(facts, facts / 4, 17).generate();
+        let query = fact_membership_query(&db, 2).expect("valid query");
+        let evaluator = QueryEvaluator::new(query);
+        let estimator = OcqaEstimator::new(&db, &sigma, GeneratorSpec::uniform_operations())
+            .expect("keys are supported");
+        let params = ApproximationParams::new(0.25, 0.1).expect("valid parameters");
+        group.bench_with_input(BenchmarkId::new("fpras_epsilon_0.25", facts), &facts, |b, _| {
+            let mut rng = StdRng::seed_from_u64(8);
+            b.iter(|| {
+                black_box(
+                    estimator
+                        .estimate(&evaluator, &[], params, &mut rng)
+                        .expect("estimation succeeds"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_uniform_operations_keys);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! E10 — the Proposition 5.5 machinery: Vizing edge colouring, the
+//! graph-to-database encoding, and exact independent-set counting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use ucqa_graphs::edge_coloring::misra_gries_edge_coloring;
+use ucqa_graphs::independent_sets::count_independent_sets;
+use ucqa_graphs::reductions::IndependentSetReduction;
+use ucqa_workload::graphs::connected_bounded_degree;
+
+fn bench_reduction_machinery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_independent_set_reduction");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for nodes in [16usize, 64, 256] {
+        let graph = connected_bounded_degree(nodes, 5, 3);
+        group.bench_with_input(
+            BenchmarkId::new("misra_gries_edge_coloring", nodes),
+            &graph,
+            |b, graph| b.iter(|| black_box(misra_gries_edge_coloring(black_box(graph)))),
+        );
+        let reduction = IndependentSetReduction::new(graph.max_degree());
+        group.bench_with_input(
+            BenchmarkId::new("encode_database", nodes),
+            &graph,
+            |b, graph| b.iter(|| black_box(reduction.database(black_box(graph)))),
+        );
+    }
+    for nodes in [12usize, 18, 24] {
+        let graph = connected_bounded_degree(nodes, 4, 5);
+        group.bench_with_input(
+            BenchmarkId::new("count_independent_sets", nodes),
+            &graph,
+            |b, graph| b.iter(|| black_box(count_independent_sets(black_box(graph)))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reduction_machinery);
+criterion_main!(benches);

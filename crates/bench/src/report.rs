@@ -1,0 +1,123 @@
+//! Plain-text tables for the experiment reports.
+
+use std::fmt;
+
+/// A simple column-aligned table with a title and optional footnotes,
+/// printed by the `experiments` binary and pasted into `EXPERIMENTS.md`.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table title (experiment id + description).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (each the same length as `headers`).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes printed below the table.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| (*h).to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the row length does not match the header count.
+    pub fn add_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row length must match the header count"
+        );
+        self.rows.push(row);
+    }
+
+    /// Appends a footnote.
+    pub fn add_note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Renders the table as GitHub-flavoured markdown (used to populate
+    /// `EXPERIMENTS.md`).
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {}\n\n", self.title));
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            "---|".repeat(self.headers.len())
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        for note in &self.notes {
+            out.push_str(&format!("\n*{note}*\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let header: Vec<String> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| format!("{h:<width$}", width = widths[i]))
+            .collect();
+        writeln!(f, "{}", header.join("  "))?;
+        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()))?;
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:<width$}", width = widths[i]))
+                .collect();
+            writeln!(f, "{}", cells.join("  "))?;
+        }
+        for note in &self.notes {
+            writeln!(f, "note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_in_both_formats() {
+        let mut table = Table::new("E0 — demo", &["quantity", "paper", "measured"]);
+        table.add_row(vec!["|CRS|".into(), "99".into(), "99".into()]);
+        table.add_note("exact match");
+        let text = table.to_string();
+        assert!(text.contains("E0 — demo"));
+        assert!(text.contains("99"));
+        let md = table.to_markdown();
+        assert!(md.contains("| quantity | paper | measured |"));
+        assert!(md.contains("*exact match*"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row length")]
+    fn mismatched_row_is_rejected() {
+        let mut table = Table::new("bad", &["a", "b"]);
+        table.add_row(vec!["only one".into()]);
+    }
+}

@@ -1,0 +1,97 @@
+//! Error types for the exact and approximate OCQA algorithms.
+
+use std::fmt;
+
+use ucqa_db::DbError;
+use ucqa_query::QueryError;
+use ucqa_repair::{RepairError, UniformSemantics};
+
+/// Errors raised by the exact solvers, samplers, and FPRAS drivers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The requested combination of semantics, operation space, and
+    /// constraint class is not supported by any algorithm of the paper
+    /// (e.g. an FPRAS for uniform repairs over arbitrary FDs).
+    Unsupported {
+        /// The uniform semantics requested.
+        semantics: UniformSemantics,
+        /// Whether singleton operations were requested.
+        singleton_only: bool,
+        /// Description of the constraint class that was supplied.
+        constraint_class: String,
+        /// Which theorem / open problem explains the limitation.
+        explanation: String,
+    },
+    /// Invalid approximation parameters (ε ≤ 0 or δ ∉ (0, 1)).
+    InvalidParameters {
+        /// Human-readable description.
+        message: String,
+    },
+    /// An error from the database layer (constraint-class validation).
+    Db(DbError),
+    /// An error from the query layer (arity mismatches).
+    Query(QueryError),
+    /// An error from the exact repair machinery (tree limits).
+    Repair(RepairError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Unsupported {
+                semantics,
+                singleton_only,
+                constraint_class,
+                explanation,
+            } => write!(
+                f,
+                "no algorithm for {semantics}{} over {constraint_class}: {explanation}",
+                if *singleton_only { " (singleton operations)" } else { "" }
+            ),
+            CoreError::InvalidParameters { message } => {
+                write!(f, "invalid approximation parameters: {message}")
+            }
+            CoreError::Db(e) => write!(f, "{e}"),
+            CoreError::Query(e) => write!(f, "{e}"),
+            CoreError::Repair(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<DbError> for CoreError {
+    fn from(e: DbError) -> Self {
+        CoreError::Db(e)
+    }
+}
+
+impl From<QueryError> for CoreError {
+    fn from(e: QueryError) -> Self {
+        CoreError::Query(e)
+    }
+}
+
+impl From<RepairError> for CoreError {
+    fn from(e: RepairError) -> Self {
+        CoreError::Repair(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_of_unsupported_mentions_semantics_and_class() {
+        let e = CoreError::Unsupported {
+            semantics: UniformSemantics::Repairs,
+            singleton_only: false,
+            constraint_class: "functional dependencies".into(),
+            explanation: "Theorem 5.1(3): no FPRAS unless RP = NP".into(),
+        };
+        let text = e.to_string();
+        assert!(text.contains("uniform-repairs"));
+        assert!(text.contains("functional dependencies"));
+    }
+}

@@ -1,0 +1,291 @@
+//! Exact solvers for OCQA, RRFreq and SRFreq.
+//!
+//! These enumerate the candidate repairs / complete sequences / the full
+//! repairing Markov chain explicitly and are therefore exponential in
+//! `|D|`.  They serve three purposes: (i) ground truth for the samplers and
+//! FPRAS drivers on small instances, (ii) reproduction of the paper's
+//! worked examples with exact rational arithmetic, and (iii) the
+//! "intractable baseline" of the scaling experiments.
+
+use ucqa_db::{Database, FactSet, FdSet, Value};
+use ucqa_numeric::{Natural, Ratio};
+use ucqa_query::QueryEvaluator;
+use ucqa_repair::{
+    GeneratorSpec, OperationalSemantics, RepairingTree, TreeLimits, UniformSemantics,
+};
+
+use crate::CoreError;
+
+/// Exact (enumeration-based) uniform operational CQA over one database and
+/// constraint set.
+#[derive(Debug, Clone, Copy)]
+pub struct ExactSolver<'a> {
+    db: &'a Database,
+    sigma: &'a FdSet,
+    limits: TreeLimits,
+}
+
+impl<'a> ExactSolver<'a> {
+    /// Creates an exact solver with default tree limits.
+    pub fn new(db: &'a Database, sigma: &'a FdSet) -> Self {
+        ExactSolver {
+            db,
+            sigma,
+            limits: TreeLimits::default(),
+        }
+    }
+
+    /// Overrides the tree-size guard.
+    pub fn with_limits(mut self, limits: TreeLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// The candidate operational repairs `CORep(D, Σ)` (or the singleton
+    /// variant `CORep¹(D, Σ)`).
+    pub fn candidate_repairs(&self, singleton_only: bool) -> Result<Vec<FactSet>, CoreError> {
+        let tree = RepairingTree::build(self.db, self.sigma, singleton_only, self.limits)?;
+        Ok(tree.candidate_repairs())
+    }
+
+    /// `|CORep(D, Σ)|` (or `|CORep¹(D, Σ)|`) by enumeration.
+    pub fn candidate_repair_count(&self, singleton_only: bool) -> Result<Natural, CoreError> {
+        Ok(Natural::from(
+            self.candidate_repairs(singleton_only)?.len(),
+        ))
+    }
+
+    /// `|CRS(D, Σ)|` (or `|CRS¹(D, Σ)|`) by enumeration.
+    pub fn complete_sequence_count(&self, singleton_only: bool) -> Result<Natural, CoreError> {
+        let tree = RepairingTree::build(self.db, self.sigma, singleton_only, self.limits)?;
+        Ok(Natural::from(tree.leaf_count()))
+    }
+
+    /// The repair relative frequency `rrfreq_{Σ,Q}(D, c̄)` (Section 5):
+    /// the fraction of candidate repairs that entail `Q(c̄)`.
+    ///
+    /// With `singleton_only = true` this is `rrfreq¹` (Appendix E.1), i.e.
+    /// `OCQA(Σ, M^{ur,1}, Q)`.
+    pub fn rrfreq(
+        &self,
+        evaluator: &QueryEvaluator,
+        candidate: &[Value],
+        singleton_only: bool,
+    ) -> Result<Ratio, CoreError> {
+        let repairs = self.candidate_repairs(singleton_only)?;
+        let total = repairs.len() as u64;
+        let mut entailing = 0u64;
+        for repair in &repairs {
+            if evaluator.has_answer(self.db, repair, candidate)? {
+                entailing += 1;
+            }
+        }
+        Ok(Ratio::from_u64(entailing, total))
+    }
+
+    /// The sequence relative frequency `srfreq_{Σ,Q}(D, c̄)` (Section 6):
+    /// the fraction of complete repairing sequences whose result entails
+    /// `Q(c̄)`.
+    ///
+    /// With `singleton_only = true` this is `srfreq¹` (Appendix E.2), i.e.
+    /// `OCQA(Σ, M^{us,1}, Q)`.
+    pub fn srfreq(
+        &self,
+        evaluator: &QueryEvaluator,
+        candidate: &[Value],
+        singleton_only: bool,
+    ) -> Result<Ratio, CoreError> {
+        let tree = RepairingTree::build(self.db, self.sigma, singleton_only, self.limits)?;
+        let total = tree.leaf_count() as u64;
+        let mut entailing = 0u64;
+        for &leaf in tree.leaves() {
+            if evaluator.has_answer(self.db, tree.subset(leaf), candidate)? {
+                entailing += 1;
+            }
+        }
+        Ok(Ratio::from_u64(entailing, total))
+    }
+
+    /// The exact answer probability `P_{M_Σ,Q}(D, c̄)` for any of the five
+    /// uniform generators, via the explicit repairing Markov chain.
+    pub fn answer_probability(
+        &self,
+        spec: GeneratorSpec,
+        evaluator: &QueryEvaluator,
+        candidate: &[Value],
+    ) -> Result<Ratio, CoreError> {
+        let chain = spec.build_chain(self.db, self.sigma, self.limits)?;
+        let semantics = OperationalSemantics::from_chain(&chain);
+        Ok(semantics.answer_probability(self.db, evaluator, candidate)?)
+    }
+
+    /// The full operational semantics `⟦D⟧_{M_Σ}` under a uniform
+    /// generator.
+    pub fn semantics(&self, spec: GeneratorSpec) -> Result<OperationalSemantics, CoreError> {
+        let chain = spec.build_chain(self.db, self.sigma, self.limits)?;
+        Ok(OperationalSemantics::from_chain(&chain))
+    }
+
+    /// Convenience: the exact answer probability expressed through the
+    /// relative-frequency reformulations where they apply (uniform repairs
+    /// → `rrfreq`, uniform sequences → `srfreq`), and through the chain
+    /// otherwise.  Used to cross-check the two formulations in tests.
+    pub fn answer_probability_via_frequencies(
+        &self,
+        spec: GeneratorSpec,
+        evaluator: &QueryEvaluator,
+        candidate: &[Value],
+    ) -> Result<Ratio, CoreError> {
+        match spec.semantics {
+            UniformSemantics::Repairs => {
+                self.rrfreq(evaluator, candidate, spec.singleton_only)
+            }
+            UniformSemantics::Sequences => {
+                self.srfreq(evaluator, candidate, spec.singleton_only)
+            }
+            UniformSemantics::Operations => {
+                self.answer_probability(spec, evaluator, candidate)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucqa_db::{FunctionalDependency, Schema};
+    use ucqa_query::parser::parse_query;
+
+    fn running_example() -> (Database, FdSet) {
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["A", "B", "C"]).unwrap();
+        let mut db = Database::with_schema(schema);
+        db.insert_values("R", [Value::str("a1"), Value::str("b1"), Value::str("c1")])
+            .unwrap();
+        db.insert_values("R", [Value::str("a1"), Value::str("b2"), Value::str("c2")])
+            .unwrap();
+        db.insert_values("R", [Value::str("a2"), Value::str("b1"), Value::str("c2")])
+            .unwrap();
+        let mut sigma = FdSet::new();
+        sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["A"], &["B"]).unwrap());
+        sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["C"], &["B"]).unwrap());
+        (db, sigma)
+    }
+
+    /// The Figure 2 database (blocks 3, 1, 2) with its single primary key.
+    fn figure2() -> (Database, FdSet) {
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["A1", "A2"]).unwrap();
+        let mut db = Database::with_schema(schema);
+        for (a, b) in [
+            ("a1", "b1"),
+            ("a1", "b2"),
+            ("a1", "b3"),
+            ("a2", "b1"),
+            ("a3", "b1"),
+            ("a3", "b2"),
+        ] {
+            db.insert_values("R", [Value::str(a), Value::str(b)]).unwrap();
+        }
+        let mut sigma = FdSet::new();
+        sigma.add(
+            FunctionalDependency::from_names(db.schema(), "R", &["A1"], &["A2"]).unwrap(),
+        );
+        (db, sigma)
+    }
+
+    #[test]
+    fn running_example_counts() {
+        let (db, sigma) = running_example();
+        let solver = ExactSolver::new(&db, &sigma);
+        assert_eq!(solver.candidate_repair_count(false).unwrap().to_u64(), Some(5));
+        assert_eq!(solver.complete_sequence_count(false).unwrap().to_u64(), Some(9));
+        assert_eq!(solver.candidate_repair_count(true).unwrap().to_u64(), Some(4));
+    }
+
+    #[test]
+    fn figure2_counts_match_paper() {
+        let (db, sigma) = figure2();
+        let solver = ExactSolver::new(&db, &sigma);
+        // Example B.2: 12 candidate repairs; Example C.2: 99 sequences.
+        assert_eq!(solver.candidate_repair_count(false).unwrap().to_u64(), Some(12));
+        assert_eq!(solver.complete_sequence_count(false).unwrap().to_u64(), Some(99));
+    }
+
+    #[test]
+    fn example_b3_rrfreq_is_one_quarter() {
+        // Example B.3: Q(x) = Ans(x) :- R(a1, x), candidate b1 →
+        // rrfreq = 3/12 = 1/4.
+        let (db, sigma) = figure2();
+        let solver = ExactSolver::new(&db, &sigma);
+        let q = parse_query(db.schema(), "Ans(x) :- R('a1', x)").unwrap();
+        let evaluator = QueryEvaluator::new(q);
+        let rrfreq = solver
+            .rrfreq(&evaluator, &[Value::str("b1")], false)
+            .unwrap();
+        assert_eq!(rrfreq, Ratio::from_u64(1, 4));
+    }
+
+    #[test]
+    fn example_c3_srfreq_is_24_over_99() {
+        // Example C.3: 24 of the 99 complete sequences keep R(a1, b1).
+        let (db, sigma) = figure2();
+        let solver = ExactSolver::new(&db, &sigma);
+        let q = parse_query(db.schema(), "Ans(x) :- R('a1', x)").unwrap();
+        let evaluator = QueryEvaluator::new(q);
+        let srfreq = solver
+            .srfreq(&evaluator, &[Value::str("b1")], false)
+            .unwrap();
+        assert_eq!(srfreq, Ratio::from_u64(24, 99));
+    }
+
+    #[test]
+    fn frequency_reformulations_agree_with_chain_probabilities() {
+        // P_{M^ur,Q} = rrfreq and P_{M^us,Q} = srfreq (Sections 5 and 6).
+        let (db, sigma) = figure2();
+        let solver = ExactSolver::new(&db, &sigma);
+        let q = parse_query(db.schema(), "Ans(x) :- R('a1', x)").unwrap();
+        let evaluator = QueryEvaluator::new(q);
+        let candidate = [Value::str("b1")];
+        for spec in [
+            GeneratorSpec::uniform_repairs(),
+            GeneratorSpec::uniform_sequences(),
+            GeneratorSpec::uniform_repairs().with_singleton_only(),
+            GeneratorSpec::uniform_sequences().with_singleton_only(),
+        ] {
+            let via_chain = solver
+                .answer_probability(spec, &evaluator, &candidate)
+                .unwrap();
+            let via_freq = solver
+                .answer_probability_via_frequencies(spec, &evaluator, &candidate)
+                .unwrap();
+            assert_eq!(via_chain, via_freq, "spec {}", spec.short_name());
+        }
+    }
+
+    #[test]
+    fn singleton_rrfreq_uses_singleton_repairs_only() {
+        // Under singleton operations every block keeps exactly one fact, so
+        // |CORep¹| = 3 · 1 · 2 = 6 and R(a1,b1) survives in 2 of them.
+        let (db, sigma) = figure2();
+        let solver = ExactSolver::new(&db, &sigma);
+        assert_eq!(solver.candidate_repair_count(true).unwrap().to_u64(), Some(6));
+        let q = parse_query(db.schema(), "Ans(x) :- R('a1', x)").unwrap();
+        let evaluator = QueryEvaluator::new(q);
+        let rrfreq1 = solver
+            .rrfreq(&evaluator, &[Value::str("b1")], true)
+            .unwrap();
+        assert_eq!(rrfreq1, Ratio::from_u64(1, 3));
+    }
+
+    #[test]
+    fn tree_limit_propagates_as_error() {
+        let (db, sigma) = figure2();
+        let solver =
+            ExactSolver::new(&db, &sigma).with_limits(TreeLimits { max_nodes: 3 });
+        assert!(matches!(
+            solver.candidate_repair_count(false),
+            Err(CoreError::Repair(_))
+        ));
+    }
+}

@@ -1,0 +1,547 @@
+//! End-to-end FPRAS drivers for uniform operational CQA.
+//!
+//! [`OcqaEstimator`] wires together a uniform generator specification, the
+//! matching polynomial sampler, and a Monte-Carlo estimator, and enforces
+//! the constraint-class requirements under which the paper proves each
+//! combination approximable:
+//!
+//! | Generator | Pair + singleton ops | Singleton ops only |
+//! |---|---|---|
+//! | `M^ur` (uniform repairs)   | primary keys (Thm 5.1(2)); **no FPRAS** for FDs (Thm 5.1(3)); open for keys | primary keys (Thm E.1(2)) |
+//! | `M^us` (uniform sequences) | primary keys (Thm 6.1(2)); open for keys/FDs | primary keys (Thm E.8(2)) |
+//! | `M^uo` (uniform operations)| arbitrary keys (Thm 7.1(2)); open for FDs (Prop. D.6 rules out plain Monte-Carlo) | arbitrary FDs (Thm 7.5) |
+//!
+//! Requesting a combination outside this table yields
+//! [`CoreError::Unsupported`] with the relevant theorem cited in the error
+//! message.
+
+use rand::Rng;
+
+use ucqa_db::{Database, FdSet, Value};
+use ucqa_query::QueryEvaluator;
+use ucqa_repair::{GeneratorSpec, UniformSemantics};
+
+use crate::bounds;
+use crate::montecarlo::{estimate_fixed, StoppingRuleEstimator};
+use crate::sample_operations::OperationWalkSampler;
+use crate::sample_repairs::RepairSampler;
+use crate::sample_sequences::SequenceSampler;
+use crate::CoreError;
+
+/// How many samples to draw, and under which guarantee.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EstimatorMode {
+    /// The Dagum–Karp–Luby–Ross optimal stopping rule with the given
+    /// sample cut-off: a relative `(ε, δ)`-guarantee whenever the cut-off
+    /// is not hit.  This is the default and the practical choice.
+    OptimalStopping {
+        /// Hard cap on the number of samples.
+        max_samples: u64,
+    },
+    /// A fixed number of samples derived from the worst-case lower bounds
+    /// of [`crate::bounds`] (relative guarantee).  Fails when the bound is
+    /// too small to be useful.
+    FixedFromLowerBound,
+    /// A fixed number of samples for an *additive* `(ε, δ)`-guarantee.
+    FixedAdditive,
+    /// An explicit number of samples (no formal guarantee; useful for
+    /// benchmarks).
+    FixedSamples(u64),
+}
+
+/// Approximation parameters `(ε, δ)` plus the estimator mode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApproximationParams {
+    /// Relative (or additive, depending on the mode) error bound.
+    pub epsilon: f64,
+    /// Failure probability.
+    pub delta: f64,
+    /// The estimator mode.
+    pub mode: EstimatorMode,
+}
+
+impl ApproximationParams {
+    /// Creates parameters using the optimal stopping rule with a default
+    /// cut-off of 10 million samples.
+    pub fn new(epsilon: f64, delta: f64) -> Result<Self, CoreError> {
+        let params = ApproximationParams {
+            epsilon,
+            delta,
+            mode: EstimatorMode::OptimalStopping {
+                max_samples: 10_000_000,
+            },
+        };
+        params.validate()?;
+        Ok(params)
+    }
+
+    /// Switches to a different estimator mode.
+    pub fn with_mode(mut self, mode: EstimatorMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    fn validate(&self) -> Result<(), CoreError> {
+        if !(self.epsilon > 0.0 && self.epsilon < 1.0) {
+            return Err(CoreError::InvalidParameters {
+                message: format!("epsilon must be in (0, 1), got {}", self.epsilon),
+            });
+        }
+        if !(self.delta > 0.0 && self.delta < 1.0) {
+            return Err(CoreError::InvalidParameters {
+                message: format!("delta must be in (0, 1), got {}", self.delta),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The result of an approximate OCQA run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// The estimated probability `P_{M_Σ,Q}(D, c̄)`.
+    pub value: f64,
+    /// Number of samples drawn.
+    pub samples: u64,
+    /// Number of samples whose repair entailed the answer.
+    pub successes: u64,
+    /// Whether a sample cut-off truncated the run (the `(ε, δ)` guarantee
+    /// then no longer applies; the value is the plain empirical mean).
+    pub truncated: bool,
+}
+
+/// Which sampler backs the estimator.
+enum SamplerKind {
+    Repairs(RepairSampler),
+    RepairsSingleton(RepairSampler),
+    Sequences(SequenceSampler),
+    SequencesSingleton(SequenceSampler),
+    Operations { singleton_only: bool },
+}
+
+/// An approximate (FPRAS) solver for `OCQA(Σ, M, Q)` over one database.
+pub struct OcqaEstimator<'a> {
+    db: &'a Database,
+    sigma: &'a FdSet,
+    spec: GeneratorSpec,
+    sampler: SamplerKind,
+}
+
+impl<'a> OcqaEstimator<'a> {
+    /// Creates an estimator for the given uniform generator, validating
+    /// that the paper provides an FPRAS for the combination of generator
+    /// and constraint class.
+    pub fn new(
+        db: &'a Database,
+        sigma: &'a FdSet,
+        spec: GeneratorSpec,
+    ) -> Result<Self, CoreError> {
+        let schema = db.schema();
+        let primary_keys = sigma.is_primary_keys(schema);
+        let keys = sigma.is_keys(schema);
+        let constraint_class = if primary_keys {
+            "primary keys"
+        } else if keys {
+            "keys"
+        } else {
+            "functional dependencies"
+        };
+        let unsupported = |explanation: &str| CoreError::Unsupported {
+            semantics: spec.semantics,
+            singleton_only: spec.singleton_only,
+            constraint_class: constraint_class.to_string(),
+            explanation: explanation.to_string(),
+        };
+
+        let sampler = match (spec.semantics, spec.singleton_only) {
+            (UniformSemantics::Repairs, false) => {
+                if !primary_keys {
+                    return Err(unsupported(if keys {
+                        "open problem (Theorem 5.1 covers primary keys; Proposition 5.5 \
+                         rules out approximate repair counting for keys)"
+                    } else {
+                        "Theorem 5.1(3): no FPRAS for FDs unless RP = NP"
+                    }));
+                }
+                SamplerKind::Repairs(RepairSampler::new(db, sigma)?)
+            }
+            (UniformSemantics::Repairs, true) => {
+                if !primary_keys {
+                    return Err(unsupported(
+                        "Theorem E.1 covers primary keys only; E.1(3) rules out FDs",
+                    ));
+                }
+                SamplerKind::RepairsSingleton(RepairSampler::new(db, sigma)?)
+            }
+            (UniformSemantics::Sequences, false) => {
+                if !primary_keys {
+                    return Err(unsupported(
+                        "Theorem 6.1 covers primary keys; keys/FDs are open (conjectured hard)",
+                    ));
+                }
+                SamplerKind::Sequences(SequenceSampler::new(db, sigma)?)
+            }
+            (UniformSemantics::Sequences, true) => {
+                if !primary_keys {
+                    return Err(unsupported("Theorem E.8 covers primary keys only"));
+                }
+                SamplerKind::SequencesSingleton(SequenceSampler::new(db, sigma)?)
+            }
+            (UniformSemantics::Operations, false) => {
+                if !keys {
+                    return Err(unsupported(
+                        "Theorem 7.1(2) requires keys; for general FDs the target probability \
+                         can be exponentially small (Proposition D.6), use singleton operations \
+                         (Theorem 7.5) instead",
+                    ));
+                }
+                SamplerKind::Operations {
+                    singleton_only: false,
+                }
+            }
+            (UniformSemantics::Operations, true) => SamplerKind::Operations {
+                singleton_only: true,
+            },
+        };
+        Ok(OcqaEstimator {
+            db,
+            sigma,
+            spec,
+            sampler,
+        })
+    }
+
+    /// The generator this estimator approximates.
+    pub fn spec(&self) -> GeneratorSpec {
+        self.spec
+    }
+
+    /// The worst-case lower bound on the (non-zero) target probability for
+    /// this generator and constraint class, from [`crate::bounds`].
+    pub fn theoretical_lower_bound(&self, evaluator: &QueryEvaluator) -> ucqa_numeric::LogFloat {
+        let d = self.db.len();
+        let q = evaluator.query().atom_count();
+        match (&self.sampler, self.spec.singleton_only) {
+            (SamplerKind::Repairs(_), _) => bounds::rrfreq_lower_bound(d, q),
+            (SamplerKind::RepairsSingleton(_), _) => {
+                bounds::singleton_frequency_lower_bound(d, q)
+            }
+            (SamplerKind::Sequences(_), _) => bounds::srfreq_lower_bound(d, q),
+            (SamplerKind::SequencesSingleton(_), _) => {
+                bounds::singleton_frequency_lower_bound(d, q)
+            }
+            (SamplerKind::Operations { singleton_only: true }, _) => {
+                bounds::fd_singleton_lower_bound(d, q)
+            }
+            (SamplerKind::Operations { singleton_only: false }, _) => {
+                bounds::uniform_operations_keys_lower_bound(
+                    d,
+                    q,
+                    self.sigma.max_fds_per_relation(),
+                )
+            }
+        }
+    }
+
+    /// Estimates `P_{M_Σ,Q}(D, c̄)`.
+    pub fn estimate<R: Rng + ?Sized>(
+        &self,
+        evaluator: &QueryEvaluator,
+        candidate: &[Value],
+        params: ApproximationParams,
+        rng: &mut R,
+    ) -> Result<Estimate, CoreError> {
+        params.validate()?;
+        // Validate the candidate arity once, up front.
+        evaluator.has_answer(self.db, &self.db.all_facts(), candidate)?;
+
+        let experiment = |rng: &mut R| -> bool {
+            let repair = match &self.sampler {
+                SamplerKind::Repairs(sampler) => sampler.sample(rng),
+                SamplerKind::RepairsSingleton(sampler) => sampler.sample_singleton(rng),
+                SamplerKind::Sequences(sampler) => sampler.sample_result(rng),
+                SamplerKind::SequencesSingleton(sampler) => {
+                    sampler.sample_result_singleton(rng)
+                }
+                SamplerKind::Operations { singleton_only } => {
+                    let walker = if *singleton_only {
+                        OperationWalkSampler::new(self.db, self.sigma).singleton_only()
+                    } else {
+                        OperationWalkSampler::new(self.db, self.sigma)
+                    };
+                    walker.sample_result(rng)
+                }
+            };
+            evaluator
+                .has_answer(self.db, &repair, candidate)
+                .expect("candidate arity was validated before sampling")
+        };
+
+        let estimate = match params.mode {
+            EstimatorMode::OptimalStopping { max_samples } => {
+                let outcome = StoppingRuleEstimator::new(params.epsilon, params.delta)
+                    .with_max_samples(max_samples)
+                    .estimate(rng, experiment);
+                Estimate {
+                    value: outcome.estimate,
+                    samples: outcome.samples,
+                    successes: outcome.successes,
+                    truncated: outcome.truncated,
+                }
+            }
+            EstimatorMode::FixedFromLowerBound => {
+                let bound = self.theoretical_lower_bound(evaluator);
+                let samples =
+                    bounds::samples_for_relative_error(params.epsilon, params.delta, bound)
+                        .ok_or_else(|| CoreError::InvalidParameters {
+                            message: "the worst-case lower bound is too small to derive a \
+                                      practical sample count; use the optimal stopping rule"
+                                .to_string(),
+                        })?;
+                let outcome = estimate_fixed(rng, samples, experiment);
+                Estimate {
+                    value: outcome.estimate,
+                    samples: outcome.samples,
+                    successes: outcome.successes,
+                    truncated: false,
+                }
+            }
+            EstimatorMode::FixedAdditive => {
+                let samples = bounds::samples_for_additive_error(params.epsilon, params.delta);
+                let outcome = estimate_fixed(rng, samples, experiment);
+                Estimate {
+                    value: outcome.estimate,
+                    samples: outcome.samples,
+                    successes: outcome.successes,
+                    truncated: false,
+                }
+            }
+            EstimatorMode::FixedSamples(samples) => {
+                let outcome = estimate_fixed(rng, samples, experiment);
+                Estimate {
+                    value: outcome.estimate,
+                    samples: outcome.samples,
+                    successes: outcome.successes,
+                    truncated: false,
+                }
+            }
+        };
+        Ok(estimate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactSolver;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ucqa_db::{FunctionalDependency, Schema};
+    use ucqa_query::parser::parse_query;
+
+    fn figure2() -> (Database, FdSet) {
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["A1", "A2"]).unwrap();
+        let mut db = Database::with_schema(schema);
+        for (a, b) in [
+            ("a1", "b1"),
+            ("a1", "b2"),
+            ("a1", "b3"),
+            ("a2", "b1"),
+            ("a3", "b1"),
+            ("a3", "b2"),
+        ] {
+            db.insert_values("R", [Value::str(a), Value::str(b)]).unwrap();
+        }
+        let mut sigma = FdSet::new();
+        sigma.add(
+            FunctionalDependency::from_names(db.schema(), "R", &["A1"], &["A2"]).unwrap(),
+        );
+        (db, sigma)
+    }
+
+    /// A two-key database (arbitrary keys, not primary keys).
+    fn two_key_database() -> (Database, FdSet) {
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["A", "B"]).unwrap();
+        let mut db = Database::with_schema(schema);
+        for (a, b) in [(1, 1), (1, 2), (2, 1), (2, 2), (3, 3)] {
+            db.insert_values("R", [Value::int(a), Value::int(b)]).unwrap();
+        }
+        let mut sigma = FdSet::new();
+        sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["A"], &["B"]).unwrap());
+        sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["B"], &["A"]).unwrap());
+        (db, sigma)
+    }
+
+    fn all_specs() -> Vec<GeneratorSpec> {
+        vec![
+            GeneratorSpec::uniform_repairs(),
+            GeneratorSpec::uniform_repairs().with_singleton_only(),
+            GeneratorSpec::uniform_sequences(),
+            GeneratorSpec::uniform_sequences().with_singleton_only(),
+            GeneratorSpec::uniform_operations(),
+            GeneratorSpec::uniform_operations().with_singleton_only(),
+        ]
+    }
+
+    #[test]
+    fn estimates_match_exact_probabilities_on_primary_keys() {
+        let (db, sigma) = figure2();
+        let q = parse_query(db.schema(), "Ans(x) :- R('a1', x)").unwrap();
+        let evaluator = QueryEvaluator::new(q);
+        let candidate = [Value::str("b1")];
+        let solver = ExactSolver::new(&db, &sigma);
+        let params = ApproximationParams::new(0.05, 0.05).unwrap();
+        let mut rng = StdRng::seed_from_u64(2024);
+        for spec in all_specs() {
+            let exact = solver
+                .answer_probability(spec, &evaluator, &candidate)
+                .unwrap()
+                .to_f64();
+            let estimator = OcqaEstimator::new(&db, &sigma, spec).unwrap();
+            let estimate = estimator
+                .estimate(&evaluator, &candidate, params, &mut rng)
+                .unwrap();
+            assert!(!estimate.truncated, "spec {}", spec.short_name());
+            let relative_error = (estimate.value - exact).abs() / exact;
+            assert!(
+                relative_error < 0.1,
+                "spec {}: exact {exact}, estimate {} (relative error {relative_error})",
+                spec.short_name(),
+                estimate.value
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_operations_supports_arbitrary_keys() {
+        let (db, sigma) = two_key_database();
+        assert!(!sigma.is_primary_keys(db.schema()));
+        let q = parse_query(db.schema(), "Ans() :- R(3, 3)").unwrap();
+        let evaluator = QueryEvaluator::new(q);
+        let solver = ExactSolver::new(&db, &sigma);
+        let exact = solver
+            .answer_probability(GeneratorSpec::uniform_operations(), &evaluator, &[])
+            .unwrap()
+            .to_f64();
+        let estimator =
+            OcqaEstimator::new(&db, &sigma, GeneratorSpec::uniform_operations()).unwrap();
+        let params = ApproximationParams::new(0.05, 0.05).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let estimate = estimator
+            .estimate(&evaluator, &[], params, &mut rng)
+            .unwrap();
+        let relative_error = (estimate.value - exact).abs() / exact;
+        assert!(relative_error < 0.1, "exact {exact}, got {}", estimate.value);
+    }
+
+    #[test]
+    fn unsupported_combinations_are_rejected_with_theorem_citations() {
+        let (db, sigma) = two_key_database();
+        // Uniform repairs / sequences over non-primary keys: rejected.
+        for spec in [
+            GeneratorSpec::uniform_repairs(),
+            GeneratorSpec::uniform_sequences(),
+            GeneratorSpec::uniform_repairs().with_singleton_only(),
+            GeneratorSpec::uniform_sequences().with_singleton_only(),
+        ] {
+            match OcqaEstimator::new(&db, &sigma, spec) {
+                Err(CoreError::Unsupported { .. }) => {}
+                Err(other) => panic!("{spec:?}: unexpected error {other}"),
+                Ok(_) => panic!("{spec:?}: expected an Unsupported error"),
+            }
+        }
+        // Uniform operations with pair removals over non-key FDs: rejected,
+        // but the singleton variant is supported (Theorem 7.5).
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["A", "B", "C"]).unwrap();
+        let mut db = Database::with_schema(schema);
+        db.insert_values("R", [Value::int(0), Value::int(0), Value::int(0)])
+            .unwrap();
+        db.insert_values("R", [Value::int(0), Value::int(1), Value::int(1)])
+            .unwrap();
+        let mut fds = FdSet::new();
+        fds.add(FunctionalDependency::from_names(db.schema(), "R", &["A"], &["B"]).unwrap());
+        assert!(matches!(
+            OcqaEstimator::new(&db, &fds, GeneratorSpec::uniform_operations()),
+            Err(CoreError::Unsupported { .. })
+        ));
+        assert!(OcqaEstimator::new(
+            &db,
+            &fds,
+            GeneratorSpec::uniform_operations().with_singleton_only()
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(ApproximationParams::new(0.0, 0.1).is_err());
+        assert!(ApproximationParams::new(0.1, 1.5).is_err());
+        let (db, sigma) = figure2();
+        let estimator =
+            OcqaEstimator::new(&db, &sigma, GeneratorSpec::uniform_repairs()).unwrap();
+        let q = parse_query(db.schema(), "Ans(x) :- R('a1', x)").unwrap();
+        let evaluator = QueryEvaluator::new(q);
+        // Wrong candidate arity surfaces as a query error.
+        let params = ApproximationParams::new(0.1, 0.1).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(matches!(
+            estimator.estimate(&evaluator, &[Value::int(1), Value::int(2)], params, &mut rng),
+            Err(CoreError::Query(_))
+        ));
+    }
+
+    #[test]
+    fn fixed_modes_work_and_report_sample_counts() {
+        let (db, sigma) = figure2();
+        let q = parse_query(db.schema(), "Ans(x) :- R('a1', x)").unwrap();
+        let evaluator = QueryEvaluator::new(q);
+        let candidate = [Value::str("b1")];
+        let estimator =
+            OcqaEstimator::new(&db, &sigma, GeneratorSpec::uniform_repairs()).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+
+        let additive = ApproximationParams::new(0.05, 0.05)
+            .unwrap()
+            .with_mode(EstimatorMode::FixedAdditive);
+        let estimate = estimator
+            .estimate(&evaluator, &candidate, additive, &mut rng)
+            .unwrap();
+        assert!((estimate.value - 0.25).abs() < 0.05);
+
+        let explicit = ApproximationParams::new(0.05, 0.05)
+            .unwrap()
+            .with_mode(EstimatorMode::FixedSamples(500));
+        let estimate = estimator
+            .estimate(&evaluator, &candidate, explicit, &mut rng)
+            .unwrap();
+        assert_eq!(estimate.samples, 500);
+
+        let from_bound = ApproximationParams::new(0.3, 0.2)
+            .unwrap()
+            .with_mode(EstimatorMode::FixedFromLowerBound);
+        let estimate = estimator
+            .estimate(&evaluator, &candidate, from_bound, &mut rng)
+            .unwrap();
+        assert!((estimate.value - 0.25).abs() < 0.25 * 0.3 + 0.02);
+    }
+
+    #[test]
+    fn lower_bounds_are_reported_per_generator() {
+        let (db, sigma) = figure2();
+        let q = parse_query(db.schema(), "Ans(x) :- R('a1', x)").unwrap();
+        let evaluator = QueryEvaluator::new(q);
+        let rr = OcqaEstimator::new(&db, &sigma, GeneratorSpec::uniform_repairs()).unwrap();
+        assert!((rr.theoretical_lower_bound(&evaluator).to_f64() - 1.0 / 12.0).abs() < 1e-9);
+        let uo1 = OcqaEstimator::new(
+            &db,
+            &sigma,
+            GeneratorSpec::uniform_operations().with_singleton_only(),
+        )
+        .unwrap();
+        let bound = uo1.theoretical_lower_bound(&evaluator).to_f64();
+        assert!(bound > 0.0 && bound < 1.0);
+    }
+}

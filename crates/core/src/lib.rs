@@ -1,0 +1,50 @@
+//! # `ucqa-core`
+//!
+//! Exact and approximate uniform operational consistent query answering —
+//! the algorithmic contribution of the paper (Sections 5–7 and
+//! Appendices B–E):
+//!
+//! * [`exact`] — exact solvers for `OCQA`, `RRFreq`, `SRFreq` and their
+//!   singleton-operation variants, based on the explicit constructions of
+//!   `ucqa-repair` (exponential; ground truth for small instances).
+//! * [`counting`] — polynomial counting for primary keys: `|CORep(D, Σ)|`
+//!   (Lemma 5.2), `|CORep¹(D, Σ)|` (Lemma E.2) and the `|CRS(D, Σ)|`
+//!   dynamic program of Lemma C.1.
+//! * [`sample_repairs`] — the uniform repair samplers `SampleRep`
+//!   (Lemma 5.2) and `SampleRep¹` (Lemma E.2).
+//! * [`sample_sequences`] — the uniform sequence sampler `SampleSeq`
+//!   (Algorithm 1 / Lemma 6.2) and its singleton variant (Lemma E.9).
+//! * [`sample_operations`] — the uniform-operations random walk
+//!   (Lemmas 7.2 and D.7).
+//! * [`bounds`] — the polynomial lower bounds on the target quantities
+//!   (Lemmas 5.3, 6.3, E.3, E.10, D.8 and Proposition 7.3).
+//! * [`montecarlo`] — Monte-Carlo estimation: fixed-sample-size estimators
+//!   and the Dagum–Karp–Luby–Ross optimal stopping rule.
+//! * [`fpras`] — the end-to-end FPRAS drivers of Theorems 5.1(2), 6.1(2),
+//!   7.1(2), 7.5, E.1(2) and E.8(2), with the constraint-class requirements
+//!   of each theorem enforced at run time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod counting;
+pub mod error;
+pub mod exact;
+pub mod fpras;
+pub mod montecarlo;
+pub mod random;
+pub mod sample_operations;
+pub mod sample_repairs;
+pub mod sample_sequences;
+
+pub use error::CoreError;
+pub use exact::ExactSolver;
+pub use fpras::{ApproximationParams, Estimate, OcqaEstimator};
+
+/// Commonly used types, re-exported for convenience.
+pub mod prelude {
+    pub use crate::{
+        ApproximationParams, CoreError, Estimate, ExactSolver, OcqaEstimator,
+    };
+}

@@ -1,0 +1,220 @@
+//! Monte-Carlo estimation of Bernoulli means.
+//!
+//! The FPRAS drivers reduce every approximation task to estimating the mean
+//! `p` of a Bernoulli random variable ("does a sampled repair/sequence
+//! entail the query?").  Two estimators are provided:
+//!
+//! * [`estimate_fixed`] — the textbook fixed-sample-size estimator, used
+//!   with the sample counts of [`crate::bounds`] (additive or relative
+//!   guarantees).
+//! * [`StoppingRuleEstimator`] — the *optimal stopping rule* of Dagum,
+//!   Karp, Luby and Ross (reference [8] of the paper), which achieves a
+//!   relative `(ε, δ)`-guarantee with an expected number of samples
+//!   proportional to `1/p`, without having to know a lower bound on `p` in
+//!   advance.  This is the estimator the practical FPRAS drivers use.
+
+use rand::Rng;
+
+/// The result of a Monte-Carlo estimation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonteCarloOutcome {
+    /// The estimate of the Bernoulli mean.
+    pub estimate: f64,
+    /// The number of samples that were drawn.
+    pub samples: u64,
+    /// The number of positive samples among them.
+    pub successes: u64,
+}
+
+/// Draws exactly `samples` Bernoulli samples from `experiment` and returns
+/// the empirical mean.
+///
+/// With `samples ≥ ln(2/δ)/(2ε²)` this is an additive `(ε, δ)`
+/// approximation (Hoeffding); with `samples ≥ 3·ln(2/δ)/(ε²·p)` it is a
+/// relative one (multiplicative Chernoff).
+pub fn estimate_fixed<R, F>(rng: &mut R, samples: u64, mut experiment: F) -> MonteCarloOutcome
+where
+    R: Rng + ?Sized,
+    F: FnMut(&mut R) -> bool,
+{
+    let mut successes = 0u64;
+    for _ in 0..samples {
+        if experiment(rng) {
+            successes += 1;
+        }
+    }
+    MonteCarloOutcome {
+        estimate: if samples == 0 {
+            0.0
+        } else {
+            successes as f64 / samples as f64
+        },
+        samples,
+        successes,
+    }
+}
+
+/// The Stopping Rule Algorithm of Dagum–Karp–Luby–Ross.
+///
+/// Draws samples until the number of successes reaches
+/// `Υ = 1 + 4·(e − 2)·(1 + ε)·ln(2/δ)/ε²` and outputs `Υ / N`, where `N`
+/// is the number of samples drawn.  The output is within relative error
+/// `ε` of the true mean with probability at least `1 − δ`, and the
+/// expected sample count is `O(Υ / p)`.
+///
+/// Because the expected running time is inversely proportional to the true
+/// mean, a `max_samples` cut-off is enforced; if it is reached the
+/// estimator returns the empirical mean observed so far and flags the
+/// result as truncated.
+#[derive(Debug, Clone, Copy)]
+pub struct StoppingRuleEstimator {
+    epsilon: f64,
+    delta: f64,
+    max_samples: u64,
+}
+
+/// The outcome of a stopping-rule estimation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StoppingRuleOutcome {
+    /// The estimate of the Bernoulli mean.
+    pub estimate: f64,
+    /// The number of samples that were drawn.
+    pub samples: u64,
+    /// The number of positive samples among them.
+    pub successes: u64,
+    /// Whether the sample cut-off was hit before the success target
+    /// (in which case the `(ε, δ)` guarantee does not apply; this happens
+    /// exactly when the true mean is smaller than roughly
+    /// `Υ / max_samples`).
+    pub truncated: bool,
+}
+
+impl StoppingRuleEstimator {
+    /// Creates an estimator with the given relative error `ε ∈ (0, 1)` and
+    /// failure probability `δ ∈ (0, 1)`.
+    ///
+    /// # Panics
+    /// Panics if the parameters are out of range — callers validate them as
+    /// part of [`crate::fpras::ApproximationParams`].
+    pub fn new(epsilon: f64, delta: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0, 1)");
+        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+        StoppingRuleEstimator {
+            epsilon,
+            delta,
+            max_samples: 50_000_000,
+        }
+    }
+
+    /// Overrides the sample cut-off.
+    pub fn with_max_samples(mut self, max_samples: u64) -> Self {
+        self.max_samples = max_samples;
+        self
+    }
+
+    /// The success target `Υ` of the stopping rule.
+    pub fn success_target(&self) -> u64 {
+        let e = std::f64::consts::E;
+        let upsilon = 1.0
+            + 4.0 * (e - 2.0) * (1.0 + self.epsilon) * (2.0 / self.delta).ln()
+                / (self.epsilon * self.epsilon);
+        upsilon.ceil() as u64
+    }
+
+    /// Runs the stopping rule against the Bernoulli `experiment`.
+    pub fn estimate<R, F>(&self, rng: &mut R, mut experiment: F) -> StoppingRuleOutcome
+    where
+        R: Rng + ?Sized,
+        F: FnMut(&mut R) -> bool,
+    {
+        let target = self.success_target();
+        let mut successes = 0u64;
+        let mut samples = 0u64;
+        while successes < target && samples < self.max_samples {
+            samples += 1;
+            if experiment(rng) {
+                successes += 1;
+            }
+        }
+        let truncated = successes < target;
+        let estimate = if truncated {
+            if samples == 0 {
+                0.0
+            } else {
+                successes as f64 / samples as f64
+            }
+        } else {
+            target as f64 / samples as f64
+        };
+        StoppingRuleOutcome {
+            estimate,
+            samples,
+            successes,
+            truncated,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_estimator_recovers_the_mean() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let outcome = estimate_fixed(&mut rng, 40_000, |rng| rng.random_bool(0.3));
+        assert!((outcome.estimate - 0.3).abs() < 0.02);
+        assert_eq!(outcome.samples, 40_000);
+        assert_eq!(outcome.successes, (outcome.estimate * 40_000.0).round() as u64);
+    }
+
+    #[test]
+    fn fixed_estimator_with_zero_samples_is_zero() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let outcome = estimate_fixed(&mut rng, 0, |_| true);
+        assert_eq!(outcome.estimate, 0.0);
+    }
+
+    #[test]
+    fn stopping_rule_achieves_relative_error() {
+        let estimator = StoppingRuleEstimator::new(0.1, 0.05);
+        let mut rng = StdRng::seed_from_u64(3);
+        for &p in &[0.5, 0.1, 0.01] {
+            let outcome = estimator.estimate(&mut rng, |rng| rng.random_bool(p));
+            assert!(!outcome.truncated);
+            let relative_error = (outcome.estimate - p).abs() / p;
+            assert!(
+                relative_error < 0.15,
+                "p = {p}: estimate {} (relative error {relative_error})",
+                outcome.estimate
+            );
+        }
+    }
+
+    #[test]
+    fn stopping_rule_uses_fewer_samples_for_larger_means() {
+        let estimator = StoppingRuleEstimator::new(0.2, 0.1);
+        let mut rng = StdRng::seed_from_u64(4);
+        let big = estimator.estimate(&mut rng, |rng| rng.random_bool(0.5));
+        let small = estimator.estimate(&mut rng, |rng| rng.random_bool(0.02));
+        assert!(big.samples * 5 < small.samples);
+    }
+
+    #[test]
+    fn stopping_rule_truncates_on_zero_probability_events() {
+        let estimator = StoppingRuleEstimator::new(0.2, 0.1).with_max_samples(5_000);
+        let mut rng = StdRng::seed_from_u64(5);
+        let outcome = estimator.estimate(&mut rng, |_| false);
+        assert!(outcome.truncated);
+        assert_eq!(outcome.estimate, 0.0);
+        assert_eq!(outcome.samples, 5_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn invalid_epsilon_panics() {
+        let _ = StoppingRuleEstimator::new(1.5, 0.1);
+    }
+}

@@ -1,0 +1,121 @@
+//! Sampling utilities over exact big-integer weights.
+//!
+//! The uniform-sequence sampler selects among alternatives whose weights
+//! are huge exact counts (`Natural`s with hundreds of digits).  Converting
+//! those weights to `f64` would silently destroy uniformity, so selection
+//! is performed with exact integer arithmetic: draw a uniform natural below
+//! the total weight and walk the cumulative sums.
+
+use rand::Rng;
+use ucqa_numeric::Natural;
+
+/// Draws a natural number uniformly at random from `[0, bound)`.
+///
+/// Uses rejection sampling over the smallest power-of-two range covering
+/// `bound`, so the expected number of draws is at most 2.
+///
+/// # Panics
+/// Panics if `bound` is zero.
+pub fn random_natural_below<R: Rng + ?Sized>(rng: &mut R, bound: &Natural) -> Natural {
+    assert!(!bound.is_zero(), "bound must be positive");
+    if let Some(small) = bound.to_u64() {
+        return Natural::from_u64(rng.random_range(0..small));
+    }
+    let bits = bound.bits();
+    let limbs = bits.div_ceil(32) as usize;
+    let top_bits = bits - 32 * (limbs as u64 - 1);
+    let top_mask: u32 = if top_bits >= 32 {
+        u32::MAX
+    } else {
+        (1u32 << top_bits) - 1
+    };
+    loop {
+        let mut raw: Vec<u32> = (0..limbs).map(|_| rng.random::<u32>()).collect();
+        if let Some(top) = raw.last_mut() {
+            *top &= top_mask;
+        }
+        let candidate = Natural::from_limbs_le(raw);
+        if candidate < *bound {
+            return candidate;
+        }
+    }
+}
+
+/// Picks an index with probability proportional to the exact weights.
+///
+/// Zero-weight entries are never selected.
+///
+/// # Panics
+/// Panics if all weights are zero.
+pub fn pick_weighted<R: Rng + ?Sized>(rng: &mut R, weights: &[Natural]) -> usize {
+    let total: Natural = weights.iter().sum();
+    assert!(!total.is_zero(), "at least one weight must be positive");
+    let target = random_natural_below(rng, &total);
+    let mut cumulative = Natural::zero();
+    for (index, weight) in weights.iter().enumerate() {
+        if weight.is_zero() {
+            continue;
+        }
+        cumulative = &cumulative + weight;
+        if target < cumulative {
+            return index;
+        }
+    }
+    unreachable!("target is below the total weight, so some prefix must exceed it")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn small_bounds_cover_the_range_uniformly() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let bound = Natural::from_u64(5);
+        let mut counts = [0usize; 5];
+        for _ in 0..10_000 {
+            let v = random_natural_below(&mut rng, &bound).to_u64().unwrap() as usize;
+            counts[v] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 2000.0).abs() < 400.0, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn large_bounds_stay_below_the_bound() {
+        let mut rng = StdRng::seed_from_u64(2);
+        // 2^200 + 12345
+        let bound = &Natural::from_u64(2).pow(200) + &Natural::from_u64(12_345);
+        for _ in 0..200 {
+            let v = random_natural_below(&mut rng, &bound);
+            assert!(v < bound);
+        }
+    }
+
+    #[test]
+    fn weighted_pick_respects_proportions() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let weights = vec![
+            Natural::from_u64(1),
+            Natural::zero(),
+            Natural::from_u64(3),
+        ];
+        let mut counts = [0usize; 3];
+        for _ in 0..20_000 {
+            counts[pick_weighted(&mut rng, &weights)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.4, "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bound_panics() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = random_natural_below(&mut rng, &Natural::zero());
+    }
+}

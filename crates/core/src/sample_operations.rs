@@ -1,0 +1,247 @@
+//! The uniform-operations random walk (Lemmas 7.2 and D.7).
+//!
+//! Sampling a leaf of `M^uo_Σ(D)` (or `M^{uo,1}_Σ(D)`) according to its
+//! leaf distribution is straightforward because the generator is *local*:
+//! starting from `D`, repeatedly pick one of the currently justified
+//! operations uniformly at random and apply it, until the database is
+//! consistent.  The walk works for **arbitrary FDs** — this locality is
+//! precisely what Section 7 exploits to push approximability beyond
+//! primary keys.
+
+use rand::Rng;
+
+use ucqa_db::{Database, FactSet, FdSet, ViolationSet};
+use ucqa_numeric::LogFloat;
+use ucqa_repair::{operation::justified_operations_from, Operation, RepairingSequence};
+
+/// The outcome of one uniform-operations walk.
+#[derive(Debug, Clone)]
+pub struct WalkOutcome {
+    /// The sampled complete repairing sequence.
+    pub sequence: RepairingSequence,
+    /// Its result `s(D)` — an operational repair.
+    pub result: FactSet,
+    /// The leaf probability `π(s)` of the sampled sequence (a product of
+    /// `1/|Ops_s|` factors, kept in log-space because it underflows `f64`
+    /// for large databases).
+    pub probability: LogFloat,
+}
+
+/// A sampler for the leaf distribution of `M^uo_Σ(D)` / `M^{uo,1}_Σ(D)`.
+///
+/// Unlike the primary-key samplers, this one accepts any set of FDs.
+#[derive(Debug, Clone, Copy)]
+pub struct OperationWalkSampler<'a> {
+    db: &'a Database,
+    sigma: &'a FdSet,
+    singleton_only: bool,
+}
+
+impl<'a> OperationWalkSampler<'a> {
+    /// Creates a sampler over all justified operations (`M^uo_Σ`).
+    pub fn new(db: &'a Database, sigma: &'a FdSet) -> Self {
+        OperationWalkSampler {
+            db,
+            sigma,
+            singleton_only: false,
+        }
+    }
+
+    /// Restricts the walk to singleton removals (`M^{uo,1}_Σ`).
+    pub fn singleton_only(mut self) -> Self {
+        self.singleton_only = true;
+        self
+    }
+
+    /// Whether the walk is restricted to singleton removals.
+    pub fn is_singleton_only(&self) -> bool {
+        self.singleton_only
+    }
+
+    /// Runs one walk: a sequence drawn according to the leaf distribution
+    /// of the uniform-operations Markov chain.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> WalkOutcome {
+        let mut subset = self.db.all_facts();
+        let mut operations = Vec::new();
+        let mut probability = LogFloat::one();
+        loop {
+            let violations = ViolationSet::compute(self.db, self.sigma, &subset);
+            if violations.is_empty() {
+                break;
+            }
+            let candidates = justified_operations_from(&violations, self.singleton_only);
+            debug_assert!(
+                !candidates.is_empty(),
+                "an inconsistent database always has a justified operation"
+            );
+            let index = rng.random_range(0..candidates.len());
+            let op = candidates[index].clone();
+            probability *= LogFloat::from_value(1.0 / candidates.len() as f64);
+            op.apply(&mut subset);
+            operations.push(op);
+        }
+        WalkOutcome {
+            sequence: RepairingSequence::from_operations(operations),
+            result: subset,
+            probability,
+        }
+    }
+
+    /// Runs one walk and returns only the resulting repair (the common case
+    /// for Monte-Carlo estimation).
+    pub fn sample_result<R: Rng + ?Sized>(&self, rng: &mut R) -> FactSet {
+        self.sample(rng).result
+    }
+
+    /// Counts the justified operations available on `subset` — the factor
+    /// `|Ops_s(D, Σ)|` of the leaf distribution, exposed for diagnostics
+    /// and the lower-bound experiments.
+    pub fn available_operation_count(&self, subset: &FactSet) -> usize {
+        let violations = ViolationSet::compute(self.db, self.sigma, subset);
+        justified_operations_from(&violations, self.singleton_only).len()
+    }
+
+    /// The justified operations available on `subset`.
+    pub fn available_operations(&self, subset: &FactSet) -> Vec<Operation> {
+        let violations = ViolationSet::compute(self.db, self.sigma, subset);
+        justified_operations_from(&violations, self.singleton_only)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+    use ucqa_db::{FunctionalDependency, Schema, Value};
+    use ucqa_repair::{GeneratorSpec, OperationalSemantics, TreeLimits};
+
+    fn running_example() -> (Database, FdSet) {
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["A", "B", "C"]).unwrap();
+        let mut db = Database::with_schema(schema);
+        db.insert_values("R", [Value::str("a1"), Value::str("b1"), Value::str("c1")])
+            .unwrap();
+        db.insert_values("R", [Value::str("a1"), Value::str("b2"), Value::str("c2")])
+            .unwrap();
+        db.insert_values("R", [Value::str("a2"), Value::str("b1"), Value::str("c2")])
+            .unwrap();
+        let mut sigma = FdSet::new();
+        sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["A"], &["B"]).unwrap());
+        sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["C"], &["B"]).unwrap());
+        (db, sigma)
+    }
+
+    #[test]
+    fn walks_produce_valid_complete_sequences() {
+        let (db, sigma) = running_example();
+        let sampler = OperationWalkSampler::new(&db, &sigma);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let outcome = sampler.sample(&mut rng);
+            let result = outcome.sequence.validate(&db, &sigma).unwrap();
+            assert_eq!(result, outcome.result);
+            assert!(outcome.sequence.is_complete(&db, &sigma));
+            assert!(outcome.probability.to_f64() > 0.0);
+        }
+    }
+
+    #[test]
+    fn repair_distribution_matches_exact_uniform_operations_semantics() {
+        let (db, sigma) = running_example();
+        let chain = GeneratorSpec::uniform_operations()
+            .build_chain(&db, &sigma, TreeLimits::default())
+            .unwrap();
+        let semantics = OperationalSemantics::from_chain(&chain);
+        let exact: HashMap<Vec<usize>, f64> = semantics
+            .repairs()
+            .iter()
+            .map(|entry| {
+                (
+                    entry.repair.iter().map(|f| f.index()).collect(),
+                    entry.probability.to_f64(),
+                )
+            })
+            .collect();
+        let sampler = OperationWalkSampler::new(&db, &sigma);
+        let mut rng = StdRng::seed_from_u64(9);
+        let samples = 40_000usize;
+        let mut counts: HashMap<Vec<usize>, usize> = HashMap::new();
+        for _ in 0..samples {
+            let result = sampler.sample_result(&mut rng);
+            *counts
+                .entry(result.iter().map(|f| f.index()).collect())
+                .or_insert(0) += 1;
+        }
+        assert_eq!(counts.len(), exact.len());
+        for (repair, probability) in exact {
+            let observed = counts.get(&repair).copied().unwrap_or(0) as f64 / samples as f64;
+            assert!(
+                (observed - probability).abs() < 0.02,
+                "repair {repair:?}: observed {observed}, exact {probability}"
+            );
+        }
+    }
+
+    #[test]
+    fn running_example_leaf_probabilities_are_fifth_or_fifteenth() {
+        let (db, sigma) = running_example();
+        let sampler = OperationWalkSampler::new(&db, &sigma);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let outcome = sampler.sample(&mut rng);
+            let p = outcome.probability.to_f64();
+            let matches_one_fifth = (p - 0.2).abs() < 1e-12;
+            let matches_one_fifteenth = (p - 1.0 / 15.0).abs() < 1e-12;
+            assert!(
+                matches_one_fifth || matches_one_fifteenth,
+                "unexpected leaf probability {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn singleton_walk_never_uses_pair_removals() {
+        let (db, sigma) = running_example();
+        let sampler = OperationWalkSampler::new(&db, &sigma).singleton_only();
+        assert!(sampler.is_singleton_only());
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let outcome = sampler.sample(&mut rng);
+            assert!(outcome.sequence.is_singleton_only());
+            assert!(!outcome.result.is_empty());
+        }
+        assert_eq!(sampler.available_operation_count(&db.all_facts()), 3);
+        assert_eq!(
+            OperationWalkSampler::new(&db, &sigma)
+                .available_operation_count(&db.all_facts()),
+            5
+        );
+    }
+
+    #[test]
+    fn works_with_general_fds_not_just_keys() {
+        // The Proposition D.6 family for n = 4: R(0,0,0) conflicts with
+        // three facts R(0,1,i) under R : A1 → A2.
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["A1", "A2", "A3"]).unwrap();
+        let mut db = Database::with_schema(schema);
+        db.insert_values("R", [Value::int(0), Value::int(0), Value::int(0)])
+            .unwrap();
+        for i in 1..=3 {
+            db.insert_values("R", [Value::int(0), Value::int(1), Value::int(i)])
+                .unwrap();
+        }
+        let mut sigma = FdSet::new();
+        sigma.add(
+            FunctionalDependency::from_names(db.schema(), "R", &["A1"], &["A2"]).unwrap(),
+        );
+        let sampler = OperationWalkSampler::new(&db, &sigma);
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..200 {
+            let outcome = sampler.sample(&mut rng);
+            assert!(outcome.sequence.is_complete(&db, &sigma));
+        }
+    }
+}

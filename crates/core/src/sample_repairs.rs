@@ -1,0 +1,177 @@
+//! Uniform sampling of candidate operational repairs for primary keys.
+//!
+//! * [`sample_repair`] — `SampleRep` of Lemma 5.2: draws a repair uniformly
+//!   from `CORep(D, Σ)` by choosing, independently for every block `B` with
+//!   `|B| ≥ 2`, one of its `|B| + 1` outcomes (keep one specific fact, or
+//!   keep none).
+//! * [`sample_repair_singleton`] — `SampleRep¹` of Lemma E.2: the
+//!   singleton-operation variant, where every block keeps exactly one fact
+//!   (`|B|` outcomes).
+//!
+//! Both samplers run in time linear in `|D|` per sample and are *exactly*
+//! uniform over their respective repair spaces, which is what makes the
+//! Monte-Carlo estimators of Theorems 5.1(2) and E.1(2) correct.
+
+use rand::Rng;
+
+use ucqa_db::{BlockPartition, Database, DbError, FactSet, FdSet};
+
+/// A reusable uniform sampler over `CORep(D, Σ)` / `CORep¹(D, Σ)` for a
+/// fixed database and set of primary keys.
+///
+/// The block partition is computed once at construction; each call to
+/// [`RepairSampler::sample`] then only draws one random choice per
+/// conflicting block.
+#[derive(Debug, Clone)]
+pub struct RepairSampler {
+    partition: BlockPartition,
+    universe: usize,
+}
+
+impl RepairSampler {
+    /// Creates a sampler for `db` w.r.t. the set `sigma` of primary keys.
+    ///
+    /// Fails if `sigma` is not a set of primary keys — the block-based
+    /// sampler is only uniform in that case (Lemma 5.2 is stated for
+    /// primary keys).
+    pub fn new(db: &Database, sigma: &FdSet) -> Result<Self, DbError> {
+        let partition = BlockPartition::compute(db, sigma)?;
+        Ok(RepairSampler {
+            partition,
+            universe: db.len(),
+        })
+    }
+
+    /// Draws a repair uniformly at random from `CORep(D, Σ)`
+    /// (Lemma 5.2).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> FactSet {
+        let mut repair = FactSet::empty(self.universe);
+        for block in self.partition.blocks() {
+            let facts = block.facts();
+            if facts.len() == 1 {
+                // Facts in singleton blocks are never removable.
+                repair.insert(facts[0]);
+                continue;
+            }
+            // |B| + 1 outcomes: keep facts[i] for i < |B|, or keep none.
+            let choice = rng.random_range(0..=facts.len());
+            if choice < facts.len() {
+                repair.insert(facts[choice]);
+            }
+        }
+        repair
+    }
+
+    /// Draws a repair uniformly at random from `CORep¹(D, Σ)`
+    /// (Lemma E.2): every block keeps exactly one of its facts.
+    pub fn sample_singleton<R: Rng + ?Sized>(&self, rng: &mut R) -> FactSet {
+        let mut repair = FactSet::empty(self.universe);
+        for block in self.partition.blocks() {
+            let facts = block.facts();
+            let choice = rng.random_range(0..facts.len());
+            repair.insert(facts[choice]);
+        }
+        repair
+    }
+
+    /// The block partition backing the sampler.
+    pub fn partition(&self) -> &BlockPartition {
+        &self.partition
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+    use ucqa_db::{FunctionalDependency, Schema, Value, ViolationSet};
+
+    fn figure2() -> (Database, FdSet) {
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["A1", "A2"]).unwrap();
+        let mut db = Database::with_schema(schema);
+        for (a, b) in [
+            ("a1", "b1"),
+            ("a1", "b2"),
+            ("a1", "b3"),
+            ("a2", "b1"),
+            ("a3", "b1"),
+            ("a3", "b2"),
+        ] {
+            db.insert_values("R", [Value::str(a), Value::str(b)]).unwrap();
+        }
+        let mut sigma = FdSet::new();
+        sigma.add(
+            FunctionalDependency::from_names(db.schema(), "R", &["A1"], &["A2"]).unwrap(),
+        );
+        (db, sigma)
+    }
+
+    #[test]
+    fn samples_are_consistent_candidate_repairs() {
+        let (db, sigma) = figure2();
+        let sampler = RepairSampler::new(&db, &sigma).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let repair = sampler.sample(&mut rng);
+            assert!(ViolationSet::compute(&db, &sigma, &repair).is_empty());
+            // The isolated fact f2,1 (id 3) must always survive.
+            assert!(repair.contains(ucqa_db::FactId::new(3)));
+        }
+    }
+
+    #[test]
+    fn sampler_hits_all_12_repairs_roughly_uniformly() {
+        let (db, sigma) = figure2();
+        let sampler = RepairSampler::new(&db, &sigma).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let samples = 24_000usize;
+        let mut counts: HashMap<Vec<usize>, usize> = HashMap::new();
+        for _ in 0..samples {
+            let repair = sampler.sample(&mut rng);
+            let key: Vec<usize> = repair.iter().map(|f| f.index()).collect();
+            *counts.entry(key).or_insert(0) += 1;
+        }
+        // Example B.2: exactly 12 candidate repairs; each should receive
+        // about samples/12 = 2000 hits (±25 %).
+        assert_eq!(counts.len(), 12);
+        for (repair, count) in counts {
+            let expected = samples as f64 / 12.0;
+            assert!(
+                (count as f64 - expected).abs() < expected * 0.25,
+                "repair {repair:?} sampled {count} times (expected ≈ {expected})"
+            );
+        }
+    }
+
+    #[test]
+    fn singleton_sampler_hits_all_6_repairs() {
+        let (db, sigma) = figure2();
+        let sampler = RepairSampler::new(&db, &sigma).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..2_000 {
+            let repair = sampler.sample_singleton(&mut rng);
+            assert!(ViolationSet::compute(&db, &sigma, &repair).is_empty());
+            // Singleton repairs keep one fact per block: 3 facts in total.
+            assert_eq!(repair.len(), 3);
+            seen.insert(repair.to_vec());
+        }
+        assert_eq!(seen.len(), 6);
+    }
+
+    #[test]
+    fn non_primary_keys_are_rejected() {
+        let (db, _) = figure2();
+        let mut sigma = FdSet::new();
+        sigma.add(
+            FunctionalDependency::from_names(db.schema(), "R", &["A1"], &["A2"]).unwrap(),
+        );
+        sigma.add(
+            FunctionalDependency::from_names(db.schema(), "R", &["A2"], &["A1"]).unwrap(),
+        );
+        assert!(RepairSampler::new(&db, &sigma).is_err());
+    }
+}

@@ -1,0 +1,528 @@
+//! Uniform sampling of complete repairing sequences for primary keys
+//! (Lemma 6.2 / Algorithm 1, and the singleton variant of Lemma E.9).
+//!
+//! The sampler realises the same distribution as the paper's Algorithm 1
+//! (which extends a sequence one justified operation at a time with
+//! probability `|CRS(op(D'))| / |CRS(D')|`), but factors the work
+//! differently so that the expensive counting is done **once** per database
+//! instead of once per step:
+//!
+//! 1. A complete sequence decomposes uniquely into one complete *block
+//!    sequence* per conflicting block plus an interleaving of those block
+//!    sequences.
+//! 2. The dynamic program of Lemma C.1 is materialised layer by layer; a
+//!    backward pass through its tables samples the per-block configuration
+//!    (number of pair removals, empty vs. non-empty outcome) with
+//!    probability proportional to the number of complete sequences
+//!    compatible with it.
+//! 3. Given its configuration, each block's sequence is drawn uniformly by
+//!    elementary choices (survivor, paired facts, operation order), and the
+//!    block sequences are interleaved uniformly at random.
+//!
+//! The composition of these three uniform choices is exactly the uniform
+//! distribution over `CRS(D, Σ)`; see the module tests, which compare the
+//! induced repair distribution against the exact `M^us` semantics.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use ucqa_db::{BlockPartition, Database, DbError, FactId, FactSet, FdSet};
+use ucqa_numeric::combinatorics::binomial;
+use ucqa_numeric::Natural;
+use ucqa_repair::{Operation, RepairingSequence};
+
+use crate::counting::{sequences_empty_block, sequences_nonempty_block};
+use crate::random::pick_weighted;
+
+/// Outcome chosen for one block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct BlockConfig {
+    /// Number of pair removals used inside the block.
+    pairs: u64,
+    /// Whether the block ends up empty.
+    empty: bool,
+}
+
+/// A uniform sampler over the complete repairing sequences `CRS(D, Σ)`
+/// (and `CRS¹(D, Σ)`) of a database w.r.t. a set of primary keys.
+#[derive(Debug)]
+pub struct SequenceSampler {
+    universe: usize,
+    /// Facts of blocks with at least two facts, per block.
+    conflict_blocks: Vec<Vec<FactId>>,
+    /// Facts that can never be removed (singleton blocks / keyless
+    /// relations).
+    untouchable: Vec<FactId>,
+    /// Layered DP tables of Lemma C.1: `layers[j][k][i]` is `P^{k,i}_{j+1}`.
+    layers: Vec<Vec<Vec<Natural>>>,
+    /// Prefix sums of block sizes (`prefix[j]` = facts in the first `j`
+    /// conflict blocks).
+    prefix_facts: Vec<u64>,
+    max_pairs: u64,
+}
+
+impl SequenceSampler {
+    /// Creates a sampler for `db` w.r.t. the set `sigma` of primary keys.
+    pub fn new(db: &Database, sigma: &FdSet) -> Result<Self, DbError> {
+        let partition = BlockPartition::compute(db, sigma)?;
+        Ok(Self::from_partition(db, &partition))
+    }
+
+    /// Creates a sampler from a precomputed block partition.
+    pub fn from_partition(db: &Database, partition: &BlockPartition) -> Self {
+        let mut conflict_blocks = Vec::new();
+        let mut untouchable = Vec::new();
+        for block in partition.blocks() {
+            if block.len() >= 2 {
+                conflict_blocks.push(block.facts().to_vec());
+            } else {
+                untouchable.extend_from_slice(block.facts());
+            }
+        }
+        let sizes: Vec<u64> = conflict_blocks.iter().map(|b| b.len() as u64).collect();
+        let max_pairs: u64 = sizes.iter().map(|m| m / 2).sum();
+        let mut prefix_facts = vec![0u64; sizes.len() + 1];
+        for (j, &m) in sizes.iter().enumerate() {
+            prefix_facts[j + 1] = prefix_facts[j] + m;
+        }
+        let layers = build_layers(&sizes, max_pairs, &prefix_facts);
+        SequenceSampler {
+            universe: db.len(),
+            conflict_blocks,
+            untouchable,
+            layers,
+            prefix_facts,
+            max_pairs,
+        }
+    }
+
+    /// `|CRS(D, Σ)|`, read off the final DP layer.
+    pub fn sequence_count(&self) -> Natural {
+        match self.layers.last() {
+            None => Natural::one(),
+            Some(layer) => layer.iter().flatten().sum(),
+        }
+    }
+
+    /// Draws the *result* `s(D)` of a uniformly random complete sequence
+    /// `s ∈ CRS(D, Σ)`.
+    ///
+    /// This is all the Monte-Carlo estimator for `SRFreq` needs; use
+    /// [`SequenceSampler::sample_sequence`] when the sequence itself is
+    /// required.
+    pub fn sample_result<R: Rng + ?Sized>(&self, rng: &mut R) -> FactSet {
+        let configs = self.sample_configs(rng);
+        let mut result = FactSet::empty(self.universe);
+        for &fact in &self.untouchable {
+            result.insert(fact);
+        }
+        for (block, config) in self.conflict_blocks.iter().zip(&configs) {
+            if !config.empty {
+                let survivor = block[rng.random_range(0..block.len())];
+                result.insert(survivor);
+            }
+        }
+        result
+    }
+
+    /// Draws a uniformly random complete repairing sequence from
+    /// `CRS(D, Σ)`.
+    pub fn sample_sequence<R: Rng + ?Sized>(&self, rng: &mut R) -> RepairingSequence {
+        let configs = self.sample_configs(rng);
+        // Per-block operation lists, each in a valid (already randomised)
+        // internal order.
+        let block_sequences: Vec<Vec<Operation>> = self
+            .conflict_blocks
+            .iter()
+            .zip(&configs)
+            .map(|(facts, config)| sample_block_sequence(rng, facts, *config))
+            .collect();
+        // Interleave uniformly: shuffle a multiset of block labels and
+        // consume each block's operations in order.
+        let mut labels: Vec<usize> = Vec::new();
+        for (index, ops) in block_sequences.iter().enumerate() {
+            labels.extend(std::iter::repeat_n(index, ops.len()));
+        }
+        labels.shuffle(rng);
+        let mut cursors = vec![0usize; block_sequences.len()];
+        let mut operations = Vec::with_capacity(labels.len());
+        for label in labels {
+            operations.push(block_sequences[label][cursors[label]].clone());
+            cursors[label] += 1;
+        }
+        RepairingSequence::from_operations(operations)
+    }
+
+    /// Draws the result of a uniformly random *singleton-only* complete
+    /// sequence `s ∈ CRS¹(D, Σ)`.
+    ///
+    /// Under singleton operations the survivor of each block is uniform and
+    /// independent of the other blocks (the interleaving count does not
+    /// depend on which facts survive), so no DP is required.
+    pub fn sample_result_singleton<R: Rng + ?Sized>(&self, rng: &mut R) -> FactSet {
+        let mut result = FactSet::empty(self.universe);
+        for &fact in &self.untouchable {
+            result.insert(fact);
+        }
+        for block in &self.conflict_blocks {
+            let survivor = block[rng.random_range(0..block.len())];
+            result.insert(survivor);
+        }
+        result
+    }
+
+    /// Draws a uniformly random singleton-only complete repairing sequence
+    /// from `CRS¹(D, Σ)`.
+    pub fn sample_sequence_singleton<R: Rng + ?Sized>(&self, rng: &mut R) -> RepairingSequence {
+        let mut block_sequences: Vec<Vec<Operation>> = Vec::new();
+        for block in &self.conflict_blocks {
+            let survivor_index = rng.random_range(0..block.len());
+            let mut removals: Vec<Operation> = block
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != survivor_index)
+                .map(|(_, &fact)| Operation::remove_one(fact))
+                .collect();
+            removals.shuffle(rng);
+            block_sequences.push(removals);
+        }
+        let mut labels: Vec<usize> = Vec::new();
+        for (index, ops) in block_sequences.iter().enumerate() {
+            labels.extend(std::iter::repeat_n(index, ops.len()));
+        }
+        labels.shuffle(rng);
+        let mut cursors = vec![0usize; block_sequences.len()];
+        let mut operations = Vec::with_capacity(labels.len());
+        for label in labels {
+            operations.push(block_sequences[label][cursors[label]].clone());
+            cursors[label] += 1;
+        }
+        RepairingSequence::from_operations(operations)
+    }
+
+    /// Samples the per-block configurations via a backward pass over the
+    /// Lemma C.1 tables, with probability proportional to the number of
+    /// complete sequences compatible with each configuration.
+    fn sample_configs<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<BlockConfig> {
+        let n = self.conflict_blocks.len();
+        let mut configs = vec![
+            BlockConfig {
+                pairs: 0,
+                empty: false
+            };
+            n
+        ];
+        if n == 0 {
+            return configs;
+        }
+        // Sample the final (k, i) cell proportionally to P^{k,i}_n.
+        let final_layer = &self.layers[n - 1];
+        let mut cells = Vec::new();
+        let mut weights = Vec::new();
+        for (k, row) in final_layer.iter().enumerate() {
+            for (i, weight) in row.iter().enumerate() {
+                if !weight.is_zero() {
+                    cells.push((k, i as u64));
+                    weights.push(weight.clone());
+                }
+            }
+        }
+        let (mut k, mut i) = cells[pick_weighted(rng, &weights)];
+
+        // Walk the blocks backwards, splitting (k, i) into the last block's
+        // configuration and the prefix state.
+        for j in (1..n).rev() {
+            let block_size = self.conflict_blocks[j].len() as u64;
+            let total_ops = self.prefix_facts[j + 1] - i - k as u64;
+            let previous = &self.layers[j - 1];
+            let mut options = Vec::new();
+            let mut option_weights = Vec::new();
+            for i2 in 0..=i.min(block_size / 2) {
+                let i1 = i - i2;
+                if i1 > self.max_pairs {
+                    continue;
+                }
+                // Block j ends empty; the prefix keeps k non-empty blocks.
+                let s_e = sequences_empty_block(block_size, i2);
+                if !s_e.is_zero() && k < previous.len() {
+                    let prev = &previous[k][i1 as usize];
+                    if !prev.is_zero() {
+                        let weight =
+                            &(prev * &s_e) * &binomial(total_ops, block_size - i2);
+                        options.push((i2, true));
+                        option_weights.push(weight);
+                    }
+                }
+                // Block j ends non-empty; the prefix keeps k−1.
+                if k >= 1 {
+                    let s_ne = sequences_nonempty_block(block_size, i2);
+                    if !s_ne.is_zero() {
+                        let prev = &previous[k - 1][i1 as usize];
+                        if !prev.is_zero() {
+                            let weight = &(prev * &s_ne)
+                                * &binomial(total_ops, block_size - i2 - 1);
+                            options.push((i2, false));
+                            option_weights.push(weight);
+                        }
+                    }
+                }
+            }
+            let (i2, empty) = options[pick_weighted(rng, &option_weights)];
+            configs[j] = BlockConfig { pairs: i2, empty };
+            i -= i2;
+            if !empty {
+                k -= 1;
+            }
+        }
+        // The first block absorbs whatever remains.
+        debug_assert!(k <= 1, "first block can keep at most one fact non-empty");
+        configs[0] = BlockConfig {
+            pairs: i,
+            empty: k == 0,
+        };
+        configs
+    }
+}
+
+/// Builds the layered DP tables `P^{k,i}_j` of Lemma C.1.
+fn build_layers(sizes: &[u64], max_pairs: u64, prefix_facts: &[u64]) -> Vec<Vec<Vec<Natural>>> {
+    let n = sizes.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let zero_table = |blocks: usize| -> Vec<Vec<Natural>> {
+        vec![vec![Natural::zero(); (max_pairs + 1) as usize]; blocks + 1]
+    };
+    let mut layers: Vec<Vec<Vec<Natural>>> = Vec::with_capacity(n);
+    let mut first = zero_table(1);
+    for i in 0..=max_pairs {
+        first[0][i as usize] = sequences_empty_block(sizes[0], i);
+        first[1][i as usize] = sequences_nonempty_block(sizes[0], i);
+    }
+    layers.push(first);
+    for j in 2..=n {
+        let block = sizes[j - 1];
+        let total_now = prefix_facts[j];
+        let previous = &layers[j - 2];
+        let mut next = zero_table(j);
+        #[allow(clippy::needless_range_loop)]
+        for k in 0..=j {
+            for i in 0..=max_pairs {
+                // Infeasible states (more pair removals + survivors than
+                // facts) have zero count; skip them before computing the
+                // operation total, which would underflow.
+                if i + k as u64 > total_now {
+                    continue;
+                }
+                let total_ops = total_now - i - k as u64;
+                let mut cell = Natural::zero();
+                for i2 in 0..=i.min(block / 2) {
+                    let i1 = (i - i2) as usize;
+                    if k < previous.len() {
+                        let prev = &previous[k][i1];
+                        if !prev.is_zero() {
+                            let s_e = sequences_empty_block(block, i2);
+                            if !s_e.is_zero() {
+                                cell = &cell
+                                    + &(&(prev * &s_e) * &binomial(total_ops, block - i2));
+                            }
+                        }
+                    }
+                    if k >= 1 && k - 1 < previous.len() {
+                        let prev = &previous[k - 1][i1];
+                        if !prev.is_zero() {
+                            let s_ne = sequences_nonempty_block(block, i2);
+                            if !s_ne.is_zero() {
+                                cell = &cell
+                                    + &(&(prev * &s_ne)
+                                        * &binomial(total_ops, block - i2 - 1));
+                            }
+                        }
+                    }
+                }
+                next[k][i as usize] = cell;
+            }
+        }
+        layers.push(next);
+    }
+    layers
+}
+
+/// Draws a uniformly random complete block sequence for a block with the
+/// given facts and configuration.
+fn sample_block_sequence<R: Rng + ?Sized>(
+    rng: &mut R,
+    facts: &[FactId],
+    config: BlockConfig,
+) -> Vec<Operation> {
+    let mut pool: Vec<FactId> = facts.to_vec();
+    pool.shuffle(rng);
+    let mut operations = Vec::new();
+    let final_op;
+    if config.empty {
+        // The last operation removes the final surviving pair; the first
+        // `pairs − 1` pair removals and all singleton removals precede it in
+        // uniformly random order.
+        let last_a = pool.pop().expect("blocks have at least two facts");
+        let last_b = pool.pop().expect("blocks have at least two facts");
+        final_op = Some(Operation::remove_pair(last_a, last_b));
+        for _ in 1..config.pairs {
+            let a = pool.pop().expect("enough facts for the sampled pair count");
+            let b = pool.pop().expect("enough facts for the sampled pair count");
+            operations.push(Operation::remove_pair(a, b));
+        }
+    } else {
+        // One survivor; `pairs` pair removals and the rest singletons.
+        let _survivor = pool.pop().expect("blocks have at least two facts");
+        final_op = None;
+        for _ in 0..config.pairs {
+            let a = pool.pop().expect("enough facts for the sampled pair count");
+            let b = pool.pop().expect("enough facts for the sampled pair count");
+            operations.push(Operation::remove_pair(a, b));
+        }
+    }
+    for fact in pool {
+        operations.push(Operation::remove_one(fact));
+    }
+    operations.shuffle(rng);
+    if let Some(op) = final_op {
+        operations.push(op);
+    }
+    operations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+    use ucqa_db::{FunctionalDependency, Schema, Value};
+    use ucqa_repair::{GeneratorSpec, OperationalSemantics, TreeLimits};
+
+    fn figure2() -> (Database, FdSet) {
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["A1", "A2"]).unwrap();
+        let mut db = Database::with_schema(schema);
+        for (a, b) in [
+            ("a1", "b1"),
+            ("a1", "b2"),
+            ("a1", "b3"),
+            ("a2", "b1"),
+            ("a3", "b1"),
+            ("a3", "b2"),
+        ] {
+            db.insert_values("R", [Value::str(a), Value::str(b)]).unwrap();
+        }
+        let mut sigma = FdSet::new();
+        sigma.add(
+            FunctionalDependency::from_names(db.schema(), "R", &["A1"], &["A2"]).unwrap(),
+        );
+        (db, sigma)
+    }
+
+    #[test]
+    fn sequence_count_matches_example_c2() {
+        let (db, sigma) = figure2();
+        let sampler = SequenceSampler::new(&db, &sigma).unwrap();
+        assert_eq!(sampler.sequence_count().to_u64(), Some(99));
+    }
+
+    #[test]
+    fn sampled_sequences_are_valid_complete_and_uniform() {
+        let (db, sigma) = figure2();
+        let sampler = SequenceSampler::new(&db, &sigma).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen: HashMap<String, usize> = HashMap::new();
+        let samples = 19_800usize; // 200 per sequence on average
+        for _ in 0..samples {
+            let sequence = sampler.sample_sequence(&mut rng);
+            let result = sequence.validate(&db, &sigma).expect("sampled sequence is repairing");
+            assert!(sequence.is_complete(&db, &sigma));
+            assert_eq!(result, sequence.result(&db));
+            *seen.entry(sequence.render()).or_insert(0) += 1;
+        }
+        // All 99 sequences should appear, each roughly samples/99 times.
+        assert_eq!(seen.len(), 99);
+        let expected = samples as f64 / 99.0;
+        for (sequence, count) in seen {
+            assert!(
+                (count as f64 - expected).abs() < expected * 0.5,
+                "sequence {sequence} sampled {count} times (expected ≈ {expected})"
+            );
+        }
+    }
+
+    #[test]
+    fn result_distribution_matches_exact_uniform_sequences_semantics() {
+        let (db, sigma) = figure2();
+        let sampler = SequenceSampler::new(&db, &sigma).unwrap();
+        let chain = GeneratorSpec::uniform_sequences()
+            .build_chain(&db, &sigma, TreeLimits::default())
+            .unwrap();
+        let semantics = OperationalSemantics::from_chain(&chain);
+        let exact: HashMap<Vec<usize>, f64> = semantics
+            .repairs()
+            .iter()
+            .map(|entry| {
+                (
+                    entry.repair.iter().map(|f| f.index()).collect(),
+                    entry.probability.to_f64(),
+                )
+            })
+            .collect();
+
+        let mut rng = StdRng::seed_from_u64(5);
+        let samples = 40_000usize;
+        let mut counts: HashMap<Vec<usize>, usize> = HashMap::new();
+        for _ in 0..samples {
+            let result = sampler.sample_result(&mut rng);
+            *counts
+                .entry(result.iter().map(|f| f.index()).collect())
+                .or_insert(0) += 1;
+        }
+        assert_eq!(counts.len(), exact.len());
+        for (repair, probability) in exact {
+            let observed = counts.get(&repair).copied().unwrap_or(0) as f64 / samples as f64;
+            assert!(
+                (observed - probability).abs() < 0.02,
+                "repair {repair:?}: observed {observed}, exact {probability}"
+            );
+        }
+    }
+
+    #[test]
+    fn singleton_samples_are_valid_and_cover_all_sequences() {
+        let (db, sigma) = figure2();
+        let sampler = SequenceSampler::new(&db, &sigma).unwrap();
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..5_000 {
+            let sequence = sampler.sample_sequence_singleton(&mut rng);
+            assert!(sequence.is_singleton_only());
+            sequence.validate(&db, &sigma).expect("valid singleton sequence");
+            assert!(sequence.is_complete(&db, &sigma));
+            seen.insert(sequence.render());
+        }
+        // |CRS¹| = (2 + 1)! · 3 · 2 = 36 singleton sequences.
+        assert_eq!(seen.len(), 36);
+        let result = sampler.sample_result_singleton(&mut rng);
+        assert_eq!(result.len(), 3);
+    }
+
+    #[test]
+    fn consistent_database_yields_empty_sequence() {
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["A", "B"]).unwrap();
+        let mut db = Database::with_schema(schema);
+        db.insert_values("R", [Value::int(1), Value::int(1)]).unwrap();
+        db.insert_values("R", [Value::int(2), Value::int(1)]).unwrap();
+        let mut sigma = FdSet::new();
+        sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["A"], &["B"]).unwrap());
+        let sampler = SequenceSampler::new(&db, &sigma).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(sampler.sequence_count().to_u64(), Some(1));
+        assert!(sampler.sample_sequence(&mut rng).is_empty());
+        assert_eq!(sampler.sample_result(&mut rng).len(), 2);
+    }
+}

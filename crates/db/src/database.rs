@@ -1,0 +1,251 @@
+//! Databases: finite sets of facts with dense ids and per-relation indexes.
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+use std::sync::Arc;
+
+use crate::{DbError, Fact, FactId, FactSet, RelationId, Schema, Value};
+
+/// A database `D` over a schema **S**: a finite set of facts.
+///
+/// Facts are deduplicated on insertion and receive dense [`FactId`]s in
+/// insertion order.  The database keeps a per-relation index (used by query
+/// evaluation and violation detection) and exposes its facts both by id and
+/// by value.  The schema is shared behind an [`Arc`] so that derived
+/// databases (e.g. the reduction gadgets) can reuse it cheaply.
+#[derive(Clone)]
+pub struct Database {
+    schema: Arc<Schema>,
+    facts: Vec<Fact>,
+    by_fact: HashMap<Fact, FactId>,
+    by_relation: Vec<Vec<FactId>>,
+}
+
+impl Database {
+    /// Creates an empty database over `schema`.
+    pub fn new(schema: Arc<Schema>) -> Self {
+        let relations = schema.relation_count();
+        Database {
+            schema,
+            facts: Vec::new(),
+            by_fact: HashMap::new(),
+            by_relation: vec![Vec::new(); relations],
+        }
+    }
+
+    /// Creates an empty database taking ownership of `schema`.
+    pub fn with_schema(schema: Schema) -> Self {
+        Database::new(Arc::new(schema))
+    }
+
+    /// The schema of this database.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// A shared handle to the schema.
+    pub fn schema_arc(&self) -> Arc<Schema> {
+        Arc::clone(&self.schema)
+    }
+
+    /// Inserts a fact, checking its arity against the schema.
+    ///
+    /// Returns the fact's id (existing id if the fact was already present).
+    pub fn insert(&mut self, fact: Fact) -> Result<FactId, DbError> {
+        let arity = self.schema.arity(fact.relation());
+        if fact.arity() != arity {
+            return Err(DbError::ArityMismatch {
+                relation: self.schema.relation_name(fact.relation()).to_string(),
+                expected: arity,
+                actual: fact.arity(),
+            });
+        }
+        if let Some(id) = self.by_fact.get(&fact) {
+            return Ok(*id);
+        }
+        let id = FactId::new(self.facts.len());
+        self.by_relation[fact.relation().index()].push(id);
+        self.by_fact.insert(fact.clone(), id);
+        self.facts.push(fact);
+        Ok(id)
+    }
+
+    /// Convenience: insert a fact given by relation name and values.
+    pub fn insert_values(
+        &mut self,
+        relation: &str,
+        values: impl IntoIterator<Item = Value>,
+    ) -> Result<FactId, DbError> {
+        let rel = self.schema.relation_id(relation)?;
+        self.insert(Fact::new(rel, values.into_iter().collect()))
+    }
+
+    /// Number of facts (`|D|`).
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Returns `true` iff the database has no facts.
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// The fact with the given id.
+    pub fn fact(&self, id: FactId) -> &Fact {
+        &self.facts[id.index()]
+    }
+
+    /// Looks up the id of a fact, if present.
+    pub fn fact_id(&self, fact: &Fact) -> Option<FactId> {
+        self.by_fact.get(fact).copied()
+    }
+
+    /// Returns `true` iff the database contains `fact`.
+    pub fn contains(&self, fact: &Fact) -> bool {
+        self.by_fact.contains_key(fact)
+    }
+
+    /// Iterates over all fact ids in insertion order.
+    pub fn fact_ids(&self) -> impl Iterator<Item = FactId> + '_ {
+        (0..self.facts.len()).map(FactId::new)
+    }
+
+    /// Iterates over `(id, fact)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (FactId, &Fact)> + '_ {
+        self.facts
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (FactId::new(i), f))
+    }
+
+    /// The ids of the facts over `relation`.
+    pub fn facts_of(&self, relation: RelationId) -> &[FactId] {
+        &self.by_relation[relation.index()]
+    }
+
+    /// The full fact set `D` as a [`FactSet`] over this database's universe.
+    pub fn all_facts(&self) -> FactSet {
+        FactSet::full(self.len())
+    }
+
+    /// The active domain `dom(D)`: the set of constants occurring in `D`.
+    pub fn active_domain(&self) -> BTreeSet<Value> {
+        self.facts
+            .iter()
+            .flat_map(|f| f.values().iter().cloned())
+            .collect()
+    }
+
+    /// Materializes the sub-database induced by `subset` as a new
+    /// [`Database`] (fresh ids).  Mostly useful for tests and displays; the
+    /// algorithms operate on [`FactSet`]s directly.
+    pub fn restrict(&self, subset: &FactSet) -> Database {
+        let mut db = Database::new(self.schema_arc());
+        for id in subset.iter() {
+            db.insert(self.fact(id).clone())
+                .expect("restricting an existing fact cannot fail arity checks");
+        }
+        db
+    }
+
+    /// Renders `subset` as a set of facts with relation names resolved.
+    pub fn render_subset(&self, subset: &FactSet) -> String {
+        let mut parts: Vec<String> = subset
+            .iter()
+            .map(|id| self.fact(id).display(&self.schema).to_string())
+            .collect();
+        parts.sort();
+        format!("{{{}}}", parts.join(", "))
+    }
+}
+
+impl fmt::Debug for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Database ({} facts):", self.facts.len())?;
+        for (id, fact) in self.iter() {
+            writeln!(f, "  {id}: {}", fact.display(&self.schema))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema_r2() -> Schema {
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["A", "B"]).unwrap();
+        schema
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut db = Database::with_schema(schema_r2());
+        let f0 = db
+            .insert_values("R", [Value::int(1), Value::int(2)])
+            .unwrap();
+        let f1 = db
+            .insert_values("R", [Value::int(1), Value::int(3)])
+            .unwrap();
+        assert_eq!(db.len(), 2);
+        assert_ne!(f0, f1);
+        assert_eq!(db.fact(f0).values()[1], Value::int(2));
+        let rel = db.schema().relation_id("R").unwrap();
+        assert_eq!(db.facts_of(rel), &[f0, f1]);
+    }
+
+    #[test]
+    fn duplicate_insertion_returns_same_id() {
+        let mut db = Database::with_schema(schema_r2());
+        let a = db
+            .insert_values("R", [Value::int(1), Value::int(2)])
+            .unwrap();
+        let b = db
+            .insert_values("R", [Value::int(1), Value::int(2)])
+            .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut db = Database::with_schema(schema_r2());
+        let err = db.insert_values("R", [Value::int(1)]).unwrap_err();
+        assert!(matches!(err, DbError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn unknown_relation_rejected() {
+        let mut db = Database::with_schema(schema_r2());
+        let err = db.insert_values("S", [Value::int(1)]).unwrap_err();
+        assert!(matches!(err, DbError::UnknownRelation { .. }));
+    }
+
+    #[test]
+    fn active_domain() {
+        let mut db = Database::with_schema(schema_r2());
+        db.insert_values("R", [Value::int(1), Value::str("a")])
+            .unwrap();
+        db.insert_values("R", [Value::int(1), Value::str("b")])
+            .unwrap();
+        let dom = db.active_domain();
+        assert_eq!(dom.len(), 3);
+        assert!(dom.contains(&Value::int(1)));
+        assert!(dom.contains(&Value::str("b")));
+    }
+
+    #[test]
+    fn restrict_and_render() {
+        let mut db = Database::with_schema(schema_r2());
+        let f0 = db
+            .insert_values("R", [Value::int(1), Value::int(2)])
+            .unwrap();
+        db.insert_values("R", [Value::int(3), Value::int(4)])
+            .unwrap();
+        let subset = FactSet::from_iter(db.len(), [f0]);
+        let restricted = db.restrict(&subset);
+        assert_eq!(restricted.len(), 1);
+        assert_eq!(db.render_subset(&subset), "{R(1, 2)}");
+    }
+}

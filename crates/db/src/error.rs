@@ -1,0 +1,115 @@
+//! Error types for the database substrate.
+
+use std::fmt;
+
+/// Errors raised while constructing schemas, databases, or constraints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// A relation name was declared twice in a schema.
+    DuplicateRelation {
+        /// The offending relation name.
+        name: String,
+    },
+    /// A relation was referenced that is not part of the schema.
+    UnknownRelation {
+        /// The unknown relation name.
+        name: String,
+    },
+    /// An attribute was referenced that the relation does not have.
+    UnknownAttribute {
+        /// The relation name.
+        relation: String,
+        /// The unknown attribute name.
+        attribute: String,
+    },
+    /// A fact was constructed with the wrong number of values.
+    ArityMismatch {
+        /// The relation name.
+        relation: String,
+        /// The declared arity.
+        expected: usize,
+        /// The number of values supplied.
+        actual: usize,
+    },
+    /// A relation was declared with arity zero.
+    ZeroArity {
+        /// The relation name.
+        name: String,
+    },
+    /// A functional dependency was declared with an empty left- or
+    /// right-hand side.
+    EmptyFdSide {
+        /// The relation name of the FD.
+        relation: String,
+    },
+    /// A set of FDs was required to be a set of primary keys but is not.
+    NotPrimaryKeys {
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// A set of FDs was required to be a set of keys but is not.
+    NotKeys {
+        /// Human-readable explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::DuplicateRelation { name } => {
+                write!(f, "relation `{name}` declared more than once")
+            }
+            DbError::UnknownRelation { name } => write!(f, "unknown relation `{name}`"),
+            DbError::UnknownAttribute {
+                relation,
+                attribute,
+            } => write!(f, "relation `{relation}` has no attribute `{attribute}`"),
+            DbError::ArityMismatch {
+                relation,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "relation `{relation}` has arity {expected}, but {actual} values were supplied"
+            ),
+            DbError::ZeroArity { name } => {
+                write!(f, "relation `{name}` must have arity at least 1")
+            }
+            DbError::EmptyFdSide { relation } => write!(
+                f,
+                "functional dependency over `{relation}` has an empty attribute set"
+            ),
+            DbError::NotPrimaryKeys { reason } => {
+                write!(f, "constraint set is not a set of primary keys: {reason}")
+            }
+            DbError::NotKeys { reason } => {
+                write!(f, "constraint set is not a set of keys: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_offenders() {
+        let e = DbError::ArityMismatch {
+            relation: "R".into(),
+            expected: 3,
+            actual: 2,
+        };
+        let text = e.to_string();
+        assert!(text.contains("R") && text.contains('3') && text.contains('2'));
+
+        let e = DbError::UnknownAttribute {
+            relation: "Emp".into(),
+            attribute: "salary".into(),
+        };
+        assert!(e.to_string().contains("salary"));
+    }
+}

@@ -1,0 +1,135 @@
+//! Facts `R(c₁,…,cₙ)` and fact identifiers.
+
+use std::fmt;
+
+use crate::{AttributeId, RelationId, Schema, Value};
+
+/// Identifier of a fact within a [`crate::Database`] (dense, zero-based).
+///
+/// All repair machinery (operations, sequences, subsets) works over fact
+/// ids rather than owned facts, which keeps the hot paths allocation-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FactId(pub(crate) u32);
+
+impl FactId {
+    /// Constructs a fact id from a raw index.
+    pub fn new(index: usize) -> Self {
+        FactId(index as u32)
+    }
+
+    /// The raw index of this fact within its database.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FactId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// A fact `R(c₁,…,cₙ)` over a schema.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fact {
+    relation: RelationId,
+    values: Vec<Value>,
+}
+
+impl Fact {
+    /// Constructs a fact without arity checking (checked on insertion into a
+    /// [`crate::Database`]).
+    pub fn new(relation: RelationId, values: Vec<Value>) -> Self {
+        Fact { relation, values }
+    }
+
+    /// The relation name of this fact.
+    pub fn relation(&self) -> RelationId {
+        self.relation
+    }
+
+    /// The constants of this fact, in positional order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// The constant at attribute position `attribute` — the paper's
+    /// `f[Aᵢ]`.
+    pub fn value_at(&self, attribute: AttributeId) -> &Value {
+        &self.values[attribute.index()]
+    }
+
+    /// The arity of this fact.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Renders the fact using the relation names of `schema`.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> FactDisplay<'a> {
+        FactDisplay { fact: self, schema }
+    }
+}
+
+impl fmt::Debug for Fact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}(", self.relation.0)?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:?}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Helper for displaying a fact with its relation name resolved against a
+/// schema.
+pub struct FactDisplay<'a> {
+    fact: &'a Fact,
+    schema: &'a Schema,
+}
+
+impl fmt::Display for FactDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.schema.relation_name(self.fact.relation))?;
+        for (i, v) in self.fact.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let mut schema = Schema::new();
+        let r = schema.add_relation("R", &["A", "B"]).unwrap();
+        let fact = Fact::new(r, vec![Value::int(1), Value::str("x")]);
+        assert_eq!(fact.relation(), r);
+        assert_eq!(fact.arity(), 2);
+        assert_eq!(fact.value_at(AttributeId::new(0)), &Value::int(1));
+        assert_eq!(fact.value_at(AttributeId::new(1)), &Value::str("x"));
+    }
+
+    #[test]
+    fn display_with_schema() {
+        let mut schema = Schema::new();
+        let emp = schema.add_relation("Emp", &["id", "name"]).unwrap();
+        let fact = Fact::new(emp, vec![Value::int(1), Value::str("Alice")]);
+        assert_eq!(fact.display(&schema).to_string(), "Emp(1, Alice)");
+    }
+
+    #[test]
+    fn fact_ids_are_ordered() {
+        assert!(FactId::new(0) < FactId::new(1));
+        assert_eq!(FactId::new(3).index(), 3);
+        assert_eq!(FactId::new(2).to_string(), "f2");
+    }
+}

@@ -1,0 +1,50 @@
+//! # `ucqa-db`
+//!
+//! Relational database substrate for the uniform operational CQA
+//! reproduction (Section 2 of the paper):
+//!
+//! * [`Value`] — interned constants (the countably infinite set **C**).
+//! * [`Schema`], [`RelationId`], [`AttributeId`] — relation names with
+//!   arities and named attributes.
+//! * [`Fact`], [`FactId`], [`Database`] — facts `R(c₁,…,cₙ)` and finite
+//!   sets of facts, with dense fact identifiers and per-relation indexes.
+//! * [`FunctionalDependency`], [`FdSet`] — FDs `R : X → Y`, keys, primary
+//!   keys, and satisfaction `D ⊨ Σ`.
+//! * [`violation`] — FD violations `V(D, Σ)` (Definition 3.2).
+//! * [`ConflictGraph`] — the conflict graph `CG(D, Σ)` used throughout the
+//!   appendices.
+//! * [`blocks`] — key blocks (facts agreeing on the key's left-hand side),
+//!   the combinatorial backbone of the primary-key algorithms.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blocks;
+pub mod conflict_graph;
+pub mod database;
+pub mod error;
+pub mod fact;
+pub mod fd;
+pub mod schema;
+pub mod subset;
+pub mod value;
+pub mod violation;
+
+pub use blocks::{Block, BlockPartition};
+pub use conflict_graph::ConflictGraph;
+pub use database::Database;
+pub use error::DbError;
+pub use fact::{Fact, FactId};
+pub use fd::{FdId, FdSet, FunctionalDependency};
+pub use schema::{AttributeId, RelationId, Schema};
+pub use subset::FactSet;
+pub use value::Value;
+pub use violation::{Violation, ViolationSet};
+
+/// Commonly used types, re-exported for convenience.
+pub mod prelude {
+    pub use crate::{
+        Block, BlockPartition, ConflictGraph, Database, DbError, Fact, FactId, FactSet, FdId,
+        FdSet, FunctionalDependency, RelationId, Schema, Value, Violation, ViolationSet,
+    };
+}

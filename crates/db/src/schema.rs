@@ -1,0 +1,224 @@
+//! Schemas: relation names with arities and named attributes.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::DbError;
+
+/// Identifier of a relation name within a [`Schema`] (dense, zero-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelationId(pub(crate) u32);
+
+impl RelationId {
+    /// The raw index of this relation within its schema.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of an attribute *position* within a relation (zero-based).
+///
+/// The paper writes `f[Aᵢ]` for the constant at attribute `Aᵢ`; positions
+/// and attribute names are interchangeable through [`Schema::attribute_id`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttributeId(pub(crate) u32);
+
+impl AttributeId {
+    /// Constructs an attribute id from a raw position.
+    pub fn new(position: usize) -> Self {
+        AttributeId(position as u32)
+    }
+
+    /// The raw position of this attribute.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Internal relation metadata.
+#[derive(Debug, Clone)]
+struct RelationDecl {
+    name: String,
+    attributes: Vec<String>,
+}
+
+/// A relational schema **S**: a finite set of relation names with associated
+/// arities and attribute names.
+#[derive(Debug, Clone, Default)]
+pub struct Schema {
+    relations: Vec<RelationDecl>,
+    by_name: HashMap<String, RelationId>,
+}
+
+impl Schema {
+    /// Creates an empty schema.
+    pub fn new() -> Self {
+        Schema::default()
+    }
+
+    /// Declares a relation with explicit attribute names.
+    ///
+    /// Returns the new [`RelationId`], or an error if the name is already
+    /// declared or the arity is zero.
+    pub fn add_relation(
+        &mut self,
+        name: impl Into<String>,
+        attributes: &[&str],
+    ) -> Result<RelationId, DbError> {
+        let name = name.into();
+        if attributes.is_empty() {
+            return Err(DbError::ZeroArity { name });
+        }
+        if self.by_name.contains_key(&name) {
+            return Err(DbError::DuplicateRelation { name });
+        }
+        let id = RelationId(self.relations.len() as u32);
+        self.by_name.insert(name.clone(), id);
+        self.relations.push(RelationDecl {
+            name,
+            attributes: attributes.iter().map(|a| (*a).to_string()).collect(),
+        });
+        Ok(id)
+    }
+
+    /// Declares a relation of the given arity with synthesized attribute
+    /// names `A1, …, An` (the convention used throughout the paper).
+    pub fn add_relation_with_arity(
+        &mut self,
+        name: impl Into<String>,
+        arity: usize,
+    ) -> Result<RelationId, DbError> {
+        let names: Vec<String> = (1..=arity).map(|i| format!("A{i}")).collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        self.add_relation(name, &refs)
+    }
+
+    /// Number of declared relations.
+    pub fn relation_count(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Iterates over all relation ids.
+    pub fn relation_ids(&self) -> impl Iterator<Item = RelationId> + '_ {
+        (0..self.relations.len() as u32).map(RelationId)
+    }
+
+    /// Looks up a relation by name.
+    pub fn relation_id(&self, name: &str) -> Result<RelationId, DbError> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| DbError::UnknownRelation { name: name.into() })
+    }
+
+    /// The name of a relation.
+    pub fn relation_name(&self, relation: RelationId) -> &str {
+        &self.relations[relation.index()].name
+    }
+
+    /// The arity of a relation.
+    pub fn arity(&self, relation: RelationId) -> usize {
+        self.relations[relation.index()].attributes.len()
+    }
+
+    /// The attribute names of a relation, in positional order.
+    pub fn attributes(&self, relation: RelationId) -> &[String] {
+        &self.relations[relation.index()].attributes
+    }
+
+    /// Resolves an attribute name of a relation to its position.
+    pub fn attribute_id(
+        &self,
+        relation: RelationId,
+        attribute: &str,
+    ) -> Result<AttributeId, DbError> {
+        let decl = &self.relations[relation.index()];
+        decl.attributes
+            .iter()
+            .position(|a| a == attribute)
+            .map(AttributeId::new)
+            .ok_or_else(|| DbError::UnknownAttribute {
+                relation: decl.name.clone(),
+                attribute: attribute.into(),
+            })
+    }
+
+    /// The name of an attribute position of a relation.
+    pub fn attribute_name(&self, relation: RelationId, attribute: AttributeId) -> &str {
+        &self.relations[relation.index()].attributes[attribute.index()]
+    }
+
+    /// All attribute ids of a relation, i.e. `att(R)`.
+    pub fn all_attributes(&self, relation: RelationId) -> Vec<AttributeId> {
+        (0..self.arity(relation)).map(AttributeId::new).collect()
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for decl in &self.relations {
+            writeln!(f, "{}({})", decl.name, decl.attributes.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declare_and_lookup() {
+        let mut schema = Schema::new();
+        let r = schema.add_relation("R", &["A", "B", "C"]).unwrap();
+        let emp = schema.add_relation_with_arity("Emp", 2).unwrap();
+        assert_eq!(schema.relation_count(), 2);
+        assert_eq!(schema.relation_id("R").unwrap(), r);
+        assert_eq!(schema.relation_name(emp), "Emp");
+        assert_eq!(schema.arity(r), 3);
+        assert_eq!(schema.attributes(emp), &["A1".to_string(), "A2".to_string()]);
+    }
+
+    #[test]
+    fn attribute_resolution() {
+        let mut schema = Schema::new();
+        let r = schema.add_relation("R", &["A", "B", "C"]).unwrap();
+        assert_eq!(schema.attribute_id(r, "B").unwrap(), AttributeId::new(1));
+        assert_eq!(schema.attribute_name(r, AttributeId::new(2)), "C");
+        assert!(matches!(
+            schema.attribute_id(r, "Z"),
+            Err(DbError::UnknownAttribute { .. })
+        ));
+        assert_eq!(schema.all_attributes(r).len(), 3);
+    }
+
+    #[test]
+    fn duplicate_and_zero_arity_rejected() {
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["A"]).unwrap();
+        assert!(matches!(
+            schema.add_relation("R", &["A"]),
+            Err(DbError::DuplicateRelation { .. })
+        ));
+        assert!(matches!(
+            schema.add_relation("S", &[]),
+            Err(DbError::ZeroArity { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_relation_lookup_fails() {
+        let schema = Schema::new();
+        assert!(matches!(
+            schema.relation_id("missing"),
+            Err(DbError::UnknownRelation { .. })
+        ));
+    }
+
+    #[test]
+    fn display_lists_relations() {
+        let mut schema = Schema::new();
+        schema.add_relation("Emp", &["id", "name"]).unwrap();
+        assert_eq!(schema.to_string(), "Emp(id, name)\n");
+    }
+}

@@ -1,0 +1,196 @@
+//! Compact subsets of a database's facts.
+
+use std::fmt;
+
+use crate::FactId;
+
+/// A subset of the facts of a fixed database, stored as a bit-set over
+/// [`FactId`]s.
+///
+/// The repairing process of the paper only ever moves from a database `D`
+/// to subsets `D' ⊆ D` (FDs are repaired by deletions only), so every
+/// intermediate state of a repairing sequence, every candidate repair and
+/// every operational repair is represented as a [`FactSet`] relative to the
+/// original database.  Bit-sets make the per-step operations (removal,
+/// membership, iteration) cheap and allocation-light.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FactSet {
+    words: Vec<u64>,
+    universe: usize,
+}
+
+impl FactSet {
+    /// Creates an empty subset of a universe with `universe` facts.
+    pub fn empty(universe: usize) -> Self {
+        FactSet {
+            words: vec![0; universe.div_ceil(64)],
+            universe,
+        }
+    }
+
+    /// Creates the full subset `{0, …, universe−1}`.
+    pub fn full(universe: usize) -> Self {
+        let mut set = FactSet::empty(universe);
+        for i in 0..universe {
+            set.insert(FactId::new(i));
+        }
+        set
+    }
+
+    /// Creates a subset from an iterator of fact ids.
+    pub fn from_iter(universe: usize, facts: impl IntoIterator<Item = FactId>) -> Self {
+        let mut set = FactSet::empty(universe);
+        for f in facts {
+            set.insert(f);
+        }
+        set
+    }
+
+    /// The size of the universe this subset ranges over.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Returns `true` iff `fact` is a member.
+    pub fn contains(&self, fact: FactId) -> bool {
+        let idx = fact.index();
+        debug_assert!(idx < self.universe, "fact id out of range");
+        (self.words[idx / 64] >> (idx % 64)) & 1 == 1
+    }
+
+    /// Inserts `fact`; returns `true` if it was newly inserted.
+    pub fn insert(&mut self, fact: FactId) -> bool {
+        let idx = fact.index();
+        assert!(idx < self.universe, "fact id out of range");
+        let word = &mut self.words[idx / 64];
+        let mask = 1u64 << (idx % 64);
+        let newly = *word & mask == 0;
+        *word |= mask;
+        newly
+    }
+
+    /// Removes `fact`; returns `true` if it was present.
+    pub fn remove(&mut self, fact: FactId) -> bool {
+        let idx = fact.index();
+        assert!(idx < self.universe, "fact id out of range");
+        let word = &mut self.words[idx / 64];
+        let mask = 1u64 << (idx % 64);
+        let present = *word & mask != 0;
+        *word &= !mask;
+        present
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` iff the subset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|w| *w == 0)
+    }
+
+    /// Returns `true` iff `self ⊆ other`.
+    pub fn is_subset_of(&self, other: &FactSet) -> bool {
+        debug_assert_eq!(self.universe, other.universe);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterates over members in increasing id order.
+    pub fn iter(&self) -> impl Iterator<Item = FactId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, word)| {
+            let mut word = *word;
+            std::iter::from_fn(move || {
+                if word == 0 {
+                    None
+                } else {
+                    let bit = word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    Some(FactId::new(wi * 64 + bit))
+                }
+            })
+        })
+    }
+
+    /// Removes every fact in `facts` from the subset.
+    pub fn remove_all(&mut self, facts: impl IntoIterator<Item = FactId>) {
+        for f in facts {
+            self.remove(f);
+        }
+    }
+
+    /// Collects the members into a vector of fact ids.
+    pub fn to_vec(&self) -> Vec<FactId> {
+        self.iter().collect()
+    }
+}
+
+impl fmt::Debug for FactSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, fact) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{fact}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_full_and_membership() {
+        let mut set = FactSet::empty(70);
+        assert!(set.is_empty());
+        assert_eq!(set.len(), 0);
+        assert!(set.insert(FactId::new(65)));
+        assert!(!set.insert(FactId::new(65)));
+        assert!(set.contains(FactId::new(65)));
+        assert!(!set.contains(FactId::new(64)));
+        assert_eq!(set.len(), 1);
+
+        let full = FactSet::full(70);
+        assert_eq!(full.len(), 70);
+        assert!(set.is_subset_of(&full));
+        assert!(!full.is_subset_of(&set));
+    }
+
+    #[test]
+    fn remove_and_iterate() {
+        let mut set = FactSet::full(10);
+        assert!(set.remove(FactId::new(3)));
+        assert!(!set.remove(FactId::new(3)));
+        set.remove_all([FactId::new(0), FactId::new(9)]);
+        let members: Vec<usize> = set.iter().map(FactId::index).collect();
+        assert_eq!(members, vec![1, 2, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn subset_relation() {
+        let a = FactSet::from_iter(8, [FactId::new(1), FactId::new(2)]);
+        let b = FactSet::from_iter(8, [FactId::new(1), FactId::new(2), FactId::new(5)]);
+        assert!(a.is_subset_of(&b));
+        assert!(a.is_subset_of(&a));
+        assert!(!b.is_subset_of(&a));
+    }
+
+    #[test]
+    fn debug_rendering() {
+        let set = FactSet::from_iter(4, [FactId::new(0), FactId::new(3)]);
+        assert_eq!(format!("{set:?}"), "{f0, f3}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_insert_panics() {
+        let mut set = FactSet::empty(4);
+        set.insert(FactId::new(4));
+    }
+}

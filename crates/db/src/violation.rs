@@ -1,0 +1,219 @@
+//! FD violations `V(D, Σ)` (Definition 3.2).
+
+use std::collections::HashMap;
+
+use crate::{Database, FactId, FactSet, FdId, FdSet, Value};
+
+/// A single violation: an FD `φ ∈ Σ` together with a pair of facts
+/// `{f, g} ⊆ D` such that `{f, g} ⊭ φ`.
+///
+/// The pair is stored with `first < second` so that violations are
+/// canonical and can be deduplicated / compared directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Violation {
+    /// The violated FD.
+    pub fd: FdId,
+    /// The smaller fact id of the violating pair.
+    pub first: FactId,
+    /// The larger fact id of the violating pair.
+    pub second: FactId,
+}
+
+impl Violation {
+    /// Constructs a violation, normalising the pair order.
+    pub fn new(fd: FdId, a: FactId, b: FactId) -> Self {
+        let (first, second) = if a <= b { (a, b) } else { (b, a) };
+        Violation { fd, first, second }
+    }
+
+    /// Returns `true` iff `fact` is one of the two facts of this violation.
+    pub fn involves(&self, fact: FactId) -> bool {
+        self.first == fact || self.second == fact
+    }
+
+    /// The two facts of the violation as a pair.
+    pub fn pair(&self) -> (FactId, FactId) {
+        (self.first, self.second)
+    }
+}
+
+/// The set `V(D', Σ)` of violations of a sub-database `D' ⊆ D`.
+#[derive(Debug, Clone, Default)]
+pub struct ViolationSet {
+    violations: Vec<Violation>,
+}
+
+impl ViolationSet {
+    /// Computes `V(D', Σ)` for the sub-database `subset ⊆ D`.
+    ///
+    /// Facts are grouped per relation and FD left-hand-side value so that
+    /// only facts agreeing on the LHS are compared pairwise, which keeps
+    /// detection close to linear for databases with small blocks.
+    pub fn compute(db: &Database, sigma: &FdSet, subset: &FactSet) -> Self {
+        let mut violations = Vec::new();
+        for (fd_id, fd) in sigma.iter() {
+            // Group the live facts of the FD's relation by their LHS values.
+            let mut groups: HashMap<Vec<Value>, Vec<FactId>> = HashMap::new();
+            for &fact_id in db.facts_of(fd.relation()) {
+                if !subset.contains(fact_id) {
+                    continue;
+                }
+                let fact = db.fact(fact_id);
+                let key: Vec<Value> = fd
+                    .lhs()
+                    .iter()
+                    .map(|attr| fact.value_at(*attr).clone())
+                    .collect();
+                groups.entry(key).or_default().push(fact_id);
+            }
+            for group in groups.values() {
+                for (i, &a) in group.iter().enumerate() {
+                    for &b in group.iter().skip(i + 1) {
+                        if !fd.satisfied_by_pair(db.fact(a), db.fact(b)) {
+                            violations.push(Violation::new(fd_id, a, b));
+                        }
+                    }
+                }
+            }
+        }
+        violations.sort();
+        violations.dedup();
+        ViolationSet { violations }
+    }
+
+    /// Computes `V(D, Σ)` for the whole database.
+    pub fn of_database(db: &Database, sigma: &FdSet) -> Self {
+        ViolationSet::compute(db, sigma, &db.all_facts())
+    }
+
+    /// The violations, sorted canonically.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Number of violations.
+    pub fn len(&self) -> usize {
+        self.violations.len()
+    }
+
+    /// Returns `true` iff there are no violations, i.e. `D' ⊨ Σ`.
+    pub fn is_empty(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Iterates over the violations.
+    pub fn iter(&self) -> impl Iterator<Item = &Violation> + '_ {
+        self.violations.iter()
+    }
+
+    /// The distinct unordered pairs `{f, g}` appearing in some violation
+    /// (the same pair may violate several FDs).
+    pub fn conflicting_pairs(&self) -> Vec<(FactId, FactId)> {
+        let mut pairs: Vec<(FactId, FactId)> =
+            self.violations.iter().map(Violation::pair).collect();
+        pairs.sort();
+        pairs.dedup();
+        pairs
+    }
+
+    /// The facts involved in at least one violation.
+    pub fn conflicting_facts(&self) -> Vec<FactId> {
+        let mut facts: Vec<FactId> = self
+            .violations
+            .iter()
+            .flat_map(|v| [v.first, v.second])
+            .collect();
+        facts.sort();
+        facts.dedup();
+        facts
+    }
+
+    /// The violations involving a given fact.
+    pub fn involving(&self, fact: FactId) -> impl Iterator<Item = &Violation> + '_ {
+        self.violations.iter().filter(move |v| v.involves(fact))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Database, FunctionalDependency, Schema};
+
+    /// The running example of the paper (Example 3.6).
+    fn running_example() -> (Database, FdSet) {
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["A", "B", "C"]).unwrap();
+        let mut db = Database::with_schema(schema);
+        db.insert_values("R", [Value::str("a1"), Value::str("b1"), Value::str("c1")])
+            .unwrap();
+        db.insert_values("R", [Value::str("a1"), Value::str("b2"), Value::str("c2")])
+            .unwrap();
+        db.insert_values("R", [Value::str("a2"), Value::str("b1"), Value::str("c2")])
+            .unwrap();
+        let mut sigma = FdSet::new();
+        sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["A"], &["B"]).unwrap());
+        sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["C"], &["B"]).unwrap());
+        (db, sigma)
+    }
+
+    #[test]
+    fn running_example_violations_match_paper() {
+        // V(D, Σ) = {(φ1, {f1, f2}), (φ2, {f2, f3})}.
+        let (db, sigma) = running_example();
+        let violations = ViolationSet::of_database(&db, &sigma);
+        assert_eq!(violations.len(), 2);
+        let expected = vec![
+            Violation::new(FdId::new(0), FactId::new(0), FactId::new(1)),
+            Violation::new(FdId::new(1), FactId::new(1), FactId::new(2)),
+        ];
+        assert_eq!(violations.violations(), expected.as_slice());
+        assert_eq!(
+            violations.conflicting_facts(),
+            vec![FactId::new(0), FactId::new(1), FactId::new(2)]
+        );
+        assert_eq!(violations.conflicting_pairs().len(), 2);
+    }
+
+    #[test]
+    fn violations_of_consistent_subset_are_empty() {
+        let (db, sigma) = running_example();
+        let mut subset = db.all_facts();
+        subset.remove(FactId::new(1)); // remove f2
+        let violations = ViolationSet::compute(&db, &sigma, &subset);
+        assert!(violations.is_empty());
+    }
+
+    #[test]
+    fn involving_filters_by_fact() {
+        let (db, sigma) = running_example();
+        let violations = ViolationSet::of_database(&db, &sigma);
+        assert_eq!(violations.involving(FactId::new(1)).count(), 2);
+        assert_eq!(violations.involving(FactId::new(0)).count(), 1);
+    }
+
+    #[test]
+    fn pair_normalisation() {
+        let v = Violation::new(FdId::new(0), FactId::new(5), FactId::new(2));
+        assert_eq!(v.pair(), (FactId::new(2), FactId::new(5)));
+        assert!(v.involves(FactId::new(5)));
+        assert!(!v.involves(FactId::new(3)));
+    }
+
+    #[test]
+    fn same_pair_violating_two_fds_counted_twice() {
+        // Both FDs violated by the same pair → two violations, one pair.
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["A", "B"]).unwrap();
+        let mut db = Database::with_schema(schema);
+        db.insert_values("R", [Value::int(1), Value::int(1)]).unwrap();
+        db.insert_values("R", [Value::int(1), Value::int(2)]).unwrap();
+        let mut sigma = FdSet::new();
+        sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["A"], &["B"]).unwrap());
+        sigma.add(
+            FunctionalDependency::from_names(db.schema(), "R", &["A"], &["A", "B"]).unwrap(),
+        );
+        let violations = ViolationSet::of_database(&db, &sigma);
+        assert_eq!(violations.len(), 2);
+        assert_eq!(violations.conflicting_pairs().len(), 1);
+    }
+}

@@ -1,0 +1,126 @@
+//! Positive 2DNF formulas and ♯Pos2DNF (Appendix E.1).
+
+use std::collections::BTreeSet;
+
+use ucqa_numeric::Natural;
+
+/// A positive 2DNF formula `φ = C₁ ∨ … ∨ Cₙ`, where every clause `Cᵢ` is a
+/// conjunction of two positive variables.
+///
+/// Variables are identified by indices `0..variable_count`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Positive2Dnf {
+    variable_count: usize,
+    clauses: Vec<(usize, usize)>,
+}
+
+impl Positive2Dnf {
+    /// Creates a formula over `variable_count` variables with the given
+    /// clauses (pairs of variable indices).
+    ///
+    /// # Panics
+    /// Panics if a clause references a variable out of range.
+    pub fn new(variable_count: usize, clauses: Vec<(usize, usize)>) -> Self {
+        for &(x, y) in &clauses {
+            assert!(
+                x < variable_count && y < variable_count,
+                "clause variable out of range"
+            );
+        }
+        Positive2Dnf {
+            variable_count,
+            clauses,
+        }
+    }
+
+    /// Number of variables (`|var(φ)|`).
+    pub fn variable_count(&self) -> usize {
+        self.variable_count
+    }
+
+    /// The clauses of the formula.
+    pub fn clauses(&self) -> &[(usize, usize)] {
+        &self.clauses
+    }
+
+    /// The variables that actually occur in some clause.
+    pub fn occurring_variables(&self) -> BTreeSet<usize> {
+        self.clauses
+            .iter()
+            .flat_map(|&(x, y)| [x, y])
+            .collect()
+    }
+
+    /// Evaluates the formula under an assignment (indexed by variable).
+    ///
+    /// # Panics
+    /// Panics if the assignment has the wrong length.
+    pub fn evaluate(&self, assignment: &[bool]) -> bool {
+        assert_eq!(
+            assignment.len(),
+            self.variable_count,
+            "assignment length mismatch"
+        );
+        self.clauses.iter().any(|&(x, y)| assignment[x] && assignment[y])
+    }
+
+    /// Counts the satisfying assignments (`♯Pos2DNF`) by exhaustive
+    /// enumeration — exponential, used as ground truth for the reduction.
+    pub fn count_satisfying_assignments(&self) -> Natural {
+        let n = self.variable_count;
+        assert!(
+            n <= 30,
+            "exhaustive counting is limited to 30 variables; use the reduction for more"
+        );
+        let mut count = 0u64;
+        for bits in 0u64..(1u64 << n) {
+            let assignment: Vec<bool> = (0..n).map(|i| (bits >> i) & 1 == 1).collect();
+            if self.evaluate(&assignment) {
+                count += 1;
+            }
+        }
+        Natural::from_u64(count)
+    }
+
+    /// The total number of assignments, `2^{|var(φ)|}`.
+    pub fn assignment_count(&self) -> Natural {
+        Natural::from_u64(2).pow(self.variable_count as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluation_and_counting() {
+        // φ = (x0 ∧ x1) ∨ (x1 ∧ x2) over 3 variables.
+        let phi = Positive2Dnf::new(3, vec![(0, 1), (1, 2)]);
+        assert!(phi.evaluate(&[true, true, false]));
+        assert!(!phi.evaluate(&[true, false, true]));
+        // Satisfying assignments: x1 must be true and (x0 ∨ x2):
+        // {110, 011, 111} plus… enumerate: 110 ✓, 011 ✓, 111 ✓ → 3.
+        assert_eq!(phi.count_satisfying_assignments().to_u64(), Some(3));
+        assert_eq!(phi.assignment_count().to_u64(), Some(8));
+        assert_eq!(phi.occurring_variables().len(), 3);
+    }
+
+    #[test]
+    fn single_clause_formula() {
+        let phi = Positive2Dnf::new(4, vec![(0, 3)]);
+        // x0 ∧ x3 true, x1 and x2 free → 4 satisfying assignments.
+        assert_eq!(phi.count_satisfying_assignments().to_u64(), Some(4));
+    }
+
+    #[test]
+    fn empty_formula_is_unsatisfiable() {
+        let phi = Positive2Dnf::new(3, vec![]);
+        assert_eq!(phi.count_satisfying_assignments().to_u64(), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_clause_rejected() {
+        let _ = Positive2Dnf::new(2, vec![(0, 2)]);
+    }
+}

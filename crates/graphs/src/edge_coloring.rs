@@ -1,0 +1,288 @@
+//! Constructive Vizing edge colouring (Misra–Gries).
+//!
+//! The Proposition 5.5 construction turns a bounded-degree graph `G` into a
+//! database `D_G` whose conflict graph is isomorphic to `G`; it needs a
+//! proper edge colouring of `G` with `Δ + 1` colours, computed in
+//! polynomial time.  The paper cites the constructive proof of Vizing's
+//! theorem by Misra and Gries [20]; this module implements that algorithm
+//! (fan construction, `cd`-path inversion, fan rotation).
+
+use std::collections::HashMap;
+
+use crate::UndirectedGraph;
+
+/// A proper edge colouring: adjacent edges receive distinct colours.
+#[derive(Debug, Clone)]
+pub struct EdgeColoring {
+    colors: HashMap<(usize, usize), usize>,
+    color_count: usize,
+}
+
+impl EdgeColoring {
+    /// The colour of the edge `{u, v}`.
+    pub fn color(&self, u: usize, v: usize) -> Option<usize> {
+        self.colors.get(&canonical(u, v)).copied()
+    }
+
+    /// The number of colours available (Δ + 1).
+    pub fn color_count(&self) -> usize {
+        self.color_count
+    }
+
+    /// All `(edge, colour)` assignments.
+    pub fn assignments(&self) -> impl Iterator<Item = ((usize, usize), usize)> + '_ {
+        self.colors.iter().map(|(&e, &c)| (e, c))
+    }
+
+    /// Checks that the colouring is proper and total for `graph`.
+    pub fn is_proper_for(&self, graph: &UndirectedGraph) -> bool {
+        for (u, v) in graph.edges() {
+            let Some(color) = self.color(u, v) else {
+                return false;
+            };
+            for w in graph.neighbours(u) {
+                if w != v && self.color(u, w) == Some(color) {
+                    return false;
+                }
+            }
+            for w in graph.neighbours(v) {
+                if w != u && self.color(v, w) == Some(color) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+fn canonical(u: usize, v: usize) -> (usize, usize) {
+    if u < v {
+        (u, v)
+    } else {
+        (v, u)
+    }
+}
+
+/// Internal mutable colouring state with per-vertex colour indexes.
+struct State {
+    /// `incident[v][c]` = the neighbour reached from `v` by the edge
+    /// coloured `c`, if any.
+    incident: Vec<Vec<Option<usize>>>,
+    colors: HashMap<(usize, usize), usize>,
+}
+
+impl State {
+    fn new(nodes: usize, color_count: usize) -> Self {
+        State {
+            incident: vec![vec![None; color_count]; nodes],
+            colors: HashMap::new(),
+        }
+    }
+
+    fn color_of(&self, u: usize, v: usize) -> Option<usize> {
+        self.colors.get(&canonical(u, v)).copied()
+    }
+
+    fn is_free(&self, v: usize, color: usize) -> bool {
+        self.incident[v][color].is_none()
+    }
+
+    fn free_color(&self, v: usize) -> usize {
+        self.incident[v]
+            .iter()
+            .position(Option::is_none)
+            .expect("with Δ+1 colours every vertex has a free colour")
+    }
+
+    fn set_color(&mut self, u: usize, v: usize, color: usize) {
+        if let Some(old) = self.color_of(u, v) {
+            self.incident[u][old] = None;
+            self.incident[v][old] = None;
+        }
+        self.colors.insert(canonical(u, v), color);
+        self.incident[u][color] = Some(v);
+        self.incident[v][color] = Some(u);
+    }
+
+    fn unset_color(&mut self, u: usize, v: usize) {
+        if let Some(old) = self.colors.remove(&canonical(u, v)) {
+            self.incident[u][old] = None;
+            self.incident[v][old] = None;
+        }
+    }
+
+    /// Inverts the maximal path starting at `u` that alternates the colours
+    /// `d` and `c` (the `cd_u` path of the Misra–Gries procedure).
+    fn invert_cd_path(&mut self, u: usize, c: usize, d: usize) {
+        if c == d {
+            return;
+        }
+        // Collect the path first (each vertex has at most one edge per
+        // colour, so the walk is deterministic and cannot revisit).
+        let mut path: Vec<(usize, usize, usize)> = Vec::new();
+        let mut current = u;
+        let mut color = d;
+        while let Some(next) = self.incident[current][color] {
+            path.push((current, next, color));
+            current = next;
+            color = if color == d { c } else { d };
+        }
+        // Remove and re-add with swapped colours.
+        for &(a, b, _) in &path {
+            self.unset_color(a, b);
+        }
+        for &(a, b, old) in &path {
+            let new = if old == d { c } else { d };
+            self.set_color(a, b, new);
+        }
+    }
+}
+
+/// Computes a proper `(Δ + 1)`-edge colouring of `graph` with the
+/// Misra–Gries algorithm.
+pub fn misra_gries_edge_coloring(graph: &UndirectedGraph) -> EdgeColoring {
+    let color_count = graph.max_degree() + 1;
+    let mut state = State::new(graph.node_count(), color_count.max(1));
+
+    for (u, v) in graph.edges() {
+        // 1. Build a maximal fan of u starting at v.
+        let mut fan = vec![v];
+        loop {
+            let last = *fan.last().expect("fan starts non-empty");
+            let mut extended = false;
+            for color in 0..color_count {
+                if !state.is_free(last, color) {
+                    continue;
+                }
+                if let Some(w) = state.incident[u][color] {
+                    if !fan.contains(&w) {
+                        fan.push(w);
+                        extended = true;
+                        break;
+                    }
+                }
+            }
+            if !extended {
+                break;
+            }
+        }
+
+        // 2. Pick the free colours and invert the cd path through u.
+        let c = state.free_color(u);
+        let d = state.free_color(*fan.last().expect("fan is non-empty"));
+        state.invert_cd_path(u, c, d);
+
+        // 3. Find the shortest fan prefix ending at a vertex on which d is
+        //    now free and which is still a fan, then rotate it.
+        let mut chosen = None;
+        'outer: for (j, &w) in fan.iter().enumerate() {
+            if !state.is_free(w, d) {
+                continue;
+            }
+            for i in 0..j {
+                let next_color = state
+                    .color_of(u, fan[i + 1])
+                    .expect("fan edges beyond the first are coloured");
+                if !state.is_free(fan[i], next_color) {
+                    continue 'outer;
+                }
+            }
+            chosen = Some(j);
+            break;
+        }
+        let j = chosen.expect("Misra–Gries invariant: a rotatable fan prefix exists");
+
+        // Rotate: shift colours towards the fan start, freeing (u, fan[j]).
+        // Collect the target colours first, then clear all affected edges,
+        // then reassign — assigning in place would momentarily give two
+        // edges at `u` the same colour and corrupt the per-vertex index.
+        let shifted: Vec<usize> = (0..j)
+            .map(|i| {
+                state
+                    .color_of(u, fan[i + 1])
+                    .expect("fan edges beyond the first are coloured")
+            })
+            .collect();
+        for &w in fan.iter().take(j + 1) {
+            state.unset_color(u, w);
+        }
+        for (i, &color) in shifted.iter().enumerate() {
+            state.set_color(u, fan[i], color);
+        }
+        state.set_color(u, fan[j], d);
+    }
+
+    EdgeColoring {
+        colors: state.colors,
+        color_count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(graph: &UndirectedGraph) {
+        let coloring = misra_gries_edge_coloring(graph);
+        assert!(
+            coloring.is_proper_for(graph),
+            "colouring is not proper for {graph:?}"
+        );
+        assert_eq!(coloring.color_count(), graph.max_degree() + 1);
+        for ((u, v), color) in coloring.assignments() {
+            assert!(graph.has_edge(u, v));
+            assert!(color <= graph.max_degree());
+        }
+        assert_eq!(coloring.assignments().count(), graph.edge_count());
+    }
+
+    #[test]
+    fn standard_graphs_are_colored_properly() {
+        check(&UndirectedGraph::path(2));
+        check(&UndirectedGraph::path(7));
+        check(&UndirectedGraph::cycle(5));
+        check(&UndirectedGraph::cycle(6));
+        check(&UndirectedGraph::complete(4));
+        check(&UndirectedGraph::complete(6));
+        check(&UndirectedGraph::complete(7));
+    }
+
+    #[test]
+    fn petersen_graph_is_colored_properly() {
+        let petersen = UndirectedGraph::from_edges(
+            10,
+            &[
+                (0, 1), (1, 2), (2, 3), (3, 4), (4, 0), // outer cycle
+                (5, 7), (7, 9), (9, 6), (6, 8), (8, 5), // inner star
+                (0, 5), (1, 6), (2, 7), (3, 8), (4, 9), // spokes
+            ],
+        );
+        check(&petersen);
+    }
+
+    #[test]
+    fn pseudo_random_graphs_are_colored_properly() {
+        // A couple of deterministic "random-looking" graphs built from a
+        // simple linear congruential sequence.
+        for seed in [1u64, 7, 13, 99] {
+            let nodes = 16usize;
+            let mut graph = UndirectedGraph::new(nodes);
+            let mut x = seed;
+            for _ in 0..40 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let u = (x >> 17) as usize % nodes;
+                let v = (x >> 41) as usize % nodes;
+                if u != v {
+                    graph.add_edge(u, v);
+                }
+            }
+            check(&graph);
+        }
+    }
+
+    #[test]
+    fn empty_and_single_edge_graphs() {
+        check(&UndirectedGraph::new(3));
+        check(&UndirectedGraph::from_edges(2, &[(0, 1)]));
+    }
+}

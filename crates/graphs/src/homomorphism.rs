@@ -1,0 +1,151 @@
+//! Graph homomorphism counting and the fixed target graph of the
+//! ♯H-Coloring reduction (Appendix B.1).
+
+use ucqa_numeric::Natural;
+
+use crate::UndirectedGraph;
+
+/// A target graph for H-colouring: an undirected graph that may carry
+/// self-loops (unlike [`UndirectedGraph`], which is simple).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TargetGraph {
+    nodes: usize,
+    adjacency: Vec<Vec<bool>>,
+}
+
+impl TargetGraph {
+    /// Creates a target graph with `nodes` nodes and no edges.
+    pub fn new(nodes: usize) -> Self {
+        TargetGraph {
+            nodes,
+            adjacency: vec![vec![false; nodes]; nodes],
+        }
+    }
+
+    /// Adds an (undirected) edge; `u == v` adds a self-loop.
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        self.adjacency[u][v] = true;
+        self.adjacency[v][u] = true;
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes
+    }
+
+    /// Returns `true` iff `{u, v}` (or the self-loop on `u` when `u == v`)
+    /// is an edge.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.adjacency[u][v]
+    }
+
+    /// The fixed graph `H` used in the proof of Theorem 5.1(1): nodes
+    /// `{0, 1, ?}` (encoded 0, 1, 2) with every edge and self-loop present
+    /// **except** the self-loop on node 1.
+    ///
+    /// By the Dyer–Greenhill dichotomy this `H` makes ♯H-Coloring ♯P-hard:
+    /// its single connected component is neither an isolated node, nor a
+    /// complete graph with all loops, nor a complete bipartite graph
+    /// without loops.
+    pub fn hardness_gadget() -> Self {
+        let mut h = TargetGraph::new(3);
+        for u in 0..3 {
+            for v in u..3 {
+                if !(u == 1 && v == 1) {
+                    h.add_edge(u, v);
+                }
+            }
+        }
+        h
+    }
+}
+
+/// Counts the homomorphisms from `source` to `target`, i.e. the mappings
+/// `h : V(G) → V(H)` such that every edge of `G` maps to an edge of `H`.
+pub fn count_homomorphisms(source: &UndirectedGraph, target: &TargetGraph) -> Natural {
+    let mut assignment = vec![usize::MAX; source.node_count()];
+    let mut count = Natural::zero();
+    search(source, target, 0, &mut assignment, &mut count);
+    count
+}
+
+fn search(
+    source: &UndirectedGraph,
+    target: &TargetGraph,
+    node: usize,
+    assignment: &mut [usize],
+    count: &mut Natural,
+) {
+    if node == source.node_count() {
+        *count = &*count + &Natural::one();
+        return;
+    }
+    for image in 0..target.node_count() {
+        let compatible = source
+            .neighbours(node)
+            .filter(|&n| n < node)
+            .all(|n| target.has_edge(assignment[n], image));
+        if compatible {
+            assignment[node] = image;
+            search(source, target, node + 1, assignment, count);
+            assignment[node] = usize::MAX;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hardness_gadget_shape() {
+        let h = TargetGraph::hardness_gadget();
+        assert_eq!(h.node_count(), 3);
+        assert!(h.has_edge(0, 0));
+        assert!(h.has_edge(2, 2));
+        assert!(!h.has_edge(1, 1));
+        assert!(h.has_edge(0, 1));
+        assert!(h.has_edge(1, 2));
+        assert!(h.has_edge(0, 2));
+    }
+
+    #[test]
+    fn homomorphisms_into_complete_loopless_graph_are_proper_colourings() {
+        // hom(G, K_q without loops) = number of proper q-colourings.
+        let mut k3 = TargetGraph::new(3);
+        for u in 0..3 {
+            for v in (u + 1)..3 {
+                k3.add_edge(u, v);
+            }
+        }
+        // A triangle has 3! = 6 proper 3-colourings.
+        let triangle = UndirectedGraph::cycle(3);
+        assert_eq!(count_homomorphisms(&triangle, &k3).to_u64(), Some(6));
+        // A path on 3 nodes has 3·2·2 = 12 proper 3-colourings.
+        let path = UndirectedGraph::path(3);
+        assert_eq!(count_homomorphisms(&path, &k3).to_u64(), Some(12));
+    }
+
+    #[test]
+    fn homomorphisms_into_single_looped_node() {
+        let mut loop_node = TargetGraph::new(1);
+        loop_node.add_edge(0, 0);
+        let g = UndirectedGraph::cycle(4);
+        assert_eq!(count_homomorphisms(&g, &loop_node).to_u64(), Some(1));
+    }
+
+    #[test]
+    fn isolated_nodes_multiply_by_target_size() {
+        let h = TargetGraph::hardness_gadget();
+        let g = UndirectedGraph::new(4); // no edges
+        assert_eq!(count_homomorphisms(&g, &h).to_u64(), Some(81));
+    }
+
+    #[test]
+    fn hardness_gadget_count_for_single_edge() {
+        // For a single edge {u, v}: all 9 assignments except (1,1) → 8.
+        let g = UndirectedGraph::from_edges(2, &[(0, 1)]);
+        let h = TargetGraph::hardness_gadget();
+        assert_eq!(count_homomorphisms(&g, &h).to_u64(), Some(8));
+    }
+}

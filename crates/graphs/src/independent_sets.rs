@@ -1,0 +1,151 @@
+//! Exact counting of independent sets.
+//!
+//! `♯IS` is the counting problem the inapproximability results of
+//! Proposition 5.5 / Theorem E.1(3) bootstrap from (via [22] in the paper).
+//! Exact counting is ♯P-hard in general; the branching algorithm below
+//! (`IS(G) = IS(G − v) + IS(G − N[v])` on a maximum-degree vertex, with
+//! connected-component decomposition) is exponential in the worst case but
+//! entirely adequate for the instance sizes used to validate the
+//! reductions.
+
+use ucqa_numeric::Natural;
+
+use crate::UndirectedGraph;
+
+/// Counts all independent sets of `graph`, including the empty set.
+pub fn count_independent_sets(graph: &UndirectedGraph) -> Natural {
+    // Work on a mutable "alive" mask; recursion branches on a vertex of
+    // maximum degree, which keeps the branching tree small.
+    let alive: Vec<usize> = (0..graph.node_count()).collect();
+    count_on(graph, &alive)
+}
+
+/// Counts the non-empty independent sets of `graph` — the quantity
+/// `♯IS_{≠∅}` of Appendix E.3.
+pub fn count_nonempty_independent_sets(graph: &UndirectedGraph) -> Natural {
+    &count_independent_sets(graph) - &Natural::one()
+}
+
+fn count_on(graph: &UndirectedGraph, alive: &[usize]) -> Natural {
+    if alive.is_empty() {
+        return Natural::one();
+    }
+    // Decompose into connected components of the induced subgraph: the
+    // count multiplies across components.
+    let induced = graph.induced_subgraph(alive);
+    let components = induced.connected_components();
+    if components.len() > 1 {
+        let mut product = Natural::one();
+        for component in components {
+            let original: Vec<usize> = component.iter().map(|&i| alive[i]).collect();
+            product = &product * &count_on(graph, &original);
+        }
+        return product;
+    }
+    // A single component: an isolated vertex doubles the count; otherwise
+    // branch on a vertex of maximum degree.
+    if alive.len() == 1 {
+        return Natural::from_u64(2);
+    }
+    let branch_vertex = alive
+        .iter()
+        .copied()
+        .max_by_key(|&v| graph.neighbours(v).filter(|n| alive.contains(n)).count())
+        .expect("non-empty alive set");
+
+    // Exclude the branch vertex.
+    let without: Vec<usize> = alive.iter().copied().filter(|&v| v != branch_vertex).collect();
+    let excluded = count_on(graph, &without);
+    // Include it: drop its closed neighbourhood.
+    let closed: Vec<usize> = alive
+        .iter()
+        .copied()
+        .filter(|&v| v != branch_vertex && !graph.has_edge(v, branch_vertex))
+        .collect();
+    let included = count_on(graph, &closed);
+    &excluded + &included
+}
+
+/// Enumerates the independent sets explicitly (as sorted node lists).
+/// Exponential output; intended for tests on small graphs.
+pub fn enumerate_independent_sets(graph: &UndirectedGraph) -> Vec<Vec<usize>> {
+    let mut results = Vec::new();
+    let mut current = Vec::new();
+    enumerate_from(graph, 0, &mut current, &mut results);
+    results
+}
+
+fn enumerate_from(
+    graph: &UndirectedGraph,
+    next: usize,
+    current: &mut Vec<usize>,
+    results: &mut Vec<Vec<usize>>,
+) {
+    if next == graph.node_count() {
+        results.push(current.clone());
+        return;
+    }
+    // Exclude `next`.
+    enumerate_from(graph, next + 1, current, results);
+    // Include `next` when compatible.
+    if current.iter().all(|&v| !graph.has_edge(v, next)) {
+        current.push(next);
+        enumerate_from(graph, next + 1, current, results);
+        current.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_counts_for_standard_graphs() {
+        // Path P_n has F(n+2) independent sets (Fibonacci).
+        assert_eq!(count_independent_sets(&UndirectedGraph::path(1)).to_u64(), Some(2));
+        assert_eq!(count_independent_sets(&UndirectedGraph::path(2)).to_u64(), Some(3));
+        assert_eq!(count_independent_sets(&UndirectedGraph::path(3)).to_u64(), Some(5));
+        assert_eq!(count_independent_sets(&UndirectedGraph::path(4)).to_u64(), Some(8));
+        assert_eq!(count_independent_sets(&UndirectedGraph::path(5)).to_u64(), Some(13));
+        // Complete graph K_n has n + 1 independent sets.
+        assert_eq!(count_independent_sets(&UndirectedGraph::complete(6)).to_u64(), Some(7));
+        // Cycle C_n has Lucas numbers L_n.
+        assert_eq!(count_independent_sets(&UndirectedGraph::cycle(5)).to_u64(), Some(11));
+        assert_eq!(count_independent_sets(&UndirectedGraph::cycle(6)).to_u64(), Some(18));
+        // Empty graph on n nodes: 2^n.
+        assert_eq!(count_independent_sets(&UndirectedGraph::new(10)).to_u64(), Some(1024));
+    }
+
+    #[test]
+    fn nonempty_count_is_one_less() {
+        let g = UndirectedGraph::cycle(5);
+        assert_eq!(count_nonempty_independent_sets(&g).to_u64(), Some(10));
+    }
+
+    #[test]
+    fn counting_matches_enumeration_on_random_like_graphs() {
+        let graphs = [
+            UndirectedGraph::from_edges(6, &[(0, 1), (0, 2), (1, 3), (2, 4), (3, 5), (4, 5)]),
+            UndirectedGraph::from_edges(
+                7,
+                &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 0), (0, 3), (2, 5)],
+            ),
+            UndirectedGraph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]),
+        ];
+        for graph in &graphs {
+            let enumerated = enumerate_independent_sets(graph);
+            // Every enumerated set really is independent.
+            for set in &enumerated {
+                for (i, &u) in set.iter().enumerate() {
+                    for &v in &set[i + 1..] {
+                        assert!(!graph.has_edge(u, v));
+                    }
+                }
+            }
+            assert_eq!(
+                count_independent_sets(graph).to_u64(),
+                Some(enumerated.len() as u64)
+            );
+        }
+    }
+}

@@ -1,0 +1,583 @@
+//! The paper's hardness-reduction constructions.
+//!
+//! Each reduction builds a database (and fixed constraint set + query) from
+//! a combinatorial object and relates a counting quantity on that object to
+//! a relative frequency / repair count on the database:
+//!
+//! * [`HColoringReduction`] — Theorem 5.1(1) (reused by Theorems 6.1(1) and
+//!   7.1(1)): `♯H-Coloring(G) = 3^{|V|} · (1 − rrfreq_{Σ,Q}(D_G, ()))`.
+//! * [`IndependentSetReduction`] — Proposition 5.5: a bounded-degree graph
+//!   `G` becomes a database whose conflict graph is isomorphic to `G` via a
+//!   Vizing `(Δ+1)`-edge colouring, so `|CORep(D_G, Σ_K)| = |IS(G)|`.
+//! * [`FdGadget`] — Lemma 5.6: one extra "poison" fact plus an extra FD
+//!   give `|CORep(D_F, Σ_F)| = |CORep(D, Σ_K)| + 1` and
+//!   `rrfreq_{Σ_F,Q_F}(D_F, ()) = 1 / (|CORep(D, Σ_K)| + 1)`.
+//! * [`Pos2DnfReduction`] — Theorems E.1(1), E.8(1), E.11:
+//!   `♯Pos2DNF(φ) = 2^{|var(φ)|} · rrfreq¹_{Σ,Q}(D_φ, ())`.
+//!
+//! The reductions are *oracle-style* (polynomial-time Turing reductions):
+//! the driver functions take a closure playing the role of the
+//! `RRFreq`/`SRFreq` oracle, so they can be run both with the exact solvers
+//! (validating the reduction) and with the FPRAS (reproducing the
+//! approximability-transfer arguments).
+
+use std::sync::Arc;
+
+use ucqa_db::{
+    ConflictGraph, Database, FactId, FdSet, FunctionalDependency, Schema, Value,
+};
+use ucqa_numeric::{Natural, Ratio};
+use ucqa_query::{parser::parse_query, ConjunctiveQuery};
+
+use crate::edge_coloring::misra_gries_edge_coloring;
+use crate::{Positive2Dnf, UndirectedGraph};
+
+/// The ♯H-Coloring reduction of Theorem 5.1(1).
+#[derive(Debug, Clone)]
+pub struct HColoringReduction {
+    schema: Arc<Schema>,
+    sigma: FdSet,
+    query: ConjunctiveQuery,
+}
+
+impl Default for HColoringReduction {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HColoringReduction {
+    /// Builds the fixed schema `{V/2, E/2, T/1}`, the single primary key
+    /// `V : A → B`, and the Boolean query
+    /// `Ans() :- E(x, y), V(x, z), V(y, z), T(z)`.
+    pub fn new() -> Self {
+        let mut schema = Schema::new();
+        schema.add_relation("V", &["A", "B"]).expect("fresh schema");
+        schema.add_relation("E", &["S", "T"]).expect("fresh schema");
+        schema.add_relation("T", &["X"]).expect("fresh schema");
+        let schema = Arc::new(schema);
+        let mut sigma = FdSet::new();
+        sigma.add(
+            FunctionalDependency::from_names(&schema, "V", &["A"], &["B"])
+                .expect("V has attributes A and B"),
+        );
+        let query = parse_query(&schema, "Ans() :- E(x, y), V(x, z), V(y, z), T(z)")
+            .expect("fixed query is well-formed");
+        HColoringReduction {
+            schema,
+            sigma,
+            query,
+        }
+    }
+
+    /// The constraint set `Σ` (a single primary key).
+    pub fn sigma(&self) -> &FdSet {
+        &self.sigma
+    }
+
+    /// The fixed Boolean conjunctive query `Q`.
+    pub fn query(&self) -> &ConjunctiveQuery {
+        &self.query
+    }
+
+    /// Encodes an undirected graph `G` as the database `D_G`:
+    /// `{V(u, 0), V(u, 1) | u ∈ V_G} ∪ {E(u, v) | {u,v} ∈ E_G} ∪ {T(1)}`.
+    pub fn database(&self, graph: &UndirectedGraph) -> Database {
+        let mut db = Database::new(Arc::clone(&self.schema));
+        for u in 0..graph.node_count() {
+            let node = Value::str(format!("u{u}"));
+            db.insert_values("V", [node.clone(), Value::int(0)])
+                .expect("schema matches");
+            db.insert_values("V", [node, Value::int(1)])
+                .expect("schema matches");
+        }
+        for (u, v) in graph.edges() {
+            db.insert_values(
+                "E",
+                [Value::str(format!("u{u}")), Value::str(format!("u{v}"))],
+            )
+            .expect("schema matches");
+        }
+        db.insert_values("T", [Value::int(1)]).expect("schema matches");
+        db
+    }
+
+    /// The `HOM` driver: computes `♯hom(G, H) = 3^{|V_G|} · (1 − r)` where
+    /// `r` is the value returned by the `RRFreq(Σ, Q)` oracle on `D_G`.
+    ///
+    /// With the exact oracle the result is exactly the homomorphism count;
+    /// with an FPRAS oracle it is a `(1 ± ε)`-approximation scaled by
+    /// `3^{|V_G|}`.
+    pub fn hom_count_via_oracle<F>(&self, graph: &UndirectedGraph, oracle: F) -> Ratio
+    where
+        F: FnOnce(&Database, &ConjunctiveQuery) -> Ratio,
+    {
+        let db = self.database(graph);
+        let r = oracle(&db, &self.query);
+        let total = Ratio::from_natural(Natural::from_u64(3).pow(graph.node_count() as u32));
+        &total * &(&Ratio::one() - &r)
+    }
+}
+
+/// The independent-set reduction of Proposition 5.5.
+#[derive(Debug, Clone)]
+pub struct IndependentSetReduction {
+    arity: usize,
+    schema: Arc<Schema>,
+    sigma: FdSet,
+}
+
+impl IndependentSetReduction {
+    /// Builds the schema `{R/(Δ+1)}` and the key set
+    /// `Σ_K = {R : A_i → att(R) | i ∈ [Δ+1]}` for graphs of maximum degree
+    /// at most `max_degree`.
+    pub fn new(max_degree: usize) -> Self {
+        let arity = max_degree + 1;
+        let mut schema = Schema::new();
+        schema
+            .add_relation_with_arity("R", arity)
+            .expect("fresh schema");
+        let schema = Arc::new(schema);
+        let relation = schema.relation_id("R").expect("R was just added");
+        let mut sigma = FdSet::new();
+        for i in 0..arity {
+            sigma.add(
+                FunctionalDependency::key(
+                    &schema,
+                    relation,
+                    [ucqa_db::AttributeId::new(i)],
+                )
+                .expect("attribute index within arity"),
+            );
+        }
+        IndependentSetReduction {
+            arity,
+            schema,
+            sigma,
+        }
+    }
+
+    /// The key set `Σ_K`.
+    pub fn sigma(&self) -> &FdSet {
+        &self.sigma
+    }
+
+    /// Encodes a graph of maximum degree `≤ Δ` as a database `D_G` with one
+    /// fact per node, using a Vizing `(Δ+1)`-edge colouring so that two
+    /// facts conflict iff the corresponding nodes are adjacent.
+    ///
+    /// # Panics
+    /// Panics if the graph's maximum degree exceeds the `max_degree` this
+    /// reduction was built for.
+    pub fn database(&self, graph: &UndirectedGraph) -> Database {
+        assert!(
+            graph.max_degree() < self.arity,
+            "graph degree {} exceeds the reduction's bound {}",
+            graph.max_degree(),
+            self.arity - 1
+        );
+        let coloring = misra_gries_edge_coloring(graph);
+        let mut db = Database::new(Arc::clone(&self.schema));
+        let mut fresh = 0usize;
+        for v in 0..graph.node_count() {
+            let mut values = Vec::with_capacity(self.arity);
+            for position in 0..self.arity {
+                // If v has an incident edge coloured `position`, share that
+                // edge's constant with the other endpoint; otherwise use a
+                // fresh constant.
+                let edge = graph
+                    .neighbours(v)
+                    .find(|&w| coloring.color(v, w) == Some(position));
+                match edge {
+                    Some(w) => {
+                        let (a, b) = if v < w { (v, w) } else { (w, v) };
+                        values.push(Value::str(format!("e{a}_{b}")));
+                    }
+                    None => {
+                        values.push(Value::str(format!("fresh{fresh}")));
+                        fresh += 1;
+                    }
+                }
+            }
+            db.insert_values("R", values).expect("schema matches");
+        }
+        db
+    }
+
+    /// Checks that the conflict graph of `database(graph)` is isomorphic to
+    /// `graph` under the identity mapping of node indices (Lemma B.6).
+    pub fn conflict_graph_matches(&self, graph: &UndirectedGraph, db: &Database) -> bool {
+        let cg = ConflictGraph::build(db, &self.sigma);
+        if cg.node_count() != graph.node_count() || cg.edge_count() != graph.edge_count() {
+            return false;
+        }
+        graph.edges().into_iter().all(|(u, v)| {
+            cg.neighbours(FactId::new(u)).contains(&FactId::new(v))
+        })
+    }
+}
+
+/// The FD gadget of Lemma 5.6.
+#[derive(Debug, Clone)]
+pub struct FdGadget {
+    schema: Arc<Schema>,
+    sigma: FdSet,
+    query: ConjunctiveQuery,
+    arity: usize,
+}
+
+impl FdGadget {
+    /// Builds the gadget for source databases over a single relation of the
+    /// given arity constrained by keys: the target relation `R'` has two
+    /// extra leading attributes, every source key becomes a (non-key) FD,
+    /// and the extra FD `R' : A → B` makes the poison fact conflict with
+    /// everything.
+    pub fn new(source_arity: usize, source_sigma: &FdSet) -> Self {
+        let arity = source_arity + 2;
+        let mut schema = Schema::new();
+        let mut attributes: Vec<String> = vec!["A".to_string(), "B".to_string()];
+        attributes.extend((1..=source_arity).map(|i| format!("A{i}")));
+        let attribute_refs: Vec<&str> = attributes.iter().map(String::as_str).collect();
+        schema
+            .add_relation("Rp", &attribute_refs)
+            .expect("fresh schema");
+        let schema = Arc::new(schema);
+        let relation = schema.relation_id("Rp").expect("Rp was just added");
+
+        let mut sigma = FdSet::new();
+        for (_, fd) in source_sigma.iter() {
+            let shift = |attrs: &std::collections::BTreeSet<ucqa_db::AttributeId>| {
+                attrs
+                    .iter()
+                    .map(|a| ucqa_db::AttributeId::new(a.index() + 2))
+                    .collect::<Vec<_>>()
+            };
+            sigma.add(
+                FunctionalDependency::new(&schema, relation, shift(fd.lhs()), shift(fd.rhs()))
+                    .expect("shifted attributes stay within the larger arity"),
+            );
+        }
+        sigma.add(
+            FunctionalDependency::from_names(&schema, "Rp", &["A"], &["B"])
+                .expect("Rp has attributes A and B"),
+        );
+
+        // Q_F: Ans() :- R'(x, x, …, x).
+        let variables = vec!["x"; arity].join(", ");
+        let query = parse_query(&schema, &format!("Ans() :- Rp({variables})"))
+            .expect("fixed query is well-formed");
+
+        FdGadget {
+            schema,
+            sigma,
+            query,
+            arity,
+        }
+    }
+
+    /// The FD set `Σ_F`.
+    pub fn sigma(&self) -> &FdSet {
+        &self.sigma
+    }
+
+    /// The Boolean query `Q_F` asking for an all-equal tuple.
+    pub fn query(&self) -> &ConjunctiveQuery {
+        &self.query
+    }
+
+    /// Builds `D_F` from a source database: every source fact
+    /// `R(a₁,…,aₙ)` becomes `R'(a, b, a₁,…,aₙ)`, plus the poison fact
+    /// `R'(a, a, …, a)`.
+    pub fn database(&self, source: &Database) -> Database {
+        let mut db = Database::new(Arc::clone(&self.schema));
+        let marker_a = Value::str("⊤a");
+        let marker_b = Value::str("⊤b");
+        for (_, fact) in source.iter() {
+            let mut values = Vec::with_capacity(self.arity);
+            values.push(marker_a.clone());
+            values.push(marker_b.clone());
+            values.extend(fact.values().iter().cloned());
+            db.insert_values("Rp", values).expect("schema matches");
+        }
+        db.insert_values("Rp", vec![marker_a; self.arity])
+            .expect("schema matches");
+        db
+    }
+
+    /// The transfer step of Lemma 5.6: recovers `|CORep(D, Σ_K)|` from the
+    /// value of the `RRFreq(Σ_F, Q_F)` oracle on `D_F` via
+    /// `|CORep(D, Σ_K)| = 1 / rrfreq − 1` (exact oracle), and via the
+    /// truncated estimator `1 / max{p, r̃} − 1` (approximate oracle), where
+    /// `p` is a guard against division by very small estimates.
+    pub fn corep_count_via_oracle<F>(&self, source: &Database, oracle: F) -> Ratio
+    where
+        F: FnOnce(&Database, &ConjunctiveQuery) -> Ratio,
+    {
+        let db = self.database(source);
+        let r = oracle(&db, &self.query);
+        assert!(!r.is_zero(), "RRFreq of the gadget query is always positive");
+        &r.recip() - &Ratio::one()
+    }
+}
+
+/// The ♯Pos2DNF reduction of Theorem E.1(1).
+#[derive(Debug, Clone)]
+pub struct Pos2DnfReduction {
+    schema: Arc<Schema>,
+    sigma: FdSet,
+    query: ConjunctiveQuery,
+}
+
+impl Default for Pos2DnfReduction {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Pos2DnfReduction {
+    /// Builds the fixed schema `{V/2, C/2, T/1}`, the primary key
+    /// `V : A → B`, and the Boolean query
+    /// `Ans() :- C(x, y), V(x, z), V(y, z), T(z)`.
+    pub fn new() -> Self {
+        let mut schema = Schema::new();
+        schema.add_relation("V", &["A", "B"]).expect("fresh schema");
+        schema.add_relation("C", &["S", "T"]).expect("fresh schema");
+        schema.add_relation("T", &["X"]).expect("fresh schema");
+        let schema = Arc::new(schema);
+        let mut sigma = FdSet::new();
+        sigma.add(
+            FunctionalDependency::from_names(&schema, "V", &["A"], &["B"])
+                .expect("V has attributes A and B"),
+        );
+        let query = parse_query(&schema, "Ans() :- C(x, y), V(x, z), V(y, z), T(z)")
+            .expect("fixed query is well-formed");
+        Pos2DnfReduction {
+            schema,
+            sigma,
+            query,
+        }
+    }
+
+    /// The constraint set `Σ` (a single primary key).
+    pub fn sigma(&self) -> &FdSet {
+        &self.sigma
+    }
+
+    /// The fixed Boolean conjunctive query `Q`.
+    pub fn query(&self) -> &ConjunctiveQuery {
+        &self.query
+    }
+
+    /// Encodes a positive 2DNF formula `φ` as the database `D_φ`.
+    pub fn database(&self, formula: &Positive2Dnf) -> Database {
+        let mut db = Database::new(Arc::clone(&self.schema));
+        for x in 0..formula.variable_count() {
+            let var = Value::str(format!("x{x}"));
+            db.insert_values("V", [var.clone(), Value::int(0)])
+                .expect("schema matches");
+            db.insert_values("V", [var, Value::int(1)])
+                .expect("schema matches");
+        }
+        for &(x, y) in formula.clauses() {
+            db.insert_values(
+                "C",
+                [Value::str(format!("x{x}")), Value::str(format!("x{y}"))],
+            )
+            .expect("schema matches");
+        }
+        db.insert_values("T", [Value::int(1)]).expect("schema matches");
+        db
+    }
+
+    /// The `SAT` driver: `♯Pos2DNF(φ) = 2^{|var(φ)|} · r`, where `r` is the
+    /// value returned by the `RRFreq¹(Σ, Q)` oracle on `D_φ`.
+    pub fn sat_count_via_oracle<F>(&self, formula: &Positive2Dnf, oracle: F) -> Ratio
+    where
+        F: FnOnce(&Database, &ConjunctiveQuery) -> Ratio,
+    {
+        let db = self.database(formula);
+        let r = oracle(&db, &self.query);
+        let total = Ratio::from_natural(formula.assignment_count());
+        &total * &r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::homomorphism::{count_homomorphisms, TargetGraph};
+    use crate::independent_sets::count_independent_sets;
+    use ucqa_core::ExactSolver;
+    use ucqa_query::QueryEvaluator;
+
+    #[test]
+    fn h_coloring_reduction_matches_brute_force() {
+        let reduction = HColoringReduction::new();
+        let h = TargetGraph::hardness_gadget();
+        let graphs = [
+            UndirectedGraph::from_edges(2, &[(0, 1)]),
+            UndirectedGraph::path(3),
+            UndirectedGraph::cycle(3),
+            UndirectedGraph::cycle(4),
+            UndirectedGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 2)]),
+        ];
+        for graph in &graphs {
+            let expected = count_homomorphisms(graph, &h);
+            let sigma = reduction.sigma().clone();
+            let via_reduction = reduction.hom_count_via_oracle(graph, |db, query| {
+                let solver = ExactSolver::new(db, &sigma);
+                let evaluator = QueryEvaluator::new(query.clone());
+                solver.rrfreq(&evaluator, &[], false).unwrap()
+            });
+            assert_eq!(
+                via_reduction,
+                Ratio::from_natural(expected.clone()),
+                "graph with {} nodes / {} edges",
+                graph.node_count(),
+                graph.edge_count()
+            );
+        }
+    }
+
+    #[test]
+    fn h_coloring_reduction_also_works_for_srfreq_and_uniform_operations() {
+        // Theorems 6.1(1) and 7.1(1): the same construction works because
+        // rrfreq = srfreq = P_{M^uo,Q} on D_G.
+        let reduction = HColoringReduction::new();
+        let h = TargetGraph::hardness_gadget();
+        let graph = UndirectedGraph::cycle(3);
+        let expected = Ratio::from_natural(count_homomorphisms(&graph, &h));
+        let sigma = reduction.sigma().clone();
+
+        let via_srfreq = reduction.hom_count_via_oracle(&graph, |db, query| {
+            let solver = ExactSolver::new(db, &sigma);
+            let evaluator = QueryEvaluator::new(query.clone());
+            solver.srfreq(&evaluator, &[], false).unwrap()
+        });
+        assert_eq!(via_srfreq, expected);
+
+        let via_uo = reduction.hom_count_via_oracle(&graph, |db, query| {
+            let solver = ExactSolver::new(db, &sigma);
+            let evaluator = QueryEvaluator::new(query.clone());
+            solver
+                .answer_probability(
+                    ucqa_repair::GeneratorSpec::uniform_operations(),
+                    &evaluator,
+                    &[],
+                )
+                .unwrap()
+        });
+        assert_eq!(via_uo, expected);
+    }
+
+    #[test]
+    fn independent_set_reduction_preserves_the_conflict_graph() {
+        let graphs = [
+            UndirectedGraph::path(4),
+            UndirectedGraph::cycle(5),
+            UndirectedGraph::complete(4),
+            UndirectedGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)]),
+        ];
+        for graph in &graphs {
+            let reduction = IndependentSetReduction::new(graph.max_degree());
+            let db = reduction.database(graph);
+            assert_eq!(db.len(), graph.node_count());
+            assert!(reduction.conflict_graph_matches(graph, &db));
+        }
+    }
+
+    #[test]
+    fn independent_set_reduction_corep_count_equals_is_count() {
+        // Lemma 5.4 + Lemma B.6: |CORep(D_G, Σ_K)| = |IS(G)| for
+        // non-trivially connected G.
+        for graph in [
+            UndirectedGraph::path(4),
+            UndirectedGraph::cycle(5),
+            UndirectedGraph::complete(4),
+        ] {
+            let reduction = IndependentSetReduction::new(graph.max_degree());
+            let db = reduction.database(&graph);
+            let solver = ExactSolver::new(&db, reduction.sigma());
+            let corep = solver.candidate_repair_count(false).unwrap();
+            let is_count = count_independent_sets(&graph);
+            assert_eq!(corep, is_count, "graph {graph:?}");
+        }
+    }
+
+    #[test]
+    fn fd_gadget_adds_exactly_one_repair() {
+        // Source: the independent-set database of a 5-cycle (11 repairs).
+        let graph = UndirectedGraph::cycle(5);
+        let reduction = IndependentSetReduction::new(graph.max_degree());
+        let source = reduction.database(&graph);
+        let source_solver = ExactSolver::new(&source, reduction.sigma());
+        let source_count = source_solver.candidate_repair_count(false).unwrap();
+
+        let gadget = FdGadget::new(source.schema().arity(source.schema().relation_id("R").unwrap()), reduction.sigma());
+        let target = gadget.database(&source);
+        let target_solver = ExactSolver::new(&target, gadget.sigma());
+        let target_count = target_solver.candidate_repair_count(false).unwrap();
+        assert_eq!(target_count, &source_count + &Natural::one());
+
+        // rrfreq(D_F, Q_F) = 1 / (|CORep(D, Σ_K)| + 1).
+        let evaluator = QueryEvaluator::new(gadget.query().clone());
+        let rrfreq = target_solver.rrfreq(&evaluator, &[], false).unwrap();
+        assert_eq!(
+            rrfreq,
+            Ratio::new(Natural::one(), &source_count + &Natural::one())
+        );
+
+        // The oracle-style driver recovers the source repair count.
+        let sigma = gadget.sigma().clone();
+        let recovered = gadget.corep_count_via_oracle(&source, |db, query| {
+            let solver = ExactSolver::new(db, &sigma);
+            let evaluator = QueryEvaluator::new(query.clone());
+            solver.rrfreq(&evaluator, &[], false).unwrap()
+        });
+        assert_eq!(recovered, Ratio::from_natural(source_count));
+    }
+
+    #[test]
+    fn pos2dnf_reduction_matches_brute_force() {
+        let reduction = Pos2DnfReduction::new();
+        let formulas = [
+            Positive2Dnf::new(3, vec![(0, 1), (1, 2)]),
+            Positive2Dnf::new(4, vec![(0, 3)]),
+            Positive2Dnf::new(4, vec![(0, 1), (2, 3), (0, 3)]),
+            Positive2Dnf::new(5, vec![(0, 1), (1, 2), (2, 3), (3, 4)]),
+        ];
+        for formula in &formulas {
+            let expected = formula.count_satisfying_assignments();
+            let sigma = reduction.sigma().clone();
+            let via_reduction = reduction.sat_count_via_oracle(formula, |db, query| {
+                let solver = ExactSolver::new(db, &sigma);
+                let evaluator = QueryEvaluator::new(query.clone());
+                solver.rrfreq(&evaluator, &[], true).unwrap()
+            });
+            assert_eq!(via_reduction, Ratio::from_natural(expected));
+        }
+    }
+
+    #[test]
+    fn pos2dnf_reduction_also_works_under_uniform_sequences_and_operations() {
+        // Theorems E.8(1) and E.11 reuse the construction: srfreq¹ and
+        // P_{M^{uo,1},Q} coincide with rrfreq¹ on D_φ.
+        let reduction = Pos2DnfReduction::new();
+        let formula = Positive2Dnf::new(3, vec![(0, 1), (1, 2)]);
+        let sigma = reduction.sigma().clone();
+        let db = reduction.database(&formula);
+        let solver = ExactSolver::new(&db, &sigma);
+        let evaluator = QueryEvaluator::new(reduction.query().clone());
+        let rrfreq1 = solver.rrfreq(&evaluator, &[], true).unwrap();
+        let srfreq1 = solver.srfreq(&evaluator, &[], true).unwrap();
+        let uo1 = solver
+            .answer_probability(
+                ucqa_repair::GeneratorSpec::uniform_operations().with_singleton_only(),
+                &evaluator,
+                &[],
+            )
+            .unwrap();
+        assert_eq!(rrfreq1, srfreq1);
+        assert_eq!(rrfreq1, uo1);
+    }
+}

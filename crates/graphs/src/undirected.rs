@@ -1,0 +1,252 @@
+//! Simple undirected graphs.
+
+use std::collections::BTreeSet;
+
+/// A simple undirected graph over nodes `0..n` (no self-loops, no parallel
+/// edges).
+///
+/// This is the ambient structure of all the reductions in Appendices B
+/// and E; nodes are plain indices so that graphs translate directly into
+/// database constants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UndirectedGraph {
+    adjacency: Vec<BTreeSet<usize>>,
+}
+
+impl UndirectedGraph {
+    /// Creates a graph with `nodes` isolated nodes.
+    pub fn new(nodes: usize) -> Self {
+        UndirectedGraph {
+            adjacency: vec![BTreeSet::new(); nodes],
+        }
+    }
+
+    /// Creates a graph from an edge list.
+    ///
+    /// # Panics
+    /// Panics if an edge references a node `≥ nodes` or is a self-loop.
+    pub fn from_edges(nodes: usize, edges: &[(usize, usize)]) -> Self {
+        let mut graph = UndirectedGraph::new(nodes);
+        for &(u, v) in edges {
+            graph.add_edge(u, v);
+        }
+        graph
+    }
+
+    /// The complete graph on `nodes` nodes.
+    pub fn complete(nodes: usize) -> Self {
+        let mut graph = UndirectedGraph::new(nodes);
+        for u in 0..nodes {
+            for v in (u + 1)..nodes {
+                graph.add_edge(u, v);
+            }
+        }
+        graph
+    }
+
+    /// The cycle `C_n` (requires `nodes ≥ 3`).
+    pub fn cycle(nodes: usize) -> Self {
+        assert!(nodes >= 3, "a cycle needs at least three nodes");
+        let mut graph = UndirectedGraph::new(nodes);
+        for u in 0..nodes {
+            graph.add_edge(u, (u + 1) % nodes);
+        }
+        graph
+    }
+
+    /// The path `P_n` on `nodes` nodes.
+    pub fn path(nodes: usize) -> Self {
+        let mut graph = UndirectedGraph::new(nodes);
+        for u in 1..nodes {
+            graph.add_edge(u - 1, u);
+        }
+        graph
+    }
+
+    /// Adds an undirected edge `{u, v}`.
+    ///
+    /// # Panics
+    /// Panics on out-of-range nodes or self-loops.
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(u < self.node_count() && v < self.node_count(), "node out of range");
+        assert_ne!(u, v, "self-loops are not allowed");
+        self.adjacency[u].insert(v);
+        self.adjacency[v].insert(u);
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.adjacency.iter().map(BTreeSet::len).sum::<usize>() / 2
+    }
+
+    /// Returns `true` iff `{u, v}` is an edge.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.adjacency[u].contains(&v)
+    }
+
+    /// The neighbours of `u`.
+    pub fn neighbours(&self, u: usize) -> impl Iterator<Item = usize> + '_ {
+        self.adjacency[u].iter().copied()
+    }
+
+    /// The degree of `u`.
+    pub fn degree(&self, u: usize) -> usize {
+        self.adjacency[u].len()
+    }
+
+    /// The maximum degree Δ.
+    pub fn max_degree(&self) -> usize {
+        self.adjacency.iter().map(BTreeSet::len).max().unwrap_or(0)
+    }
+
+    /// The edges as canonical `(u, v)` pairs with `u < v`.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        let mut edges = Vec::with_capacity(self.edge_count());
+        for (u, neighbours) in self.adjacency.iter().enumerate() {
+            for &v in neighbours {
+                if u < v {
+                    edges.push((u, v));
+                }
+            }
+        }
+        edges
+    }
+
+    /// Returns `true` iff the graph is connected (vacuously for ≤ 1 nodes).
+    pub fn is_connected(&self) -> bool {
+        let n = self.node_count();
+        if n <= 1 {
+            return true;
+        }
+        let mut visited = vec![false; n];
+        let mut stack = vec![0usize];
+        visited[0] = true;
+        let mut seen = 1;
+        while let Some(u) = stack.pop() {
+            for &v in &self.adjacency[u] {
+                if !visited[v] {
+                    visited[v] = true;
+                    seen += 1;
+                    stack.push(v);
+                }
+            }
+        }
+        seen == n
+    }
+
+    /// Returns `true` iff the graph has at least two nodes and is connected
+    /// (the "non-trivially connected" notion of Appendix B.3).
+    pub fn is_non_trivially_connected(&self) -> bool {
+        self.node_count() >= 2 && self.is_connected()
+    }
+
+    /// The connected components as sorted node lists.
+    pub fn connected_components(&self) -> Vec<Vec<usize>> {
+        let n = self.node_count();
+        let mut visited = vec![false; n];
+        let mut components = Vec::new();
+        for start in 0..n {
+            if visited[start] {
+                continue;
+            }
+            let mut component = Vec::new();
+            let mut stack = vec![start];
+            visited[start] = true;
+            while let Some(u) = stack.pop() {
+                component.push(u);
+                for &v in &self.adjacency[u] {
+                    if !visited[v] {
+                        visited[v] = true;
+                        stack.push(v);
+                    }
+                }
+            }
+            component.sort_unstable();
+            components.push(component);
+        }
+        components
+    }
+
+    /// The subgraph induced by `nodes`, with nodes renumbered `0..k` in the
+    /// order given.
+    pub fn induced_subgraph(&self, nodes: &[usize]) -> UndirectedGraph {
+        let index_of: std::collections::HashMap<usize, usize> = nodes
+            .iter()
+            .enumerate()
+            .map(|(new, &old)| (old, new))
+            .collect();
+        let mut graph = UndirectedGraph::new(nodes.len());
+        for (new_u, &old_u) in nodes.iter().enumerate() {
+            for &old_v in &self.adjacency[old_u] {
+                if let Some(&new_v) = index_of.get(&old_v) {
+                    if new_u < new_v {
+                        graph.add_edge(new_u, new_v);
+                    }
+                }
+            }
+        }
+        graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_basic_queries() {
+        let g = UndirectedGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.edges(), vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn standard_graph_families() {
+        assert_eq!(UndirectedGraph::complete(5).edge_count(), 10);
+        assert_eq!(UndirectedGraph::cycle(5).edge_count(), 5);
+        assert_eq!(UndirectedGraph::path(5).edge_count(), 4);
+        assert_eq!(UndirectedGraph::complete(4).max_degree(), 3);
+    }
+
+    #[test]
+    fn connectivity() {
+        let mut g = UndirectedGraph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert!(!g.is_connected());
+        assert!(!g.is_non_trivially_connected());
+        assert_eq!(g.connected_components().len(), 2);
+        g.add_edge(1, 2);
+        assert!(g.is_connected());
+        assert!(g.is_non_trivially_connected());
+        assert!(UndirectedGraph::new(1).is_connected());
+        assert!(!UndirectedGraph::new(1).is_non_trivially_connected());
+        assert!(UndirectedGraph::new(0).is_connected());
+    }
+
+    #[test]
+    fn induced_subgraph_renumbers_nodes() {
+        let g = UndirectedGraph::cycle(5);
+        let sub = g.induced_subgraph(&[0, 1, 2]);
+        assert_eq!(sub.node_count(), 3);
+        assert_eq!(sub.edge_count(), 2);
+        assert!(sub.has_edge(0, 1));
+        assert!(sub.has_edge(1, 2));
+        assert!(!sub.has_edge(0, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loops_rejected() {
+        let mut g = UndirectedGraph::new(2);
+        g.add_edge(1, 1);
+    }
+}

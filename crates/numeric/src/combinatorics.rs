@@ -1,0 +1,126 @@
+//! Factorials, binomial coefficients and related counting helpers.
+//!
+//! These are the ingredients of the closed-form sequence counts of
+//! Lemma C.1 (`S^{ne,i}_m`, `S^{e,i}_m`) and of the interleaving factors of
+//! the dynamic program `P^{k,i}_j`.
+
+use crate::Natural;
+
+/// `n!` as a [`Natural`].
+pub fn factorial(n: u64) -> Natural {
+    let mut result = Natural::one();
+    for i in 2..=n {
+        result = &result * &Natural::from_u64(i);
+    }
+    result
+}
+
+/// The binomial coefficient `C(n, k)`; zero when `k > n`.
+pub fn binomial(n: u64, k: u64) -> Natural {
+    if k > n {
+        return Natural::zero();
+    }
+    let k = k.min(n - k);
+    let mut result = Natural::one();
+    for i in 0..k {
+        result = &result * &Natural::from_u64(n - i);
+        let (q, r) = result.div_rem(&Natural::from_u64(i + 1));
+        debug_assert!(r.is_zero(), "binomial intermediate not divisible");
+        result = q;
+    }
+    result
+}
+
+/// The falling factorial `n · (n−1) · … · (n−k+1)`; `1` when `k == 0`.
+pub fn falling_factorial(n: u64, k: u64) -> Natural {
+    if k > n {
+        return Natural::zero();
+    }
+    let mut result = Natural::one();
+    for i in 0..k {
+        result = &result * &Natural::from_u64(n - i);
+    }
+    result
+}
+
+/// Number of ways to partition `2i` distinguishable elements into `i`
+/// unordered pairs: `(2i)! / (2^i · i!)`.
+///
+/// This is the "number of ways to split 2i facts into i pairs" factor used
+/// in Lemma C.1.
+pub fn pairings(i: u64) -> Natural {
+    if i == 0 {
+        return Natural::one();
+    }
+    let numerator = factorial(2 * i);
+    let denominator = &Natural::from_u64(2).pow(i as u32) * &factorial(i);
+    let (q, r) = numerator.div_rem(&denominator);
+    debug_assert!(r.is_zero(), "pairings intermediate not divisible");
+    q
+}
+
+/// The multinomial-style interleaving factor `(a + b)! / (a! · b!)`, i.e.
+/// the number of ways to interleave a sequence of length `a` with a
+/// sequence of length `b` while preserving both internal orders.
+pub fn interleavings(a: u64, b: u64) -> Natural {
+    binomial(a + b, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorial_small_values() {
+        assert_eq!(factorial(0).to_u64(), Some(1));
+        assert_eq!(factorial(1).to_u64(), Some(1));
+        assert_eq!(factorial(5).to_u64(), Some(120));
+        assert_eq!(factorial(20).to_u64(), Some(2_432_902_008_176_640_000));
+    }
+
+    #[test]
+    fn factorial_large_value_has_expected_length() {
+        assert_eq!(factorial(100).to_string().len(), 158);
+    }
+
+    #[test]
+    fn binomial_matches_pascal_triangle() {
+        assert_eq!(binomial(5, 0).to_u64(), Some(1));
+        assert_eq!(binomial(5, 2).to_u64(), Some(10));
+        assert_eq!(binomial(5, 5).to_u64(), Some(1));
+        assert_eq!(binomial(5, 6).to_u64(), Some(0));
+        assert_eq!(binomial(50, 25).to_string(), "126410606437752");
+        // Pascal identity on a grid of values.
+        for n in 1..20u64 {
+            for k in 1..n {
+                let lhs = binomial(n, k);
+                let rhs = &binomial(n - 1, k - 1) + &binomial(n - 1, k);
+                assert_eq!(lhs, rhs, "Pascal identity failed at ({n},{k})");
+            }
+        }
+    }
+
+    #[test]
+    fn falling_factorial_values() {
+        assert_eq!(falling_factorial(7, 0).to_u64(), Some(1));
+        assert_eq!(falling_factorial(7, 3).to_u64(), Some(210));
+        assert_eq!(falling_factorial(3, 5).to_u64(), Some(0));
+    }
+
+    #[test]
+    fn pairings_values() {
+        // 1, 1, 3, 15, 105 — double factorials (2i-1)!!
+        assert_eq!(pairings(0).to_u64(), Some(1));
+        assert_eq!(pairings(1).to_u64(), Some(1));
+        assert_eq!(pairings(2).to_u64(), Some(3));
+        assert_eq!(pairings(3).to_u64(), Some(15));
+        assert_eq!(pairings(4).to_u64(), Some(105));
+    }
+
+    #[test]
+    fn interleavings_values() {
+        assert_eq!(interleavings(0, 0).to_u64(), Some(1));
+        assert_eq!(interleavings(2, 3).to_u64(), Some(10));
+        assert_eq!(interleavings(3, 2), interleavings(2, 3));
+    }
+}

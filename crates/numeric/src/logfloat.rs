@@ -1,0 +1,180 @@
+//! Non-negative reals in log-space.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Div, Mul, MulAssign};
+
+/// A non-negative real number stored as its natural logarithm.
+///
+/// The leaf probability of a long repairing sequence is a product of many
+/// factors of the form `1/|Ops_s(D,Σ)|`; for databases with thousands of
+/// facts such products underflow `f64` long before they stop being
+/// meaningful.  [`LogFloat`] keeps the product exact enough (one `f64`
+/// addition per factor) for the samplers and diagnostics that need it.
+#[derive(Clone, Copy, PartialEq)]
+pub struct LogFloat {
+    ln: f64,
+}
+
+impl LogFloat {
+    /// The value `0` (log = −∞).
+    pub fn zero() -> Self {
+        LogFloat {
+            ln: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The value `1` (log = 0).
+    pub fn one() -> Self {
+        LogFloat { ln: 0.0 }
+    }
+
+    /// Constructs a [`LogFloat`] from a plain non-negative value.
+    ///
+    /// # Panics
+    /// Panics if `value` is negative or NaN.
+    pub fn from_value(value: f64) -> Self {
+        assert!(
+            value >= 0.0 && !value.is_nan(),
+            "LogFloat requires a non-negative value, got {value}"
+        );
+        LogFloat { ln: value.ln() }
+    }
+
+    /// Constructs a [`LogFloat`] directly from a natural logarithm.
+    pub fn from_ln(ln: f64) -> Self {
+        LogFloat { ln }
+    }
+
+    /// The natural logarithm of the value (−∞ for zero).
+    pub fn ln(&self) -> f64 {
+        self.ln
+    }
+
+    /// The value as a plain `f64` (may underflow to `0` or overflow to
+    /// `inf`).
+    pub fn to_f64(&self) -> f64 {
+        self.ln.exp()
+    }
+
+    /// Returns `true` iff the value is `0`.
+    pub fn is_zero(&self) -> bool {
+        self.ln == f64::NEG_INFINITY
+    }
+
+    /// Adds two log-space values using the log-sum-exp trick.
+    pub fn add(&self, other: &LogFloat) -> LogFloat {
+        if self.is_zero() {
+            return *other;
+        }
+        if other.is_zero() {
+            return *self;
+        }
+        let (hi, lo) = if self.ln >= other.ln {
+            (self.ln, other.ln)
+        } else {
+            (other.ln, self.ln)
+        };
+        LogFloat {
+            ln: hi + (lo - hi).exp().ln_1p(),
+        }
+    }
+}
+
+impl fmt::Debug for LogFloat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LogFloat(e^{})", self.ln)
+    }
+}
+
+impl fmt::Display for LogFloat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f64())
+    }
+}
+
+impl PartialOrd for LogFloat {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        self.ln.partial_cmp(&other.ln)
+    }
+}
+
+impl Mul for LogFloat {
+    type Output = LogFloat;
+
+    fn mul(self, rhs: LogFloat) -> LogFloat {
+        if self.is_zero() || rhs.is_zero() {
+            return LogFloat::zero();
+        }
+        LogFloat {
+            ln: self.ln + rhs.ln,
+        }
+    }
+}
+
+impl MulAssign for LogFloat {
+    fn mul_assign(&mut self, rhs: LogFloat) {
+        *self = *self * rhs;
+    }
+}
+
+impl Div for LogFloat {
+    type Output = LogFloat;
+
+    /// # Panics
+    /// Panics if `rhs` is zero.
+    fn div(self, rhs: LogFloat) -> LogFloat {
+        assert!(!rhs.is_zero(), "division of LogFloat by zero");
+        if self.is_zero() {
+            return LogFloat::zero();
+        }
+        LogFloat {
+            ln: self.ln - rhs.ln,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn products_of_many_small_factors_do_not_underflow() {
+        // (1/10)^400 underflows f64 (min positive ~1e-308) but stays
+        // meaningful in log space.
+        let mut product = LogFloat::one();
+        for _ in 0..400 {
+            product *= LogFloat::from_value(0.1);
+        }
+        assert!(product.to_f64() == 0.0, "plain f64 representation underflows");
+        assert!((product.ln() - 400.0 * 0.1f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn add_matches_plain_addition() {
+        let a = LogFloat::from_value(0.25);
+        let b = LogFloat::from_value(0.5);
+        assert!((a.add(&b).to_f64() - 0.75).abs() < 1e-12);
+        assert!((a.add(&LogFloat::zero()).to_f64() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mul_div_roundtrip() {
+        let a = LogFloat::from_value(0.3);
+        let b = LogFloat::from_value(0.7);
+        let c = a * b / b;
+        assert!((c.to_f64() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(LogFloat::from_value(0.1) < LogFloat::from_value(0.2));
+        assert!(LogFloat::zero() < LogFloat::from_value(1e-300));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_value_panics() {
+        let _ = LogFloat::from_value(-1.0);
+    }
+}

@@ -1,0 +1,321 @@
+//! Exact non-negative rational numbers.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Sub};
+
+use crate::Natural;
+
+/// An exact non-negative rational number, always stored in lowest terms with
+/// a non-zero denominator.
+///
+/// The operational semantics of the paper only ever manipulates
+/// probabilities and relative frequencies, i.e. values in `[0, 1]` and their
+/// sums, so an unsigned rational suffices.  Keeping the arithmetic exact is
+/// what allows the test-suite and the experiment harness to reproduce the
+/// paper's fractions (`1/9`, `3/5`, `1/5`, `1/4`, `24/99`, …) verbatim.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Ratio {
+    numerator: Natural,
+    denominator: Natural,
+}
+
+impl Ratio {
+    /// The value `0`.
+    pub fn zero() -> Self {
+        Ratio {
+            numerator: Natural::zero(),
+            denominator: Natural::one(),
+        }
+    }
+
+    /// The value `1`.
+    pub fn one() -> Self {
+        Ratio {
+            numerator: Natural::one(),
+            denominator: Natural::one(),
+        }
+    }
+
+    /// Constructs `numerator / denominator`, reduced to lowest terms.
+    ///
+    /// # Panics
+    /// Panics if `denominator` is zero.
+    pub fn new(numerator: Natural, denominator: Natural) -> Self {
+        assert!(!denominator.is_zero(), "Ratio with zero denominator");
+        let mut ratio = Ratio {
+            numerator,
+            denominator,
+        };
+        ratio.reduce();
+        ratio
+    }
+
+    /// Convenience constructor from machine integers.
+    ///
+    /// # Panics
+    /// Panics if `denominator` is zero.
+    pub fn from_u64(numerator: u64, denominator: u64) -> Self {
+        Ratio::new(Natural::from_u64(numerator), Natural::from_u64(denominator))
+    }
+
+    /// Constructs the integer value `value`.
+    pub fn from_natural(value: Natural) -> Self {
+        Ratio {
+            numerator: value,
+            denominator: Natural::one(),
+        }
+    }
+
+    /// The numerator (in lowest terms).
+    pub fn numerator(&self) -> &Natural {
+        &self.numerator
+    }
+
+    /// The denominator (in lowest terms, never zero).
+    pub fn denominator(&self) -> &Natural {
+        &self.denominator
+    }
+
+    /// Returns `true` iff the value is `0`.
+    pub fn is_zero(&self) -> bool {
+        self.numerator.is_zero()
+    }
+
+    /// Returns `true` iff the value is `1`.
+    pub fn is_one(&self) -> bool {
+        self.numerator == self.denominator
+    }
+
+    /// Reduces the fraction to lowest terms.
+    fn reduce(&mut self) {
+        if self.numerator.is_zero() {
+            self.denominator = Natural::one();
+            return;
+        }
+        let gcd = self.numerator.gcd(&self.denominator);
+        if !gcd.is_one() {
+            self.numerator = &self.numerator / &gcd;
+            self.denominator = &self.denominator / &gcd;
+        }
+    }
+
+    /// Approximates the value as an `f64`.
+    pub fn to_f64(&self) -> f64 {
+        if self.numerator.is_zero() {
+            return 0.0;
+        }
+        let num = self.numerator.to_f64();
+        let den = self.denominator.to_f64();
+        if num.is_finite() && den.is_finite() && den != 0.0 {
+            num / den
+        } else {
+            // Fall back to log-space for huge operands.
+            (self.numerator.ln() - self.denominator.ln()).exp()
+        }
+    }
+
+    /// Checked subtraction: `self - other`, or `None` if the result would be
+    /// negative.
+    pub fn checked_sub(&self, other: &Ratio) -> Option<Ratio> {
+        let left = &self.numerator * &other.denominator;
+        let right = &other.numerator * &self.denominator;
+        let diff = left.checked_sub(&right)?;
+        Some(Ratio::new(diff, &self.denominator * &other.denominator))
+    }
+
+    /// The reciprocal `1 / self`.
+    ///
+    /// # Panics
+    /// Panics if the value is zero.
+    pub fn recip(&self) -> Ratio {
+        assert!(!self.is_zero(), "reciprocal of zero");
+        Ratio {
+            numerator: self.denominator.clone(),
+            denominator: self.numerator.clone(),
+        }
+    }
+}
+
+impl Default for Ratio {
+    fn default() -> Self {
+        Ratio::zero()
+    }
+}
+
+impl fmt::Debug for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ratio({self})")
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.denominator.is_one() {
+            write!(f, "{}", self.numerator)
+        } else {
+            write!(f, "{}/{}", self.numerator, self.denominator)
+        }
+    }
+}
+
+impl PartialOrd for Ratio {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ratio {
+    fn cmp(&self, other: &Self) -> Ordering {
+        let left = &self.numerator * &other.denominator;
+        let right = &other.numerator * &self.denominator;
+        left.cmp(&right)
+    }
+}
+
+impl Add for &Ratio {
+    type Output = Ratio;
+
+    fn add(self, rhs: &Ratio) -> Ratio {
+        let numerator =
+            &(&self.numerator * &rhs.denominator) + &(&rhs.numerator * &self.denominator);
+        Ratio::new(numerator, &self.denominator * &rhs.denominator)
+    }
+}
+
+impl Add for Ratio {
+    type Output = Ratio;
+
+    fn add(self, rhs: Ratio) -> Ratio {
+        &self + &rhs
+    }
+}
+
+impl AddAssign<&Ratio> for Ratio {
+    fn add_assign(&mut self, rhs: &Ratio) {
+        *self = &*self + rhs;
+    }
+}
+
+impl Sub for &Ratio {
+    type Output = Ratio;
+
+    /// # Panics
+    /// Panics if the result would be negative.
+    fn sub(self, rhs: &Ratio) -> Ratio {
+        self.checked_sub(rhs).expect("Ratio subtraction underflow")
+    }
+}
+
+impl Mul for &Ratio {
+    type Output = Ratio;
+
+    fn mul(self, rhs: &Ratio) -> Ratio {
+        Ratio::new(
+            &self.numerator * &rhs.numerator,
+            &self.denominator * &rhs.denominator,
+        )
+    }
+}
+
+impl Mul for Ratio {
+    type Output = Ratio;
+
+    fn mul(self, rhs: Ratio) -> Ratio {
+        &self * &rhs
+    }
+}
+
+impl MulAssign<&Ratio> for Ratio {
+    fn mul_assign(&mut self, rhs: &Ratio) {
+        *self = &*self * rhs;
+    }
+}
+
+impl Div for &Ratio {
+    type Output = Ratio;
+
+    /// # Panics
+    /// Panics if `rhs` is zero.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    fn div(self, rhs: &Ratio) -> Ratio {
+        self * &rhs.recip()
+    }
+}
+
+impl Sum for Ratio {
+    fn sum<I: Iterator<Item = Ratio>>(iter: I) -> Ratio {
+        iter.fold(Ratio::zero(), |acc, x| &acc + &x)
+    }
+}
+
+impl<'a> Sum<&'a Ratio> for Ratio {
+    fn sum<I: Iterator<Item = &'a Ratio>>(iter: I) -> Ratio {
+        iter.fold(Ratio::zero(), |acc, x| &acc + x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: u64, d: u64) -> Ratio {
+        Ratio::from_u64(n, d)
+    }
+
+    #[test]
+    fn reduction_to_lowest_terms() {
+        let x = r(6, 9);
+        assert_eq!(x.numerator().to_u64(), Some(2));
+        assert_eq!(x.denominator().to_u64(), Some(3));
+        assert_eq!(r(0, 7), Ratio::zero());
+    }
+
+    #[test]
+    fn addition_and_multiplication() {
+        assert_eq!(&r(1, 9) + &r(2, 9), r(1, 3));
+        assert_eq!(&r(3, 9) * &r(1, 3), r(1, 9));
+        assert_eq!(&r(1, 2) + &r(1, 3), r(5, 6));
+    }
+
+    #[test]
+    fn paper_running_example_probabilities_sum_to_one() {
+        // Uniform sequences: p1 = p5 = 3/9, p2 = p3 = p4 = 1/9.
+        let sum: Ratio = [r(3, 9), r(1, 9), r(1, 9), r(1, 9), r(3, 9)].iter().sum();
+        assert!(sum.is_one());
+        // Uniform repairs: 3/5 + 0 + 1/5 + 1/5 + 0 = 1.
+        let sum: Ratio = [r(3, 5), Ratio::zero(), r(1, 5), r(1, 5), Ratio::zero()]
+            .iter()
+            .sum();
+        assert!(sum.is_one());
+    }
+
+    #[test]
+    fn comparison() {
+        assert!(r(1, 3) < r(1, 2));
+        assert!(r(2, 4) == r(1, 2));
+        assert!(r(7, 3) > r(2, 1));
+    }
+
+    #[test]
+    fn subtraction_and_division() {
+        assert_eq!(&r(5, 6) - &r(1, 2), r(1, 3));
+        assert!(r(1, 3).checked_sub(&r(1, 2)).is_none());
+        assert_eq!(&r(1, 3) / &r(1, 6), r(2, 1));
+        assert_eq!(r(3, 7).recip(), r(7, 3));
+    }
+
+    #[test]
+    fn to_f64_accuracy() {
+        assert!((r(1, 4).to_f64() - 0.25).abs() < 1e-15);
+        assert!((r(24, 99).to_f64() - 24.0 / 99.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(r(3, 5).to_string(), "3/5");
+        assert_eq!(r(4, 2).to_string(), "2");
+        assert_eq!(Ratio::zero().to_string(), "0");
+    }
+}

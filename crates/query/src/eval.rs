@@ -1,0 +1,325 @@
+//! Homomorphism-based evaluation of conjunctive queries.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ucqa_db::{Database, FactId, FactSet, Value};
+
+use crate::{ConjunctiveQuery, QueryError, Term, Variable};
+
+/// A variable assignment produced by a homomorphism from a query into a
+/// database.
+pub type Bindings = BTreeMap<Variable, Value>;
+
+/// A single homomorphism `h` from a query `Q` into (a subset of) a database.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Homomorphism {
+    /// The variable bindings of `h`.
+    pub bindings: Bindings,
+    /// The image `h(Q)`: the facts hit by the atoms of `Q`, as ids into the
+    /// underlying database (deduplicated, sorted).
+    pub image: Vec<FactId>,
+}
+
+impl Homomorphism {
+    /// Applies the homomorphism to the answer variables, producing the
+    /// answer tuple `h(x̄)`.
+    pub fn answer_tuple(&self, query: &ConjunctiveQuery) -> Vec<Value> {
+        query
+            .answer_vars()
+            .iter()
+            .map(|v| {
+                self.bindings
+                    .get(v)
+                    .expect("answer variables are safe, so every homomorphism binds them")
+                    .clone()
+            })
+            .collect()
+    }
+}
+
+/// Evaluates conjunctive queries over sub-databases via backtracking join.
+///
+/// The evaluator is constructed once per query and database and can then be
+/// applied to many subsets `D' ⊆ D` (the typical usage pattern of the
+/// samplers: evaluate the same query on thousands of sampled repairs).
+#[derive(Debug, Clone)]
+pub struct QueryEvaluator {
+    query: ConjunctiveQuery,
+}
+
+impl QueryEvaluator {
+    /// Creates an evaluator for `query`.
+    pub fn new(query: ConjunctiveQuery) -> Self {
+        QueryEvaluator { query }
+    }
+
+    /// The underlying query.
+    pub fn query(&self) -> &ConjunctiveQuery {
+        &self.query
+    }
+
+    /// Enumerates all homomorphisms from the query into the sub-database
+    /// `subset ⊆ db`.
+    ///
+    /// If `max` is `Some(n)`, enumeration stops after `n` homomorphisms.
+    pub fn homomorphisms(
+        &self,
+        db: &Database,
+        subset: &FactSet,
+        max: Option<usize>,
+    ) -> Vec<Homomorphism> {
+        let mut results = Vec::new();
+        let mut bindings = Bindings::new();
+        let mut image = Vec::new();
+        self.search(db, subset, 0, &mut bindings, &mut image, &mut results, max);
+        results
+    }
+
+    /// Returns `true` iff at least one homomorphism exists, i.e. `D' ⊨ Q`
+    /// for Boolean queries (and "Q has some answer" otherwise).
+    pub fn entails(&self, db: &Database, subset: &FactSet) -> bool {
+        !self.homomorphisms(db, subset, Some(1)).is_empty()
+    }
+
+    /// The set of answers `Q(D')`.
+    pub fn answers(&self, db: &Database, subset: &FactSet) -> BTreeSet<Vec<Value>> {
+        self.homomorphisms(db, subset, None)
+            .iter()
+            .map(|h| h.answer_tuple(&self.query))
+            .collect()
+    }
+
+    /// Returns `true` iff the tuple `candidate` is an answer to the query
+    /// over `D'`, i.e. `candidate ∈ Q(D')`.
+    pub fn has_answer(
+        &self,
+        db: &Database,
+        subset: &FactSet,
+        candidate: &[Value],
+    ) -> Result<bool, QueryError> {
+        if candidate.len() != self.query.answer_vars().len() {
+            return Err(QueryError::AnswerArityMismatch {
+                expected: self.query.answer_vars().len(),
+                actual: candidate.len(),
+            });
+        }
+        // Pre-bind the answer variables to the candidate values and search.
+        let mut bindings = Bindings::new();
+        for (var, value) in self.query.answer_vars().iter().zip(candidate) {
+            if let Some(existing) = bindings.get(var) {
+                if existing != value {
+                    return Ok(false);
+                }
+            }
+            bindings.insert(var.clone(), value.clone());
+        }
+        let mut results = Vec::new();
+        let mut image = Vec::new();
+        self.search(db, subset, 0, &mut bindings, &mut image, &mut results, Some(1));
+        Ok(!results.is_empty())
+    }
+
+    /// Enumerates the homomorphisms `h` with `h(x̄) = candidate`, without a
+    /// limit.  Used by the lower-bound machinery, which needs the image
+    /// facts `h(Q)`.
+    pub fn homomorphisms_for_answer(
+        &self,
+        db: &Database,
+        subset: &FactSet,
+        candidate: &[Value],
+    ) -> Result<Vec<Homomorphism>, QueryError> {
+        if candidate.len() != self.query.answer_vars().len() {
+            return Err(QueryError::AnswerArityMismatch {
+                expected: self.query.answer_vars().len(),
+                actual: candidate.len(),
+            });
+        }
+        let mut bindings = Bindings::new();
+        for (var, value) in self.query.answer_vars().iter().zip(candidate) {
+            bindings.insert(var.clone(), value.clone());
+        }
+        let mut results = Vec::new();
+        let mut image = Vec::new();
+        self.search(db, subset, 0, &mut bindings, &mut image, &mut results, None);
+        Ok(results)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn search(
+        &self,
+        db: &Database,
+        subset: &FactSet,
+        atom_index: usize,
+        bindings: &mut Bindings,
+        image: &mut Vec<FactId>,
+        results: &mut Vec<Homomorphism>,
+        max: Option<usize>,
+    ) {
+        if let Some(limit) = max {
+            if results.len() >= limit {
+                return;
+            }
+        }
+        if atom_index == self.query.atoms().len() {
+            let mut image = image.clone();
+            image.sort();
+            image.dedup();
+            results.push(Homomorphism {
+                bindings: bindings.clone(),
+                image,
+            });
+            return;
+        }
+        let atom = &self.query.atoms()[atom_index];
+        for &fact_id in db.facts_of(atom.relation()) {
+            if !subset.contains(fact_id) {
+                continue;
+            }
+            let fact = db.fact(fact_id);
+            // Try to unify the atom's terms with the fact's values.
+            let mut newly_bound: Vec<Variable> = Vec::new();
+            let mut ok = true;
+            for (term, value) in atom.terms().iter().zip(fact.values()) {
+                match term {
+                    Term::Const(c) => {
+                        if c != value {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    Term::Var(v) => match bindings.get(v) {
+                        Some(bound) => {
+                            if bound != value {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        None => {
+                            bindings.insert(v.clone(), value.clone());
+                            newly_bound.push(v.clone());
+                        }
+                    },
+                }
+            }
+            if ok {
+                image.push(fact_id);
+                self.search(db, subset, atom_index + 1, bindings, image, results, max);
+                image.pop();
+            }
+            for v in newly_bound {
+                bindings.remove(&v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use ucqa_db::Schema;
+
+    /// A small graph encoded as a database, following the B.1 reduction
+    /// layout: V(node, colour), E(src, dst), T(flag).
+    fn graph_db() -> Database {
+        let mut schema = Schema::new();
+        schema.add_relation("V", &["N", "C"]).unwrap();
+        schema.add_relation("E", &["S", "T"]).unwrap();
+        schema.add_relation("T", &["X"]).unwrap();
+        let mut db = Database::with_schema(schema);
+        for node in ["u", "v", "w"] {
+            db.insert_values("V", [Value::str(node), Value::int(0)]).unwrap();
+            db.insert_values("V", [Value::str(node), Value::int(1)]).unwrap();
+        }
+        db.insert_values("E", [Value::str("u"), Value::str("v")]).unwrap();
+        db.insert_values("E", [Value::str("v"), Value::str("w")]).unwrap();
+        db.insert_values("T", [Value::int(1)]).unwrap();
+        db
+    }
+
+    #[test]
+    fn boolean_entailment() {
+        let db = graph_db();
+        let q = parse_query(db.schema(), "Ans() :- E(x, y), V(x, z), V(y, z), T(z)").unwrap();
+        let eval = QueryEvaluator::new(q);
+        // Full database contains V(u,1), V(v,1), E(u,v), T(1) → entailed.
+        assert!(eval.entails(&db, &db.all_facts()));
+        // Remove all colour-1 facts for u: V(u,1) is fact id 1.
+        let mut subset = db.all_facts();
+        subset.remove(FactId::new(1));
+        subset.remove(FactId::new(3)); // V(v,1)
+        assert!(!eval.entails(&db, &subset));
+    }
+
+    #[test]
+    fn answers_and_has_answer() {
+        let db = graph_db();
+        let q = parse_query(db.schema(), "Ans(x, y) :- E(x, y)").unwrap();
+        let eval = QueryEvaluator::new(q);
+        let answers = eval.answers(&db, &db.all_facts());
+        assert_eq!(answers.len(), 2);
+        assert!(answers.contains(&vec![Value::str("u"), Value::str("v")]));
+        assert!(eval
+            .has_answer(&db, &db.all_facts(), &[Value::str("v"), Value::str("w")])
+            .unwrap());
+        assert!(!eval
+            .has_answer(&db, &db.all_facts(), &[Value::str("w"), Value::str("u")])
+            .unwrap());
+        assert!(eval.has_answer(&db, &db.all_facts(), &[Value::str("v")]).is_err());
+    }
+
+    #[test]
+    fn homomorphism_images_contain_hit_facts() {
+        let db = graph_db();
+        let q = parse_query(db.schema(), "Ans() :- V(x, 1), T(1)").unwrap();
+        let eval = QueryEvaluator::new(q);
+        let homs = eval.homomorphisms(&db, &db.all_facts(), None);
+        // One homomorphism per node (x ∈ {u, v, w}).
+        assert_eq!(homs.len(), 3);
+        for h in &homs {
+            assert_eq!(h.image.len(), 2); // a V fact plus the T fact
+        }
+    }
+
+    #[test]
+    fn constants_in_atoms_filter_matches() {
+        let db = graph_db();
+        let q = parse_query(db.schema(), "Ans(x) :- V(x, 0)").unwrap();
+        let eval = QueryEvaluator::new(q);
+        assert_eq!(eval.answers(&db, &db.all_facts()).len(), 3);
+        let q = parse_query(db.schema(), "Ans(x) :- V('u', x)").unwrap();
+        let eval = QueryEvaluator::new(q);
+        let answers = eval.answers(&db, &db.all_facts());
+        assert_eq!(answers.len(), 2);
+        assert!(answers.contains(&vec![Value::int(0)]));
+    }
+
+    #[test]
+    fn repeated_variables_enforce_equality() {
+        let db = graph_db();
+        // E(x, x) has no match in this graph (no self loops).
+        let q = parse_query(db.schema(), "Ans() :- E(x, x)").unwrap();
+        let eval = QueryEvaluator::new(q);
+        assert!(!eval.entails(&db, &db.all_facts()));
+    }
+
+    #[test]
+    fn homomorphisms_for_answer_prebinds_answer_vars() {
+        let db = graph_db();
+        let q = parse_query(db.schema(), "Ans(x) :- V(x, z), T(z)").unwrap();
+        let eval = QueryEvaluator::new(q);
+        let homs = eval
+            .homomorphisms_for_answer(&db, &db.all_facts(), &[Value::str("u")])
+            .unwrap();
+        assert_eq!(homs.len(), 1);
+        assert_eq!(homs[0].bindings.get(&Variable::new("z")), Some(&Value::int(1)));
+    }
+
+    #[test]
+    fn empty_subset_entails_nothing() {
+        let db = graph_db();
+        let q = parse_query(db.schema(), "Ans() :- T(1)").unwrap();
+        let eval = QueryEvaluator::new(q);
+        assert!(!eval.entails(&db, &FactSet::empty(db.len())));
+    }
+}

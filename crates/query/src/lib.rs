@@ -1,0 +1,28 @@
+//! # `ucqa-query`
+//!
+//! Conjunctive queries (Section 2 of the paper): abstract syntax, a small
+//! textual parser, and homomorphism-based evaluation.
+//!
+//! A conjunctive query has the form `Ans(x̄) :- R₁(ȳ₁), …, Rₙ(ȳₙ)` where
+//! each `Rᵢ(ȳᵢ)` is a relational atom over variables and constants and the
+//! answer variables `x̄` all occur in the body.  Evaluation is defined via
+//! homomorphisms into a database; [`eval`] enumerates them with a simple
+//! indexed backtracking join, which is all the paper's algorithms need
+//! (queries are fixed — data complexity).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod error;
+pub mod eval;
+pub mod parser;
+
+pub use ast::{Atom, ConjunctiveQuery, Term, Variable};
+pub use error::QueryError;
+pub use eval::{Bindings, QueryEvaluator};
+
+/// Commonly used types, re-exported for convenience.
+pub mod prelude {
+    pub use crate::{Atom, Bindings, ConjunctiveQuery, QueryError, QueryEvaluator, Term, Variable};
+}

@@ -1,0 +1,261 @@
+//! A small textual parser for conjunctive queries.
+//!
+//! Syntax (close to the paper's notation):
+//!
+//! ```text
+//! Ans(x, y) :- E(x, y), V(x, z), T('one'), S(42)
+//! ```
+//!
+//! * Bare identifiers (`x`, `y`, `z`, …) are **variables**.
+//! * Single- or double-quoted tokens (`'a1'`, `"Alice"`) are **string
+//!   constants**.
+//! * Integer literals (`42`, `-7`) are **integer constants**.
+//! * The head may be written `Ans()` (or omitted entirely with a leading
+//!   `:-`) for Boolean queries.
+
+use ucqa_db::{Schema, Value};
+
+use crate::{Atom, ConjunctiveQuery, QueryError, Term, Variable};
+
+/// Parses a conjunctive query from its textual representation.
+pub fn parse_query(schema: &Schema, input: &str) -> Result<ConjunctiveQuery, QueryError> {
+    Parser::new(input).parse(schema)
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser { input, pos: 0 }
+    }
+
+    fn error(&self, message: impl Into<String>) -> QueryError {
+        QueryError::Parse {
+            message: message.into(),
+            position: self.pos,
+        }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        let trimmed = self.rest().trim_start();
+        self.pos = self.input.len() - trimmed.len();
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        self.skip_ws();
+        if self.rest().starts_with(token) {
+            self.pos += token.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, token: &str) -> Result<(), QueryError> {
+        if self.eat(token) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{token}`")))
+        }
+    }
+
+    fn parse_identifier(&mut self) -> Result<&'a str, QueryError> {
+        self.skip_ws();
+        let rest = self.rest();
+        let end = rest
+            .char_indices()
+            .find(|(_, c)| !(c.is_alphanumeric() || *c == '_'))
+            .map(|(i, _)| i)
+            .unwrap_or(rest.len());
+        if end == 0 {
+            return Err(self.error("expected an identifier"));
+        }
+        let ident = &rest[..end];
+        self.pos += end;
+        Ok(ident)
+    }
+
+    fn parse_term(&mut self) -> Result<Term, QueryError> {
+        self.skip_ws();
+        let rest = self.rest();
+        let first = rest
+            .chars()
+            .next()
+            .ok_or_else(|| self.error("expected a term"))?;
+        if first == '\'' || first == '"' {
+            let quote = first;
+            let inner = &rest[1..];
+            let close = inner
+                .find(quote)
+                .ok_or_else(|| self.error("unterminated string constant"))?;
+            let text = &inner[..close];
+            self.pos += close + 2;
+            return Ok(Term::Const(Value::str(text)));
+        }
+        if first.is_ascii_digit() || first == '-' {
+            let end = rest
+                .char_indices()
+                .skip(1)
+                .find(|(_, c)| !c.is_ascii_digit())
+                .map(|(i, _)| i)
+                .unwrap_or(rest.len());
+            let literal = &rest[..end];
+            let value: i64 = literal
+                .parse()
+                .map_err(|_| self.error(format!("invalid integer literal `{literal}`")))?;
+            self.pos += end;
+            return Ok(Term::Const(Value::int(value)));
+        }
+        let ident = self.parse_identifier()?;
+        Ok(Term::Var(Variable::new(ident)))
+    }
+
+    fn parse_term_list(&mut self) -> Result<Vec<Term>, QueryError> {
+        self.expect("(")?;
+        let mut terms = Vec::new();
+        self.skip_ws();
+        if self.eat(")") {
+            return Ok(terms);
+        }
+        loop {
+            terms.push(self.parse_term()?);
+            self.skip_ws();
+            if self.eat(")") {
+                return Ok(terms);
+            }
+            self.expect(",")?;
+        }
+    }
+
+    fn parse(&mut self, schema: &Schema) -> Result<ConjunctiveQuery, QueryError> {
+        self.skip_ws();
+        // Head: either "Ans(...) :-" (any head predicate name is accepted)
+        // or a bare ":-" for Boolean queries.
+        let answer_vars = if self.rest().starts_with(":-") {
+            Vec::new()
+        } else {
+            let _head_name = self.parse_identifier()?;
+            let head_terms = self.parse_term_list()?;
+            let mut vars = Vec::with_capacity(head_terms.len());
+            for term in head_terms {
+                match term {
+                    Term::Var(v) => vars.push(v),
+                    Term::Const(c) => {
+                        return Err(
+                            self.error(format!("constants (`{c}`) are not allowed in the head"))
+                        )
+                    }
+                }
+            }
+            vars
+        };
+        self.expect(":-")?;
+
+        let mut atoms = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.rest().is_empty() {
+                break;
+            }
+            let name = self.parse_identifier()?;
+            let relation = schema.relation_id(name)?;
+            let terms = self.parse_term_list()?;
+            atoms.push(Atom::new(relation, terms));
+            self.skip_ws();
+            if !self.eat(",") {
+                break;
+            }
+        }
+        self.skip_ws();
+        if !self.rest().is_empty() {
+            return Err(self.error("unexpected trailing input"));
+        }
+        ConjunctiveQuery::new(schema, answer_vars, atoms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        let mut schema = Schema::new();
+        schema.add_relation("E", &["S", "T"]).unwrap();
+        schema.add_relation("V", &["N", "C"]).unwrap();
+        schema.add_relation("T", &["X"]).unwrap();
+        schema
+    }
+
+    #[test]
+    fn parse_paper_query() {
+        // The query of Theorem 5.1(1): Ans() :- E(x,y), V(x,z), V(y,z), T(z).
+        let schema = schema();
+        let q = parse_query(&schema, "Ans() :- E(x, y), V(x, z), V(y, z), T(z)").unwrap();
+        assert!(q.is_boolean());
+        assert_eq!(q.atom_count(), 4);
+        assert_eq!(q.variables().len(), 3);
+    }
+
+    #[test]
+    fn parse_with_answer_variables_and_constants() {
+        let schema = schema();
+        let q = parse_query(&schema, "Ans(x) :- V(x, 'b1'), T(1)").unwrap();
+        assert_eq!(q.answer_vars().len(), 1);
+        assert_eq!(q.constants().len(), 2);
+        assert_eq!(
+            q.display(&schema).to_string(),
+            "Ans(x) :- V(x, b1), T(1)"
+        );
+    }
+
+    #[test]
+    fn parse_bare_boolean_form() {
+        let schema = schema();
+        let q = parse_query(&schema, ":- T(0)").unwrap();
+        assert!(q.is_boolean());
+        assert!(q.is_atomic());
+    }
+
+    #[test]
+    fn parse_negative_integer() {
+        let schema = schema();
+        let q = parse_query(&schema, "Ans() :- V(x, -5)").unwrap();
+        assert!(q.constants().contains(&Value::int(-5)));
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        let schema = schema();
+        assert!(matches!(
+            parse_query(&schema, "Ans(x) :- Unknown(x)"),
+            Err(QueryError::Db(_))
+        ));
+        assert!(matches!(
+            parse_query(&schema, "Ans(x) :- E(x"),
+            Err(QueryError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse_query(&schema, "Ans(x) :- E(x, 'unterminated)"),
+            Err(QueryError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse_query(&schema, "Ans(1) :- E(x, y)"),
+            Err(QueryError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse_query(&schema, "Ans(z) :- E(x, y)"),
+            Err(QueryError::UnsafeAnswerVariable { .. })
+        ));
+        assert!(matches!(
+            parse_query(&schema, "Ans() :- E(x, y) garbage"),
+            Err(QueryError::Parse { .. })
+        ));
+    }
+}

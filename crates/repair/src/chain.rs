@@ -1,0 +1,199 @@
+//! Repairing Markov chains (Definition 3.5).
+
+use ucqa_numeric::Ratio;
+
+use crate::{NodeId, RepairingTree};
+
+/// A `(D, Σ)`-repairing Markov chain: the repairing tree together with a
+/// probability on every edge, such that the probabilities of the edges
+/// leaving any non-leaf node sum to 1 (Definition 3.5).
+///
+/// Probabilities are exact rationals; the chain therefore reproduces the
+/// paper's worked probabilities exactly.
+#[derive(Debug, Clone)]
+pub struct RepairingMarkovChain {
+    tree: RepairingTree,
+    /// `edge_probability[v]` is `P(parent(v), v)`; the root entry is 1.
+    edge_probability: Vec<Ratio>,
+}
+
+impl RepairingMarkovChain {
+    /// Wraps a tree with edge probabilities.
+    ///
+    /// `edge_probability[v]` must be the probability of the edge from the
+    /// parent of `v` into `v` (the root entry is ignored and normalised to
+    /// 1).  The constructor validates that, for every non-leaf node, the
+    /// probabilities of the outgoing edges sum to exactly 1.
+    ///
+    /// # Panics
+    /// Panics if the vector length does not match the number of tree nodes
+    /// or if some node's outgoing probabilities do not sum to 1 — these are
+    /// programming errors of a generator, not data errors.
+    pub fn new(tree: RepairingTree, mut edge_probability: Vec<Ratio>) -> Self {
+        assert_eq!(
+            edge_probability.len(),
+            tree.node_count(),
+            "one edge probability per node is required"
+        );
+        edge_probability[tree.root().index()] = Ratio::one();
+        for node in tree.node_ids() {
+            let children = tree.children(node);
+            if children.is_empty() {
+                continue;
+            }
+            let sum: Ratio = children
+                .iter()
+                .map(|c| edge_probability[c.index()].clone())
+                .sum();
+            assert!(
+                sum.is_one(),
+                "outgoing probabilities of node {node:?} sum to {sum}, not 1"
+            );
+        }
+        RepairingMarkovChain {
+            tree,
+            edge_probability,
+        }
+    }
+
+    /// The underlying repairing tree.
+    pub fn tree(&self) -> &RepairingTree {
+        &self.tree
+    }
+
+    /// The probability of the edge from `node`'s parent into `node`
+    /// (1 for the root).
+    pub fn edge_probability(&self, node: NodeId) -> &Ratio {
+        &self.edge_probability[node.index()]
+    }
+
+    /// The leaf distribution `π`: for every leaf, the product of the edge
+    /// probabilities along the unique path from the root.
+    ///
+    /// Returned as a vector indexed by node id (non-leaf entries are the
+    /// path products as well, which is occasionally useful for
+    /// diagnostics).
+    pub fn path_probabilities(&self) -> Vec<Ratio> {
+        let mut probabilities = vec![Ratio::one(); self.tree.node_count()];
+        // Parents precede children in id order (DFS preorder).
+        for node in self.tree.node_ids() {
+            if let Some(parent) = self.tree.parent(node) {
+                probabilities[node.index()] =
+                    &probabilities[parent.index()] * &self.edge_probability[node.index()];
+            }
+        }
+        probabilities
+    }
+
+    /// The leaf distribution `π` restricted to leaves, as `(leaf, π(leaf))`
+    /// pairs in DFS order.
+    pub fn leaf_distribution(&self) -> Vec<(NodeId, Ratio)> {
+        let probabilities = self.path_probabilities();
+        self.tree
+            .leaves()
+            .iter()
+            .map(|&leaf| (leaf, probabilities[leaf.index()].clone()))
+            .collect()
+    }
+
+    /// The reachable leaves `RL(T)`: leaves with non-zero probability.
+    pub fn reachable_leaves(&self) -> Vec<NodeId> {
+        self.leaf_distribution()
+            .into_iter()
+            .filter(|(_, p)| !p.is_zero())
+            .map(|(leaf, _)| leaf)
+            .collect()
+    }
+
+    /// Checks that the leaf distribution sums to 1 (it always does for a
+    /// well-formed chain; exposed for tests and diagnostics).
+    pub fn leaf_distribution_sums_to_one(&self) -> bool {
+        let total: Ratio = self
+            .leaf_distribution()
+            .into_iter()
+            .map(|(_, p)| p)
+            .sum();
+        total.is_one()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TreeLimits;
+    use ucqa_db::{Database, FdSet, FunctionalDependency, Schema, Value};
+
+    fn running_example() -> (Database, FdSet) {
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["A", "B", "C"]).unwrap();
+        let mut db = Database::with_schema(schema);
+        db.insert_values("R", [Value::str("a1"), Value::str("b1"), Value::str("c1")])
+            .unwrap();
+        db.insert_values("R", [Value::str("a1"), Value::str("b2"), Value::str("c2")])
+            .unwrap();
+        db.insert_values("R", [Value::str("a2"), Value::str("b1"), Value::str("c2")])
+            .unwrap();
+        let mut sigma = FdSet::new();
+        sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["A"], &["B"]).unwrap());
+        sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["C"], &["B"]).unwrap());
+        (db, sigma)
+    }
+
+    fn uniform_child_probabilities(tree: &RepairingTree) -> Vec<Ratio> {
+        let mut probs = vec![Ratio::one(); tree.node_count()];
+        for node in tree.node_ids() {
+            let children = tree.children(node);
+            for &child in children {
+                probs[child.index()] = Ratio::from_u64(1, children.len() as u64);
+            }
+        }
+        probs
+    }
+
+    #[test]
+    fn uniform_operations_chain_has_consistent_leaf_distribution() {
+        let (db, sigma) = running_example();
+        let tree = RepairingTree::build(&db, &sigma, false, TreeLimits::default()).unwrap();
+        let probs = uniform_child_probabilities(&tree);
+        let chain = RepairingMarkovChain::new(tree, probs);
+        assert!(chain.leaf_distribution_sums_to_one());
+        assert_eq!(chain.reachable_leaves().len(), 9);
+        // Leaves under -f1 or -f3 have probability 1/5 · 1/3 = 1/15; the
+        // three leaves directly under the root have probability 1/5.
+        let dist = chain.leaf_distribution();
+        let mut values: Vec<Ratio> = dist.into_iter().map(|(_, p)| p).collect();
+        values.sort();
+        assert_eq!(values[0], Ratio::from_u64(1, 15));
+        assert_eq!(values[8], Ratio::from_u64(1, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to")]
+    fn invalid_probabilities_are_rejected() {
+        let (db, sigma) = running_example();
+        let tree = RepairingTree::build(&db, &sigma, false, TreeLimits::default()).unwrap();
+        let probs = vec![Ratio::from_u64(1, 2); tree.node_count()];
+        let _ = RepairingMarkovChain::new(tree, probs);
+    }
+
+    #[test]
+    fn zero_probability_edges_make_leaves_unreachable() {
+        let (db, sigma) = running_example();
+        let tree = RepairingTree::build(&db, &sigma, false, TreeLimits::default()).unwrap();
+        // Root sends everything to its first child; deeper nodes stay
+        // uniform.
+        let mut probs = uniform_child_probabilities(&tree);
+        let root_children: Vec<NodeId> = tree.children(tree.root()).to_vec();
+        for (i, child) in root_children.iter().enumerate() {
+            probs[child.index()] = if i == 0 {
+                Ratio::one()
+            } else {
+                Ratio::zero()
+            };
+        }
+        let chain = RepairingMarkovChain::new(tree, probs);
+        assert!(chain.leaf_distribution_sums_to_one());
+        // Only the three leaves in the first child's subtree stay reachable.
+        assert_eq!(chain.reachable_leaves().len(), 3);
+    }
+}

@@ -1,0 +1,75 @@
+//! Error types for the operational repair machinery.
+
+use std::fmt;
+
+use ucqa_db::DbError;
+
+/// Errors raised while building repairing trees, Markov chains, or
+/// operational semantics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RepairError {
+    /// The explicit repairing tree would exceed the configured node limit.
+    ///
+    /// The number of repairing sequences is exponential in the database
+    /// size; exact construction is only intended for small instances.
+    TreeTooLarge {
+        /// The configured limit that was exceeded.
+        limit: usize,
+    },
+    /// An operation was applied that is not justified at the current step.
+    UnjustifiedOperation {
+        /// Position of the offending operation in the sequence (0-based).
+        position: usize,
+    },
+    /// An operation refers to a fact outside the database's universe.
+    FactOutOfRange {
+        /// The offending fact index.
+        index: usize,
+        /// The size of the database universe.
+        universe: usize,
+    },
+    /// An error from the underlying database layer (e.g. the constraint
+    /// class required by a generator is not met).
+    Db(DbError),
+}
+
+impl fmt::Display for RepairError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RepairError::TreeTooLarge { limit } => write!(
+                f,
+                "the repairing tree exceeds the configured limit of {limit} nodes; \
+                 use the sampling-based algorithms for databases of this size"
+            ),
+            RepairError::UnjustifiedOperation { position } => {
+                write!(f, "operation at position {position} is not justified")
+            }
+            RepairError::FactOutOfRange { index, universe } => write!(
+                f,
+                "operation refers to fact #{index}, but the database has only {universe} facts"
+            ),
+            RepairError::Db(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RepairError {}
+
+impl From<DbError> for RepairError {
+    fn from(e: DbError) -> Self {
+        RepairError::Db(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = RepairError::TreeTooLarge { limit: 10_000 };
+        assert!(e.to_string().contains("10000"));
+        let e = RepairError::UnjustifiedOperation { position: 3 };
+        assert!(e.to_string().contains('3'));
+    }
+}

@@ -1,0 +1,299 @@
+//! The uniform repairing Markov-chain generators (Section 4, Appendix A).
+//!
+//! A repairing Markov-chain generator `M_Σ` maps every database `D` to a
+//! `(D, Σ)`-repairing Markov chain.  The paper studies three "uniform"
+//! generators, each optionally restricted to singleton operations:
+//!
+//! * **Uniform repairs** `M^ur_Σ` — the leaf distribution is uniform over
+//!   the candidate repairs `CORep(D, Σ)`.  Realised by routing all
+//!   probability to *canonical* complete sequences (Definition A.1).
+//! * **Uniform sequences** `M^us_Σ` — the leaf distribution is uniform over
+//!   the complete sequences `CRS(D, Σ)` (Definition A.3).
+//! * **Uniform operations** `M^uo_Σ` — every available operation at a step
+//!   is equally likely (Definition A.5).
+//!
+//! This module constructs the chains *exactly* (rational probabilities over
+//! the explicit tree); it is exponential in `|D|` and intended for small
+//! instances, tests, and as ground truth for the polynomial samplers in
+//! `ucqa-core`.
+
+use std::fmt;
+
+use ucqa_db::{Database, FdSet};
+use ucqa_numeric::Ratio;
+
+use crate::{RepairError, RepairingMarkovChain, RepairingTree, TreeLimits};
+
+/// The three uniform semantics studied in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UniformSemantics {
+    /// `M^ur_Σ`: uniform over candidate operational repairs.
+    Repairs,
+    /// `M^us_Σ`: uniform over complete repairing sequences.
+    Sequences,
+    /// `M^uo_Σ`: uniform over the operations available at each step.
+    Operations,
+}
+
+impl fmt::Display for UniformSemantics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UniformSemantics::Repairs => write!(f, "uniform-repairs"),
+            UniformSemantics::Sequences => write!(f, "uniform-sequences"),
+            UniformSemantics::Operations => write!(f, "uniform-operations"),
+        }
+    }
+}
+
+/// A fully specified uniform generator: a semantics plus the choice of
+/// operation space (all justified operations, or singleton removals only —
+/// the `M^{·,1}` variants of Section 7 and Appendix E).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GeneratorSpec {
+    /// Which uniform distribution the generator targets.
+    pub semantics: UniformSemantics,
+    /// Whether only single-fact removals are considered.
+    pub singleton_only: bool,
+}
+
+impl GeneratorSpec {
+    /// `M^ur_Σ`.
+    pub fn uniform_repairs() -> Self {
+        GeneratorSpec {
+            semantics: UniformSemantics::Repairs,
+            singleton_only: false,
+        }
+    }
+
+    /// `M^us_Σ`.
+    pub fn uniform_sequences() -> Self {
+        GeneratorSpec {
+            semantics: UniformSemantics::Sequences,
+            singleton_only: false,
+        }
+    }
+
+    /// `M^uo_Σ`.
+    pub fn uniform_operations() -> Self {
+        GeneratorSpec {
+            semantics: UniformSemantics::Operations,
+            singleton_only: false,
+        }
+    }
+
+    /// The singleton-operation variant `M^{·,1}_Σ` of this generator.
+    pub fn with_singleton_only(mut self) -> Self {
+        self.singleton_only = true;
+        self
+    }
+
+    /// A short name such as `M^uo` or `M^ur,1`, for reports.
+    pub fn short_name(&self) -> String {
+        let base = match self.semantics {
+            UniformSemantics::Repairs => "M^ur",
+            UniformSemantics::Sequences => "M^us",
+            UniformSemantics::Operations => "M^uo",
+        };
+        if self.singleton_only {
+            format!("{base},1")
+        } else {
+            base.to_string()
+        }
+    }
+
+    /// Builds the exact `(D, Σ)`-repairing Markov chain of this generator.
+    ///
+    /// The chain is exponential in `|D|`; construction is guarded by
+    /// `limits`.
+    pub fn build_chain(
+        &self,
+        db: &Database,
+        sigma: &FdSet,
+        limits: TreeLimits,
+    ) -> Result<RepairingMarkovChain, RepairError> {
+        let tree = RepairingTree::build(db, sigma, self.singleton_only, limits)?;
+        let probabilities = match self.semantics {
+            UniformSemantics::Operations => uniform_operation_probabilities(&tree),
+            UniformSemantics::Sequences => {
+                proportional_probabilities(&tree, &tree.subtree_leaf_counts())
+            }
+            UniformSemantics::Repairs => {
+                proportional_probabilities(&tree, &tree.canonical_subtree_leaf_counts())
+            }
+        };
+        Ok(RepairingMarkovChain::new(tree, probabilities))
+    }
+}
+
+/// Edge probabilities of `M^uo`: each child of a node with `k` children gets
+/// probability `1/k`.
+fn uniform_operation_probabilities(tree: &RepairingTree) -> Vec<Ratio> {
+    let mut probabilities = vec![Ratio::one(); tree.node_count()];
+    for node in tree.node_ids() {
+        let children = tree.children(node);
+        if children.is_empty() {
+            continue;
+        }
+        let p = Ratio::from_u64(1, children.len() as u64);
+        for &child in children {
+            probabilities[child.index()] = p.clone();
+        }
+    }
+    probabilities
+}
+
+/// Edge probabilities proportional to a per-node weight (the subtree leaf
+/// counts for `M^us`, the canonical subtree leaf counts for `M^ur`):
+/// `P(s, s') = weight(s') / weight(s)`, falling back to the uniform choice
+/// `1/|children|` when `weight(s) = 0` (Definition A.1's "otherwise" case).
+fn proportional_probabilities(tree: &RepairingTree, weights: &[u64]) -> Vec<Ratio> {
+    let mut probabilities = vec![Ratio::one(); tree.node_count()];
+    for node in tree.node_ids() {
+        let children = tree.children(node);
+        if children.is_empty() {
+            continue;
+        }
+        let parent_weight = weights[node.index()];
+        for &child in children {
+            probabilities[child.index()] = if parent_weight == 0 {
+                Ratio::from_u64(1, children.len() as u64)
+            } else {
+                Ratio::from_u64(weights[child.index()], parent_weight)
+            };
+        }
+    }
+    probabilities
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use ucqa_db::{Database, FactSet, FunctionalDependency, Schema, Value};
+
+    fn running_example() -> (Database, FdSet) {
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["A", "B", "C"]).unwrap();
+        let mut db = Database::with_schema(schema);
+        db.insert_values("R", [Value::str("a1"), Value::str("b1"), Value::str("c1")])
+            .unwrap();
+        db.insert_values("R", [Value::str("a1"), Value::str("b2"), Value::str("c2")])
+            .unwrap();
+        db.insert_values("R", [Value::str("a2"), Value::str("b1"), Value::str("c2")])
+            .unwrap();
+        let mut sigma = FdSet::new();
+        sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["A"], &["B"]).unwrap());
+        sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["C"], &["B"]).unwrap());
+        (db, sigma)
+    }
+
+    fn root_child_probabilities(chain: &RepairingMarkovChain) -> Vec<Ratio> {
+        chain
+            .tree()
+            .children(chain.tree().root())
+            .iter()
+            .map(|&c| chain.edge_probability(c).clone())
+            .collect()
+    }
+
+    #[test]
+    fn uniform_sequences_reproduces_section4_numbers() {
+        // p1 = p5 = 3/9, p2 = p3 = p4 = 1/9; every leaf has π = 1/9.
+        let (db, sigma) = running_example();
+        let chain = GeneratorSpec::uniform_sequences()
+            .build_chain(&db, &sigma, TreeLimits::default())
+            .unwrap();
+        assert_eq!(
+            root_child_probabilities(&chain),
+            vec![
+                Ratio::from_u64(3, 9),
+                Ratio::from_u64(1, 9),
+                Ratio::from_u64(1, 9),
+                Ratio::from_u64(1, 9),
+                Ratio::from_u64(3, 9),
+            ]
+        );
+        for (_, p) in chain.leaf_distribution() {
+            assert_eq!(p, Ratio::from_u64(1, 9));
+        }
+        assert_eq!(chain.reachable_leaves().len(), 9);
+    }
+
+    #[test]
+    fn uniform_repairs_reproduces_section4_numbers() {
+        // p1 = 3/5, p2 = p5 = 0, p3 = p4 = 1/5; five reachable leaves with
+        // π = 1/5 each, one per candidate repair.
+        let (db, sigma) = running_example();
+        let chain = GeneratorSpec::uniform_repairs()
+            .build_chain(&db, &sigma, TreeLimits::default())
+            .unwrap();
+        assert_eq!(
+            root_child_probabilities(&chain),
+            vec![
+                Ratio::from_u64(3, 5),
+                Ratio::zero(),
+                Ratio::from_u64(1, 5),
+                Ratio::from_u64(1, 5),
+                Ratio::zero(),
+            ]
+        );
+        let reachable = chain.reachable_leaves();
+        assert_eq!(reachable.len(), 5);
+        // Each reachable leaf carries probability exactly 1/5, and their
+        // results are pairwise distinct (one per operational repair).
+        let mut results: BTreeMap<FactSet, Ratio> = BTreeMap::new();
+        let probabilities = chain.path_probabilities();
+        for leaf in reachable {
+            let result = chain.tree().subset(leaf).clone();
+            let p = probabilities[leaf.index()].clone();
+            assert_eq!(p, Ratio::from_u64(1, 5));
+            assert!(results.insert(result, p).is_none());
+        }
+        assert_eq!(results.len(), 5);
+    }
+
+    #[test]
+    fn uniform_operations_reproduces_section4_numbers() {
+        // p1 = … = p5 = 1/5 and p6 = … = p11 = 1/3.
+        let (db, sigma) = running_example();
+        let chain = GeneratorSpec::uniform_operations()
+            .build_chain(&db, &sigma, TreeLimits::default())
+            .unwrap();
+        assert_eq!(
+            root_child_probabilities(&chain),
+            vec![Ratio::from_u64(1, 5); 5]
+        );
+        for node in chain.tree().node_ids() {
+            if chain.tree().depth(node) == 2 {
+                assert_eq!(chain.edge_probability(node), &Ratio::from_u64(1, 3));
+            }
+        }
+        assert!(chain.leaf_distribution_sums_to_one());
+    }
+
+    #[test]
+    fn singleton_variants_produce_singleton_trees() {
+        let (db, sigma) = running_example();
+        for spec in [
+            GeneratorSpec::uniform_repairs().with_singleton_only(),
+            GeneratorSpec::uniform_sequences().with_singleton_only(),
+            GeneratorSpec::uniform_operations().with_singleton_only(),
+        ] {
+            let chain = spec.build_chain(&db, &sigma, TreeLimits::default()).unwrap();
+            assert!(chain.tree().singleton_only());
+            assert!(chain.leaf_distribution_sums_to_one());
+        }
+    }
+
+    #[test]
+    fn short_names() {
+        assert_eq!(GeneratorSpec::uniform_repairs().short_name(), "M^ur");
+        assert_eq!(
+            GeneratorSpec::uniform_operations()
+                .with_singleton_only()
+                .short_name(),
+            "M^uo,1"
+        );
+        assert_eq!(UniformSemantics::Sequences.to_string(), "uniform-sequences");
+    }
+}

@@ -1,0 +1,57 @@
+//! # `ucqa-repair`
+//!
+//! The operational approach to consistent query answering (Section 3 of the
+//! paper), specialised to functional dependencies:
+//!
+//! * [`Operation`] — fact deletions `−F` with `|F| ∈ {1, 2}`
+//!   (Definition 3.1) and justifiedness (Definition 3.3).
+//! * [`RepairingSequence`] — sequences of justified operations, their
+//!   results, and completeness (Definition 3.4).
+//! * [`RepairingTree`] — the explicit rooted tree whose nodes are the
+//!   repairing sequences `RS(D, Σ)` and whose leaves are the complete
+//!   sequences `CRS(D, Σ)`.
+//! * [`RepairingMarkovChain`] — a repairing Markov chain (Definition 3.5):
+//!   the tree together with edge probabilities, its leaf distribution and
+//!   reachable leaves.
+//! * [`generator`] — the uniform Markov-chain generators `M^ur`, `M^us`,
+//!   `M^uo` of Section 4 / Appendix A, and their singleton-operation
+//!   variants of Section 7 / Appendices D.4 and E.
+//! * [`OperationalSemantics`] — operational repairs with probabilities
+//!   `⟦D⟧_M` and answer probabilities `P_{M,Q}(D, c̄)`
+//!   (Definitions 3.7 / 3.8).
+//!
+//! Everything in this crate is *exact*: probabilities are rational numbers
+//! and the tree is materialised explicitly, which is exponential in `|D|`
+//! by nature.  These exact constructions are what the paper's proofs reason
+//! about and what the test-suite validates the polynomial samplers of
+//! `ucqa-core` against; the samplers themselves never build the tree.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chain;
+pub mod error;
+pub mod generator;
+pub mod operation;
+pub mod semantics;
+pub mod sequence;
+pub mod tree;
+pub mod weighted;
+
+pub use chain::RepairingMarkovChain;
+pub use error::RepairError;
+pub use generator::{GeneratorSpec, UniformSemantics};
+pub use operation::{justified_operations, Operation};
+pub use semantics::{OperationalSemantics, RepairProbability};
+pub use sequence::RepairingSequence;
+pub use weighted::{TrustWeightedGenerator, TrustWeights};
+pub use tree::{NodeId, RepairingTree, TreeLimits};
+
+/// Commonly used types, re-exported for convenience.
+pub mod prelude {
+    pub use crate::{
+        justified_operations, GeneratorSpec, Operation, OperationalSemantics,
+        RepairError, RepairingMarkovChain, RepairingSequence, RepairingTree, TreeLimits,
+        UniformSemantics,
+    };
+}

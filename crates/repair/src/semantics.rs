@@ -1,0 +1,279 @@
+//! Operational repairs, `⟦D⟧_M`, and answer probabilities
+//! (Definitions 3.7 and 3.8).
+
+use std::collections::BTreeMap;
+
+use ucqa_db::{Database, FactSet, Value};
+use ucqa_numeric::Ratio;
+use ucqa_query::QueryEvaluator;
+
+use crate::RepairingMarkovChain;
+
+/// A single entry of the operational semantics `⟦D⟧_M`: an operational
+/// repair together with its probability.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepairProbability {
+    /// The operational repair `D'` (as a subset of the original database).
+    pub repair: FactSet,
+    /// Its probability `P_{D,M}(D')`.
+    pub probability: Ratio,
+}
+
+/// The operational semantics of a database w.r.t. a repairing Markov chain:
+/// the set of operational repairs with their probabilities, and the derived
+/// answer probabilities (operational CQA).
+#[derive(Debug, Clone)]
+pub struct OperationalSemantics {
+    repairs: Vec<RepairProbability>,
+}
+
+impl OperationalSemantics {
+    /// Computes `⟦D⟧_M` from an (exact) repairing Markov chain: groups the
+    /// reachable leaves by their result and sums their leaf probabilities
+    /// (Definition 3.8).
+    pub fn from_chain(chain: &RepairingMarkovChain) -> Self {
+        let probabilities = chain.path_probabilities();
+        let mut by_repair: BTreeMap<FactSet, Ratio> = BTreeMap::new();
+        for &leaf in chain.tree().leaves() {
+            let p = probabilities[leaf.index()].clone();
+            if p.is_zero() {
+                continue;
+            }
+            let entry = by_repair
+                .entry(chain.tree().subset(leaf).clone())
+                .or_insert_with(Ratio::zero);
+            *entry = &*entry + &p;
+        }
+        let repairs = by_repair
+            .into_iter()
+            .map(|(repair, probability)| RepairProbability {
+                repair,
+                probability,
+            })
+            .collect();
+        OperationalSemantics { repairs }
+    }
+
+    /// The operational repairs with their probabilities.
+    pub fn repairs(&self) -> &[RepairProbability] {
+        &self.repairs
+    }
+
+    /// Number of operational repairs `|ORep(D, M_Σ)|`.
+    pub fn repair_count(&self) -> usize {
+        self.repairs.len()
+    }
+
+    /// The total probability mass (should always be 1; exposed for
+    /// diagnostics).
+    pub fn total_probability(&self) -> Ratio {
+        self.repairs.iter().map(|r| r.probability.clone()).sum()
+    }
+
+    /// The probability of `candidate` being an answer to the query over
+    /// some operational repair, i.e. `P_{M,Q}(D, c̄)`: the sum of the
+    /// probabilities of the repairs `D'` with `c̄ ∈ Q(D')`.
+    pub fn answer_probability(
+        &self,
+        db: &Database,
+        evaluator: &QueryEvaluator,
+        candidate: &[Value],
+    ) -> Result<Ratio, ucqa_query::QueryError> {
+        let mut total = Ratio::zero();
+        for entry in &self.repairs {
+            if evaluator.has_answer(db, &entry.repair, candidate)? {
+                total = &total + &entry.probability;
+            }
+        }
+        Ok(total)
+    }
+
+    /// The probability that the Boolean query is entailed by a random
+    /// operational repair, i.e. `P_{M,Q}(D, ())`.
+    pub fn entailment_probability(&self, db: &Database, evaluator: &QueryEvaluator) -> Ratio {
+        let mut total = Ratio::zero();
+        for entry in &self.repairs {
+            if evaluator.entails(db, &entry.repair) {
+                total = &total + &entry.probability;
+            }
+        }
+        total
+    }
+
+    /// The full set of *operational consistent answers*: every tuple of
+    /// values from the active domain (of the right arity) together with its
+    /// answer probability.  Only tuples with non-zero probability are
+    /// returned.
+    ///
+    /// This enumerates `|dom(D)|^{|x̄|}` candidate tuples and is intended
+    /// for small instances and examples; large-scale use goes through
+    /// [`OperationalSemantics::answer_probability`] for specific tuples.
+    pub fn consistent_answers(
+        &self,
+        db: &Database,
+        evaluator: &QueryEvaluator,
+    ) -> Result<Vec<(Vec<Value>, Ratio)>, ucqa_query::QueryError> {
+        let arity = evaluator.query().answer_vars().len();
+        if arity == 0 {
+            let p = self.entailment_probability(db, evaluator);
+            return Ok(if p.is_zero() {
+                Vec::new()
+            } else {
+                vec![(Vec::new(), p)]
+            });
+        }
+        let domain: Vec<Value> = db.active_domain().into_iter().collect();
+        let mut answers = Vec::new();
+        let mut indices = vec![0usize; arity];
+        loop {
+            let candidate: Vec<Value> =
+                indices.iter().map(|&i| domain[i].clone()).collect();
+            let p = self.answer_probability(db, evaluator, &candidate)?;
+            if !p.is_zero() {
+                answers.push((candidate, p));
+            }
+            // Advance the mixed-radix counter.
+            let mut position = arity;
+            loop {
+                if position == 0 {
+                    return Ok(answers);
+                }
+                position -= 1;
+                indices[position] += 1;
+                if indices[position] < domain.len() {
+                    break;
+                }
+                indices[position] = 0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GeneratorSpec, TreeLimits};
+    use ucqa_db::{Database, FdSet, FunctionalDependency, Schema};
+    use ucqa_query::parser::parse_query;
+
+    fn running_example() -> (Database, FdSet) {
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["A", "B", "C"]).unwrap();
+        let mut db = Database::with_schema(schema);
+        db.insert_values("R", [Value::str("a1"), Value::str("b1"), Value::str("c1")])
+            .unwrap();
+        db.insert_values("R", [Value::str("a1"), Value::str("b2"), Value::str("c2")])
+            .unwrap();
+        db.insert_values("R", [Value::str("a2"), Value::str("b1"), Value::str("c2")])
+            .unwrap();
+        let mut sigma = FdSet::new();
+        sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["A"], &["B"]).unwrap());
+        sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["C"], &["B"]).unwrap());
+        (db, sigma)
+    }
+
+    #[test]
+    fn uniform_repairs_semantics_matches_paper() {
+        // ORep(D, M^ur) = {∅, {f1}, {f2}, {f3}, {f1,f3}} each with
+        // probability 1/5.
+        let (db, sigma) = running_example();
+        let chain = GeneratorSpec::uniform_repairs()
+            .build_chain(&db, &sigma, TreeLimits::default())
+            .unwrap();
+        let semantics = OperationalSemantics::from_chain(&chain);
+        assert_eq!(semantics.repair_count(), 5);
+        assert!(semantics.total_probability().is_one());
+        for entry in semantics.repairs() {
+            assert_eq!(entry.probability, Ratio::from_u64(1, 5));
+        }
+    }
+
+    #[test]
+    fn uniform_sequences_semantics_weights_repairs_by_sequence_count() {
+        // Under M^us each of the 9 complete sequences has probability 1/9;
+        // the empty repair is reached by 2 sequences, {f2} and {f3} by 2
+        // each, {f1} by 2, and {f1,f3} by 1.
+        let (db, sigma) = running_example();
+        let chain = GeneratorSpec::uniform_sequences()
+            .build_chain(&db, &sigma, TreeLimits::default())
+            .unwrap();
+        let semantics = OperationalSemantics::from_chain(&chain);
+        assert_eq!(semantics.repair_count(), 5);
+        assert!(semantics.total_probability().is_one());
+        let mut probabilities: Vec<Ratio> = semantics
+            .repairs()
+            .iter()
+            .map(|r| r.probability.clone())
+            .collect();
+        probabilities.sort();
+        assert_eq!(
+            probabilities,
+            vec![
+                Ratio::from_u64(1, 9),
+                Ratio::from_u64(2, 9),
+                Ratio::from_u64(2, 9),
+                Ratio::from_u64(2, 9),
+                Ratio::from_u64(2, 9),
+            ]
+        );
+    }
+
+    #[test]
+    fn answer_probability_for_atomic_query() {
+        // Q: Ans() :- R(x, 'b1', y) — entailed by every repair containing
+        // f1 or f3.  Under M^ur these are {f1}, {f3}, {f1,f3} → 3/5.
+        let (db, sigma) = running_example();
+        let chain = GeneratorSpec::uniform_repairs()
+            .build_chain(&db, &sigma, TreeLimits::default())
+            .unwrap();
+        let semantics = OperationalSemantics::from_chain(&chain);
+        let q = parse_query(db.schema(), "Ans() :- R(x, 'b1', y)").unwrap();
+        let evaluator = QueryEvaluator::new(q);
+        assert_eq!(
+            semantics.entailment_probability(&db, &evaluator),
+            Ratio::from_u64(3, 5)
+        );
+        assert_eq!(
+            semantics
+                .answer_probability(&db, &evaluator, &[])
+                .unwrap(),
+            Ratio::from_u64(3, 5)
+        );
+    }
+
+    #[test]
+    fn consistent_answers_enumerates_non_boolean_queries() {
+        // Q(x): Ans(x) :- R(a1, x, y): only f1 (b1) and f2 (b2) match; the
+        // probability of b1 is the probability of repairs containing f1.
+        let (db, sigma) = running_example();
+        let chain = GeneratorSpec::uniform_repairs()
+            .build_chain(&db, &sigma, TreeLimits::default())
+            .unwrap();
+        let semantics = OperationalSemantics::from_chain(&chain);
+        let q = parse_query(db.schema(), "Ans(x) :- R('a1', x, y)").unwrap();
+        let evaluator = QueryEvaluator::new(q);
+        let answers = semantics.consistent_answers(&db, &evaluator).unwrap();
+        let as_map: BTreeMap<String, Ratio> = answers
+            .into_iter()
+            .map(|(tuple, p)| (tuple[0].to_string(), p))
+            .collect();
+        // Repairs containing f1: {f1}, {f1,f3} → 2/5; containing f2: {f2} → 1/5.
+        assert_eq!(as_map.get("b1"), Some(&Ratio::from_u64(2, 5)));
+        assert_eq!(as_map.get("b2"), Some(&Ratio::from_u64(1, 5)));
+        assert_eq!(as_map.len(), 2);
+    }
+
+    #[test]
+    fn boolean_query_with_zero_probability_yields_no_answers() {
+        let (db, sigma) = running_example();
+        let chain = GeneratorSpec::uniform_repairs()
+            .build_chain(&db, &sigma, TreeLimits::default())
+            .unwrap();
+        let semantics = OperationalSemantics::from_chain(&chain);
+        // No repair contains both f1 and f2 (they conflict).
+        let q = parse_query(db.schema(), "Ans() :- R(x, 'b1', 'c1'), R(x, 'b2', y)").unwrap();
+        let evaluator = QueryEvaluator::new(q);
+        let answers = semantics.consistent_answers(&db, &evaluator).unwrap();
+        assert!(answers.is_empty());
+    }
+}

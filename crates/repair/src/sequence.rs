@@ -1,0 +1,252 @@
+//! Repairing sequences (Definition 3.4).
+
+use std::fmt;
+
+use ucqa_db::{Database, FactSet, FdSet, ViolationSet};
+
+use crate::{operation::justified_operations_from, Operation, RepairError};
+
+/// A sequence of operations `s = (op₁, …, opₙ)`.
+///
+/// A sequence is `(D, Σ)`-*repairing* if each `opᵢ` is justified on the
+/// intermediate database `D^s_{i−1}` (Definition 3.4), and *complete* if its
+/// result `s(D)` is consistent.  [`RepairingSequence::validate`] checks the
+/// former; the constructors used by the tree builder and the samplers only
+/// ever append justified operations, so in the common path validation is a
+/// debug-time aid and a public API guard.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct RepairingSequence {
+    operations: Vec<Operation>,
+}
+
+impl RepairingSequence {
+    /// The empty sequence `ε` (always repairing by definition).
+    pub fn empty() -> Self {
+        RepairingSequence::default()
+    }
+
+    /// Constructs a sequence from operations without validation.
+    pub fn from_operations(operations: Vec<Operation>) -> Self {
+        RepairingSequence { operations }
+    }
+
+    /// The operations of the sequence in application order.
+    pub fn operations(&self) -> &[Operation] {
+        &self.operations
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.operations.len()
+    }
+
+    /// Returns `true` iff this is the empty sequence `ε`.
+    pub fn is_empty(&self) -> bool {
+        self.operations.is_empty()
+    }
+
+    /// Appends an operation, returning the extended sequence `s · op`.
+    pub fn extended(&self, op: Operation) -> RepairingSequence {
+        let mut operations = self.operations.clone();
+        operations.push(op);
+        RepairingSequence { operations }
+    }
+
+    /// Appends an operation in place.
+    pub fn push(&mut self, op: Operation) {
+        self.operations.push(op);
+    }
+
+    /// Returns `true` iff every operation removes a single fact.
+    pub fn is_singleton_only(&self) -> bool {
+        self.operations.iter().all(Operation::is_singleton)
+    }
+
+    /// The result `s(D)` of applying the sequence to the full database.
+    pub fn result(&self, db: &Database) -> FactSet {
+        self.result_from(db.all_facts())
+    }
+
+    /// The result of applying the sequence starting from an arbitrary
+    /// subset (used when composing sequences).
+    pub fn result_from(&self, mut subset: FactSet) -> FactSet {
+        for op in &self.operations {
+            op.apply(&mut subset);
+        }
+        subset
+    }
+
+    /// Returns `true` iff the sequence is complete, i.e. `s(D) ⊨ Σ`.
+    pub fn is_complete(&self, db: &Database, sigma: &FdSet) -> bool {
+        let result = self.result(db);
+        ViolationSet::compute(db, sigma, &result).is_empty()
+    }
+
+    /// Checks that the sequence is `(D, Σ)`-repairing: every operation is
+    /// justified at its step and only removes facts still present.
+    ///
+    /// Returns the result `s(D)` on success.
+    pub fn validate(&self, db: &Database, sigma: &FdSet) -> Result<FactSet, RepairError> {
+        let mut subset = db.all_facts();
+        for (position, op) in self.operations.iter().enumerate() {
+            for &fact in op.facts() {
+                if fact.index() >= db.len() {
+                    return Err(RepairError::FactOutOfRange {
+                        index: fact.index(),
+                        universe: db.len(),
+                    });
+                }
+            }
+            let violations = ViolationSet::compute(db, sigma, &subset);
+            if !op.is_justified_with(&violations) {
+                return Err(RepairError::UnjustifiedOperation { position });
+            }
+            op.apply(&mut subset);
+        }
+        Ok(subset)
+    }
+
+    /// Enumerates the justified extensions of this sequence, i.e. the set
+    /// `Ops_s(D, Σ)` restricted to the operations themselves.
+    pub fn available_operations(
+        &self,
+        db: &Database,
+        sigma: &FdSet,
+        singleton_only: bool,
+    ) -> Vec<Operation> {
+        let result = self.result(db);
+        let violations = ViolationSet::compute(db, sigma, &result);
+        justified_operations_from(&violations, singleton_only)
+    }
+
+    /// Renders the sequence as the paper does, e.g. `-f1,-{f2,f3}` (the
+    /// empty sequence renders as `ε`).
+    pub fn render(&self) -> String {
+        if self.operations.is_empty() {
+            return "ε".to_string();
+        }
+        self.operations
+            .iter()
+            .map(Operation::render)
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+impl fmt::Debug for RepairingSequence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+impl fmt::Display for RepairingSequence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucqa_db::{Database, FactId, FunctionalDependency, Schema, Value};
+
+    fn running_example() -> (Database, FdSet) {
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["A", "B", "C"]).unwrap();
+        let mut db = Database::with_schema(schema);
+        db.insert_values("R", [Value::str("a1"), Value::str("b1"), Value::str("c1")])
+            .unwrap();
+        db.insert_values("R", [Value::str("a1"), Value::str("b2"), Value::str("c2")])
+            .unwrap();
+        db.insert_values("R", [Value::str("a2"), Value::str("b1"), Value::str("c2")])
+            .unwrap();
+        let mut sigma = FdSet::new();
+        sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["A"], &["B"]).unwrap());
+        sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["C"], &["B"]).unwrap());
+        (db, sigma)
+    }
+
+    #[test]
+    fn empty_sequence_is_repairing_but_incomplete_on_inconsistent_db() {
+        let (db, sigma) = running_example();
+        let s = RepairingSequence::empty();
+        assert!(s.is_empty());
+        assert_eq!(s.render(), "ε");
+        assert!(s.validate(&db, &sigma).is_ok());
+        assert!(!s.is_complete(&db, &sigma));
+        assert_eq!(s.result(&db).len(), 3);
+    }
+
+    #[test]
+    fn paper_sequence_f1_then_pair_is_complete() {
+        // s = -f1, -{f2, f3} is a complete repairing sequence with result ∅.
+        let (db, sigma) = running_example();
+        let s = RepairingSequence::from_operations(vec![
+            Operation::remove_one(FactId::new(0)),
+            Operation::remove_pair(FactId::new(1), FactId::new(2)),
+        ]);
+        let result = s.validate(&db, &sigma).unwrap();
+        assert!(result.is_empty());
+        assert!(s.is_complete(&db, &sigma));
+        assert!(!s.is_singleton_only());
+        assert_eq!(s.render(), "-f0,-{f1,f2}");
+    }
+
+    #[test]
+    fn unjustified_operation_detected() {
+        let (db, sigma) = running_example();
+        // Removing f2 first makes the database consistent; a further removal
+        // of f1 is not justified.
+        let s = RepairingSequence::from_operations(vec![
+            Operation::remove_one(FactId::new(1)),
+            Operation::remove_one(FactId::new(0)),
+        ]);
+        assert_eq!(
+            s.validate(&db, &sigma),
+            Err(RepairError::UnjustifiedOperation { position: 1 })
+        );
+        // Removing the non-conflicting pair {f1, f3} first is unjustified.
+        let s = RepairingSequence::from_operations(vec![Operation::remove_pair(
+            FactId::new(0),
+            FactId::new(2),
+        )]);
+        assert_eq!(
+            s.validate(&db, &sigma),
+            Err(RepairError::UnjustifiedOperation { position: 0 })
+        );
+    }
+
+    #[test]
+    fn out_of_range_fact_detected() {
+        let (db, sigma) = running_example();
+        let s =
+            RepairingSequence::from_operations(vec![Operation::remove_one(FactId::new(7))]);
+        assert!(matches!(
+            s.validate(&db, &sigma),
+            Err(RepairError::FactOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn available_operations_shrink_along_the_sequence() {
+        let (db, sigma) = running_example();
+        let s = RepairingSequence::empty();
+        assert_eq!(s.available_operations(&db, &sigma, false).len(), 5);
+        let s = s.extended(Operation::remove_one(FactId::new(0)));
+        // After removing f1, only the φ2 violation {f2, f3} remains:
+        // -f2, -f3, -{f2,f3}.
+        assert_eq!(s.available_operations(&db, &sigma, false).len(), 3);
+        assert_eq!(s.available_operations(&db, &sigma, true).len(), 2);
+        let s = s.extended(Operation::remove_one(FactId::new(1)));
+        assert!(s.available_operations(&db, &sigma, false).is_empty());
+        assert!(s.is_complete(&db, &sigma));
+    }
+
+    #[test]
+    fn extended_does_not_mutate_original() {
+        let s = RepairingSequence::empty();
+        let s2 = s.extended(Operation::remove_one(FactId::new(0)));
+        assert_eq!(s.len(), 0);
+        assert_eq!(s2.len(), 1);
+    }
+}

@@ -1,0 +1,408 @@
+//! The explicit repairing tree: `RS(D, Σ)` arranged as a rooted tree.
+
+use std::collections::HashMap;
+
+use ucqa_db::{Database, FactSet, FdSet, ViolationSet};
+
+use crate::{operation::justified_operations_from, Operation, RepairError, RepairingSequence};
+
+/// Identifier of a node of a [`RepairingTree`].
+///
+/// Nodes are allocated in depth-first preorder with children visited in the
+/// canonical operation order, so `NodeId` order *is* the depth-first
+/// traversal order — the ordering `≺` used to pick canonical sequences for
+/// the uniform-repairs generator (Section 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The raw index of this node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Limits guarding the exponential tree construction.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeLimits {
+    /// Maximum number of tree nodes to materialise.
+    pub max_nodes: usize,
+}
+
+impl Default for TreeLimits {
+    fn default() -> Self {
+        TreeLimits {
+            max_nodes: 2_000_000,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    parent: Option<NodeId>,
+    /// Operation labelling the edge from the parent (None for the root).
+    operation: Option<Operation>,
+    /// The sub-database reached by this sequence, i.e. `s(D)`.
+    subset: FactSet,
+    children: Vec<NodeId>,
+    depth: usize,
+}
+
+/// The tree of all `(D, Σ)`-repairing sequences.
+///
+/// * The root is the empty sequence `ε`.
+/// * The children of a node `s` are its justified extensions
+///   `Ops_s(D, Σ)`, in canonical operation order.
+/// * The leaves are exactly the complete sequences `CRS(D, Σ)`.
+///
+/// With `singleton_only = true`, only single-fact removals are considered,
+/// yielding the tree over `RS¹(D, Σ)` with leaves `CRS¹(D, Σ)`.
+///
+/// The tree is exponential in `|D|`; construction is guarded by
+/// [`TreeLimits`].
+#[derive(Debug, Clone)]
+pub struct RepairingTree {
+    nodes: Vec<Node>,
+    leaves: Vec<NodeId>,
+    singleton_only: bool,
+}
+
+impl RepairingTree {
+    /// Builds the repairing tree of `db` w.r.t. `sigma`.
+    pub fn build(
+        db: &Database,
+        sigma: &FdSet,
+        singleton_only: bool,
+        limits: TreeLimits,
+    ) -> Result<Self, RepairError> {
+        let mut tree = RepairingTree {
+            nodes: Vec::new(),
+            leaves: Vec::new(),
+            singleton_only,
+        };
+        let root_subset = db.all_facts();
+        tree.nodes.push(Node {
+            parent: None,
+            operation: None,
+            subset: root_subset,
+            children: Vec::new(),
+            depth: 0,
+        });
+        // Depth-first expansion with an explicit stack of nodes still to
+        // expand; children are created in canonical operation order and the
+        // stack is processed so that node ids follow DFS preorder.
+        tree.expand(NodeId(0), db, sigma, limits.max_nodes)?;
+        Ok(tree)
+    }
+
+    fn expand(
+        &mut self,
+        node: NodeId,
+        db: &Database,
+        sigma: &FdSet,
+        max_nodes: usize,
+    ) -> Result<(), RepairError> {
+        let subset = self.nodes[node.index()].subset.clone();
+        let violations = ViolationSet::compute(db, sigma, &subset);
+        let operations = justified_operations_from(&violations, self.singleton_only);
+        if operations.is_empty() {
+            self.leaves.push(node);
+            return Ok(());
+        }
+        for op in operations {
+            if self.nodes.len() >= max_nodes {
+                return Err(RepairError::TreeTooLarge { limit: max_nodes });
+            }
+            let child_subset = op.applied_to(&subset);
+            let child = NodeId(self.nodes.len() as u32);
+            let depth = self.nodes[node.index()].depth + 1;
+            self.nodes.push(Node {
+                parent: Some(node),
+                operation: Some(op),
+                subset: child_subset,
+                children: Vec::new(),
+                depth,
+            });
+            self.nodes[node.index()].children.push(child);
+            self.expand(child, db, sigma, max_nodes)?;
+        }
+        Ok(())
+    }
+
+    /// The root node (the empty sequence `ε`).
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Total number of nodes, i.e. `|RS(D, Σ)|` (or `|RS¹(D, Σ)|`).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether this tree was built over singleton operations only.
+    pub fn singleton_only(&self) -> bool {
+        self.singleton_only
+    }
+
+    /// The children of a node, in canonical operation order.
+    pub fn children(&self, node: NodeId) -> &[NodeId] {
+        &self.nodes[node.index()].children
+    }
+
+    /// The parent of a node (None for the root).
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        self.nodes[node.index()].parent
+    }
+
+    /// The operation labelling the edge into `node` (None for the root).
+    pub fn operation(&self, node: NodeId) -> Option<&Operation> {
+        self.nodes[node.index()].operation.as_ref()
+    }
+
+    /// The sub-database `s(D)` reached by the sequence of `node`.
+    pub fn subset(&self, node: NodeId) -> &FactSet {
+        &self.nodes[node.index()].subset
+    }
+
+    /// The length of the sequence of `node`.
+    pub fn depth(&self, node: NodeId) -> usize {
+        self.nodes[node.index()].depth
+    }
+
+    /// Returns `true` iff `node` is a leaf (a complete sequence).
+    pub fn is_leaf(&self, node: NodeId) -> bool {
+        self.nodes[node.index()].children.is_empty()
+    }
+
+    /// The leaves, i.e. `CRS(D, Σ)`, in DFS (≺) order.
+    pub fn leaves(&self) -> &[NodeId] {
+        &self.leaves
+    }
+
+    /// Number of leaves, i.e. `|CRS(D, Σ)|`.
+    pub fn leaf_count(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Reconstructs the [`RepairingSequence`] of a node by walking to the
+    /// root.
+    pub fn sequence(&self, node: NodeId) -> RepairingSequence {
+        let mut ops = Vec::with_capacity(self.depth(node));
+        let mut current = node;
+        while let Some(parent) = self.parent(current) {
+            ops.push(
+                self.operation(current)
+                    .expect("non-root nodes always carry an operation")
+                    .clone(),
+            );
+            current = parent;
+        }
+        ops.reverse();
+        RepairingSequence::from_operations(ops)
+    }
+
+    /// Iterates over all node ids in DFS preorder.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// For every node `s`, the number of leaves of the subtree rooted at
+    /// `s` — the quantity `|CRS_s(D, Σ)|` used by the uniform-sequences
+    /// generator.
+    pub fn subtree_leaf_counts(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.nodes.len()];
+        // Children have larger ids than their parent (DFS preorder), so a
+        // reverse scan accumulates bottom-up.
+        for index in (0..self.nodes.len()).rev() {
+            if self.nodes[index].children.is_empty() {
+                counts[index] = 1;
+            } else {
+                counts[index] = self.nodes[index]
+                    .children
+                    .iter()
+                    .map(|c| counts[c.index()])
+                    .sum();
+            }
+        }
+        counts
+    }
+
+    /// The canonical leaves: for each distinct result `s(D)`, the ≺-least
+    /// (i.e. DFS-first) complete sequence producing it.  Returns a boolean
+    /// marker per node (true only for canonical leaves).
+    pub fn canonical_leaf_markers(&self) -> Vec<bool> {
+        let mut seen: HashMap<&FactSet, NodeId> = HashMap::new();
+        let mut markers = vec![false; self.nodes.len()];
+        // `self.leaves` is already in DFS order; the first occurrence of a
+        // result subset wins.
+        for &leaf in &self.leaves {
+            let subset = &self.nodes[leaf.index()].subset;
+            if !seen.contains_key(subset) {
+                seen.insert(subset, leaf);
+                markers[leaf.index()] = true;
+            }
+        }
+        markers
+    }
+
+    /// For every node `s`, the number of canonical leaves in the subtree
+    /// rooted at `s` — the quantity `|CanCRS_s(D, Σ)|` used by the
+    /// uniform-repairs generator.
+    pub fn canonical_subtree_leaf_counts(&self) -> Vec<u64> {
+        let markers = self.canonical_leaf_markers();
+        let mut counts = vec![0u64; self.nodes.len()];
+        for index in (0..self.nodes.len()).rev() {
+            if self.nodes[index].children.is_empty() {
+                counts[index] = u64::from(markers[index]);
+            } else {
+                counts[index] = self.nodes[index]
+                    .children
+                    .iter()
+                    .map(|c| counts[c.index()])
+                    .sum();
+            }
+        }
+        counts
+    }
+
+    /// The distinct results of complete sequences, i.e. the candidate
+    /// repairs `CORep(D, Σ)` (or `CORep¹(D, Σ)`), in first-seen (≺) order.
+    pub fn candidate_repairs(&self) -> Vec<FactSet> {
+        let mut seen = HashMap::new();
+        let mut repairs = Vec::new();
+        for &leaf in &self.leaves {
+            let subset = &self.nodes[leaf.index()].subset;
+            if !seen.contains_key(subset) {
+                seen.insert(subset.clone(), ());
+                repairs.push(subset.clone());
+            }
+        }
+        repairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucqa_db::{Database, FunctionalDependency, Schema, Value};
+
+    fn running_example() -> (Database, FdSet) {
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["A", "B", "C"]).unwrap();
+        let mut db = Database::with_schema(schema);
+        db.insert_values("R", [Value::str("a1"), Value::str("b1"), Value::str("c1")])
+            .unwrap();
+        db.insert_values("R", [Value::str("a1"), Value::str("b2"), Value::str("c2")])
+            .unwrap();
+        db.insert_values("R", [Value::str("a2"), Value::str("b1"), Value::str("c2")])
+            .unwrap();
+        let mut sigma = FdSet::new();
+        sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["A"], &["B"]).unwrap());
+        sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["C"], &["B"]).unwrap());
+        (db, sigma)
+    }
+
+    #[test]
+    fn running_example_tree_matches_figure1() {
+        let (db, sigma) = running_example();
+        let tree = RepairingTree::build(&db, &sigma, false, TreeLimits::default()).unwrap();
+        // Figure 1 has 12 nodes (ε + 11 sequences) and 9 leaves.
+        assert_eq!(tree.node_count(), 12);
+        assert_eq!(tree.leaf_count(), 9);
+        assert_eq!(tree.children(tree.root()).len(), 5);
+        // |CRS_ε| = 9, |CRS_{-f1}| = |CRS_{-f3}| = 3, the other three root
+        // children are leaves.
+        let counts = tree.subtree_leaf_counts();
+        assert_eq!(counts[tree.root().index()], 9);
+        let child_counts: Vec<u64> = tree
+            .children(tree.root())
+            .iter()
+            .map(|c| counts[c.index()])
+            .collect();
+        assert_eq!(child_counts, vec![3, 1, 1, 1, 3]);
+    }
+
+    #[test]
+    fn running_example_canonical_counts_match_section4() {
+        let (db, sigma) = running_example();
+        let tree = RepairingTree::build(&db, &sigma, false, TreeLimits::default()).unwrap();
+        let counts = tree.canonical_subtree_leaf_counts();
+        // |CanCRS_ε| = 5, and per root child: 3, 0, 1, 1, 0.
+        assert_eq!(counts[tree.root().index()], 5);
+        let child_counts: Vec<u64> = tree
+            .children(tree.root())
+            .iter()
+            .map(|c| counts[c.index()])
+            .collect();
+        assert_eq!(child_counts, vec![3, 0, 1, 1, 0]);
+        // The five candidate repairs of the example:
+        // ∅, {f1}, {f2}, {f3}, {f1, f3}.
+        let repairs = tree.candidate_repairs();
+        assert_eq!(repairs.len(), 5);
+        let sizes: Vec<usize> = {
+            let mut sizes: Vec<usize> = repairs.iter().map(FactSet::len).collect();
+            sizes.sort();
+            sizes
+        };
+        assert_eq!(sizes, vec![0, 1, 1, 1, 2]);
+    }
+
+    #[test]
+    fn singleton_tree_excludes_pair_removals() {
+        let (db, sigma) = running_example();
+        let tree = RepairingTree::build(&db, &sigma, true, TreeLimits::default()).unwrap();
+        for node in tree.node_ids() {
+            if let Some(op) = tree.operation(node) {
+                assert!(op.is_singleton());
+            }
+        }
+        // Singleton-only candidate repairs: {f1}, {f2}, {f3}, {f1,f3} but
+        // not ∅ (the empty repair needs a final pair removal).
+        let repairs = tree.candidate_repairs();
+        assert_eq!(repairs.len(), 4);
+        assert!(repairs.iter().all(|r| !r.is_empty()));
+    }
+
+    #[test]
+    fn consistent_database_tree_is_a_single_leaf() {
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["A", "B"]).unwrap();
+        let mut db = Database::with_schema(schema);
+        db.insert_values("R", [Value::int(1), Value::int(2)]).unwrap();
+        let mut sigma = FdSet::new();
+        sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["A"], &["B"]).unwrap());
+        let tree = RepairingTree::build(&db, &sigma, false, TreeLimits::default()).unwrap();
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.leaf_count(), 1);
+        assert!(tree.is_leaf(tree.root()));
+        assert_eq!(tree.candidate_repairs().len(), 1);
+    }
+
+    #[test]
+    fn node_limit_is_enforced() {
+        let (db, sigma) = running_example();
+        let err = RepairingTree::build(&db, &sigma, false, TreeLimits { max_nodes: 4 });
+        assert_eq!(err.unwrap_err(), RepairError::TreeTooLarge { limit: 4 });
+    }
+
+    #[test]
+    fn sequences_reconstructed_from_leaves_are_valid_and_complete() {
+        let (db, sigma) = running_example();
+        let tree = RepairingTree::build(&db, &sigma, false, TreeLimits::default()).unwrap();
+        for &leaf in tree.leaves() {
+            let sequence = tree.sequence(leaf);
+            let result = sequence.validate(&db, &sigma).unwrap();
+            assert_eq!(&result, tree.subset(leaf));
+            assert!(sequence.is_complete(&db, &sigma));
+        }
+    }
+
+    #[test]
+    fn root_sequence_is_empty() {
+        let (db, sigma) = running_example();
+        let tree = RepairingTree::build(&db, &sigma, false, TreeLimits::default()).unwrap();
+        assert!(tree.sequence(tree.root()).is_empty());
+        assert_eq!(tree.parent(tree.root()), None);
+        assert_eq!(tree.operation(tree.root()), None);
+    }
+}

@@ -1,0 +1,271 @@
+//! Non-uniform (trust-weighted) Markov-chain generators.
+//!
+//! The paper's framework (Section 3) allows *arbitrary* repairing
+//! Markov-chain generators; the introduction motivates them with a data
+//! integration scenario in which each fact comes from a source with a known
+//! reliability.  This module provides a concrete non-uniform generator in
+//! that spirit: at every repairing step each available justified operation
+//! is weighted by the product of the *distrust* `1 − t` of the facts it
+//! removes, and the weights are normalised into step probabilities.  (The
+//! introduction's sketch normalises slightly differently — it gives the
+//! pair removal the absolute probability `(1−t_f)(1−t_g)` and splits the
+//! rest evenly — but it does not define a full generator; the
+//! distrust-proportional rule used here extends naturally to steps with
+//! many violations while preserving the intended behaviour that less
+//! trusted facts are more likely to be removed.)  The generator is
+//! exact-only: by Theorems 4.1 and 4.2, OCQA for arbitrary generators is
+//! ♯P-hard and admits no FPRAS (unless RP = NP), so this module deliberately
+//! offers no estimator — it builds the explicit chain, which is what the
+//! paper's negative results say is the best one can do in general.
+
+use std::collections::HashMap;
+
+use ucqa_db::{Database, FactId};
+use ucqa_numeric::Ratio;
+
+use crate::{Operation, RepairError, RepairingMarkovChain, RepairingTree, TreeLimits};
+
+/// Per-fact source reliabilities ("trust"), as exact rationals in `[0, 1]`.
+///
+/// Facts without an explicit entry get the default trust.
+#[derive(Debug, Clone)]
+pub struct TrustWeights {
+    default: Ratio,
+    by_fact: HashMap<FactId, Ratio>,
+}
+
+impl TrustWeights {
+    /// Creates a weight table with the given default trust.
+    ///
+    /// # Panics
+    /// Panics if the default trust exceeds 1.
+    pub fn with_default(default: Ratio) -> Self {
+        assert!(default <= Ratio::one(), "trust must be at most 1");
+        TrustWeights {
+            default,
+            by_fact: HashMap::new(),
+        }
+    }
+
+    /// The paper's introduction scenario: every source is 50 % reliable.
+    pub fn half_trust() -> Self {
+        TrustWeights::with_default(Ratio::from_u64(1, 2))
+    }
+
+    /// Sets the trust of one fact.
+    ///
+    /// # Panics
+    /// Panics if the trust exceeds 1.
+    pub fn set(&mut self, fact: FactId, trust: Ratio) -> &mut Self {
+        assert!(trust <= Ratio::one(), "trust must be at most 1");
+        self.by_fact.insert(fact, trust);
+        self
+    }
+
+    /// The trust of a fact.
+    pub fn trust(&self, fact: FactId) -> Ratio {
+        self.by_fact.get(&fact).cloned().unwrap_or_else(|| self.default.clone())
+    }
+
+    /// The *distrust* `1 − trust` of a fact.
+    pub fn distrust(&self, fact: FactId) -> Ratio {
+        &Ratio::one() - &self.trust(fact)
+    }
+
+    /// The unnormalised weight of an operation: the product of the
+    /// distrusts of the facts it removes.
+    pub fn operation_weight(&self, operation: &Operation) -> Ratio {
+        let mut weight = Ratio::one();
+        for &fact in operation.facts() {
+            weight = &weight * &self.distrust(fact);
+        }
+        weight
+    }
+}
+
+/// A trust-weighted repairing Markov-chain generator (exact only).
+///
+/// At every step the available justified operations are weighted by
+/// [`TrustWeights::operation_weight`] and normalised; if every available
+/// operation has weight zero (all involved sources fully trusted, yet the
+/// data is inconsistent), the step falls back to the uniform choice so the
+/// chain remains well-formed.
+#[derive(Debug, Clone)]
+pub struct TrustWeightedGenerator {
+    weights: TrustWeights,
+    singleton_only: bool,
+}
+
+impl TrustWeightedGenerator {
+    /// Creates a generator from per-fact trust weights.
+    pub fn new(weights: TrustWeights) -> Self {
+        TrustWeightedGenerator {
+            weights,
+            singleton_only: false,
+        }
+    }
+
+    /// Restricts the generator to singleton removals.
+    pub fn singleton_only(mut self) -> Self {
+        self.singleton_only = true;
+        self
+    }
+
+    /// The underlying weights.
+    pub fn weights(&self) -> &TrustWeights {
+        &self.weights
+    }
+
+    /// Builds the exact `(D, Σ)`-repairing Markov chain of this generator.
+    pub fn build_chain(
+        &self,
+        db: &Database,
+        sigma: &ucqa_db::FdSet,
+        limits: TreeLimits,
+    ) -> Result<RepairingMarkovChain, RepairError> {
+        let tree = RepairingTree::build(db, sigma, self.singleton_only, limits)?;
+        let mut probabilities = vec![Ratio::one(); tree.node_count()];
+        for node in tree.node_ids() {
+            let children = tree.children(node);
+            if children.is_empty() {
+                continue;
+            }
+            let weights: Vec<Ratio> = children
+                .iter()
+                .map(|&child| {
+                    self.weights.operation_weight(
+                        tree.operation(child).expect("child edges carry operations"),
+                    )
+                })
+                .collect();
+            let total: Ratio = weights.iter().sum();
+            if total.is_zero() {
+                let uniform = Ratio::from_u64(1, children.len() as u64);
+                for &child in children {
+                    probabilities[child.index()] = uniform.clone();
+                }
+            } else {
+                for (&child, weight) in children.iter().zip(&weights) {
+                    probabilities[child.index()] = weight / &total;
+                }
+            }
+        }
+        Ok(RepairingMarkovChain::new(tree, probabilities))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OperationalSemantics;
+    use ucqa_db::{Database, FdSet, FunctionalDependency, Schema, Value};
+    use ucqa_query::{parser::parse_query, QueryEvaluator};
+
+    /// The introduction's scenario: Emp(1, Alice) and Emp(1, Tom) violating
+    /// the key on the first attribute, both sources 50 % reliable.
+    fn intro_example() -> (Database, FdSet) {
+        let mut schema = Schema::new();
+        schema.add_relation("Emp", &["id", "name"]).unwrap();
+        let mut db = Database::with_schema(schema);
+        db.insert_values("Emp", [Value::int(1), Value::str("Alice")]).unwrap();
+        db.insert_values("Emp", [Value::int(1), Value::str("Tom")]).unwrap();
+        let mut sigma = FdSet::new();
+        sigma.add(
+            FunctionalDependency::from_names(db.schema(), "Emp", &["id"], &["name"]).unwrap(),
+        );
+        (db, sigma)
+    }
+
+    #[test]
+    fn intro_example_probabilities_with_half_trust() {
+        // Distrust-proportional weights with both sources 50 % reliable:
+        // −Alice and −Tom each get weight 1/2, −{Alice, Tom} gets 1/4, so
+        // the step probabilities are 2/5, 2/5, 1/5 and the repairs
+        // {Tom}, {Alice}, ∅ carry those probabilities.
+        let (db, sigma) = intro_example();
+        let generator = TrustWeightedGenerator::new(TrustWeights::half_trust());
+        let chain = generator.build_chain(&db, &sigma, TreeLimits::default()).unwrap();
+        let semantics = OperationalSemantics::from_chain(&chain);
+        assert!(semantics.total_probability().is_one());
+
+        let by_size: Vec<(usize, Ratio)> = semantics
+            .repairs()
+            .iter()
+            .map(|entry| (entry.repair.len(), entry.probability.clone()))
+            .collect();
+        for (size, probability) in by_size {
+            match size {
+                0 => assert_eq!(probability, Ratio::from_u64(1, 5)),
+                1 => assert_eq!(probability, Ratio::from_u64(2, 5)),
+                other => panic!("unexpected repair size {other}"),
+            }
+        }
+
+        // The probability that "Alice" survives is 2/5 — strictly between
+        // the extremes, as in the paper's motivating discussion.
+        let query = parse_query(db.schema(), "Ans() :- Emp(1, 'Alice')").unwrap();
+        let evaluator = QueryEvaluator::new(query);
+        assert_eq!(
+            semantics.entailment_probability(&db, &evaluator),
+            Ratio::from_u64(2, 5)
+        );
+    }
+
+    #[test]
+    fn asymmetric_trust_shifts_the_distribution() {
+        // Trust Alice's source at 90 % and Tom's at 10 %: Tom's fact is far
+        // more likely to be removed, so Alice is far more likely to survive.
+        let (db, sigma) = intro_example();
+        let mut weights = TrustWeights::with_default(Ratio::from_u64(1, 2));
+        weights.set(FactId::new(0), Ratio::from_u64(9, 10));
+        weights.set(FactId::new(1), Ratio::from_u64(1, 10));
+        let generator = TrustWeightedGenerator::new(weights);
+        let chain = generator.build_chain(&db, &sigma, TreeLimits::default()).unwrap();
+        let semantics = OperationalSemantics::from_chain(&chain);
+        let alice = parse_query(db.schema(), "Ans() :- Emp(1, 'Alice')").unwrap();
+        let tom = parse_query(db.schema(), "Ans() :- Emp(1, 'Tom')").unwrap();
+        let p_alice = semantics
+            .entailment_probability(&db, &QueryEvaluator::new(alice));
+        let p_tom = semantics
+            .entailment_probability(&db, &QueryEvaluator::new(tom));
+        assert!(p_alice > p_tom);
+        assert!(semantics.total_probability().is_one());
+        // Weight of removing Alice ∝ 1/10, Tom ∝ 9/10, both ∝ 9/100:
+        // normalised over 1/10 + 9/10 + 9/100 = 109/100.
+        assert_eq!(p_alice, Ratio::from_u64(90, 109));
+        assert_eq!(p_tom, Ratio::from_u64(10, 109));
+    }
+
+    #[test]
+    fn fully_trusted_facts_fall_back_to_uniform_choices() {
+        let (db, sigma) = intro_example();
+        let generator = TrustWeightedGenerator::new(TrustWeights::with_default(Ratio::one()));
+        let chain = generator.build_chain(&db, &sigma, TreeLimits::default()).unwrap();
+        assert!(chain.leaf_distribution_sums_to_one());
+        // All three root operations get probability 1/3.
+        for &child in chain.tree().children(chain.tree().root()) {
+            assert_eq!(chain.edge_probability(child), &Ratio::from_u64(1, 3));
+        }
+    }
+
+    #[test]
+    fn singleton_only_variant_never_removes_pairs() {
+        let (db, sigma) = intro_example();
+        let generator =
+            TrustWeightedGenerator::new(TrustWeights::half_trust()).singleton_only();
+        let chain = generator.build_chain(&db, &sigma, TreeLimits::default()).unwrap();
+        assert!(chain.tree().singleton_only());
+        let semantics = OperationalSemantics::from_chain(&chain);
+        // Only the two singleton repairs remain, each with probability 1/2.
+        assert_eq!(semantics.repair_count(), 2);
+        for entry in semantics.repairs() {
+            assert_eq!(entry.probability, Ratio::from_u64(1, 2));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 1")]
+    fn trust_above_one_is_rejected() {
+        let _ = TrustWeights::with_default(Ratio::from_u64(3, 2));
+    }
+}

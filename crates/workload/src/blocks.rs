@@ -1,0 +1,121 @@
+//! Primary-key (block) workloads.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ucqa_db::{Database, FdSet, FunctionalDependency, Schema, Value};
+
+/// A generator for inconsistent databases over a single binary relation
+/// `R(K, V)` constrained by the primary key `R : K → V`.
+///
+/// The inconsistency structure of such a database is fully described by its
+/// block-size profile (facts sharing a key value form a block); the
+/// generator draws each block size uniformly from
+/// `[min_block_size, max_block_size]` and fills attribute `V` with distinct
+/// values inside a block, so a block of size `m` contributes `m·(m−1)/2`
+/// violations.
+#[derive(Debug, Clone)]
+pub struct BlockWorkload {
+    /// Number of blocks (distinct key values).
+    pub blocks: usize,
+    /// Minimum block size (≥ 1).
+    pub min_block_size: usize,
+    /// Maximum block size (≥ `min_block_size`).
+    pub max_block_size: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl BlockWorkload {
+    /// A workload with uniformly sized blocks.
+    pub fn uniform(blocks: usize, block_size: usize, seed: u64) -> Self {
+        BlockWorkload {
+            blocks,
+            min_block_size: block_size,
+            max_block_size: block_size,
+            seed,
+        }
+    }
+
+    /// Generates the database and its primary key.
+    ///
+    /// # Panics
+    /// Panics if the parameters are degenerate (`blocks == 0`,
+    /// `min_block_size == 0`, or `min > max`).
+    pub fn generate(&self) -> (Database, FdSet) {
+        assert!(self.blocks > 0, "at least one block is required");
+        assert!(self.min_block_size > 0, "blocks must be non-empty");
+        assert!(
+            self.min_block_size <= self.max_block_size,
+            "min_block_size must not exceed max_block_size"
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut schema = Schema::new();
+        schema
+            .add_relation("R", &["K", "V"])
+            .expect("fresh schema");
+        let mut db = Database::with_schema(schema);
+        for block in 0..self.blocks {
+            let size = rng.random_range(self.min_block_size..=self.max_block_size);
+            for row in 0..size {
+                db.insert_values("R", [Value::int(block as i64), Value::int(row as i64)])
+                    .expect("schema matches");
+            }
+        }
+        let mut sigma = FdSet::new();
+        sigma.add(
+            FunctionalDependency::from_names(db.schema(), "R", &["K"], &["V"])
+                .expect("R has attributes K and V"),
+        );
+        (db, sigma)
+    }
+
+    /// The expected number of facts of the workload (exact when
+    /// `min_block_size == max_block_size`).
+    pub fn expected_facts(&self) -> usize {
+        self.blocks * (self.min_block_size + self.max_block_size) / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucqa_db::{BlockPartition, ViolationSet};
+
+    #[test]
+    fn uniform_workload_has_expected_shape() {
+        let workload = BlockWorkload::uniform(10, 3, 7);
+        let (db, sigma) = workload.generate();
+        assert_eq!(db.len(), 30);
+        assert!(sigma.is_primary_keys(db.schema()));
+        let partition = BlockPartition::compute(&db, &sigma).unwrap();
+        assert_eq!(partition.blocks().len(), 10);
+        assert!(partition.blocks().iter().all(|b| b.len() == 3));
+        // Each block of size 3 has 3 violating pairs.
+        assert_eq!(ViolationSet::of_database(&db, &sigma).len(), 30);
+    }
+
+    #[test]
+    fn variable_block_sizes_stay_in_range_and_are_reproducible() {
+        let workload = BlockWorkload {
+            blocks: 20,
+            min_block_size: 1,
+            max_block_size: 5,
+            seed: 99,
+        };
+        let (db1, _) = workload.generate();
+        let (db2, sigma) = workload.generate();
+        assert_eq!(db1.len(), db2.len());
+        let partition = BlockPartition::compute(&db2, &sigma).unwrap();
+        assert!(partition
+            .blocks()
+            .iter()
+            .all(|b| (1..=5).contains(&b.len())));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn degenerate_parameters_panic() {
+        let _ = BlockWorkload::uniform(0, 3, 1).generate();
+    }
+}

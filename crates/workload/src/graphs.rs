@@ -1,0 +1,84 @@
+//! Random graph generators for the reduction experiments.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ucqa_graphs::UndirectedGraph;
+
+/// Draws an Erdős–Rényi graph `G(n, p)`.
+pub fn erdos_renyi(nodes: usize, edge_probability: f64, seed: u64) -> UndirectedGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut graph = UndirectedGraph::new(nodes);
+    for u in 0..nodes {
+        for v in (u + 1)..nodes {
+            if rng.random_bool(edge_probability.clamp(0.0, 1.0)) {
+                graph.add_edge(u, v);
+            }
+        }
+    }
+    graph
+}
+
+/// Draws a *connected* graph of maximum degree at most `max_degree`: a
+/// Hamiltonian path (guaranteeing connectivity and non-trivial
+/// connectivity) plus random extra edges that respect the degree bound.
+///
+/// This is the input shape required by the Proposition 5.5 experiment
+/// (non-trivially connected, bounded degree).
+///
+/// # Panics
+/// Panics if `nodes < 2` or `max_degree < 2`.
+pub fn connected_bounded_degree(nodes: usize, max_degree: usize, seed: u64) -> UndirectedGraph {
+    assert!(nodes >= 2, "need at least two nodes");
+    assert!(max_degree >= 2, "a path already needs degree 2");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut graph = UndirectedGraph::new(nodes);
+    for u in 1..nodes {
+        graph.add_edge(u - 1, u);
+    }
+    // Try to add extra edges without exceeding the degree bound.
+    let attempts = nodes * max_degree;
+    for _ in 0..attempts {
+        let u = rng.random_range(0..nodes);
+        let v = rng.random_range(0..nodes);
+        if u != v
+            && !graph.has_edge(u, v)
+            && graph.degree(u) < max_degree
+            && graph.degree(v) < max_degree
+        {
+            graph.add_edge(u, v);
+        }
+    }
+    graph
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erdos_renyi_extremes() {
+        assert_eq!(erdos_renyi(10, 0.0, 1).edge_count(), 0);
+        assert_eq!(erdos_renyi(10, 1.0, 1).edge_count(), 45);
+        let g = erdos_renyi(20, 0.3, 5);
+        assert!(g.edge_count() > 20 && g.edge_count() < 100);
+        // Reproducible.
+        assert_eq!(erdos_renyi(20, 0.3, 5).edges(), g.edges());
+    }
+
+    #[test]
+    fn connected_bounded_degree_respects_its_contract() {
+        for seed in 0..5u64 {
+            let g = connected_bounded_degree(30, 4, seed);
+            assert!(g.is_non_trivially_connected());
+            assert!(g.max_degree() <= 4);
+            assert!(g.edge_count() >= 29);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two nodes")]
+    fn tiny_graph_rejected() {
+        let _ = connected_bounded_degree(1, 3, 0);
+    }
+}

@@ -1,0 +1,34 @@
+//! # `ucqa-workload`
+//!
+//! Seeded synthetic workload generators for the uniform operational CQA
+//! experiments.  The paper has no empirical evaluation of its own, so
+//! these generators provide the inconsistent databases, constraint sets
+//! and queries on which the reproduction validates the theorems and runs
+//! its scaling studies (see `EXPERIMENTS.md`):
+//!
+//! * [`blocks`] — primary-key workloads parameterised by the block-size
+//!   profile (the regime of Theorems 5.1(2), 6.1(2), E.1(2), E.8(2)).
+//! * [`keys`] — multi-key workloads (the regime of Theorem 7.1(2), beyond
+//!   primary keys).
+//! * [`fds`] — non-key FD workloads, including the `D_n` family of
+//!   Proposition D.6 (the regime of Theorem 7.5 and of the negative
+//!   results).
+//! * [`graphs`] — random graphs and graph-derived databases for the
+//!   reduction experiments.
+//! * [`queries`] — query/candidate generators matched to the workloads.
+//!
+//! Every generator takes an explicit seed (or `rand::Rng`) so experiments
+//! are reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blocks;
+pub mod fds;
+pub mod graphs;
+pub mod keys;
+pub mod queries;
+
+pub use blocks::BlockWorkload;
+pub use fds::{proposition_d6_database, FdWorkload};
+pub use keys::MultiKeyWorkload;

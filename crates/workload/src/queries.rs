@@ -1,0 +1,114 @@
+//! Query and candidate-tuple generators matched to the workloads.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ucqa_db::{Database, FactId, Value};
+use ucqa_query::{Atom, ConjunctiveQuery, QueryError, Term, Variable};
+
+/// For the block workloads (`R(K, V)`): the unary query
+/// `Ans(x) :- R(k, x)` for a randomly chosen key value `k`, together with a
+/// candidate tuple that is an answer on the full database (so the target
+/// probability is non-zero).
+///
+/// This mirrors the query of Examples B.3 / C.3.
+pub fn block_lookup_query(
+    db: &Database,
+    seed: u64,
+) -> Result<(ConjunctiveQuery, Vec<Value>), QueryError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let relation = db.schema().relation_id("R")?;
+    let fact_id = FactId::new(rng.random_range(0..db.len()));
+    let fact = db.fact(fact_id);
+    let key = fact.values()[0].clone();
+    let answer = fact.values()[1].clone();
+    let query = ConjunctiveQuery::new(
+        db.schema(),
+        vec![Variable::new("x")],
+        vec![Atom::new(relation, vec![Term::Const(key), Term::var("x")])],
+    )?;
+    Ok((query, vec![answer]))
+}
+
+/// A Boolean atomic query asking for one specific fact of the database
+/// (chosen by seed): `Ans() :- R(c₁, …, cₙ)`.
+///
+/// The answer probability is then exactly the probability that the chosen
+/// fact survives repairing, which is the quantity the lower-bound lemmas
+/// reason about.
+pub fn fact_membership_query(db: &Database, seed: u64) -> Result<ConjunctiveQuery, QueryError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let fact_id = FactId::new(rng.random_range(0..db.len()));
+    let fact = db.fact(fact_id);
+    let terms = fact.values().iter().cloned().map(Term::Const).collect();
+    ConjunctiveQuery::boolean(db.schema(), vec![Atom::new(fact.relation(), terms)])
+}
+
+/// A Boolean "join" query over the block workload schema `R(K, V)`:
+/// `Ans() :- R(k₁, x), R(k₂, x)` for two randomly chosen key values — it is
+/// entailed by a repair iff the two chosen blocks keep facts sharing a `V`
+/// value, exercising multi-atom queries in the estimators.
+pub fn block_join_query(db: &Database, seed: u64) -> Result<ConjunctiveQuery, QueryError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let relation = db.schema().relation_id("R")?;
+    let first = db.fact(FactId::new(rng.random_range(0..db.len())));
+    let second = db.fact(FactId::new(rng.random_range(0..db.len())));
+    ConjunctiveQuery::boolean(
+        db.schema(),
+        vec![
+            Atom::new(
+                relation,
+                vec![Term::Const(first.values()[0].clone()), Term::var("x")],
+            ),
+            Atom::new(
+                relation,
+                vec![Term::Const(second.values()[0].clone()), Term::var("x")],
+            ),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucqa_query::QueryEvaluator;
+    use crate::BlockWorkload;
+
+    #[test]
+    fn block_lookup_query_has_a_positive_answer_on_the_full_database() {
+        let (db, _) = BlockWorkload::uniform(6, 3, 1).generate();
+        let (query, candidate) = block_lookup_query(&db, 42).unwrap();
+        assert_eq!(query.answer_vars().len(), 1);
+        let evaluator = QueryEvaluator::new(query);
+        assert!(evaluator
+            .has_answer(&db, &db.all_facts(), &candidate)
+            .unwrap());
+    }
+
+    #[test]
+    fn fact_membership_query_is_boolean_and_entailed() {
+        let (db, _) = BlockWorkload::uniform(4, 2, 2).generate();
+        let query = fact_membership_query(&db, 7).unwrap();
+        assert!(query.is_boolean());
+        assert!(query.is_atomic());
+        let evaluator = QueryEvaluator::new(query);
+        assert!(evaluator.entails(&db, &db.all_facts()));
+    }
+
+    #[test]
+    fn block_join_query_has_two_atoms() {
+        let (db, _) = BlockWorkload::uniform(4, 2, 3).generate();
+        let query = block_join_query(&db, 9).unwrap();
+        assert_eq!(query.atom_count(), 2);
+        assert!(query.is_boolean());
+    }
+
+    #[test]
+    fn generators_are_deterministic_in_the_seed() {
+        let (db, _) = BlockWorkload::uniform(6, 3, 1).generate();
+        let a = block_lookup_query(&db, 5).unwrap();
+        let b = block_lookup_query(&db, 5).unwrap();
+        assert_eq!(a.1, b.1);
+        assert_eq!(a.0, b.0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Property-based tests over randomly generated instances, checking the
+//! structural invariants the paper's proofs rely on.
+
+use proptest::prelude::*;
+
+use uocqa::core::counting;
+use uocqa::db::{
+    ConflictGraph, Database, FdSet, FunctionalDependency, Schema, Value, ViolationSet,
+};
+use uocqa::numeric::Ratio;
+use uocqa::query::{Atom, ConjunctiveQuery, QueryEvaluator, Term};
+use uocqa::repair::{GeneratorSpec, OperationalSemantics, RepairingTree, TreeLimits};
+
+/// Builds a primary-key database (single relation `R(A, B)`, key `A → B`)
+/// from a block-size profile.
+fn block_database(profile: &[usize]) -> (Database, FdSet) {
+    let mut schema = Schema::new();
+    schema.add_relation("R", &["A", "B"]).unwrap();
+    let mut db = Database::with_schema(schema);
+    for (block, &size) in profile.iter().enumerate() {
+        for row in 0..size {
+            db.insert_values("R", [Value::int(block as i64), Value::int(row as i64)])
+                .unwrap();
+        }
+    }
+    let mut sigma = FdSet::new();
+    sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["A"], &["B"]).unwrap());
+    (db, sigma)
+}
+
+/// Builds a general-FD database over `R(A, B, C)` with `A → B` from a list
+/// of (a, b) pairs; the third attribute is a unique payload.
+fn fd_database(pairs: &[(u8, u8)]) -> (Database, FdSet) {
+    let mut schema = Schema::new();
+    schema.add_relation("R", &["A", "B", "C"]).unwrap();
+    let mut db = Database::with_schema(schema);
+    for (i, (a, b)) in pairs.iter().enumerate() {
+        db.insert_values(
+            "R",
+            [
+                Value::int(i64::from(*a % 3)),
+                Value::int(i64::from(*b % 3)),
+                Value::int(i as i64),
+            ],
+        )
+        .unwrap();
+    }
+    let mut sigma = FdSet::new();
+    sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["A"], &["B"]).unwrap());
+    (db, sigma)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The Lemma C.1 dynamic program always agrees with brute-force tree
+    /// enumeration, and the closed-form repair counts match as well.
+    #[test]
+    fn counting_formulas_match_enumeration(profile in prop::collection::vec(1usize..4, 1..4)) {
+        let (db, sigma) = block_database(&profile);
+        let tree = RepairingTree::build(&db, &sigma, false, TreeLimits::default()).unwrap();
+        let sizes = counting::block_sizes(&db, &sigma, &db.all_facts()).unwrap();
+        prop_assert_eq!(
+            counting::count_complete_sequences(&sizes).to_u64().unwrap(),
+            tree.leaf_count() as u64
+        );
+        prop_assert_eq!(
+            counting::count_candidate_repairs(&sizes).to_u64().unwrap(),
+            tree.candidate_repairs().len() as u64
+        );
+        let singleton_tree = RepairingTree::build(&db, &sigma, true, TreeLimits::default()).unwrap();
+        prop_assert_eq!(
+            counting::count_complete_sequences_singleton(&sizes).to_u64().unwrap(),
+            singleton_tree.leaf_count() as u64
+        );
+        prop_assert_eq!(
+            counting::count_candidate_repairs_singleton(&sizes).to_u64().unwrap(),
+            singleton_tree.candidate_repairs().len() as u64
+        );
+    }
+
+    /// Every candidate repair produced by the tree is a consistent subset,
+    /// and every leaf distribution sums to exactly 1 under all generators.
+    #[test]
+    fn repairs_are_consistent_and_distributions_normalised(pairs in prop::collection::vec((0u8..3, 0u8..3), 1..6)) {
+        let (db, sigma) = fd_database(&pairs);
+        let tree = RepairingTree::build(&db, &sigma, false, TreeLimits::default()).unwrap();
+        for repair in tree.candidate_repairs() {
+            prop_assert!(ViolationSet::compute(&db, &sigma, &repair).is_empty());
+        }
+        for spec in [
+            GeneratorSpec::uniform_repairs(),
+            GeneratorSpec::uniform_sequences(),
+            GeneratorSpec::uniform_operations(),
+            GeneratorSpec::uniform_operations().with_singleton_only(),
+        ] {
+            let chain = spec.build_chain(&db, &sigma, TreeLimits::default()).unwrap();
+            prop_assert!(chain.leaf_distribution_sums_to_one());
+            let semantics = OperationalSemantics::from_chain(&chain);
+            prop_assert!(semantics.total_probability().is_one());
+        }
+    }
+
+    /// Lemma 5.4 / E.4: for non-trivially connected instances the number of
+    /// candidate repairs equals the number of independent sets of the
+    /// conflict graph (and the singleton variant equals the non-empty ones).
+    #[test]
+    fn corep_equals_independent_sets_of_conflict_graph(pairs in prop::collection::vec((0u8..2, 0u8..3), 2..6)) {
+        let (db, sigma) = fd_database(&pairs);
+        let cg = ConflictGraph::build(&db, &sigma);
+        prop_assume!(cg.is_non_trivially_connected());
+        // Count independent sets of the conflict graph by brute force.
+        let n = db.len();
+        let mut independent = 0u64;
+        let mut independent_nonempty = 0u64;
+        for mask in 0u32..(1 << n) {
+            let subset = uocqa::db::FactSet::from_iter(
+                n,
+                (0..n).filter(|i| (mask >> i) & 1 == 1).map(uocqa::db::FactId::new),
+            );
+            if cg.is_independent_set(&subset) {
+                independent += 1;
+                if !subset.is_empty() {
+                    independent_nonempty += 1;
+                }
+            }
+        }
+        let tree = RepairingTree::build(&db, &sigma, false, TreeLimits::default()).unwrap();
+        prop_assert_eq!(tree.candidate_repairs().len() as u64, independent);
+        let singleton = RepairingTree::build(&db, &sigma, true, TreeLimits::default()).unwrap();
+        prop_assert_eq!(singleton.candidate_repairs().len() as u64, independent_nonempty);
+    }
+
+    /// The chain-based probability and the relative-frequency reformulation
+    /// agree for uniform repairs and uniform sequences (Sections 5 and 6),
+    /// and probabilities always lie in [0, 1].
+    #[test]
+    fn frequency_reformulations_agree(profile in prop::collection::vec(1usize..4, 1..4), fact_index in 0usize..12) {
+        let (db, sigma) = block_database(&profile);
+        let solver = uocqa::core::exact::ExactSolver::new(&db, &sigma);
+        // Atomic query asking for a specific fact (wrapping the index).
+        let target = db.fact(uocqa::db::FactId::new(fact_index % db.len()));
+        let terms: Vec<Term> = target.values().iter().cloned().map(Term::Const).collect();
+        let query = ConjunctiveQuery::boolean(db.schema(), vec![Atom::new(target.relation(), terms)]).unwrap();
+        let evaluator = QueryEvaluator::new(query);
+        for spec in [GeneratorSpec::uniform_repairs(), GeneratorSpec::uniform_sequences()] {
+            let via_chain = solver.answer_probability(spec, &evaluator, &[]).unwrap();
+            let via_freq = solver
+                .answer_probability_via_frequencies(spec, &evaluator, &[])
+                .unwrap();
+            prop_assert_eq!(via_chain.clone(), via_freq);
+            prop_assert!(via_chain <= Ratio::one());
+        }
+    }
+
+    /// The lower bounds of Lemmas 5.3 / 6.3 / E.3 hold on random
+    /// primary-key instances: whenever the frequency is positive it is at
+    /// least the stated bound.
+    #[test]
+    fn lower_bounds_hold(profile in prop::collection::vec(1usize..4, 1..4), fact_index in 0usize..12) {
+        let (db, sigma) = block_database(&profile);
+        let solver = uocqa::core::exact::ExactSolver::new(&db, &sigma);
+        let target = db.fact(uocqa::db::FactId::new(fact_index % db.len()));
+        let terms: Vec<Term> = target.values().iter().cloned().map(Term::Const).collect();
+        let query = ConjunctiveQuery::boolean(db.schema(), vec![Atom::new(target.relation(), terms)]).unwrap();
+        let evaluator = QueryEvaluator::new(query);
+        let d = db.len();
+
+        let rrfreq = solver.rrfreq(&evaluator, &[], false).unwrap().to_f64();
+        if rrfreq > 0.0 {
+            prop_assert!(rrfreq >= uocqa::core::bounds::rrfreq_lower_bound(d, 1).to_f64() - 1e-12);
+        }
+        let srfreq = solver.srfreq(&evaluator, &[], false).unwrap().to_f64();
+        if srfreq > 0.0 {
+            prop_assert!(srfreq >= uocqa::core::bounds::srfreq_lower_bound(d, 1).to_f64() - 1e-12);
+        }
+        let rrfreq1 = solver.rrfreq(&evaluator, &[], true).unwrap().to_f64();
+        if rrfreq1 > 0.0 {
+            prop_assert!(
+                rrfreq1 >= uocqa::core::bounds::singleton_frequency_lower_bound(d, 1).to_f64() - 1e-12
+            );
+        }
+    }
+}

@@ -48,7 +48,9 @@ fn bench_exact_chains(c: &mut Criterion) {
                         .build_chain(
                             black_box(&db),
                             black_box(&sigma),
-                            TreeLimits { max_nodes: 5_000_000 },
+                            TreeLimits {
+                                max_nodes: 5_000_000,
+                            },
                         )
                         .expect("within the node limit");
                     black_box(chain.tree().leaf_count())

@@ -24,16 +24,20 @@ fn bench_fpras_srfreq(c: &mut Criterion) {
         let estimator = OcqaEstimator::new(&db, &sigma, GeneratorSpec::uniform_sequences())
             .expect("primary keys");
         let params = ApproximationParams::new(0.2, 0.1).expect("valid parameters");
-        group.bench_with_input(BenchmarkId::new("epsilon_0.2", db.len()), &db.len(), |b, _| {
-            let mut rng = StdRng::seed_from_u64(6);
-            b.iter(|| {
-                black_box(
-                    estimator
-                        .estimate(&evaluator, &candidate, params, &mut rng)
-                        .expect("estimation succeeds"),
-                )
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("epsilon_0.2", db.len()),
+            &db.len(),
+            |b, _| {
+                let mut rng = StdRng::seed_from_u64(6);
+                b.iter(|| {
+                    black_box(
+                        estimator
+                            .estimate(&evaluator, &candidate, params, &mut rng)
+                            .expect("estimation succeeds"),
+                    )
+                })
+            },
+        );
     }
     group.finish();
 }

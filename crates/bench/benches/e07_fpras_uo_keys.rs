@@ -33,16 +33,20 @@ fn bench_uniform_operations_keys(c: &mut Criterion) {
         let estimator = OcqaEstimator::new(&db, &sigma, GeneratorSpec::uniform_operations())
             .expect("keys are supported");
         let params = ApproximationParams::new(0.25, 0.1).expect("valid parameters");
-        group.bench_with_input(BenchmarkId::new("fpras_epsilon_0.25", facts), &facts, |b, _| {
-            let mut rng = StdRng::seed_from_u64(8);
-            b.iter(|| {
-                black_box(
-                    estimator
-                        .estimate(&evaluator, &[], params, &mut rng)
-                        .expect("estimation succeeds"),
-                )
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("fpras_epsilon_0.25", facts),
+            &facts,
+            |b, _| {
+                let mut rng = StdRng::seed_from_u64(8);
+                b.iter(|| {
+                    black_box(
+                        estimator
+                            .estimate(&evaluator, &[], params, &mut rng)
+                            .expect("estimation succeeds"),
+                    )
+                })
+            },
+        );
     }
     group.finish();
 }

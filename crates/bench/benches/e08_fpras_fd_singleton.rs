@@ -37,16 +37,20 @@ fn bench_fd_singleton(c: &mut Criterion) {
         )
         .expect("FDs with singleton operations");
         let params = ApproximationParams::new(0.25, 0.1).expect("valid parameters");
-        group.bench_with_input(BenchmarkId::new("fpras_epsilon_0.25", facts), &facts, |b, _| {
-            let mut rng = StdRng::seed_from_u64(10);
-            b.iter(|| {
-                black_box(
-                    estimator
-                        .estimate(&evaluator, &[], params, &mut rng)
-                        .expect("estimation succeeds"),
-                )
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("fpras_epsilon_0.25", facts),
+            &facts,
+            |b, _| {
+                let mut rng = StdRng::seed_from_u64(10);
+                b.iter(|| {
+                    black_box(
+                        estimator
+                            .estimate(&evaluator, &[], params, &mut rng)
+                            .expect("estimation succeeds"),
+                    )
+                })
+            },
+        );
     }
     group.finish();
 }

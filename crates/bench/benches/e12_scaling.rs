@@ -25,11 +25,22 @@ fn bench_scaling(c: &mut Criterion) {
         let (db, sigma) = BlockWorkload::uniform(blocks, 4, 21).generate();
         let (query, candidate) = block_lookup_query(&db, 5).expect("valid query");
         let evaluator = QueryEvaluator::new(query);
-        group.bench_with_input(BenchmarkId::new("exact_rrfreq", db.len()), &db.len(), |b, _| {
-            let solver = ExactSolver::new(&db, &sigma)
-                .with_limits(TreeLimits { max_nodes: 5_000_000 });
-            b.iter(|| black_box(solver.rrfreq(&evaluator, &candidate, false).expect("feasible")))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("exact_rrfreq", db.len()),
+            &db.len(),
+            |b, _| {
+                let solver = ExactSolver::new(&db, &sigma).with_limits(TreeLimits {
+                    max_nodes: 5_000_000,
+                });
+                b.iter(|| {
+                    black_box(
+                        solver
+                            .rrfreq(&evaluator, &candidate, false)
+                            .expect("feasible"),
+                    )
+                })
+            },
+        );
     }
 
     // Approximate answering keeps scaling (fixed 2 000 samples so the

@@ -1,0 +1,174 @@
+//! Produces `BENCH_e13.json`: sample-throughput numbers for the compiled
+//! lineage + reused-bitset sampling pipeline vs. the backtracking
+//! evaluator, on the e12-style scaling workload.
+//!
+//! ```text
+//! cargo run -p ucqa-bench --release --bin e13_report [-- output.json]
+//! ```
+//!
+//! The JSON records, per database size: the mean per-check time of the
+//! compiled-lineage witness scan and of the backtracking homomorphism
+//! search (over the same pre-sampled repair pool), the resulting speedup,
+//! and the end-to-end estimator sample throughput on the repairs,
+//! sequences and operations paths (all of which run the allocation-free
+//! `sample_into` hot loop), plus the rayon-parallel throughput.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use ucqa_core::fpras::{ApproximationParams, EstimatorMode, OcqaEstimator};
+use ucqa_core::sample_repairs::RepairSampler;
+use ucqa_db::FactSet;
+use ucqa_query::{CompiledLineage, QueryEvaluator};
+use ucqa_repair::GeneratorSpec;
+use ucqa_workload::{queries::block_lookup_query, BlockWorkload};
+
+/// Times `routine` over `iters` iterations and returns mean ns/iteration.
+fn time_ns(iters: u64, mut routine: impl FnMut()) -> f64 {
+    // Warm-up pass.
+    for _ in 0..iters.div_ceil(10).max(1) {
+        routine();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        routine();
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn main() {
+    let output = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_e13.json".to_string());
+    let mut sizes = String::new();
+
+    for blocks in [25usize, 250, 1250] {
+        let (db, sigma) = BlockWorkload::uniform(blocks, 4, 23).generate();
+        let n = db.len();
+        let (query, candidate) = block_lookup_query(&db, 5).expect("valid query");
+        let evaluator = QueryEvaluator::new(query);
+        let lineage = CompiledLineage::compile(&evaluator, &db, &candidate)
+            .expect("arity ok")
+            .expect("under witness cap");
+
+        // A fixed pool of sampled repairs, shared by both check paths.
+        let sampler = RepairSampler::new(&db, &sigma).expect("primary keys");
+        let mut rng = StdRng::seed_from_u64(4242);
+        let mut buffer = FactSet::empty(n);
+        let pool: Vec<FactSet> = (0..64)
+            .map(|_| {
+                sampler.sample_into(&mut rng, &mut buffer);
+                buffer.clone()
+            })
+            .collect();
+
+        let check_iters = 200_000u64;
+        let mut index = 0usize;
+        let lineage_ns = time_ns(check_iters, || {
+            let repair = &pool[index % pool.len()];
+            index += 1;
+            std::hint::black_box(lineage.entails(repair));
+        });
+        let mut index = 0usize;
+        let backtracking_iters = if n >= 1000 { 20_000 } else { check_iters };
+        let backtracking_ns = time_ns(backtracking_iters, || {
+            let repair = &pool[index % pool.len()];
+            index += 1;
+            std::hint::black_box(
+                evaluator
+                    .has_answer(&db, repair, &candidate)
+                    .expect("arity validated"),
+            );
+        });
+        let speedup = backtracking_ns / lineage_ns;
+
+        // End-to-end estimator throughput (samples/second) per generator.
+        //
+        // The repairs path scales to every size.  The sequences path is
+        // capped at the smallest size because *constructing* the exact
+        // Lemma C.1 DP is itself super-quadratic in the number of blocks
+        // (a pre-existing limitation, unrelated to per-sample cost), and
+        // the operations walk recomputes violations per step (O(|D|) per
+        // step), so its sample budget shrinks with the database.
+        let mut throughputs = String::new();
+        let mut record = |name: &str, samples: u64, spec: Option<GeneratorSpec>| {
+            let budget = ApproximationParams::new(0.2, 0.1)
+                .expect("valid parameters")
+                .with_mode(EstimatorMode::FixedSamples(samples));
+            let (estimate, elapsed) = match spec {
+                Some(spec) => {
+                    let estimator =
+                        OcqaEstimator::new(&db, &sigma, spec).expect("primary keys supported");
+                    let mut rng = StdRng::seed_from_u64(12);
+                    let start = Instant::now();
+                    let estimate = estimator
+                        .estimate(&evaluator, &candidate, budget, &mut rng)
+                        .expect("estimation succeeds");
+                    (estimate, start.elapsed().as_secs_f64())
+                }
+                None => {
+                    // Parallel repairs path.
+                    let estimator =
+                        OcqaEstimator::new(&db, &sigma, GeneratorSpec::uniform_repairs())
+                            .expect("primary keys");
+                    let start = Instant::now();
+                    let estimate = estimator
+                        .estimate_parallel(&evaluator, &candidate, budget, 2024)
+                        .expect("parallel estimation succeeds");
+                    (estimate, start.elapsed().as_secs_f64())
+                }
+            };
+            let _ = write!(
+                throughputs,
+                "{}\"{name}\": {{\"samples\": {}, \"seconds\": {elapsed:.4}, \
+                 \"samples_per_sec\": {:.0}}}",
+                if throughputs.is_empty() { "" } else { ", " },
+                estimate.samples,
+                estimate.samples as f64 / elapsed.max(1e-9),
+            );
+        };
+        record("repairs", 20_000, Some(GeneratorSpec::uniform_repairs()));
+        record("repairs_parallel", 200_000, None);
+        if blocks <= 25 {
+            record(
+                "sequences",
+                20_000,
+                Some(GeneratorSpec::uniform_sequences()),
+            );
+        }
+        if blocks <= 250 {
+            let walk_samples = if blocks <= 25 { 20_000 } else { 2_000 };
+            record(
+                "operations",
+                walk_samples,
+                Some(GeneratorSpec::uniform_operations()),
+            );
+        }
+
+        let _ = write!(
+            sizes,
+            "{}    {{\"facts\": {n}, \"witnesses\": {}, \
+             \"lineage_check_ns\": {lineage_ns:.1}, \
+             \"backtracking_check_ns\": {backtracking_ns:.1}, \
+             \"speedup\": {speedup:.1}, \"estimator_throughput\": {{{throughputs}}}}}",
+            if sizes.is_empty() { "\n" } else { ",\n" },
+            lineage.witness_count(),
+        );
+        eprintln!(
+            "[e13] n = {n}: lineage {lineage_ns:.1} ns, backtracking {backtracking_ns:.1} ns \
+             ({speedup:.1}x)"
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"experiment\": \"e13_lineage_vs_backtracking\",\n  \
+         \"workload\": \"BlockWorkload::uniform(blocks, 4, 23) + block_lookup_query(seed 5)\",\n  \
+         \"check_pool\": 64,\n  \"sizes\": [{sizes}\n  ]\n}}\n"
+    );
+    std::fs::write(&output, &json).expect("write BENCH_e13.json");
+    println!("{json}");
+    eprintln!("[e13] wrote {output}");
+}

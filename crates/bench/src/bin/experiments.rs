@@ -34,6 +34,9 @@ fn main() {
                 println!("{table}");
             }
         }
-        eprintln!("[experiments] `{which}` finished in {:.1?}", start.elapsed());
+        eprintln!(
+            "[experiments] `{which}` finished in {:.1?}",
+            start.elapsed()
+        );
     }
 }

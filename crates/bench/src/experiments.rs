@@ -59,10 +59,7 @@ pub fn run(which: &str) -> Vec<Table> {
             tables
         }
         other => {
-            let mut table = Table::new(
-                format!("unknown experiment `{other}`"),
-                &["available"],
-            );
+            let mut table = Table::new(format!("unknown experiment `{other}`"), &["available"]);
             table.add_row(vec!["e1 … e12, all".to_string()]);
             vec![table]
         }
@@ -114,19 +111,28 @@ pub fn e01_running_example() -> Vec<Table> {
     table.add_row(vec![
         "M^us root probabilities p1..p5".into(),
         "3/9, 1/9, 1/9, 1/9, 3/9".into(),
-        us.iter().map(Ratio::to_string).collect::<Vec<_>>().join(", "),
+        us.iter()
+            .map(Ratio::to_string)
+            .collect::<Vec<_>>()
+            .join(", "),
     ]);
     let ur = root_child_probabilities(&db, &sigma, GeneratorSpec::uniform_repairs());
     table.add_row(vec![
         "M^ur root probabilities p1..p5".into(),
         "3/5, 0, 1/5, 1/5, 0".into(),
-        ur.iter().map(Ratio::to_string).collect::<Vec<_>>().join(", "),
+        ur.iter()
+            .map(Ratio::to_string)
+            .collect::<Vec<_>>()
+            .join(", "),
     ]);
     let uo = root_child_probabilities(&db, &sigma, GeneratorSpec::uniform_operations());
     table.add_row(vec![
         "M^uo root probabilities p1..p5".into(),
         "1/5 each".into(),
-        uo.iter().map(Ratio::to_string).collect::<Vec<_>>().join(", "),
+        uo.iter()
+            .map(Ratio::to_string)
+            .collect::<Vec<_>>()
+            .join(", "),
     ]);
 
     let semantics_ur = OperationalSemantics::from_chain(
@@ -426,8 +432,8 @@ pub fn e06_fpras_srfreq() -> Vec<Table> {
     let q = parse_query(db.schema(), "Ans(x) :- R('a1', x)").expect("valid query");
     let evaluator = QueryEvaluator::new(q);
     let candidate = [Value::str("b1")];
-    let estimator = OcqaEstimator::new(&db, &sigma, GeneratorSpec::uniform_sequences())
-        .expect("primary keys");
+    let estimator =
+        OcqaEstimator::new(&db, &sigma, GeneratorSpec::uniform_sequences()).expect("primary keys");
     let params = ApproximationParams::new(0.05, 0.05).expect("valid parameters");
     let mut rng = StdRng::seed_from_u64(606);
     let estimate = estimator
@@ -479,7 +485,14 @@ pub fn e06_fpras_srfreq() -> Vec<Table> {
 pub fn e07_fpras_uniform_operations_keys() -> Vec<Table> {
     let mut table = Table::new(
         "E7 — Theorem 7.1(2): FPRAS for uniform operations, arbitrary keys (2 keys/relation)",
-        &["instance", "exact", "estimate", "rel. error", "samples", "time"],
+        &[
+            "instance",
+            "exact",
+            "estimate",
+            "rel. error",
+            "samples",
+            "time",
+        ],
     );
     let mut rng = StdRng::seed_from_u64(700);
 
@@ -511,8 +524,7 @@ pub fn e07_fpras_uniform_operations_keys() -> Vec<Table> {
     // Larger instances: estimate only (exact is intractable).
     for (facts, domain) in [(40usize, 8usize), (80, 12), (160, 20)] {
         let (db, sigma) = MultiKeyWorkload::new(facts, domain, 7 + facts as u64).generate();
-        let query =
-            ucqa_workload::queries::fact_membership_query(&db, 2).expect("valid query");
+        let query = ucqa_workload::queries::fact_membership_query(&db, 2).expect("valid query");
         let evaluator = QueryEvaluator::new(query);
         let estimator = OcqaEstimator::new(&db, &sigma, GeneratorSpec::uniform_operations())
             .expect("keys are supported");
@@ -539,7 +551,14 @@ pub fn e07_fpras_uniform_operations_keys() -> Vec<Table> {
 pub fn e08_fpras_fd_singleton() -> Vec<Table> {
     let mut table = Table::new(
         "E8 — Theorem 7.5: FPRAS for uniform operations with singleton removals, arbitrary FDs",
-        &["instance", "exact", "estimate", "rel. error", "samples", "time"],
+        &[
+            "instance",
+            "exact",
+            "estimate",
+            "rel. error",
+            "samples",
+            "time",
+        ],
     );
     let mut rng = StdRng::seed_from_u64(800);
     let spec = GeneratorSpec::uniform_operations().with_singleton_only();
@@ -569,8 +588,7 @@ pub fn e08_fpras_fd_singleton() -> Vec<Table> {
 
     for (facts, da, db_size) in [(50usize, 8usize, 3usize), (100, 12, 4), (200, 20, 4)] {
         let (db, sigma) = FdWorkload::new(facts, da, db_size, 11 + facts as u64).generate();
-        let query =
-            ucqa_workload::queries::fact_membership_query(&db, 1).expect("valid query");
+        let query = ucqa_workload::queries::fact_membership_query(&db, 1).expect("valid query");
         let evaluator = QueryEvaluator::new(query);
         let estimator = OcqaEstimator::new(&db, &sigma, spec).expect("FDs with singleton ops");
         let lower_bound = estimator.theoretical_lower_bound(&evaluator).to_f64();
@@ -633,8 +651,8 @@ pub fn e09_proposition_d6() -> Vec<Table> {
         );
         let walk = OperationWalkSampler::new(&db, &sigma);
         let mut rng = StdRng::seed_from_u64(900 + n as u64);
-        let stopping = ucqa_core::montecarlo::StoppingRuleEstimator::new(0.2, 0.1)
-            .with_max_samples(200_000);
+        let stopping =
+            ucqa_core::montecarlo::StoppingRuleEstimator::new(0.2, 0.1).with_max_samples(200_000);
         let outcome = stopping.estimate(&mut rng, |rng| {
             let repair = walk.sample_result(rng);
             evaluator
@@ -653,7 +671,11 @@ pub fn e09_proposition_d6() -> Vec<Table> {
             n.to_string(),
             format!("{:.3e}", exact.to_f64()),
             format!("{bound:.3e}"),
-            format!("{} / driver refuses: {}", exact.to_f64() <= bound + 1e-15, refused),
+            format!(
+                "{} / driver refuses: {}",
+                exact.to_f64() <= bound + 1e-15,
+                refused
+            ),
             walk_cell,
         ]);
     }
@@ -690,8 +712,9 @@ pub fn e10_independent_sets() -> Vec<Table> {
     for (name, graph) in graphs {
         let reduction = IndependentSetReduction::new(graph.max_degree());
         let db = reduction.database(&graph);
-        let solver = ExactSolver::new(&db, reduction.sigma())
-            .with_limits(TreeLimits { max_nodes: 5_000_000 });
+        let solver = ExactSolver::new(&db, reduction.sigma()).with_limits(TreeLimits {
+            max_nodes: 5_000_000,
+        });
         let is_count = count_independent_sets(&graph);
         let corep = solver
             .candidate_repair_count(false)
@@ -720,19 +743,30 @@ pub fn e10_independent_sets() -> Vec<Table> {
 pub fn e11_hardness_reductions() -> Vec<Table> {
     let mut hom_table = Table::new(
         "E11a — Theorem 5.1(1): ♯H-Coloring via the RRFreq oracle",
-        &["graph", "♯hom(G,H) brute force", "via reduction (exact oracle)", "match"],
+        &[
+            "graph",
+            "♯hom(G,H) brute force",
+            "via reduction (exact oracle)",
+            "match",
+        ],
     );
     let reduction = HColoringReduction::new();
     let h = TargetGraph::hardness_gadget();
     let graphs = vec![
-        ("single edge".to_string(), UndirectedGraph::from_edges(2, &[(0, 1)])),
+        (
+            "single edge".to_string(),
+            UndirectedGraph::from_edges(2, &[(0, 1)]),
+        ),
         ("path P4".to_string(), UndirectedGraph::path(4)),
         ("cycle C5".to_string(), UndirectedGraph::cycle(5)),
         ("K4 minus an edge".to_string(), {
             let mut g = UndirectedGraph::complete(4);
             g = UndirectedGraph::from_edges(
                 4,
-                &g.edges().into_iter().filter(|&e| e != (2, 3)).collect::<Vec<_>>(),
+                &g.edges()
+                    .into_iter()
+                    .filter(|&e| e != (2, 3))
+                    .collect::<Vec<_>>(),
             );
             g
         }),
@@ -755,12 +789,23 @@ pub fn e11_hardness_reductions() -> Vec<Table> {
 
     let mut sat_table = Table::new(
         "E11b — Theorem E.1(1): ♯Pos2DNF via the RRFreq¹ oracle",
-        &["formula", "♯sat brute force", "via reduction (exact oracle)", "match"],
+        &[
+            "formula",
+            "♯sat brute force",
+            "via reduction (exact oracle)",
+            "match",
+        ],
     );
     let dnf_reduction = Pos2DnfReduction::new();
     let formulas = vec![
-        ("(x0∧x1) ∨ (x1∧x2)".to_string(), Positive2Dnf::new(3, vec![(0, 1), (1, 2)])),
-        ("single clause over 4 vars".to_string(), Positive2Dnf::new(4, vec![(0, 3)])),
+        (
+            "(x0∧x1) ∨ (x1∧x2)".to_string(),
+            Positive2Dnf::new(3, vec![(0, 1), (1, 2)]),
+        ),
+        (
+            "single clause over 4 vars".to_string(),
+            Positive2Dnf::new(4, vec![(0, 3)]),
+        ),
         (
             "chain of 4 clauses over 5 vars".to_string(),
             Positive2Dnf::new(5, vec![(0, 1), (1, 2), (2, 3), (3, 4)]),
@@ -788,7 +833,13 @@ pub fn e11_hardness_reductions() -> Vec<Table> {
 
     let mut gadget_table = Table::new(
         "E11c — Lemma 5.6: the FD gadget adds exactly one repair",
-        &["source graph", "|CORep(D, Σ_K)|", "|CORep(D_F, Σ_F)|", "rrfreq(D_F, Q_F)", "recovered count"],
+        &[
+            "source graph",
+            "|CORep(D, Σ_K)|",
+            "|CORep(D_F, Σ_F)|",
+            "rrfreq(D_F, Q_F)",
+            "recovered count",
+        ],
     );
     for graph in [UndirectedGraph::cycle(5), UndirectedGraph::path(5)] {
         let is_reduction = IndependentSetReduction::new(graph.max_degree());
@@ -796,7 +847,9 @@ pub fn e11_hardness_reductions() -> Vec<Table> {
         let source_count = ExactSolver::new(&source, is_reduction.sigma())
             .candidate_repair_count(false)
             .expect("small instance");
-        let arity = source.schema().arity(source.schema().relation_id("R").expect("R exists"));
+        let arity = source
+            .schema()
+            .arity(source.schema().relation_id("R").expect("R exists"));
         let gadget = FdGadget::new(arity, is_reduction.sigma());
         let target = gadget.database(&source);
         let target_solver = ExactSolver::new(&target, gadget.sigma());
@@ -813,7 +866,11 @@ pub fn e11_hardness_reductions() -> Vec<Table> {
                 .expect("small instance")
         });
         gadget_table.add_row(vec![
-            format!("{} nodes / {} edges", graph.node_count(), graph.edge_count()),
+            format!(
+                "{} nodes / {} edges",
+                graph.node_count(),
+                graph.edge_count()
+            ),
             source_count.to_string(),
             target_count.to_string(),
             rrfreq.to_string(),
@@ -847,8 +904,8 @@ pub fn e12_scaling() -> Vec<Table> {
 
         // Exact enumeration with a hard node limit.
         let exact_cell = {
-            let solver = ExactSolver::new(&db, &sigma)
-                .with_limits(TreeLimits { max_nodes: 300_000 });
+            let solver =
+                ExactSolver::new(&db, &sigma).with_limits(TreeLimits { max_nodes: 300_000 });
             let start = Instant::now();
             match solver.candidate_repair_count(false) {
                 Ok(count) => format!("{count} repairs in {:.1?}", start.elapsed()),
@@ -887,8 +944,8 @@ pub fn e12_scaling() -> Vec<Table> {
             .estimate(&evaluator, &candidate, params, &mut rng)
             .expect("estimation succeeds");
         let ur_time = start.elapsed();
-        let uo = OcqaEstimator::new(&db, &sigma, GeneratorSpec::uniform_operations())
-            .expect("keys");
+        let uo =
+            OcqaEstimator::new(&db, &sigma, GeneratorSpec::uniform_operations()).expect("keys");
         let start = Instant::now();
         let uo_estimate = uo
             .estimate(&evaluator, &candidate, params, &mut rng)

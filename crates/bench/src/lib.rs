@@ -30,7 +30,9 @@ pub mod fixtures {
     /// `Σ = {R : A → B, R : C → B}`.
     pub fn running_example() -> (Database, FdSet) {
         let mut schema = Schema::new();
-        schema.add_relation("R", &["A", "B", "C"]).expect("fresh schema");
+        schema
+            .add_relation("R", &["A", "B", "C"])
+            .expect("fresh schema");
         let mut db = Database::with_schema(schema);
         for (a, b, c) in [("a1", "b1", "c1"), ("a1", "b2", "c2"), ("a2", "b1", "c2")] {
             db.insert_values("R", [Value::str(a), Value::str(b), Value::str(c)])
@@ -38,12 +40,10 @@ pub mod fixtures {
         }
         let mut sigma = FdSet::new();
         sigma.add(
-            FunctionalDependency::from_names(db.schema(), "R", &["A"], &["B"])
-                .expect("valid FD"),
+            FunctionalDependency::from_names(db.schema(), "R", &["A"], &["B"]).expect("valid FD"),
         );
         sigma.add(
-            FunctionalDependency::from_names(db.schema(), "R", &["C"], &["B"])
-                .expect("valid FD"),
+            FunctionalDependency::from_names(db.schema(), "R", &["C"], &["B"]).expect("valid FD"),
         );
         (db, sigma)
     }
@@ -52,7 +52,9 @@ pub mod fixtures {
     /// key `R : A1 → A2`, forming blocks of sizes 3, 1 and 2.
     pub fn figure2() -> (Database, FdSet) {
         let mut schema = Schema::new();
-        schema.add_relation("R", &["A1", "A2"]).expect("fresh schema");
+        schema
+            .add_relation("R", &["A1", "A2"])
+            .expect("fresh schema");
         let mut db = Database::with_schema(schema);
         for (a, b) in [
             ("a1", "b1"),
@@ -67,8 +69,7 @@ pub mod fixtures {
         }
         let mut sigma = FdSet::new();
         sigma.add(
-            FunctionalDependency::from_names(db.schema(), "R", &["A1"], &["A2"])
-                .expect("valid FD"),
+            FunctionalDependency::from_names(db.schema(), "R", &["A1"], &["A2"]).expect("valid FD"),
         );
         (db, sigma)
     }

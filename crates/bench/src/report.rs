@@ -51,10 +51,7 @@ impl Table {
         let mut out = String::new();
         out.push_str(&format!("### {}\n\n", self.title));
         out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
-        out.push_str(&format!(
-            "|{}\n",
-            "---|".repeat(self.headers.len())
-        ));
+        out.push_str(&format!("|{}\n", "---|".repeat(self.headers.len())));
         for row in &self.rows {
             out.push_str(&format!("| {} |\n", row.join(" | ")));
         }
@@ -81,7 +78,11 @@ impl fmt::Display for Table {
             .map(|(i, h)| format!("{h:<width$}", width = widths[i]))
             .collect();
         writeln!(f, "{}", header.join("  "))?;
-        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()))?;
+        writeln!(
+            f,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        )?;
         for row in &self.rows {
             let cells: Vec<String> = row
                 .iter()

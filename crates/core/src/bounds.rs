@@ -119,8 +119,7 @@ pub fn samples_for_relative_error(epsilon: f64, delta: f64, lower_bound: LogFloa
     if lower_bound.is_zero() {
         return None;
     }
-    let ln_samples =
-        (3.0 * (2.0 / delta).ln() / (epsilon * epsilon)).ln() - lower_bound.ln();
+    let ln_samples = (3.0 * (2.0 / delta).ln() / (epsilon * epsilon)).ln() - lower_bound.ln();
     if ln_samples > 62.0 * std::f64::consts::LN_2 {
         return None;
     }

@@ -24,11 +24,7 @@ use ucqa_numeric::Natural;
 ///
 /// All the primary-key counting formulas and samplers depend on the
 /// database only through this profile, which is what makes them polynomial.
-pub fn block_sizes(
-    db: &Database,
-    sigma: &FdSet,
-    subset: &FactSet,
-) -> Result<Vec<usize>, DbError> {
+pub fn block_sizes(db: &Database, sigma: &FdSet, subset: &FactSet) -> Result<Vec<usize>, DbError> {
     let partition = BlockPartition::compute(db, sigma)?;
     Ok(block_sizes_from_partition(&partition, subset))
 }
@@ -99,8 +95,8 @@ pub fn sequences_empty_block(m: u64, i: u64) -> Natural {
     }
     // m! · (m − i − 1)! / (2^i · (i−1)! · (m − 2i)!)
     let numerator = &factorial(m) * &factorial(m - i - 1);
-    let denominator = &(&Natural::from_u64(2).pow(i as u32) * &factorial(i - 1))
-        * &factorial(m - 2 * i);
+    let denominator =
+        &(&Natural::from_u64(2).pow(i as u32) * &factorial(i - 1)) * &factorial(m - 2 * i);
     let (q, r) = numerator.div_rem(&denominator);
     debug_assert!(r.is_zero(), "S^e must be an integer");
     q
@@ -134,8 +130,7 @@ pub fn count_complete_sequences(sizes: &[usize]) -> Natural {
     }
 
     // table[k][i] = P^{k,i}_j for the current j.
-    let zero_table =
-        || vec![vec![Natural::zero(); (max_pairs + 1) as usize]; n + 1];
+    let zero_table = || vec![vec![Natural::zero(); (max_pairs + 1) as usize]; n + 1];
     let mut table = zero_table();
     let first = blocks[0];
     for i in 0..=max_pairs {
@@ -276,12 +271,11 @@ mod tests {
             ("a3", "b1"),
             ("a3", "b2"),
         ] {
-            db.insert_values("R", [Value::str(a), Value::str(b)]).unwrap();
+            db.insert_values("R", [Value::str(a), Value::str(b)])
+                .unwrap();
         }
         let mut sigma = FdSet::new();
-        sigma.add(
-            FunctionalDependency::from_names(db.schema(), "R", &["A1"], &["A2"]).unwrap(),
-        );
+        sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["A1"], &["A2"]).unwrap());
         (db, sigma)
     }
 
@@ -296,10 +290,7 @@ mod tests {
     #[test]
     fn candidate_repair_counts_match_example_b2() {
         // Example B.2: (3+1) × (2+1) = 12 candidate repairs.
-        assert_eq!(
-            count_candidate_repairs(&[3, 1, 2]).to_u64(),
-            Some(12)
-        );
+        assert_eq!(count_candidate_repairs(&[3, 1, 2]).to_u64(), Some(12));
         // Singleton variant: 3 × 1 × 2 = 6.
         assert_eq!(
             count_candidate_repairs_singleton(&[3, 1, 2]).to_u64(),
@@ -343,8 +334,7 @@ mod tests {
             vec![3, 3],
         ] {
             let (db, sigma) = database_with_blocks(&profile);
-            let tree =
-                RepairingTree::build(&db, &sigma, false, TreeLimits::default()).unwrap();
+            let tree = RepairingTree::build(&db, &sigma, false, TreeLimits::default()).unwrap();
             let expected = tree.leaf_count() as u64;
             assert_eq!(
                 count_complete_sequences(&profile).to_u64(),
@@ -358,8 +348,7 @@ mod tests {
     fn singleton_crs_count_matches_tree_enumeration() {
         for profile in [vec![2usize], vec![3], vec![3, 2], vec![2, 2, 2], vec![4, 3]] {
             let (db, sigma) = database_with_blocks(&profile);
-            let tree =
-                RepairingTree::build(&db, &sigma, true, TreeLimits::default()).unwrap();
+            let tree = RepairingTree::build(&db, &sigma, true, TreeLimits::default()).unwrap();
             let expected = tree.leaf_count() as u64;
             assert_eq!(
                 count_complete_sequences_singleton(&profile).to_u64(),

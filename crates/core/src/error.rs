@@ -46,7 +46,11 @@ impl fmt::Display for CoreError {
             } => write!(
                 f,
                 "no algorithm for {semantics}{} over {constraint_class}: {explanation}",
-                if *singleton_only { " (singleton operations)" } else { "" }
+                if *singleton_only {
+                    " (singleton operations)"
+                } else {
+                    ""
+                }
             ),
             CoreError::InvalidParameters { message } => {
                 write!(f, "invalid approximation parameters: {message}")

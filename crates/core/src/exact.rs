@@ -50,9 +50,7 @@ impl<'a> ExactSolver<'a> {
 
     /// `|CORep(D, Σ)|` (or `|CORep¹(D, Σ)|`) by enumeration.
     pub fn candidate_repair_count(&self, singleton_only: bool) -> Result<Natural, CoreError> {
-        Ok(Natural::from(
-            self.candidate_repairs(singleton_only)?.len(),
-        ))
+        Ok(Natural::from(self.candidate_repairs(singleton_only)?.len()))
     }
 
     /// `|CRS(D, Σ)|` (or `|CRS¹(D, Σ)|`) by enumeration.
@@ -137,15 +135,9 @@ impl<'a> ExactSolver<'a> {
         candidate: &[Value],
     ) -> Result<Ratio, CoreError> {
         match spec.semantics {
-            UniformSemantics::Repairs => {
-                self.rrfreq(evaluator, candidate, spec.singleton_only)
-            }
-            UniformSemantics::Sequences => {
-                self.srfreq(evaluator, candidate, spec.singleton_only)
-            }
-            UniformSemantics::Operations => {
-                self.answer_probability(spec, evaluator, candidate)
-            }
+            UniformSemantics::Repairs => self.rrfreq(evaluator, candidate, spec.singleton_only),
+            UniformSemantics::Sequences => self.srfreq(evaluator, candidate, spec.singleton_only),
+            UniformSemantics::Operations => self.answer_probability(spec, evaluator, candidate),
         }
     }
 }
@@ -185,12 +177,11 @@ mod tests {
             ("a3", "b1"),
             ("a3", "b2"),
         ] {
-            db.insert_values("R", [Value::str(a), Value::str(b)]).unwrap();
+            db.insert_values("R", [Value::str(a), Value::str(b)])
+                .unwrap();
         }
         let mut sigma = FdSet::new();
-        sigma.add(
-            FunctionalDependency::from_names(db.schema(), "R", &["A1"], &["A2"]).unwrap(),
-        );
+        sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["A1"], &["A2"]).unwrap());
         (db, sigma)
     }
 
@@ -198,9 +189,18 @@ mod tests {
     fn running_example_counts() {
         let (db, sigma) = running_example();
         let solver = ExactSolver::new(&db, &sigma);
-        assert_eq!(solver.candidate_repair_count(false).unwrap().to_u64(), Some(5));
-        assert_eq!(solver.complete_sequence_count(false).unwrap().to_u64(), Some(9));
-        assert_eq!(solver.candidate_repair_count(true).unwrap().to_u64(), Some(4));
+        assert_eq!(
+            solver.candidate_repair_count(false).unwrap().to_u64(),
+            Some(5)
+        );
+        assert_eq!(
+            solver.complete_sequence_count(false).unwrap().to_u64(),
+            Some(9)
+        );
+        assert_eq!(
+            solver.candidate_repair_count(true).unwrap().to_u64(),
+            Some(4)
+        );
     }
 
     #[test]
@@ -208,8 +208,14 @@ mod tests {
         let (db, sigma) = figure2();
         let solver = ExactSolver::new(&db, &sigma);
         // Example B.2: 12 candidate repairs; Example C.2: 99 sequences.
-        assert_eq!(solver.candidate_repair_count(false).unwrap().to_u64(), Some(12));
-        assert_eq!(solver.complete_sequence_count(false).unwrap().to_u64(), Some(99));
+        assert_eq!(
+            solver.candidate_repair_count(false).unwrap().to_u64(),
+            Some(12)
+        );
+        assert_eq!(
+            solver.complete_sequence_count(false).unwrap().to_u64(),
+            Some(99)
+        );
     }
 
     #[test]
@@ -269,7 +275,10 @@ mod tests {
         // |CORep¹| = 3 · 1 · 2 = 6 and R(a1,b1) survives in 2 of them.
         let (db, sigma) = figure2();
         let solver = ExactSolver::new(&db, &sigma);
-        assert_eq!(solver.candidate_repair_count(true).unwrap().to_u64(), Some(6));
+        assert_eq!(
+            solver.candidate_repair_count(true).unwrap().to_u64(),
+            Some(6)
+        );
         let q = parse_query(db.schema(), "Ans(x) :- R('a1', x)").unwrap();
         let evaluator = QueryEvaluator::new(q);
         let rrfreq1 = solver
@@ -281,8 +290,7 @@ mod tests {
     #[test]
     fn tree_limit_propagates_as_error() {
         let (db, sigma) = figure2();
-        let solver =
-            ExactSolver::new(&db, &sigma).with_limits(TreeLimits { max_nodes: 3 });
+        let solver = ExactSolver::new(&db, &sigma).with_limits(TreeLimits { max_nodes: 3 });
         assert!(matches!(
             solver.candidate_repair_count(false),
             Err(CoreError::Repair(_))

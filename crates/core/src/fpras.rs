@@ -17,13 +17,13 @@
 
 use rand::Rng;
 
-use ucqa_db::{Database, FdSet, Value};
-use ucqa_query::QueryEvaluator;
+use ucqa_db::{Database, FactSet, FdSet, Value};
+use ucqa_query::{CompiledLineage, QueryEvaluator};
 use ucqa_repair::{GeneratorSpec, UniformSemantics};
 
 use crate::bounds;
 use crate::montecarlo::{estimate_fixed, StoppingRuleEstimator};
-use crate::sample_operations::OperationWalkSampler;
+use crate::sample_operations::{OperationWalkSampler, WalkScratch};
 use crate::sample_repairs::RepairSampler;
 use crate::sample_sequences::SequenceSampler;
 use crate::CoreError;
@@ -131,11 +131,7 @@ impl<'a> OcqaEstimator<'a> {
     /// Creates an estimator for the given uniform generator, validating
     /// that the paper provides an FPRAS for the combination of generator
     /// and constraint class.
-    pub fn new(
-        db: &'a Database,
-        sigma: &'a FdSet,
-        spec: GeneratorSpec,
-    ) -> Result<Self, CoreError> {
+    pub fn new(db: &'a Database, sigma: &'a FdSet, spec: GeneratorSpec) -> Result<Self, CoreError> {
         let schema = db.schema();
         let primary_keys = sigma.is_primary_keys(schema);
         let keys = sigma.is_keys(schema);
@@ -223,27 +219,39 @@ impl<'a> OcqaEstimator<'a> {
         let q = evaluator.query().atom_count();
         match (&self.sampler, self.spec.singleton_only) {
             (SamplerKind::Repairs(_), _) => bounds::rrfreq_lower_bound(d, q),
-            (SamplerKind::RepairsSingleton(_), _) => {
-                bounds::singleton_frequency_lower_bound(d, q)
-            }
+            (SamplerKind::RepairsSingleton(_), _) => bounds::singleton_frequency_lower_bound(d, q),
             (SamplerKind::Sequences(_), _) => bounds::srfreq_lower_bound(d, q),
             (SamplerKind::SequencesSingleton(_), _) => {
                 bounds::singleton_frequency_lower_bound(d, q)
             }
-            (SamplerKind::Operations { singleton_only: true }, _) => {
-                bounds::fd_singleton_lower_bound(d, q)
-            }
-            (SamplerKind::Operations { singleton_only: false }, _) => {
-                bounds::uniform_operations_keys_lower_bound(
-                    d,
-                    q,
-                    self.sigma.max_fds_per_relation(),
-                )
+            (
+                SamplerKind::Operations {
+                    singleton_only: true,
+                },
+                _,
+            ) => bounds::fd_singleton_lower_bound(d, q),
+            (
+                SamplerKind::Operations {
+                    singleton_only: false,
+                },
+                _,
+            ) => {
+                bounds::uniform_operations_keys_lower_bound(d, q, self.sigma.max_fds_per_relation())
             }
         }
     }
 
     /// Estimates `P_{M_Σ,Q}(D, c̄)`.
+    ///
+    /// The per-sample Bernoulli experiment is fully compiled before the
+    /// Monte-Carlo loop starts: the query lineage of the candidate is
+    /// compiled into a monotone DNF of witness bitsets
+    /// ([`CompiledLineage`]), the sampled repair is drawn into a reused
+    /// bitset buffer, and entailment becomes a word-level
+    /// "some witness ⊆ repair" check — the loop performs no heap
+    /// allocation and no backtracking search.  When the witness count
+    /// exceeds [`ucqa_query::lineage::DEFAULT_WITNESS_CAP`], the check
+    /// falls back to the (slot-compiled) backtracking evaluator.
     pub fn estimate<R: Rng + ?Sized>(
         &self,
         evaluator: &QueryEvaluator,
@@ -252,30 +260,12 @@ impl<'a> OcqaEstimator<'a> {
         rng: &mut R,
     ) -> Result<Estimate, CoreError> {
         params.validate()?;
-        // Validate the candidate arity once, up front.
-        evaluator.has_answer(self.db, &self.db.all_facts(), candidate)?;
+        // Compilation also validates the candidate arity, before any
+        // sampling happens.
+        let lineage = CompiledLineage::compile(evaluator, self.db, candidate)?;
 
-        let experiment = |rng: &mut R| -> bool {
-            let repair = match &self.sampler {
-                SamplerKind::Repairs(sampler) => sampler.sample(rng),
-                SamplerKind::RepairsSingleton(sampler) => sampler.sample_singleton(rng),
-                SamplerKind::Sequences(sampler) => sampler.sample_result(rng),
-                SamplerKind::SequencesSingleton(sampler) => {
-                    sampler.sample_result_singleton(rng)
-                }
-                SamplerKind::Operations { singleton_only } => {
-                    let walker = if *singleton_only {
-                        OperationWalkSampler::new(self.db, self.sigma).singleton_only()
-                    } else {
-                        OperationWalkSampler::new(self.db, self.sigma)
-                    };
-                    walker.sample_result(rng)
-                }
-            };
-            evaluator
-                .has_answer(self.db, &repair, candidate)
-                .expect("candidate arity was validated before sampling")
-        };
+        let mut sample = SampleExperiment::new(self, lineage.as_ref(), evaluator, candidate);
+        let experiment = |rng: &mut R| -> bool { sample.draw(rng) };
 
         let estimate = match params.mode {
             EstimatorMode::OptimalStopping { max_samples } => {
@@ -289,34 +279,8 @@ impl<'a> OcqaEstimator<'a> {
                     truncated: outcome.truncated,
                 }
             }
-            EstimatorMode::FixedFromLowerBound => {
-                let bound = self.theoretical_lower_bound(evaluator);
-                let samples =
-                    bounds::samples_for_relative_error(params.epsilon, params.delta, bound)
-                        .ok_or_else(|| CoreError::InvalidParameters {
-                            message: "the worst-case lower bound is too small to derive a \
-                                      practical sample count; use the optimal stopping rule"
-                                .to_string(),
-                        })?;
-                let outcome = estimate_fixed(rng, samples, experiment);
-                Estimate {
-                    value: outcome.estimate,
-                    samples: outcome.samples,
-                    successes: outcome.successes,
-                    truncated: false,
-                }
-            }
-            EstimatorMode::FixedAdditive => {
-                let samples = bounds::samples_for_additive_error(params.epsilon, params.delta);
-                let outcome = estimate_fixed(rng, samples, experiment);
-                Estimate {
-                    value: outcome.estimate,
-                    samples: outcome.samples,
-                    successes: outcome.successes,
-                    truncated: false,
-                }
-            }
-            EstimatorMode::FixedSamples(samples) => {
+            _ => {
+                let samples = self.fixed_sample_count(evaluator, params)?;
                 let outcome = estimate_fixed(rng, samples, experiment);
                 Estimate {
                     value: outcome.estimate,
@@ -327,6 +291,155 @@ impl<'a> OcqaEstimator<'a> {
             }
         };
         Ok(estimate)
+    }
+
+    /// The sample count of a fixed-sample [`EstimatorMode`]; an error for
+    /// [`EstimatorMode::OptimalStopping`], whose sample count is data
+    /// dependent.
+    fn fixed_sample_count(
+        &self,
+        evaluator: &QueryEvaluator,
+        params: ApproximationParams,
+    ) -> Result<u64, CoreError> {
+        match params.mode {
+            EstimatorMode::FixedSamples(samples) => Ok(samples),
+            EstimatorMode::FixedAdditive => Ok(bounds::samples_for_additive_error(
+                params.epsilon,
+                params.delta,
+            )),
+            EstimatorMode::FixedFromLowerBound => {
+                let bound = self.theoretical_lower_bound(evaluator);
+                bounds::samples_for_relative_error(params.epsilon, params.delta, bound).ok_or_else(
+                    || CoreError::InvalidParameters {
+                        message: "the worst-case lower bound is too small to derive a \
+                                  practical sample count; use the optimal stopping rule"
+                            .to_string(),
+                    },
+                )
+            }
+            EstimatorMode::OptimalStopping { .. } => Err(CoreError::InvalidParameters {
+                message: "the optimal stopping rule has no fixed sample count; it is \
+                          sequential and only supported by `estimate`"
+                    .to_string(),
+            }),
+        }
+    }
+
+    /// Estimates `P_{M_Σ,Q}(D, c̄)` with samples sharded across rayon
+    /// worker threads.
+    ///
+    /// Only the fixed-sample-count modes are supported (the optimal
+    /// stopping rule is inherently sequential).  Each shard owns its own
+    /// deterministic RNG stream derived from `master_seed` and its own
+    /// sampling buffers, so the result is bit-identical for a fixed master
+    /// seed regardless of the number of worker threads.
+    #[cfg(feature = "parallel")]
+    pub fn estimate_parallel(
+        &self,
+        evaluator: &QueryEvaluator,
+        candidate: &[Value],
+        params: ApproximationParams,
+        master_seed: u64,
+    ) -> Result<Estimate, CoreError> {
+        use crate::montecarlo::{estimate_fixed_parallel, DEFAULT_SHARD_SIZE};
+
+        params.validate()?;
+        let samples = self.fixed_sample_count(evaluator, params)?;
+        // Compilation also validates the candidate arity, before any
+        // sampling happens.
+        let lineage = CompiledLineage::compile(evaluator, self.db, candidate)?;
+        let outcome = estimate_fixed_parallel(master_seed, samples, DEFAULT_SHARD_SIZE, || {
+            let mut sample = SampleExperiment::new(self, lineage.as_ref(), evaluator, candidate);
+            move |rng: &mut rand::rngs::StdRng| sample.draw(rng)
+        });
+        Ok(Estimate {
+            value: outcome.estimate,
+            samples: outcome.samples,
+            successes: outcome.successes,
+            truncated: false,
+        })
+    }
+}
+
+/// One fully compiled Bernoulli experiment: draw a repair into a reused
+/// buffer, check entailment against the compiled lineage.
+///
+/// Construction hoists everything out of the Monte-Carlo loop: the
+/// operations walker, the repair buffer, and the walk scratch.  `draw`
+/// performs no heap allocation on any sampler path (the buffers reach
+/// steady-state capacity after the first few draws).
+struct SampleExperiment<'e, 'a> {
+    estimator: &'e OcqaEstimator<'a>,
+    walker: Option<OperationWalkSampler<'a>>,
+    lineage: Option<&'e CompiledLineage>,
+    evaluator: &'e QueryEvaluator,
+    candidate: &'e [Value],
+    repair: FactSet,
+    scratch: WalkScratch,
+}
+
+impl<'e, 'a> SampleExperiment<'e, 'a> {
+    fn new(
+        estimator: &'e OcqaEstimator<'a>,
+        lineage: Option<&'e CompiledLineage>,
+        evaluator: &'e QueryEvaluator,
+        candidate: &'e [Value],
+    ) -> Self {
+        let walker = match &estimator.sampler {
+            SamplerKind::Operations { singleton_only } => {
+                let walker = OperationWalkSampler::new(estimator.db, estimator.sigma);
+                Some(if *singleton_only {
+                    walker.singleton_only()
+                } else {
+                    walker
+                })
+            }
+            _ => None,
+        };
+        SampleExperiment {
+            estimator,
+            walker,
+            lineage,
+            evaluator,
+            candidate,
+            repair: FactSet::empty(estimator.db.len()),
+            scratch: WalkScratch::new(),
+        }
+    }
+
+    fn draw<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool {
+        match &self.estimator.sampler {
+            SamplerKind::Repairs(sampler) => sampler.sample_into(rng, &mut self.repair),
+            SamplerKind::RepairsSingleton(sampler) => {
+                sampler.sample_singleton_into(rng, &mut self.repair)
+            }
+            SamplerKind::Sequences(sampler) => sampler.sample_result_into(rng, &mut self.repair),
+            SamplerKind::SequencesSingleton(sampler) => {
+                sampler.sample_result_singleton_into(rng, &mut self.repair)
+            }
+            SamplerKind::Operations { .. } => self
+                .walker
+                .as_ref()
+                .expect("walker is constructed for the operations sampler")
+                .sample_result_into(rng, &mut self.repair, &mut self.scratch),
+        }
+        match self.lineage {
+            Some(lineage) => {
+                let entailed = lineage.entails(&self.repair);
+                debug_assert_eq!(
+                    entailed,
+                    self.evaluator
+                        .has_answer(self.estimator.db, &self.repair, self.candidate)
+                        .expect("candidate arity was validated before sampling"),
+                    "compiled lineage disagrees with the backtracking evaluator"
+                );
+                entailed
+            }
+            None => self
+                .evaluator
+                .has_answer(self.estimator.db, &self.repair, self.candidate)
+                .expect("candidate arity was validated before sampling"),
+        }
     }
 }
 
@@ -351,12 +464,11 @@ mod tests {
             ("a3", "b1"),
             ("a3", "b2"),
         ] {
-            db.insert_values("R", [Value::str(a), Value::str(b)]).unwrap();
+            db.insert_values("R", [Value::str(a), Value::str(b)])
+                .unwrap();
         }
         let mut sigma = FdSet::new();
-        sigma.add(
-            FunctionalDependency::from_names(db.schema(), "R", &["A1"], &["A2"]).unwrap(),
-        );
+        sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["A1"], &["A2"]).unwrap());
         (db, sigma)
     }
 
@@ -366,7 +478,8 @@ mod tests {
         schema.add_relation("R", &["A", "B"]).unwrap();
         let mut db = Database::with_schema(schema);
         for (a, b) in [(1, 1), (1, 2), (2, 1), (2, 2), (3, 3)] {
-            db.insert_values("R", [Value::int(a), Value::int(b)]).unwrap();
+            db.insert_values("R", [Value::int(a), Value::int(b)])
+                .unwrap();
         }
         let mut sigma = FdSet::new();
         sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["A"], &["B"]).unwrap());
@@ -433,7 +546,11 @@ mod tests {
             .estimate(&evaluator, &[], params, &mut rng)
             .unwrap();
         let relative_error = (estimate.value - exact).abs() / exact;
-        assert!(relative_error < 0.1, "exact {exact}, got {}", estimate.value);
+        assert!(
+            relative_error < 0.1,
+            "exact {exact}, got {}",
+            estimate.value
+        );
     }
 
     #[test]
@@ -480,15 +597,19 @@ mod tests {
         assert!(ApproximationParams::new(0.0, 0.1).is_err());
         assert!(ApproximationParams::new(0.1, 1.5).is_err());
         let (db, sigma) = figure2();
-        let estimator =
-            OcqaEstimator::new(&db, &sigma, GeneratorSpec::uniform_repairs()).unwrap();
+        let estimator = OcqaEstimator::new(&db, &sigma, GeneratorSpec::uniform_repairs()).unwrap();
         let q = parse_query(db.schema(), "Ans(x) :- R('a1', x)").unwrap();
         let evaluator = QueryEvaluator::new(q);
         // Wrong candidate arity surfaces as a query error.
         let params = ApproximationParams::new(0.1, 0.1).unwrap();
         let mut rng = StdRng::seed_from_u64(0);
         assert!(matches!(
-            estimator.estimate(&evaluator, &[Value::int(1), Value::int(2)], params, &mut rng),
+            estimator.estimate(
+                &evaluator,
+                &[Value::int(1), Value::int(2)],
+                params,
+                &mut rng
+            ),
             Err(CoreError::Query(_))
         ));
     }
@@ -499,8 +620,7 @@ mod tests {
         let q = parse_query(db.schema(), "Ans(x) :- R('a1', x)").unwrap();
         let evaluator = QueryEvaluator::new(q);
         let candidate = [Value::str("b1")];
-        let estimator =
-            OcqaEstimator::new(&db, &sigma, GeneratorSpec::uniform_repairs()).unwrap();
+        let estimator = OcqaEstimator::new(&db, &sigma, GeneratorSpec::uniform_repairs()).unwrap();
         let mut rng = StdRng::seed_from_u64(1);
 
         let additive = ApproximationParams::new(0.05, 0.05)

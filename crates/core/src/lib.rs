@@ -44,7 +44,5 @@ pub use fpras::{ApproximationParams, Estimate, OcqaEstimator};
 
 /// Commonly used types, re-exported for convenience.
 pub mod prelude {
-    pub use crate::{
-        ApproximationParams, CoreError, Estimate, ExactSolver, OcqaEstimator,
-    };
+    pub use crate::{ApproximationParams, CoreError, Estimate, ExactSolver, OcqaEstimator};
 }

@@ -14,6 +14,10 @@
 //!   advance.  This is the estimator the practical FPRAS drivers use.
 
 use rand::Rng;
+#[cfg(feature = "parallel")]
+use rand::{rngs::StdRng, SeedableRng};
+#[cfg(feature = "parallel")]
+use rayon::prelude::*;
 
 /// The result of a Monte-Carlo estimation run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -43,6 +47,70 @@ where
             successes += 1;
         }
     }
+    MonteCarloOutcome {
+        estimate: if samples == 0 {
+            0.0
+        } else {
+            successes as f64 / samples as f64
+        },
+        samples,
+        successes,
+    }
+}
+
+/// Default number of samples per parallel shard: large enough to amortise
+/// per-shard setup (RNG seeding, scratch-buffer construction), small enough
+/// to shard a few hundred thousand samples across many cores.
+#[cfg(feature = "parallel")]
+pub const DEFAULT_SHARD_SIZE: u64 = 4096;
+
+/// Derives the RNG seed of shard `shard` from the master seed via a
+/// SplitMix64 round, so shard streams are decorrelated and fully
+/// determined by `(master_seed, shard)`.
+#[cfg(feature = "parallel")]
+fn shard_seed(master_seed: u64, shard: u64) -> u64 {
+    let mut z =
+        master_seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(shard.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Draws exactly `samples` Bernoulli samples in parallel, sharding them
+/// across threads.
+///
+/// Shard `s` runs its own `StdRng` seeded deterministically from
+/// `(master_seed, s)` and its own experiment instance obtained from
+/// `make_experiment` (so per-shard scratch buffers — sampled-repair
+/// bitsets, walk scratch — are private to a shard and allocated once per
+/// shard, not once per sample).  Because shard boundaries depend only on
+/// `samples` and `shard_size`, and the success total is an exact integer
+/// sum, the outcome is **bit-identical for a fixed master seed regardless
+/// of thread count** — including a thread count of one.
+///
+/// Only available with the `parallel` feature (rayon).
+#[cfg(feature = "parallel")]
+pub fn estimate_fixed_parallel<E, F>(
+    master_seed: u64,
+    samples: u64,
+    shard_size: u64,
+    make_experiment: F,
+) -> MonteCarloOutcome
+where
+    F: Fn() -> E + Sync,
+    E: FnMut(&mut StdRng) -> bool,
+{
+    let shard_size = shard_size.max(1);
+    let shards = samples.div_ceil(shard_size);
+    let successes: u64 = (0..shards)
+        .into_par_iter()
+        .map(|shard| {
+            let mut rng = StdRng::seed_from_u64(shard_seed(master_seed, shard));
+            let mut experiment = make_experiment();
+            let count = shard_size.min(samples - shard * shard_size);
+            (0..count).filter(|_| experiment(&mut rng)).count() as u64
+        })
+        .sum();
     MonteCarloOutcome {
         estimate: if samples == 0 {
             0.0
@@ -167,7 +235,10 @@ mod tests {
         let outcome = estimate_fixed(&mut rng, 40_000, |rng| rng.random_bool(0.3));
         assert!((outcome.estimate - 0.3).abs() < 0.02);
         assert_eq!(outcome.samples, 40_000);
-        assert_eq!(outcome.successes, (outcome.estimate * 40_000.0).round() as u64);
+        assert_eq!(
+            outcome.successes,
+            (outcome.estimate * 40_000.0).round() as u64
+        );
     }
 
     #[test]
@@ -216,5 +287,42 @@ mod tests {
     #[should_panic(expected = "epsilon")]
     fn invalid_epsilon_panics() {
         let _ = StoppingRuleEstimator::new(1.5, 0.1);
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_estimator_recovers_the_mean() {
+        let outcome = estimate_fixed_parallel(99, 80_000, DEFAULT_SHARD_SIZE, || {
+            |rng: &mut StdRng| rng.random_bool(0.25)
+        });
+        assert_eq!(outcome.samples, 80_000);
+        assert!((outcome.estimate - 0.25).abs() < 0.01);
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_estimator_is_thread_count_independent() {
+        let run = || {
+            estimate_fixed_parallel(7, 50_001, 1_000, || |rng: &mut StdRng| rng.random_bool(0.4))
+        };
+        let baseline = run();
+        for threads in [1usize, 2, 5, 16] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool");
+            let outcome = pool.install(run);
+            assert_eq!(outcome, baseline, "{threads} threads");
+        }
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_estimator_handles_edge_sample_counts() {
+        let zero = estimate_fixed_parallel(1, 0, 64, || |_: &mut StdRng| true);
+        assert_eq!(zero.estimate, 0.0);
+        assert_eq!(zero.samples, 0);
+        let one = estimate_fixed_parallel(1, 1, 64, || |_: &mut StdRng| true);
+        assert_eq!(one.successes, 1);
     }
 }

@@ -98,11 +98,7 @@ mod tests {
     #[test]
     fn weighted_pick_respects_proportions() {
         let mut rng = StdRng::seed_from_u64(3);
-        let weights = vec![
-            Natural::from_u64(1),
-            Natural::zero(),
-            Natural::from_u64(3),
-        ];
+        let weights = vec![Natural::from_u64(1), Natural::zero(), Natural::from_u64(3)];
         let mut counts = [0usize; 3];
         for _ in 0..20_000 {
             counts[pick_weighted(&mut rng, &weights)] += 1;

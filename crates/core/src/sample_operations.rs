@@ -10,9 +10,30 @@
 
 use rand::Rng;
 
-use ucqa_db::{Database, FactSet, FdSet, ViolationSet};
+use ucqa_db::{Database, FactId, FactSet, FdSet, ViolationSet};
 use ucqa_numeric::LogFloat;
 use ucqa_repair::{operation::justified_operations_from, Operation, RepairingSequence};
+
+/// Reusable buffers for the allocation-free walk
+/// [`OperationWalkSampler::sample_result_into`].
+///
+/// Holding the buffers outside the sampler keeps `OperationWalkSampler`
+/// `Copy`/`Sync` (it is shared across threads by the parallel estimator);
+/// each sampling loop owns one scratch.
+#[derive(Debug, Default, Clone)]
+pub struct WalkScratch {
+    violations: ViolationSet,
+    live: Vec<FactId>,
+    singles: Vec<FactId>,
+    pairs: Vec<(FactId, FactId)>,
+}
+
+impl WalkScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        WalkScratch::default()
+    }
+}
 
 /// The outcome of one uniform-operations walk.
 #[derive(Debug, Clone)]
@@ -91,6 +112,62 @@ impl<'a> OperationWalkSampler<'a> {
     /// for Monte-Carlo estimation).
     pub fn sample_result<R: Rng + ?Sized>(&self, rng: &mut R) -> FactSet {
         self.sample(rng).result
+    }
+
+    /// As [`OperationWalkSampler::sample_result`], writing the repair into a
+    /// reused buffer and reusing `scratch` across steps, so the walk
+    /// performs no heap allocation once the buffers reach steady-state
+    /// capacity.
+    ///
+    /// Instead of materialising [`Operation`] values (each holding its own
+    /// `Vec`), the justified operations are kept as the deduplicated
+    /// conflicting facts (singleton removals) plus conflicting pairs (pair
+    /// removals), and the uniform pick indexes into that split directly —
+    /// the same operation set, hence the same leaf distribution, as
+    /// [`OperationWalkSampler::sample`].
+    ///
+    /// # Panics
+    /// Panics if `out`'s universe differs from the sampler's database.
+    pub fn sample_result_into<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        out: &mut FactSet,
+        scratch: &mut WalkScratch,
+    ) {
+        assert_eq!(out.universe(), self.db.len(), "buffer universe mismatch");
+        out.fill();
+        loop {
+            scratch
+                .violations
+                .recompute(self.db, self.sigma, out, &mut scratch.live);
+            if scratch.violations.is_empty() {
+                return;
+            }
+            scratch.singles.clear();
+            scratch.pairs.clear();
+            for violation in scratch.violations.iter() {
+                scratch.singles.push(violation.first);
+                scratch.singles.push(violation.second);
+                scratch.pairs.push(violation.pair());
+            }
+            scratch.singles.sort_unstable();
+            scratch.singles.dedup();
+            scratch.pairs.sort_unstable();
+            scratch.pairs.dedup();
+            let pair_count = if self.singleton_only {
+                0
+            } else {
+                scratch.pairs.len()
+            };
+            let choice = rng.random_range(0..scratch.singles.len() + pair_count);
+            if choice < scratch.singles.len() {
+                out.remove(scratch.singles[choice]);
+            } else {
+                let (f, g) = scratch.pairs[choice - scratch.singles.len()];
+                out.remove(f);
+                out.remove(g);
+            }
+        }
     }
 
     /// Counts the justified operations available on `subset` — the factor
@@ -202,6 +279,62 @@ mod tests {
     }
 
     #[test]
+    fn buffered_walk_matches_exact_uniform_operations_semantics() {
+        let (db, sigma) = running_example();
+        let chain = GeneratorSpec::uniform_operations()
+            .build_chain(&db, &sigma, TreeLimits::default())
+            .unwrap();
+        let semantics = OperationalSemantics::from_chain(&chain);
+        let exact: HashMap<Vec<usize>, f64> = semantics
+            .repairs()
+            .iter()
+            .map(|entry| {
+                (
+                    entry.repair.iter().map(|f| f.index()).collect(),
+                    entry.probability.to_f64(),
+                )
+            })
+            .collect();
+        let sampler = OperationWalkSampler::new(&db, &sigma);
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut repair = FactSet::empty(db.len());
+        let mut scratch = WalkScratch::new();
+        let samples = 40_000usize;
+        let mut counts: HashMap<Vec<usize>, usize> = HashMap::new();
+        for _ in 0..samples {
+            sampler.sample_result_into(&mut rng, &mut repair, &mut scratch);
+            assert!(ucqa_db::ViolationSet::compute(&db, &sigma, &repair).is_empty());
+            *counts
+                .entry(repair.iter().map(|f| f.index()).collect())
+                .or_insert(0) += 1;
+        }
+        assert_eq!(counts.len(), exact.len());
+        for (repair, probability) in exact {
+            let observed = counts.get(&repair).copied().unwrap_or(0) as f64 / samples as f64;
+            assert!(
+                (observed - probability).abs() < 0.02,
+                "repair {repair:?}: observed {observed}, exact {probability}"
+            );
+        }
+    }
+
+    #[test]
+    fn buffered_singleton_walk_only_removes_single_facts() {
+        let (db, sigma) = running_example();
+        let sampler = OperationWalkSampler::new(&db, &sigma).singleton_only();
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut repair = FactSet::empty(db.len());
+        let mut scratch = WalkScratch::new();
+        for _ in 0..200 {
+            sampler.sample_result_into(&mut rng, &mut repair, &mut scratch);
+            // Singleton walks keep at least one fact of the running example
+            // (removing everything requires a pair removal).
+            assert!(!repair.is_empty());
+            assert!(ucqa_db::ViolationSet::compute(&db, &sigma, &repair).is_empty());
+        }
+    }
+
+    #[test]
     fn singleton_walk_never_uses_pair_removals() {
         let (db, sigma) = running_example();
         let sampler = OperationWalkSampler::new(&db, &sigma).singleton_only();
@@ -214,8 +347,7 @@ mod tests {
         }
         assert_eq!(sampler.available_operation_count(&db.all_facts()), 3);
         assert_eq!(
-            OperationWalkSampler::new(&db, &sigma)
-                .available_operation_count(&db.all_facts()),
+            OperationWalkSampler::new(&db, &sigma).available_operation_count(&db.all_facts()),
             5
         );
     }
@@ -234,9 +366,7 @@ mod tests {
                 .unwrap();
         }
         let mut sigma = FdSet::new();
-        sigma.add(
-            FunctionalDependency::from_names(db.schema(), "R", &["A1"], &["A2"]).unwrap(),
-        );
+        sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["A1"], &["A2"]).unwrap());
         let sampler = OperationWalkSampler::new(&db, &sigma);
         let mut rng = StdRng::seed_from_u64(77);
         for _ in 0..200 {

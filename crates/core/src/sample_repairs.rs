@@ -46,32 +46,53 @@ impl RepairSampler {
     /// (Lemma 5.2).
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> FactSet {
         let mut repair = FactSet::empty(self.universe);
+        self.sample_into(rng, &mut repair);
+        repair
+    }
+
+    /// As [`RepairSampler::sample`], writing the repair into a reused
+    /// buffer: the Monte-Carlo hot loop performs no heap allocation.
+    ///
+    /// # Panics
+    /// Panics if `out`'s universe differs from the sampler's database.
+    pub fn sample_into<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut FactSet) {
+        assert_eq!(out.universe(), self.universe, "buffer universe mismatch");
+        out.clear();
         for block in self.partition.blocks() {
             let facts = block.facts();
             if facts.len() == 1 {
                 // Facts in singleton blocks are never removable.
-                repair.insert(facts[0]);
+                out.insert(facts[0]);
                 continue;
             }
             // |B| + 1 outcomes: keep facts[i] for i < |B|, or keep none.
             let choice = rng.random_range(0..=facts.len());
             if choice < facts.len() {
-                repair.insert(facts[choice]);
+                out.insert(facts[choice]);
             }
         }
-        repair
     }
 
     /// Draws a repair uniformly at random from `CORep¹(D, Σ)`
     /// (Lemma E.2): every block keeps exactly one of its facts.
     pub fn sample_singleton<R: Rng + ?Sized>(&self, rng: &mut R) -> FactSet {
         let mut repair = FactSet::empty(self.universe);
+        self.sample_singleton_into(rng, &mut repair);
+        repair
+    }
+
+    /// As [`RepairSampler::sample_singleton`], writing into a reused buffer.
+    ///
+    /// # Panics
+    /// Panics if `out`'s universe differs from the sampler's database.
+    pub fn sample_singleton_into<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut FactSet) {
+        assert_eq!(out.universe(), self.universe, "buffer universe mismatch");
+        out.clear();
         for block in self.partition.blocks() {
             let facts = block.facts();
             let choice = rng.random_range(0..facts.len());
-            repair.insert(facts[choice]);
+            out.insert(facts[choice]);
         }
-        repair
     }
 
     /// The block partition backing the sampler.
@@ -100,12 +121,11 @@ mod tests {
             ("a3", "b1"),
             ("a3", "b2"),
         ] {
-            db.insert_values("R", [Value::str(a), Value::str(b)]).unwrap();
+            db.insert_values("R", [Value::str(a), Value::str(b)])
+                .unwrap();
         }
         let mut sigma = FdSet::new();
-        sigma.add(
-            FunctionalDependency::from_names(db.schema(), "R", &["A1"], &["A2"]).unwrap(),
-        );
+        sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["A1"], &["A2"]).unwrap());
         (db, sigma)
     }
 
@@ -163,15 +183,28 @@ mod tests {
     }
 
     #[test]
+    fn sample_into_reuses_the_buffer_and_matches_fresh_samples() {
+        let (db, sigma) = figure2();
+        let sampler = RepairSampler::new(&db, &sigma).unwrap();
+        let mut fresh_rng = StdRng::seed_from_u64(77);
+        let mut reused_rng = StdRng::seed_from_u64(77);
+        let mut buffer = FactSet::empty(db.len());
+        for _ in 0..100 {
+            let fresh = sampler.sample(&mut fresh_rng);
+            sampler.sample_into(&mut reused_rng, &mut buffer);
+            assert_eq!(fresh, buffer);
+            let fresh1 = sampler.sample_singleton(&mut fresh_rng);
+            sampler.sample_singleton_into(&mut reused_rng, &mut buffer);
+            assert_eq!(fresh1, buffer);
+        }
+    }
+
+    #[test]
     fn non_primary_keys_are_rejected() {
         let (db, _) = figure2();
         let mut sigma = FdSet::new();
-        sigma.add(
-            FunctionalDependency::from_names(db.schema(), "R", &["A1"], &["A2"]).unwrap(),
-        );
-        sigma.add(
-            FunctionalDependency::from_names(db.schema(), "R", &["A2"], &["A1"]).unwrap(),
-        );
+        sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["A1"], &["A2"]).unwrap());
+        sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["A2"], &["A1"]).unwrap());
         assert!(RepairSampler::new(&db, &sigma).is_err());
     }
 }

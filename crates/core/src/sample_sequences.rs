@@ -45,6 +45,17 @@ struct BlockConfig {
 
 /// A uniform sampler over the complete repairing sequences `CRS(D, Σ)`
 /// (and `CRS¹(D, Σ)`) of a database w.r.t. a set of primary keys.
+///
+/// Two sampling backends coexist:
+///
+/// * [`SequenceSampler::sample_sequence`] walks the exact `Natural` DP
+///   tables with big-integer weighted picks — exact, but it allocates.
+/// * [`SequenceSampler::sample_result_into`] (the Monte-Carlo hot path)
+///   uses log-space `f64` mirrors of the same tables, precomputed once at
+///   construction, so each sample costs only table lookups and draws —
+///   no big-integer arithmetic and **no heap allocation**.  The `f64`
+///   weights agree with the exact ones to ~15 significant digits, far
+///   below the statistical resolution of any Monte-Carlo estimate.
 #[derive(Debug)]
 pub struct SequenceSampler {
     universe: usize,
@@ -59,6 +70,16 @@ pub struct SequenceSampler {
     /// conflict blocks).
     prefix_facts: Vec<u64>,
     max_pairs: u64,
+    /// `ln(layers[j][k][i])` (`-inf` for zero cells).
+    ln_layers: Vec<Vec<Vec<f64>>>,
+    /// `ln(n!)` for `n` up to the total number of conflict facts.
+    ln_fact: Vec<f64>,
+    /// Per block `j`: `ln(sequences_empty_block(m_j, i2))` for each `i2`.
+    ln_seq_empty: Vec<Vec<f64>>,
+    /// Per block `j`: `ln(sequences_nonempty_block(m_j, i2))`.
+    ln_seq_nonempty: Vec<Vec<f64>>,
+    /// Cumulative distribution over the final DP cells `(k, i)`.
+    final_cells: Vec<(usize, u64, f64)>,
 }
 
 impl SequenceSampler {
@@ -86,6 +107,67 @@ impl SequenceSampler {
             prefix_facts[j + 1] = prefix_facts[j] + m;
         }
         let layers = build_layers(&sizes, max_pairs, &prefix_facts);
+
+        // Log-space mirrors of the DP for the allocation-free result
+        // sampler.
+        let ln_layers: Vec<Vec<Vec<f64>>> = layers
+            .iter()
+            .map(|table| {
+                table
+                    .iter()
+                    .map(|row| row.iter().map(Natural::ln).collect())
+                    .collect()
+            })
+            .collect();
+        let total_facts = *prefix_facts.last().expect("prefix sums are non-empty");
+        let mut ln_fact = Vec::with_capacity(total_facts as usize + 1);
+        ln_fact.push(0.0f64);
+        for n in 1..=total_facts {
+            ln_fact.push(ln_fact[n as usize - 1] + (n as f64).ln());
+        }
+        let ln_seq_empty: Vec<Vec<f64>> = sizes
+            .iter()
+            .map(|&m| {
+                (0..=m / 2)
+                    .map(|i2| sequences_empty_block(m, i2).ln())
+                    .collect()
+            })
+            .collect();
+        let ln_seq_nonempty: Vec<Vec<f64>> = sizes
+            .iter()
+            .map(|&m| {
+                (0..=m / 2)
+                    .map(|i2| sequences_nonempty_block(m, i2).ln())
+                    .collect()
+            })
+            .collect();
+        let final_cells = match layers.last() {
+            None => Vec::new(),
+            Some(layer) => {
+                let mut cells: Vec<(usize, u64, f64)> = Vec::new();
+                let mut max_ln = f64::NEG_INFINITY;
+                for (k, row) in layer.iter().enumerate() {
+                    for (i, weight) in row.iter().enumerate() {
+                        if !weight.is_zero() {
+                            let ln = weight.ln();
+                            max_ln = max_ln.max(ln);
+                            cells.push((k, i as u64, ln));
+                        }
+                    }
+                }
+                let total: f64 = cells.iter().map(|&(_, _, ln)| (ln - max_ln).exp()).sum();
+                let mut cumulative = 0.0f64;
+                for cell in &mut cells {
+                    cumulative += (cell.2 - max_ln).exp() / total;
+                    cell.2 = cumulative;
+                }
+                if let Some(last) = cells.last_mut() {
+                    last.2 = 1.0;
+                }
+                cells
+            }
+        };
+
         SequenceSampler {
             universe: db.len(),
             conflict_blocks,
@@ -93,6 +175,11 @@ impl SequenceSampler {
             layers,
             prefix_facts,
             max_pairs,
+            ln_layers,
+            ln_fact,
+            ln_seq_empty,
+            ln_seq_nonempty,
+            final_cells,
         }
     }
 
@@ -111,18 +198,139 @@ impl SequenceSampler {
     /// [`SequenceSampler::sample_sequence`] when the sequence itself is
     /// required.
     pub fn sample_result<R: Rng + ?Sized>(&self, rng: &mut R) -> FactSet {
-        let configs = self.sample_configs(rng);
         let mut result = FactSet::empty(self.universe);
+        self.sample_result_into(rng, &mut result);
+        result
+    }
+
+    /// As [`SequenceSampler::sample_result`], writing into a reused buffer.
+    ///
+    /// Samples the per-block empty/non-empty outcome by a backward walk
+    /// over the precomputed log-space DP tables: per block the candidate
+    /// split weights are evaluated twice (once to normalise, once to walk
+    /// the cumulative sum), which keeps the walk free of heap allocation.
+    ///
+    /// # Panics
+    /// Panics if `out`'s universe differs from the sampler's database.
+    pub fn sample_result_into<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut FactSet) {
+        assert_eq!(out.universe(), self.universe, "buffer universe mismatch");
+        out.clear();
         for &fact in &self.untouchable {
-            result.insert(fact);
+            out.insert(fact);
         }
-        for (block, config) in self.conflict_blocks.iter().zip(&configs) {
-            if !config.empty {
-                let survivor = block[rng.random_range(0..block.len())];
-                result.insert(survivor);
+        let n = self.conflict_blocks.len();
+        if n == 0 {
+            return;
+        }
+        // Sample the final (k, i) cell from its precomputed cumulative
+        // distribution.
+        let draw = rng.random::<f64>();
+        let index = self
+            .final_cells
+            .partition_point(|&(_, _, cumulative)| cumulative <= draw)
+            .min(self.final_cells.len() - 1);
+        let (mut k, mut i, _) = self.final_cells[index];
+
+        // Walk the blocks backwards, splitting (k, i) into the last block's
+        // configuration and the prefix state (the f64 shadow of
+        // `sample_configs`).
+        for j in (1..n).rev() {
+            let (i2, empty) = self.sample_backward_split(rng, j, k, i);
+            if !empty {
+                let block = &self.conflict_blocks[j];
+                out.insert(block[rng.random_range(0..block.len())]);
+                k -= 1;
+            }
+            i -= i2;
+        }
+        debug_assert!(k <= 1, "first block can keep at most one fact non-empty");
+        if k == 1 {
+            let block = &self.conflict_blocks[0];
+            out.insert(block[rng.random_range(0..block.len())]);
+        }
+    }
+
+    /// Draws the split `(i2, empty)` of state `(k, i)` at block `j ≥ 1`,
+    /// with probability proportional to the same weights as the exact
+    /// backward pass, evaluated in log-space `f64`.
+    fn sample_backward_split<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        j: usize,
+        k: usize,
+        i: u64,
+    ) -> (u64, bool) {
+        // Pass 1: the maximum log-weight, for stable normalisation.
+        let mut max_ln = f64::NEG_INFINITY;
+        self.for_each_split(j, k, i, |_, _, ln| {
+            max_ln = max_ln.max(ln);
+        });
+        debug_assert!(
+            max_ln > f64::NEG_INFINITY,
+            "reachable states always have a split"
+        );
+        let mut total = 0.0f64;
+        self.for_each_split(j, k, i, |_, _, ln| {
+            total += (ln - max_ln).exp();
+        });
+
+        // Pass 2: walk the cumulative sum to the drawn point.
+        let target = rng.random::<f64>() * total;
+        let mut cumulative = 0.0f64;
+        let mut chosen: Option<(u64, bool)> = None;
+        let mut last: Option<(u64, bool)> = None;
+        self.for_each_split(j, k, i, |i2, empty, ln| {
+            last = Some((i2, empty));
+            if chosen.is_none() {
+                cumulative += (ln - max_ln).exp();
+                if target < cumulative {
+                    chosen = Some((i2, empty));
+                }
+            }
+        });
+        chosen.or(last).expect("at least one split option exists")
+    }
+
+    /// Enumerates the feasible splits of state `(k, i)` at block `j`,
+    /// invoking `visit(i2, empty, ln_weight)` for each — the same
+    /// feasibility conditions and weight formulas as the exact
+    /// `sample_configs` backward pass.
+    fn for_each_split(&self, j: usize, k: usize, i: u64, mut visit: impl FnMut(u64, bool, f64)) {
+        let block_size = self.conflict_blocks[j].len() as u64;
+        let total_ops = self.prefix_facts[j + 1] - i - k as u64;
+        let previous = &self.ln_layers[j - 1];
+        for i2 in 0..=i.min(block_size / 2) {
+            let i1 = i - i2;
+            if i1 > self.max_pairs {
+                continue;
+            }
+            let ln_s_e = self.ln_seq_empty[j][i2 as usize];
+            if ln_s_e > f64::NEG_INFINITY && k < previous.len() {
+                let prev = previous[k][i1 as usize];
+                if prev > f64::NEG_INFINITY {
+                    let ln_choose = self.ln_binomial(total_ops, block_size - i2);
+                    visit(i2, true, prev + ln_s_e + ln_choose);
+                }
+            }
+            if k >= 1 {
+                let ln_s_ne = self.ln_seq_nonempty[j][i2 as usize];
+                if ln_s_ne > f64::NEG_INFINITY {
+                    let prev = previous[k - 1][i1 as usize];
+                    if prev > f64::NEG_INFINITY {
+                        let ln_choose = self.ln_binomial(total_ops, block_size - i2 - 1);
+                        visit(i2, false, prev + ln_s_ne + ln_choose);
+                    }
+                }
             }
         }
-        result
+    }
+
+    /// `ln C(n, k)` from the precomputed factorial table.
+    fn ln_binomial(&self, n: u64, k: u64) -> f64 {
+        if k > n {
+            return f64::NEG_INFINITY;
+        }
+        self.ln_fact[n as usize] - self.ln_fact[k as usize] - self.ln_fact[(n - k) as usize]
     }
 
     /// Draws a uniformly random complete repairing sequence from
@@ -161,14 +369,25 @@ impl SequenceSampler {
     /// depend on which facts survive), so no DP is required.
     pub fn sample_result_singleton<R: Rng + ?Sized>(&self, rng: &mut R) -> FactSet {
         let mut result = FactSet::empty(self.universe);
+        self.sample_result_singleton_into(rng, &mut result);
+        result
+    }
+
+    /// As [`SequenceSampler::sample_result_singleton`], writing into a
+    /// reused buffer (no heap allocation per sample).
+    ///
+    /// # Panics
+    /// Panics if `out`'s universe differs from the sampler's database.
+    pub fn sample_result_singleton_into<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut FactSet) {
+        assert_eq!(out.universe(), self.universe, "buffer universe mismatch");
+        out.clear();
         for &fact in &self.untouchable {
-            result.insert(fact);
+            out.insert(fact);
         }
         for block in &self.conflict_blocks {
             let survivor = block[rng.random_range(0..block.len())];
-            result.insert(survivor);
+            out.insert(survivor);
         }
-        result
     }
 
     /// Draws a uniformly random singleton-only complete repairing sequence
@@ -247,8 +466,7 @@ impl SequenceSampler {
                 if !s_e.is_zero() && k < previous.len() {
                     let prev = &previous[k][i1 as usize];
                     if !prev.is_zero() {
-                        let weight =
-                            &(prev * &s_e) * &binomial(total_ops, block_size - i2);
+                        let weight = &(prev * &s_e) * &binomial(total_ops, block_size - i2);
                         options.push((i2, true));
                         option_weights.push(weight);
                     }
@@ -259,8 +477,8 @@ impl SequenceSampler {
                     if !s_ne.is_zero() {
                         let prev = &previous[k - 1][i1 as usize];
                         if !prev.is_zero() {
-                            let weight = &(prev * &s_ne)
-                                * &binomial(total_ops, block_size - i2 - 1);
+                            let weight =
+                                &(prev * &s_ne) * &binomial(total_ops, block_size - i2 - 1);
                             options.push((i2, false));
                             option_weights.push(weight);
                         }
@@ -323,8 +541,7 @@ fn build_layers(sizes: &[u64], max_pairs: u64, prefix_facts: &[u64]) -> Vec<Vec<
                         if !prev.is_zero() {
                             let s_e = sequences_empty_block(block, i2);
                             if !s_e.is_zero() {
-                                cell = &cell
-                                    + &(&(prev * &s_e) * &binomial(total_ops, block - i2));
+                                cell = &cell + &(&(prev * &s_e) * &binomial(total_ops, block - i2));
                             }
                         }
                     }
@@ -334,8 +551,7 @@ fn build_layers(sizes: &[u64], max_pairs: u64, prefix_facts: &[u64]) -> Vec<Vec<
                             let s_ne = sequences_nonempty_block(block, i2);
                             if !s_ne.is_zero() {
                                 cell = &cell
-                                    + &(&(prev * &s_ne)
-                                        * &binomial(total_ops, block - i2 - 1));
+                                    + &(&(prev * &s_ne) * &binomial(total_ops, block - i2 - 1));
                             }
                         }
                     }
@@ -412,12 +628,11 @@ mod tests {
             ("a3", "b1"),
             ("a3", "b2"),
         ] {
-            db.insert_values("R", [Value::str(a), Value::str(b)]).unwrap();
+            db.insert_values("R", [Value::str(a), Value::str(b)])
+                .unwrap();
         }
         let mut sigma = FdSet::new();
-        sigma.add(
-            FunctionalDependency::from_names(db.schema(), "R", &["A1"], &["A2"]).unwrap(),
-        );
+        sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["A1"], &["A2"]).unwrap());
         (db, sigma)
     }
 
@@ -437,7 +652,9 @@ mod tests {
         let samples = 19_800usize; // 200 per sequence on average
         for _ in 0..samples {
             let sequence = sampler.sample_sequence(&mut rng);
-            let result = sequence.validate(&db, &sigma).expect("sampled sequence is repairing");
+            let result = sequence
+                .validate(&db, &sigma)
+                .expect("sampled sequence is repairing");
             assert!(sequence.is_complete(&db, &sigma));
             assert_eq!(result, sequence.result(&db));
             *seen.entry(sequence.render()).or_insert(0) += 1;
@@ -500,7 +717,9 @@ mod tests {
         for _ in 0..5_000 {
             let sequence = sampler.sample_sequence_singleton(&mut rng);
             assert!(sequence.is_singleton_only());
-            sequence.validate(&db, &sigma).expect("valid singleton sequence");
+            sequence
+                .validate(&db, &sigma)
+                .expect("valid singleton sequence");
             assert!(sequence.is_complete(&db, &sigma));
             seen.insert(sequence.render());
         }
@@ -515,8 +734,10 @@ mod tests {
         let mut schema = Schema::new();
         schema.add_relation("R", &["A", "B"]).unwrap();
         let mut db = Database::with_schema(schema);
-        db.insert_values("R", [Value::int(1), Value::int(1)]).unwrap();
-        db.insert_values("R", [Value::int(2), Value::int(1)]).unwrap();
+        db.insert_values("R", [Value::int(1), Value::int(1)])
+            .unwrap();
+        db.insert_values("R", [Value::int(2), Value::int(1)])
+            .unwrap();
         let mut sigma = FdSet::new();
         sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["A"], &["B"]).unwrap());
         let sampler = SequenceSampler::new(&db, &sigma).unwrap();

@@ -185,12 +185,11 @@ mod tests {
             ("a3", "b1"),
             ("a3", "b2"),
         ] {
-            db.insert_values("R", [Value::str(a), Value::str(b)]).unwrap();
+            db.insert_values("R", [Value::str(a), Value::str(b)])
+                .unwrap();
         }
         let mut sigma = FdSet::new();
-        sigma.add(
-            FunctionalDependency::from_names(db.schema(), "R", &["A1"], &["A2"]).unwrap(),
-        );
+        sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["A1"], &["A2"]).unwrap());
         (db, sigma)
     }
 
@@ -228,12 +227,8 @@ mod tests {
     fn non_primary_keys_rejected() {
         let (db, _) = figure2();
         let mut sigma = FdSet::new();
-        sigma.add(
-            FunctionalDependency::from_names(db.schema(), "R", &["A1"], &["A2"]).unwrap(),
-        );
-        sigma.add(
-            FunctionalDependency::from_names(db.schema(), "R", &["A2"], &["A1"]).unwrap(),
-        );
+        sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["A1"], &["A2"]).unwrap());
+        sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["A2"], &["A1"]).unwrap());
         assert!(BlockPartition::compute(&db, &sigma).is_err());
         // But the unchecked variant still produces a partition based on the
         // first key.
@@ -247,8 +242,10 @@ mod tests {
         schema.add_relation("R", &["A", "B"]).unwrap();
         schema.add_relation("T", &["X"]).unwrap();
         let mut db = Database::with_schema(schema);
-        db.insert_values("R", [Value::int(1), Value::int(2)]).unwrap();
-        db.insert_values("R", [Value::int(1), Value::int(3)]).unwrap();
+        db.insert_values("R", [Value::int(1), Value::int(2)])
+            .unwrap();
+        db.insert_values("R", [Value::int(1), Value::int(3)])
+            .unwrap();
         db.insert_values("T", [Value::int(9)]).unwrap();
         let mut sigma = FdSet::new();
         sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["A"], &["B"]).unwrap());

@@ -186,8 +186,7 @@ mod tests {
     fn independent_set_check() {
         let (db, sigma) = running_example();
         let cg = ConflictGraph::build(&db, &sigma);
-        let independent =
-            FactSet::from_iter(db.len(), [FactId::new(0), FactId::new(2)]); // {f1, f3}
+        let independent = FactSet::from_iter(db.len(), [FactId::new(0), FactId::new(2)]); // {f1, f3}
         assert!(cg.is_independent_set(&independent));
         let dependent = FactSet::from_iter(db.len(), [FactId::new(0), FactId::new(1)]);
         assert!(!cg.is_independent_set(&dependent));
@@ -200,10 +199,14 @@ mod tests {
         let mut schema = Schema::new();
         schema.add_relation("R", &["A", "B"]).unwrap();
         let mut db = Database::with_schema(schema);
-        db.insert_values("R", [Value::int(1), Value::int(1)]).unwrap();
-        db.insert_values("R", [Value::int(1), Value::int(2)]).unwrap();
-        db.insert_values("R", [Value::int(2), Value::int(1)]).unwrap();
-        db.insert_values("R", [Value::int(2), Value::int(2)]).unwrap();
+        db.insert_values("R", [Value::int(1), Value::int(1)])
+            .unwrap();
+        db.insert_values("R", [Value::int(1), Value::int(2)])
+            .unwrap();
+        db.insert_values("R", [Value::int(2), Value::int(1)])
+            .unwrap();
+        db.insert_values("R", [Value::int(2), Value::int(2)])
+            .unwrap();
         let mut sigma = FdSet::new();
         sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["A"], &["B"]).unwrap());
         let cg = ConflictGraph::build(&db, &sigma);

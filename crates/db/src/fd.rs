@@ -67,10 +67,8 @@ impl FunctionalDependency {
         rhs: &[&str],
     ) -> Result<Self, DbError> {
         let rel = schema.relation_id(relation)?;
-        let lhs_ids: Result<Vec<_>, _> =
-            lhs.iter().map(|a| schema.attribute_id(rel, a)).collect();
-        let rhs_ids: Result<Vec<_>, _> =
-            rhs.iter().map(|a| schema.attribute_id(rel, a)).collect();
+        let lhs_ids: Result<Vec<_>, _> = lhs.iter().map(|a| schema.attribute_id(rel, a)).collect();
+        let rhs_ids: Result<Vec<_>, _> = rhs.iter().map(|a| schema.attribute_id(rel, a)).collect();
         FunctionalDependency::new(schema, rel, lhs_ids?, rhs_ids?)
     }
 
@@ -113,9 +111,8 @@ impl FunctionalDependency {
         if f.relation() != self.relation || g.relation() != self.relation {
             return true;
         }
-        let agree_on = |attrs: &BTreeSet<AttributeId>| {
-            attrs.iter().all(|a| f.value_at(*a) == g.value_at(*a))
-        };
+        let agree_on =
+            |attrs: &BTreeSet<AttributeId>| attrs.iter().all(|a| f.value_at(*a) == g.value_at(*a));
         if agree_on(&self.lhs) {
             agree_on(&self.rhs)
         } else {
@@ -242,10 +239,7 @@ impl FdSet {
         for (rel, count) in seen {
             if count > 1 {
                 return Err(DbError::NotPrimaryKeys {
-                    reason: format!(
-                        "relation `{}` has {count} keys",
-                        schema.relation_name(rel)
-                    ),
+                    reason: format!("relation `{}` has {count} keys", schema.relation_name(rel)),
                 });
             }
         }
@@ -258,10 +252,7 @@ impl FdSet {
         for fd in &self.fds {
             if !fd.is_key(schema) {
                 return Err(DbError::NotKeys {
-                    reason: format!(
-                        "`{}` is not a key",
-                        fd.display(schema)
-                    ),
+                    reason: format!("`{}` is not a key", fd.display(schema)),
                 });
             }
         }
@@ -396,12 +387,8 @@ mod tests {
         db.insert_values("R", [Value::str("a2"), Value::str("b1"), Value::str("c2")])
             .unwrap();
         let mut sigma = FdSet::new();
-        sigma.add(
-            FunctionalDependency::from_names(db.schema(), "R", &["A"], &["B"]).unwrap(),
-        );
-        sigma.add(
-            FunctionalDependency::from_names(db.schema(), "R", &["C"], &["B"]).unwrap(),
-        );
+        sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["A"], &["B"]).unwrap());
+        sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["C"], &["B"]).unwrap());
         assert!(!sigma.satisfied_by_database(&db));
         // Removing f2 = R(a1,b2,c2) restores consistency.
         let mut subset = db.all_facts();

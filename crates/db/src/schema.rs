@@ -176,7 +176,10 @@ mod tests {
         assert_eq!(schema.relation_id("R").unwrap(), r);
         assert_eq!(schema.relation_name(emp), "Emp");
         assert_eq!(schema.arity(r), 3);
-        assert_eq!(schema.attributes(emp), &["A1".to_string(), "A2".to_string()]);
+        assert_eq!(
+            schema.attributes(emp),
+            &["A1".to_string(), "A2".to_string()]
+        );
     }
 
     #[test]

@@ -31,9 +31,7 @@ impl FactSet {
     /// Creates the full subset `{0, …, universe−1}`.
     pub fn full(universe: usize) -> Self {
         let mut set = FactSet::empty(universe);
-        for i in 0..universe {
-            set.insert(FactId::new(i));
-        }
+        set.fill();
         set
     }
 
@@ -97,6 +95,83 @@ impl FactSet {
             .iter()
             .zip(&other.words)
             .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Returns `true` iff `other ⊆ self`, i.e. `self` contains every member
+    /// of `other`.
+    ///
+    /// This is the per-sample kernel of the compiled-lineage entailment
+    /// check ("some witness ⊆ repair"): a handful of word-level AND/compare
+    /// operations, no iteration over members.
+    pub fn contains_all(&self, other: &FactSet) -> bool {
+        other.is_subset_of(self)
+    }
+
+    /// Alias for [`FactSet::contains_all`] mirroring the set-theoretic name.
+    pub fn is_superset_of(&self, other: &FactSet) -> bool {
+        other.is_subset_of(self)
+    }
+
+    /// Removes every member, keeping the allocation.
+    pub fn clear(&mut self) {
+        for word in &mut self.words {
+            *word = 0;
+        }
+    }
+
+    /// Inserts every element of the universe, filling whole `u64` words and
+    /// masking the final partial word.
+    pub fn fill(&mut self) {
+        for word in &mut self.words {
+            *word = u64::MAX;
+        }
+        self.mask_tail();
+    }
+
+    /// In-place intersection: `self ← self ∩ other`.
+    pub fn intersect_with(&mut self, other: &FactSet) {
+        debug_assert_eq!(self.universe, other.universe);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place union: `self ← self ∪ other`.
+    pub fn union_with(&mut self, other: &FactSet) {
+        debug_assert_eq!(self.universe, other.universe);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place difference: `self ← self ∖ other`.
+    pub fn difference_with(&mut self, other: &FactSet) {
+        debug_assert_eq!(self.universe, other.universe);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Copies the contents of `other` into `self` without allocating.
+    ///
+    /// # Panics
+    /// Panics if the universes differ.
+    pub fn copy_from(&mut self, other: &FactSet) {
+        assert_eq!(
+            self.universe, other.universe,
+            "copy_from requires equal universes"
+        );
+        self.words.copy_from_slice(&other.words);
+    }
+
+    /// Zeroes the bits above `universe` in the final partial word.
+    fn mask_tail(&mut self) {
+        let tail_bits = self.universe % 64;
+        if tail_bits != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail_bits) - 1;
+            }
+        }
     }
 
     /// Iterates over members in increasing id order.
@@ -192,5 +267,64 @@ mod tests {
     fn out_of_range_insert_panics() {
         let mut set = FactSet::empty(4);
         set.insert(FactId::new(4));
+    }
+
+    #[test]
+    fn full_fills_words_and_masks_the_tail() {
+        // Universe sizes around word boundaries: the tail word must not
+        // carry bits past the universe, or len()/iter() would be wrong.
+        for universe in [0usize, 1, 63, 64, 65, 127, 128, 130] {
+            let full = FactSet::full(universe);
+            assert_eq!(full.len(), universe, "universe {universe}");
+            assert_eq!(full.iter().count(), universe, "universe {universe}");
+            if universe > 0 {
+                assert!(full.contains(FactId::new(universe - 1)));
+            }
+            let mut refilled = FactSet::empty(universe);
+            refilled.fill();
+            assert_eq!(refilled, full);
+        }
+    }
+
+    #[test]
+    fn superset_and_contains_all() {
+        let a = FactSet::from_iter(100, [FactId::new(1), FactId::new(70)]);
+        let b = FactSet::from_iter(100, [FactId::new(1), FactId::new(70), FactId::new(99)]);
+        assert!(b.contains_all(&a));
+        assert!(b.is_superset_of(&a));
+        assert!(!a.contains_all(&b));
+        assert!(a.contains_all(&FactSet::empty(100)));
+    }
+
+    #[test]
+    fn clear_and_copy_from_reuse_the_allocation() {
+        let mut set = FactSet::full(130);
+        set.clear();
+        assert!(set.is_empty());
+        assert_eq!(set.universe(), 130);
+        let other = FactSet::from_iter(130, [FactId::new(0), FactId::new(129)]);
+        set.copy_from(&other);
+        assert_eq!(set, other);
+    }
+
+    #[test]
+    fn word_level_set_operations() {
+        let mut a = FactSet::from_iter(70, [FactId::new(1), FactId::new(2), FactId::new(69)]);
+        let b = FactSet::from_iter(70, [FactId::new(2), FactId::new(3), FactId::new(69)]);
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.to_vec(), vec![FactId::new(2), FactId::new(69)]);
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.len(), 4);
+        a.difference_with(&b);
+        assert_eq!(a.to_vec(), vec![FactId::new(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal universes")]
+    fn copy_from_rejects_mismatched_universes() {
+        let mut a = FactSet::empty(10);
+        a.copy_from(&FactSet::empty(11));
     }
 }

@@ -127,11 +127,21 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut values = vec![Value::str("b"), Value::int(2), Value::str("a"), Value::int(1)];
+        let mut values = vec![
+            Value::str("b"),
+            Value::int(2),
+            Value::str("a"),
+            Value::int(1),
+        ];
         values.sort();
         assert_eq!(
             values,
-            vec![Value::int(1), Value::int(2), Value::str("a"), Value::str("b")]
+            vec![
+                Value::int(1),
+                Value::int(2),
+                Value::str("a"),
+                Value::str("b")
+            ]
         );
     }
 

@@ -86,6 +86,61 @@ impl ViolationSet {
         ViolationSet::compute(db, sigma, &db.all_facts())
     }
 
+    /// Recomputes `V(D', Σ)` into `self`, reusing its allocation and the
+    /// caller-provided `live` scratch buffer, so repeated scans (the inner
+    /// loop of the uniform-operations walk) perform no heap allocation once
+    /// the buffers have grown to their steady-state capacity.
+    ///
+    /// Instead of hashing LHS value tuples (which would allocate a key per
+    /// fact), the live facts of each FD's relation are sorted by their LHS
+    /// values in place and grouped as consecutive runs.
+    pub fn recompute(
+        &mut self,
+        db: &Database,
+        sigma: &FdSet,
+        subset: &FactSet,
+        live: &mut Vec<FactId>,
+    ) {
+        self.violations.clear();
+        for (fd_id, fd) in sigma.iter() {
+            live.clear();
+            live.extend(
+                db.facts_of(fd.relation())
+                    .iter()
+                    .copied()
+                    .filter(|&f| subset.contains(f)),
+            );
+            let lhs_cmp = |a: &FactId, b: &FactId| {
+                let fa = db.fact(*a);
+                let fb = db.fact(*b);
+                fd.lhs()
+                    .iter()
+                    .map(|attr| fa.value_at(*attr).cmp(fb.value_at(*attr)))
+                    .find(|o| o.is_ne())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            };
+            live.sort_unstable_by(lhs_cmp);
+            let mut start = 0;
+            while start < live.len() {
+                let mut end = start + 1;
+                while end < live.len() && lhs_cmp(&live[start], &live[end]).is_eq() {
+                    end += 1;
+                }
+                for i in start..end {
+                    for j in (i + 1)..end {
+                        if !fd.satisfied_by_pair(db.fact(live[i]), db.fact(live[j])) {
+                            self.violations
+                                .push(Violation::new(fd_id, live[i], live[j]));
+                        }
+                    }
+                }
+                start = end;
+            }
+        }
+        self.violations.sort_unstable();
+        self.violations.dedup();
+    }
+
     /// The violations, sorted canonically.
     pub fn violations(&self) -> &[Violation] {
         &self.violations
@@ -192,6 +247,24 @@ mod tests {
     }
 
     #[test]
+    fn recompute_matches_compute_on_all_subsets() {
+        let (db, sigma) = running_example();
+        let mut reused = ViolationSet::default();
+        let mut scratch = Vec::new();
+        for mask in 0u32..(1 << db.len()) {
+            let subset = FactSet::from_iter(
+                db.len(),
+                (0..db.len())
+                    .filter(|i| (mask >> i) & 1 == 1)
+                    .map(FactId::new),
+            );
+            let fresh = ViolationSet::compute(&db, &sigma, &subset);
+            reused.recompute(&db, &sigma, &subset, &mut scratch);
+            assert_eq!(fresh.violations(), reused.violations(), "mask {mask:b}");
+        }
+    }
+
+    #[test]
     fn pair_normalisation() {
         let v = Violation::new(FdId::new(0), FactId::new(5), FactId::new(2));
         assert_eq!(v.pair(), (FactId::new(2), FactId::new(5)));
@@ -205,13 +278,13 @@ mod tests {
         let mut schema = Schema::new();
         schema.add_relation("R", &["A", "B"]).unwrap();
         let mut db = Database::with_schema(schema);
-        db.insert_values("R", [Value::int(1), Value::int(1)]).unwrap();
-        db.insert_values("R", [Value::int(1), Value::int(2)]).unwrap();
+        db.insert_values("R", [Value::int(1), Value::int(1)])
+            .unwrap();
+        db.insert_values("R", [Value::int(1), Value::int(2)])
+            .unwrap();
         let mut sigma = FdSet::new();
         sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["A"], &["B"]).unwrap());
-        sigma.add(
-            FunctionalDependency::from_names(db.schema(), "R", &["A"], &["A", "B"]).unwrap(),
-        );
+        sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["A"], &["A", "B"]).unwrap());
         let violations = ViolationSet::of_database(&db, &sigma);
         assert_eq!(violations.len(), 2);
         assert_eq!(violations.conflicting_pairs().len(), 1);

@@ -45,10 +45,7 @@ impl Positive2Dnf {
 
     /// The variables that actually occur in some clause.
     pub fn occurring_variables(&self) -> BTreeSet<usize> {
-        self.clauses
-            .iter()
-            .flat_map(|&(x, y)| [x, y])
-            .collect()
+        self.clauses.iter().flat_map(|&(x, y)| [x, y]).collect()
     }
 
     /// Evaluates the formula under an assignment (indexed by variable).
@@ -61,7 +58,9 @@ impl Positive2Dnf {
             self.variable_count,
             "assignment length mismatch"
         );
-        self.clauses.iter().any(|&(x, y)| assignment[x] && assignment[y])
+        self.clauses
+            .iter()
+            .any(|&(x, y)| assignment[x] && assignment[y])
     }
 
     /// Counts the satisfying assignments (`♯Pos2DNF`) by exhaustive

@@ -252,9 +252,21 @@ mod tests {
         let petersen = UndirectedGraph::from_edges(
             10,
             &[
-                (0, 1), (1, 2), (2, 3), (3, 4), (4, 0), // outer cycle
-                (5, 7), (7, 9), (9, 6), (6, 8), (8, 5), // inner star
-                (0, 5), (1, 6), (2, 7), (3, 8), (4, 9), // spokes
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 0), // outer cycle
+                (5, 7),
+                (7, 9),
+                (9, 6),
+                (6, 8),
+                (8, 5), // inner star
+                (0, 5),
+                (1, 6),
+                (2, 7),
+                (3, 8),
+                (4, 9), // spokes
             ],
         );
         check(&petersen);
@@ -269,7 +281,9 @@ mod tests {
             let mut graph = UndirectedGraph::new(nodes);
             let mut x = seed;
             for _ in 0..40 {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let u = (x >> 17) as usize % nodes;
                 let v = (x >> 41) as usize % nodes;
                 if u != v {

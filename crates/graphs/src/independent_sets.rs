@@ -54,7 +54,11 @@ fn count_on(graph: &UndirectedGraph, alive: &[usize]) -> Natural {
         .expect("non-empty alive set");
 
     // Exclude the branch vertex.
-    let without: Vec<usize> = alive.iter().copied().filter(|&v| v != branch_vertex).collect();
+    let without: Vec<usize> = alive
+        .iter()
+        .copied()
+        .filter(|&v| v != branch_vertex)
+        .collect();
     let excluded = count_on(graph, &without);
     // Include it: drop its closed neighbourhood.
     let closed: Vec<usize> = alive
@@ -102,18 +106,45 @@ mod tests {
     #[test]
     fn known_counts_for_standard_graphs() {
         // Path P_n has F(n+2) independent sets (Fibonacci).
-        assert_eq!(count_independent_sets(&UndirectedGraph::path(1)).to_u64(), Some(2));
-        assert_eq!(count_independent_sets(&UndirectedGraph::path(2)).to_u64(), Some(3));
-        assert_eq!(count_independent_sets(&UndirectedGraph::path(3)).to_u64(), Some(5));
-        assert_eq!(count_independent_sets(&UndirectedGraph::path(4)).to_u64(), Some(8));
-        assert_eq!(count_independent_sets(&UndirectedGraph::path(5)).to_u64(), Some(13));
+        assert_eq!(
+            count_independent_sets(&UndirectedGraph::path(1)).to_u64(),
+            Some(2)
+        );
+        assert_eq!(
+            count_independent_sets(&UndirectedGraph::path(2)).to_u64(),
+            Some(3)
+        );
+        assert_eq!(
+            count_independent_sets(&UndirectedGraph::path(3)).to_u64(),
+            Some(5)
+        );
+        assert_eq!(
+            count_independent_sets(&UndirectedGraph::path(4)).to_u64(),
+            Some(8)
+        );
+        assert_eq!(
+            count_independent_sets(&UndirectedGraph::path(5)).to_u64(),
+            Some(13)
+        );
         // Complete graph K_n has n + 1 independent sets.
-        assert_eq!(count_independent_sets(&UndirectedGraph::complete(6)).to_u64(), Some(7));
+        assert_eq!(
+            count_independent_sets(&UndirectedGraph::complete(6)).to_u64(),
+            Some(7)
+        );
         // Cycle C_n has Lucas numbers L_n.
-        assert_eq!(count_independent_sets(&UndirectedGraph::cycle(5)).to_u64(), Some(11));
-        assert_eq!(count_independent_sets(&UndirectedGraph::cycle(6)).to_u64(), Some(18));
+        assert_eq!(
+            count_independent_sets(&UndirectedGraph::cycle(5)).to_u64(),
+            Some(11)
+        );
+        assert_eq!(
+            count_independent_sets(&UndirectedGraph::cycle(6)).to_u64(),
+            Some(18)
+        );
         // Empty graph on n nodes: 2^n.
-        assert_eq!(count_independent_sets(&UndirectedGraph::new(10)).to_u64(), Some(1024));
+        assert_eq!(
+            count_independent_sets(&UndirectedGraph::new(10)).to_u64(),
+            Some(1024)
+        );
     }
 
     #[test]
@@ -128,7 +159,17 @@ mod tests {
             UndirectedGraph::from_edges(6, &[(0, 1), (0, 2), (1, 3), (2, 4), (3, 5), (4, 5)]),
             UndirectedGraph::from_edges(
                 7,
-                &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 0), (0, 3), (2, 5)],
+                &[
+                    (0, 1),
+                    (1, 2),
+                    (2, 3),
+                    (3, 4),
+                    (4, 5),
+                    (5, 6),
+                    (6, 0),
+                    (0, 3),
+                    (2, 5),
+                ],
             ),
             UndirectedGraph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]),
         ];

@@ -23,9 +23,7 @@
 
 use std::sync::Arc;
 
-use ucqa_db::{
-    ConflictGraph, Database, FactId, FdSet, FunctionalDependency, Schema, Value,
-};
+use ucqa_db::{ConflictGraph, Database, FactId, FdSet, FunctionalDependency, Schema, Value};
 use ucqa_numeric::{Natural, Ratio};
 use ucqa_query::{parser::parse_query, ConjunctiveQuery};
 
@@ -98,7 +96,8 @@ impl HColoringReduction {
             )
             .expect("schema matches");
         }
-        db.insert_values("T", [Value::int(1)]).expect("schema matches");
+        db.insert_values("T", [Value::int(1)])
+            .expect("schema matches");
         db
     }
 
@@ -142,12 +141,8 @@ impl IndependentSetReduction {
         let mut sigma = FdSet::new();
         for i in 0..arity {
             sigma.add(
-                FunctionalDependency::key(
-                    &schema,
-                    relation,
-                    [ucqa_db::AttributeId::new(i)],
-                )
-                .expect("attribute index within arity"),
+                FunctionalDependency::key(&schema, relation, [ucqa_db::AttributeId::new(i)])
+                    .expect("attribute index within arity"),
             );
         }
         IndependentSetReduction {
@@ -211,9 +206,10 @@ impl IndependentSetReduction {
         if cg.node_count() != graph.node_count() || cg.edge_count() != graph.edge_count() {
             return false;
         }
-        graph.edges().into_iter().all(|(u, v)| {
-            cg.neighbours(FactId::new(u)).contains(&FactId::new(v))
-        })
+        graph
+            .edges()
+            .into_iter()
+            .all(|(u, v)| cg.neighbours(FactId::new(u)).contains(&FactId::new(v)))
     }
 }
 
@@ -315,7 +311,10 @@ impl FdGadget {
     {
         let db = self.database(source);
         let r = oracle(&db, &self.query);
-        assert!(!r.is_zero(), "RRFreq of the gadget query is always positive");
+        assert!(
+            !r.is_zero(),
+            "RRFreq of the gadget query is always positive"
+        );
         &r.recip() - &Ratio::one()
     }
 }
@@ -385,7 +384,8 @@ impl Pos2DnfReduction {
             )
             .expect("schema matches");
         }
-        db.insert_values("T", [Value::int(1)]).expect("schema matches");
+        db.insert_values("T", [Value::int(1)])
+            .expect("schema matches");
         db
     }
 
@@ -476,7 +476,10 @@ mod tests {
             UndirectedGraph::path(4),
             UndirectedGraph::cycle(5),
             UndirectedGraph::complete(4),
-            UndirectedGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)]),
+            UndirectedGraph::from_edges(
+                6,
+                &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)],
+            ),
         ];
         for graph in &graphs {
             let reduction = IndependentSetReduction::new(graph.max_degree());
@@ -513,7 +516,12 @@ mod tests {
         let source_solver = ExactSolver::new(&source, reduction.sigma());
         let source_count = source_solver.candidate_repair_count(false).unwrap();
 
-        let gadget = FdGadget::new(source.schema().arity(source.schema().relation_id("R").unwrap()), reduction.sigma());
+        let gadget = FdGadget::new(
+            source
+                .schema()
+                .arity(source.schema().relation_id("R").unwrap()),
+            reduction.sigma(),
+        );
         let target = gadget.database(&source);
         let target_solver = ExactSolver::new(&target, gadget.sigma());
         let target_count = target_solver.candidate_repair_count(false).unwrap();

@@ -68,7 +68,10 @@ impl UndirectedGraph {
     /// # Panics
     /// Panics on out-of-range nodes or self-loops.
     pub fn add_edge(&mut self, u: usize, v: usize) {
-        assert!(u < self.node_count() && v < self.node_count(), "node out of range");
+        assert!(
+            u < self.node_count() && v < self.node_count(),
+            "node out of range"
+        );
         assert_ne!(u, v, "self-loops are not allowed");
         self.adjacency[u].insert(v);
         self.adjacency[v].insert(u);

@@ -146,7 +146,10 @@ mod tests {
         for _ in 0..400 {
             product *= LogFloat::from_value(0.1);
         }
-        assert!(product.to_f64() == 0.0, "plain f64 representation underflows");
+        assert!(
+            product.to_f64() == 0.0,
+            "plain f64 representation underflows"
+        );
         assert!((product.ln() - 400.0 * 0.1f64.ln()).abs() < 1e-9);
     }
 

@@ -630,10 +630,7 @@ mod tests {
     fn gcd_small() {
         let g = Natural::from_u64(48).gcd(&Natural::from_u64(36));
         assert_eq!(g.to_u64(), Some(12));
-        assert_eq!(
-            Natural::zero().gcd(&Natural::from_u64(7)).to_u64(),
-            Some(7)
-        );
+        assert_eq!(Natural::zero().gcd(&Natural::from_u64(7)).to_u64(), Some(7));
     }
 
     #[test]

@@ -147,8 +147,7 @@ impl ConjunctiveQuery {
                 }));
             }
         }
-        let body_vars: BTreeSet<&Variable> =
-            atoms.iter().flat_map(|a| a.variables()).collect();
+        let body_vars: BTreeSet<&Variable> = atoms.iter().flat_map(|a| a.variables()).collect();
         for var in &answer_vars {
             if !body_vars.contains(var) {
                 return Err(QueryError::UnsafeAnswerVariable {
@@ -282,10 +281,7 @@ mod tests {
         assert!(!q.is_atomic());
         assert_eq!(q.variables().len(), 2);
         assert_eq!(q.constants().len(), 1);
-        assert_eq!(
-            q.display(&schema).to_string(),
-            "Ans(x) :- E(x, y), V(y, 1)"
-        );
+        assert_eq!(q.display(&schema).to_string(), "Ans(x) :- E(x, y), V(y, 1)");
     }
 
     #[test]
@@ -305,11 +301,8 @@ mod tests {
     fn arity_mismatch_rejected() {
         let schema = schema();
         let e = schema.relation_id("E").unwrap();
-        let err = ConjunctiveQuery::boolean(
-            &schema,
-            vec![Atom::new(e, vec![Term::var("x")])],
-        )
-        .unwrap_err();
+        let err = ConjunctiveQuery::boolean(&schema, vec![Atom::new(e, vec![Term::var("x")])])
+            .unwrap_err();
         assert!(matches!(err, QueryError::Db(_)));
     }
 

@@ -1,8 +1,16 @@
 //! Homomorphism-based evaluation of conjunctive queries.
+//!
+//! The evaluator compiles the query once at construction: variables are
+//! interned into dense *slots* and every atom's terms are resolved to
+//! either a constant or a slot index.  The backtracking search then binds
+//! values by slot into a flat `Vec<Option<&Value>>` — no `BTreeMap`
+//! operations, no `Variable`/`Value` clones on the search path.  Named
+//! [`Bindings`] are only materialised when a full homomorphism is reported
+//! back to the caller.
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use ucqa_db::{Database, FactId, FactSet, Value};
+use ucqa_db::{Database, FactId, FactSet, RelationId, Value};
 
 use crate::{ConjunctiveQuery, QueryError, Term, Variable};
 
@@ -37,20 +45,91 @@ impl Homomorphism {
     }
 }
 
+/// An atom term resolved against the interned variable slots.
+#[derive(Debug, Clone)]
+enum SlotTerm {
+    /// A constant that the fact value must equal.
+    Const(Value),
+    /// A variable, identified by its slot index.
+    Var(usize),
+}
+
+/// An atom with terms resolved to slots.
+#[derive(Debug, Clone)]
+struct CompiledAtom {
+    relation: RelationId,
+    terms: Vec<SlotTerm>,
+}
+
 /// Evaluates conjunctive queries over sub-databases via backtracking join.
 ///
-/// The evaluator is constructed once per query and database and can then be
-/// applied to many subsets `D' ⊆ D` (the typical usage pattern of the
-/// samplers: evaluate the same query on thousands of sampled repairs).
+/// The evaluator is constructed once per query and can then be applied to
+/// many subsets `D' ⊆ D` (the typical usage pattern of the samplers:
+/// evaluate the same query on thousands of sampled repairs).
 #[derive(Debug, Clone)]
 pub struct QueryEvaluator {
     query: ConjunctiveQuery,
+    /// Slot index → variable, in first-occurrence order.
+    slots: Vec<Variable>,
+    /// Atoms with terms resolved to slots.
+    atoms: Vec<CompiledAtom>,
+    /// Answer variable positions resolved to slots.
+    answer_slots: Vec<usize>,
 }
 
 impl QueryEvaluator {
-    /// Creates an evaluator for `query`.
+    /// Creates an evaluator for `query`, interning its variables into
+    /// dense slots.
     pub fn new(query: ConjunctiveQuery) -> Self {
-        QueryEvaluator { query }
+        let mut slots: Vec<Variable> = Vec::new();
+        let slot_of = |slots: &mut Vec<Variable>, var: &Variable| -> usize {
+            match slots.iter().position(|v| v == var) {
+                Some(i) => i,
+                None => {
+                    slots.push(var.clone());
+                    slots.len() - 1
+                }
+            }
+        };
+        let atoms: Vec<CompiledAtom> = query
+            .atoms()
+            .iter()
+            .map(|atom| {
+                // The search's backtrack bookkeeping records the term
+                // positions bound per frame in a u64 bitmask.
+                assert!(
+                    atom.terms().len() <= 64,
+                    "atoms with more than 64 terms are not supported"
+                );
+                CompiledAtom {
+                    relation: atom.relation(),
+                    terms: atom
+                        .terms()
+                        .iter()
+                        .map(|term| match term {
+                            Term::Const(c) => SlotTerm::Const(c.clone()),
+                            Term::Var(v) => SlotTerm::Var(slot_of(&mut slots, v)),
+                        })
+                        .collect(),
+                }
+            })
+            .collect();
+        let answer_slots = query
+            .answer_vars()
+            .iter()
+            .map(|v| {
+                slots
+                    .iter()
+                    .position(|s| s == v)
+                    .expect("answer variables are safe, so they occur in the body")
+            })
+            .collect();
+        QueryEvaluator {
+            query,
+            slots,
+            atoms,
+            answer_slots,
+        }
     }
 
     /// The underlying query.
@@ -69,24 +148,56 @@ impl QueryEvaluator {
         max: Option<usize>,
     ) -> Vec<Homomorphism> {
         let mut results = Vec::new();
-        let mut bindings = Bindings::new();
+        let mut bindings: Vec<Option<&Value>> = vec![None; self.slots.len()];
         let mut image = Vec::new();
-        self.search(db, subset, 0, &mut bindings, &mut image, &mut results, max);
+        self.search(
+            db,
+            subset,
+            0,
+            &mut bindings,
+            &mut image,
+            &mut |bindings, image| {
+                results.push(self.materialize(bindings, image));
+                max.is_some_and(|limit| results.len() >= limit)
+            },
+        );
         results
     }
 
     /// Returns `true` iff at least one homomorphism exists, i.e. `D' ⊨ Q`
     /// for Boolean queries (and "Q has some answer" otherwise).
     pub fn entails(&self, db: &Database, subset: &FactSet) -> bool {
-        !self.homomorphisms(db, subset, Some(1)).is_empty()
+        let mut bindings: Vec<Option<&Value>> = vec![None; self.slots.len()];
+        let mut image = Vec::new();
+        self.search(db, subset, 0, &mut bindings, &mut image, &mut |_, _| true)
     }
 
     /// The set of answers `Q(D')`.
     pub fn answers(&self, db: &Database, subset: &FactSet) -> BTreeSet<Vec<Value>> {
-        self.homomorphisms(db, subset, None)
-            .iter()
-            .map(|h| h.answer_tuple(&self.query))
-            .collect()
+        let mut answers = BTreeSet::new();
+        let mut bindings: Vec<Option<&Value>> = vec![None; self.slots.len()];
+        let mut image = Vec::new();
+        self.search(
+            db,
+            subset,
+            0,
+            &mut bindings,
+            &mut image,
+            &mut |bindings, _| {
+                answers.insert(
+                    self.answer_slots
+                        .iter()
+                        .map(|&slot| {
+                            bindings[slot]
+                                .expect("answer slots are bound at every leaf")
+                                .clone()
+                        })
+                        .collect(),
+                );
+                false
+            },
+        );
+        answers
     }
 
     /// Returns `true` iff the tuple `candidate` is an answer to the query
@@ -97,97 +208,154 @@ impl QueryEvaluator {
         subset: &FactSet,
         candidate: &[Value],
     ) -> Result<bool, QueryError> {
-        if candidate.len() != self.query.answer_vars().len() {
-            return Err(QueryError::AnswerArityMismatch {
-                expected: self.query.answer_vars().len(),
-                actual: candidate.len(),
-            });
+        let mut bindings: Vec<Option<&Value>> = vec![None; self.slots.len()];
+        if !self.prebind_candidate(candidate, &mut bindings)? {
+            return Ok(false);
         }
-        // Pre-bind the answer variables to the candidate values and search.
-        let mut bindings = Bindings::new();
-        for (var, value) in self.query.answer_vars().iter().zip(candidate) {
-            if let Some(existing) = bindings.get(var) {
-                if existing != value {
-                    return Ok(false);
-                }
-            }
-            bindings.insert(var.clone(), value.clone());
-        }
-        let mut results = Vec::new();
         let mut image = Vec::new();
-        self.search(db, subset, 0, &mut bindings, &mut image, &mut results, Some(1));
-        Ok(!results.is_empty())
+        Ok(self.search(db, subset, 0, &mut bindings, &mut image, &mut |_, _| true))
     }
 
     /// Enumerates the homomorphisms `h` with `h(x̄) = candidate`, without a
-    /// limit.  Used by the lower-bound machinery, which needs the image
-    /// facts `h(Q)`.
+    /// limit.  Used by the lower-bound machinery and the lineage compiler,
+    /// which need the image facts `h(Q)`.
     pub fn homomorphisms_for_answer(
         &self,
         db: &Database,
         subset: &FactSet,
         candidate: &[Value],
     ) -> Result<Vec<Homomorphism>, QueryError> {
-        if candidate.len() != self.query.answer_vars().len() {
-            return Err(QueryError::AnswerArityMismatch {
-                expected: self.query.answer_vars().len(),
-                actual: candidate.len(),
-            });
-        }
-        let mut bindings = Bindings::new();
-        for (var, value) in self.query.answer_vars().iter().zip(candidate) {
-            bindings.insert(var.clone(), value.clone());
-        }
         let mut results = Vec::new();
+        let mut bindings: Vec<Option<&Value>> = vec![None; self.slots.len()];
+        if !self.prebind_candidate(candidate, &mut bindings)? {
+            return Ok(results);
+        }
         let mut image = Vec::new();
-        self.search(db, subset, 0, &mut bindings, &mut image, &mut results, None);
+        self.search(
+            db,
+            subset,
+            0,
+            &mut bindings,
+            &mut image,
+            &mut |bindings, image| {
+                results.push(self.materialize(bindings, image));
+                false
+            },
+        );
         Ok(results)
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn search(
+    /// Visits the image `h(Q)` of every homomorphism `h` with
+    /// `h(x̄) = candidate`, without materialising bindings.  The visitor
+    /// returns `true` to stop enumeration early; the overall return value
+    /// is `true` iff enumeration was stopped.
+    ///
+    /// This is the enumeration backend of the lineage compiler: images
+    /// arrive unsorted and may contain duplicate fact ids (facts hit by
+    /// several atoms).
+    pub fn for_each_answer_image<F>(
         &self,
         db: &Database,
         subset: &FactSet,
-        atom_index: usize,
-        bindings: &mut Bindings,
-        image: &mut Vec<FactId>,
-        results: &mut Vec<Homomorphism>,
-        max: Option<usize>,
-    ) {
-        if let Some(limit) = max {
-            if results.len() >= limit {
-                return;
+        candidate: &[Value],
+        mut visitor: F,
+    ) -> Result<bool, QueryError>
+    where
+        F: FnMut(&[FactId]) -> bool,
+    {
+        let mut bindings: Vec<Option<&Value>> = vec![None; self.slots.len()];
+        if !self.prebind_candidate(candidate, &mut bindings)? {
+            return Ok(false);
+        }
+        let mut image = Vec::new();
+        Ok(
+            self.search(db, subset, 0, &mut bindings, &mut image, &mut |_, image| {
+                visitor(image)
+            }),
+        )
+    }
+
+    /// Binds the answer slots to the candidate values, returning `Ok(false)`
+    /// if a repeated answer variable receives two different values.
+    fn prebind_candidate<'d>(
+        &self,
+        candidate: &'d [Value],
+        bindings: &mut [Option<&'d Value>],
+    ) -> Result<bool, QueryError> {
+        if candidate.len() != self.answer_slots.len() {
+            return Err(QueryError::AnswerArityMismatch {
+                expected: self.answer_slots.len(),
+                actual: candidate.len(),
+            });
+        }
+        for (&slot, value) in self.answer_slots.iter().zip(candidate) {
+            match bindings[slot] {
+                Some(existing) if existing != value => return Ok(false),
+                _ => bindings[slot] = Some(value),
             }
         }
-        if atom_index == self.query.atoms().len() {
-            let mut image = image.clone();
-            image.sort();
-            image.dedup();
-            results.push(Homomorphism {
-                bindings: bindings.clone(),
-                image,
-            });
-            return;
+        Ok(true)
+    }
+
+    /// Builds a caller-facing [`Homomorphism`] from slot bindings and a raw
+    /// image (leaf-time only — never on the backtracking path).
+    fn materialize(&self, bindings: &[Option<&Value>], image: &[FactId]) -> Homomorphism {
+        let named: Bindings = self
+            .slots
+            .iter()
+            .zip(bindings)
+            .filter_map(|(var, value)| value.map(|v| (var.clone(), v.clone())))
+            .collect();
+        let mut image = image.to_vec();
+        image.sort();
+        image.dedup();
+        Homomorphism {
+            bindings: named,
+            image,
         }
-        let atom = &self.query.atoms()[atom_index];
-        for &fact_id in db.facts_of(atom.relation()) {
+    }
+
+    /// The backtracking join.  `sink` is invoked at every leaf with the
+    /// current slot bindings and the (unsorted, possibly duplicated) image;
+    /// it returns `true` to stop the search.  The overall return value is
+    /// `true` iff the search was stopped by the sink.
+    fn search<'d, F>(
+        &self,
+        db: &'d Database,
+        subset: &FactSet,
+        atom_index: usize,
+        bindings: &mut Vec<Option<&'d Value>>,
+        image: &mut Vec<FactId>,
+        sink: &mut F,
+    ) -> bool
+    where
+        F: FnMut(&[Option<&'d Value>], &[FactId]) -> bool,
+    {
+        if atom_index == self.atoms.len() {
+            return sink(bindings, image);
+        }
+        let atom = &self.atoms[atom_index];
+        for &fact_id in db.facts_of(atom.relation) {
             if !subset.contains(fact_id) {
                 continue;
             }
             let fact = db.fact(fact_id);
-            // Try to unify the atom's terms with the fact's values.
-            let mut newly_bound: Vec<Variable> = Vec::new();
+            // Try to unify the atom's terms with the fact's values.  The
+            // slots bound by this frame are tracked in a bitmask so they
+            // can be unbound on backtrack without heap allocation
+            // (`QueryEvaluator::new` rejects atoms with more than 64
+            // terms).
+            let mut bound_here: u64 = 0;
             let mut ok = true;
-            for (term, value) in atom.terms().iter().zip(fact.values()) {
+            for (position, (term, value)) in atom.terms.iter().zip(fact.values()).enumerate() {
                 match term {
-                    Term::Const(c) => {
+                    SlotTerm::Const(c) => {
                         if c != value {
                             ok = false;
                             break;
                         }
                     }
-                    Term::Var(v) => match bindings.get(v) {
+                    SlotTerm::Var(slot) => match bindings[*slot] {
                         Some(bound) => {
                             if bound != value {
                                 ok = false;
@@ -195,19 +363,35 @@ impl QueryEvaluator {
                             }
                         }
                         None => {
-                            bindings.insert(v.clone(), value.clone());
-                            newly_bound.push(v.clone());
+                            bindings[*slot] = Some(value);
+                            bound_here |= 1 << position;
                         }
                     },
                 }
             }
             if ok {
                 image.push(fact_id);
-                self.search(db, subset, atom_index + 1, bindings, image, results, max);
+                let stop = self.search(db, subset, atom_index + 1, bindings, image, sink);
                 image.pop();
+                if stop {
+                    self.unbind(atom, bound_here, bindings);
+                    return true;
+                }
             }
-            for v in newly_bound {
-                bindings.remove(&v);
+            self.unbind(atom, bound_here, bindings);
+        }
+        false
+    }
+
+    /// Clears the bindings introduced by one frame, identified by the term
+    /// positions recorded in `bound_here`.
+    fn unbind(&self, atom: &CompiledAtom, bound_here: u64, bindings: &mut [Option<&Value>]) {
+        let mut mask = bound_here;
+        while mask != 0 {
+            let position = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            if let SlotTerm::Var(slot) = &atom.terms[position] {
+                bindings[*slot] = None;
             }
         }
     }
@@ -228,11 +412,15 @@ mod tests {
         schema.add_relation("T", &["X"]).unwrap();
         let mut db = Database::with_schema(schema);
         for node in ["u", "v", "w"] {
-            db.insert_values("V", [Value::str(node), Value::int(0)]).unwrap();
-            db.insert_values("V", [Value::str(node), Value::int(1)]).unwrap();
+            db.insert_values("V", [Value::str(node), Value::int(0)])
+                .unwrap();
+            db.insert_values("V", [Value::str(node), Value::int(1)])
+                .unwrap();
         }
-        db.insert_values("E", [Value::str("u"), Value::str("v")]).unwrap();
-        db.insert_values("E", [Value::str("v"), Value::str("w")]).unwrap();
+        db.insert_values("E", [Value::str("u"), Value::str("v")])
+            .unwrap();
+        db.insert_values("E", [Value::str("v"), Value::str("w")])
+            .unwrap();
         db.insert_values("T", [Value::int(1)]).unwrap();
         db
     }
@@ -265,7 +453,9 @@ mod tests {
         assert!(!eval
             .has_answer(&db, &db.all_facts(), &[Value::str("w"), Value::str("u")])
             .unwrap());
-        assert!(eval.has_answer(&db, &db.all_facts(), &[Value::str("v")]).is_err());
+        assert!(eval
+            .has_answer(&db, &db.all_facts(), &[Value::str("v")])
+            .is_err());
     }
 
     #[test]
@@ -312,7 +502,10 @@ mod tests {
             .homomorphisms_for_answer(&db, &db.all_facts(), &[Value::str("u")])
             .unwrap();
         assert_eq!(homs.len(), 1);
-        assert_eq!(homs[0].bindings.get(&Variable::new("z")), Some(&Value::int(1)));
+        assert_eq!(
+            homs[0].bindings.get(&Variable::new("z")),
+            Some(&Value::int(1))
+        );
     }
 
     #[test]
@@ -321,5 +514,52 @@ mod tests {
         let q = parse_query(db.schema(), "Ans() :- T(1)").unwrap();
         let eval = QueryEvaluator::new(q);
         assert!(!eval.entails(&db, &FactSet::empty(db.len())));
+    }
+
+    #[test]
+    fn limited_enumeration_stops_early() {
+        let db = graph_db();
+        let q = parse_query(db.schema(), "Ans(x) :- V(x, y)").unwrap();
+        let eval = QueryEvaluator::new(q);
+        assert_eq!(eval.homomorphisms(&db, &db.all_facts(), Some(2)).len(), 2);
+        assert_eq!(eval.homomorphisms(&db, &db.all_facts(), None).len(), 6);
+    }
+
+    #[test]
+    fn answer_images_are_visited_per_homomorphism() {
+        let db = graph_db();
+        let q = parse_query(db.schema(), "Ans(x) :- V(x, z), T(z)").unwrap();
+        let eval = QueryEvaluator::new(q);
+        let mut images = Vec::new();
+        let stopped = eval
+            .for_each_answer_image(&db, &db.all_facts(), &[Value::str("u")], |image| {
+                images.push(image.to_vec());
+                false
+            })
+            .unwrap();
+        assert!(!stopped);
+        assert_eq!(images.len(), 1);
+        assert_eq!(images[0].len(), 2);
+    }
+
+    #[test]
+    fn repeated_answer_variables_require_equal_candidate_values() {
+        let db = graph_db();
+        let q = ConjunctiveQuery::new(
+            db.schema(),
+            vec![Variable::new("x"), Variable::new("x")],
+            vec![crate::Atom::new(
+                db.schema().relation_id("E").unwrap(),
+                vec![Term::var("x"), Term::var("y")],
+            )],
+        )
+        .unwrap();
+        let eval = QueryEvaluator::new(q);
+        assert!(!eval
+            .has_answer(&db, &db.all_facts(), &[Value::str("u"), Value::str("v")])
+            .unwrap());
+        assert!(eval
+            .has_answer(&db, &db.all_facts(), &[Value::str("u"), Value::str("u")])
+            .unwrap());
     }
 }

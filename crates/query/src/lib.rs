@@ -16,13 +16,18 @@
 pub mod ast;
 pub mod error;
 pub mod eval;
+pub mod lineage;
 pub mod parser;
 
 pub use ast::{Atom, ConjunctiveQuery, Term, Variable};
 pub use error::QueryError;
 pub use eval::{Bindings, QueryEvaluator};
+pub use lineage::CompiledLineage;
 
 /// Commonly used types, re-exported for convenience.
 pub mod prelude {
-    pub use crate::{Atom, Bindings, ConjunctiveQuery, QueryError, QueryEvaluator, Term, Variable};
+    pub use crate::{
+        Atom, Bindings, CompiledLineage, ConjunctiveQuery, QueryError, QueryEvaluator, Term,
+        Variable,
+    };
 }

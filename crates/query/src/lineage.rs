@@ -1,0 +1,238 @@
+//! Compiled query lineage: the monotone DNF of witness sets.
+//!
+//! The FPRAS drivers of `ucqa-core` reduce uniform operational CQA to
+//! drawing millions of Bernoulli samples of the form *"does this sampled
+//! repair entail the query (with the candidate answer)?"*.  Every repair is
+//! a subset `D' ⊆ D` of one fixed database, and conjunctive queries are
+//! monotone, so the entailment predicate is a fixed monotone Boolean
+//! function of the fact bits: `D' ⊨ Q(c̄)` iff the image of **some**
+//! homomorphism `h` with `h(x̄) = c̄` survives in `D'`.
+//!
+//! [`CompiledLineage`] materialises that function once per
+//! `(D, Q, candidate)` triple: it enumerates all homomorphisms up front and
+//! compiles their images into a minimal antichain of witness bitsets.  The
+//! per-sample check is then *"some witness ⊆ repair"* — a handful of
+//! word-level AND/compare operations per witness — instead of a full
+//! backtracking homomorphism search.  Witness enumeration is capped (query
+//! lineage can be exponential in the query size); past the cap the caller
+//! falls back to the backtracking evaluator.
+
+use ucqa_db::Value;
+use ucqa_db::{Database, FactSet};
+
+use crate::{QueryError, QueryEvaluator};
+
+/// Default cap on the number of witnesses materialised by
+/// [`CompiledLineage::compile`].
+///
+/// `4096` witnesses × a 1 000-fact universe is ~64 KiB of bitset words —
+/// comfortably cache-resident — while the linear witness scan stays far
+/// cheaper than a backtracking search that would re-derive those same
+/// homomorphisms on every sample.
+pub const DEFAULT_WITNESS_CAP: usize = 4096;
+
+/// The compiled lineage of one `(database, query, candidate)` triple: a
+/// minimal monotone DNF over fact bitsets.
+#[derive(Debug, Clone)]
+pub struct CompiledLineage {
+    /// Minimal witness antichain, sorted by ascending popcount (smaller
+    /// witnesses are cheaper to check and more likely to be contained).
+    witnesses: Vec<FactSet>,
+    universe: usize,
+}
+
+impl CompiledLineage {
+    /// Compiles the lineage of `candidate` over the **full** database with
+    /// the default witness cap.
+    ///
+    /// Returns `Ok(None)` when the number of distinct witnesses exceeds the
+    /// cap, in which case the caller should keep using the backtracking
+    /// evaluator.
+    pub fn compile(
+        evaluator: &QueryEvaluator,
+        db: &Database,
+        candidate: &[Value],
+    ) -> Result<Option<Self>, QueryError> {
+        Self::compile_with_cap(evaluator, db, candidate, DEFAULT_WITNESS_CAP)
+    }
+
+    /// As [`CompiledLineage::compile`], with an explicit witness cap.
+    pub fn compile_with_cap(
+        evaluator: &QueryEvaluator,
+        db: &Database,
+        candidate: &[Value],
+        cap: usize,
+    ) -> Result<Option<Self>, QueryError> {
+        let universe = db.len();
+        let all = db.all_facts();
+        let mut raw: Vec<FactSet> = Vec::new();
+        let overflowed = evaluator.for_each_answer_image(db, &all, candidate, |image| {
+            let mut witness = FactSet::empty(universe);
+            for &fact in image {
+                witness.insert(fact);
+            }
+            raw.push(witness);
+            // Enumeration keeps its own budget: one past the cap is
+            // enough to know compilation must be abandoned.
+            raw.len() > cap
+        })?;
+        if overflowed {
+            return Ok(None);
+        }
+        Ok(Some(Self::from_witnesses(raw, universe)))
+    }
+
+    /// Builds the minimal antichain from raw witness sets: duplicates and
+    /// supersets are absorbed (`w ⊆ w'` makes `w'` redundant — monotone DNF
+    /// absorption).
+    fn from_witnesses(mut raw: Vec<FactSet>, universe: usize) -> Self {
+        raw.sort_by_key(FactSet::len);
+        let mut witnesses: Vec<FactSet> = Vec::new();
+        for candidate in raw {
+            if !witnesses.iter().any(|kept| kept.is_subset_of(&candidate)) {
+                witnesses.push(candidate);
+            }
+        }
+        CompiledLineage {
+            witnesses,
+            universe,
+        }
+    }
+
+    /// The per-sample entailment check: `true` iff some witness survives in
+    /// `repair`, i.e. `repair ⊨ Q(c̄)`.
+    ///
+    /// Performs no heap allocation; cost is at most
+    /// `witness_count × ⌈universe/64⌉` word operations, with early exit.
+    #[inline]
+    pub fn entails(&self, repair: &FactSet) -> bool {
+        debug_assert_eq!(repair.universe(), self.universe);
+        self.witnesses.iter().any(|w| repair.contains_all(w))
+    }
+
+    /// Number of witnesses in the minimal antichain.
+    pub fn witness_count(&self) -> usize {
+        self.witnesses.len()
+    }
+
+    /// The witnesses themselves (sorted by ascending cardinality).
+    pub fn witnesses(&self) -> &[FactSet] {
+        &self.witnesses
+    }
+
+    /// The size of the fact universe the lineage ranges over.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// `true` iff the candidate is entailed by **every** subset, including
+    /// the empty one (the query is satisfied by zero atoms matching — only
+    /// possible for queries with an empty body).
+    pub fn is_unconditional(&self) -> bool {
+        self.witnesses.first().is_some_and(FactSet::is_empty)
+    }
+
+    /// `true` iff no subset of the database entails the candidate (the
+    /// target probability is exactly zero).
+    pub fn never_entails(&self) -> bool {
+        self.witnesses.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use ucqa_db::{FactId, Schema};
+
+    fn blocks_db() -> Database {
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["K", "V"]).unwrap();
+        let mut db = Database::with_schema(schema);
+        for (k, v) in [(1, 1), (1, 2), (2, 1), (2, 2), (3, 7)] {
+            db.insert_values("R", [Value::int(k), Value::int(v)])
+                .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn entails_agrees_with_the_evaluator_on_all_subsets() {
+        let db = blocks_db();
+        for (text, candidate) in [
+            ("Ans(x) :- R(1, x)", vec![Value::int(1)]),
+            ("Ans() :- R(x, y), R(z, y)", vec![]),
+            ("Ans() :- R(1, x), R(2, x)", vec![]),
+            ("Ans() :- R(9, 9)", vec![]),
+        ] {
+            let evaluator = QueryEvaluator::new(parse_query(db.schema(), text).unwrap());
+            let lineage = CompiledLineage::compile(&evaluator, &db, &candidate)
+                .unwrap()
+                .expect("under cap");
+            for mask in 0u32..(1 << db.len()) {
+                let subset = FactSet::from_iter(
+                    db.len(),
+                    (0..db.len())
+                        .filter(|i| (mask >> i) & 1 == 1)
+                        .map(FactId::new),
+                );
+                assert_eq!(
+                    lineage.entails(&subset),
+                    evaluator.has_answer(&db, &subset, &candidate).unwrap(),
+                    "query {text}, mask {mask:b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn witnesses_form_a_minimal_antichain() {
+        let db = blocks_db();
+        // R(x, y), R(z, y): single-fact images (x = z) absorb the two-fact
+        // ones, leaving exactly the five singleton witnesses.
+        let evaluator =
+            QueryEvaluator::new(parse_query(db.schema(), "Ans() :- R(x, y), R(z, y)").unwrap());
+        let lineage = CompiledLineage::compile(&evaluator, &db, &[])
+            .unwrap()
+            .unwrap();
+        assert_eq!(lineage.witness_count(), 5);
+        assert!(lineage.witnesses().iter().all(|w| w.len() == 1));
+        for (i, a) in lineage.witnesses().iter().enumerate() {
+            for (j, b) in lineage.witnesses().iter().enumerate() {
+                if i != j {
+                    assert!(!a.is_subset_of(b), "witness {i} ⊆ witness {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unsatisfiable_candidates_have_no_witnesses() {
+        let db = blocks_db();
+        let evaluator = QueryEvaluator::new(parse_query(db.schema(), "Ans() :- R(9, 9)").unwrap());
+        let lineage = CompiledLineage::compile(&evaluator, &db, &[])
+            .unwrap()
+            .unwrap();
+        assert!(lineage.never_entails());
+        assert!(!lineage.entails(&db.all_facts()));
+    }
+
+    #[test]
+    fn cap_overflow_returns_none() {
+        let db = blocks_db();
+        let evaluator = QueryEvaluator::new(parse_query(db.schema(), "Ans() :- R(x, y)").unwrap());
+        assert!(CompiledLineage::compile_with_cap(&evaluator, &db, &[], 2)
+            .unwrap()
+            .is_none());
+        assert!(CompiledLineage::compile_with_cap(&evaluator, &db, &[], 5)
+            .unwrap()
+            .is_some());
+    }
+
+    #[test]
+    fn arity_mismatch_is_reported() {
+        let db = blocks_db();
+        let evaluator = QueryEvaluator::new(parse_query(db.schema(), "Ans(x) :- R(1, x)").unwrap());
+        assert!(CompiledLineage::compile(&evaluator, &db, &[]).is_err());
+    }
+}

@@ -209,10 +209,7 @@ mod tests {
         let q = parse_query(&schema, "Ans(x) :- V(x, 'b1'), T(1)").unwrap();
         assert_eq!(q.answer_vars().len(), 1);
         assert_eq!(q.constants().len(), 2);
-        assert_eq!(
-            q.display(&schema).to_string(),
-            "Ans(x) :- V(x, b1), T(1)"
-        );
+        assert_eq!(q.display(&schema).to_string(), "Ans(x) :- V(x, b1), T(1)");
     }
 
     #[test]

@@ -108,11 +108,7 @@ impl RepairingMarkovChain {
     /// Checks that the leaf distribution sums to 1 (it always does for a
     /// well-formed chain; exposed for tests and diagnostics).
     pub fn leaf_distribution_sums_to_one(&self) -> bool {
-        let total: Ratio = self
-            .leaf_distribution()
-            .into_iter()
-            .map(|(_, p)| p)
-            .sum();
+        let total: Ratio = self.leaf_distribution().into_iter().map(|(_, p)| p).sum();
         total.is_one()
     }
 }
@@ -185,11 +181,7 @@ mod tests {
         let mut probs = uniform_child_probabilities(&tree);
         let root_children: Vec<NodeId> = tree.children(tree.root()).to_vec();
         for (i, child) in root_children.iter().enumerate() {
-            probs[child.index()] = if i == 0 {
-                Ratio::one()
-            } else {
-                Ratio::zero()
-            };
+            probs[child.index()] = if i == 0 { Ratio::one() } else { Ratio::zero() };
         }
         let chain = RepairingMarkovChain::new(tree, probs);
         assert!(chain.leaf_distribution_sums_to_one());

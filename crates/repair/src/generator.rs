@@ -279,7 +279,9 @@ mod tests {
             GeneratorSpec::uniform_sequences().with_singleton_only(),
             GeneratorSpec::uniform_operations().with_singleton_only(),
         ] {
-            let chain = spec.build_chain(&db, &sigma, TreeLimits::default()).unwrap();
+            let chain = spec
+                .build_chain(&db, &sigma, TreeLimits::default())
+                .unwrap();
             assert!(chain.tree().singleton_only());
             assert!(chain.leaf_distribution_sums_to_one());
         }

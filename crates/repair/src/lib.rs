@@ -44,14 +44,13 @@ pub use generator::{GeneratorSpec, UniformSemantics};
 pub use operation::{justified_operations, Operation};
 pub use semantics::{OperationalSemantics, RepairProbability};
 pub use sequence::RepairingSequence;
-pub use weighted::{TrustWeightedGenerator, TrustWeights};
 pub use tree::{NodeId, RepairingTree, TreeLimits};
+pub use weighted::{TrustWeightedGenerator, TrustWeights};
 
 /// Commonly used types, re-exported for convenience.
 pub mod prelude {
     pub use crate::{
-        justified_operations, GeneratorSpec, Operation, OperationalSemantics,
-        RepairError, RepairingMarkovChain, RepairingSequence, RepairingTree, TreeLimits,
-        UniformSemantics,
+        justified_operations, GeneratorSpec, Operation, OperationalSemantics, RepairError,
+        RepairingMarkovChain, RepairingSequence, RepairingTree, TreeLimits, UniformSemantics,
     };
 }

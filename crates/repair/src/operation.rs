@@ -203,10 +203,7 @@ mod tests {
         let (db, sigma) = running_example();
         let ops = justified_operations(&db, &sigma, &db.all_facts(), false);
         let rendered: Vec<String> = ops.iter().map(Operation::render).collect();
-        assert_eq!(
-            rendered,
-            vec!["-f0", "-{f0,f1}", "-f1", "-{f1,f2}", "-f2"]
-        );
+        assert_eq!(rendered, vec!["-f0", "-{f0,f1}", "-f1", "-{f1,f2}", "-f2"]);
         // Singleton-only variant keeps just the three single-fact removals.
         let ops1 = justified_operations(&db, &sigma, &db.all_facts(), true);
         assert_eq!(ops1.len(), 3);
@@ -220,8 +217,9 @@ mod tests {
         // f1 and f3 (ids 0 and 2) do not form a violating pair.
         assert!(!Operation::remove_pair(FactId::new(0), FactId::new(2))
             .is_justified(&db, &sigma, &full));
-        assert!(Operation::remove_pair(FactId::new(0), FactId::new(1))
-            .is_justified(&db, &sigma, &full));
+        assert!(
+            Operation::remove_pair(FactId::new(0), FactId::new(1)).is_justified(&db, &sigma, &full)
+        );
         assert!(Operation::remove_one(FactId::new(2)).is_justified(&db, &sigma, &full));
         // After removing f2 (id 1) the database is consistent: nothing is
         // justified any more.

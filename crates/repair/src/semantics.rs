@@ -126,8 +126,7 @@ impl OperationalSemantics {
         let mut answers = Vec::new();
         let mut indices = vec![0usize; arity];
         loop {
-            let candidate: Vec<Value> =
-                indices.iter().map(|&i| domain[i].clone()).collect();
+            let candidate: Vec<Value> = indices.iter().map(|&i| domain[i].clone()).collect();
             let p = self.answer_probability(db, evaluator, &candidate)?;
             if !p.is_zero() {
                 answers.push((candidate, p));
@@ -234,9 +233,7 @@ mod tests {
             Ratio::from_u64(3, 5)
         );
         assert_eq!(
-            semantics
-                .answer_probability(&db, &evaluator, &[])
-                .unwrap(),
+            semantics.answer_probability(&db, &evaluator, &[]).unwrap(),
             Ratio::from_u64(3, 5)
         );
     }

@@ -219,8 +219,7 @@ mod tests {
     #[test]
     fn out_of_range_fact_detected() {
         let (db, sigma) = running_example();
-        let s =
-            RepairingSequence::from_operations(vec![Operation::remove_one(FactId::new(7))]);
+        let s = RepairingSequence::from_operations(vec![Operation::remove_one(FactId::new(7))]);
         assert!(matches!(
             s.validate(&db, &sigma),
             Err(RepairError::FactOutOfRange { .. })

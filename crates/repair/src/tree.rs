@@ -368,7 +368,8 @@ mod tests {
         let mut schema = Schema::new();
         schema.add_relation("R", &["A", "B"]).unwrap();
         let mut db = Database::with_schema(schema);
-        db.insert_values("R", [Value::int(1), Value::int(2)]).unwrap();
+        db.insert_values("R", [Value::int(1), Value::int(2)])
+            .unwrap();
         let mut sigma = FdSet::new();
         sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["A"], &["B"]).unwrap());
         let tree = RepairingTree::build(&db, &sigma, false, TreeLimits::default()).unwrap();

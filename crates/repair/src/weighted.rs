@@ -64,7 +64,10 @@ impl TrustWeights {
 
     /// The trust of a fact.
     pub fn trust(&self, fact: FactId) -> Ratio {
-        self.by_fact.get(&fact).cloned().unwrap_or_else(|| self.default.clone())
+        self.by_fact
+            .get(&fact)
+            .cloned()
+            .unwrap_or_else(|| self.default.clone())
     }
 
     /// The *distrust* `1 − trust` of a fact.
@@ -167,12 +170,13 @@ mod tests {
         let mut schema = Schema::new();
         schema.add_relation("Emp", &["id", "name"]).unwrap();
         let mut db = Database::with_schema(schema);
-        db.insert_values("Emp", [Value::int(1), Value::str("Alice")]).unwrap();
-        db.insert_values("Emp", [Value::int(1), Value::str("Tom")]).unwrap();
+        db.insert_values("Emp", [Value::int(1), Value::str("Alice")])
+            .unwrap();
+        db.insert_values("Emp", [Value::int(1), Value::str("Tom")])
+            .unwrap();
         let mut sigma = FdSet::new();
-        sigma.add(
-            FunctionalDependency::from_names(db.schema(), "Emp", &["id"], &["name"]).unwrap(),
-        );
+        sigma
+            .add(FunctionalDependency::from_names(db.schema(), "Emp", &["id"], &["name"]).unwrap());
         (db, sigma)
     }
 
@@ -184,7 +188,9 @@ mod tests {
         // {Tom}, {Alice}, ∅ carry those probabilities.
         let (db, sigma) = intro_example();
         let generator = TrustWeightedGenerator::new(TrustWeights::half_trust());
-        let chain = generator.build_chain(&db, &sigma, TreeLimits::default()).unwrap();
+        let chain = generator
+            .build_chain(&db, &sigma, TreeLimits::default())
+            .unwrap();
         let semantics = OperationalSemantics::from_chain(&chain);
         assert!(semantics.total_probability().is_one());
 
@@ -220,14 +226,14 @@ mod tests {
         weights.set(FactId::new(0), Ratio::from_u64(9, 10));
         weights.set(FactId::new(1), Ratio::from_u64(1, 10));
         let generator = TrustWeightedGenerator::new(weights);
-        let chain = generator.build_chain(&db, &sigma, TreeLimits::default()).unwrap();
+        let chain = generator
+            .build_chain(&db, &sigma, TreeLimits::default())
+            .unwrap();
         let semantics = OperationalSemantics::from_chain(&chain);
         let alice = parse_query(db.schema(), "Ans() :- Emp(1, 'Alice')").unwrap();
         let tom = parse_query(db.schema(), "Ans() :- Emp(1, 'Tom')").unwrap();
-        let p_alice = semantics
-            .entailment_probability(&db, &QueryEvaluator::new(alice));
-        let p_tom = semantics
-            .entailment_probability(&db, &QueryEvaluator::new(tom));
+        let p_alice = semantics.entailment_probability(&db, &QueryEvaluator::new(alice));
+        let p_tom = semantics.entailment_probability(&db, &QueryEvaluator::new(tom));
         assert!(p_alice > p_tom);
         assert!(semantics.total_probability().is_one());
         // Weight of removing Alice ∝ 1/10, Tom ∝ 9/10, both ∝ 9/100:
@@ -240,7 +246,9 @@ mod tests {
     fn fully_trusted_facts_fall_back_to_uniform_choices() {
         let (db, sigma) = intro_example();
         let generator = TrustWeightedGenerator::new(TrustWeights::with_default(Ratio::one()));
-        let chain = generator.build_chain(&db, &sigma, TreeLimits::default()).unwrap();
+        let chain = generator
+            .build_chain(&db, &sigma, TreeLimits::default())
+            .unwrap();
         assert!(chain.leaf_distribution_sums_to_one());
         // All three root operations get probability 1/3.
         for &child in chain.tree().children(chain.tree().root()) {
@@ -251,9 +259,10 @@ mod tests {
     #[test]
     fn singleton_only_variant_never_removes_pairs() {
         let (db, sigma) = intro_example();
-        let generator =
-            TrustWeightedGenerator::new(TrustWeights::half_trust()).singleton_only();
-        let chain = generator.build_chain(&db, &sigma, TreeLimits::default()).unwrap();
+        let generator = TrustWeightedGenerator::new(TrustWeights::half_trust()).singleton_only();
+        let chain = generator
+            .build_chain(&db, &sigma, TreeLimits::default())
+            .unwrap();
         assert!(chain.tree().singleton_only());
         let semantics = OperationalSemantics::from_chain(&chain);
         // Only the two singleton repairs remain, each with probability 1/2.

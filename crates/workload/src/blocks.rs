@@ -51,9 +51,7 @@ impl BlockWorkload {
         );
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut schema = Schema::new();
-        schema
-            .add_relation("R", &["K", "V"])
-            .expect("fresh schema");
+        schema.add_relation("R", &["K", "V"]).expect("fresh schema");
         let mut db = Database::with_schema(schema);
         for block in 0..self.blocks {
             let size = rng.random_range(self.min_block_size..=self.max_block_size);

@@ -71,8 +71,8 @@ pub fn block_join_query(db: &Database, seed: u64) -> Result<ConjunctiveQuery, Qu
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ucqa_query::QueryEvaluator;
     use crate::BlockWorkload;
+    use ucqa_query::QueryEvaluator;
 
     #[test]
     fn block_lookup_query_has_a_positive_answer_on_the_full_database() {

@@ -19,8 +19,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         db.insert_values("R", [Value::str(a), Value::str(b), Value::str(c)])?;
     }
     let mut sigma = FdSet::new();
-    sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["A"], &["B"])?);
-    sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["C"], &["B"])?);
+    sigma.add(FunctionalDependency::from_names(
+        db.schema(),
+        "R",
+        &["A"],
+        &["B"],
+    )?);
+    sigma.add(FunctionalDependency::from_names(
+        db.schema(),
+        "R",
+        &["C"],
+        &["B"],
+    )?);
 
     println!("database D:");
     for (id, fact) in db.iter() {
@@ -40,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             tree.node_count(),
             tree.leaf_count()
         );
-        print!("root transition probabilities (p1..p{}):", tree.children(tree.root()).len());
+        print!(
+            "root transition probabilities (p1..p{}):",
+            tree.children(tree.root()).len()
+        );
         for &child in tree.children(tree.root()) {
             print!(
                 " {}={}",

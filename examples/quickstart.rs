@@ -39,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         db.insert_values("Emp", [Value::int(id), Value::str(name), Value::str(dept)])?;
     }
-    println!("database is consistent: {}", sigma.satisfied_by_database(&db));
+    println!(
+        "database is consistent: {}",
+        sigma.satisfied_by_database(&db)
+    );
 
     // 3. A query: which employees work in R&D?
     let query = parse_query(db.schema(), "Ans(n) :- Emp(x, n, 'R&D')")?;

@@ -86,8 +86,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     let mut ranked = Vec::new();
     for location in candidates {
-        let estimate =
-            estimator.estimate(&evaluator, std::slice::from_ref(&location), params, &mut rng)?;
+        let estimate = estimator.estimate(
+            &evaluator,
+            std::slice::from_ref(&location),
+            params,
+            &mut rng,
+        )?;
         ranked.push((location, estimate.value));
     }
     ranked.sort_by(|a, b| b.1.total_cmp(&a.1));

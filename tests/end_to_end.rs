@@ -59,8 +59,7 @@ fn multi_atom_queries_are_estimated_correctly() {
         .answer_probability(GeneratorSpec::uniform_repairs(), &evaluator, &[])
         .unwrap()
         .to_f64();
-    let estimator =
-        OcqaEstimator::new(&db, &sigma, GeneratorSpec::uniform_repairs()).unwrap();
+    let estimator = OcqaEstimator::new(&db, &sigma, GeneratorSpec::uniform_repairs()).unwrap();
     let params = ApproximationParams::new(0.05, 0.05).unwrap();
     let mut rng = StdRng::seed_from_u64(3);
     let estimate = estimator
@@ -86,8 +85,7 @@ fn keys_beyond_primary_keys_route_to_uniform_operations_only() {
             Some(CoreError::Unsupported { .. })
         ));
     }
-    let estimator =
-        OcqaEstimator::new(&db, &sigma, GeneratorSpec::uniform_operations()).unwrap();
+    let estimator = OcqaEstimator::new(&db, &sigma, GeneratorSpec::uniform_operations()).unwrap();
     let query = fact_membership_query(&db, 7).unwrap();
     let evaluator = QueryEvaluator::new(query);
     let params = ApproximationParams::new(0.2, 0.1).unwrap();
@@ -131,8 +129,7 @@ fn fixed_sample_modes_scale_to_larger_workloads() {
     assert_eq!(db.len(), 500);
     let (query, candidate) = block_lookup_query(&db, 2).unwrap();
     let evaluator = QueryEvaluator::new(query);
-    let estimator =
-        OcqaEstimator::new(&db, &sigma, GeneratorSpec::uniform_repairs()).unwrap();
+    let estimator = OcqaEstimator::new(&db, &sigma, GeneratorSpec::uniform_repairs()).unwrap();
     let params = ApproximationParams::new(0.1, 0.1)
         .unwrap()
         .with_mode(EstimatorMode::FixedSamples(4_000));

@@ -36,7 +36,8 @@ fn figure2() -> (Database, FdSet) {
         ("a3", "b1"),
         ("a3", "b2"),
     ] {
-        db.insert_values("R", [Value::str(a), Value::str(b)]).unwrap();
+        db.insert_values("R", [Value::str(a), Value::str(b)])
+            .unwrap();
     }
     let mut sigma = FdSet::new();
     sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["A1"], &["A2"]).unwrap());
@@ -92,7 +93,10 @@ fn figure2_counting_and_relative_frequencies() {
     let (db, sigma) = figure2();
     let sizes = counting::block_sizes(&db, &sigma, &db.all_facts()).unwrap();
     assert_eq!(counting::count_candidate_repairs(&sizes).to_u64(), Some(12));
-    assert_eq!(counting::count_complete_sequences(&sizes).to_u64(), Some(99));
+    assert_eq!(
+        counting::count_complete_sequences(&sizes).to_u64(),
+        Some(99)
+    );
     assert_eq!(
         counting::count_candidate_repairs_singleton(&sizes).to_u64(),
         Some(6)
@@ -130,9 +134,7 @@ fn intro_example_emp_alice_tom() {
     db.insert_values("Emp", [Value::int(1), Value::str("Tom")])
         .unwrap();
     let mut sigma = FdSet::new();
-    sigma.add(
-        FunctionalDependency::from_names(db.schema(), "Emp", &["id"], &["name"]).unwrap(),
-    );
+    sigma.add(FunctionalDependency::from_names(db.schema(), "Emp", &["id"], &["name"]).unwrap());
     let solver = ExactSolver::new(&db, &sigma);
     let semantics = solver.semantics(GeneratorSpec::uniform_repairs()).unwrap();
     assert_eq!(semantics.repair_count(), 3);

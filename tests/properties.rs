@@ -2,13 +2,15 @@
 //! structural invariants the paper's proofs rely on.
 
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use uocqa::core::counting;
 use uocqa::db::{
-    ConflictGraph, Database, FdSet, FunctionalDependency, Schema, Value, ViolationSet,
+    ConflictGraph, Database, FactSet, FdSet, FunctionalDependency, Schema, Value, ViolationSet,
 };
 use uocqa::numeric::Ratio;
-use uocqa::query::{Atom, ConjunctiveQuery, QueryEvaluator, Term};
+use uocqa::query::{Atom, CompiledLineage, ConjunctiveQuery, QueryEvaluator, Term};
 use uocqa::repair::{GeneratorSpec, OperationalSemantics, RepairingTree, TreeLimits};
 
 /// Builds a primary-key database (single relation `R(A, B)`, key `A → B`)
@@ -153,6 +155,45 @@ proptest! {
         }
     }
 
+    /// The compiled lineage agrees with the backtracking evaluator on
+    /// random subsets of seeded workload databases, across single-atom
+    /// lookup queries, Boolean fact-membership queries and two-atom join
+    /// queries.
+    #[test]
+    fn compiled_lineage_agrees_with_the_evaluator(
+        blocks in 1usize..6,
+        block_size in 1usize..4,
+        seed in 0u64..1_000,
+    ) {
+        let (db, _) = uocqa::workload::BlockWorkload::uniform(blocks, block_size, seed).generate();
+        let mut queries = vec![
+            (uocqa::workload::queries::fact_membership_query(&db, seed).unwrap(), vec![]),
+            (uocqa::workload::queries::block_join_query(&db, seed).unwrap(), vec![]),
+        ];
+        let (lookup, candidate) = uocqa::workload::queries::block_lookup_query(&db, seed).unwrap();
+        queries.push((lookup, candidate));
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xA5A5);
+        for (query, candidate) in queries {
+            let evaluator = QueryEvaluator::new(query);
+            let lineage = CompiledLineage::compile(&evaluator, &db, &candidate)
+                .unwrap()
+                .expect("workload lineages stay under the witness cap");
+            for _ in 0..32 {
+                let subset = FactSet::from_iter(
+                    db.len(),
+                    (0..db.len())
+                        .filter(|_| rng.random_bool(0.5))
+                        .map(uocqa::db::FactId::new),
+                );
+                prop_assert_eq!(
+                    lineage.entails(&subset),
+                    evaluator.has_answer(&db, &subset, &candidate).unwrap(),
+                    "subset {:?}", subset
+                );
+            }
+        }
+    }
+
     /// The lower bounds of Lemmas 5.3 / 6.3 / E.3 hold on random
     /// primary-key instances: whenever the frequency is positive it is at
     /// least the stated bound.
@@ -181,4 +222,63 @@ proptest! {
             );
         }
     }
+}
+
+/// `estimate_fixed_parallel` returns bit-identical results for a fixed
+/// master seed regardless of the number of worker threads, and the
+/// end-to-end `estimate_parallel` agrees with the exact probability.
+#[test]
+fn parallel_estimation_is_deterministic_across_thread_counts() {
+    use uocqa::core::fpras::{ApproximationParams, EstimatorMode, OcqaEstimator};
+    use uocqa::core::montecarlo::estimate_fixed_parallel;
+
+    // Raw estimator: a plain Bernoulli experiment.
+    let raw_baseline = estimate_fixed_parallel(2024, 100_003, 1_024, || {
+        |rng: &mut StdRng| rng.random_bool(0.35)
+    });
+    assert_eq!(raw_baseline.samples, 100_003);
+
+    // End-to-end: the uniform-repairs FPRAS over a seeded block workload.
+    let (db, sigma) = uocqa::workload::BlockWorkload::uniform(8, 3, 5).generate();
+    let (query, candidate) = uocqa::workload::queries::block_lookup_query(&db, 5).unwrap();
+    let evaluator = QueryEvaluator::new(query);
+    let estimator = OcqaEstimator::new(&db, &sigma, GeneratorSpec::uniform_repairs()).unwrap();
+    let params = ApproximationParams::new(0.05, 0.05)
+        .unwrap()
+        .with_mode(EstimatorMode::FixedSamples(60_000));
+    let estimate_baseline = estimator
+        .estimate_parallel(&evaluator, &candidate, params, 77)
+        .unwrap();
+
+    for threads in [1usize, 2, 3, 8] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("thread pool");
+        let raw = pool.install(|| {
+            estimate_fixed_parallel(2024, 100_003, 1_024, || {
+                |rng: &mut StdRng| rng.random_bool(0.35)
+            })
+        });
+        assert_eq!(raw, raw_baseline, "raw outcome with {threads} threads");
+        let estimate = pool
+            .install(|| estimator.estimate_parallel(&evaluator, &candidate, params, 77))
+            .unwrap();
+        assert_eq!(
+            estimate, estimate_baseline,
+            "estimator outcome with {threads} threads"
+        );
+    }
+
+    // Sanity: the parallel estimate is close to the exact probability.
+    // Under uniform repairs each size-3 block keeps one of its facts or
+    // none, uniformly over 4 outcomes, so the candidate fact survives with
+    // probability exactly 1/4.
+    let exact = 0.25;
+    let relative_error = (estimate_baseline.value - exact).abs() / exact;
+    assert!(
+        relative_error < 0.1,
+        "exact {exact}, parallel estimate {} (relative error {relative_error})",
+        estimate_baseline.value
+    );
 }

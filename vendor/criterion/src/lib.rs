@@ -1,0 +1,324 @@
+//! Offline in-tree stand-in for `criterion`.
+//!
+//! Provides the subset of the criterion API used by the workspace benches
+//! (`benchmark_group`, `bench_with_input`, `bench_function`, `Bencher::iter`,
+//! `BenchmarkId`, and the `criterion_group!`/`criterion_main!` macros) with
+//! real wall-clock measurement: each benchmark is warmed up, then timed over
+//! `sample_size` samples, and the per-iteration mean, minimum and maximum
+//! are printed in criterion-like format.  There is no statistical analysis,
+//! HTML report, or baseline comparison.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// A benchmark identifier `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function_id: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter value only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        BenchmarkId { id: id.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// The measurement settings a group applies to its benchmarks.
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            settings: Settings::default(),
+        }
+    }
+
+    /// Runs a single benchmark outside a group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(&id.id, Settings::default(), |b| f(b));
+        self
+    }
+}
+
+/// A group of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    settings: Settings,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    /// Sets the total measurement duration budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks `f`, passing it `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        run_benchmark(&full, self.settings, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f` with no input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        run_benchmark(&full, self.settings, |b| f(b));
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// Runs one benchmark and prints its timing line.
+fn run_benchmark(name: &str, settings: Settings, mut routine: impl FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        mode: Mode::WarmUp {
+            deadline: Instant::now() + settings.warm_up_time,
+        },
+        iters_per_sample: 1,
+        samples: Vec::new(),
+    };
+    routine(&mut bencher);
+
+    // Choose an iteration count per sample so that the whole measurement
+    // fits roughly in the configured budget.
+    let per_iter = bencher.estimated_iter_time().max(Duration::from_nanos(1));
+    let budget = settings.measurement_time.as_nanos();
+    let per_sample_budget = (budget / settings.sample_size.max(1) as u128).max(1);
+    let iters = (per_sample_budget / per_iter.as_nanos().max(1)).clamp(1, 1_000_000_000) as u64;
+
+    bencher.mode = Mode::Measure {
+        remaining_samples: settings.sample_size,
+    };
+    bencher.iters_per_sample = iters;
+    bencher.samples.clear();
+    routine(&mut bencher);
+
+    let samples = &bencher.samples;
+    if samples.is_empty() {
+        println!("{name:<60} (no samples)");
+        return;
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "{name:<60} time: [{} {} {}]",
+        format_ns(min),
+        format_ns(mean),
+        format_ns(max)
+    );
+}
+
+/// Formats a duration in nanoseconds with criterion-like units.
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+enum Mode {
+    WarmUp { deadline: Instant },
+    Measure { remaining_samples: usize },
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    mode: Mode,
+    iters_per_sample: u64,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly, measuring its mean execution time.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        match &mut self.mode {
+            Mode::WarmUp { deadline } => {
+                let deadline = *deadline;
+                let mut iters = 0u64;
+                let start = Instant::now();
+                loop {
+                    std::hint::black_box(routine());
+                    iters += 1;
+                    if Instant::now() >= deadline {
+                        break;
+                    }
+                }
+                let elapsed = start.elapsed();
+                // Record the observed per-iteration time as a single sample
+                // so the measurement phase can calibrate.
+                self.samples
+                    .push(elapsed.as_nanos() as f64 / iters.max(1) as f64);
+            }
+            Mode::Measure { remaining_samples } => {
+                let samples = *remaining_samples;
+                for _ in 0..samples {
+                    let start = Instant::now();
+                    for _ in 0..self.iters_per_sample {
+                        std::hint::black_box(routine());
+                    }
+                    let elapsed = start.elapsed();
+                    self.samples
+                        .push(elapsed.as_nanos() as f64 / self.iters_per_sample.max(1) as f64);
+                }
+                *remaining_samples = 0;
+            }
+        }
+    }
+
+    /// The calibrated per-iteration time from the warm-up phase.
+    fn estimated_iter_time(&self) -> Duration {
+        match self.samples.last() {
+            Some(&ns) => Duration::from_nanos(ns as u64),
+            None => Duration::from_micros(1),
+        }
+    }
+}
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_runs_and_records_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("test_group");
+        group.sample_size(5);
+        group.warm_up_time(Duration::from_millis(5));
+        group.measurement_time(Duration::from_millis(20));
+        let mut calls = 0u64;
+        group.bench_with_input(BenchmarkId::new("inc", 1), &1u64, |b, &x| {
+            b.iter(|| {
+                calls += x;
+                calls
+            })
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn id_formatting() {
+        assert_eq!(BenchmarkId::new("f", 10).id, "f/10");
+        assert_eq!(BenchmarkId::from_parameter(7).id, "7");
+    }
+}

@@ -1,0 +1,341 @@
+//! Offline in-tree stand-in for `proptest`.
+//!
+//! Supports the subset of the proptest surface this workspace's property
+//! tests use: the [`proptest!`] macro with an optional
+//! `#![proptest_config(...)]` header, integer-range and tuple strategies,
+//! [`collection::vec`], and the `prop_assert!`/`prop_assert_eq!`/
+//! [`prop_assume!`] macros.  Values are generated from a deterministic seed
+//! per test case; there is **no shrinking** — on failure the offending
+//! inputs are printed verbatim.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// A source of random values of some type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: std::fmt::Debug;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// `Just(value)` — the constant strategy.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// A strategy producing `Vec`s whose length is drawn from `size` and
+    /// whose elements are drawn from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    /// Builds a [`VecStrategy`]; `size` is a half-open range of lengths.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy {
+            element,
+            min: size.start,
+            max_exclusive: size.end,
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.random_range(self.min..self.max_exclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Test-runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+    /// Maximum number of `prop_assume!` rejections tolerated.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+/// Why a single test case did not succeed.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case hit a failing assertion.
+    Fail(String),
+    /// The case was rejected by `prop_assume!`.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Constructs a failure.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// Constructs a rejection.
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError::Reject(message.into())
+    }
+}
+
+/// The result of one generated test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runs `case` until `config.cases` successes (or panics on the first
+/// failure).  Deterministic: case `i` uses seed `i` mixed with a fixed
+/// offset, so failures are reproducible without a persistence file.
+pub fn run_proptest(config: ProptestConfig, mut case: impl FnMut(&mut TestRng) -> TestCaseResult) {
+    let mut successes = 0u32;
+    let mut rejects = 0u32;
+    let mut index = 0u64;
+    while successes < config.cases {
+        let mut rng = TestRng::seed_from_u64(0x7072_6F70_0000_0000_u64 ^ index);
+        index += 1;
+        match case(&mut rng) {
+            Ok(()) => successes += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejects += 1;
+                if rejects > config.max_global_rejects {
+                    panic!(
+                        "proptest: too many prop_assume! rejections \
+                         ({rejects} rejects for {successes} successes)"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(message)) => {
+                panic!("proptest case #{index} failed: {message}");
+            }
+        }
+    }
+}
+
+/// Declares property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(24))]
+///
+///     #[test]
+///     fn my_property(x in 0usize..10, v in prop::collection::vec(0u8..3, 1..4)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::run_proptest(config, |__proptest_rng| {
+                    $(
+                        let $arg = $crate::Strategy::generate(&($strategy), __proptest_rng);
+                    )+
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strategy),+) $body
+            )*
+        }
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not panicking)
+/// when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`: {}",
+                left,
+                right,
+                format!($($fmt)*)
+            )));
+        }
+    }};
+}
+
+/// Rejects a generated case that does not satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// The usual glob-import surface.
+pub mod prelude {
+    pub use crate::{
+        collection, prop_assert, prop_assert_eq, prop_assume, proptest, Just, ProptestConfig,
+        Strategy,
+    };
+
+    /// Alias mirroring proptest's `prelude::prop` module path.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_and_vectors_generate_in_bounds(
+            x in 1usize..5,
+            pairs in prop::collection::vec((0u8..3, 0u8..4), 1..6),
+        ) {
+            prop_assert!((1..5).contains(&x));
+            prop_assert!(!pairs.is_empty() && pairs.len() < 6);
+            for (a, b) in pairs {
+                prop_assert!(a < 3, "a was {}", a);
+                prop_assert_eq!(u8::min(b, 3), b);
+            }
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed")]
+    fn failures_panic_with_message() {
+        crate::run_proptest(ProptestConfig::with_cases(1), |_| {
+            Err(crate::TestCaseError::fail("boom"))
+        });
+    }
+}

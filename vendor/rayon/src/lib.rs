@@ -1,0 +1,329 @@
+//! Offline in-tree stand-in for `rayon`.
+//!
+//! Implements the subset of the rayon API used by this workspace — indexed
+//! parallel iterators over ranges with `map`/`sum`/`collect`, plus
+//! [`ThreadPoolBuilder`] with `install` for scoping a thread count — on top
+//! of `std::thread::scope`.  Work is split into contiguous chunks, one per
+//! worker; there is no work stealing, which is adequate for the uniform
+//! per-item workloads of the Monte-Carlo estimators.
+
+#![forbid(unsafe_code)]
+
+use std::cell::Cell;
+use std::num::NonZeroUsize;
+
+thread_local! {
+    /// Thread count installed by [`ThreadPool::install`], if any.
+    static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Returns the number of worker threads the current scope would use.
+pub fn current_num_threads() -> usize {
+    INSTALLED_THREADS.with(|cell| match cell.get() {
+        Some(n) => n,
+        None => std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1),
+    })
+}
+
+/// Builder for a scoped thread pool (configuration only — threads are
+/// spawned per parallel call via `std::thread::scope`).
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings.
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the number of worker threads (0 means "automatic").
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// Error building a thread pool (infallible in this stand-in).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A configured pool; `install` runs a closure with the pool's thread count
+/// in effect for all parallel iterators invoked inside it.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count installed.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        INSTALLED_THREADS.with(|cell| {
+            let previous = cell.get();
+            cell.set(self.num_threads.or(previous));
+            let result = op();
+            cell.set(previous);
+            result
+        })
+    }
+}
+
+/// An indexed source of items: the internal driver model of this stand-in.
+///
+/// Every adapter (`map`) composes on top of `len`/`item_at`; terminal
+/// operations split `0..len` into one contiguous chunk per worker thread.
+pub trait IndexedSource: Sync + Sized {
+    /// The item type produced.
+    type Item: Send;
+
+    /// Number of items.
+    fn len(&self) -> usize;
+
+    /// Returns `true` iff the source is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The item at position `index` (0-based).
+    fn item_at(&self, index: usize) -> Self::Item;
+}
+
+/// Parallel iterator adapters and terminals over an [`IndexedSource`].
+pub trait ParallelIterator: IndexedSource {
+    /// Maps each item through `f`.
+    fn map<F, R>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync,
+        R: Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Sums all items.
+    fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<Self::Item> + std::iter::Sum<S>,
+    {
+        run_chunks(&self, |source, range| {
+            range.map(|i| source.item_at(i)).sum::<S>()
+        })
+        .into_iter()
+        .sum()
+    }
+
+    /// Collects all items into a container, in index order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallel<Self::Item>,
+    {
+        let chunks = run_chunks(&self, |source, range| {
+            range.map(|i| source.item_at(i)).collect::<Vec<_>>()
+        });
+        C::from_chunks(chunks)
+    }
+}
+
+impl<T: IndexedSource> ParallelIterator for T {}
+
+/// Containers constructible from ordered chunks of items.
+pub trait FromParallel<T>: Sized {
+    /// Builds the container from per-chunk item vectors, in order.
+    fn from_chunks(chunks: Vec<Vec<T>>) -> Self;
+}
+
+impl<T> FromParallel<T> for Vec<T> {
+    fn from_chunks(chunks: Vec<Vec<T>>) -> Self {
+        let mut out = Vec::with_capacity(chunks.iter().map(Vec::len).sum());
+        for chunk in chunks {
+            out.extend(chunk);
+        }
+        out
+    }
+}
+
+/// Splits `0..source.len()` into one contiguous chunk per worker and runs
+/// `work` on each chunk, returning the per-chunk results in chunk order.
+fn run_chunks<S, T, W>(source: &S, work: W) -> Vec<T>
+where
+    S: IndexedSource,
+    T: Send,
+    W: Fn(&S, std::ops::Range<usize>) -> T + Sync,
+{
+    let len = source.len();
+    let workers = current_num_threads().max(1).min(len.max(1));
+    if workers <= 1 {
+        return vec![work(source, 0..len)];
+    }
+    let chunk = len.div_ceil(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let start = w * chunk;
+                let end = ((w + 1) * chunk).min(len);
+                let work = &work;
+                scope.spawn(move || work(source, start..end))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    })
+}
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// The item type.
+    type Item: Send;
+    /// The resulting parallel iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Parallel iterator over an integer range.
+#[derive(Debug, Clone)]
+pub struct RangeIter<T> {
+    start: T,
+    len: usize,
+}
+
+macro_rules! impl_range_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            type Iter = RangeIter<$t>;
+
+            fn into_par_iter(self) -> Self::Iter {
+                let len = if self.end > self.start {
+                    (self.end - self.start) as usize
+                } else {
+                    0
+                };
+                RangeIter { start: self.start, len }
+            }
+        }
+
+        impl IndexedSource for RangeIter<$t> {
+            type Item = $t;
+
+            fn len(&self) -> usize {
+                self.len
+            }
+
+            fn item_at(&self, index: usize) -> $t {
+                self.start + index as $t
+            }
+        }
+    )*};
+}
+
+impl_range_par_iter!(u32, u64, usize);
+
+/// Parallel iterator over a vector (by value).
+#[derive(Debug)]
+pub struct VecIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send + Sync + Clone> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecIter<T>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        VecIter { items: self }
+    }
+}
+
+impl<T: Send + Sync + Clone> IndexedSource for VecIter<T> {
+    type Item = T;
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn item_at(&self, index: usize) -> T {
+        self.items[index].clone()
+    }
+}
+
+/// A mapped parallel iterator.
+#[derive(Debug, Clone)]
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, F, R> IndexedSource for Map<I, F>
+where
+    I: IndexedSource,
+    F: Fn(I::Item) -> R + Sync,
+    R: Send,
+{
+    type Item = R;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn item_at(&self, index: usize) -> R {
+        (self.f)(self.base.item_at(index))
+    }
+}
+
+/// The usual glob-import surface.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_map_sum() {
+        let total: u64 = (0u64..1000).into_par_iter().map(|x| x * 2).sum();
+        assert_eq!(total, 999_000);
+    }
+
+    #[test]
+    fn collect_preserves_order() {
+        let squares: Vec<u64> = (0u64..100).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares.len(), 100);
+        assert!(squares.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(squares[99], 99 * 99);
+    }
+
+    #[test]
+    fn install_controls_thread_count_without_changing_results() {
+        let baseline: u64 = (0u64..10_000).into_par_iter().sum();
+        for threads in [1usize, 2, 7] {
+            let pool = crate::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let value: u64 = pool.install(|| (0u64..10_000).into_par_iter().sum());
+            assert_eq!(value, baseline);
+            assert_eq!(pool.install(crate::current_num_threads), threads);
+        }
+    }
+}

@@ -88,11 +88,12 @@ fn main() {
         // End-to-end estimator throughput (samples/second) per generator.
         //
         // The repairs path scales to every size.  The sequences path is
-        // capped at the smallest size because *constructing* the exact
-        // Lemma C.1 DP is itself super-quadratic in the number of blocks
-        // (a pre-existing limitation, unrelated to per-sample cost), and
-        // the operations walk recomputes violations per step (O(|D|) per
-        // step), so its sample budget shrinks with the database.
+        // capped at the smallest size because the Lemma C.1 DP table
+        // *shape* is still O(blocks² · pairs) even in the log-space-only
+        // construction the estimator now uses.  The operations walk runs
+        // on the incremental conflict index (see BENCH_e14.json for its
+        // dedicated scaling study); its budgets are kept from the rescan
+        // era for comparability across report versions.
         let mut throughputs = String::new();
         let mut record = |name: &str, samples: u64, spec: Option<GeneratorSpec>| {
             let budget = ApproximationParams::new(0.2, 0.1)

@@ -111,12 +111,18 @@ pub struct Estimate {
 }
 
 /// Which sampler backs the estimator.
-enum SamplerKind {
+///
+/// The operations walker owns its precomputed [`ucqa_db::ConflictIndex`],
+/// built once here so that every Monte-Carlo shard shares it by reference;
+/// the sequences samplers are built in log-space-only mode because the
+/// estimator never needs `sample_sequence` (skipping the exact `Natural`
+/// DP cells, whose big-integer arithmetic dominates construction).
+enum SamplerKind<'a> {
     Repairs(RepairSampler),
     RepairsSingleton(RepairSampler),
     Sequences(SequenceSampler),
     SequencesSingleton(SequenceSampler),
-    Operations { singleton_only: bool },
+    Operations(OperationWalkSampler<'a>),
 }
 
 /// An approximate (FPRAS) solver for `OCQA(Σ, M, Q)` over one database.
@@ -124,7 +130,7 @@ pub struct OcqaEstimator<'a> {
     db: &'a Database,
     sigma: &'a FdSet,
     spec: GeneratorSpec,
-    sampler: SamplerKind,
+    sampler: SamplerKind<'a>,
 }
 
 impl<'a> OcqaEstimator<'a> {
@@ -175,13 +181,13 @@ impl<'a> OcqaEstimator<'a> {
                         "Theorem 6.1 covers primary keys; keys/FDs are open (conjectured hard)",
                     ));
                 }
-                SamplerKind::Sequences(SequenceSampler::new(db, sigma)?)
+                SamplerKind::Sequences(SequenceSampler::new_log_space(db, sigma)?)
             }
             (UniformSemantics::Sequences, true) => {
                 if !primary_keys {
                     return Err(unsupported("Theorem E.8 covers primary keys only"));
                 }
-                SamplerKind::SequencesSingleton(SequenceSampler::new(db, sigma)?)
+                SamplerKind::SequencesSingleton(SequenceSampler::new_log_space(db, sigma)?)
             }
             (UniformSemantics::Operations, false) => {
                 if !keys {
@@ -191,13 +197,11 @@ impl<'a> OcqaEstimator<'a> {
                          (Theorem 7.5) instead",
                     ));
                 }
-                SamplerKind::Operations {
-                    singleton_only: false,
-                }
+                SamplerKind::Operations(OperationWalkSampler::new(db, sigma))
             }
-            (UniformSemantics::Operations, true) => SamplerKind::Operations {
-                singleton_only: true,
-            },
+            (UniformSemantics::Operations, true) => {
+                SamplerKind::Operations(OperationWalkSampler::new(db, sigma).singleton_only())
+            }
         };
         Ok(OcqaEstimator {
             db,
@@ -217,25 +221,15 @@ impl<'a> OcqaEstimator<'a> {
     pub fn theoretical_lower_bound(&self, evaluator: &QueryEvaluator) -> ucqa_numeric::LogFloat {
         let d = self.db.len();
         let q = evaluator.query().atom_count();
-        match (&self.sampler, self.spec.singleton_only) {
-            (SamplerKind::Repairs(_), _) => bounds::rrfreq_lower_bound(d, q),
-            (SamplerKind::RepairsSingleton(_), _) => bounds::singleton_frequency_lower_bound(d, q),
-            (SamplerKind::Sequences(_), _) => bounds::srfreq_lower_bound(d, q),
-            (SamplerKind::SequencesSingleton(_), _) => {
-                bounds::singleton_frequency_lower_bound(d, q)
+        match &self.sampler {
+            SamplerKind::Repairs(_) => bounds::rrfreq_lower_bound(d, q),
+            SamplerKind::RepairsSingleton(_) => bounds::singleton_frequency_lower_bound(d, q),
+            SamplerKind::Sequences(_) => bounds::srfreq_lower_bound(d, q),
+            SamplerKind::SequencesSingleton(_) => bounds::singleton_frequency_lower_bound(d, q),
+            SamplerKind::Operations(walker) if walker.is_singleton_only() => {
+                bounds::fd_singleton_lower_bound(d, q)
             }
-            (
-                SamplerKind::Operations {
-                    singleton_only: true,
-                },
-                _,
-            ) => bounds::fd_singleton_lower_bound(d, q),
-            (
-                SamplerKind::Operations {
-                    singleton_only: false,
-                },
-                _,
-            ) => {
+            SamplerKind::Operations(_) => {
                 bounds::uniform_operations_keys_lower_bound(d, q, self.sigma.max_fds_per_relation())
             }
         }
@@ -370,7 +364,6 @@ impl<'a> OcqaEstimator<'a> {
 /// steady-state capacity after the first few draws).
 struct SampleExperiment<'e, 'a> {
     estimator: &'e OcqaEstimator<'a>,
-    walker: Option<OperationWalkSampler<'a>>,
     lineage: Option<&'e CompiledLineage>,
     evaluator: &'e QueryEvaluator,
     candidate: &'e [Value],
@@ -385,20 +378,8 @@ impl<'e, 'a> SampleExperiment<'e, 'a> {
         evaluator: &'e QueryEvaluator,
         candidate: &'e [Value],
     ) -> Self {
-        let walker = match &estimator.sampler {
-            SamplerKind::Operations { singleton_only } => {
-                let walker = OperationWalkSampler::new(estimator.db, estimator.sigma);
-                Some(if *singleton_only {
-                    walker.singleton_only()
-                } else {
-                    walker
-                })
-            }
-            _ => None,
-        };
         SampleExperiment {
             estimator,
-            walker,
             lineage,
             evaluator,
             candidate,
@@ -417,11 +398,9 @@ impl<'e, 'a> SampleExperiment<'e, 'a> {
             SamplerKind::SequencesSingleton(sampler) => {
                 sampler.sample_result_singleton_into(rng, &mut self.repair)
             }
-            SamplerKind::Operations { .. } => self
-                .walker
-                .as_ref()
-                .expect("walker is constructed for the operations sampler")
-                .sample_result_into(rng, &mut self.repair, &mut self.scratch),
+            SamplerKind::Operations(walker) => {
+                walker.sample_result_into(rng, &mut self.repair, &mut self.scratch)
+            }
         }
         match self.lineage {
             Some(lineage) => {

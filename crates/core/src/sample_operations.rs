@@ -7,21 +7,33 @@
 //! consistent.  The walk works for **arbitrary FDs** — this locality is
 //! precisely what Section 7 exploits to push approximability beyond
 //! primary keys.
+//!
+//! The hot path is backed by the precomputed incremental
+//! [`ConflictIndex`]: `V(D, Σ)` is computed **once** when the sampler is
+//! built, each walk resets a [`LiveOps`] cursor and maintains the justified
+//! operation sets under removals in O(degree) per removed fact, and the
+//! uniform pick over `Ops_s(D, Σ)` is O(1) per step.  The pre-index
+//! behaviour (recomputing the violations from scratch on every step) is
+//! kept as [`OperationWalkSampler::sample_result_rescan_into`], the
+//! baseline of the `e14` bench and of the cross-checking tests.
 
 use rand::Rng;
 
-use ucqa_db::{Database, FactId, FactSet, FdSet, ViolationSet};
+use ucqa_db::{ConflictIndex, Database, FactId, FactSet, FdSet, LiveOps, ViolationSet};
 use ucqa_numeric::LogFloat;
-use ucqa_repair::{operation::justified_operations_from, Operation, RepairingSequence};
+use ucqa_repair::{operation::justified_operations_from_index, Operation, RepairingSequence};
 
 /// Reusable buffers for the allocation-free walk
 /// [`OperationWalkSampler::sample_result_into`].
 ///
-/// Holding the buffers outside the sampler keeps `OperationWalkSampler`
-/// `Copy`/`Sync` (it is shared across threads by the parallel estimator);
-/// each sampling loop owns one scratch.
+/// Holding the mutable walk state outside the sampler keeps
+/// `OperationWalkSampler` `Sync` (one sampler is shared across threads by
+/// the parallel estimator); each sampling loop owns one scratch.
 #[derive(Debug, Default, Clone)]
 pub struct WalkScratch {
+    /// The incremental live-operations cursor of the index-backed walk.
+    ops: LiveOps,
+    /// Buffers of the rescan baseline walk.
     violations: ViolationSet,
     live: Vec<FactId>,
     singles: Vec<FactId>,
@@ -51,19 +63,29 @@ pub struct WalkOutcome {
 /// A sampler for the leaf distribution of `M^uo_Σ(D)` / `M^{uo,1}_Σ(D)`.
 ///
 /// Unlike the primary-key samplers, this one accepts any set of FDs.
-#[derive(Debug, Clone, Copy)]
+///
+/// Construction computes `V(D, Σ)` once and builds the incremental
+/// [`ConflictIndex`]; every walk then costs O(|V| + |D|/64) in total
+/// instead of O(|D|) *per step*.  The sampler itself is immutable after
+/// construction (`Sync`), so the parallel estimator shares one instance
+/// across its worker threads; the per-walk mutable state lives in
+/// [`WalkScratch`].
+#[derive(Debug, Clone)]
 pub struct OperationWalkSampler<'a> {
     db: &'a Database,
     sigma: &'a FdSet,
+    index: ConflictIndex,
     singleton_only: bool,
 }
 
 impl<'a> OperationWalkSampler<'a> {
-    /// Creates a sampler over all justified operations (`M^uo_Σ`).
+    /// Creates a sampler over all justified operations (`M^uo_Σ`),
+    /// computing the violations of `D` once.
     pub fn new(db: &'a Database, sigma: &'a FdSet) -> Self {
         OperationWalkSampler {
             db,
             sigma,
+            index: ConflictIndex::build(db, sigma),
             singleton_only: false,
         }
     }
@@ -79,31 +101,64 @@ impl<'a> OperationWalkSampler<'a> {
         self.singleton_only
     }
 
+    /// The precomputed conflict index backing the walks.
+    pub fn conflict_index(&self) -> &ConflictIndex {
+        &self.index
+    }
+
+    /// One step of the walk: a uniform pick over the live operations,
+    /// applied to the cursor.  Returns the removed fact(s) and the size of
+    /// the operation set `|Ops_s(D, Σ)|` the pick was uniform over, or
+    /// `None` when the live sub-database is already consistent.
+    ///
+    /// Every walk variant goes through this helper, so the operation
+    /// universe and the pick are defined in exactly one place.
+    fn step<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        ops: &mut LiveOps,
+    ) -> Option<(FactId, Option<FactId>, usize)> {
+        let singles = ops.single_count();
+        if singles == 0 {
+            return None;
+        }
+        let pairs = if self.singleton_only {
+            0
+        } else {
+            ops.pair_count()
+        };
+        let count = singles + pairs;
+        let choice = rng.random_range(0..count);
+        let (first, second) = if choice < singles {
+            (ops.single(choice), None)
+        } else {
+            let (f, g) = ops.pair(&self.index, choice - singles);
+            (f, Some(g))
+        };
+        ops.remove_fact(&self.index, first);
+        if let Some(second) = second {
+            ops.remove_fact(&self.index, second);
+        }
+        Some((first, second, count))
+    }
+
     /// Runs one walk: a sequence drawn according to the leaf distribution
     /// of the uniform-operations Markov chain.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> WalkOutcome {
-        let mut subset = self.db.all_facts();
+        let mut ops = LiveOps::new();
+        ops.reset_full(&self.index);
         let mut operations = Vec::new();
         let mut probability = LogFloat::one();
-        loop {
-            let violations = ViolationSet::compute(self.db, self.sigma, &subset);
-            if violations.is_empty() {
-                break;
-            }
-            let candidates = justified_operations_from(&violations, self.singleton_only);
-            debug_assert!(
-                !candidates.is_empty(),
-                "an inconsistent database always has a justified operation"
-            );
-            let index = rng.random_range(0..candidates.len());
-            let op = candidates[index].clone();
-            probability *= LogFloat::from_value(1.0 / candidates.len() as f64);
-            op.apply(&mut subset);
-            operations.push(op);
+        while let Some((first, second, count)) = self.step(rng, &mut ops) {
+            probability *= LogFloat::from_value(1.0 / count as f64);
+            operations.push(match second {
+                None => Operation::remove_one(first),
+                Some(second) => Operation::remove_pair(first, second),
+            });
         }
         WalkOutcome {
             sequence: RepairingSequence::from_operations(operations),
-            result: subset,
+            result: ops.live().clone(),
             probability,
         }
     }
@@ -115,20 +170,44 @@ impl<'a> OperationWalkSampler<'a> {
     }
 
     /// As [`OperationWalkSampler::sample_result`], writing the repair into a
-    /// reused buffer and reusing `scratch` across steps, so the walk
+    /// reused buffer and reusing `scratch` across walks, so the walk
     /// performs no heap allocation once the buffers reach steady-state
     /// capacity.
     ///
-    /// Instead of materialising [`Operation`] values (each holding its own
-    /// `Vec`), the justified operations are kept as the deduplicated
-    /// conflicting facts (singleton removals) plus conflicting pairs (pair
-    /// removals), and the uniform pick indexes into that split directly —
-    /// the same operation set, hence the same leaf distribution, as
-    /// [`OperationWalkSampler::sample`].
+    /// Each walk resets the scratch's [`LiveOps`] cursor against the
+    /// precomputed index and maintains it incrementally: a uniform pick
+    /// over the live singleton/pair arrays is O(1), and each removal
+    /// updates only the operations touching the removed fact.  The live
+    /// operation sets equal `Ops_s(D, Σ)` at every step (the property the
+    /// cross-checking tests assert), hence the leaf distribution is the
+    /// same as [`OperationWalkSampler::sample`]'s.
     ///
     /// # Panics
     /// Panics if `out`'s universe differs from the sampler's database.
     pub fn sample_result_into<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        out: &mut FactSet,
+        scratch: &mut WalkScratch,
+    ) {
+        assert_eq!(out.universe(), self.db.len(), "buffer universe mismatch");
+        let ops = &mut scratch.ops;
+        ops.reset_full(&self.index);
+        while self.step(rng, ops).is_some() {}
+        out.copy_from(ops.live());
+    }
+
+    /// The pre-index walk: recomputes the violation set from scratch on
+    /// every step (O(|D|) per step, O(|D|²) per walk).
+    ///
+    /// Kept as the measured baseline of the `e14` bench and as an
+    /// independent implementation of the same leaf distribution for the
+    /// cross-checking tests; new code should use
+    /// [`OperationWalkSampler::sample_result_into`].
+    ///
+    /// # Panics
+    /// Panics if `out`'s universe differs from the sampler's database.
+    pub fn sample_result_rescan_into<R: Rng + ?Sized>(
         &self,
         rng: &mut R,
         out: &mut FactSet,
@@ -143,20 +222,15 @@ impl<'a> OperationWalkSampler<'a> {
             if scratch.violations.is_empty() {
                 return;
             }
-            scratch.singles.clear();
-            scratch.pairs.clear();
-            for violation in scratch.violations.iter() {
-                scratch.singles.push(violation.first);
-                scratch.singles.push(violation.second);
-                scratch.pairs.push(violation.pair());
-            }
-            scratch.singles.sort_unstable();
-            scratch.singles.dedup();
-            scratch.pairs.sort_unstable();
-            scratch.pairs.dedup();
+            scratch
+                .violations
+                .conflicting_facts_into(&mut scratch.singles);
             let pair_count = if self.singleton_only {
                 0
             } else {
+                scratch
+                    .violations
+                    .conflicting_pairs_into(&mut scratch.pairs);
                 scratch.pairs.len()
             };
             let choice = rng.random_range(0..scratch.singles.len() + pair_count);
@@ -174,14 +248,21 @@ impl<'a> OperationWalkSampler<'a> {
     /// `|Ops_s(D, Σ)|` of the leaf distribution, exposed for diagnostics
     /// and the lower-bound experiments.
     pub fn available_operation_count(&self, subset: &FactSet) -> usize {
-        let violations = ViolationSet::compute(self.db, self.sigma, subset);
-        justified_operations_from(&violations, self.singleton_only).len()
+        let mut ops = LiveOps::new();
+        ops.reset_to(&self.index, subset);
+        let singles = ops.single_count();
+        if self.singleton_only {
+            singles
+        } else {
+            singles + ops.pair_count()
+        }
     }
 
-    /// The justified operations available on `subset`.
+    /// The justified operations available on `subset`, in canonical order.
     pub fn available_operations(&self, subset: &FactSet) -> Vec<Operation> {
-        let violations = ViolationSet::compute(self.db, self.sigma, subset);
-        justified_operations_from(&violations, self.singleton_only)
+        let mut ops = LiveOps::new();
+        ops.reset_to(&self.index, subset);
+        justified_operations_from_index(&self.index, &ops, self.singleton_only)
     }
 }
 
@@ -316,6 +397,124 @@ mod tests {
                 "repair {repair:?}: observed {observed}, exact {probability}"
             );
         }
+    }
+
+    #[test]
+    fn rescan_baseline_matches_exact_uniform_operations_semantics() {
+        // The pre-index walk must still realise the same leaf distribution
+        // (it is the measured baseline of the e14 bench).
+        let (db, sigma) = running_example();
+        let chain = GeneratorSpec::uniform_operations()
+            .build_chain(&db, &sigma, TreeLimits::default())
+            .unwrap();
+        let semantics = OperationalSemantics::from_chain(&chain);
+        let exact: HashMap<Vec<usize>, f64> = semantics
+            .repairs()
+            .iter()
+            .map(|entry| {
+                (
+                    entry.repair.iter().map(|f| f.index()).collect(),
+                    entry.probability.to_f64(),
+                )
+            })
+            .collect();
+        let sampler = OperationWalkSampler::new(&db, &sigma);
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut repair = FactSet::empty(db.len());
+        let mut scratch = WalkScratch::new();
+        let samples = 40_000usize;
+        let mut counts: HashMap<Vec<usize>, usize> = HashMap::new();
+        for _ in 0..samples {
+            sampler.sample_result_rescan_into(&mut rng, &mut repair, &mut scratch);
+            *counts
+                .entry(repair.iter().map(|f| f.index()).collect())
+                .or_insert(0) += 1;
+        }
+        assert_eq!(counts.len(), exact.len());
+        for (repair, probability) in exact {
+            let observed = counts.get(&repair).copied().unwrap_or(0) as f64 / samples as f64;
+            assert!(
+                (observed - probability).abs() < 0.02,
+                "repair {repair:?}: observed {observed}, exact {probability}"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_walk_state_matches_recompute_at_every_step() {
+        // Drive the index-backed walk by hand on a general-FD database and
+        // cross-check the live operation sets against a from-scratch
+        // recompute after every removal.
+        let (db, sigma) = ucqa_workload_like_database();
+        let sampler = OperationWalkSampler::new(&db, &sigma);
+        let index = sampler.conflict_index();
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..50 {
+            let mut ops = ucqa_db::LiveOps::new();
+            ops.reset_full(index);
+            let mut subset = db.all_facts();
+            while !ops.is_consistent() {
+                let singles = ops.single_count();
+                let choice = rng.random_range(0..singles + ops.pair_count());
+                if choice < singles {
+                    let f = ops.single(choice);
+                    ops.remove_fact(index, f);
+                    subset.remove(f);
+                } else {
+                    let (f, g) = ops.pair(index, choice - singles);
+                    ops.remove_fact(index, f);
+                    ops.remove_fact(index, g);
+                    subset.remove(f);
+                    subset.remove(g);
+                }
+                let violations = ViolationSet::compute(&db, &sigma, &subset);
+                let mut singles: Vec<_> = ops.live_singles().to_vec();
+                singles.sort();
+                let mut pairs: Vec<_> = ops.live_pairs(index).collect();
+                pairs.sort();
+                assert_eq!(singles, violations.conflicting_facts());
+                assert_eq!(pairs, violations.conflicting_pairs());
+                assert_eq!(ops.live(), &subset);
+            }
+            assert!(ViolationSet::compute(&db, &sigma, &subset).is_empty());
+        }
+    }
+
+    /// A small multi-FD database with overlapping, non-key FDs.
+    fn ucqa_workload_like_database() -> (Database, FdSet) {
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["A", "B", "C", "P"]).unwrap();
+        let mut db = Database::with_schema(schema);
+        for (payload, (a, b, c)) in [
+            (0, 0, 0),
+            (0, 1, 0),
+            (0, 0, 1),
+            (1, 1, 1),
+            (1, 0, 0),
+            (2, 2, 1),
+            (2, 2, 2),
+            (2, 0, 2),
+            (0, 2, 2),
+            (1, 1, 0),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            db.insert_values(
+                "R",
+                [
+                    Value::int(a),
+                    Value::int(b),
+                    Value::int(c),
+                    Value::int(payload as i64),
+                ],
+            )
+            .unwrap();
+        }
+        let mut sigma = FdSet::new();
+        sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["A"], &["B"]).unwrap());
+        sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["C"], &["B"]).unwrap());
+        (db, sigma)
     }
 
     #[test]

@@ -56,6 +56,13 @@ struct BlockConfig {
 ///   no big-integer arithmetic and **no heap allocation**.  The `f64`
 ///   weights agree with the exact ones to ~15 significant digits, far
 ///   below the statistical resolution of any Monte-Carlo estimate.
+///
+/// When only results are needed (the FPRAS path never asks for a
+/// sequence), [`SequenceSampler::new_log_space`] skips the exact `Natural`
+/// cells entirely and evaluates the Lemma C.1 recurrence directly in
+/// log-space `f64` — the big-integer arithmetic of the exact tables is
+/// what makes construction super-quadratic in the number of blocks, so
+/// this is the mode that scales to thousands of blocks.
 #[derive(Debug)]
 pub struct SequenceSampler {
     universe: usize,
@@ -65,7 +72,8 @@ pub struct SequenceSampler {
     /// relations).
     untouchable: Vec<FactId>,
     /// Layered DP tables of Lemma C.1: `layers[j][k][i]` is `P^{k,i}_{j+1}`.
-    layers: Vec<Vec<Vec<Natural>>>,
+    /// `None` in log-space-only mode ([`SequenceSampler::new_log_space`]).
+    layers: Option<Vec<Vec<Vec<Natural>>>>,
     /// Prefix sums of block sizes (`prefix[j]` = facts in the first `j`
     /// conflict blocks).
     prefix_facts: Vec<u64>,
@@ -89,8 +97,32 @@ impl SequenceSampler {
         Ok(Self::from_partition(db, &partition))
     }
 
-    /// Creates a sampler from a precomputed block partition.
+    /// As [`SequenceSampler::new`], but building only the log-space `f64`
+    /// tables — the exact `Natural` DP cells are skipped, so
+    /// [`SequenceSampler::sample_sequence`] and
+    /// [`SequenceSampler::sequence_count`] are unavailable (they panic).
+    ///
+    /// This is the construction the FPRAS path uses: the Monte-Carlo loop
+    /// only ever draws *results*, and skipping the big-integer cells turns
+    /// the super-quadratic construction cost into plain `f64` arithmetic
+    /// over the same table shape.
+    pub fn new_log_space(db: &Database, sigma: &FdSet) -> Result<Self, DbError> {
+        let partition = BlockPartition::compute(db, sigma)?;
+        Ok(Self::from_partition_log_space(db, &partition))
+    }
+
+    /// Creates a sampler from a precomputed block partition (exact +
+    /// log-space tables).
     pub fn from_partition(db: &Database, partition: &BlockPartition) -> Self {
+        Self::from_partition_with_mode(db, partition, true)
+    }
+
+    /// As [`SequenceSampler::from_partition`], in log-space-only mode.
+    pub fn from_partition_log_space(db: &Database, partition: &BlockPartition) -> Self {
+        Self::from_partition_with_mode(db, partition, false)
+    }
+
+    fn from_partition_with_mode(db: &Database, partition: &BlockPartition, exact: bool) -> Self {
         let mut conflict_blocks = Vec::new();
         let mut untouchable = Vec::new();
         for block in partition.blocks() {
@@ -106,25 +138,15 @@ impl SequenceSampler {
         for (j, &m) in sizes.iter().enumerate() {
             prefix_facts[j + 1] = prefix_facts[j] + m;
         }
-        let layers = build_layers(&sizes, max_pairs, &prefix_facts);
 
-        // Log-space mirrors of the DP for the allocation-free result
-        // sampler.
-        let ln_layers: Vec<Vec<Vec<f64>>> = layers
-            .iter()
-            .map(|table| {
-                table
-                    .iter()
-                    .map(|row| row.iter().map(Natural::ln).collect())
-                    .collect()
-            })
-            .collect();
         let total_facts = *prefix_facts.last().expect("prefix sums are non-empty");
         let mut ln_fact = Vec::with_capacity(total_facts as usize + 1);
         ln_fact.push(0.0f64);
         for n in 1..=total_facts {
             ln_fact.push(ln_fact[n as usize - 1] + (n as f64).ln());
         }
+        // The per-block sequence counts stay exact (O(m) big-integer cells
+        // per block — cheap); only their logs enter the tables.
         let ln_seq_empty: Vec<Vec<f64>> = sizes
             .iter()
             .map(|&m| {
@@ -141,15 +163,39 @@ impl SequenceSampler {
                     .collect()
             })
             .collect();
-        let final_cells = match layers.last() {
+
+        let (layers, ln_layers) = if exact {
+            let layers = build_layers(&sizes, max_pairs, &prefix_facts);
+            let ln_layers: Vec<Vec<Vec<f64>>> = layers
+                .iter()
+                .map(|table| {
+                    table
+                        .iter()
+                        .map(|row| row.iter().map(Natural::ln).collect())
+                        .collect()
+                })
+                .collect();
+            (Some(layers), ln_layers)
+        } else {
+            let ln_layers = build_layers_ln(
+                &sizes,
+                max_pairs,
+                &prefix_facts,
+                &ln_seq_empty,
+                &ln_seq_nonempty,
+                &ln_fact,
+            );
+            (None, ln_layers)
+        };
+
+        let final_cells = match ln_layers.last() {
             None => Vec::new(),
             Some(layer) => {
                 let mut cells: Vec<(usize, u64, f64)> = Vec::new();
                 let mut max_ln = f64::NEG_INFINITY;
                 for (k, row) in layer.iter().enumerate() {
-                    for (i, weight) in row.iter().enumerate() {
-                        if !weight.is_zero() {
-                            let ln = weight.ln();
+                    for (i, &ln) in row.iter().enumerate() {
+                        if ln > f64::NEG_INFINITY {
                             max_ln = max_ln.max(ln);
                             cells.push((k, i as u64, ln));
                         }
@@ -183,9 +229,23 @@ impl SequenceSampler {
         }
     }
 
+    /// Returns `true` iff the exact `Natural` DP tables were built (i.e.
+    /// the sampler was not constructed with
+    /// [`SequenceSampler::new_log_space`]).
+    pub fn has_exact_tables(&self) -> bool {
+        self.layers.is_some()
+    }
+
     /// `|CRS(D, Σ)|`, read off the final DP layer.
+    ///
+    /// # Panics
+    /// Panics in log-space-only mode (the exact cells were skipped).
     pub fn sequence_count(&self) -> Natural {
-        match self.layers.last() {
+        let layers = self
+            .layers
+            .as_ref()
+            .expect("sequence_count requires the exact DP tables (not log-space-only mode)");
+        match layers.last() {
             None => Natural::one(),
             Some(layer) => layer.iter().flatten().sum(),
         }
@@ -335,6 +395,11 @@ impl SequenceSampler {
 
     /// Draws a uniformly random complete repairing sequence from
     /// `CRS(D, Σ)`.
+    ///
+    /// # Panics
+    /// Panics in log-space-only mode (the exact cells were skipped); use
+    /// [`SequenceSampler::sample_result_into`] there, or construct with
+    /// [`SequenceSampler::new`].
     pub fn sample_sequence<R: Rng + ?Sized>(&self, rng: &mut R) -> RepairingSequence {
         let configs = self.sample_configs(rng);
         // Per-block operation lists, each in a valid (already randomised)
@@ -434,8 +499,12 @@ impl SequenceSampler {
         if n == 0 {
             return configs;
         }
+        let layers = self
+            .layers
+            .as_ref()
+            .expect("sample_sequence requires the exact DP tables (not log-space-only mode)");
         // Sample the final (k, i) cell proportionally to P^{k,i}_n.
-        let final_layer = &self.layers[n - 1];
+        let final_layer = &layers[n - 1];
         let mut cells = Vec::new();
         let mut weights = Vec::new();
         for (k, row) in final_layer.iter().enumerate() {
@@ -453,7 +522,7 @@ impl SequenceSampler {
         for j in (1..n).rev() {
             let block_size = self.conflict_blocks[j].len() as u64;
             let total_ops = self.prefix_facts[j + 1] - i - k as u64;
-            let previous = &self.layers[j - 1];
+            let previous = &layers[j - 1];
             let mut options = Vec::new();
             let mut option_weights = Vec::new();
             for i2 in 0..=i.min(block_size / 2) {
@@ -557,6 +626,98 @@ fn build_layers(sizes: &[u64], max_pairs: u64, prefix_facts: &[u64]) -> Vec<Vec<
                     }
                 }
                 next[k][i as usize] = cell;
+            }
+        }
+        layers.push(next);
+    }
+    layers
+}
+
+/// Builds the Lemma C.1 tables directly in log-space `f64` (zero cells are
+/// `-inf`), never materialising the exact big-integer values.
+///
+/// The recurrence, the feasibility conditions and the iteration order are
+/// identical to [`build_layers`]; each cell is a log-sum-exp over the same
+/// terms, accumulated with a running maximum for stability.  The result
+/// agrees with `ln` of the exact tables to ~15 significant digits — far
+/// below the statistical resolution of any Monte-Carlo estimate — while
+/// construction stays plain `f64` arithmetic.
+fn build_layers_ln(
+    sizes: &[u64],
+    max_pairs: u64,
+    prefix_facts: &[u64],
+    ln_seq_empty: &[Vec<f64>],
+    ln_seq_nonempty: &[Vec<f64>],
+    ln_fact: &[f64],
+) -> Vec<Vec<Vec<f64>>> {
+    let n = sizes.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let ln_binomial = |n: u64, k: u64| -> f64 {
+        if k > n {
+            return f64::NEG_INFINITY;
+        }
+        ln_fact[n as usize] - ln_fact[k as usize] - ln_fact[(n - k) as usize]
+    };
+    let neg_table = |blocks: usize| -> Vec<Vec<f64>> {
+        vec![vec![f64::NEG_INFINITY; (max_pairs + 1) as usize]; blocks + 1]
+    };
+    let mut layers: Vec<Vec<Vec<f64>>> = Vec::with_capacity(n);
+    let mut first = neg_table(1);
+    for i in 0..=max_pairs {
+        if i <= sizes[0] / 2 {
+            first[0][i as usize] = ln_seq_empty[0][i as usize];
+            first[1][i as usize] = ln_seq_nonempty[0][i as usize];
+        }
+    }
+    layers.push(first);
+    for j in 2..=n {
+        let block = sizes[j - 1];
+        let total_now = prefix_facts[j];
+        let previous = &layers[j - 2];
+        let mut next = neg_table(j);
+        #[allow(clippy::needless_range_loop)]
+        for k in 0..=j {
+            for i in 0..=max_pairs {
+                if i + k as u64 > total_now {
+                    continue;
+                }
+                let total_ops = total_now - i - k as u64;
+                // Running log-sum-exp over the feasible splits.
+                let mut max_ln = f64::NEG_INFINITY;
+                let mut sum = 0.0f64;
+                let mut add = |term: f64| {
+                    if term == f64::NEG_INFINITY {
+                        return;
+                    }
+                    if term <= max_ln {
+                        sum += (term - max_ln).exp();
+                    } else {
+                        sum = sum * (max_ln - term).exp() + 1.0;
+                        max_ln = term;
+                    }
+                };
+                for i2 in 0..=i.min(block / 2) {
+                    let i1 = (i - i2) as usize;
+                    if k < previous.len() {
+                        let prev = previous[k][i1];
+                        let s_e = ln_seq_empty[j - 1][i2 as usize];
+                        if prev > f64::NEG_INFINITY && s_e > f64::NEG_INFINITY {
+                            add(prev + s_e + ln_binomial(total_ops, block - i2));
+                        }
+                    }
+                    if k >= 1 && k - 1 < previous.len() {
+                        let prev = previous[k - 1][i1];
+                        let s_ne = ln_seq_nonempty[j - 1][i2 as usize];
+                        if prev > f64::NEG_INFINITY && s_ne > f64::NEG_INFINITY {
+                            add(prev + s_ne + ln_binomial(total_ops, block - i2 - 1));
+                        }
+                    }
+                }
+                if sum > 0.0 {
+                    next[k][i as usize] = max_ln + sum.ln();
+                }
             }
         }
         layers.push(next);
@@ -727,6 +888,87 @@ mod tests {
         assert_eq!(seen.len(), 36);
         let result = sampler.sample_result_singleton(&mut rng);
         assert_eq!(result.len(), 3);
+    }
+
+    #[test]
+    fn log_space_only_tables_match_ln_of_exact_tables() {
+        let (db, sigma) = figure2();
+        let exact = SequenceSampler::new(&db, &sigma).unwrap();
+        let log_only = SequenceSampler::new_log_space(&db, &sigma).unwrap();
+        assert!(exact.has_exact_tables());
+        assert!(!log_only.has_exact_tables());
+        assert_eq!(exact.ln_layers.len(), log_only.ln_layers.len());
+        for (a_table, b_table) in exact.ln_layers.iter().zip(&log_only.ln_layers) {
+            for (a_row, b_row) in a_table.iter().zip(b_table) {
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    if a == f64::NEG_INFINITY || b == f64::NEG_INFINITY {
+                        assert_eq!(a, b, "zero cells must agree");
+                    } else {
+                        assert!((a - b).abs() < 1e-9 * a.abs().max(1.0), "{a} vs {b}");
+                    }
+                }
+            }
+        }
+        // The final-cell cumulative distributions agree as well.
+        assert_eq!(exact.final_cells.len(), log_only.final_cells.len());
+        for (&(ka, ia, ca), &(kb, ib, cb)) in exact.final_cells.iter().zip(&log_only.final_cells) {
+            assert_eq!((ka, ia), (kb, ib));
+            assert!((ca - cb).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn log_space_result_distribution_matches_exact_semantics() {
+        let (db, sigma) = figure2();
+        let sampler = SequenceSampler::new_log_space(&db, &sigma).unwrap();
+        let chain = GeneratorSpec::uniform_sequences()
+            .build_chain(&db, &sigma, TreeLimits::default())
+            .unwrap();
+        let semantics = OperationalSemantics::from_chain(&chain);
+        let exact: HashMap<Vec<usize>, f64> = semantics
+            .repairs()
+            .iter()
+            .map(|entry| {
+                (
+                    entry.repair.iter().map(|f| f.index()).collect(),
+                    entry.probability.to_f64(),
+                )
+            })
+            .collect();
+        let mut rng = StdRng::seed_from_u64(19);
+        let samples = 40_000usize;
+        let mut counts: HashMap<Vec<usize>, usize> = HashMap::new();
+        for _ in 0..samples {
+            let result = sampler.sample_result(&mut rng);
+            *counts
+                .entry(result.iter().map(|f| f.index()).collect())
+                .or_insert(0) += 1;
+        }
+        assert_eq!(counts.len(), exact.len());
+        for (repair, probability) in exact {
+            let observed = counts.get(&repair).copied().unwrap_or(0) as f64 / samples as f64;
+            assert!(
+                (observed - probability).abs() < 0.02,
+                "repair {repair:?}: observed {observed}, exact {probability}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "log-space-only")]
+    fn log_space_mode_panics_on_sample_sequence() {
+        let (db, sigma) = figure2();
+        let sampler = SequenceSampler::new_log_space(&db, &sigma).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = sampler.sample_sequence(&mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "log-space-only")]
+    fn log_space_mode_panics_on_sequence_count() {
+        let (db, sigma) = figure2();
+        let sampler = SequenceSampler::new_log_space(&db, &sigma).unwrap();
+        let _ = sampler.sequence_count();
     }
 
     #[test]

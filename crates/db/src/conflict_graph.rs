@@ -23,17 +23,20 @@ impl ConflictGraph {
     /// Builds a conflict graph over `universe` facts from a precomputed
     /// violation set.
     pub fn from_violations(universe: usize, violations: &ViolationSet) -> Self {
+        // Push violation endpoints directly (no intermediate deduplicated
+        // pair vector); the per-node sort/dedup below removes duplicate
+        // edges from pairs violating several FDs.
         let mut adjacency = vec![Vec::new(); universe];
-        let mut edge_count = 0;
-        for (a, b) in violations.conflicting_pairs() {
+        for v in violations.iter() {
+            let (a, b) = v.pair();
             adjacency[a.index()].push(b);
             adjacency[b.index()].push(a);
-            edge_count += 1;
         }
         for neighbours in &mut adjacency {
             neighbours.sort();
             neighbours.dedup();
         }
+        let edge_count = adjacency.iter().map(Vec::len).sum::<usize>() / 2;
         ConflictGraph {
             adjacency,
             edge_count,

@@ -1,0 +1,643 @@
+//! Precomputed incremental conflict index.
+//!
+//! The uniform-operations walk (Lemmas 7.2 / D.7) repeatedly asks for the
+//! justified operations `Ops_s(D, Σ)` of the current sub-database and then
+//! removes one or two facts.  Violations are *monotone under removal*:
+//! `V(D', Σ)` is exactly the subset of `V(D, Σ)` whose two facts both
+//! survive in `D'`.  So instead of rescanning the database on every step
+//! (O(|D|) per step, O(|D|²) per walk), the index computes `V(D, Σ)`
+//! **once**, stores per-fact adjacency, and maintains the live operation
+//! sets incrementally:
+//!
+//! * [`ConflictIndex`] — the immutable part, built once per `(D, Σ)`:
+//!   the violations, CSR adjacency from each fact to the violations and
+//!   deduplicated conflicting pairs touching it, and the singleton /
+//!   pair operation universe.  Shareable across threads.
+//! * [`LiveOps`] — the mutable cursor owned by each walk: the live
+//!   sub-database, per-fact live-violation degrees, and the live
+//!   singleton/pair operation sets as dense swap-remove arrays, so a
+//!   uniform pick over `Ops_s(D, Σ)` is O(1) and
+//!   [`LiveOps::remove_fact`] is O(degree of the removed fact).
+
+use crate::{Database, FactId, FactSet, FdSet, Violation, ViolationSet};
+
+/// Sentinel marking a fact/pair as absent from its dense live array.
+const NOT_LIVE: u32 = u32::MAX;
+
+/// The immutable conflict structure of `(D, Σ)`, precomputed once.
+///
+/// Holds `V(D, Σ)` plus the adjacency needed to maintain the justified
+/// operation sets of any sub-database reached by removals.  All state that
+/// changes during a walk lives in [`LiveOps`], so one `ConflictIndex` can
+/// back any number of concurrent walks.
+#[derive(Debug, Clone)]
+pub struct ConflictIndex {
+    universe: usize,
+    /// `V(D, Σ)`, canonically sorted.
+    violations: Vec<Violation>,
+    /// CSR offsets into [`ConflictIndex::violation_adjacency`] (length
+    /// `universe + 1`).
+    violation_offsets: Vec<u32>,
+    /// Violation ids touching each fact.
+    violation_adjacency: Vec<u32>,
+    /// The deduplicated conflicting pairs (the pair-operation universe),
+    /// canonically sorted.
+    pairs: Vec<(FactId, FactId)>,
+    /// CSR offsets into [`ConflictIndex::pair_adjacency`] (length
+    /// `universe + 1`).
+    pair_offsets: Vec<u32>,
+    /// Pair ids touching each fact.
+    pair_adjacency: Vec<u32>,
+    /// Facts involved in at least one violation (the singleton-operation
+    /// universe), sorted.
+    conflicting: Vec<FactId>,
+}
+
+impl ConflictIndex {
+    /// Builds the index of `db` w.r.t. `sigma`, computing `V(D, Σ)` once.
+    pub fn build(db: &Database, sigma: &FdSet) -> Self {
+        let violations = ViolationSet::of_database(db, sigma);
+        Self::from_violations(db.len(), &violations)
+    }
+
+    /// Builds the index over `universe` facts from a precomputed violation
+    /// set of the **full** database.
+    pub fn from_violations(universe: usize, violations: &ViolationSet) -> Self {
+        // Deduplicated pair universe (several FDs may violate the same
+        // pair).
+        let pairs = violations.conflicting_pairs();
+        let violations: Vec<Violation> = violations.violations().to_vec();
+
+        // CSR adjacency fact → violation ids (two passes: count, fill).
+        let mut violation_offsets = vec![0u32; universe + 1];
+        for v in &violations {
+            violation_offsets[v.first.index() + 1] += 1;
+            violation_offsets[v.second.index() + 1] += 1;
+        }
+        for i in 0..universe {
+            violation_offsets[i + 1] += violation_offsets[i];
+        }
+        let mut violation_adjacency = vec![0u32; violations.len() * 2];
+        let mut cursor = violation_offsets.clone();
+        for (id, v) in violations.iter().enumerate() {
+            for fact in [v.first, v.second] {
+                violation_adjacency[cursor[fact.index()] as usize] = id as u32;
+                cursor[fact.index()] += 1;
+            }
+        }
+
+        // CSR adjacency fact → pair ids.
+        let mut pair_offsets = vec![0u32; universe + 1];
+        for &(a, b) in &pairs {
+            pair_offsets[a.index() + 1] += 1;
+            pair_offsets[b.index() + 1] += 1;
+        }
+        for i in 0..universe {
+            pair_offsets[i + 1] += pair_offsets[i];
+        }
+        let mut pair_adjacency = vec![0u32; pairs.len() * 2];
+        let mut cursor = pair_offsets.clone();
+        for (id, &(a, b)) in pairs.iter().enumerate() {
+            for fact in [a, b] {
+                pair_adjacency[cursor[fact.index()] as usize] = id as u32;
+                cursor[fact.index()] += 1;
+            }
+        }
+
+        let conflicting: Vec<FactId> = (0..universe)
+            .filter(|&f| violation_offsets[f + 1] > violation_offsets[f])
+            .map(FactId::new)
+            .collect();
+
+        ConflictIndex {
+            universe,
+            violations,
+            violation_offsets,
+            violation_adjacency,
+            pairs,
+            pair_offsets,
+            pair_adjacency,
+            conflicting,
+        }
+    }
+
+    /// The size of the fact universe.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// `V(D, Σ)` of the full database, canonically sorted.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// The deduplicated pair-operation universe of the full database.
+    pub fn pairs(&self) -> &[(FactId, FactId)] {
+        &self.pairs
+    }
+
+    /// The singleton-operation universe of the full database: the facts
+    /// involved in at least one violation, sorted.
+    pub fn conflicting_facts(&self) -> &[FactId] {
+        &self.conflicting
+    }
+
+    /// The number of violations touching `fact` in the full database.
+    pub fn degree(&self, fact: FactId) -> usize {
+        (self.violation_offsets[fact.index() + 1] - self.violation_offsets[fact.index()]) as usize
+    }
+
+    /// The violation ids touching `fact`.
+    fn violations_of(&self, fact: FactId) -> &[u32] {
+        let start = self.violation_offsets[fact.index()] as usize;
+        let end = self.violation_offsets[fact.index() + 1] as usize;
+        &self.violation_adjacency[start..end]
+    }
+
+    /// The pair ids touching `fact`.
+    fn pairs_of(&self, fact: FactId) -> &[u32] {
+        let start = self.pair_offsets[fact.index()] as usize;
+        let end = self.pair_offsets[fact.index() + 1] as usize;
+        &self.pair_adjacency[start..end]
+    }
+}
+
+/// The mutable state of one walk over a [`ConflictIndex`]: the live
+/// sub-database plus the live operation sets `Ops_s(D, Σ)`, maintained
+/// incrementally under fact removal.
+///
+/// The singleton set holds the live facts with at least one live violation;
+/// the pair set holds the pair ids whose two facts are both live.  Both are
+/// dense arrays with positional back-pointers, so membership updates are
+/// O(1) swap-removes and a uniform draw is a single `random_range` plus an
+/// array read.
+///
+/// A default-constructed `LiveOps` owns no buffers; the first
+/// [`LiveOps::reset_full`]/[`LiveOps::reset_to`] sizes them, and later
+/// resets reuse the allocations (the walk hot loop is allocation-free).
+#[derive(Debug, Clone)]
+pub struct LiveOps {
+    /// The live sub-database `D'`.
+    live: FactSet,
+    /// Per fact: number of live violations touching it.
+    degree: Vec<u32>,
+    /// Dense array of live singleton operations (facts with `degree > 0`).
+    singles: Vec<FactId>,
+    /// Per fact: its position in `singles`, or [`NOT_LIVE`].
+    single_pos: Vec<u32>,
+    /// Dense array of live pair operations (pair ids).
+    pairs: Vec<u32>,
+    /// Per pair id: its position in `pairs`, or [`NOT_LIVE`].
+    pair_pos: Vec<u32>,
+}
+
+impl Default for LiveOps {
+    fn default() -> Self {
+        LiveOps {
+            live: FactSet::empty(0),
+            degree: Vec::new(),
+            singles: Vec::new(),
+            single_pos: Vec::new(),
+            pairs: Vec::new(),
+            pair_pos: Vec::new(),
+        }
+    }
+}
+
+impl LiveOps {
+    /// Creates an empty cursor (no buffers allocated yet).
+    pub fn new() -> Self {
+        LiveOps::default()
+    }
+
+    /// Clears any state left by a previous (possibly abandoned) walk,
+    /// restoring the invariant that every `single_pos`/`pair_pos` entry is
+    /// [`NOT_LIVE`] and every degree is zero.  O(current live operations) —
+    /// the positional arrays are only ever written through `singles` /
+    /// `pairs`, so clearing those entries suffices even when the next
+    /// reset targets a **different** [`ConflictIndex`].
+    fn clear_stale(&mut self) {
+        for &fact in &self.singles {
+            self.single_pos[fact.index()] = NOT_LIVE;
+            self.degree[fact.index()] = 0;
+        }
+        self.singles.clear();
+        for &pair in &self.pairs {
+            self.pair_pos[pair as usize] = NOT_LIVE;
+        }
+        self.pairs.clear();
+    }
+
+    /// Resizes the buffers to match `index` (idempotent).
+    fn ensure_capacity(&mut self, index: &ConflictIndex) {
+        if self.live.universe() != index.universe {
+            self.live = FactSet::empty(index.universe);
+            self.degree = vec![0; index.universe];
+            self.single_pos = vec![NOT_LIVE; index.universe];
+        }
+        if self.pair_pos.len() != index.pairs.len() {
+            self.pair_pos = vec![NOT_LIVE; index.pairs.len()];
+        }
+    }
+
+    /// Resets to the full database: every fact live, every operation of the
+    /// universe available.  O(conflicting facts + pairs + |D|/64).
+    pub fn reset_full(&mut self, index: &ConflictIndex) {
+        self.clear_stale();
+        self.ensure_capacity(index);
+        self.live.fill();
+        for (position, &fact) in index.conflicting.iter().enumerate() {
+            self.degree[fact.index()] = index.degree(fact) as u32;
+            self.single_pos[fact.index()] = position as u32;
+            self.singles.push(fact);
+        }
+        for pair in 0..index.pairs.len() as u32 {
+            self.pair_pos[pair as usize] = pair;
+            self.pairs.push(pair);
+        }
+    }
+
+    /// Resets to an arbitrary sub-database `subset ⊆ D`.  O(|V(D, Σ)| +
+    /// conflicting facts + pairs); used by the diagnostics APIs, not by the
+    /// walk hot loop.
+    ///
+    /// # Panics
+    /// Panics if `subset`'s universe differs from the index's.
+    pub fn reset_to(&mut self, index: &ConflictIndex, subset: &FactSet) {
+        assert_eq!(
+            subset.universe(),
+            index.universe,
+            "subset universe mismatch"
+        );
+        self.clear_stale();
+        self.ensure_capacity(index);
+        self.live.copy_from(subset);
+        for v in &index.violations {
+            if self.live.contains(v.first) && self.live.contains(v.second) {
+                self.degree[v.first.index()] += 1;
+                self.degree[v.second.index()] += 1;
+            }
+        }
+        for &fact in &index.conflicting {
+            if self.degree[fact.index()] > 0 {
+                self.single_pos[fact.index()] = self.singles.len() as u32;
+                self.singles.push(fact);
+            }
+        }
+        for (pair, &(a, b)) in index.pairs.iter().enumerate() {
+            if self.live.contains(a) && self.live.contains(b) {
+                self.pair_pos[pair] = self.pairs.len() as u32;
+                self.pairs.push(pair as u32);
+            }
+        }
+    }
+
+    /// Removes a live fact, updating the live operation sets in O(degree):
+    /// every violation and pair touching the fact dies, and singleton
+    /// neighbours whose last live violation died leave the singleton set.
+    ///
+    /// # Panics
+    /// Panics if `fact` is not live.
+    pub fn remove_fact(&mut self, index: &ConflictIndex, fact: FactId) {
+        let was_live = self.live.remove(fact);
+        assert!(was_live, "removed a fact that is not live");
+        self.retire_single(fact);
+        self.degree[fact.index()] = 0;
+        for &violation in index.violations_of(fact) {
+            let v = &index.violations[violation as usize];
+            let other = if v.first == fact { v.second } else { v.first };
+            // The violation was live iff the other endpoint still is (the
+            // removed fact was live until this call).
+            if self.live.contains(other) {
+                let degree = &mut self.degree[other.index()];
+                *degree -= 1;
+                if *degree == 0 {
+                    self.retire_single(other);
+                }
+            }
+        }
+        for &pair in index.pairs_of(fact) {
+            self.retire_pair(pair);
+        }
+    }
+
+    /// Swap-removes `fact` from the singleton set, if present.
+    fn retire_single(&mut self, fact: FactId) {
+        let position = self.single_pos[fact.index()];
+        if position == NOT_LIVE {
+            return;
+        }
+        self.single_pos[fact.index()] = NOT_LIVE;
+        let last = self.singles.pop().expect("a positioned fact is present");
+        if (position as usize) < self.singles.len() {
+            self.singles[position as usize] = last;
+            self.single_pos[last.index()] = position;
+        }
+    }
+
+    /// Swap-removes a pair id from the pair set, if present.
+    fn retire_pair(&mut self, pair: u32) {
+        let position = self.pair_pos[pair as usize];
+        if position == NOT_LIVE {
+            return;
+        }
+        self.pair_pos[pair as usize] = NOT_LIVE;
+        let last = self.pairs.pop().expect("a positioned pair is present");
+        if (position as usize) < self.pairs.len() {
+            self.pairs[position as usize] = last;
+            self.pair_pos[last as usize] = position;
+        }
+    }
+
+    /// The live sub-database `D'`.
+    pub fn live(&self) -> &FactSet {
+        &self.live
+    }
+
+    /// Number of live singleton operations (= live conflicting facts).
+    pub fn single_count(&self) -> usize {
+        self.singles.len()
+    }
+
+    /// Number of live pair operations.
+    pub fn pair_count(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// The `i`-th live singleton operation (arbitrary but stable order
+    /// between mutations).
+    pub fn single(&self, i: usize) -> FactId {
+        self.singles[i]
+    }
+
+    /// The `i`-th live pair operation.
+    pub fn pair(&self, index: &ConflictIndex, i: usize) -> (FactId, FactId) {
+        index.pairs[self.pairs[i] as usize]
+    }
+
+    /// The live singleton operations (unsorted).
+    pub fn live_singles(&self) -> &[FactId] {
+        &self.singles
+    }
+
+    /// The live pair operations (unsorted), resolved against the index.
+    pub fn live_pairs<'a>(
+        &'a self,
+        index: &'a ConflictIndex,
+    ) -> impl Iterator<Item = (FactId, FactId)> + 'a {
+        self.pairs.iter().map(|&p| index.pairs[p as usize])
+    }
+
+    /// Returns `true` iff the live sub-database is consistent, i.e. no
+    /// justified operation remains.
+    pub fn is_consistent(&self) -> bool {
+        self.singles.is_empty()
+    }
+
+    /// The live violations, i.e. `V(D', Σ)` for the current sub-database
+    /// (for diagnostics and cross-checking tests).
+    pub fn live_violations<'a>(
+        &'a self,
+        index: &'a ConflictIndex,
+    ) -> impl Iterator<Item = &'a Violation> + 'a {
+        index
+            .violations
+            .iter()
+            .filter(|v| self.live.contains(v.first) && self.live.contains(v.second))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Database, FunctionalDependency, Schema, Value};
+
+    /// The running example of the paper (Example 3.6).
+    fn running_example() -> (Database, FdSet) {
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["A", "B", "C"]).unwrap();
+        let mut db = Database::with_schema(schema);
+        db.insert_values("R", [Value::str("a1"), Value::str("b1"), Value::str("c1")])
+            .unwrap();
+        db.insert_values("R", [Value::str("a1"), Value::str("b2"), Value::str("c2")])
+            .unwrap();
+        db.insert_values("R", [Value::str("a2"), Value::str("b1"), Value::str("c2")])
+            .unwrap();
+        let mut sigma = FdSet::new();
+        sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["A"], &["B"]).unwrap());
+        sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["C"], &["B"]).unwrap());
+        (db, sigma)
+    }
+
+    /// Sorted copies of the live operation sets.
+    fn sorted_state(index: &ConflictIndex, ops: &LiveOps) -> (Vec<FactId>, Vec<(FactId, FactId)>) {
+        let mut singles = ops.live_singles().to_vec();
+        singles.sort();
+        let mut pairs: Vec<(FactId, FactId)> = ops.live_pairs(index).collect();
+        pairs.sort();
+        (singles, pairs)
+    }
+
+    #[test]
+    fn full_reset_matches_figure1_root_operations() {
+        let (db, sigma) = running_example();
+        let index = ConflictIndex::build(&db, &sigma);
+        assert_eq!(index.universe(), 3);
+        assert_eq!(index.violations().len(), 2);
+        assert_eq!(index.pairs().len(), 2);
+        let mut ops = LiveOps::new();
+        ops.reset_full(&index);
+        // Root of Figure 1: -f1, -f2, -f3, -{f1,f2}, -{f2,f3}.
+        let (singles, pairs) = sorted_state(&index, &ops);
+        assert_eq!(
+            singles,
+            vec![FactId::new(0), FactId::new(1), FactId::new(2)]
+        );
+        assert_eq!(
+            pairs,
+            vec![
+                (FactId::new(0), FactId::new(1)),
+                (FactId::new(1), FactId::new(2))
+            ]
+        );
+        assert!(!ops.is_consistent());
+        assert_eq!(ops.live_violations(&index).count(), 2);
+    }
+
+    #[test]
+    fn removing_the_middle_fact_kills_everything() {
+        let (db, sigma) = running_example();
+        let index = ConflictIndex::build(&db, &sigma);
+        let mut ops = LiveOps::new();
+        ops.reset_full(&index);
+        // f2 (id 1) is in both violations; removing it repairs the
+        // database in one step.
+        ops.remove_fact(&index, FactId::new(1));
+        assert!(ops.is_consistent());
+        assert_eq!(ops.single_count(), 0);
+        assert_eq!(ops.pair_count(), 0);
+        assert_eq!(ops.live().len(), 2);
+        assert_eq!(ops.live_violations(&index).count(), 0);
+    }
+
+    #[test]
+    fn removing_an_endpoint_keeps_the_other_violation() {
+        let (db, sigma) = running_example();
+        let index = ConflictIndex::build(&db, &sigma);
+        let mut ops = LiveOps::new();
+        ops.reset_full(&index);
+        // Removing f1 kills the φ1 violation {f1, f2}; {f2, f3} survives.
+        ops.remove_fact(&index, FactId::new(0));
+        assert!(!ops.is_consistent());
+        let (singles, pairs) = sorted_state(&index, &ops);
+        assert_eq!(singles, vec![FactId::new(1), FactId::new(2)]);
+        assert_eq!(pairs, vec![(FactId::new(1), FactId::new(2))]);
+        assert_eq!(ops.pair(&index, 0), (FactId::new(1), FactId::new(2)));
+    }
+
+    #[test]
+    fn reset_to_matches_recompute_on_all_subsets() {
+        let (db, sigma) = running_example();
+        let index = ConflictIndex::build(&db, &sigma);
+        let mut ops = LiveOps::new();
+        for mask in 0u32..(1 << db.len()) {
+            let subset = FactSet::from_iter(
+                db.len(),
+                (0..db.len())
+                    .filter(|i| (mask >> i) & 1 == 1)
+                    .map(FactId::new),
+            );
+            ops.reset_to(&index, &subset);
+            let violations = ViolationSet::compute(&db, &sigma, &subset);
+            let (singles, pairs) = sorted_state(&index, &ops);
+            assert_eq!(singles, violations.conflicting_facts(), "mask {mask:b}");
+            assert_eq!(pairs, violations.conflicting_pairs(), "mask {mask:b}");
+        }
+    }
+
+    #[test]
+    fn incremental_removal_matches_recompute() {
+        let (db, sigma) = running_example();
+        let index = ConflictIndex::build(&db, &sigma);
+        let mut ops = LiveOps::new();
+        // Remove facts one at a time in every order; after each removal the
+        // incremental state must match a from-scratch recompute.
+        for order in [[0, 1, 2], [0, 2, 1], [1, 0, 2], [2, 1, 0], [2, 0, 1]] {
+            ops.reset_full(&index);
+            let mut subset = db.all_facts();
+            for fact in order {
+                ops.remove_fact(&index, FactId::new(fact));
+                subset.remove(FactId::new(fact));
+                let violations = ViolationSet::compute(&db, &sigma, &subset);
+                let (singles, pairs) = sorted_state(&index, &ops);
+                assert_eq!(singles, violations.conflicting_facts(), "order {order:?}");
+                assert_eq!(pairs, violations.conflicting_pairs(), "order {order:?}");
+                assert_eq!(ops.live(), &subset);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not live")]
+    fn double_removal_panics() {
+        let (db, sigma) = running_example();
+        let index = ConflictIndex::build(&db, &sigma);
+        let mut ops = LiveOps::new();
+        ops.reset_full(&index);
+        ops.remove_fact(&index, FactId::new(0));
+        ops.remove_fact(&index, FactId::new(0));
+    }
+
+    #[test]
+    fn same_pair_violating_two_fds_is_one_pair_operation() {
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["A", "B"]).unwrap();
+        let mut db = Database::with_schema(schema);
+        db.insert_values("R", [Value::int(1), Value::int(1)])
+            .unwrap();
+        db.insert_values("R", [Value::int(1), Value::int(2)])
+            .unwrap();
+        let mut sigma = FdSet::new();
+        sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["A"], &["B"]).unwrap());
+        sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["A"], &["A", "B"]).unwrap());
+        let index = ConflictIndex::build(&db, &sigma);
+        assert_eq!(index.violations().len(), 2);
+        assert_eq!(index.pairs().len(), 1);
+        let mut ops = LiveOps::new();
+        ops.reset_full(&index);
+        assert_eq!(ops.single_count(), 2);
+        assert_eq!(ops.pair_count(), 1);
+        // Both violations die with one endpoint; the pair dies too, and the
+        // surviving fact must leave the singleton set exactly once (its
+        // degree was 2).
+        ops.remove_fact(&index, FactId::new(0));
+        assert!(ops.is_consistent());
+        assert_eq!(ops.pair_count(), 0);
+    }
+
+    #[test]
+    fn abandoned_walk_state_does_not_leak_across_indexes() {
+        // An abandoned mid-walk cursor reset against a *different* index of
+        // the same universe must not inherit stale positions or degrees.
+        let (db_a, sigma_a) = running_example();
+        let index_a = ConflictIndex::build(&db_a, &sigma_a);
+        // Same universe (3 facts), different conflict structure: only
+        // f0/f1 conflict under A → B, f2 is conflict-free.
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["A", "B"]).unwrap();
+        let mut db_b = Database::with_schema(schema);
+        db_b.insert_values("R", [Value::int(1), Value::int(1)])
+            .unwrap();
+        db_b.insert_values("R", [Value::int(1), Value::int(2)])
+            .unwrap();
+        db_b.insert_values("R", [Value::int(2), Value::int(1)])
+            .unwrap();
+        let mut sigma_b = FdSet::new();
+        sigma_b.add(FunctionalDependency::from_names(db_b.schema(), "R", &["A"], &["B"]).unwrap());
+        let index_b = ConflictIndex::build(&db_b, &sigma_b);
+
+        let mut reused = LiveOps::new();
+        reused.reset_full(&index_a);
+        // Abandon mid-walk: f2 still live with stale position/degree.
+        reused.remove_fact(&index_a, FactId::new(0));
+        reused.reset_full(&index_b);
+        let mut fresh = LiveOps::new();
+        fresh.reset_full(&index_b);
+        let (reused_state, fresh_state) = (
+            sorted_state(&index_b, &reused),
+            sorted_state(&index_b, &fresh),
+        );
+        assert_eq!(reused_state, fresh_state);
+        // Removing the conflict-free fact must leave the singles intact.
+        reused.remove_fact(&index_b, FactId::new(2));
+        assert_eq!(reused.single_count(), 2);
+        assert_eq!(reused.pair_count(), 1);
+        // And reset_to after an abandoned walk is clean as well.
+        reused.reset_to(&index_a, &db_a.all_facts());
+        fresh.reset_to(&index_a, &db_a.all_facts());
+        assert_eq!(
+            sorted_state(&index_a, &reused),
+            sorted_state(&index_a, &fresh)
+        );
+    }
+
+    #[test]
+    fn consistent_database_has_empty_operation_universe() {
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["A", "B"]).unwrap();
+        let mut db = Database::with_schema(schema);
+        db.insert_values("R", [Value::int(1), Value::int(1)])
+            .unwrap();
+        db.insert_values("R", [Value::int(2), Value::int(1)])
+            .unwrap();
+        let mut sigma = FdSet::new();
+        sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["A"], &["B"]).unwrap());
+        let index = ConflictIndex::build(&db, &sigma);
+        assert!(index.violations().is_empty());
+        assert!(index.conflicting_facts().is_empty());
+        let mut ops = LiveOps::new();
+        ops.reset_full(&index);
+        assert!(ops.is_consistent());
+        assert_eq!(ops.live().len(), 2);
+    }
+}

@@ -13,6 +13,8 @@
 //! * [`violation`] — FD violations `V(D, Σ)` (Definition 3.2).
 //! * [`ConflictGraph`] — the conflict graph `CG(D, Σ)` used throughout the
 //!   appendices.
+//! * [`ConflictIndex`] / [`LiveOps`] — the precomputed incremental
+//!   conflict index backing the O(ops)-per-step uniform-operations walk.
 //! * [`blocks`] — key blocks (facts agreeing on the key's left-hand side),
 //!   the combinatorial backbone of the primary-key algorithms.
 
@@ -21,6 +23,7 @@
 
 pub mod blocks;
 pub mod conflict_graph;
+pub mod conflict_index;
 pub mod database;
 pub mod error;
 pub mod fact;
@@ -32,6 +35,7 @@ pub mod violation;
 
 pub use blocks::{Block, BlockPartition};
 pub use conflict_graph::ConflictGraph;
+pub use conflict_index::{ConflictIndex, LiveOps};
 pub use database::Database;
 pub use error::DbError;
 pub use fact::{Fact, FactId};
@@ -44,7 +48,8 @@ pub use violation::{Violation, ViolationSet};
 /// Commonly used types, re-exported for convenience.
 pub mod prelude {
     pub use crate::{
-        Block, BlockPartition, ConflictGraph, Database, DbError, Fact, FactId, FactSet, FdId,
-        FdSet, FunctionalDependency, RelationId, Schema, Value, Violation, ViolationSet,
+        Block, BlockPartition, ConflictGraph, ConflictIndex, Database, DbError, Fact, FactId,
+        FactSet, FdId, FdSet, FunctionalDependency, LiveOps, RelationId, Schema, Value, Violation,
+        ViolationSet,
     };
 }

@@ -164,23 +164,34 @@ impl ViolationSet {
     /// The distinct unordered pairs `{f, g}` appearing in some violation
     /// (the same pair may violate several FDs).
     pub fn conflicting_pairs(&self) -> Vec<(FactId, FactId)> {
-        let mut pairs: Vec<(FactId, FactId)> =
-            self.violations.iter().map(Violation::pair).collect();
-        pairs.sort();
-        pairs.dedup();
+        let mut pairs = Vec::new();
+        self.conflicting_pairs_into(&mut pairs);
         pairs
+    }
+
+    /// As [`ViolationSet::conflicting_pairs`], writing into a reused buffer
+    /// (cleared first) so hot callers perform no per-call allocation.
+    pub fn conflicting_pairs_into(&self, out: &mut Vec<(FactId, FactId)>) {
+        out.clear();
+        out.extend(self.violations.iter().map(Violation::pair));
+        out.sort_unstable();
+        out.dedup();
     }
 
     /// The facts involved in at least one violation.
     pub fn conflicting_facts(&self) -> Vec<FactId> {
-        let mut facts: Vec<FactId> = self
-            .violations
-            .iter()
-            .flat_map(|v| [v.first, v.second])
-            .collect();
-        facts.sort();
-        facts.dedup();
+        let mut facts = Vec::new();
+        self.conflicting_facts_into(&mut facts);
         facts
+    }
+
+    /// As [`ViolationSet::conflicting_facts`], writing into a reused buffer
+    /// (cleared first) so hot callers perform no per-call allocation.
+    pub fn conflicting_facts_into(&self, out: &mut Vec<FactId>) {
+        out.clear();
+        out.extend(self.violations.iter().flat_map(|v| [v.first, v.second]));
+        out.sort_unstable();
+        out.dedup();
     }
 
     /// The violations involving a given fact.

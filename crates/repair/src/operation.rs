@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use ucqa_db::{Database, FactId, FactSet, FdSet, ViolationSet};
+use ucqa_db::{ConflictIndex, Database, FactId, FactSet, FdSet, LiveOps, ViolationSet};
 
 /// A repairing operation `−F`: removes a non-empty set `F` of facts
 /// (Definition 3.1).
@@ -135,17 +135,66 @@ pub fn justified_operations_from(
     violations: &ViolationSet,
     singleton_only: bool,
 ) -> Vec<Operation> {
+    let mut scratch = OperationScratch::default();
     let mut ops = Vec::new();
-    for fact in violations.conflicting_facts() {
-        ops.push(Operation::remove_one(fact));
+    justified_operations_into(violations, singleton_only, &mut scratch, &mut ops);
+    ops
+}
+
+/// Reusable buffers for [`justified_operations_into`], so repeated
+/// enumeration (the tree builder's per-node loop) only allocates the
+/// [`Operation`] values themselves.
+#[derive(Debug, Default, Clone)]
+pub struct OperationScratch {
+    facts: Vec<FactId>,
+    pairs: Vec<(FactId, FactId)>,
+}
+
+/// As [`justified_operations_from`], writing into a reused output vector
+/// (cleared first) and deduplicating through the reused `scratch` buffers.
+pub fn justified_operations_into(
+    violations: &ViolationSet,
+    singleton_only: bool,
+    scratch: &mut OperationScratch,
+    out: &mut Vec<Operation>,
+) {
+    out.clear();
+    violations.conflicting_facts_into(&mut scratch.facts);
+    for &fact in &scratch.facts {
+        out.push(Operation::remove_one(fact));
     }
     if !singleton_only {
-        for (f, g) in violations.conflicting_pairs() {
-            ops.push(Operation::remove_pair(f, g));
+        violations.conflicting_pairs_into(&mut scratch.pairs);
+        for &(f, g) in &scratch.pairs {
+            out.push(Operation::remove_pair(f, g));
         }
     }
-    ops.sort();
-    ops.dedup();
+    // The `_into` variants already deduplicate facts and pairs, so the
+    // operations are distinct; only the canonical order remains.
+    out.sort_unstable();
+}
+
+/// The justified operations of the sub-database tracked by a
+/// [`LiveOps`] cursor over a precomputed [`ConflictIndex`] — the
+/// incremental counterpart of [`justified_operations`], in canonical
+/// operation order.
+pub fn justified_operations_from_index(
+    index: &ConflictIndex,
+    live: &LiveOps,
+    singleton_only: bool,
+) -> Vec<Operation> {
+    let mut ops: Vec<Operation> = live
+        .live_singles()
+        .iter()
+        .map(|&fact| Operation::remove_one(fact))
+        .collect();
+    if !singleton_only {
+        ops.extend(
+            live.live_pairs(index)
+                .map(|(f, g)| Operation::remove_pair(f, g)),
+        );
+    }
+    ops.sort_unstable();
     ops
 }
 
@@ -227,6 +276,40 @@ mod tests {
         subset.remove(FactId::new(1));
         assert!(!Operation::remove_one(FactId::new(0)).is_justified(&db, &sigma, &subset));
         assert!(justified_operations(&db, &sigma, &subset, false).is_empty());
+    }
+
+    #[test]
+    fn index_backed_enumeration_matches_rescan_enumeration() {
+        let (db, sigma) = running_example();
+        let index = ConflictIndex::build(&db, &sigma);
+        let mut live = LiveOps::new();
+        live.reset_full(&index);
+        for singleton_only in [false, true] {
+            assert_eq!(
+                justified_operations_from_index(&index, &live, singleton_only),
+                justified_operations(&db, &sigma, &db.all_facts(), singleton_only)
+            );
+        }
+        // After removing f1 the two enumerations must still agree.
+        live.remove_fact(&index, FactId::new(0));
+        let mut subset = db.all_facts();
+        subset.remove(FactId::new(0));
+        assert_eq!(
+            justified_operations_from_index(&index, &live, false),
+            justified_operations(&db, &sigma, &subset, false)
+        );
+    }
+
+    #[test]
+    fn buffered_enumeration_matches_allocating_enumeration() {
+        let (db, sigma) = running_example();
+        let violations = ViolationSet::compute(&db, &sigma, &db.all_facts());
+        let mut scratch = OperationScratch::default();
+        let mut ops = Vec::new();
+        for singleton_only in [false, true] {
+            justified_operations_into(&violations, singleton_only, &mut scratch, &mut ops);
+            assert_eq!(ops, justified_operations_from(&violations, singleton_only));
+        }
     }
 
     #[test]

@@ -2,9 +2,12 @@
 
 use std::collections::HashMap;
 
-use ucqa_db::{Database, FactSet, FdSet, ViolationSet};
+use ucqa_db::{Database, FactId, FactSet, FdSet, ViolationSet};
 
-use crate::{operation::justified_operations_from, Operation, RepairError, RepairingSequence};
+use crate::{
+    operation::{justified_operations_into, OperationScratch},
+    Operation, RepairError, RepairingSequence,
+};
 
 /// Identifier of a node of a [`RepairingTree`].
 ///
@@ -35,6 +38,14 @@ impl Default for TreeLimits {
             max_nodes: 2_000_000,
         }
     }
+}
+
+/// Buffers shared across the whole depth-first expansion.
+#[derive(Debug, Default)]
+struct ExpandScratch {
+    violations: ViolationSet,
+    live: Vec<FactId>,
+    operations: OperationScratch,
 }
 
 #[derive(Debug, Clone)]
@@ -88,10 +99,14 @@ impl RepairingTree {
             children: Vec::new(),
             depth: 0,
         });
-        // Depth-first expansion with an explicit stack of nodes still to
-        // expand; children are created in canonical operation order and the
-        // stack is processed so that node ids follow DFS preorder.
-        tree.expand(NodeId(0), db, sigma, limits.max_nodes)?;
+        // Recursive depth-first expansion (depth is bounded by |D|, since
+        // every operation removes at least one fact); children are created
+        // in canonical operation order, so node ids follow DFS preorder.
+        // The violation-scan and dedup buffers are shared across the whole
+        // expansion (each node recomputes before it reads, and only needs
+        // its materialised operation list afterwards).
+        let mut scratch = ExpandScratch::default();
+        tree.expand(NodeId(0), db, sigma, limits.max_nodes, &mut scratch)?;
         Ok(tree)
     }
 
@@ -101,10 +116,19 @@ impl RepairingTree {
         db: &Database,
         sigma: &FdSet,
         max_nodes: usize,
+        scratch: &mut ExpandScratch,
     ) -> Result<(), RepairError> {
         let subset = self.nodes[node.index()].subset.clone();
-        let violations = ViolationSet::compute(db, sigma, &subset);
-        let operations = justified_operations_from(&violations, self.singleton_only);
+        scratch
+            .violations
+            .recompute(db, sigma, &subset, &mut scratch.live);
+        let mut operations = Vec::new();
+        justified_operations_into(
+            &scratch.violations,
+            self.singleton_only,
+            &mut scratch.operations,
+            &mut operations,
+        );
         if operations.is_empty() {
             self.leaves.push(node);
             return Ok(());
@@ -124,7 +148,7 @@ impl RepairingTree {
                 depth,
             });
             self.nodes[node.index()].children.push(child);
-            self.expand(child, db, sigma, max_nodes)?;
+            self.expand(child, db, sigma, max_nodes, scratch)?;
         }
         Ok(())
     }

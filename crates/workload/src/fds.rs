@@ -69,6 +69,106 @@ impl FdWorkload {
     }
 }
 
+/// A generator for **large multi-FD inconsistent instances**: several
+/// relations, each constrained by two overlapping non-key FDs
+/// (`R : A → B` and `R : C → B`, the shape of the paper's running
+/// example), with a unique payload attribute so that no FD is a key.
+///
+/// This is the scaling workload of the `e14` incremental-conflict-index
+/// bench: at 5 000–50 000 facts the conflict structure stays sparse
+/// (block sizes are governed by `facts / (relations · lhs_domain)`), so
+/// the uniform-operations walk terminates in O(conflicting facts) steps
+/// while a per-step violation rescan still pays O(|D|) each step.
+#[derive(Debug, Clone)]
+pub struct MultiFdWorkload {
+    /// Total number of facts to draw (spread uniformly over relations).
+    pub facts: usize,
+    /// Number of relations `R0, …` (cross-relation conflict structure).
+    pub relations: usize,
+    /// Domain size of each determining attribute (`A` and `C`).
+    pub lhs_domain: usize,
+    /// Domain size of the determined attribute `B`.
+    pub rhs_domain: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl MultiFdWorkload {
+    /// A workload with the given parameters.
+    pub fn new(
+        facts: usize,
+        relations: usize,
+        lhs_domain: usize,
+        rhs_domain: usize,
+        seed: u64,
+    ) -> Self {
+        MultiFdWorkload {
+            facts,
+            relations,
+            lhs_domain,
+            rhs_domain,
+            seed,
+        }
+    }
+
+    /// A scaling profile: block sizes stay around 10 facts on average as
+    /// `facts` grows, so conflict degree is roughly size-independent.
+    pub fn scaling(facts: usize, seed: u64) -> Self {
+        MultiFdWorkload::new(facts, 2, (facts / 20).max(1), 3, seed)
+    }
+
+    /// Generates the database and its FD set (two non-key FDs per
+    /// relation: `A → B` and `C → B`).
+    ///
+    /// # Panics
+    /// Panics if `facts`, `relations` or a domain is zero.
+    pub fn generate(&self) -> (Database, FdSet) {
+        assert!(self.facts > 0, "at least one fact is required");
+        assert!(self.relations > 0, "at least one relation is required");
+        assert!(
+            self.lhs_domain > 0 && self.rhs_domain > 0,
+            "domains must be non-empty"
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut schema = Schema::new();
+        let names: Vec<String> = (0..self.relations).map(|r| format!("R{r}")).collect();
+        for name in &names {
+            schema
+                .add_relation(name, &["A", "B", "C", "P"])
+                .expect("fresh schema");
+        }
+        let mut db = Database::with_schema(schema);
+        for payload in 0..self.facts {
+            let relation = &names[payload % self.relations];
+            let a = rng.random_range(0..self.lhs_domain) as i64;
+            let b = rng.random_range(0..self.rhs_domain) as i64;
+            let c = rng.random_range(0..self.lhs_domain) as i64;
+            db.insert_values(
+                relation,
+                [
+                    Value::int(a),
+                    Value::int(b),
+                    Value::int(c),
+                    Value::int(payload as i64),
+                ],
+            )
+            .expect("schema matches");
+        }
+        let mut sigma = FdSet::new();
+        for name in &names {
+            sigma.add(
+                FunctionalDependency::from_names(db.schema(), name, &["A"], &["B"])
+                    .expect("relation has attributes A and B"),
+            );
+            sigma.add(
+                FunctionalDependency::from_names(db.schema(), name, &["C"], &["B"])
+                    .expect("relation has attributes C and B"),
+            );
+        }
+        (db, sigma)
+    }
+}
+
 /// The family `{D_n}` of Proposition D.6: over `R(A1, A2, A3)` with the FD
 /// `R : A1 → A2`, the database
 /// `D_n = {R(0,0,0)} ∪ {R(0,1,i) | i ∈ [n−1]}`.
@@ -129,6 +229,42 @@ mod tests {
         let (db, sigma) = proposition_d6_database(1);
         assert_eq!(db.len(), 1);
         assert!(sigma.satisfied_by_database(&db));
+    }
+
+    #[test]
+    fn multi_fd_workload_is_inconsistent_non_key_and_cross_relation() {
+        let workload = MultiFdWorkload::new(400, 3, 10, 3, 9);
+        let (db, sigma) = workload.generate();
+        assert_eq!(db.len(), 400);
+        assert_eq!(db.schema().relation_count(), 3);
+        assert_eq!(sigma.len(), 6);
+        assert!(!sigma.is_keys(db.schema()));
+        let violations = ViolationSet::of_database(&db, &sigma);
+        assert!(!violations.is_empty());
+        // Every relation contributes violations (cross-relation structure).
+        let facts = violations.conflicting_facts();
+        for relation in 0..3 {
+            assert!(
+                facts
+                    .iter()
+                    .any(|f| db.fact(*f).relation().index() == relation),
+                "relation R{relation} has no violation"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_fd_scaling_profile_keeps_conflicts_sparse() {
+        let (db, sigma) = MultiFdWorkload::scaling(2_000, 7).generate();
+        let violations = ViolationSet::of_database(&db, &sigma);
+        assert!(!violations.is_empty());
+        // Sparse regime: far fewer violations than the quadratic worst
+        // case, so walks terminate quickly.
+        assert!(violations.len() < db.len() * 20);
+        let (db2, _) = MultiFdWorkload::scaling(2_000, 7).generate();
+        for (id, fact) in db.iter() {
+            assert_eq!(fact, db2.fact(id));
+        }
     }
 
     #[test]

@@ -30,5 +30,5 @@ pub mod keys;
 pub mod queries;
 
 pub use blocks::BlockWorkload;
-pub use fds::{proposition_d6_database, FdWorkload};
+pub use fds::{proposition_d6_database, FdWorkload, MultiFdWorkload};
 pub use keys::MultiKeyWorkload;

@@ -7,7 +7,8 @@ use rand::{Rng, SeedableRng};
 
 use uocqa::core::counting;
 use uocqa::db::{
-    ConflictGraph, Database, FactSet, FdSet, FunctionalDependency, Schema, Value, ViolationSet,
+    ConflictGraph, ConflictIndex, Database, FactId, FactSet, FdSet, FunctionalDependency, LiveOps,
+    Schema, Value, ViolationSet,
 };
 use uocqa::numeric::Ratio;
 use uocqa::query::{Atom, CompiledLineage, ConjunctiveQuery, QueryEvaluator, Term};
@@ -49,6 +50,35 @@ fn fd_database(pairs: &[(u8, u8)]) -> (Database, FdSet) {
     }
     let mut sigma = FdSet::new();
     sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["A"], &["B"]).unwrap());
+    (db, sigma)
+}
+
+/// Builds a two-relation database with overlapping **non-key** FDs
+/// (`R : A → B`, `R : C → B` and `S : A → B`) from value tuples; a unique
+/// payload attribute keeps facts distinct, so no FD is a key and conflict
+/// structures span both relations.
+fn multi_fd_database(rows: &[(u8, u8, u8, u8)]) -> (Database, FdSet) {
+    let mut schema = Schema::new();
+    schema.add_relation("R", &["A", "B", "C", "P"]).unwrap();
+    schema.add_relation("S", &["A", "B", "P"]).unwrap();
+    let mut db = Database::with_schema(schema);
+    for (i, (a, b, c, which)) in rows.iter().enumerate() {
+        let (a, b, c) = (
+            Value::int(i64::from(*a % 3)),
+            Value::int(i64::from(*b % 3)),
+            Value::int(i64::from(*c % 3)),
+        );
+        if which % 2 == 0 {
+            db.insert_values("R", [a, b, c, Value::int(i as i64)])
+                .unwrap();
+        } else {
+            db.insert_values("S", [a, b, Value::int(i as i64)]).unwrap();
+        }
+    }
+    let mut sigma = FdSet::new();
+    sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["A"], &["B"]).unwrap());
+    sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["C"], &["B"]).unwrap());
+    sigma.add(FunctionalDependency::from_names(db.schema(), "S", &["A"], &["B"]).unwrap());
     (db, sigma)
 }
 
@@ -221,6 +251,51 @@ proptest! {
                 rrfreq1 >= uocqa::core::bounds::singleton_frequency_lower_bound(d, 1).to_f64() - 1e-12
             );
         }
+    }
+
+    /// The incremental conflict index agrees with a from-scratch
+    /// `ViolationSet::recompute` after **every** removal, on randomised
+    /// multi-FD, non-key, cross-relation databases — the invariant that
+    /// makes the O(ops)-per-step uniform-operations walk realise the same
+    /// leaf distribution as the rescan walk.
+    #[test]
+    fn incremental_conflict_index_matches_recompute_after_every_removal(
+        rows in prop::collection::vec((0u8..3, 0u8..3, 0u8..3, 0u8..2), 1..14),
+        seed in 0u64..1_000,
+    ) {
+        let (db, sigma) = multi_fd_database(&rows);
+        let index = ConflictIndex::build(&db, &sigma);
+        let mut ops = LiveOps::new();
+        ops.reset_full(&index);
+        let mut subset = db.all_facts();
+        let mut reference = ViolationSet::default();
+        let mut recompute_scratch = Vec::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut remaining: Vec<FactId> = subset.to_vec();
+        // Remove every fact (not only conflicting ones) in random order.
+        while !remaining.is_empty() {
+            let pick = rng.random_range(0..remaining.len());
+            let fact = remaining.swap_remove(pick);
+            ops.remove_fact(&index, fact);
+            subset.remove(fact);
+            reference.recompute(&db, &sigma, &subset, &mut recompute_scratch);
+            let mut singles = ops.live_singles().to_vec();
+            singles.sort();
+            prop_assert_eq!(singles, reference.conflicting_facts());
+            let mut pairs: Vec<(FactId, FactId)> = ops.live_pairs(&index).collect();
+            pairs.sort();
+            prop_assert_eq!(pairs, reference.conflicting_pairs());
+            prop_assert_eq!(ops.live(), &subset);
+            prop_assert_eq!(ops.live_violations(&index).count(), reference.len());
+            prop_assert_eq!(ops.is_consistent(), reference.is_empty());
+            // A fresh reset to the same subset reaches the same state.
+            let mut fresh = LiveOps::new();
+            fresh.reset_to(&index, &subset);
+            prop_assert_eq!(fresh.single_count(), ops.single_count());
+            prop_assert_eq!(fresh.pair_count(), ops.pair_count());
+        }
+        prop_assert!(ops.is_consistent());
+        prop_assert_eq!(ops.live_violations(&index).count(), 0);
     }
 }
 

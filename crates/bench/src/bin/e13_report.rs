@@ -3,7 +3,7 @@
 //! evaluator, on the e12-style scaling workload.
 //!
 //! ```text
-//! cargo run -p ucqa-bench --release --bin e13_report [-- output.json]
+//! cargo run -p ucqa-bench --release --bin e13_report [-- [--smoke] [output.json]]
 //! ```
 //!
 //! The JSON records, per database size: the mean per-check time of the
@@ -19,6 +19,7 @@ use std::time::Instant;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use ucqa_bench::experiments::{emit_report, report_args, time_routine};
 use ucqa_core::fpras::{ApproximationParams, EstimatorMode, OcqaEstimator};
 use ucqa_core::sample_repairs::RepairSampler;
 use ucqa_db::FactSet;
@@ -26,26 +27,12 @@ use ucqa_query::{CompiledLineage, QueryEvaluator};
 use ucqa_repair::GeneratorSpec;
 use ucqa_workload::{queries::block_lookup_query, BlockWorkload};
 
-/// Times `routine` over `iters` iterations and returns mean ns/iteration.
-fn time_ns(iters: u64, mut routine: impl FnMut()) -> f64 {
-    // Warm-up pass.
-    for _ in 0..iters.div_ceil(10).max(1) {
-        routine();
-    }
-    let start = Instant::now();
-    for _ in 0..iters {
-        routine();
-    }
-    start.elapsed().as_nanos() as f64 / iters as f64
-}
-
 fn main() {
-    let output = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_e13.json".to_string());
+    let (smoke, output) = report_args("BENCH_e13.json");
     let mut sizes = String::new();
 
-    for blocks in [25usize, 250, 1250] {
+    let plan: &[usize] = if smoke { &[25] } else { &[25, 250, 1250] };
+    for &blocks in plan {
         let (db, sigma) = BlockWorkload::uniform(blocks, 4, 23).generate();
         let n = db.len();
         let (query, candidate) = block_lookup_query(&db, 5).expect("valid query");
@@ -67,14 +54,14 @@ fn main() {
 
         let check_iters = 200_000u64;
         let mut index = 0usize;
-        let lineage_ns = time_ns(check_iters, || {
+        let (lineage_ns, _) = time_routine(check_iters, || {
             let repair = &pool[index % pool.len()];
             index += 1;
             std::hint::black_box(lineage.entails(repair));
         });
         let mut index = 0usize;
         let backtracking_iters = if n >= 1000 { 20_000 } else { check_iters };
-        let backtracking_ns = time_ns(backtracking_iters, || {
+        let (backtracking_ns, _) = time_routine(backtracking_iters, || {
             let repair = &pool[index % pool.len()];
             index += 1;
             std::hint::black_box(
@@ -169,7 +156,5 @@ fn main() {
          \"workload\": \"BlockWorkload::uniform(blocks, 4, 23) + block_lookup_query(seed 5)\",\n  \
          \"check_pool\": 64,\n  \"sizes\": [{sizes}\n  ]\n}}\n"
     );
-    std::fs::write(&output, &json).expect("write BENCH_e13.json");
-    println!("{json}");
-    eprintln!("[e13] wrote {output}");
+    emit_report("e13", smoke, &output, &json);
 }

@@ -22,33 +22,13 @@ use std::time::Instant;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use ucqa_bench::experiments::{emit_report, report_args, time_routine};
 use ucqa_core::sample_operations::{OperationWalkSampler, WalkScratch};
 use ucqa_db::FactSet;
 use ucqa_workload::MultiFdWorkload;
 
-/// Times `walks` runs of `routine` and returns walks/second.
-fn walks_per_sec(walks: u64, mut routine: impl FnMut()) -> f64 {
-    // Warm-up pass.
-    for _ in 0..walks.div_ceil(10).max(1) {
-        routine();
-    }
-    let start = Instant::now();
-    for _ in 0..walks {
-        routine();
-    }
-    walks as f64 / start.elapsed().as_secs_f64().max(1e-9)
-}
-
 fn main() {
-    let mut smoke = false;
-    let mut output = "BENCH_e14.json".to_string();
-    for arg in std::env::args().skip(1) {
-        if arg == "--smoke" {
-            smoke = true;
-        } else {
-            output = arg;
-        }
-    }
+    let (smoke, output) = report_args("BENCH_e14.json");
 
     // (facts, index walks, rescan walks): the rescan budget shrinks with
     // the database because each of its walks costs O(|D|) per step.
@@ -75,11 +55,11 @@ fn main() {
         let mut rng = StdRng::seed_from_u64(7);
         let mut repair = FactSet::empty(db.len());
         let mut scratch = WalkScratch::new();
-        let index_wps = walks_per_sec(index_walks, || {
+        let (_, index_wps) = time_routine(index_walks, || {
             sampler.sample_result_into(&mut rng, &mut repair, &mut scratch)
         });
         let mut rng = StdRng::seed_from_u64(7);
-        let rescan_wps = walks_per_sec(rescan_walks, || {
+        let (_, rescan_wps) = time_routine(rescan_walks, || {
             sampler.sample_result_rescan_into(&mut rng, &mut repair, &mut scratch)
         });
         let speedup = index_wps / rescan_wps;
@@ -107,12 +87,5 @@ fn main() {
          sample_result_rescan_into (baseline), pair + singleton operations\",\n  \
          \"sizes\": [{sizes}\n  ]\n}}\n"
     );
-    if smoke {
-        println!("{json}");
-        eprintln!("[e14] smoke mode: not writing {output}");
-    } else {
-        std::fs::write(&output, &json).expect("write BENCH_e14.json");
-        println!("{json}");
-        eprintln!("[e14] wrote {output}");
-    }
+    emit_report("e14", smoke, &output, &json);
 }

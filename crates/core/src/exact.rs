@@ -117,6 +117,21 @@ impl<'a> ExactSolver<'a> {
         Ok(semantics.answer_probability(self.db, evaluator, candidate)?)
     }
 
+    /// Batched [`ExactSolver::answer_probability`]: the exact answer
+    /// probabilities of a whole query bank from **one** chain construction
+    /// and one pass over `⟦D⟧_{M_Σ}` — the exact ground truth the batched
+    /// FPRAS drivers ([`crate::fpras::BatchEstimator`]) are validated
+    /// against.
+    pub fn answer_probabilities(
+        &self,
+        spec: GeneratorSpec,
+        queries: &[(&QueryEvaluator, &[Value])],
+    ) -> Result<Vec<Ratio>, CoreError> {
+        let chain = spec.build_chain(self.db, self.sigma, self.limits)?;
+        let semantics = OperationalSemantics::from_chain(&chain);
+        Ok(semantics.answer_probabilities(self.db, queries)?)
+    }
+
     /// The full operational semantics `⟦D⟧_{M_Σ}` under a uniform
     /// generator.
     pub fn semantics(&self, spec: GeneratorSpec) -> Result<OperationalSemantics, CoreError> {

@@ -18,11 +18,11 @@
 use rand::Rng;
 
 use ucqa_db::{Database, FactSet, FdSet, Value};
-use ucqa_query::{CompiledLineage, QueryEvaluator};
+use ucqa_query::{BankScratch, CompiledLineage, LineageBank, QueryEvaluator};
 use ucqa_repair::{GeneratorSpec, UniformSemantics};
 
 use crate::bounds;
-use crate::montecarlo::{estimate_fixed, StoppingRuleEstimator};
+use crate::montecarlo::{estimate_fixed, estimate_fixed_batch, StoppingRuleEstimator};
 use crate::sample_operations::{OperationWalkSampler, WalkScratch};
 use crate::sample_repairs::RepairSampler;
 use crate::sample_sequences::SequenceSampler;
@@ -123,6 +123,31 @@ enum SamplerKind<'a> {
     Sequences(SequenceSampler),
     SequencesSingleton(SequenceSampler),
     Operations(OperationWalkSampler<'a>),
+}
+
+impl SamplerKind<'_> {
+    /// Draws one repair into the reused buffer.
+    ///
+    /// This is the *only* place the Monte-Carlo loops consume the RNG —
+    /// both the single-query and the batched experiment dispatch through
+    /// it, which is what makes their outcomes bit-identical under a
+    /// shared seed.
+    fn sample_repair_into<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        out: &mut FactSet,
+        scratch: &mut WalkScratch,
+    ) {
+        match self {
+            SamplerKind::Repairs(sampler) => sampler.sample_into(rng, out),
+            SamplerKind::RepairsSingleton(sampler) => sampler.sample_singleton_into(rng, out),
+            SamplerKind::Sequences(sampler) => sampler.sample_result_into(rng, out),
+            SamplerKind::SequencesSingleton(sampler) => {
+                sampler.sample_result_singleton_into(rng, out)
+            }
+            SamplerKind::Operations(walker) => walker.sample_result_into(rng, out, scratch),
+        }
+    }
 }
 
 /// An approximate (FPRAS) solver for `OCQA(Σ, M, Q)` over one database.
@@ -355,6 +380,232 @@ impl<'a> OcqaEstimator<'a> {
     }
 }
 
+/// One query of a batched estimation run: an evaluator plus its candidate
+/// answer tuple.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchQuery<'q> {
+    /// The (slot-compiled) query evaluator.
+    pub evaluator: &'q QueryEvaluator,
+    /// The candidate answer tuple (empty for Boolean queries).
+    pub candidate: &'q [Value],
+}
+
+impl<'q> BatchQuery<'q> {
+    /// Creates a batch query.
+    pub fn new(evaluator: &'q QueryEvaluator, candidate: &'q [Value]) -> Self {
+        BatchQuery {
+            evaluator,
+            candidate,
+        }
+    }
+}
+
+/// A batched multi-query FPRAS driver: one sampler loop, `k` estimates.
+///
+/// Estimating `k` queries over the same database with `k` independent
+/// [`OcqaEstimator::estimate`] calls runs `k` walk/sampler loops even
+/// though a single draw of an operational repair can answer *all* queries
+/// at once (the per-draw check is membership of the sampled repair in each
+/// query's lineage).  [`BatchEstimator`] compiles the whole query bank
+/// into a shared [`LineageBank`] (deduplicated witness arena, per-query
+/// masks) and drives **one** sampling loop; each sampled repair updates
+/// every per-query hit counter in a single word-level pass.
+///
+/// **Bit-identity guarantee.**  The RNG is consumed by the shared draw
+/// only, never by the per-query checks, so under a fixed seed
+/// [`BatchEstimator::estimate_batch`] returns, for every query, exactly
+/// the `Estimate` that a fresh single-query
+/// [`OcqaEstimator::estimate`] run would return from the same RNG state —
+/// and [`BatchEstimator::estimate_batch_parallel`] is bit-identical to
+/// `k` independent [`OcqaEstimator::estimate_parallel`] runs under the
+/// same master seed, regardless of thread count.
+///
+/// Only the fixed-sample-count modes ([`EstimatorMode::FixedSamples`] and
+/// [`EstimatorMode::FixedAdditive`]) are supported: the sequential
+/// stopping rule and the per-query lower-bound mode would draw different
+/// sample counts per query, defeating the shared loop.
+pub struct BatchEstimator<'a> {
+    inner: OcqaEstimator<'a>,
+}
+
+impl<'a> BatchEstimator<'a> {
+    /// Creates a batched estimator for the given uniform generator, with
+    /// the same constraint-class validation as [`OcqaEstimator::new`].
+    pub fn new(db: &'a Database, sigma: &'a FdSet, spec: GeneratorSpec) -> Result<Self, CoreError> {
+        Ok(BatchEstimator {
+            inner: OcqaEstimator::new(db, sigma, spec)?,
+        })
+    }
+
+    /// The generator this estimator approximates.
+    pub fn spec(&self) -> GeneratorSpec {
+        self.inner.spec()
+    }
+
+    /// The underlying single-query estimator (sharing the sampler and its
+    /// precomputed conflict index).
+    pub fn estimator(&self) -> &OcqaEstimator<'a> {
+        &self.inner
+    }
+
+    /// The shared per-query sample count of a batched run, or an error for
+    /// the modes the batched loop cannot honour.
+    fn batch_sample_count(&self, params: ApproximationParams) -> Result<u64, CoreError> {
+        params.validate()?;
+        match params.mode {
+            EstimatorMode::FixedSamples(samples) => Ok(samples),
+            EstimatorMode::FixedAdditive => Ok(bounds::samples_for_additive_error(
+                params.epsilon,
+                params.delta,
+            )),
+            EstimatorMode::OptimalStopping { .. } | EstimatorMode::FixedFromLowerBound => {
+                Err(CoreError::InvalidParameters {
+                    message: "batched estimation shares one sample loop across all queries, \
+                              so only the fixed-sample-count modes (FixedSamples, \
+                              FixedAdditive) are supported"
+                        .to_string(),
+                })
+            }
+        }
+    }
+
+    /// Estimates `P_{M_Σ,Qᵢ}(D, c̄ᵢ)` for every query of the bank from one
+    /// shared sequence of sampled repairs.
+    ///
+    /// Compiles the [`LineageBank`] (validating every candidate arity)
+    /// before any sampling happens; queries whose witness enumeration
+    /// overflows the cap fall back to the backtracking evaluator per draw
+    /// while the rest stay on the word-level bitset path.
+    pub fn estimate_batch<R: Rng + ?Sized>(
+        &self,
+        queries: &[BatchQuery<'_>],
+        params: ApproximationParams,
+        rng: &mut R,
+    ) -> Result<Vec<Estimate>, CoreError> {
+        let samples = self.batch_sample_count(params)?;
+        let bank = self.compile_bank(queries)?;
+        let mut experiment = BatchExperiment::new(&self.inner, &bank, queries);
+        let outcome = estimate_fixed_batch(rng, samples, queries.len(), |rng, successes| {
+            experiment.draw(rng, successes)
+        });
+        Ok(Self::estimates_from(samples, &outcome.successes))
+    }
+
+    /// As [`BatchEstimator::estimate_batch`], with the shared samples
+    /// sharded across rayon worker threads exactly like
+    /// [`OcqaEstimator::estimate_parallel`]: same shard boundaries, same
+    /// per-shard RNG streams, integer success sums — so the result is
+    /// bit-identical for a fixed master seed regardless of thread count,
+    /// and bit-identical to `k` independent `estimate_parallel` runs.
+    #[cfg(feature = "parallel")]
+    pub fn estimate_batch_parallel(
+        &self,
+        queries: &[BatchQuery<'_>],
+        params: ApproximationParams,
+        master_seed: u64,
+    ) -> Result<Vec<Estimate>, CoreError> {
+        use crate::montecarlo::{estimate_fixed_batch_parallel, DEFAULT_SHARD_SIZE};
+
+        let samples = self.batch_sample_count(params)?;
+        let bank = self.compile_bank(queries)?;
+        let outcome = estimate_fixed_batch_parallel(
+            master_seed,
+            samples,
+            DEFAULT_SHARD_SIZE,
+            queries.len(),
+            || {
+                let mut experiment = BatchExperiment::new(&self.inner, &bank, queries);
+                move |rng: &mut rand::rngs::StdRng, successes: &mut [u64]| {
+                    experiment.draw(rng, successes)
+                }
+            },
+        );
+        Ok(Self::estimates_from(samples, &outcome.successes))
+    }
+
+    fn compile_bank(&self, queries: &[BatchQuery<'_>]) -> Result<LineageBank, CoreError> {
+        let refs: Vec<(&QueryEvaluator, &[Value])> =
+            queries.iter().map(|q| (q.evaluator, q.candidate)).collect();
+        Ok(LineageBank::compile(self.inner.db, &refs)?)
+    }
+
+    fn estimates_from(samples: u64, successes: &[u64]) -> Vec<Estimate> {
+        successes
+            .iter()
+            .map(|&s| Estimate {
+                value: if samples == 0 {
+                    0.0
+                } else {
+                    s as f64 / samples as f64
+                },
+                samples,
+                successes: s,
+                truncated: false,
+            })
+            .collect()
+    }
+}
+
+/// One fully compiled *batched* Bernoulli experiment: draw a repair into a
+/// reused buffer, update every per-query hit counter against the shared
+/// lineage bank in one word-level pass.
+struct BatchExperiment<'e, 'a> {
+    estimator: &'e OcqaEstimator<'a>,
+    bank: &'e LineageBank,
+    queries: &'e [BatchQuery<'e>],
+    repair: FactSet,
+    scratch: WalkScratch,
+    bank_scratch: BankScratch,
+    hits: Vec<bool>,
+}
+
+impl<'e, 'a> BatchExperiment<'e, 'a> {
+    fn new(
+        estimator: &'e OcqaEstimator<'a>,
+        bank: &'e LineageBank,
+        queries: &'e [BatchQuery<'e>],
+    ) -> Self {
+        BatchExperiment {
+            estimator,
+            bank,
+            queries,
+            repair: FactSet::empty(estimator.db.len()),
+            scratch: WalkScratch::new(),
+            bank_scratch: BankScratch::new(),
+            hits: vec![false; queries.len()],
+        }
+    }
+
+    fn draw<R: Rng + ?Sized>(&mut self, rng: &mut R, successes: &mut [u64]) {
+        self.estimator
+            .sampler
+            .sample_repair_into(rng, &mut self.repair, &mut self.scratch);
+        self.bank
+            .evaluate_into(&self.repair, &mut self.bank_scratch, &mut self.hits);
+        for (index, query) in self.queries.iter().enumerate() {
+            let hit = if self.bank.is_fallback(index) {
+                query
+                    .evaluator
+                    .has_answer(self.estimator.db, &self.repair, query.candidate)
+                    .expect("candidate arity was validated during bank compilation")
+            } else {
+                debug_assert_eq!(
+                    self.hits[index],
+                    query
+                        .evaluator
+                        .has_answer(self.estimator.db, &self.repair, query.candidate)
+                        .expect("candidate arity was validated during bank compilation"),
+                    "lineage bank disagrees with the backtracking evaluator on query {index}"
+                );
+                self.hits[index]
+            };
+            if hit {
+                successes[index] += 1;
+            }
+        }
+    }
+}
+
 /// One fully compiled Bernoulli experiment: draw a repair into a reused
 /// buffer, check entailment against the compiled lineage.
 ///
@@ -389,19 +640,9 @@ impl<'e, 'a> SampleExperiment<'e, 'a> {
     }
 
     fn draw<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool {
-        match &self.estimator.sampler {
-            SamplerKind::Repairs(sampler) => sampler.sample_into(rng, &mut self.repair),
-            SamplerKind::RepairsSingleton(sampler) => {
-                sampler.sample_singleton_into(rng, &mut self.repair)
-            }
-            SamplerKind::Sequences(sampler) => sampler.sample_result_into(rng, &mut self.repair),
-            SamplerKind::SequencesSingleton(sampler) => {
-                sampler.sample_result_singleton_into(rng, &mut self.repair)
-            }
-            SamplerKind::Operations(walker) => {
-                walker.sample_result_into(rng, &mut self.repair, &mut self.scratch)
-            }
-        }
+        self.estimator
+            .sampler
+            .sample_repair_into(rng, &mut self.repair, &mut self.scratch);
         match self.lineage {
             Some(lineage) => {
                 let entailed = lineage.entails(&self.repair);
@@ -625,6 +866,136 @@ mod tests {
             .estimate(&evaluator, &candidate, from_bound, &mut rng)
             .unwrap();
         assert!((estimate.value - 0.25).abs() < 0.25 * 0.3 + 0.02);
+    }
+
+    #[test]
+    fn batched_estimates_are_bit_identical_to_single_query_runs() {
+        let (db, sigma) = figure2();
+        let lookup = parse_query(db.schema(), "Ans(x) :- R('a1', x)").unwrap();
+        let lookup = QueryEvaluator::new(lookup);
+        let member = parse_query(db.schema(), "Ans() :- R('a3', 'b1')").unwrap();
+        let member = QueryEvaluator::new(member);
+        let never = parse_query(db.schema(), "Ans() :- R('zz', 'zz')").unwrap();
+        let never = QueryEvaluator::new(never);
+        let b1 = [Value::str("b1")];
+        let queries = [
+            BatchQuery::new(&lookup, &b1),
+            BatchQuery::new(&member, &[]),
+            BatchQuery::new(&never, &[]),
+        ];
+        let params = ApproximationParams::new(0.1, 0.1)
+            .unwrap()
+            .with_mode(EstimatorMode::FixedSamples(2_000));
+        for spec in all_specs() {
+            let batch = BatchEstimator::new(&db, &sigma, spec).unwrap();
+            let batched = batch.estimate_batch(&queries, params, &mut StdRng::seed_from_u64(99));
+            let batched = batched.unwrap();
+            assert_eq!(batched.len(), queries.len());
+            for (i, query) in queries.iter().enumerate() {
+                let single = batch
+                    .estimator()
+                    .estimate(
+                        query.evaluator,
+                        query.candidate,
+                        params,
+                        &mut StdRng::seed_from_u64(99),
+                    )
+                    .unwrap();
+                assert_eq!(batched[i], single, "spec {}, query {i}", spec.short_name());
+            }
+            // The impossible query is estimated at exactly zero.
+            assert_eq!(batched[2].successes, 0, "spec {}", spec.short_name());
+        }
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_batched_estimates_match_independent_parallel_runs() {
+        let (db, sigma) = figure2();
+        let lookup = parse_query(db.schema(), "Ans(x) :- R('a1', x)").unwrap();
+        let lookup = QueryEvaluator::new(lookup);
+        let member = parse_query(db.schema(), "Ans() :- R('a3', 'b1')").unwrap();
+        let member = QueryEvaluator::new(member);
+        let b1 = [Value::str("b1")];
+        let queries = [BatchQuery::new(&lookup, &b1), BatchQuery::new(&member, &[])];
+        let params = ApproximationParams::new(0.1, 0.1)
+            .unwrap()
+            .with_mode(EstimatorMode::FixedSamples(10_000));
+        let batch = BatchEstimator::new(&db, &sigma, GeneratorSpec::uniform_operations()).unwrap();
+        let batched = batch.estimate_batch_parallel(&queries, params, 7).unwrap();
+        for (i, query) in queries.iter().enumerate() {
+            let single = batch
+                .estimator()
+                .estimate_parallel(query.evaluator, query.candidate, params, 7)
+                .unwrap();
+            assert_eq!(batched[i], single, "query {i}");
+        }
+    }
+
+    #[test]
+    fn consistent_database_estimates_exactly_one() {
+        // A consistent database has a single repair: the database itself.
+        // Every query it entails must be estimated at exactly 1.
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["A", "B"]).unwrap();
+        let mut db = Database::with_schema(schema);
+        for (a, b) in [(1, 1), (2, 2), (3, 3)] {
+            db.insert_values("R", [Value::int(a), Value::int(b)])
+                .unwrap();
+        }
+        let mut sigma = FdSet::new();
+        sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["A"], &["B"]).unwrap());
+        assert!(sigma.satisfied_by_database(&db));
+        let q1 = QueryEvaluator::new(parse_query(db.schema(), "Ans() :- R(1, 1)").unwrap());
+        let q2 = QueryEvaluator::new(parse_query(db.schema(), "Ans() :- R(x, x)").unwrap());
+        let queries = [BatchQuery::new(&q1, &[]), BatchQuery::new(&q2, &[])];
+        let params = ApproximationParams::new(0.1, 0.1)
+            .unwrap()
+            .with_mode(EstimatorMode::FixedSamples(500));
+        for spec in all_specs() {
+            let batch = BatchEstimator::new(&db, &sigma, spec).unwrap();
+            let estimates = batch
+                .estimate_batch(&queries, params, &mut StdRng::seed_from_u64(3))
+                .unwrap();
+            for (i, estimate) in estimates.iter().enumerate() {
+                assert_eq!(estimate.value, 1.0, "spec {}, query {i}", spec.short_name());
+                assert_eq!(estimate.successes, 500);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_estimation_rejects_sequential_modes_and_bad_arity() {
+        let (db, sigma) = figure2();
+        let batch = BatchEstimator::new(&db, &sigma, GeneratorSpec::uniform_repairs()).unwrap();
+        let q = parse_query(db.schema(), "Ans(x) :- R('a1', x)").unwrap();
+        let evaluator = QueryEvaluator::new(q);
+        let b1 = [Value::str("b1")];
+        let queries = [BatchQuery::new(&evaluator, &b1)];
+        let mut rng = StdRng::seed_from_u64(0);
+        for mode in [
+            EstimatorMode::OptimalStopping { max_samples: 100 },
+            EstimatorMode::FixedFromLowerBound,
+        ] {
+            let params = ApproximationParams::new(0.2, 0.2).unwrap().with_mode(mode);
+            assert!(matches!(
+                batch.estimate_batch(&queries, params, &mut rng),
+                Err(CoreError::InvalidParameters { .. })
+            ));
+        }
+        // A wrong candidate arity anywhere in the bank aborts before
+        // sampling.
+        let bad = [BatchQuery::new(&evaluator, &[])];
+        let params = ApproximationParams::new(0.2, 0.2)
+            .unwrap()
+            .with_mode(EstimatorMode::FixedSamples(10));
+        assert!(matches!(
+            batch.estimate_batch(&bad, params, &mut rng),
+            Err(CoreError::Query(_))
+        ));
+        // An empty bank is a no-op, not an error.
+        let empty = batch.estimate_batch(&[], params, &mut rng).unwrap();
+        assert!(empty.is_empty());
     }
 
     #[test]

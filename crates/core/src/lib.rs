@@ -40,9 +40,12 @@ pub mod sample_sequences;
 
 pub use error::CoreError;
 pub use exact::ExactSolver;
-pub use fpras::{ApproximationParams, Estimate, OcqaEstimator};
+pub use fpras::{ApproximationParams, BatchEstimator, BatchQuery, Estimate, OcqaEstimator};
 
 /// Commonly used types, re-exported for convenience.
 pub mod prelude {
-    pub use crate::{ApproximationParams, CoreError, Estimate, ExactSolver, OcqaEstimator};
+    pub use crate::{
+        ApproximationParams, BatchEstimator, BatchQuery, CoreError, Estimate, ExactSolver,
+        OcqaEstimator,
+    };
 }

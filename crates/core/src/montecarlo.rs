@@ -58,6 +58,107 @@ where
     }
 }
 
+/// The result of a batched Monte-Carlo run: one shared sample count, one
+/// success counter per Bernoulli variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchOutcome {
+    /// The number of (shared) samples that were drawn.
+    pub samples: u64,
+    /// Per-variable success counts.
+    pub successes: Vec<u64>,
+}
+
+impl BatchOutcome {
+    /// The per-variable empirical means.
+    pub fn estimates(&self) -> Vec<f64> {
+        self.successes
+            .iter()
+            .map(|&s| {
+                if self.samples == 0 {
+                    0.0
+                } else {
+                    s as f64 / self.samples as f64
+                }
+            })
+            .collect()
+    }
+}
+
+/// Draws exactly `samples` *shared* experiments, each updating `queries`
+/// success counters at once: `experiment(rng, successes)` must add at most
+/// one to each counter per call.
+///
+/// Because the RNG is consumed by the shared draw only (never by the
+/// per-variable checks), running this with `k` counters is bit-identical
+/// to `k` runs of [`estimate_fixed`] from the same RNG state — the batched
+/// and the independent estimators realise the *same* random variables.
+pub fn estimate_fixed_batch<R, F>(
+    rng: &mut R,
+    samples: u64,
+    queries: usize,
+    mut experiment: F,
+) -> BatchOutcome
+where
+    R: Rng + ?Sized,
+    F: FnMut(&mut R, &mut [u64]),
+{
+    let mut successes = vec![0u64; queries];
+    for _ in 0..samples {
+        experiment(rng, &mut successes);
+    }
+    BatchOutcome { samples, successes }
+}
+
+/// Batched counterpart of [`estimate_fixed_parallel`]: draws exactly
+/// `samples` shared experiments sharded across threads, summing the
+/// per-shard success vectors.
+///
+/// The shard boundaries and per-shard RNG streams are **identical** to
+/// [`estimate_fixed_parallel`]'s for the same `(master_seed, samples,
+/// shard_size)`, and the reduction is an element-wise integer sum, so the
+/// outcome is bit-identical regardless of thread count *and* bit-identical
+/// to `k` independent [`estimate_fixed_parallel`] runs whose experiments
+/// consume the RNG identically (the batched FPRAS guarantee).
+///
+/// Only available with the `parallel` feature (rayon).
+#[cfg(feature = "parallel")]
+pub fn estimate_fixed_batch_parallel<E, F>(
+    master_seed: u64,
+    samples: u64,
+    shard_size: u64,
+    queries: usize,
+    make_experiment: F,
+) -> BatchOutcome
+where
+    F: Fn() -> E + Sync,
+    E: FnMut(&mut StdRng, &mut [u64]),
+{
+    let shard_size = shard_size.max(1);
+    let shards = samples.div_ceil(shard_size);
+    let successes = (0..shards)
+        .into_par_iter()
+        .map(|shard| {
+            let mut rng = StdRng::seed_from_u64(shard_seed(master_seed, shard));
+            let mut experiment = make_experiment();
+            let count = shard_size.min(samples - shard * shard_size);
+            let mut successes = vec![0u64; queries];
+            for _ in 0..count {
+                experiment(&mut rng, &mut successes);
+            }
+            successes
+        })
+        .reduce(
+            || vec![0u64; queries],
+            |mut acc, shard| {
+                for (a, s) in acc.iter_mut().zip(&shard) {
+                    *a += s;
+                }
+                acc
+            },
+        );
+    BatchOutcome { samples, successes }
+}
+
 /// Default number of samples per parallel shard: large enough to amortise
 /// per-shard setup (RNG seeding, scratch-buffer construction), small enough
 /// to shard a few hundred thousand samples across many cores.
@@ -313,6 +414,84 @@ mod tests {
                 .expect("pool");
             let outcome = pool.install(run);
             assert_eq!(outcome, baseline, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn batch_estimator_matches_independent_runs_per_variable() {
+        // A shared experiment whose per-variable checks are deterministic
+        // functions of one shared draw: batched counts must equal running
+        // each variable independently from the same RNG state.
+        let thresholds = [0.2f64, 0.5, 0.8];
+        let batched = {
+            let mut rng = StdRng::seed_from_u64(11);
+            estimate_fixed_batch(&mut rng, 10_000, thresholds.len(), |rng, successes| {
+                let draw: f64 = rng.random();
+                for (s, &t) in successes.iter_mut().zip(&thresholds) {
+                    if draw < t {
+                        *s += 1;
+                    }
+                }
+            })
+        };
+        assert_eq!(batched.samples, 10_000);
+        for (i, &t) in thresholds.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(11);
+            let single = estimate_fixed(&mut rng, 10_000, |rng| {
+                let draw: f64 = rng.random();
+                draw < t
+            });
+            assert_eq!(batched.successes[i], single.successes, "variable {i}");
+        }
+        let estimates = batched.estimates();
+        for (e, &t) in estimates.iter().zip(&thresholds) {
+            assert!((e - t).abs() < 0.02);
+        }
+    }
+
+    #[test]
+    fn batch_estimator_with_zero_samples_or_queries() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let zero = estimate_fixed_batch(&mut rng, 0, 3, |_, _| panic!("no draws"));
+        assert_eq!(zero.successes, vec![0, 0, 0]);
+        assert_eq!(zero.estimates(), vec![0.0, 0.0, 0.0]);
+        let empty = estimate_fixed_batch(&mut rng, 5, 0, |_, successes| {
+            assert!(successes.is_empty());
+        });
+        assert!(empty.successes.is_empty());
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_batch_matches_independent_parallel_runs() {
+        let thresholds = [0.3f64, 0.7];
+        let experiment = |rng: &mut StdRng, successes: &mut [u64]| {
+            let draw: f64 = rng.random();
+            for (s, &t) in successes.iter_mut().zip(&thresholds) {
+                if draw < t {
+                    *s += 1;
+                }
+            }
+        };
+        let batched = estimate_fixed_batch_parallel(42, 30_001, 1_000, 2, || experiment);
+        for (i, &t) in thresholds.iter().enumerate() {
+            let single = estimate_fixed_parallel(42, 30_001, 1_000, || {
+                move |rng: &mut StdRng| {
+                    let draw: f64 = rng.random();
+                    draw < t
+                }
+            });
+            assert_eq!(batched.successes[i], single.successes, "variable {i}");
+        }
+        // Thread-count independence.
+        for threads in [1usize, 2, 7] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool");
+            let outcome =
+                pool.install(|| estimate_fixed_batch_parallel(42, 30_001, 1_000, 2, || experiment));
+            assert_eq!(outcome, batched, "{threads} threads");
         }
     }
 

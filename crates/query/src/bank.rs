@@ -1,0 +1,343 @@
+//! A bank of compiled lineages: many queries, one shared witness arena.
+//!
+//! The batched FPRAS drivers of `ucqa-core` estimate `k` queries over the
+//! **same** database by sampling each operational repair once and checking
+//! it against every query.  Compiling `k` independent
+//! [`CompiledLineage`]s would re-materialise shared witnesses (identical
+//! queries, overlapping joins) and re-scan them per query;
+//! [`LineageBank`] instead compiles all `(query, candidate)` pairs into
+//! one deduplicated arena of witness bitsets.  Each query keeps a bitmask
+//! over the arena selecting its own minimal antichain, so the per-sample
+//! batched check is:
+//!
+//! 1. one containment scan over the *distinct* witnesses (word-level
+//!    "witness ⊆ repair", each checked exactly once per draw), then
+//! 2. one word-level `mask ∧ contained ≠ 0` pass per query.
+//!
+//! Per-query booleans are **bit-identical** to `CompiledLineage::entails`
+//! on the same repair: the mask selects exactly the query's own antichain,
+//! so sharing changes the cost, never the outcome.  Queries whose witness
+//! enumeration overflows the cap are kept as [fallback](LineageBank::is_fallback)
+//! entries — the caller routes those through the backtracking evaluator
+//! while the rest of the bank stays on the bitset path.
+
+use std::collections::HashMap;
+
+use ucqa_db::{Database, FactSet, Value};
+
+use crate::lineage::DEFAULT_WITNESS_CAP;
+use crate::{CompiledLineage, QueryError, QueryEvaluator};
+
+/// One query of a bank entry: an evaluator plus the candidate tuple.
+pub type BankQueryRef<'q> = (&'q QueryEvaluator, &'q [Value]);
+
+/// How one bank entry answers the per-sample check.
+#[derive(Debug, Clone)]
+enum BankEntry {
+    /// Minimal-antichain witnesses, as a bitmask over the shared arena.
+    Compiled { mask: Vec<u64> },
+    /// Witness enumeration overflowed the cap; the caller must use the
+    /// backtracking evaluator for this query.
+    Fallback,
+}
+
+/// Reusable per-draw scratch of [`LineageBank::evaluate_into`]: one bit per
+/// arena witness ("is this witness contained in the current repair?").
+#[derive(Debug, Default, Clone)]
+pub struct BankScratch {
+    contained: Vec<u64>,
+}
+
+impl BankScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        BankScratch::default()
+    }
+}
+
+/// Many compiled lineages over one database, sharing a deduplicated
+/// witness arena.
+#[derive(Debug, Clone)]
+pub struct LineageBank {
+    universe: usize,
+    /// The arena: every *distinct* witness across all compiled entries,
+    /// stored once.
+    witnesses: Vec<FactSet>,
+    entries: Vec<BankEntry>,
+}
+
+impl LineageBank {
+    /// Compiles a bank over `db` with the default per-query witness cap
+    /// ([`DEFAULT_WITNESS_CAP`], the same cap as single-query
+    /// compilation, so a query falls back in the bank iff it falls back
+    /// standalone).
+    ///
+    /// Candidate arities are validated for **every** query before any
+    /// sampling can start; the first mismatch aborts compilation.
+    pub fn compile(db: &Database, queries: &[BankQueryRef<'_>]) -> Result<Self, QueryError> {
+        Self::compile_with_cap(db, queries, DEFAULT_WITNESS_CAP)
+    }
+
+    /// As [`LineageBank::compile`], with an explicit per-query witness cap.
+    pub fn compile_with_cap(
+        db: &Database,
+        queries: &[BankQueryRef<'_>],
+        cap: usize,
+    ) -> Result<Self, QueryError> {
+        let universe = db.len();
+        let mut witnesses: Vec<FactSet> = Vec::new();
+        let mut arena_index: HashMap<FactSet, usize> = HashMap::new();
+        let mut entries = Vec::with_capacity(queries.len());
+        for &(evaluator, candidate) in queries {
+            match CompiledLineage::compile_with_cap(evaluator, db, candidate, cap)? {
+                None => entries.push(BankEntry::Fallback),
+                Some(lineage) => {
+                    let mut mask = Vec::new();
+                    for witness in lineage.witnesses() {
+                        // Probe before cloning: witnesses shared with an
+                        // earlier query cost a lookup, not an allocation.
+                        let index = match arena_index.get(witness) {
+                            Some(&index) => index,
+                            None => {
+                                let index = witnesses.len();
+                                arena_index.insert(witness.clone(), index);
+                                witnesses.push(witness.clone());
+                                index
+                            }
+                        };
+                        let word = index / 64;
+                        if mask.len() <= word {
+                            mask.resize(word + 1, 0u64);
+                        }
+                        mask[word] |= 1u64 << (index % 64);
+                    }
+                    entries.push(BankEntry::Compiled { mask });
+                }
+            }
+        }
+        Ok(LineageBank {
+            universe,
+            witnesses,
+            entries,
+        })
+    }
+
+    /// The per-draw batched entailment check: writes, for every query `i`,
+    /// `hits[i] = (repair ⊨ Qᵢ(c̄ᵢ))` — except for fallback entries, which
+    /// are set to `false` and must be answered by the caller's evaluator
+    /// (see [`LineageBank::is_fallback`]).
+    ///
+    /// Performs no heap allocation once `scratch` reaches steady-state
+    /// capacity.  Each distinct witness is containment-checked exactly
+    /// once, no matter how many queries share it.
+    ///
+    /// # Panics
+    /// Panics if `hits.len()` differs from the number of queries.
+    pub fn evaluate_into(&self, repair: &FactSet, scratch: &mut BankScratch, hits: &mut [bool]) {
+        assert_eq!(hits.len(), self.entries.len(), "hits length mismatch");
+        debug_assert_eq!(repair.universe(), self.universe);
+        let words = self.witnesses.len().div_ceil(64);
+        scratch.contained.clear();
+        scratch.contained.resize(words, 0);
+        for (index, witness) in self.witnesses.iter().enumerate() {
+            if repair.contains_all(witness) {
+                scratch.contained[index / 64] |= 1u64 << (index % 64);
+            }
+        }
+        for (entry, hit) in self.entries.iter().zip(hits.iter_mut()) {
+            *hit = match entry {
+                BankEntry::Compiled { mask } => {
+                    mask.iter().zip(&scratch.contained).any(|(m, c)| m & c != 0)
+                }
+                BankEntry::Fallback => false,
+            };
+        }
+    }
+
+    /// Number of queries in the bank.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` iff the bank holds no queries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of *distinct* witnesses in the shared arena.
+    pub fn witness_count(&self) -> usize {
+        self.witnesses.len()
+    }
+
+    /// Number of witnesses of query `index`'s own minimal antichain, or
+    /// `None` for a fallback entry.
+    pub fn query_witness_count(&self, index: usize) -> Option<usize> {
+        match &self.entries[index] {
+            BankEntry::Compiled { mask } => {
+                Some(mask.iter().map(|w| w.count_ones() as usize).sum())
+            }
+            BankEntry::Fallback => None,
+        }
+    }
+
+    /// `true` iff query `index` overflowed the witness cap and must be
+    /// answered by the backtracking evaluator.
+    pub fn is_fallback(&self, index: usize) -> bool {
+        matches!(self.entries[index], BankEntry::Fallback)
+    }
+
+    /// `true` iff some entry is a fallback entry.
+    pub fn has_fallback(&self) -> bool {
+        (0..self.entries.len()).any(|i| self.is_fallback(i))
+    }
+
+    /// The size of the fact universe the bank ranges over.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use ucqa_db::{FactId, Schema};
+
+    fn blocks_db() -> Database {
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["K", "V"]).unwrap();
+        let mut db = Database::with_schema(schema);
+        for (k, v) in [(1, 1), (1, 2), (2, 1), (2, 2), (3, 7)] {
+            db.insert_values("R", [Value::int(k), Value::int(v)])
+                .unwrap();
+        }
+        db
+    }
+
+    fn evaluators(db: &Database, texts: &[&str]) -> Vec<QueryEvaluator> {
+        texts
+            .iter()
+            .map(|t| QueryEvaluator::new(parse_query(db.schema(), t).unwrap()))
+            .collect()
+    }
+
+    fn subsets(universe: usize) -> impl Iterator<Item = FactSet> {
+        (0u32..(1 << universe)).map(move |mask| {
+            FactSet::from_iter(
+                universe,
+                (0..universe)
+                    .filter(move |i| (mask >> i) & 1 == 1)
+                    .map(FactId::new),
+            )
+        })
+    }
+
+    #[test]
+    fn bank_agrees_with_independent_lineages_on_all_subsets() {
+        let db = blocks_db();
+        let evals = evaluators(
+            &db,
+            &[
+                "Ans() :- R(1, x)",
+                "Ans() :- R(x, y), R(z, y)",
+                "Ans() :- R(1, x), R(2, x)",
+                "Ans() :- R(9, 9)",
+            ],
+        );
+        let queries: Vec<BankQueryRef<'_>> = evals.iter().map(|e| (e, &[] as &[Value])).collect();
+        let bank = LineageBank::compile(&db, &queries).unwrap();
+        let singles: Vec<CompiledLineage> = evals
+            .iter()
+            .map(|e| CompiledLineage::compile(e, &db, &[]).unwrap().unwrap())
+            .collect();
+        let mut scratch = BankScratch::new();
+        let mut hits = vec![false; bank.len()];
+        for subset in subsets(db.len()) {
+            bank.evaluate_into(&subset, &mut scratch, &mut hits);
+            for (i, single) in singles.iter().enumerate() {
+                assert_eq!(hits[i], single.entails(&subset), "query {i}, {subset:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_bank_compiles_and_evaluates() {
+        let db = blocks_db();
+        let bank = LineageBank::compile(&db, &[]).unwrap();
+        assert!(bank.is_empty());
+        assert_eq!(bank.len(), 0);
+        assert_eq!(bank.witness_count(), 0);
+        assert!(!bank.has_fallback());
+        let mut scratch = BankScratch::new();
+        bank.evaluate_into(&db.all_facts(), &mut scratch, &mut []);
+    }
+
+    #[test]
+    fn duplicate_queries_share_arena_witnesses() {
+        let db = blocks_db();
+        let evals = evaluators(&db, &["Ans() :- R(1, x)", "Ans() :- R(1, x)"]);
+        let queries: Vec<BankQueryRef<'_>> = evals.iter().map(|e| (e, &[] as &[Value])).collect();
+        let bank = LineageBank::compile(&db, &queries).unwrap();
+        let single = CompiledLineage::compile(&evals[0], &db, &[])
+            .unwrap()
+            .unwrap();
+        // The arena holds each witness once, not once per duplicate.
+        assert_eq!(bank.witness_count(), single.witness_count());
+        assert_eq!(bank.query_witness_count(0), Some(single.witness_count()));
+        assert_eq!(bank.query_witness_count(1), Some(single.witness_count()));
+    }
+
+    #[test]
+    fn overlapping_queries_share_common_witnesses() {
+        let db = blocks_db();
+        // Both single-atom queries over block 1 and the R(x,y),R(z,y)
+        // self-join absorb into singleton witnesses; the joint arena is
+        // smaller than the sum of the parts.
+        let evals = evaluators(&db, &["Ans() :- R(1, x)", "Ans() :- R(x, y), R(z, y)"]);
+        let queries: Vec<BankQueryRef<'_>> = evals.iter().map(|e| (e, &[] as &[Value])).collect();
+        let bank = LineageBank::compile(&db, &queries).unwrap();
+        let sum: usize = (0..2).map(|i| bank.query_witness_count(i).unwrap()).sum();
+        assert!(bank.witness_count() < sum, "no sharing happened");
+    }
+
+    #[test]
+    fn over_cap_query_falls_back_while_others_stay_compiled() {
+        let db = blocks_db();
+        let evals = evaluators(&db, &["Ans() :- R(x, y)", "Ans() :- R(1, x)"]);
+        let queries: Vec<BankQueryRef<'_>> = evals.iter().map(|e| (e, &[] as &[Value])).collect();
+        // Cap 2: the full-scan query has 5 witnesses and overflows; the
+        // block lookup has 2 and stays compiled.
+        let bank = LineageBank::compile_with_cap(&db, &queries, 2).unwrap();
+        assert!(bank.is_fallback(0));
+        assert!(!bank.is_fallback(1));
+        assert!(bank.has_fallback());
+        assert_eq!(bank.query_witness_count(0), None);
+        assert_eq!(bank.query_witness_count(1), Some(2));
+        let mut scratch = BankScratch::new();
+        let mut hits = vec![true; 2];
+        bank.evaluate_into(&db.all_facts(), &mut scratch, &mut hits);
+        // Fallback entries are reported as false; the compiled entry is
+        // answered on the bitset path.
+        assert!(!hits[0]);
+        assert!(hits[1]);
+    }
+
+    #[test]
+    fn arity_mismatch_aborts_compilation() {
+        let db = blocks_db();
+        let evals = evaluators(&db, &["Ans(x) :- R(1, x)"]);
+        let queries: Vec<BankQueryRef<'_>> = evals.iter().map(|e| (e, &[] as &[Value])).collect();
+        assert!(LineageBank::compile(&db, &queries).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "hits length mismatch")]
+    fn mismatched_hits_slice_panics() {
+        let db = blocks_db();
+        let evals = evaluators(&db, &["Ans() :- R(1, x)"]);
+        let queries: Vec<BankQueryRef<'_>> = evals.iter().map(|e| (e, &[] as &[Value])).collect();
+        let bank = LineageBank::compile(&db, &queries).unwrap();
+        let mut scratch = BankScratch::new();
+        bank.evaluate_into(&db.all_facts(), &mut scratch, &mut []);
+    }
+}

@@ -14,12 +14,14 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod bank;
 pub mod error;
 pub mod eval;
 pub mod lineage;
 pub mod parser;
 
 pub use ast::{Atom, ConjunctiveQuery, Term, Variable};
+pub use bank::{BankScratch, LineageBank};
 pub use error::QueryError;
 pub use eval::{Bindings, QueryEvaluator};
 pub use lineage::CompiledLineage;
@@ -27,7 +29,7 @@ pub use lineage::CompiledLineage;
 /// Commonly used types, re-exported for convenience.
 pub mod prelude {
     pub use crate::{
-        Atom, Bindings, CompiledLineage, ConjunctiveQuery, QueryError, QueryEvaluator, Term,
-        Variable,
+        Atom, BankScratch, Bindings, CompiledLineage, ConjunctiveQuery, LineageBank, QueryError,
+        QueryEvaluator, Term, Variable,
     };
 }

@@ -88,6 +88,27 @@ impl OperationalSemantics {
         Ok(total)
     }
 
+    /// Batched [`OperationalSemantics::answer_probability`]: evaluates
+    /// many `(query, candidate)` pairs in **one pass over the repairs**,
+    /// so the exact ground truth for a query bank costs one enumeration of
+    /// `⟦D⟧_M` instead of one per query.  This is the exact counterpart of
+    /// the batched FPRAS drivers in `ucqa-core`.
+    pub fn answer_probabilities(
+        &self,
+        db: &Database,
+        queries: &[(&QueryEvaluator, &[Value])],
+    ) -> Result<Vec<Ratio>, ucqa_query::QueryError> {
+        let mut totals = vec![Ratio::zero(); queries.len()];
+        for entry in &self.repairs {
+            for (total, &(evaluator, candidate)) in totals.iter_mut().zip(queries) {
+                if evaluator.has_answer(db, &entry.repair, candidate)? {
+                    *total = &*total + &entry.probability;
+                }
+            }
+        }
+        Ok(totals)
+    }
+
     /// The probability that the Boolean query is entailed by a random
     /// operational repair, i.e. `P_{M,Q}(D, ())`.
     pub fn entailment_probability(&self, db: &Database, evaluator: &QueryEvaluator) -> Ratio {

@@ -44,6 +44,39 @@ pub fn fact_membership_query(db: &Database, seed: u64) -> Result<ConjunctiveQuer
     ConjunctiveQuery::boolean(db.schema(), vec![Atom::new(fact.relation(), terms)])
 }
 
+/// A bank of `k` Boolean atomic fact-membership queries over **distinct**
+/// facts (chosen by seed): the multi-query workload of the batched FPRAS
+/// drivers, where every sampled repair is checked against all `k`
+/// lineages at once.
+///
+/// Distinct facts keep the per-query answer probabilities independent and
+/// non-trivially different; when `k` exceeds the database size the bank
+/// wraps around and duplicates (which the lineage bank dedups anyway).
+///
+/// # Panics
+/// Panics if `k > 0` and the database is empty.
+pub fn fact_membership_query_bank(
+    db: &Database,
+    k: usize,
+    seed: u64,
+) -> Result<Vec<ConjunctiveQuery>, QueryError> {
+    assert!(
+        k == 0 || !db.is_empty(),
+        "a non-empty query bank requires at least one fact"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order: Vec<usize> = (0..db.len()).collect();
+    use rand::seq::SliceRandom;
+    order.shuffle(&mut rng);
+    (0..k)
+        .map(|i| {
+            let fact = db.fact(FactId::new(order[i % order.len()]));
+            let terms = fact.values().iter().cloned().map(Term::Const).collect();
+            ConjunctiveQuery::boolean(db.schema(), vec![Atom::new(fact.relation(), terms)])
+        })
+        .collect()
+}
+
 /// A Boolean "join" query over the block workload schema `R(K, V)`:
 /// `Ans() :- R(k₁, x), R(k₂, x)` for two randomly chosen key values — it is
 /// entailed by a repair iff the two chosen blocks keep facts sharing a `V`
@@ -93,6 +126,29 @@ mod tests {
         assert!(query.is_atomic());
         let evaluator = QueryEvaluator::new(query);
         assert!(evaluator.entails(&db, &db.all_facts()));
+    }
+
+    #[test]
+    fn query_bank_uses_distinct_facts_and_wraps_around() {
+        let (db, _) = BlockWorkload::uniform(4, 2, 2).generate();
+        let bank = fact_membership_query_bank(&db, 5, 3).unwrap();
+        assert_eq!(bank.len(), 5);
+        for query in &bank {
+            assert!(query.is_boolean());
+            assert!(query.is_atomic());
+            let evaluator = QueryEvaluator::new(query.clone());
+            assert!(evaluator.entails(&db, &db.all_facts()));
+        }
+        // The first min(k, |D|) queries target distinct facts.
+        let distinct: std::collections::BTreeSet<String> =
+            bank.iter().take(4).map(|q| format!("{q:?}")).collect();
+        assert_eq!(distinct.len(), 4);
+        // Deterministic in the seed.
+        let again = fact_membership_query_bank(&db, 5, 3).unwrap();
+        assert_eq!(bank, again);
+        // Oversized banks wrap around instead of failing.
+        let wrapped = fact_membership_query_bank(&db, db.len() + 2, 3).unwrap();
+        assert_eq!(wrapped.len(), db.len() + 2);
     }
 
     #[test]

@@ -50,6 +50,77 @@ fn all_supported_fpras_combinations_agree_with_exact_on_a_small_instance() {
 }
 
 #[test]
+fn batched_estimates_match_exact_within_additive_epsilon() {
+    // Accuracy of the batched FPRAS against exact repair counting: with
+    // the paper's additive (ε, δ) sample-size bound (Hoeffding,
+    // ln(2/δ)/(2ε²) samples) every per-query estimate of the bank must be
+    // within ε of the exact probability.
+    use uocqa::core::fpras::{BatchEstimator, BatchQuery};
+    use uocqa::workload::queries::fact_membership_query_bank;
+
+    let epsilon = 0.1;
+    let params = ApproximationParams::new(epsilon, 0.05)
+        .unwrap()
+        .with_mode(EstimatorMode::FixedAdditive);
+
+    // A primary-key block workload: every generator is supported.
+    let (db, sigma) = BlockWorkload::uniform(3, 3, 5).generate();
+    let queries = fact_membership_query_bank(&db, 4, 2).unwrap();
+    let evaluators: Vec<QueryEvaluator> = queries.into_iter().map(QueryEvaluator::new).collect();
+    let bank: Vec<BatchQuery<'_>> = evaluators.iter().map(|e| BatchQuery::new(e, &[])).collect();
+    let refs: Vec<(&QueryEvaluator, &[uocqa::db::Value])> =
+        evaluators.iter().map(|e| (e, &[] as &[_])).collect();
+    let solver = ExactSolver::new(&db, &sigma);
+    for spec in [
+        GeneratorSpec::uniform_repairs(),
+        GeneratorSpec::uniform_repairs().with_singleton_only(),
+        GeneratorSpec::uniform_sequences(),
+        GeneratorSpec::uniform_sequences().with_singleton_only(),
+        GeneratorSpec::uniform_operations(),
+        GeneratorSpec::uniform_operations().with_singleton_only(),
+    ] {
+        let exact = solver.answer_probabilities(spec, &refs).unwrap();
+        let estimator = BatchEstimator::new(&db, &sigma, spec).unwrap();
+        let estimates = estimator
+            .estimate_batch(&bank, params, &mut StdRng::seed_from_u64(31))
+            .unwrap();
+        for (i, (estimate, exact)) in estimates.iter().zip(&exact).enumerate() {
+            assert!(
+                (estimate.value - exact.to_f64()).abs() <= epsilon,
+                "{}, query {i}: exact {:.4}, estimate {:.4}",
+                spec.short_name(),
+                exact.to_f64(),
+                estimate.value
+            );
+        }
+    }
+
+    // A non-key FD workload: the singleton-operations generator.
+    let (db, sigma) = FdWorkload::new(8, 3, 2, 3).generate();
+    let queries = fact_membership_query_bank(&db, 4, 2).unwrap();
+    let evaluators: Vec<QueryEvaluator> = queries.into_iter().map(QueryEvaluator::new).collect();
+    let bank: Vec<BatchQuery<'_>> = evaluators.iter().map(|e| BatchQuery::new(e, &[])).collect();
+    let refs: Vec<(&QueryEvaluator, &[uocqa::db::Value])> =
+        evaluators.iter().map(|e| (e, &[] as &[_])).collect();
+    let spec = GeneratorSpec::uniform_operations().with_singleton_only();
+    let exact = ExactSolver::new(&db, &sigma)
+        .answer_probabilities(spec, &refs)
+        .unwrap();
+    let estimates = BatchEstimator::new(&db, &sigma, spec)
+        .unwrap()
+        .estimate_batch(&bank, params, &mut StdRng::seed_from_u64(8))
+        .unwrap();
+    for (i, (estimate, exact)) in estimates.iter().zip(&exact).enumerate() {
+        assert!(
+            (estimate.value - exact.to_f64()).abs() <= epsilon,
+            "FD workload, query {i}: exact {:.4}, estimate {:.4}",
+            exact.to_f64(),
+            estimate.value
+        );
+    }
+}
+
+#[test]
 fn multi_atom_queries_are_estimated_correctly() {
     let (db, sigma) = BlockWorkload::uniform(3, 2, 9).generate();
     let query = block_join_query(&db, 4).unwrap();

@@ -147,6 +147,81 @@ fn intro_example_emp_alice_tom() {
 }
 
 #[test]
+fn running_example_multi_query_batch_golden_case() {
+    // The running example (Figure 1) as a *multi-query* golden case: the
+    // batched exact pass and the batched FPRAS answer a bank of three
+    // queries from one traversal / one sampling loop.
+    //
+    // Under M^{uo,1} (singleton removals — the supported generator for
+    // these non-key FDs, Theorem 7.5) the walk from D branches uniformly
+    // over the removals of the conflicting facts, giving the repair
+    // distribution {f1,f3} ↦ 1/3, {f2} ↦ 1/3, {f1} ↦ 1/6, {f3} ↦ 1/6.
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use uocqa::core::fpras::{ApproximationParams, BatchEstimator, BatchQuery, EstimatorMode};
+
+    let (db, sigma) = running_example();
+    let texts_and_golden = [
+        // Some surviving fact with B = b1 (f1 or f3): 1/3 + 1/6 + 1/6.
+        ("Ans() :- R(x, 'b1', y)", Ratio::from_u64(2, 3)),
+        // Some surviving fact with A = a1 (f1 or f2): 1/3 + 1/3 + 1/6.
+        ("Ans() :- R('a1', x, y)", Ratio::from_u64(5, 6)),
+        // Both a b1-fact and a b2-fact survive: no repair has both.
+        ("Ans() :- R(x, 'b1', y), R(z, 'b2', w)", Ratio::zero()),
+    ];
+    let evaluators: Vec<QueryEvaluator> = texts_and_golden
+        .iter()
+        .map(|(t, _)| QueryEvaluator::new(parse_query(db.schema(), t).unwrap()))
+        .collect();
+    let refs: Vec<(&QueryEvaluator, &[Value])> =
+        evaluators.iter().map(|e| (e, &[] as &[Value])).collect();
+    let spec = GeneratorSpec::uniform_operations().with_singleton_only();
+
+    // Exact, batched: one pass over ⟦D⟧ answers the whole bank.
+    let exact = ExactSolver::new(&db, &sigma)
+        .answer_probabilities(spec, &refs)
+        .unwrap();
+    for ((_, golden), exact) in texts_and_golden.iter().zip(&exact) {
+        assert_eq!(exact, golden);
+    }
+
+    // Approximate, batched: one sampling loop, estimates within the
+    // additive ε, and bit-identical to the single-query runs.
+    let bank: Vec<BatchQuery<'_>> = evaluators.iter().map(|e| BatchQuery::new(e, &[])).collect();
+    let estimator = BatchEstimator::new(&db, &sigma, spec).unwrap();
+    let params = ApproximationParams::new(0.05, 0.05)
+        .unwrap()
+        .with_mode(EstimatorMode::FixedAdditive);
+    let estimates = estimator
+        .estimate_batch(&bank, params, &mut StdRng::seed_from_u64(22))
+        .unwrap();
+    for (i, ((_, golden), estimate)) in texts_and_golden.iter().zip(&estimates).enumerate() {
+        assert!(
+            (estimate.value - golden.to_f64()).abs() <= 0.05,
+            "query {i}: golden {} ≈ {:.4}, estimate {:.4}",
+            golden,
+            golden.to_f64(),
+            estimate.value
+        );
+        let single = estimator
+            .estimator()
+            .estimate(
+                bank[i].evaluator,
+                bank[i].candidate,
+                params,
+                &mut StdRng::seed_from_u64(22),
+            )
+            .unwrap();
+        assert_eq!(
+            estimates[i], single,
+            "query {i} diverged from single-query run"
+        );
+    }
+    // The impossible conjunction is estimated at exactly zero.
+    assert_eq!(estimates[2].successes, 0);
+}
+
+#[test]
 fn proposition_d6_closed_form_matches_enumeration() {
     use uocqa::workload::proposition_d6_database;
     for n in 2..=6usize {

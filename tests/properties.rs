@@ -253,6 +253,79 @@ proptest! {
         }
     }
 
+    /// Batched multi-query FPRAS runs are **bit-identical** to per-query
+    /// runs under the same seed — the sequential path against
+    /// [`estimate`](uocqa::core::fpras::OcqaEstimator::estimate), the
+    /// rayon-parallel path against `estimate_parallel` — across bank
+    /// sizes 1, 2 and 8 (with duplicate queries once the bank wraps
+    /// around the database), on random multi-FD, non-key, cross-relation
+    /// databases.  The RNG is consumed by the shared repair draw only, so
+    /// batching changes the cost of a run, never its outcome.
+    #[test]
+    fn batched_estimates_match_single_query_runs_bit_for_bit(
+        rows in prop::collection::vec((0u8..3, 0u8..3, 0u8..3, 0u8..2), 2..10),
+        seed in 0u64..1_000,
+    ) {
+        use uocqa::core::fpras::{ApproximationParams, BatchEstimator, BatchQuery, EstimatorMode};
+
+        let (db, sigma) = multi_fd_database(&rows);
+        // Non-key FDs: the supported generator is uniform operations with
+        // singleton removals (Theorem 7.5).
+        let spec = GeneratorSpec::uniform_operations().with_singleton_only();
+        let estimator = BatchEstimator::new(&db, &sigma, spec).unwrap();
+        let evaluators: Vec<QueryEvaluator> = (0..8usize)
+            .map(|i| {
+                let fact = db.fact(FactId::new((i + seed as usize) % db.len()));
+                let terms: Vec<Term> = fact.values().iter().cloned().map(Term::Const).collect();
+                QueryEvaluator::new(
+                    ConjunctiveQuery::boolean(
+                        db.schema(),
+                        vec![Atom::new(fact.relation(), terms)],
+                    )
+                    .unwrap(),
+                )
+            })
+            .collect();
+        let params = ApproximationParams::new(0.2, 0.2)
+            .unwrap()
+            .with_mode(EstimatorMode::FixedSamples(192));
+        for bank_size in [1usize, 2, 8] {
+            let bank: Vec<BatchQuery<'_>> = evaluators[..bank_size]
+                .iter()
+                .map(|e| BatchQuery::new(e, &[]))
+                .collect();
+            let batched = estimator
+                .estimate_batch(&bank, params, &mut StdRng::seed_from_u64(seed))
+                .unwrap();
+            prop_assert_eq!(batched.len(), bank_size);
+            for (i, query) in bank.iter().enumerate() {
+                let single = estimator
+                    .estimator()
+                    .estimate(
+                        query.evaluator,
+                        query.candidate,
+                        params,
+                        &mut StdRng::seed_from_u64(seed),
+                    )
+                    .unwrap();
+                prop_assert_eq!(batched[i], single, "sequential, bank {}, query {}", bank_size, i);
+            }
+            let batched_parallel = estimator
+                .estimate_batch_parallel(&bank, params, seed)
+                .unwrap();
+            for (i, query) in bank.iter().enumerate() {
+                let single = estimator
+                    .estimator()
+                    .estimate_parallel(query.evaluator, query.candidate, params, seed)
+                    .unwrap();
+                prop_assert_eq!(
+                    batched_parallel[i], single,
+                    "parallel, bank {}, query {}", bank_size, i
+                );
+            }
+        }
+    }
+
     /// The incremental conflict index agrees with a from-scratch
     /// `ViolationSet::recompute` after **every** removal, on randomised
     /// multi-FD, non-key, cross-relation databases — the invariant that
@@ -356,4 +429,42 @@ fn parallel_estimation_is_deterministic_across_thread_counts() {
         "exact {exact}, parallel estimate {} (relative error {relative_error})",
         estimate_baseline.value
     );
+}
+
+/// The parallel *batched* estimator is bit-identical across thread
+/// counts, and its per-query results equal the single-query parallel runs
+/// under the same master seed.
+#[test]
+fn parallel_batched_estimation_is_deterministic_across_thread_counts() {
+    use uocqa::core::fpras::{ApproximationParams, BatchEstimator, BatchQuery, EstimatorMode};
+    use uocqa::workload::queries::fact_membership_query_bank;
+
+    let (db, sigma) = uocqa::workload::BlockWorkload::uniform(8, 3, 5).generate();
+    let queries = fact_membership_query_bank(&db, 4, 9).unwrap();
+    let evaluators: Vec<QueryEvaluator> = queries.into_iter().map(QueryEvaluator::new).collect();
+    let bank: Vec<BatchQuery<'_>> = evaluators.iter().map(|e| BatchQuery::new(e, &[])).collect();
+    let estimator = BatchEstimator::new(&db, &sigma, GeneratorSpec::uniform_repairs()).unwrap();
+    let params = ApproximationParams::new(0.05, 0.05)
+        .unwrap()
+        .with_mode(EstimatorMode::FixedSamples(30_000));
+    let baseline = estimator
+        .estimate_batch_parallel(&bank, params, 77)
+        .unwrap();
+    for threads in [1usize, 2, 3, 8] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("thread pool");
+        let outcome = pool
+            .install(|| estimator.estimate_batch_parallel(&bank, params, 77))
+            .unwrap();
+        assert_eq!(outcome, baseline, "batched outcome with {threads} threads");
+    }
+    for (i, query) in bank.iter().enumerate() {
+        let single = estimator
+            .estimator()
+            .estimate_parallel(query.evaluator, query.candidate, params, 77)
+            .unwrap();
+        assert_eq!(baseline[i], single, "query {i}");
+    }
 }

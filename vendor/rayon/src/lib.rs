@@ -129,6 +129,23 @@ pub trait ParallelIterator: IndexedSource {
         .sum()
     }
 
+    /// Reduces all items with `op`, starting each sub-reduction from
+    /// `identity()`.  As in upstream rayon, `op` must be associative and
+    /// `identity()` a neutral element for the result to be deterministic;
+    /// this stand-in additionally folds the per-chunk results in chunk
+    /// order.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync,
+    {
+        run_chunks(&self, |source, range| {
+            range.map(|i| source.item_at(i)).fold(identity(), &op)
+        })
+        .into_iter()
+        .fold(identity(), op)
+    }
+
     /// Collects all items into a container, in index order.
     fn collect<C>(self) -> C
     where
@@ -303,6 +320,27 @@ mod tests {
     fn range_map_sum() {
         let total: u64 = (0u64..1000).into_par_iter().map(|x| x * 2).sum();
         assert_eq!(total, 999_000);
+    }
+
+    #[test]
+    fn reduce_folds_all_chunks() {
+        let total = (0u64..1000)
+            .into_par_iter()
+            .map(|x| vec![x])
+            .reduce(Vec::new, |mut a, b| {
+                a.extend(b);
+                a
+            });
+        assert_eq!(total.len(), 1000);
+        assert_eq!(total.iter().sum::<u64>(), 499_500);
+        for threads in [1usize, 3, 8] {
+            let pool = crate::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let value = pool.install(|| (0u64..1000).into_par_iter().reduce(|| 0, |a, b| a + b));
+            assert_eq!(value, 499_500);
+        }
     }
 
     #[test]

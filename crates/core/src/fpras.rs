@@ -18,11 +18,14 @@
 use rand::Rng;
 
 use ucqa_db::{Database, FactSet, FdSet, Value};
-use ucqa_query::{BankScratch, CompiledLineage, LineageBank, QueryEvaluator};
+use ucqa_query::{BankLiveSet, BankScratch, CompiledLineage, LineageBank, QueryEvaluator};
 use ucqa_repair::{GeneratorSpec, UniformSemantics};
 
 use crate::bounds;
-use crate::montecarlo::{estimate_fixed, estimate_fixed_batch, StoppingRuleEstimator};
+use crate::montecarlo::{
+    estimate_fixed, estimate_fixed_batch, estimate_stopping_batch, StoppingBatchExperiment,
+    StoppingRuleEstimator,
+};
 use crate::sample_operations::{OperationWalkSampler, WalkScratch};
 use crate::sample_repairs::RepairSampler;
 use crate::sample_sequences::SequenceSampler;
@@ -331,14 +334,18 @@ impl<'a> OcqaEstimator<'a> {
                 bounds::samples_for_relative_error(params.epsilon, params.delta, bound).ok_or_else(
                     || CoreError::InvalidParameters {
                         message: "the worst-case lower bound is too small to derive a \
-                                  practical sample count; use the optimal stopping rule"
+                                  practical sample count; use the optimal stopping rule \
+                                  (`OcqaEstimator::estimate`, or \
+                                  `BatchEstimator::estimate_stopping_batch` for a whole bank)"
                             .to_string(),
                     },
                 )
             }
             EstimatorMode::OptimalStopping { .. } => Err(CoreError::InvalidParameters {
                 message: "the optimal stopping rule has no fixed sample count; it is \
-                          sequential and only supported by `estimate`"
+                          sequential and supported by `OcqaEstimator::estimate`, and for \
+                          whole banks by `BatchEstimator::estimate_stopping_batch` and the \
+                          round-based `estimate_stopping_batch_rounds`"
                     .to_string(),
             }),
         }
@@ -420,10 +427,18 @@ impl<'q> BatchQuery<'q> {
 /// `k` independent [`OcqaEstimator::estimate_parallel`] runs under the
 /// same master seed, regardless of thread count.
 ///
-/// Only the fixed-sample-count modes ([`EstimatorMode::FixedSamples`] and
-/// [`EstimatorMode::FixedAdditive`]) are supported: the sequential
-/// stopping rule and the per-query lower-bound mode would draw different
-/// sample counts per query, defeating the shared loop.
+/// Three estimator modes are supported.  The fixed-sample-count modes
+/// ([`EstimatorMode::FixedSamples`] and [`EstimatorMode::FixedAdditive`])
+/// share one loop of a fixed length.  The adaptive
+/// [`EstimatorMode::OptimalStopping`] routes through the batched
+/// stopping rule ([`BatchEstimator::estimate_stopping_batch`], or the
+/// round-based [`BatchEstimator::estimate_stopping_batch_rounds`] on the
+/// parallel path): each query tracks its own Dagum–Karp–Luby–Ross success
+/// target `Υ(ε, δ/k)` over the shared repair stream and **retires** as it
+/// converges, shrinking the per-draw work until the last query stops the
+/// stream.  Only [`EstimatorMode::FixedFromLowerBound`] is rejected (it
+/// would derive a different fixed count per query, defeating the shared
+/// loop).
 pub struct BatchEstimator<'a> {
     inner: OcqaEstimator<'a>,
 }
@@ -460,12 +475,41 @@ impl<'a> BatchEstimator<'a> {
             )),
             EstimatorMode::OptimalStopping { .. } | EstimatorMode::FixedFromLowerBound => {
                 Err(CoreError::InvalidParameters {
-                    message: "batched estimation shares one sample loop across all queries, \
-                              so only the fixed-sample-count modes (FixedSamples, \
-                              FixedAdditive) are supported"
+                    message: "batched estimation shares one sample loop across all queries: \
+                              use a fixed-sample-count mode (FixedSamples, FixedAdditive), \
+                              or the adaptive OptimalStopping mode via \
+                              `estimate_batch`/`estimate_stopping_batch{,_rounds}` \
+                              (FixedFromLowerBound would derive a different count per query)"
                         .to_string(),
                 })
             }
+        }
+    }
+
+    /// The per-query stopping rule of a batched adaptive run over a bank
+    /// of `bank_size`: relative error `ε` with failure probability
+    /// `δ / bank_size`, so a union bound over the bank restores the
+    /// overall `(ε, δ)` guarantee.
+    fn per_query_stopping_rule(
+        &self,
+        params: ApproximationParams,
+        bank_size: usize,
+    ) -> StoppingRuleEstimator {
+        StoppingRuleEstimator::new(params.epsilon, params.delta / bank_size.max(1) as f64)
+    }
+
+    /// The `max_samples` cut-off of an adaptive batched run, or an error
+    /// when `params` is not in [`EstimatorMode::OptimalStopping`].
+    fn stopping_cut_off(&self, params: ApproximationParams) -> Result<u64, CoreError> {
+        params.validate()?;
+        match params.mode {
+            EstimatorMode::OptimalStopping { max_samples } => Ok(max_samples),
+            other => Err(CoreError::InvalidParameters {
+                message: format!(
+                    "the batched stopping rule requires EstimatorMode::OptimalStopping \
+                     (got {other:?}); use `estimate_batch` for the fixed-sample modes"
+                ),
+            }),
         }
     }
 
@@ -476,12 +520,19 @@ impl<'a> BatchEstimator<'a> {
     /// before any sampling happens; queries whose witness enumeration
     /// overflows the cap fall back to the backtracking evaluator per draw
     /// while the rest stay on the word-level bitset path.
+    ///
+    /// [`EstimatorMode::OptimalStopping`] routes through
+    /// [`BatchEstimator::estimate_stopping_batch`]; the fixed modes share
+    /// one loop of the common length.
     pub fn estimate_batch<R: Rng + ?Sized>(
         &self,
         queries: &[BatchQuery<'_>],
         params: ApproximationParams,
         rng: &mut R,
     ) -> Result<Vec<Estimate>, CoreError> {
+        if matches!(params.mode, EstimatorMode::OptimalStopping { .. }) {
+            return self.estimate_stopping_batch(queries, params, rng);
+        }
         let samples = self.batch_sample_count(params)?;
         let bank = self.compile_bank(queries)?;
         let mut experiment = BatchExperiment::new(&self.inner, &bank, queries);
@@ -491,12 +542,127 @@ impl<'a> BatchEstimator<'a> {
         Ok(Self::estimates_from(samples, &outcome.successes))
     }
 
+    /// Estimates every query of the bank adaptively from **one** shared
+    /// repair stream under the Dagum–Karp–Luby–Ross stopping rule: query
+    /// `i` tracks its own success target `Υ(ε, δ/k)` and **retires** the
+    /// moment it is reached — its witnesses drop out of the shared
+    /// per-draw containment scan ([`BankLiveSet`]), so the per-draw cost
+    /// shrinks as the bank drains — and the stream stops when the last
+    /// query retires or `max_samples` truncates it (reported per query via
+    /// [`Estimate::truncated`]; a zero-probability query truncates at the
+    /// cut-off without stalling the retirement of the others).
+    ///
+    /// Requires [`EstimatorMode::OptimalStopping`].  With `δ/k` per query,
+    /// a union bound gives: with probability at least `1 − δ`, **every**
+    /// non-truncated estimate is within relative error `ε` of its true
+    /// probability.
+    ///
+    /// **Bit-identity.**  The RNG is consumed by the shared repair draw
+    /// only, and query `i` retires after observing exactly the stream
+    /// prefix an independent run would draw, so each outcome is
+    /// bit-identical to a standalone stopping-rule run with the same
+    /// target `Υ(ε, δ/k)` from the same RNG state.  (The *round-based*
+    /// parallel variant [`BatchEstimator::estimate_stopping_batch_rounds`]
+    /// is the one that trades bit-identity for sharding — see there.)
+    pub fn estimate_stopping_batch<R: Rng + ?Sized>(
+        &self,
+        queries: &[BatchQuery<'_>],
+        params: ApproximationParams,
+        rng: &mut R,
+    ) -> Result<Vec<Estimate>, CoreError> {
+        let max_samples = self.stopping_cut_off(params)?;
+        let bank = self.compile_bank(queries)?;
+        let target = self
+            .per_query_stopping_rule(params, queries.len())
+            .success_target();
+        let targets = vec![target; queries.len()];
+        let live = BankLiveSet::full(&bank);
+        let mut experiment = BatchStoppingExperiment::new(&self.inner, &bank, queries, live);
+        let outcome = estimate_stopping_batch(rng, &targets, max_samples, &mut experiment);
+        Ok(outcome
+            .outcomes
+            .into_iter()
+            .map(|o| Estimate {
+                value: o.estimate,
+                samples: o.samples,
+                successes: o.successes,
+                truncated: o.truncated,
+            })
+            .collect())
+    }
+
+    /// Round-based rayon-sharded variant of
+    /// [`BatchEstimator::estimate_stopping_batch`]: draws `round_samples`
+    /// shared repairs per round (sharded across worker threads with
+    /// deterministic per-shard RNG streams), retires converged queries at
+    /// each round boundary, and rebuilds the compacted live bank view for
+    /// the next round.
+    ///
+    /// **Where bit-identity ends.**  Retirement is round-granular: a query
+    /// crossing its success target mid-round keeps observing draws to the
+    /// boundary and reports the empirical mean over at least `Υ(ε, δ/k)`
+    /// successes, so its outcome differs from the sequential loop's
+    /// `Υ/N` — the round-based variant matches the sequential one (and
+    /// `k` independent stopping-rule runs) in *guarantee*, not
+    /// bit-for-bit.  It **is** bit-identical across thread counts for a
+    /// fixed `master_seed` (deterministic shard seeds, integer success
+    /// sums, round-boundary retirement).  The `(ε, δ)` accuracy bound is
+    /// validated against the exact solver in the test-suite.
+    ///
+    /// Only available with the `parallel` feature (rayon).
+    #[cfg(feature = "parallel")]
+    pub fn estimate_stopping_batch_rounds(
+        &self,
+        queries: &[BatchQuery<'_>],
+        params: ApproximationParams,
+        master_seed: u64,
+        round_samples: u64,
+    ) -> Result<Vec<Estimate>, CoreError> {
+        use crate::montecarlo::{estimate_stopping_batch_rounds, DEFAULT_SHARD_SIZE};
+
+        let max_samples = self.stopping_cut_off(params)?;
+        let bank = self.compile_bank(queries)?;
+        let target = self
+            .per_query_stopping_rule(params, queries.len())
+            .success_target();
+        let targets = vec![target; queries.len()];
+        let outcome = estimate_stopping_batch_rounds(
+            master_seed,
+            &targets,
+            max_samples,
+            round_samples,
+            DEFAULT_SHARD_SIZE,
+            |live_queries| {
+                let live = BankLiveSet::restrict(&bank, live_queries);
+                let mut experiment =
+                    BatchStoppingExperiment::new(&self.inner, &bank, queries, live);
+                move |rng: &mut rand::rngs::StdRng, hits: &mut [bool]| {
+                    experiment.draw_live(rng, hits)
+                }
+            },
+        );
+        Ok(outcome
+            .outcomes
+            .into_iter()
+            .map(|o| Estimate {
+                value: o.estimate,
+                samples: o.samples,
+                successes: o.successes,
+                truncated: o.truncated,
+            })
+            .collect())
+    }
+
     /// As [`BatchEstimator::estimate_batch`], with the shared samples
     /// sharded across rayon worker threads exactly like
     /// [`OcqaEstimator::estimate_parallel`]: same shard boundaries, same
     /// per-shard RNG streams, integer success sums — so the result is
     /// bit-identical for a fixed master seed regardless of thread count,
     /// and bit-identical to `k` independent `estimate_parallel` runs.
+    ///
+    /// [`EstimatorMode::OptimalStopping`] routes through the round-based
+    /// [`BatchEstimator::estimate_stopping_batch_rounds`] with
+    /// [`DEFAULT_ROUND_SAMPLES`] samples per round.
     #[cfg(feature = "parallel")]
     pub fn estimate_batch_parallel(
         &self,
@@ -506,6 +672,14 @@ impl<'a> BatchEstimator<'a> {
     ) -> Result<Vec<Estimate>, CoreError> {
         use crate::montecarlo::{estimate_fixed_batch_parallel, DEFAULT_SHARD_SIZE};
 
+        if matches!(params.mode, EstimatorMode::OptimalStopping { .. }) {
+            return self.estimate_stopping_batch_rounds(
+                queries,
+                params,
+                master_seed,
+                DEFAULT_ROUND_SAMPLES,
+            );
+        }
         let samples = self.batch_sample_count(params)?;
         let bank = self.compile_bank(queries)?;
         let outcome = estimate_fixed_batch_parallel(
@@ -543,6 +717,85 @@ impl<'a> BatchEstimator<'a> {
                 truncated: false,
             })
             .collect()
+    }
+}
+
+/// Default number of shared repairs drawn per round by the round-based
+/// adaptive batch path ([`BatchEstimator::estimate_batch_parallel`] in
+/// [`EstimatorMode::OptimalStopping`]): a few shards' worth, so rounds
+/// parallelise while retirement stays reasonably fine-grained.
+#[cfg(feature = "parallel")]
+pub const DEFAULT_ROUND_SAMPLES: u64 = 4 * crate::montecarlo::DEFAULT_SHARD_SIZE;
+
+/// One fully compiled *adaptive* batched Bernoulli experiment: draw a
+/// repair into a reused buffer, write per-query hits for the **live**
+/// queries only, compacting the shared witness scan as queries retire
+/// (the [`BankLiveSet`] drops witnesses referenced only by retired
+/// queries).
+struct BatchStoppingExperiment<'e, 'a> {
+    estimator: &'e OcqaEstimator<'a>,
+    bank: &'e LineageBank,
+    queries: &'e [BatchQuery<'e>],
+    live: BankLiveSet,
+    repair: FactSet,
+    scratch: WalkScratch,
+    bank_scratch: BankScratch,
+}
+
+impl<'e, 'a> BatchStoppingExperiment<'e, 'a> {
+    fn new(
+        estimator: &'e OcqaEstimator<'a>,
+        bank: &'e LineageBank,
+        queries: &'e [BatchQuery<'e>],
+        live: BankLiveSet,
+    ) -> Self {
+        BatchStoppingExperiment {
+            estimator,
+            bank,
+            queries,
+            live,
+            repair: FactSet::empty(estimator.db.len()),
+            scratch: WalkScratch::new(),
+            bank_scratch: BankScratch::new(),
+        }
+    }
+
+    /// Draws one shared repair and writes `hits[q]` for every live query
+    /// (fallback entries route through the backtracking evaluator).
+    fn draw_live<R: Rng + ?Sized>(&mut self, rng: &mut R, hits: &mut [bool]) {
+        self.estimator
+            .sampler
+            .sample_repair_into(rng, &mut self.repair, &mut self.scratch);
+        self.bank
+            .evaluate_live_into(&self.live, &self.repair, &mut self.bank_scratch, hits);
+        for &q in self.live.live_queries() {
+            let query = &self.queries[q];
+            if self.bank.is_fallback(q) {
+                hits[q] = query
+                    .evaluator
+                    .has_answer(self.estimator.db, &self.repair, query.candidate)
+                    .expect("candidate arity was validated during bank compilation");
+            } else {
+                debug_assert_eq!(
+                    hits[q],
+                    query
+                        .evaluator
+                        .has_answer(self.estimator.db, &self.repair, query.candidate)
+                        .expect("candidate arity was validated during bank compilation"),
+                    "live lineage bank disagrees with the backtracking evaluator on query {q}"
+                );
+            }
+        }
+    }
+}
+
+impl<R: Rng + ?Sized> StoppingBatchExperiment<R> for BatchStoppingExperiment<'_, '_> {
+    fn draw(&mut self, rng: &mut R, hits: &mut [bool]) {
+        self.draw_live(rng, hits);
+    }
+
+    fn retire(&mut self, query: usize) {
+        self.live.retire(self.bank, query);
     }
 }
 
@@ -908,6 +1161,148 @@ mod tests {
         }
     }
 
+    #[test]
+    fn batched_stopping_is_bit_identical_to_per_query_stopping_runs() {
+        // The sequential adaptive batch draws one shared repair stream;
+        // query i's outcome must equal a standalone stopping-rule run
+        // with the same per-query target Υ(ε, δ/k) from the same seed —
+        // the per-query checks consume no randomness, so each query
+        // observes exactly the stream prefix its standalone run would
+        // draw.
+        let (db, sigma) = figure2();
+        let lookup = parse_query(db.schema(), "Ans(x) :- R('a1', x)").unwrap();
+        let lookup = QueryEvaluator::new(lookup);
+        let member = parse_query(db.schema(), "Ans() :- R('a3', 'b1')").unwrap();
+        let member = QueryEvaluator::new(member);
+        let b1 = [Value::str("b1")];
+        let queries = [BatchQuery::new(&lookup, &b1), BatchQuery::new(&member, &[])];
+        let params = ApproximationParams::new(0.25, 0.2).unwrap().with_mode(
+            EstimatorMode::OptimalStopping {
+                max_samples: 200_000,
+            },
+        );
+        for spec in all_specs() {
+            let batch = BatchEstimator::new(&db, &sigma, spec).unwrap();
+            // `estimate_batch` routes OptimalStopping to the batched
+            // stopping rule.
+            let via_batch = batch
+                .estimate_batch(&queries, params, &mut StdRng::seed_from_u64(17))
+                .unwrap();
+            let direct = batch
+                .estimate_stopping_batch(&queries, params, &mut StdRng::seed_from_u64(17))
+                .unwrap();
+            assert_eq!(via_batch, direct, "spec {}", spec.short_name());
+            // Per-query: a standalone DKLR run with target Υ(ε, δ/2).
+            let rule = StoppingRuleEstimator::new(0.25, 0.2 / queries.len() as f64)
+                .with_max_samples(200_000);
+            for (i, query) in queries.iter().enumerate() {
+                let mut rng = StdRng::seed_from_u64(17);
+                let estimator = OcqaEstimator::new(&db, &sigma, spec).unwrap();
+                let lineage =
+                    CompiledLineage::compile(query.evaluator, &db, query.candidate).unwrap();
+                let mut sample = SampleExperiment::new(
+                    &estimator,
+                    lineage.as_ref(),
+                    query.evaluator,
+                    query.candidate,
+                );
+                let standalone = rule.estimate(&mut rng, |rng| sample.draw(rng));
+                assert!(!standalone.truncated);
+                assert_eq!(
+                    direct[i],
+                    Estimate {
+                        value: standalone.estimate,
+                        samples: standalone.samples,
+                        successes: standalone.successes,
+                        truncated: false,
+                    },
+                    "spec {}, query {i}",
+                    spec.short_name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_stopping_truncates_impossible_queries_without_stalling_others() {
+        let (db, sigma) = figure2();
+        let lookup = parse_query(db.schema(), "Ans(x) :- R('a1', x)").unwrap();
+        let lookup = QueryEvaluator::new(lookup);
+        let never = parse_query(db.schema(), "Ans() :- R('zz', 'zz')").unwrap();
+        let never = QueryEvaluator::new(never);
+        let b1 = [Value::str("b1")];
+        let queries = [BatchQuery::new(&lookup, &b1), BatchQuery::new(&never, &[])];
+        let params = ApproximationParams::new(0.2, 0.1)
+            .unwrap()
+            .with_mode(EstimatorMode::OptimalStopping { max_samples: 5_000 });
+        let batch = BatchEstimator::new(&db, &sigma, GeneratorSpec::uniform_operations()).unwrap();
+        let estimates = batch
+            .estimate_stopping_batch(&queries, params, &mut StdRng::seed_from_u64(8))
+            .unwrap();
+        assert!(!estimates[0].truncated);
+        assert!(
+            estimates[0].samples < 5_000,
+            "the feasible query retires before the cut-off"
+        );
+        assert!((estimates[0].value - 0.25).abs() < 0.25 * 0.3);
+        assert!(estimates[1].truncated);
+        assert_eq!(estimates[1].samples, 5_000);
+        assert_eq!(estimates[1].successes, 0);
+        assert_eq!(estimates[1].value, 0.0);
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn round_based_stopping_matches_guarantee_and_thread_counts() {
+        let (db, sigma) = figure2();
+        let solver = ExactSolver::new(&db, &sigma);
+        let lookup = parse_query(db.schema(), "Ans(x) :- R('a1', x)").unwrap();
+        let lookup = QueryEvaluator::new(lookup);
+        let member = parse_query(db.schema(), "Ans() :- R('a3', 'b1')").unwrap();
+        let member = QueryEvaluator::new(member);
+        let b1 = [Value::str("b1")];
+        let queries = [BatchQuery::new(&lookup, &b1), BatchQuery::new(&member, &[])];
+        let params = ApproximationParams::new(0.1, 0.05).unwrap().with_mode(
+            EstimatorMode::OptimalStopping {
+                max_samples: 10_000_000,
+            },
+        );
+        let spec = GeneratorSpec::uniform_operations();
+        let batch = BatchEstimator::new(&db, &sigma, spec).unwrap();
+        // `estimate_batch_parallel` routes OptimalStopping to the
+        // round-based stopping rule with the default round size.
+        let baseline = batch.estimate_batch_parallel(&queries, params, 23).unwrap();
+        let direct = batch
+            .estimate_stopping_batch_rounds(&queries, params, 23, DEFAULT_ROUND_SAMPLES)
+            .unwrap();
+        assert_eq!(baseline, direct);
+        for (i, query) in queries.iter().enumerate() {
+            let estimate = baseline[i];
+            assert!(!estimate.truncated, "query {i}");
+            let exact = solver
+                .answer_probability(spec, query.evaluator, query.candidate)
+                .unwrap()
+                .to_f64();
+            let relative_error = (estimate.value - exact).abs() / exact;
+            assert!(
+                relative_error < 0.15,
+                "query {i}: exact {exact}, estimate {} (relative error {relative_error})",
+                estimate.value
+            );
+        }
+        // Bit-identical across thread counts.
+        for threads in [1usize, 2, 7] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool");
+            let outcome = pool
+                .install(|| batch.estimate_batch_parallel(&queries, params, 23))
+                .unwrap();
+            assert_eq!(outcome, baseline, "{threads} threads");
+        }
+    }
+
     #[cfg(feature = "parallel")]
     #[test]
     fn parallel_batched_estimates_match_independent_parallel_runs() {
@@ -973,16 +1368,24 @@ mod tests {
         let b1 = [Value::str("b1")];
         let queries = [BatchQuery::new(&evaluator, &b1)];
         let mut rng = StdRng::seed_from_u64(0);
-        for mode in [
-            EstimatorMode::OptimalStopping { max_samples: 100 },
-            EstimatorMode::FixedFromLowerBound,
-        ] {
-            let params = ApproximationParams::new(0.2, 0.2).unwrap().with_mode(mode);
-            assert!(matches!(
-                batch.estimate_batch(&queries, params, &mut rng),
-                Err(CoreError::InvalidParameters { .. })
-            ));
-        }
+        // The per-query lower-bound mode cannot share one loop; the
+        // adaptive stopping mode can (it routes through the batched
+        // stopping rule) but requires `estimate_stopping_batch` modes to
+        // match.
+        let params = ApproximationParams::new(0.2, 0.2)
+            .unwrap()
+            .with_mode(EstimatorMode::FixedFromLowerBound);
+        assert!(matches!(
+            batch.estimate_batch(&queries, params, &mut rng),
+            Err(CoreError::InvalidParameters { .. })
+        ));
+        let fixed = ApproximationParams::new(0.2, 0.2)
+            .unwrap()
+            .with_mode(EstimatorMode::FixedSamples(10));
+        assert!(matches!(
+            batch.estimate_stopping_batch(&queries, fixed, &mut rng),
+            Err(CoreError::InvalidParameters { .. })
+        ));
         // A wrong candidate arity anywhere in the bank aborts before
         // sampling.
         let bad = [BatchQuery::new(&evaluator, &[])];

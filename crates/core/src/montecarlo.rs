@@ -8,10 +8,18 @@
 //!   with the sample counts of [`crate::bounds`] (additive or relative
 //!   guarantees).
 //! * [`StoppingRuleEstimator`] — the *optimal stopping rule* of Dagum,
-//!   Karp, Luby and Ross (reference [8] of the paper), which achieves a
+//!   Karp, Luby and Ross (reference \[8\] of the paper), which achieves a
 //!   relative `(ε, δ)`-guarantee with an expected number of samples
 //!   proportional to `1/p`, without having to know a lower bound on `p` in
 //!   advance.  This is the estimator the practical FPRAS drivers use.
+//!
+//! Both have batched counterparts estimating `k` Bernoulli means from
+//! **one** shared sample stream: [`estimate_fixed_batch`] (and the
+//! rayon-sharded [`estimate_fixed_batch_parallel`]) for the fixed-sample
+//! modes, and [`estimate_stopping_batch`] (and the round-based
+//! [`estimate_stopping_batch_rounds`]) for the adaptive stopping rule,
+//! where each query tracks its own success target and *retires* from the
+//! per-draw work as it converges.
 
 use rand::Rng;
 #[cfg(feature = "parallel")]
@@ -220,6 +228,248 @@ where
         },
         samples,
         successes,
+    }
+}
+
+/// A batched Bernoulli experiment driven by the stopping-rule loops
+/// ([`estimate_stopping_batch`] and, with the `parallel` feature,
+/// [`estimate_stopping_batch_rounds`]).
+///
+/// Unlike the fixed-sample batched loop, the adaptive loop *retires*
+/// queries as they converge, and the experiment is told about it so the
+/// per-draw work can shrink (the FPRAS driver drops a retired query's
+/// witnesses out of the shared containment scan).
+pub trait StoppingBatchExperiment<R: Rng + ?Sized> {
+    /// Draws **one** shared sample and writes `hits[q] = true` iff query
+    /// `q` is entailed by it, for every *live* query `q`.
+    ///
+    /// Entries of retired queries may be left stale — the driver never
+    /// reads them.  The RNG must be consumed by the shared draw only
+    /// (never per query), which is what keeps the sequential loop
+    /// bit-identical to independent per-query stopping-rule runs.
+    fn draw(&mut self, rng: &mut R, hits: &mut [bool]);
+
+    /// Notification that `query` has reached its success target and will
+    /// never be read again.  The default does nothing; implementations
+    /// use it to compact their per-draw state.
+    fn retire(&mut self, _query: usize) {}
+}
+
+/// The result of a batched stopping-rule run: one outcome per query, plus
+/// the length of the shared sample stream (the stream runs until the last
+/// live query retires or `max_samples` truncates it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoppingBatchOutcome {
+    /// Per-query stopping-rule outcomes.  `outcomes[q].samples` is the
+    /// length of the stream prefix query `q` observed before retiring
+    /// (or the full stream length if it was truncated).
+    pub outcomes: Vec<StoppingRuleOutcome>,
+    /// Total number of shared samples drawn — the maximum of the
+    /// per-query sample counts.
+    pub total_samples: u64,
+}
+
+/// Drives **one** shared sample stream until every query has reached its
+/// success target `targets[q]` (or `max_samples` truncates the stream),
+/// retiring queries as they converge.
+///
+/// Query `q` retires at the first draw `N_q` where its success count
+/// reaches `targets[q]`, with estimate `targets[q] / N_q` — exactly the
+/// Dagum–Karp–Luby–Ross stopping rule applied to the prefix of the shared
+/// stream it observed.  Because the experiment's per-query checks consume
+/// no randomness, that prefix is the *same* sample sequence an independent
+/// [`StoppingRuleEstimator::estimate`] run with the same target would see
+/// from the same RNG state: the sequential batched loop is **bit-identical**
+/// to per-query stopping-rule runs (pass each query `Υ(ε, δ/k)` to realise
+/// the union-bound guarantee over a bank of `k`).
+///
+/// Queries still live when `max_samples` is reached are flagged
+/// [`truncated`](StoppingRuleOutcome::truncated) and report the plain
+/// empirical mean; a zero-probability query therefore truncates without
+/// stalling the retirement of the others — it merely keeps the stream
+/// running to the cut-off while the per-draw live set shrinks around it.
+pub fn estimate_stopping_batch<R, E>(
+    rng: &mut R,
+    targets: &[u64],
+    max_samples: u64,
+    experiment: &mut E,
+) -> StoppingBatchOutcome
+where
+    R: Rng + ?Sized,
+    E: StoppingBatchExperiment<R>,
+{
+    let k = targets.len();
+    let mut outcomes = vec![
+        StoppingRuleOutcome {
+            estimate: 0.0,
+            samples: 0,
+            successes: 0,
+            truncated: false,
+        };
+        k
+    ];
+    let mut successes = vec![0u64; k];
+    let mut hits = vec![false; k];
+    let mut live: Vec<usize> = (0..k).collect();
+    let mut draws = 0u64;
+    while !live.is_empty() && draws < max_samples {
+        draws += 1;
+        experiment.draw(rng, &mut hits);
+        let mut j = 0;
+        while j < live.len() {
+            let q = live[j];
+            if hits[q] {
+                successes[q] += 1;
+                if successes[q] >= targets[q] {
+                    outcomes[q] = StoppingRuleOutcome {
+                        estimate: targets[q] as f64 / draws as f64,
+                        samples: draws,
+                        successes: successes[q],
+                        truncated: false,
+                    };
+                    live.swap_remove(j);
+                    experiment.retire(q);
+                    continue;
+                }
+            }
+            j += 1;
+        }
+    }
+    for &q in &live {
+        outcomes[q] = StoppingRuleOutcome {
+            estimate: if draws == 0 {
+                0.0
+            } else {
+                successes[q] as f64 / draws as f64
+            },
+            samples: draws,
+            successes: successes[q],
+            truncated: true,
+        };
+    }
+    StoppingBatchOutcome {
+        outcomes,
+        total_samples: draws,
+    }
+}
+
+/// Round-based rayon-sharded variant of [`estimate_stopping_batch`]:
+/// draws `round_samples` shared samples per round (sharded across worker
+/// threads exactly like [`estimate_fixed_batch_parallel`], with a global
+/// shard counter deriving the per-shard RNG streams), then checks
+/// retirement at the round boundary.
+///
+/// `make_experiment` is called once per shard with the **current live
+/// query list** and returns the shard's experiment closure, so a fresh
+/// shard only pays for the queries that are still live.
+///
+/// **Where bit-identity ends.**  Retirement is round-granular here: a
+/// query that crosses its success target mid-round keeps observing draws
+/// until the boundary, so its sample count — and hence its estimate, the
+/// empirical mean `successes/samples` over at least `targets[q]`
+/// successes — differs from the sequential loop's `target/N_q`.  The
+/// round-based variant matches the sequential one (and `k` independent
+/// stopping-rule runs) in *guarantee*, not bit-for-bit: each query stops
+/// with at least the DKLR success target at a sample count at least as
+/// large, which preserves the relative `(ε, δ)` bound (tested against the
+/// exact solver).  The outcome is still **bit-identical across thread
+/// counts** for a fixed `master_seed`: shard boundaries, shard seeds and
+/// the element-wise integer success sums are all thread-count independent,
+/// and retirement decisions are made from the summed per-round counts.
+///
+/// Only available with the `parallel` feature (rayon).
+#[cfg(feature = "parallel")]
+pub fn estimate_stopping_batch_rounds<E, F>(
+    master_seed: u64,
+    targets: &[u64],
+    max_samples: u64,
+    round_samples: u64,
+    shard_size: u64,
+    make_experiment: F,
+) -> StoppingBatchOutcome
+where
+    F: Fn(&[usize]) -> E + Sync,
+    E: FnMut(&mut StdRng, &mut [bool]),
+{
+    let k = targets.len();
+    let round_samples = round_samples.max(1);
+    let shard_size = shard_size.max(1);
+    let mut outcomes = vec![
+        StoppingRuleOutcome {
+            estimate: 0.0,
+            samples: 0,
+            successes: 0,
+            truncated: false,
+        };
+        k
+    ];
+    let mut successes = vec![0u64; k];
+    let mut live: Vec<usize> = (0..k).collect();
+    let mut drawn = 0u64;
+    let mut next_shard = 0u64;
+    while !live.is_empty() && drawn < max_samples {
+        let round = round_samples.min(max_samples - drawn);
+        let shards = round.div_ceil(shard_size);
+        let live_ref: &[usize] = &live;
+        let round_successes = (0..shards)
+            .into_par_iter()
+            .map(|shard| {
+                let mut rng = StdRng::seed_from_u64(shard_seed(master_seed, next_shard + shard));
+                let mut experiment = make_experiment(live_ref);
+                let count = shard_size.min(round - shard * shard_size);
+                let mut hits = vec![false; k];
+                let mut acc = vec![0u64; k];
+                for _ in 0..count {
+                    experiment(&mut rng, &mut hits);
+                    for &q in live_ref {
+                        if hits[q] {
+                            acc[q] += 1;
+                        }
+                    }
+                }
+                acc
+            })
+            .reduce(
+                || vec![0u64; k],
+                |mut acc, shard| {
+                    for (a, s) in acc.iter_mut().zip(&shard) {
+                        *a += s;
+                    }
+                    acc
+                },
+            );
+        next_shard += shards;
+        drawn += round;
+        live.retain(|&q| {
+            successes[q] += round_successes[q];
+            if successes[q] >= targets[q] {
+                outcomes[q] = StoppingRuleOutcome {
+                    estimate: successes[q] as f64 / drawn as f64,
+                    samples: drawn,
+                    successes: successes[q],
+                    truncated: false,
+                };
+                false
+            } else {
+                true
+            }
+        });
+    }
+    for &q in &live {
+        outcomes[q] = StoppingRuleOutcome {
+            estimate: if drawn == 0 {
+                0.0
+            } else {
+                successes[q] as f64 / drawn as f64
+            },
+            samples: drawn,
+            successes: successes[q],
+            truncated: true,
+        };
+    }
+    StoppingBatchOutcome {
+        outcomes,
+        total_samples: drawn,
     }
 }
 
@@ -493,6 +743,158 @@ mod tests {
                 pool.install(|| estimate_fixed_batch_parallel(42, 30_001, 1_000, 2, || experiment));
             assert_eq!(outcome, batched, "{threads} threads");
         }
+    }
+
+    /// A batched experiment whose per-query checks are thresholds over one
+    /// shared uniform draw; records retirement notifications.
+    struct ThresholdExperiment {
+        thresholds: Vec<f64>,
+        retired: Vec<usize>,
+    }
+
+    impl ThresholdExperiment {
+        fn new(thresholds: &[f64]) -> Self {
+            ThresholdExperiment {
+                thresholds: thresholds.to_vec(),
+                retired: Vec::new(),
+            }
+        }
+    }
+
+    impl<R: Rng + ?Sized> StoppingBatchExperiment<R> for ThresholdExperiment {
+        fn draw(&mut self, rng: &mut R, hits: &mut [bool]) {
+            let draw: f64 = rng.random();
+            for (hit, &t) in hits.iter_mut().zip(&self.thresholds) {
+                *hit = draw < t;
+            }
+        }
+
+        fn retire(&mut self, query: usize) {
+            self.retired.push(query);
+        }
+    }
+
+    #[test]
+    fn stopping_batch_is_bit_identical_to_independent_stopping_runs() {
+        // Per-query targets over one shared stream: each query's outcome
+        // must equal a standalone stopping-rule run with the same target
+        // from the same RNG state (the draws it observes are identical).
+        let thresholds = [0.6f64, 0.25, 0.05];
+        let targets: Vec<u64> = vec![40, 25, 10];
+        let mut experiment = ThresholdExperiment::new(&thresholds);
+        let mut rng = StdRng::seed_from_u64(21);
+        let batched = estimate_stopping_batch(&mut rng, &targets, 1_000_000, &mut experiment);
+        assert_eq!(batched.outcomes.len(), 3);
+        for (q, (&t, &target)) in thresholds.iter().zip(&targets).enumerate() {
+            let mut rng = StdRng::seed_from_u64(21);
+            let mut samples = 0u64;
+            let mut successes = 0u64;
+            while successes < target {
+                samples += 1;
+                let draw: f64 = rng.random();
+                if draw < t {
+                    successes += 1;
+                }
+            }
+            let outcome = batched.outcomes[q];
+            assert!(!outcome.truncated, "query {q}");
+            assert_eq!(outcome.samples, samples, "query {q}");
+            assert_eq!(outcome.successes, target, "query {q}");
+            assert_eq!(
+                outcome.estimate,
+                target as f64 / samples as f64,
+                "query {q}"
+            );
+        }
+        // Rarer queries observe longer stream prefixes; the stream length
+        // is the maximum.
+        assert!(batched.outcomes[0].samples <= batched.outcomes[1].samples);
+        assert!(batched.outcomes[1].samples <= batched.outcomes[2].samples);
+        assert_eq!(batched.total_samples, batched.outcomes[2].samples);
+        // Every converged query was retired, in convergence order.
+        assert_eq!(experiment.retired, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn stopping_batch_truncates_impossible_queries_without_stalling_others() {
+        let thresholds = [0.5f64, 0.0];
+        let targets = vec![30u64, 30];
+        let mut experiment = ThresholdExperiment::new(&thresholds);
+        let mut rng = StdRng::seed_from_u64(5);
+        let batched = estimate_stopping_batch(&mut rng, &targets, 2_000, &mut experiment);
+        let easy = batched.outcomes[0];
+        assert!(!easy.truncated);
+        assert!(easy.samples < 2_000, "the easy query retires early");
+        let never = batched.outcomes[1];
+        assert!(never.truncated);
+        assert_eq!(never.samples, 2_000);
+        assert_eq!(never.successes, 0);
+        assert_eq!(never.estimate, 0.0);
+        assert_eq!(batched.total_samples, 2_000);
+        assert_eq!(experiment.retired, vec![0]);
+    }
+
+    #[test]
+    fn stopping_batch_with_empty_bank_draws_nothing() {
+        let mut experiment = ThresholdExperiment::new(&[]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let batched = estimate_stopping_batch(&mut rng, &[], 1_000, &mut experiment);
+        assert!(batched.outcomes.is_empty());
+        assert_eq!(batched.total_samples, 0);
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn stopping_batch_rounds_achieves_relative_error_and_retires() {
+        let thresholds = [0.5f64, 0.02];
+        let estimator = StoppingRuleEstimator::new(0.1, 0.05);
+        let targets = vec![estimator.success_target(); 2];
+        let run = || {
+            estimate_stopping_batch_rounds(33, &targets, 10_000_000, 2_048, 512, |_live| {
+                move |rng: &mut StdRng, hits: &mut [bool]| {
+                    let draw: f64 = rng.random();
+                    for (hit, &t) in hits.iter_mut().zip(&thresholds) {
+                        *hit = draw < t;
+                    }
+                }
+            })
+        };
+        let batched = run();
+        for (q, &t) in thresholds.iter().enumerate() {
+            let outcome = batched.outcomes[q];
+            assert!(!outcome.truncated, "query {q}");
+            assert!(outcome.successes >= targets[q], "query {q}");
+            let relative_error = (outcome.estimate - t).abs() / t;
+            assert!(
+                relative_error < 0.15,
+                "query {q}: estimate {} (relative error {relative_error})",
+                outcome.estimate
+            );
+        }
+        // The common query retires rounds earlier than the rare one.
+        assert!(batched.outcomes[0].samples < batched.outcomes[1].samples);
+        assert_eq!(batched.total_samples, batched.outcomes[1].samples);
+        // Bit-identical across thread counts.
+        for threads in [1usize, 2, 7] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool");
+            let outcome = pool.install(run);
+            assert_eq!(outcome, batched, "{threads} threads");
+        }
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn stopping_batch_rounds_truncates_at_the_cut_off() {
+        let targets = vec![10u64];
+        let batched = estimate_stopping_batch_rounds(1, &targets, 1_000, 256, 64, |_live| {
+            |_rng: &mut StdRng, hits: &mut [bool]| hits.fill(false)
+        });
+        assert!(batched.outcomes[0].truncated);
+        assert_eq!(batched.outcomes[0].samples, 1_000);
+        assert_eq!(batched.total_samples, 1_000);
     }
 
     #[cfg(feature = "parallel")]

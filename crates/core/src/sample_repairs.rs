@@ -1,10 +1,10 @@
 //! Uniform sampling of candidate operational repairs for primary keys.
 //!
-//! * [`sample_repair`] — `SampleRep` of Lemma 5.2: draws a repair uniformly
-//!   from `CORep(D, Σ)` by choosing, independently for every block `B` with
-//!   `|B| ≥ 2`, one of its `|B| + 1` outcomes (keep one specific fact, or
-//!   keep none).
-//! * [`sample_repair_singleton`] — `SampleRep¹` of Lemma E.2: the
+//! * [`RepairSampler::sample`] — `SampleRep` of Lemma 5.2: draws a repair
+//!   uniformly from `CORep(D, Σ)` by choosing, independently for every
+//!   block `B` with `|B| ≥ 2`, one of its `|B| + 1` outcomes (keep one
+//!   specific fact, or keep none).
+//! * [`RepairSampler::sample_singleton`] — `SampleRep¹` of Lemma E.2: the
 //!   singleton-operation variant, where every block keeps exactly one fact
 //!   (`|B|` outcomes).
 //!

@@ -17,6 +17,41 @@
 //!   conflict index backing the O(ops)-per-step uniform-operations walk.
 //! * [`blocks`] — key blocks (facts agreeing on the key's left-hand side),
 //!   the combinatorial backbone of the primary-key algorithms.
+//!
+//! ## Design notes
+//!
+//! Everything downstream identifies facts by dense [`FactId`]s into one
+//! immutable [`Database`], so a *repair* is just a subset of the fact
+//! universe — represented as a [`FactSet`] bitset whose word-level kernels
+//! (`contains_all`, `intersect_with`, …) are what the compiled-lineage
+//! entailment check and the samplers of `ucqa-core` run on.  Values are
+//! interned ([`Value`]), so fact comparison never touches strings on hot
+//! paths.
+//!
+//! Violations are *monotone under fact removal*: `V(D', Σ)` is exactly the
+//! subset of `V(D, Σ)` whose two facts both survive in `D'`.  That
+//! invariant is what lets [`ConflictIndex`] precompute the violation and
+//! operation universe once per `(D, Σ)` and [`LiveOps`] maintain the live
+//! operation sets of a uniform-operations walk with O(1) uniform picks and
+//! O(degree) removals, instead of an O(|D|) rescan per step (see the
+//! "Incremental conflict index" section of the README and the property
+//! test cross-checking it against [`ViolationSet`] recomputation).
+//!
+//! A minimal end-to-end construction:
+//!
+//! ```
+//! use ucqa_db::{Database, FdSet, FunctionalDependency, Schema, Value, ViolationSet};
+//!
+//! let mut schema = Schema::new();
+//! schema.add_relation("R", &["A", "B"]).unwrap();
+//! let mut db = Database::with_schema(schema);
+//! db.insert_values("R", [Value::int(1), Value::str("x")]).unwrap();
+//! db.insert_values("R", [Value::int(1), Value::str("y")]).unwrap();
+//! let mut sigma = FdSet::new();
+//! sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["A"], &["B"]).unwrap());
+//! assert!(!sigma.satisfied_by_database(&db));
+//! assert_eq!(ViolationSet::of_database(&db, &sigma).len(), 1);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -4,7 +4,7 @@
 //! database `D_G` whose conflict graph is isomorphic to `G`; it needs a
 //! proper edge colouring of `G` with `Δ + 1` colours, computed in
 //! polynomial time.  The paper cites the constructive proof of Vizing's
-//! theorem by Misra and Gries [20]; this module implements that algorithm
+//! theorem by Misra and Gries (reference \[20\] of the paper); this module implements that algorithm
 //! (fan construction, `cd`-path inversion, fan rotation).
 
 use std::collections::HashMap;

@@ -1,7 +1,7 @@
 //! Exact counting of independent sets.
 //!
 //! `♯IS` is the counting problem the inapproximability results of
-//! Proposition 5.5 / Theorem E.1(3) bootstrap from (via [22] in the paper).
+//! Proposition 5.5 / Theorem E.1(3) bootstrap from (via reference \[22\] of the paper).
 //! Exact counting is ♯P-hard in general; the branching algorithm below
 //! (`IS(G) = IS(G − v) + IS(G − N[v])` on a maximum-degree vertex, with
 //! connected-component decomposition) is exponential in the worst case but

@@ -20,6 +20,13 @@
 //! enumeration overflows the cap are kept as [fallback](LineageBank::is_fallback)
 //! entries — the caller routes those through the backtracking evaluator
 //! while the rest of the bank stays on the bitset path.
+//!
+//! The adaptive batched estimators *retire* queries as they converge;
+//! [`BankLiveSet`] tracks the live subset of a bank with a reference
+//! count per arena witness, so that witnesses referenced only by retired
+//! queries drop out of the per-draw containment scan
+//! ([`LineageBank::evaluate_live_into`]) and the per-draw cost shrinks as
+//! the bank drains.
 
 use std::collections::HashMap;
 
@@ -195,6 +202,192 @@ impl LineageBank {
     pub fn universe(&self) -> usize {
         self.universe
     }
+
+    /// The arena witness indices referenced by entry `index`'s mask
+    /// (empty for fallback entries).
+    fn entry_witnesses(&self, index: usize) -> impl Iterator<Item = usize> + '_ {
+        let mask: &[u64] = match &self.entries[index] {
+            BankEntry::Compiled { mask } => mask,
+            BankEntry::Fallback => &[],
+        };
+        mask.iter().enumerate().flat_map(|(word, &bits)| {
+            let mut bits = bits;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let bit = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(word * 64 + bit)
+            })
+        })
+    }
+
+    /// As [`LineageBank::evaluate_into`], restricted to the live queries
+    /// of `live`: writes `hits[q]` for every live query `q` (fallback
+    /// entries are set to `false` as usual) and **skips** both retired
+    /// queries and the arena witnesses no live query references.
+    ///
+    /// On the live entries the booleans are bit-identical to
+    /// [`LineageBank::evaluate_into`]: a live query's witnesses all carry a
+    /// positive reference count, so compaction changes the cost of the
+    /// containment scan, never its outcome.  Entries of retired queries
+    /// are left untouched (they may hold stale values).
+    ///
+    /// # Panics
+    /// Panics if `hits.len()` differs from the number of queries, or if
+    /// `live` was built for a different bank shape.
+    pub fn evaluate_live_into(
+        &self,
+        live: &BankLiveSet,
+        repair: &FactSet,
+        scratch: &mut BankScratch,
+        hits: &mut [bool],
+    ) {
+        assert_eq!(hits.len(), self.entries.len(), "hits length mismatch");
+        assert_eq!(
+            live.witness_refs.len(),
+            self.witnesses.len(),
+            "live set was built for a different bank"
+        );
+        debug_assert_eq!(repair.universe(), self.universe);
+        let words = self.witnesses.len().div_ceil(64);
+        scratch.contained.clear();
+        scratch.contained.resize(words, 0);
+        for &index in &live.live_witnesses {
+            if repair.contains_all(&self.witnesses[index]) {
+                scratch.contained[index / 64] |= 1u64 << (index % 64);
+            }
+        }
+        for &query in &live.live_entries {
+            hits[query] = match &self.entries[query] {
+                BankEntry::Compiled { mask } => {
+                    mask.iter().zip(&scratch.contained).any(|(m, c)| m & c != 0)
+                }
+                BankEntry::Fallback => false,
+            };
+        }
+    }
+}
+
+/// The live subset of a [`LineageBank`] under retirement: which queries
+/// are still being estimated, and — via a reference count per arena
+/// witness — which *distinct* witnesses some live query still references.
+///
+/// The adaptive batched estimators retire a query the moment it converges;
+/// [`BankLiveSet::retire`] decrements the reference counts of the retired
+/// query's witnesses and drops the ones reaching zero from the live scan
+/// list, so the per-draw containment scan of
+/// [`LineageBank::evaluate_live_into`] only ever pays for witnesses that
+/// can still decide a live query.  Witnesses shared with a live query stay
+/// in the scan until their last referent retires.
+#[derive(Debug, Clone)]
+pub struct BankLiveSet {
+    /// Live query indices, in arbitrary order (dense, swap-removed).
+    live_entries: Vec<usize>,
+    /// Position of each query in `live_entries`, `usize::MAX` once retired.
+    entry_pos: Vec<usize>,
+    /// How many live queries reference each arena witness.
+    witness_refs: Vec<u32>,
+    /// Arena indices with a positive reference count (dense, swap-removed).
+    live_witnesses: Vec<usize>,
+    /// Position of each witness in `live_witnesses`, `usize::MAX` when dead.
+    witness_pos: Vec<usize>,
+}
+
+impl BankLiveSet {
+    /// A live set with **every** query of `bank` live.
+    pub fn full(bank: &LineageBank) -> Self {
+        let all: Vec<usize> = (0..bank.len()).collect();
+        Self::restrict(bank, &all)
+    }
+
+    /// A live set with exactly the queries of `live` live (used by the
+    /// round-based parallel estimator, whose shards are built against the
+    /// live set of the current round).
+    ///
+    /// # Panics
+    /// Panics if an index of `live` is out of range or duplicated.
+    pub fn restrict(bank: &LineageBank, live: &[usize]) -> Self {
+        let mut entry_pos = vec![usize::MAX; bank.len()];
+        let mut witness_refs = vec![0u32; bank.witness_count()];
+        for (position, &query) in live.iter().enumerate() {
+            assert!(
+                entry_pos[query] == usize::MAX,
+                "query {query} is live twice"
+            );
+            entry_pos[query] = position;
+            for witness in bank.entry_witnesses(query) {
+                witness_refs[witness] += 1;
+            }
+        }
+        let mut live_witnesses = Vec::new();
+        let mut witness_pos = vec![usize::MAX; bank.witness_count()];
+        for (index, &refs) in witness_refs.iter().enumerate() {
+            if refs > 0 {
+                witness_pos[index] = live_witnesses.len();
+                live_witnesses.push(index);
+            }
+        }
+        BankLiveSet {
+            live_entries: live.to_vec(),
+            entry_pos,
+            witness_refs,
+            live_witnesses,
+            witness_pos,
+        }
+    }
+
+    /// Retires query `query`: it leaves the live set, and every arena
+    /// witness only it still referenced leaves the containment scan.
+    /// Retiring an already-retired query is a no-op.
+    ///
+    /// # Panics
+    /// Panics if `query` is out of range or `bank` has a different shape.
+    pub fn retire(&mut self, bank: &LineageBank, query: usize) {
+        let position = self.entry_pos[query];
+        if position == usize::MAX {
+            return;
+        }
+        self.live_entries.swap_remove(position);
+        if let Some(&moved) = self.live_entries.get(position) {
+            self.entry_pos[moved] = position;
+        }
+        self.entry_pos[query] = usize::MAX;
+        for witness in bank.entry_witnesses(query) {
+            self.witness_refs[witness] -= 1;
+            if self.witness_refs[witness] == 0 {
+                let at = self.witness_pos[witness];
+                self.live_witnesses.swap_remove(at);
+                if let Some(&moved) = self.live_witnesses.get(at) {
+                    self.witness_pos[moved] = at;
+                }
+                self.witness_pos[witness] = usize::MAX;
+            }
+        }
+    }
+
+    /// The live query indices (arbitrary order).
+    pub fn live_queries(&self) -> &[usize] {
+        &self.live_entries
+    }
+
+    /// `true` iff query `query` has not been retired.
+    pub fn is_live(&self, query: usize) -> bool {
+        self.entry_pos[query] != usize::MAX
+    }
+
+    /// Number of live queries.
+    pub fn live_query_count(&self) -> usize {
+        self.live_entries.len()
+    }
+
+    /// Number of arena witnesses still referenced by some live query —
+    /// the per-draw containment-scan length of
+    /// [`LineageBank::evaluate_live_into`].
+    pub fn live_witness_count(&self) -> usize {
+        self.live_witnesses.len()
+    }
 }
 
 #[cfg(test)]
@@ -319,6 +512,129 @@ mod tests {
         // Fallback entries are reported as false; the compiled entry is
         // answered on the bitset path.
         assert!(!hits[0]);
+        assert!(hits[1]);
+    }
+
+    #[test]
+    fn live_evaluation_matches_full_evaluation_under_any_retirement_order() {
+        let db = blocks_db();
+        let evals = evaluators(
+            &db,
+            &[
+                "Ans() :- R(1, x)",
+                "Ans() :- R(x, y), R(z, y)",
+                "Ans() :- R(1, x), R(2, x)",
+                "Ans() :- R(9, 9)",
+            ],
+        );
+        let queries: Vec<BankQueryRef<'_>> = evals.iter().map(|e| (e, &[] as &[Value])).collect();
+        let bank = LineageBank::compile(&db, &queries).unwrap();
+        let mut scratch = BankScratch::new();
+        let mut full_hits = vec![false; bank.len()];
+        let mut live_hits = vec![false; bank.len()];
+        // Retire queries one by one; after every retirement the live
+        // evaluation must agree with the full evaluation on the survivors,
+        // over every subset of the universe.
+        for order in [[0usize, 1, 2, 3], [3, 2, 1, 0], [1, 3, 0, 2]] {
+            let mut live = BankLiveSet::full(&bank);
+            assert_eq!(live.live_query_count(), 4);
+            assert_eq!(live.live_witness_count(), bank.witness_count());
+            for (step, &retired) in order.iter().enumerate() {
+                for subset in subsets(db.len()) {
+                    bank.evaluate_into(&subset, &mut scratch, &mut full_hits);
+                    bank.evaluate_live_into(&live, &subset, &mut scratch, &mut live_hits);
+                    for &q in live.live_queries() {
+                        assert_eq!(live_hits[q], full_hits[q], "step {step}, query {q}");
+                    }
+                }
+                live.retire(&bank, retired);
+                assert!(!live.is_live(retired));
+                assert_eq!(live.live_query_count(), 4 - step - 1);
+            }
+            assert_eq!(live.live_witness_count(), 0);
+        }
+    }
+
+    #[test]
+    fn retirement_shrinks_the_witness_scan_and_keeps_shared_witnesses() {
+        let db = blocks_db();
+        // Queries 0 and 1 are duplicates (all witnesses shared); query 2 is
+        // disjoint from them.
+        let evals = evaluators(
+            &db,
+            &["Ans() :- R(1, x)", "Ans() :- R(1, x)", "Ans() :- R(2, x)"],
+        );
+        let queries: Vec<BankQueryRef<'_>> = evals.iter().map(|e| (e, &[] as &[Value])).collect();
+        let bank = LineageBank::compile(&db, &queries).unwrap();
+        let mut live = BankLiveSet::full(&bank);
+        let all = bank.witness_count();
+        // Retiring one duplicate frees nothing: its twin still references
+        // every witness.
+        live.retire(&bank, 0);
+        assert_eq!(live.live_witness_count(), all);
+        // Retiring the twin frees that query's witnesses.
+        live.retire(&bank, 1);
+        assert_eq!(
+            live.live_witness_count(),
+            bank.query_witness_count(2).unwrap()
+        );
+        // Retiring twice is a no-op.
+        live.retire(&bank, 1);
+        assert_eq!(
+            live.live_witness_count(),
+            bank.query_witness_count(2).unwrap()
+        );
+        live.retire(&bank, 2);
+        assert_eq!(live.live_witness_count(), 0);
+        assert_eq!(live.live_query_count(), 0);
+    }
+
+    #[test]
+    fn restricted_live_set_equals_full_set_after_retirements() {
+        let db = blocks_db();
+        let evals = evaluators(
+            &db,
+            &["Ans() :- R(1, x)", "Ans() :- R(x, y)", "Ans() :- R(2, x)"],
+        );
+        let queries: Vec<BankQueryRef<'_>> = evals.iter().map(|e| (e, &[] as &[Value])).collect();
+        let bank = LineageBank::compile(&db, &queries).unwrap();
+        let mut incremental = BankLiveSet::full(&bank);
+        incremental.retire(&bank, 1);
+        let restricted = BankLiveSet::restrict(&bank, &[0, 2]);
+        assert_eq!(
+            incremental.live_witness_count(),
+            restricted.live_witness_count()
+        );
+        let mut a: Vec<usize> = incremental.live_queries().to_vec();
+        let mut b: Vec<usize> = restricted.live_queries().to_vec();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn live_set_handles_fallback_entries() {
+        let db = blocks_db();
+        let evals = evaluators(&db, &["Ans() :- R(x, y)", "Ans() :- R(1, x)"]);
+        let queries: Vec<BankQueryRef<'_>> = evals.iter().map(|e| (e, &[] as &[Value])).collect();
+        let bank = LineageBank::compile_with_cap(&db, &queries, 2).unwrap();
+        assert!(bank.is_fallback(0));
+        let mut live = BankLiveSet::full(&bank);
+        // The fallback entry contributes no arena witnesses.
+        assert_eq!(
+            live.live_witness_count(),
+            bank.query_witness_count(1).unwrap()
+        );
+        let mut scratch = BankScratch::new();
+        let mut hits = vec![true; 2];
+        bank.evaluate_live_into(&live, &db.all_facts(), &mut scratch, &mut hits);
+        assert!(!hits[0], "fallback entries are reported false");
+        assert!(hits[1]);
+        live.retire(&bank, 0);
+        assert_eq!(live.live_queries(), &[1]);
+        hits = vec![true; 2];
+        bank.evaluate_live_into(&live, &db.all_facts(), &mut scratch, &mut hits);
+        assert!(hits[0], "retired entries are left untouched");
         assert!(hits[1]);
     }
 

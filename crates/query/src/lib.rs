@@ -21,7 +21,7 @@ pub mod lineage;
 pub mod parser;
 
 pub use ast::{Atom, ConjunctiveQuery, Term, Variable};
-pub use bank::{BankScratch, LineageBank};
+pub use bank::{BankLiveSet, BankScratch, LineageBank};
 pub use error::QueryError;
 pub use eval::{Bindings, QueryEvaluator};
 pub use lineage::CompiledLineage;
@@ -29,7 +29,7 @@ pub use lineage::CompiledLineage;
 /// Commonly used types, re-exported for convenience.
 pub mod prelude {
     pub use crate::{
-        Atom, BankScratch, Bindings, CompiledLineage, ConjunctiveQuery, LineageBank, QueryError,
-        QueryEvaluator, Term, Variable,
+        Atom, BankLiveSet, BankScratch, Bindings, CompiledLineage, ConjunctiveQuery, LineageBank,
+        QueryError, QueryEvaluator, Term, Variable,
     };
 }

@@ -25,6 +25,33 @@
 //! by nature.  These exact constructions are what the paper's proofs reason
 //! about and what the test-suite validates the polynomial samplers of
 //! `ucqa-core` against; the samplers themselves never build the tree.
+//!
+//! ## How the pieces compose
+//!
+//! The entry point is a [`GeneratorSpec`]: one of the three uniform
+//! semantics ([`UniformSemantics::Repairs`] `M^ur`,
+//! [`UniformSemantics::Sequences`] `M^us`,
+//! [`UniformSemantics::Operations`] `M^uo`), optionally restricted to
+//! singleton operations (`M^{·,1}` of Section 7 / Appendix E).
+//! `GeneratorSpec::build_chain` materialises the corresponding
+//! [`RepairingMarkovChain`] over the explicit [`RepairingTree`] — guarded
+//! by [`TreeLimits`], since the tree has `|CRS(D, Σ)|` leaves — and
+//! [`OperationalSemantics::from_chain`] folds its leaf distribution into
+//! the probability space `⟦D⟧_M` over operational repairs, from which
+//! `answer_probability` / batched `answer_probabilities` integrate any
+//! query's answer probability as an exact [`ucqa_numeric::Ratio`].
+//!
+//! Two invariants the test-suite leans on: every leaf distribution sums
+//! to exactly `1` (checked per generator on randomised instances), and
+//! the uniform generators reproduce the worked probabilities of the
+//! paper's running example (`3/9, 1/9, …` — experiment E1) digit for
+//! digit.  When a polynomial sampler in `ucqa-core` claims to realise a
+//! generator's leaf distribution, the claim is validated against *this*
+//! crate's enumeration on small instances.
+//!
+//! The crate also hosts [`TrustWeightedGenerator`], a beyond-the-paper
+//! extension biasing operation choices by per-fact trust weights while
+//! keeping the repairing-chain structure.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -19,6 +19,29 @@
 //!
 //! Every generator takes an explicit seed (or `rand::Rng`) so experiments
 //! are reproducible.
+//!
+//! ## Choosing a workload
+//!
+//! The generators are matched to the paper's constraint classes, which in
+//! turn gate which FPRAS the `ucqa-core` drivers will accept:
+//!
+//! | Generator | Constraint class | Exercises |
+//! |---|---|---|
+//! | [`BlockWorkload`] | primary keys | all three uniform semantics; block-profile counting (Lemmas 5.2/C.1/E.2) |
+//! | [`MultiKeyWorkload`] | keys, not primary | `M^uo` with pair removals (Theorem 7.1(2)) |
+//! | [`FdWorkload`] / [`MultiFdWorkload`] | non-key FDs | `M^{uo,1}` (Theorem 7.5); the conflict-index and batched-estimation scaling benches (e14–e16) |
+//! | [`proposition_d6_database`] | non-key FD, star conflicts | the Proposition D.6 negative result; the skewed-bank retirement study of e16 |
+//! | [`graphs`] | reduction databases | the hardness experiments (E10/E11) |
+//!
+//! [`MultiFdWorkload::scaling`] keeps the conflict degree roughly
+//! size-independent as the fact count grows, so walk cost scales with the
+//! conflict structure rather than quadratically — this is the standard
+//! scaling workload of the `BENCH_e14`–`BENCH_e16` reports.  The
+//! [`queries`] module provides matched query generators
+//! ([`queries::block_lookup_query`], [`queries::fact_membership_query`],
+//! multi-query banks via [`queries::fact_membership_query_bank`]) whose
+//! candidates are guaranteed answers on the full database, so target
+//! probabilities are non-zero.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -35,3 +35,10 @@ pub mod prelude {
     pub use ucqa_query::prelude::*;
     pub use ucqa_repair::prelude::*;
 }
+
+/// Compiles the `README.md` code examples as doctests (`cargo test --doc`),
+/// so the README's "Batched estimation" excerpt can never drift from the
+/// real API.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+pub struct ReadmeDoctests;

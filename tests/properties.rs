@@ -326,6 +326,113 @@ proptest! {
         }
     }
 
+    /// Batched-adaptive (stopping-rule) per-query estimates satisfy the
+    /// DKLR relative-error bound against the exact solver on random
+    /// multi-FD banks of sizes 1, 2 and 8, and a zero-probability query
+    /// appended to the bank truncates at `max_samples` with zero
+    /// successes without stalling the retirement of the others.
+    ///
+    /// The stopping rule guarantees relative error `ε` with probability
+    /// `1 − δ` per query; the test asserts the doubled radius `2ε` so a
+    /// pass is deterministic in practice (the vendored proptest draws
+    /// from fixed per-case seeds, and the probability of exceeding `2ε`
+    /// is negligible), while a genuine estimator regression — wrong
+    /// normalisation, wrong stream accounting — lands far outside it.
+    #[test]
+    fn batched_adaptive_estimates_satisfy_the_relative_error_bound(
+        rows in prop::collection::vec((0u8..3, 0u8..3, 0u8..3, 0u8..2), 2..8),
+        seed in 0u64..1_000,
+    ) {
+        use uocqa::core::fpras::{ApproximationParams, BatchEstimator, BatchQuery, EstimatorMode};
+        use uocqa::query::parser::parse_query;
+
+        let (db, sigma) = multi_fd_database(&rows);
+        let spec = GeneratorSpec::uniform_operations().with_singleton_only();
+        let estimator = BatchEstimator::new(&db, &sigma, spec).unwrap();
+        let evaluators: Vec<QueryEvaluator> = (0..8usize)
+            .map(|i| {
+                let fact = db.fact(FactId::new((i + seed as usize) % db.len()));
+                let terms: Vec<Term> = fact.values().iter().cloned().map(Term::Const).collect();
+                QueryEvaluator::new(
+                    ConjunctiveQuery::boolean(
+                        db.schema(),
+                        vec![Atom::new(fact.relation(), terms)],
+                    )
+                    .unwrap(),
+                )
+            })
+            .collect();
+        // A query no repair can ever entail: the constants do not occur in
+        // the database.
+        let never = QueryEvaluator::new(
+            parse_query(db.schema(), "Ans() :- R(9, 9, 9, 9)").unwrap(),
+        );
+        // Exact ground truth for the whole bank, one pass over ⟦D⟧_M.
+        let refs: Vec<(&QueryEvaluator, &[uocqa::db::Value])> =
+            evaluators.iter().map(|e| (e, &[] as &[uocqa::db::Value])).collect();
+        let exact = uocqa::core::exact::ExactSolver::new(&db, &sigma)
+            .answer_probabilities(spec, &refs)
+            .unwrap();
+
+        let epsilon = 0.3;
+        let max_samples = 20_000u64;
+        let params = ApproximationParams::new(epsilon, 0.1)
+            .unwrap()
+            .with_mode(EstimatorMode::OptimalStopping { max_samples });
+        for bank_size in [1usize, 2, 8] {
+            let mut bank: Vec<BatchQuery<'_>> = evaluators[..bank_size]
+                .iter()
+                .map(|e| BatchQuery::new(e, &[]))
+                .collect();
+            bank.push(BatchQuery::new(&never, &[]));
+            let estimates = estimator
+                .estimate_stopping_batch(&bank, params, &mut StdRng::seed_from_u64(seed))
+                .unwrap();
+            prop_assert_eq!(estimates.len(), bank_size + 1);
+            for (i, estimate) in estimates[..bank_size].iter().enumerate() {
+                let p = exact[i].to_f64();
+                if p == 0.0 {
+                    prop_assert_eq!(estimate.successes, 0, "bank {}, query {}", bank_size, i);
+                    prop_assert!(estimate.truncated);
+                } else if p >= 0.05 {
+                    // Well-supported queries must retire before the
+                    // cut-off and land within the (doubled) error radius.
+                    prop_assert!(
+                        !estimate.truncated,
+                        "bank {}, query {}: truncated at p = {}", bank_size, i, p
+                    );
+                    prop_assert!(
+                        estimate.samples < max_samples,
+                        "bank {}, query {} did not retire early", bank_size, i
+                    );
+                    let relative_error = (estimate.value - p).abs() / p;
+                    prop_assert!(
+                        relative_error < 2.0 * epsilon,
+                        "bank {}, query {}: exact {}, estimate {} (relative error {})",
+                        bank_size, i, p, estimate.value, relative_error
+                    );
+                } else if !estimate.truncated {
+                    // Tiny but positive probabilities may legitimately
+                    // truncate; when they do retire, the bound holds.
+                    let relative_error = (estimate.value - p).abs() / p;
+                    prop_assert!(relative_error < 2.0 * epsilon);
+                }
+            }
+            // The impossible query rides the stream to the cut-off …
+            let never_estimate = estimates[bank_size];
+            prop_assert!(never_estimate.truncated);
+            prop_assert_eq!(never_estimate.samples, max_samples);
+            prop_assert_eq!(never_estimate.successes, 0);
+            prop_assert_eq!(never_estimate.value, 0.0);
+            // … and `estimate_batch` routes OptimalStopping to the same
+            // adaptive loop.
+            let routed = estimator
+                .estimate_batch(&bank, params, &mut StdRng::seed_from_u64(seed))
+                .unwrap();
+            prop_assert_eq!(routed, estimates);
+        }
+    }
+
     /// The incremental conflict index agrees with a from-scratch
     /// `ViolationSet::recompute` after **every** removal, on randomised
     /// multi-FD, non-key, cross-relation databases — the invariant that

@@ -1,0 +1,49 @@
+//! E17 — plan-based witness enumeration vs. the unplanned backtracking
+//! baseline, on overlapping-join banks over the multi-FD scaling
+//! workload.
+//!
+//! One iteration compiles a bank of `k` three-atom queries sharing a
+//! two-atom prefix into a [`ucqa_query::LineageBank`].  The planned path
+//! factors the shared prefix into one scan trie and walks relation-index
+//! postings; the baseline runs one body-order backtracking pass per entry
+//! over whole-relation scans.  `BENCH_e17.json` (produced by the
+//! `e17_report` binary) records the same comparison at larger sizes plus
+//! the end-to-end batched estimation cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use ucqa_query::{LineageBank, QueryEvaluator};
+use ucqa_workload::{queries::overlapping_join_bank, MultiFdWorkload};
+
+fn bench_plan_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e17_plan");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+
+    for facts in [1_000usize, 5_000] {
+        let (db, _) = MultiFdWorkload::scaling(facts, 42).generate();
+        db.relation_index(); // one-off index build stays out of the loop
+        for bank_size in [8usize, 64] {
+            let queries = overlapping_join_bank(&db, bank_size, 2, 7).expect("valid bank");
+            let evaluators: Vec<QueryEvaluator> =
+                queries.into_iter().map(QueryEvaluator::new).collect();
+            let refs: Vec<(&QueryEvaluator, &[ucqa_db::Value])> = evaluators
+                .iter()
+                .map(|e| (e, &[] as &[ucqa_db::Value]))
+                .collect();
+            let id = format!("{facts}f_bank{bank_size}");
+            group.bench_with_input(BenchmarkId::new("planned_shared", &id), &refs, |b, refs| {
+                b.iter(|| LineageBank::compile(&db, refs).expect("compiles"))
+            });
+            group.bench_with_input(BenchmarkId::new("unplanned", &id), &refs, |b, refs| {
+                b.iter(|| LineageBank::compile_unplanned(&db, refs).expect("compiles"))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_plan_enumeration);
+criterion_main!(benches);

@@ -414,9 +414,11 @@ impl<'q> BatchQuery<'q> {
 /// though a single draw of an operational repair can answer *all* queries
 /// at once (the per-draw check is membership of the sampled repair in each
 /// query's lineage).  [`BatchEstimator`] compiles the whole query bank
-/// into a shared [`LineageBank`] (deduplicated witness arena, per-query
-/// masks) and drives **one** sampling loop; each sampled repair updates
-/// every per-query hit counter in a single word-level pass.
+/// into a shared [`LineageBank`] — witness enumeration factored through a
+/// shared scan trie over the per-query join plans, witnesses deduplicated
+/// into one arena, per-query masks — and drives **one** sampling loop;
+/// each sampled repair updates every per-query hit counter in a single
+/// word-level pass.
 ///
 /// **Bit-identity guarantee.**  The RNG is consumed by the shared draw
 /// only, never by the per-query checks, so under a fixed seed
@@ -533,9 +535,32 @@ impl<'a> BatchEstimator<'a> {
         if matches!(params.mode, EstimatorMode::OptimalStopping { .. }) {
             return self.estimate_stopping_batch(queries, params, rng);
         }
-        let samples = self.batch_sample_count(params)?;
         let bank = self.compile_bank(queries)?;
-        let mut experiment = BatchExperiment::new(&self.inner, &bank, queries);
+        self.estimate_batch_with_bank(&bank, queries, params, rng)
+    }
+
+    /// As [`BatchEstimator::estimate_batch`] (fixed-sample modes only),
+    /// driving a bank compiled earlier with
+    /// [`BatchEstimator::compile_bank`] — the compile-once / estimate-many
+    /// pattern, and the hook the `e17` bench uses to time compilation and
+    /// estimation separately.
+    ///
+    /// # Panics
+    /// Panics if `bank` was not compiled from `queries` (length mismatch).
+    pub fn estimate_batch_with_bank<R: Rng + ?Sized>(
+        &self,
+        bank: &LineageBank,
+        queries: &[BatchQuery<'_>],
+        params: ApproximationParams,
+        rng: &mut R,
+    ) -> Result<Vec<Estimate>, CoreError> {
+        assert_eq!(
+            bank.len(),
+            queries.len(),
+            "bank was compiled from a different query list"
+        );
+        let samples = self.batch_sample_count(params)?;
+        let mut experiment = BatchExperiment::new(&self.inner, bank, queries);
         let outcome = estimate_fixed_batch(rng, samples, queries.len(), |rng, successes| {
             experiment.draw(rng, successes)
         });
@@ -697,10 +722,31 @@ impl<'a> BatchEstimator<'a> {
         Ok(Self::estimates_from(samples, &outcome.successes))
     }
 
-    fn compile_bank(&self, queries: &[BatchQuery<'_>]) -> Result<LineageBank, CoreError> {
+    /// Compiles the bank's shared lineage ([`LineageBank::compile`]:
+    /// grounded plan-ordered atom sequences factored into one scan trie,
+    /// witnesses deduplicated into one arena), validating every candidate
+    /// arity.  All `estimate_*` batch paths call this internally; exposing
+    /// it lets callers compile once and estimate many times
+    /// ([`BatchEstimator::estimate_batch_with_bank`]).
+    pub fn compile_bank(&self, queries: &[BatchQuery<'_>]) -> Result<LineageBank, CoreError> {
         let refs: Vec<(&QueryEvaluator, &[Value])> =
             queries.iter().map(|q| (q.evaluator, q.candidate)).collect();
         Ok(LineageBank::compile(self.inner.db, &refs)?)
+    }
+
+    /// As [`BatchEstimator::compile_bank`], on the unplanned baseline
+    /// ([`LineageBank::compile_unplanned`]: one naive backtracking
+    /// enumeration per entry).  The resulting bank holds the same witness
+    /// sets, so estimates driven through it are bit-identical — only the
+    /// compile cost differs.  Kept for the `e17` bench and the
+    /// before/after property tests.
+    pub fn compile_bank_unplanned(
+        &self,
+        queries: &[BatchQuery<'_>],
+    ) -> Result<LineageBank, CoreError> {
+        let refs: Vec<(&QueryEvaluator, &[Value])> =
+            queries.iter().map(|q| (q.evaluator, q.candidate)).collect();
+        Ok(LineageBank::compile_unplanned(self.inner.db, &refs)?)
     }
 
     fn estimates_from(samples: u64, successes: &[u64]) -> Vec<Estimate> {

@@ -354,14 +354,25 @@ where
 }
 
 /// Round-based rayon-sharded variant of [`estimate_stopping_batch`]:
-/// draws `round_samples` shared samples per round (sharded across worker
-/// threads exactly like [`estimate_fixed_batch_parallel`], with a global
-/// shard counter deriving the per-shard RNG streams), then checks
+/// draws up to `round_samples` shared samples per round (sharded across
+/// worker threads exactly like [`estimate_fixed_batch_parallel`], with a
+/// global shard counter deriving the per-shard RNG streams), then checks
 /// retirement at the round boundary.
 ///
 /// `make_experiment` is called once per shard with the **current live
 /// query list** and returns the shard's experiment closure, so a fresh
 /// shard only pays for the queries that are still live.
+///
+/// **Adaptive round size.**  Rounds shrink with the live set: a round
+/// draws `⌈round_samples · live/k⌉` samples (never less than one shard,
+/// never more than the remaining budget), so a long tail — one rare query
+/// pinning the stream after the crowd has retired — checks its target at
+/// proportionally finer boundaries instead of paying full-size rounds of
+/// overshoot.  The schedule depends only on `(targets, round_samples,
+/// shard_size)` and the summed per-round success counts, so it is as
+/// thread-count-deterministic as the fixed schedule; retirement still
+/// happens only at boundaries with at least the DKLR success target, so
+/// the `(ε, δ)` guarantee is unchanged.
 ///
 /// **Where bit-identity ends.**  Retirement is round-granular here: a
 /// query that crosses its success target mid-round keeps observing draws
@@ -408,7 +419,12 @@ where
     let mut drawn = 0u64;
     let mut next_shard = 0u64;
     while !live.is_empty() && drawn < max_samples {
-        let round = round_samples.min(max_samples - drawn);
+        // Shrink the round proportionally to the live set (at least one
+        // shard's worth), so late-stage boundaries are finer.
+        let scaled = ((round_samples as u128 * live.len() as u128).div_ceil(k as u128)) as u64;
+        let round = scaled
+            .max(shard_size.min(round_samples))
+            .min(max_samples - drawn);
         let shards = round.div_ceil(shard_size);
         let live_ref: &[usize] = &live;
         let round_successes = (0..shards)
@@ -882,6 +898,70 @@ mod tests {
                 .expect("pool");
             let outcome = pool.install(run);
             assert_eq!(outcome, batched, "{threads} threads");
+        }
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn stopping_batch_rounds_shrink_with_the_live_set() {
+        use std::sync::Mutex;
+
+        // One common query retiring in round one, one rare query riding a
+        // long tail.  With shard_size == round_samples / 2, a full round
+        // runs as two shards and a half-sized tail round as one, so the
+        // live-set sizes recorded per `make_experiment` call reveal the
+        // schedule.
+        let thresholds = [0.9f64, 0.02];
+        let target = StoppingRuleEstimator::new(0.3, 0.1).success_target();
+        let targets = vec![target; 2];
+        let live_sizes: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+        let batched = estimate_stopping_batch_rounds(9, &targets, 1_000_000, 1_000, 500, |live| {
+            live_sizes.lock().unwrap().push(live.len());
+            move |rng: &mut StdRng, hits: &mut [bool]| {
+                let draw: f64 = rng.random();
+                for (hit, &t) in hits.iter_mut().zip(&thresholds) {
+                    *hit = draw < t;
+                }
+            }
+        });
+        let easy = batched.outcomes[0];
+        assert!(!easy.truncated);
+        assert_eq!(easy.samples, 1_000, "the common query retires in round one");
+        let rare = batched.outcomes[1];
+        assert!(!rare.truncated);
+        assert!(rare.samples > 1_000);
+        // After the first retirement rounds shrink to ⌈1000 · 1/2⌉ = 500.
+        assert_eq!(
+            (rare.samples - 1_000) % 500,
+            0,
+            "tail rounds are half-sized: {} samples",
+            rare.samples
+        );
+        let sizes = live_sizes.into_inner().unwrap();
+        assert_eq!(&sizes[..2], &[2, 2], "the full first round runs two shards");
+        assert!(sizes[2..].iter().all(|&s| s == 1), "{sizes:?}");
+        assert_eq!(
+            sizes.len() as u64,
+            2 + (rare.samples - 1_000) / 500,
+            "one shard per tail round: {sizes:?}"
+        );
+        // The adaptive schedule stays bit-identical across thread counts.
+        let rerun = || {
+            estimate_stopping_batch_rounds(9, &targets, 1_000_000, 1_000, 500, |_live| {
+                move |rng: &mut StdRng, hits: &mut [bool]| {
+                    let draw: f64 = rng.random();
+                    for (hit, &t) in hits.iter_mut().zip(&thresholds) {
+                        *hit = draw < t;
+                    }
+                }
+            })
+        };
+        for threads in [1usize, 3] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool");
+            assert_eq!(pool.install(rerun), batched, "{threads} threads");
         }
     }
 

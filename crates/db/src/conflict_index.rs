@@ -175,7 +175,7 @@ impl ConflictIndex {
 /// A default-constructed `LiveOps` owns no buffers; the first
 /// [`LiveOps::reset_full`]/[`LiveOps::reset_to`] sizes them, and later
 /// resets reuse the allocations (the walk hot loop is allocation-free).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct LiveOps {
     /// The live sub-database `D'`.
     live: FactSet,
@@ -189,19 +189,6 @@ pub struct LiveOps {
     pairs: Vec<u32>,
     /// Per pair id: its position in `pairs`, or [`NOT_LIVE`].
     pair_pos: Vec<u32>,
-}
-
-impl Default for LiveOps {
-    fn default() -> Self {
-        LiveOps {
-            live: FactSet::empty(0),
-            degree: Vec::new(),
-            singles: Vec::new(),
-            single_pos: Vec::new(),
-            pairs: Vec::new(),
-            pair_pos: Vec::new(),
-        }
-    }
 }
 
 impl LiveOps {

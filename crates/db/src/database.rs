@@ -2,9 +2,9 @@
 
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
-use crate::{DbError, Fact, FactId, FactSet, RelationId, Schema, Value};
+use crate::{DbError, Fact, FactId, FactSet, RelationId, RelationIndex, Schema, Value};
 
 /// A database `D` over a schema **S**: a finite set of facts.
 ///
@@ -13,12 +13,32 @@ use crate::{DbError, Fact, FactId, FactSet, RelationId, Schema, Value};
 /// evaluation and violation detection) and exposes its facts both by id and
 /// by value.  The schema is shared behind an [`Arc`] so that derived
 /// databases (e.g. the reduction gadgets) can reuse it cheaply.
-#[derive(Clone)]
 pub struct Database {
     schema: Arc<Schema>,
     facts: Vec<Fact>,
     by_fact: HashMap<Fact, FactId>,
     by_relation: Vec<Vec<FactId>>,
+    /// Lazily built `(position, value) → fact ids` index backing the
+    /// plan-based query evaluator; invalidated whenever a new fact is
+    /// inserted.
+    value_index: OnceLock<Arc<RelationIndex>>,
+}
+
+impl Clone for Database {
+    fn clone(&self) -> Self {
+        let value_index = OnceLock::new();
+        if let Some(index) = self.value_index.get() {
+            // An already-built index describes the same facts; share it.
+            let _ = value_index.set(Arc::clone(index));
+        }
+        Database {
+            schema: Arc::clone(&self.schema),
+            facts: self.facts.clone(),
+            by_fact: self.by_fact.clone(),
+            by_relation: self.by_relation.clone(),
+            value_index,
+        }
+    }
 }
 
 impl Database {
@@ -30,6 +50,7 @@ impl Database {
             facts: Vec::new(),
             by_fact: HashMap::new(),
             by_relation: vec![Vec::new(); relations],
+            value_index: OnceLock::new(),
         }
     }
 
@@ -63,6 +84,8 @@ impl Database {
         if let Some(id) = self.by_fact.get(&fact) {
             return Ok(*id);
         }
+        // A genuinely new fact invalidates the cached value index.
+        self.value_index = OnceLock::new();
         let id = FactId::new(self.facts.len());
         self.by_relation[fact.relation().index()].push(id);
         self.by_fact.insert(fact.clone(), id);
@@ -121,6 +144,24 @@ impl Database {
     /// The ids of the facts over `relation`.
     pub fn facts_of(&self, relation: RelationId) -> &[FactId] {
         &self.by_relation[relation.index()]
+    }
+
+    /// The `(position, value) → fact ids` index of this database, built on
+    /// first use and cached until the database is mutated.
+    ///
+    /// This is the access-path backbone of the plan-based query evaluator
+    /// in `ucqa-query`: a join step whose term at some position is bound
+    /// looks up its posting list here instead of scanning the relation.
+    pub fn relation_index(&self) -> &RelationIndex {
+        self.value_index
+            .get_or_init(|| Arc::new(RelationIndex::build(self)))
+    }
+
+    /// A shared handle to the relation index (building it if necessary),
+    /// for sharing across threads like [`crate::ConflictIndex`].
+    pub fn share_relation_index(&self) -> Arc<RelationIndex> {
+        self.relation_index();
+        Arc::clone(self.value_index.get().expect("just initialised"))
     }
 
     /// The full fact set `D` as a [`FactSet`] over this database's universe.

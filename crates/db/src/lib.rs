@@ -15,6 +15,9 @@
 //!   appendices.
 //! * [`ConflictIndex`] / [`LiveOps`] — the precomputed incremental
 //!   conflict index backing the O(ops)-per-step uniform-operations walk.
+//! * [`RelationIndex`] — per-relation `(position, value) → fact ids`
+//!   indexes, built once per database and shared across threads; the
+//!   access-path backbone of the plan-based query evaluator.
 //! * [`blocks`] — key blocks (facts agreeing on the key's left-hand side),
 //!   the combinatorial backbone of the primary-key algorithms.
 //!
@@ -63,6 +66,7 @@ pub mod database;
 pub mod error;
 pub mod fact;
 pub mod fd;
+pub mod relation_index;
 pub mod schema;
 pub mod subset;
 pub mod value;
@@ -75,6 +79,7 @@ pub use database::Database;
 pub use error::DbError;
 pub use fact::{Fact, FactId};
 pub use fd::{FdId, FdSet, FunctionalDependency};
+pub use relation_index::RelationIndex;
 pub use schema::{AttributeId, RelationId, Schema};
 pub use subset::FactSet;
 pub use value::Value;
@@ -84,7 +89,7 @@ pub use violation::{Violation, ViolationSet};
 pub mod prelude {
     pub use crate::{
         Block, BlockPartition, ConflictGraph, ConflictIndex, Database, DbError, Fact, FactId,
-        FactSet, FdId, FdSet, FunctionalDependency, LiveOps, RelationId, Schema, Value, Violation,
-        ViolationSet,
+        FactSet, FdId, FdSet, FunctionalDependency, LiveOps, RelationId, RelationIndex, Schema,
+        Value, Violation, ViolationSet,
     };
 }

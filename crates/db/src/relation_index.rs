@@ -1,0 +1,151 @@
+//! Per-relation value indexes: `(position, value) → fact ids`.
+//!
+//! The plan-based witness enumeration of `ucqa-query` replaces the naive
+//! "scan the whole relation per atom" join with indexed lookups: an atom
+//! whose term at some position is already bound (a constant, or a variable
+//! bound by an earlier join step) only has to look at the facts carrying
+//! that value at that position.  [`RelationIndex`] materialises those
+//! posting lists **once per database** — one hash map per (relation,
+//! position) from the value to the sorted fact-id list — and is immutable
+//! afterwards, so it can be shared across threads by reference exactly
+//! like [`crate::ConflictIndex`].
+//!
+//! [`crate::Database::relation_index`] builds the index lazily on first
+//! use and caches it behind an `Arc`; mutating the database invalidates
+//! the cache.  Posting lists preserve insertion order of the underlying
+//! fact ids (ascending), so enumeration orders are deterministic.
+
+use std::collections::HashMap;
+
+use crate::{Database, FactId, RelationId, Value};
+
+/// Immutable per-relation hash indexes from `(position, value)` to the
+/// ids of the facts carrying `value` at `position`.
+///
+/// Built once per [`Database`] (see [`Database::relation_index`]) and
+/// shared across threads; all lookups return borrowed slices, so the
+/// query-evaluation hot path performs no allocation.
+#[derive(Debug, Clone, Default)]
+pub struct RelationIndex {
+    /// `postings[relation][position]`: value → ascending fact ids.
+    postings: Vec<Vec<HashMap<Value, Vec<FactId>>>>,
+}
+
+impl RelationIndex {
+    /// Builds the index of `db`: one pass over the facts.
+    pub fn build(db: &Database) -> Self {
+        let schema = db.schema();
+        let mut postings: Vec<Vec<HashMap<Value, Vec<FactId>>>> = schema
+            .relation_ids()
+            .map(|r| vec![HashMap::new(); schema.arity(r)])
+            .collect();
+        for (id, fact) in db.iter() {
+            let relation = &mut postings[fact.relation().index()];
+            for (position, value) in fact.values().iter().enumerate() {
+                relation[position]
+                    .entry(value.clone())
+                    .or_default()
+                    .push(id);
+            }
+        }
+        RelationIndex { postings }
+    }
+
+    /// The ids of the facts of `relation` whose value at `position` equals
+    /// `value`, in ascending id order (empty if no fact matches).
+    ///
+    /// # Panics
+    /// Panics if `relation` or `position` is out of range for the indexed
+    /// database.
+    pub fn matches(&self, relation: RelationId, position: usize, value: &Value) -> &[FactId] {
+        self.postings[relation.index()][position]
+            .get(value)
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// The number of facts of `relation` carrying `value` at `position` —
+    /// the posting-list length the planner uses to pick the most selective
+    /// access path at run time.
+    pub fn selectivity(&self, relation: RelationId, position: usize, value: &Value) -> usize {
+        self.matches(relation, position, value).len()
+    }
+
+    /// Number of distinct values indexed at `(relation, position)`.
+    pub fn distinct_values(&self, relation: RelationId, position: usize) -> usize {
+        self.postings[relation.index()][position].len()
+    }
+
+    /// Total number of posting entries across all relations and positions
+    /// (= Σ relation arity × fact count; a size diagnostic).
+    pub fn posting_entries(&self) -> usize {
+        self.postings
+            .iter()
+            .flatten()
+            .flat_map(HashMap::values)
+            .map(Vec::len)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Schema;
+
+    fn sample_db() -> Database {
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["A", "B"]).unwrap();
+        schema.add_relation("S", &["X"]).unwrap();
+        let mut db = Database::with_schema(schema);
+        for (a, b) in [(1, 1), (1, 2), (2, 1)] {
+            db.insert_values("R", [Value::int(a), Value::int(b)])
+                .unwrap();
+        }
+        db.insert_values("S", [Value::str("u")]).unwrap();
+        db
+    }
+
+    #[test]
+    fn postings_group_facts_by_position_and_value() {
+        let db = sample_db();
+        let index = RelationIndex::build(&db);
+        let r = db.schema().relation_id("R").unwrap();
+        assert_eq!(
+            index.matches(r, 0, &Value::int(1)),
+            &[FactId::new(0), FactId::new(1)]
+        );
+        assert_eq!(
+            index.matches(r, 1, &Value::int(1)),
+            &[FactId::new(0), FactId::new(2)]
+        );
+        assert!(index.matches(r, 0, &Value::int(9)).is_empty());
+        assert_eq!(index.selectivity(r, 0, &Value::int(2)), 1);
+        assert_eq!(index.distinct_values(r, 0), 2);
+        let s = db.schema().relation_id("S").unwrap();
+        assert_eq!(index.matches(s, 0, &Value::str("u")), &[FactId::new(3)]);
+        // 3 facts × arity 2 + 1 fact × arity 1.
+        assert_eq!(index.posting_entries(), 7);
+    }
+
+    #[test]
+    fn database_caches_and_invalidates_the_index() {
+        let mut db = sample_db();
+        let r = db.schema().relation_id("R").unwrap();
+        assert_eq!(db.relation_index().selectivity(r, 0, &Value::int(1)), 2);
+        // Re-inserting an existing fact keeps the cache valid.
+        db.insert_values("R", [Value::int(1), Value::int(2)])
+            .unwrap();
+        assert_eq!(db.relation_index().selectivity(r, 0, &Value::int(1)), 2);
+        // A genuinely new fact invalidates and rebuilds.
+        db.insert_values("R", [Value::int(1), Value::int(3)])
+            .unwrap();
+        assert_eq!(db.relation_index().selectivity(r, 0, &Value::int(1)), 3);
+        // Clones share the already-built index.
+        let shared = db.share_relation_index();
+        let clone = db.clone();
+        assert_eq!(
+            clone.relation_index().posting_entries(),
+            shared.posting_entries()
+        );
+    }
+}

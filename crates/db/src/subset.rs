@@ -19,6 +19,15 @@ pub struct FactSet {
     universe: usize,
 }
 
+impl Default for FactSet {
+    /// An empty subset of the empty universe — the state of a scratch
+    /// buffer before its first `copy_from`/resize (see e.g.
+    /// [`crate::LiveOps`], whose `Default` relies on this).
+    fn default() -> Self {
+        FactSet::empty(0)
+    }
+}
+
 impl FactSet {
     /// Creates an empty subset of a universe with `universe` facts.
     pub fn empty(universe: usize) -> Self {

@@ -21,6 +21,18 @@
 //! entries — the caller routes those through the backtracking evaluator
 //! while the rest of the bank stays on the bitset path.
 //!
+//! **Compilation is shared too.**  [`LineageBank::compile`] does not run
+//! one witness enumeration per entry: it grounds every `(query,
+//! candidate)` pair into its plan-ordered atom sequence (candidate
+//! constants substituted, variables renumbered — entries equal up to
+//! candidate-constant substitution become *identical* sequences), inserts
+//! the sequences into a **shared scan trie**, and enumerates the trie
+//! once.  Entries sharing an atom prefix share the partial joins of that
+//! prefix, so a bank of `k` overlapping joins costs ~one indexed
+//! enumeration pass instead of `k`.  The pre-plan behaviour (one naive
+//! backtracking pass per entry) survives as
+//! [`LineageBank::compile_unplanned`], the baseline of the `e17` bench.
+//!
 //! The adaptive batched estimators *retire* queries as they converge;
 //! [`BankLiveSet`] tracks the live subset of a bank with a reference
 //! count per arena witness, so that witnesses referenced only by retired
@@ -30,10 +42,52 @@
 
 use std::collections::HashMap;
 
-use ucqa_db::{Database, FactSet, Value};
+use ucqa_db::{Database, FactId, FactSet, RelationIndex, Value};
 
 use crate::lineage::DEFAULT_WITNESS_CAP;
+use crate::plan::{candidate_facts, match_and_bind, unbind, PlanAtom, PlanTerm};
 use crate::{CompiledLineage, QueryError, QueryEvaluator};
+
+/// `a ⊆ b` over sorted, deduplicated fact-id lists (sorted-merge scan).
+fn sorted_subset(a: &[FactId], b: &[FactId]) -> bool {
+    let mut cursor = 0usize;
+    for &fact in a {
+        while cursor < b.len() && b[cursor] < fact {
+            cursor += 1;
+        }
+        if cursor == b.len() || b[cursor] != fact {
+            return false;
+        }
+        cursor += 1;
+    }
+    true
+}
+
+/// The id-list counterpart of `lineage::minimal_antichain`: duplicates and
+/// supersets absorbed, survivors in ascending cardinality order.  Working
+/// on sorted fact-id lists keeps the sort/dedup/containment passes
+/// proportional to the witness *sizes* (a handful of ids) instead of the
+/// universe size, which is what makes shared bank compilation cheap on
+/// large databases.
+fn minimal_antichain_images(mut raw: Vec<Vec<FactId>>) -> Vec<Vec<FactId>> {
+    raw.sort_unstable();
+    raw.dedup();
+    raw.sort_by_key(Vec::len);
+    let mut witnesses: Vec<Vec<FactId>> = Vec::new();
+    for candidate in raw {
+        // Among equal cardinalities `⊆` implies `=`, which the dedup
+        // already removed — only strictly smaller kept witnesses (a
+        // contiguous prefix) can absorb the candidate.
+        let smaller = witnesses.partition_point(|kept| kept.len() < candidate.len());
+        if !witnesses[..smaller]
+            .iter()
+            .any(|kept| sorted_subset(kept, &candidate))
+        {
+            witnesses.push(candidate);
+        }
+    }
+    witnesses
+}
 
 /// One query of a bank entry: an evaluator plus the candidate tuple.
 pub type BankQueryRef<'q> = (&'q QueryEvaluator, &'q [Value]);
@@ -86,7 +140,90 @@ impl LineageBank {
     }
 
     /// As [`LineageBank::compile`], with an explicit per-query witness cap.
+    ///
+    /// Compilation is **shared**: every entry is grounded into its
+    /// plan-ordered atom sequence
+    /// (`QueryEvaluator::grounded_answer_atoms`), the sequences are
+    /// factored into a scan trie, and witnesses for the whole bank are
+    /// enumerated in one indexed pass over the trie.  Per entry, the
+    /// witness set (and the fallback decision) is identical to a
+    /// standalone [`CompiledLineage::compile_with_cap`] — sharing changes
+    /// the compile cost, never the result.
     pub fn compile_with_cap(
+        db: &Database,
+        queries: &[BankQueryRef<'_>],
+        cap: usize,
+    ) -> Result<Self, QueryError> {
+        let universe = db.len();
+        // Ground every entry first: candidate arities are validated for
+        // the whole bank before any enumeration starts.  `None` marks a
+        // candidate whose repeated answer variables received conflicting
+        // values — such an entry has no homomorphisms (zero witnesses).
+        let mut trie = ScanTrie::default();
+        for (entry, &(evaluator, candidate)) in queries.iter().enumerate() {
+            if let Some(atoms) = evaluator.grounded_answer_atoms(candidate)? {
+                trie.insert(entry, &atoms);
+            }
+        }
+        let mut raw: Vec<Vec<Vec<FactId>>> = vec![Vec::new(); queries.len()];
+        let mut overflowed = vec![false; queries.len()];
+        trie.enumerate(db, cap, &mut raw, &mut overflowed);
+
+        // Witnesses are kept as sorted fact-id lists until here —
+        // sparse-friendly to sort, hash and containment-check — and only
+        // the *distinct* arena survivors are materialised as bitsets.
+        let mut witnesses: Vec<FactSet> = Vec::new();
+        let mut arena_index: HashMap<Vec<FactId>, usize> = HashMap::new();
+        let mut entries = Vec::with_capacity(queries.len());
+        for (entry, raw) in raw.into_iter().enumerate() {
+            if overflowed[entry] {
+                entries.push(BankEntry::Fallback);
+                continue;
+            }
+            let mut mask = Vec::new();
+            for witness in minimal_antichain_images(raw) {
+                // Probe before moving: witnesses shared with an earlier
+                // query cost a lookup, not an arena slot.
+                let index = match arena_index.get(&witness) {
+                    Some(&index) => index,
+                    None => {
+                        let index = witnesses.len();
+                        witnesses.push(FactSet::from_iter(universe, witness.iter().copied()));
+                        arena_index.insert(witness, index);
+                        index
+                    }
+                };
+                let word = index / 64;
+                if mask.len() <= word {
+                    mask.resize(word + 1, 0u64);
+                }
+                mask[word] |= 1u64 << (index % 64);
+            }
+            entries.push(BankEntry::Compiled { mask });
+        }
+        Ok(LineageBank {
+            universe,
+            witnesses,
+            entries,
+        })
+    }
+
+    /// As [`LineageBank::compile`], on the **unplanned baseline**: one
+    /// naive backtracking enumeration pass per `(query, candidate)` entry
+    /// (via [`CompiledLineage::compile_unplanned`]), no prefix sharing.
+    /// The witness arena holds the same witness sets as the shared
+    /// compile; only the compile cost differs.  This is the pre-refactor
+    /// behaviour, kept as the measured baseline of the `e17` bench and the
+    /// cross-check of the property tests.
+    pub fn compile_unplanned(
+        db: &Database,
+        queries: &[BankQueryRef<'_>],
+    ) -> Result<Self, QueryError> {
+        Self::compile_unplanned_with_cap(db, queries, DEFAULT_WITNESS_CAP)
+    }
+
+    /// As [`LineageBank::compile_unplanned`], with an explicit cap.
+    pub fn compile_unplanned_with_cap(
         db: &Database,
         queries: &[BankQueryRef<'_>],
         cap: usize,
@@ -96,13 +233,11 @@ impl LineageBank {
         let mut arena_index: HashMap<FactSet, usize> = HashMap::new();
         let mut entries = Vec::with_capacity(queries.len());
         for &(evaluator, candidate) in queries {
-            match CompiledLineage::compile_with_cap(evaluator, db, candidate, cap)? {
+            match CompiledLineage::compile_unplanned_with_cap(evaluator, db, candidate, cap)? {
                 None => entries.push(BankEntry::Fallback),
                 Some(lineage) => {
                     let mut mask = Vec::new();
                     for witness in lineage.witnesses() {
-                        // Probe before cloning: witnesses shared with an
-                        // earlier query cost a lookup, not an allocation.
                         let index = match arena_index.get(witness) {
                             Some(&index) => index,
                             None => {
@@ -266,6 +401,202 @@ impl LineageBank {
                 }
                 BankEntry::Fallback => false,
             };
+        }
+    }
+}
+
+/// One node of the shared scan trie: a grounded, slot-normalized atom,
+/// plus everything the enumerator needs to run it as one indexed join
+/// step.
+#[derive(Debug)]
+struct TrieNode {
+    /// The grounded atom (constants substituted, variables renumbered by
+    /// first occurrence along the path — so structurally equal prefixes
+    /// share nodes regardless of the original variable names).
+    atom: PlanAtom,
+    /// Term positions bound when this node runs (constants, plus
+    /// variables introduced by ancestor nodes).
+    bound_positions: Vec<usize>,
+    /// Number of distinct variable slots introduced up to and including
+    /// this node (= the child level's "bound slots" count).
+    slots_after: usize,
+    /// Child node ids.
+    children: Vec<usize>,
+    /// Entries whose grounded atom sequence ends at this node: every full
+    /// match of the path emits one witness per listed entry.
+    terminals: Vec<usize>,
+    /// All entries with a terminal in this subtree — once they have all
+    /// overflowed their cap, the subtree is pruned.
+    entries_below: Vec<usize>,
+}
+
+/// The shared scan trie of one bank compilation: grounded atom sequences
+/// factored by common prefix, enumerated in a single DFS.
+#[derive(Debug, Default)]
+struct ScanTrie {
+    nodes: Vec<TrieNode>,
+    /// Children of the (virtual) root.
+    roots: Vec<usize>,
+    /// Entries with an *empty* grounded atom sequence (empty-body
+    /// queries): their single witness is the empty set.
+    root_terminals: Vec<usize>,
+    /// Maximum `slots_after` over all nodes — the binding-buffer size.
+    max_slots: usize,
+}
+
+impl ScanTrie {
+    /// Inserts one entry's grounded atom sequence, sharing every node of
+    /// the longest existing prefix.
+    fn insert(&mut self, entry: usize, atoms: &[PlanAtom]) {
+        if atoms.is_empty() {
+            self.root_terminals.push(entry);
+            return;
+        }
+        let mut parent: Option<usize> = None;
+        let mut slots_before = 0usize;
+        for (depth, atom) in atoms.iter().enumerate() {
+            let children: &[usize] = match parent {
+                None => &self.roots,
+                Some(p) => &self.nodes[p].children,
+            };
+            let found = children
+                .iter()
+                .copied()
+                .find(|&c| self.nodes[c].atom == *atom);
+            let node = match found {
+                Some(node) => node,
+                None => {
+                    let bound_positions: Vec<usize> = atom
+                        .terms
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, term)| match term {
+                            PlanTerm::Const(_) => true,
+                            PlanTerm::Var(slot) => *slot < slots_before,
+                        })
+                        .map(|(position, _)| position)
+                        .collect();
+                    let slots_after = atom
+                        .terms
+                        .iter()
+                        .filter_map(|term| match term {
+                            PlanTerm::Var(slot) => Some(slot + 1),
+                            PlanTerm::Const(_) => None,
+                        })
+                        .fold(slots_before, usize::max);
+                    let node = self.nodes.len();
+                    self.nodes.push(TrieNode {
+                        atom: atom.clone(),
+                        bound_positions,
+                        slots_after,
+                        children: Vec::new(),
+                        terminals: Vec::new(),
+                        entries_below: Vec::new(),
+                    });
+                    self.max_slots = self.max_slots.max(slots_after);
+                    match parent {
+                        None => self.roots.push(node),
+                        Some(p) => self.nodes[p].children.push(node),
+                    }
+                    node
+                }
+            };
+            self.nodes[node].entries_below.push(entry);
+            slots_before = self.nodes[node].slots_after;
+            if depth + 1 == atoms.len() {
+                self.nodes[node].terminals.push(entry);
+            }
+            parent = Some(node);
+        }
+    }
+
+    /// Enumerates the whole trie in one DFS, appending each full match's
+    /// image to `raw[entry]` for every terminal entry of the matched path.
+    /// An entry whose raw witness count exceeds `cap` is flagged in
+    /// `overflowed` and collects no further witnesses; subtrees whose
+    /// entries have all overflowed are pruned.
+    fn enumerate(
+        &self,
+        db: &Database,
+        cap: usize,
+        raw: &mut [Vec<Vec<FactId>>],
+        overflowed: &mut [bool],
+    ) {
+        for &entry in &self.root_terminals {
+            // An empty body is matched by the empty image: one witness,
+            // the empty set (entailed by every subset).
+            raw[entry].push(Vec::new());
+        }
+        let index = db.relation_index();
+        let mut bindings: Vec<Option<&Value>> = vec![None; self.max_slots];
+        let mut image: Vec<FactId> = Vec::new();
+        for &root in &self.roots {
+            self.visit(
+                db,
+                index,
+                root,
+                cap,
+                &mut bindings,
+                &mut image,
+                raw,
+                overflowed,
+            );
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn visit<'d>(
+        &self,
+        db: &'d Database,
+        index: &'d RelationIndex,
+        node_id: usize,
+        cap: usize,
+        bindings: &mut Vec<Option<&'d Value>>,
+        image: &mut Vec<FactId>,
+        raw: &mut [Vec<Vec<FactId>>],
+        overflowed: &mut [bool],
+    ) {
+        let node = &self.nodes[node_id];
+        if node.entries_below.iter().all(|&e| overflowed[e]) {
+            return;
+        }
+        let candidates = candidate_facts(
+            db,
+            index,
+            node.atom.relation,
+            &node.atom.terms,
+            &node.bound_positions,
+            bindings,
+        );
+        for &fact_id in candidates {
+            let Some(bound_here) = match_and_bind(&node.atom.terms, db.fact(fact_id), bindings)
+            else {
+                continue;
+            };
+            image.push(fact_id);
+            if !node.terminals.is_empty() {
+                // Normalise the image once per match, not once per
+                // terminal (duplicate entries share one terminal list).
+                let mut ids = image.clone();
+                ids.sort_unstable();
+                ids.dedup();
+                for &entry in &node.terminals {
+                    if !overflowed[entry] {
+                        raw[entry].push(ids.clone());
+                        // One past the cap is enough to know this entry
+                        // must fall back to the evaluator.
+                        if raw[entry].len() > cap {
+                            overflowed[entry] = true;
+                            raw[entry] = Vec::new();
+                        }
+                    }
+                }
+            }
+            for &child in &node.children {
+                self.visit(db, index, child, cap, bindings, image, raw, overflowed);
+            }
+            image.pop();
+            unbind(&node.atom.terms, bound_here, bindings);
         }
     }
 }
@@ -636,6 +967,89 @@ mod tests {
         bank.evaluate_live_into(&live, &db.all_facts(), &mut scratch, &mut hits);
         assert!(hits[0], "retired entries are left untouched");
         assert!(hits[1]);
+    }
+
+    #[test]
+    fn shared_compile_matches_the_unplanned_baseline() {
+        let db = blocks_db();
+        // Overlapping joins sharing the R(1, x) prefix, a duplicate, an
+        // unsatisfiable query, and a full scan that overflows a tiny cap.
+        let evals = evaluators(
+            &db,
+            &[
+                "Ans() :- R(1, x), R(2, x)",
+                "Ans() :- R(1, x), R(x, y)",
+                "Ans() :- R(1, x), R(2, x)",
+                "Ans() :- R(9, 9)",
+                "Ans() :- R(x, y)",
+            ],
+        );
+        let queries: Vec<BankQueryRef<'_>> = evals.iter().map(|e| (e, &[] as &[Value])).collect();
+        for cap in [DEFAULT_WITNESS_CAP, 2] {
+            let shared = LineageBank::compile_with_cap(&db, &queries, cap).unwrap();
+            let baseline = LineageBank::compile_unplanned_with_cap(&db, &queries, cap).unwrap();
+            let mut scratch = BankScratch::new();
+            let mut shared_hits = vec![false; shared.len()];
+            let mut baseline_hits = vec![false; baseline.len()];
+            for i in 0..queries.len() {
+                assert_eq!(shared.is_fallback(i), baseline.is_fallback(i), "entry {i}");
+                assert_eq!(
+                    shared.query_witness_count(i),
+                    baseline.query_witness_count(i),
+                    "entry {i}"
+                );
+            }
+            for subset in subsets(db.len()) {
+                shared.evaluate_into(&subset, &mut scratch, &mut shared_hits);
+                baseline.evaluate_into(&subset, &mut scratch, &mut baseline_hits);
+                assert_eq!(shared_hits, baseline_hits, "cap {cap}, {subset:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_substitution_groups_entries_in_the_trie() {
+        let db = blocks_db();
+        // One parameterised query, two candidates; grounding makes the
+        // first one identical to the Boolean form, so all three share.
+        let lookup = evaluators(&db, &["Ans(k) :- R(k, x), R(2, x)"]);
+        let boolean = evaluators(&db, &["Ans() :- R(1, x), R(2, x)"]);
+        let one = [Value::int(1)];
+        let two = [Value::int(2)];
+        let queries: Vec<BankQueryRef<'_>> = vec![
+            (&lookup[0], &one),
+            (&lookup[0], &two),
+            (&boolean[0], &[] as &[Value]),
+        ];
+        let bank = LineageBank::compile(&db, &queries).unwrap();
+        let single = CompiledLineage::compile(&boolean[0], &db, &[])
+            .unwrap()
+            .unwrap();
+        assert_eq!(bank.query_witness_count(0), Some(single.witness_count()));
+        assert_eq!(bank.query_witness_count(2), Some(single.witness_count()));
+        // Entries 0 and 2 are the same grounded query: their witnesses
+        // coincide in the arena.
+        let mut scratch = BankScratch::new();
+        let mut hits = vec![false; 3];
+        for subset in subsets(db.len()) {
+            bank.evaluate_into(&subset, &mut scratch, &mut hits);
+            assert_eq!(hits[0], hits[2], "{subset:?}");
+            assert_eq!(hits[0], single.entails(&subset), "{subset:?}");
+        }
+    }
+
+    #[test]
+    fn empty_body_entries_compile_to_the_empty_witness() {
+        let db = blocks_db();
+        let query = crate::ConjunctiveQuery::boolean(db.schema(), vec![]).unwrap();
+        let evaluator = QueryEvaluator::new(query);
+        let queries: Vec<BankQueryRef<'_>> = vec![(&evaluator, &[] as &[Value])];
+        let bank = LineageBank::compile(&db, &queries).unwrap();
+        assert_eq!(bank.query_witness_count(0), Some(1));
+        let mut scratch = BankScratch::new();
+        let mut hits = vec![false; 1];
+        bank.evaluate_into(&FactSet::empty(db.len()), &mut scratch, &mut hits);
+        assert!(hits[0], "an empty body is entailed by the empty subset");
     }
 
     #[test]

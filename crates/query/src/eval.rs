@@ -1,17 +1,27 @@
 //! Homomorphism-based evaluation of conjunctive queries.
 //!
 //! The evaluator compiles the query once at construction: variables are
-//! interned into dense *slots* and every atom's terms are resolved to
-//! either a constant or a slot index.  The backtracking search then binds
-//! values by slot into a flat `Vec<Option<&Value>>` — no `BTreeMap`
-//! operations, no `Variable`/`Value` clones on the search path.  Named
-//! [`Bindings`] are only materialised when a full homomorphism is reported
-//! back to the caller.
+//! interned into dense *slots*, every atom's terms are resolved to either
+//! a constant or a slot index, and two [`JoinPlan`]s are built — one for
+//! free enumeration and one with the answer slots treated as prebound
+//! (the candidate-driven paths of the lineage compiler).  Evaluation
+//! executes the plan: atoms in selectivity order, each step an indexed
+//! lookup against the database's [`RelationIndex`](ucqa_db::RelationIndex)
+//! (or a filtered scan when nothing is bound), binding values by slot into
+//! a flat `Vec<Option<&Value>>` — no `BTreeMap` operations, no
+//! `Variable`/`Value` clones on the search path.  Named [`Bindings`] are
+//! only materialised when a full homomorphism is reported back.
+//!
+//! The pre-plan behaviour — body order, whole-relation scans — survives as
+//! the `*_unplanned` methods ([`QueryEvaluator::entails_unplanned`],
+//! [`QueryEvaluator::for_each_answer_image_unplanned`], …): the measured
+//! baseline of the `e17` bench and the cross-checking property tests.
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use ucqa_db::{Database, FactId, FactSet, RelationId, Value};
+use ucqa_db::{Database, FactId, FactSet, Value};
 
+use crate::plan::{match_and_bind, unbind, JoinPlan, PlanAtom, PlanTerm};
 use crate::{ConjunctiveQuery, QueryError, Term, Variable};
 
 /// A variable assignment produced by a homomorphism from a query into a
@@ -45,23 +55,8 @@ impl Homomorphism {
     }
 }
 
-/// An atom term resolved against the interned variable slots.
-#[derive(Debug, Clone)]
-enum SlotTerm {
-    /// A constant that the fact value must equal.
-    Const(Value),
-    /// A variable, identified by its slot index.
-    Var(usize),
-}
-
-/// An atom with terms resolved to slots.
-#[derive(Debug, Clone)]
-struct CompiledAtom {
-    relation: RelationId,
-    terms: Vec<SlotTerm>,
-}
-
-/// Evaluates conjunctive queries over sub-databases via backtracking join.
+/// Evaluates conjunctive queries over sub-databases via a planned,
+/// index-backed join.
 ///
 /// The evaluator is constructed once per query and can then be applied to
 /// many subsets `D' ⊆ D` (the typical usage pattern of the samplers:
@@ -71,15 +66,20 @@ pub struct QueryEvaluator {
     query: ConjunctiveQuery,
     /// Slot index → variable, in first-occurrence order.
     slots: Vec<Variable>,
-    /// Atoms with terms resolved to slots.
-    atoms: Vec<CompiledAtom>,
+    /// Atoms with terms resolved to slots, in body order.
+    atoms: Vec<PlanAtom>,
     /// Answer variable positions resolved to slots.
     answer_slots: Vec<usize>,
+    /// Join plan for free enumeration (no slots prebound).
+    plan: JoinPlan,
+    /// Join plan with the answer slots treated as prebound (the
+    /// candidate-driven paths: `has_answer`, the lineage compiler).
+    answer_plan: JoinPlan,
 }
 
 impl QueryEvaluator {
     /// Creates an evaluator for `query`, interning its variables into
-    /// dense slots.
+    /// dense slots and planning the join order.
     pub fn new(query: ConjunctiveQuery) -> Self {
         let mut slots: Vec<Variable> = Vec::new();
         let slot_of = |slots: &mut Vec<Variable>, var: &Variable| -> usize {
@@ -91,7 +91,7 @@ impl QueryEvaluator {
                 }
             }
         };
-        let atoms: Vec<CompiledAtom> = query
+        let atoms: Vec<PlanAtom> = query
             .atoms()
             .iter()
             .map(|atom| {
@@ -101,20 +101,20 @@ impl QueryEvaluator {
                     atom.terms().len() <= 64,
                     "atoms with more than 64 terms are not supported"
                 );
-                CompiledAtom {
+                PlanAtom {
                     relation: atom.relation(),
                     terms: atom
                         .terms()
                         .iter()
                         .map(|term| match term {
-                            Term::Const(c) => SlotTerm::Const(c.clone()),
-                            Term::Var(v) => SlotTerm::Var(slot_of(&mut slots, v)),
+                            Term::Const(c) => PlanTerm::Const(c.clone()),
+                            Term::Var(v) => PlanTerm::Var(slot_of(&mut slots, v)),
                         })
                         .collect(),
                 }
             })
             .collect();
-        let answer_slots = query
+        let answer_slots: Vec<usize> = query
             .answer_vars()
             .iter()
             .map(|v| {
@@ -124,17 +124,33 @@ impl QueryEvaluator {
                     .expect("answer variables are safe, so they occur in the body")
             })
             .collect();
+        let plan = JoinPlan::build(&atoms, slots.len(), &[]);
+        let answer_plan = JoinPlan::build(&atoms, slots.len(), &answer_slots);
         QueryEvaluator {
             query,
             slots,
             atoms,
             answer_slots,
+            plan,
+            answer_plan,
         }
     }
 
     /// The underlying query.
     pub fn query(&self) -> &ConjunctiveQuery {
         &self.query
+    }
+
+    /// The join plan of free enumeration (nothing prebound).
+    pub fn plan(&self) -> &JoinPlan {
+        &self.plan
+    }
+
+    /// The join plan of candidate-driven enumeration (answer slots treated
+    /// as prebound) — the order the lineage compiler and the bank's shared
+    /// scan trie enumerate witnesses in.
+    pub fn answer_plan(&self) -> &JoinPlan {
+        &self.answer_plan
     }
 
     /// Enumerates all homomorphisms from the query into the sub-database
@@ -150,10 +166,10 @@ impl QueryEvaluator {
         let mut results = Vec::new();
         let mut bindings: Vec<Option<&Value>> = vec![None; self.slots.len()];
         let mut image = Vec::new();
-        self.search(
+        self.plan.run(
             db,
+            db.relation_index(),
             subset,
-            0,
             &mut bindings,
             &mut image,
             &mut |bindings, image| {
@@ -169,7 +185,14 @@ impl QueryEvaluator {
     pub fn entails(&self, db: &Database, subset: &FactSet) -> bool {
         let mut bindings: Vec<Option<&Value>> = vec![None; self.slots.len()];
         let mut image = Vec::new();
-        self.search(db, subset, 0, &mut bindings, &mut image, &mut |_, _| true)
+        self.plan.run(
+            db,
+            db.relation_index(),
+            subset,
+            &mut bindings,
+            &mut image,
+            &mut |_, _| true,
+        )
     }
 
     /// The set of answers `Q(D')`.
@@ -177,10 +200,10 @@ impl QueryEvaluator {
         let mut answers = BTreeSet::new();
         let mut bindings: Vec<Option<&Value>> = vec![None; self.slots.len()];
         let mut image = Vec::new();
-        self.search(
+        self.plan.run(
             db,
+            db.relation_index(),
             subset,
-            0,
             &mut bindings,
             &mut image,
             &mut |bindings, _| {
@@ -213,7 +236,14 @@ impl QueryEvaluator {
             return Ok(false);
         }
         let mut image = Vec::new();
-        Ok(self.search(db, subset, 0, &mut bindings, &mut image, &mut |_, _| true))
+        Ok(self.answer_plan.run(
+            db,
+            db.relation_index(),
+            subset,
+            &mut bindings,
+            &mut image,
+            &mut |_, _| true,
+        ))
     }
 
     /// Enumerates the homomorphisms `h` with `h(x̄) = candidate`, without a
@@ -231,10 +261,10 @@ impl QueryEvaluator {
             return Ok(results);
         }
         let mut image = Vec::new();
-        self.search(
+        self.answer_plan.run(
             db,
+            db.relation_index(),
             subset,
-            0,
             &mut bindings,
             &mut image,
             &mut |bindings, image| {
@@ -268,11 +298,143 @@ impl QueryEvaluator {
             return Ok(false);
         }
         let mut image = Vec::new();
+        Ok(self.answer_plan.run(
+            db,
+            db.relation_index(),
+            subset,
+            &mut bindings,
+            &mut image,
+            &mut |_, image| visitor(image),
+        ))
+    }
+
+    /// As [`QueryEvaluator::homomorphisms`], on the unplanned baseline
+    /// (body-order backtracking, whole-relation scans).
+    pub fn homomorphisms_unplanned(
+        &self,
+        db: &Database,
+        subset: &FactSet,
+        max: Option<usize>,
+    ) -> Vec<Homomorphism> {
+        let mut results = Vec::new();
+        let mut bindings: Vec<Option<&Value>> = vec![None; self.slots.len()];
+        let mut image = Vec::new();
+        self.search(
+            db,
+            subset,
+            0,
+            &mut bindings,
+            &mut image,
+            &mut |bindings, image| {
+                results.push(self.materialize(bindings, image));
+                max.is_some_and(|limit| results.len() >= limit)
+            },
+        );
+        results
+    }
+
+    /// As [`QueryEvaluator::entails`], on the unplanned baseline.
+    pub fn entails_unplanned(&self, db: &Database, subset: &FactSet) -> bool {
+        let mut bindings: Vec<Option<&Value>> = vec![None; self.slots.len()];
+        let mut image = Vec::new();
+        self.search(db, subset, 0, &mut bindings, &mut image, &mut |_, _| true)
+    }
+
+    /// As [`QueryEvaluator::has_answer`], on the unplanned baseline.
+    pub fn has_answer_unplanned(
+        &self,
+        db: &Database,
+        subset: &FactSet,
+        candidate: &[Value],
+    ) -> Result<bool, QueryError> {
+        let mut bindings: Vec<Option<&Value>> = vec![None; self.slots.len()];
+        if !self.prebind_candidate(candidate, &mut bindings)? {
+            return Ok(false);
+        }
+        let mut image = Vec::new();
+        Ok(self.search(db, subset, 0, &mut bindings, &mut image, &mut |_, _| true))
+    }
+
+    /// As [`QueryEvaluator::for_each_answer_image`], on the unplanned
+    /// baseline — the pre-plan witness enumeration measured by the `e17`
+    /// bench and cross-checked by the property tests.
+    pub fn for_each_answer_image_unplanned<F>(
+        &self,
+        db: &Database,
+        subset: &FactSet,
+        candidate: &[Value],
+        mut visitor: F,
+    ) -> Result<bool, QueryError>
+    where
+        F: FnMut(&[FactId]) -> bool,
+    {
+        let mut bindings: Vec<Option<&Value>> = vec![None; self.slots.len()];
+        if !self.prebind_candidate(candidate, &mut bindings)? {
+            return Ok(false);
+        }
+        let mut image = Vec::new();
         Ok(
             self.search(db, subset, 0, &mut bindings, &mut image, &mut |_, image| {
                 visitor(image)
             }),
         )
+    }
+
+    /// The grounded, plan-ordered atoms of a candidate-driven enumeration:
+    /// the atoms in [`QueryEvaluator::answer_plan`] order, with answer
+    /// slots substituted by the candidate constants and the remaining
+    /// variables renumbered by first occurrence along that order.
+    ///
+    /// Two bank entries with equal grounded atom prefixes enumerate the
+    /// same partial joins, which is what the shared scan trie of
+    /// [`crate::LineageBank::compile`] factors out.  Returns `Ok(None)`
+    /// when a repeated answer variable receives two different candidate
+    /// values (the candidate has no homomorphisms at all).
+    pub(crate) fn grounded_answer_atoms(
+        &self,
+        candidate: &[Value],
+    ) -> Result<Option<Vec<PlanAtom>>, QueryError> {
+        if candidate.len() != self.answer_slots.len() {
+            return Err(QueryError::AnswerArityMismatch {
+                expected: self.answer_slots.len(),
+                actual: candidate.len(),
+            });
+        }
+        let mut slot_value: Vec<Option<&Value>> = vec![None; self.slots.len()];
+        for (&slot, value) in self.answer_slots.iter().zip(candidate) {
+            match slot_value[slot] {
+                Some(existing) if existing != value => return Ok(None),
+                _ => slot_value[slot] = Some(value),
+            }
+        }
+        let mut renumbered: Vec<Option<usize>> = vec![None; self.slots.len()];
+        let mut next = 0usize;
+        let grounded = self
+            .answer_plan
+            .atom_order()
+            .map(|atom| PlanAtom {
+                relation: self.atoms[atom].relation,
+                terms: self.atoms[atom]
+                    .terms
+                    .iter()
+                    .map(|term| match term {
+                        PlanTerm::Const(c) => PlanTerm::Const(c.clone()),
+                        PlanTerm::Var(slot) => match slot_value[*slot] {
+                            Some(value) => PlanTerm::Const(value.clone()),
+                            None => {
+                                let id = *renumbered[*slot].get_or_insert_with(|| {
+                                    let id = next;
+                                    next += 1;
+                                    id
+                                });
+                                PlanTerm::Var(id)
+                            }
+                        },
+                    })
+                    .collect(),
+            })
+            .collect();
+        Ok(Some(grounded))
     }
 
     /// Binds the answer slots to the candidate values, returning `Ok(false)`
@@ -315,10 +477,11 @@ impl QueryEvaluator {
         }
     }
 
-    /// The backtracking join.  `sink` is invoked at every leaf with the
-    /// current slot bindings and the (unsorted, possibly duplicated) image;
-    /// it returns `true` to stop the search.  The overall return value is
-    /// `true` iff the search was stopped by the sink.
+    /// The unplanned backtracking join (body order, whole-relation scans).
+    /// `sink` is invoked at every leaf with the current slot bindings and
+    /// the (unsorted, possibly duplicated) image; it returns `true` to
+    /// stop the search.  The overall return value is `true` iff the search
+    /// was stopped by the sink.
     fn search<'d, F>(
         &self,
         db: &'d Database,
@@ -339,61 +502,21 @@ impl QueryEvaluator {
             if !subset.contains(fact_id) {
                 continue;
             }
-            let fact = db.fact(fact_id);
-            // Try to unify the atom's terms with the fact's values.  The
-            // slots bound by this frame are tracked in a bitmask so they
-            // can be unbound on backtrack without heap allocation
-            // (`QueryEvaluator::new` rejects atoms with more than 64
-            // terms).
-            let mut bound_here: u64 = 0;
-            let mut ok = true;
-            for (position, (term, value)) in atom.terms.iter().zip(fact.values()).enumerate() {
-                match term {
-                    SlotTerm::Const(c) => {
-                        if c != value {
-                            ok = false;
-                            break;
-                        }
-                    }
-                    SlotTerm::Var(slot) => match bindings[*slot] {
-                        Some(bound) => {
-                            if bound != value {
-                                ok = false;
-                                break;
-                            }
-                        }
-                        None => {
-                            bindings[*slot] = Some(value);
-                            bound_here |= 1 << position;
-                        }
-                    },
-                }
+            // Unify the atom's terms with the fact's values; the same
+            // match-and-bind kernel backs the planned executor and the
+            // bank's scan trie, so the baselines cannot drift.
+            let Some(bound_here) = match_and_bind(&atom.terms, db.fact(fact_id), bindings) else {
+                continue;
+            };
+            image.push(fact_id);
+            let stop = self.search(db, subset, atom_index + 1, bindings, image, sink);
+            image.pop();
+            unbind(&atom.terms, bound_here, bindings);
+            if stop {
+                return true;
             }
-            if ok {
-                image.push(fact_id);
-                let stop = self.search(db, subset, atom_index + 1, bindings, image, sink);
-                image.pop();
-                if stop {
-                    self.unbind(atom, bound_here, bindings);
-                    return true;
-                }
-            }
-            self.unbind(atom, bound_here, bindings);
         }
         false
-    }
-
-    /// Clears the bindings introduced by one frame, identified by the term
-    /// positions recorded in `bound_here`.
-    fn unbind(&self, atom: &CompiledAtom, bound_here: u64, bindings: &mut [Option<&Value>]) {
-        let mut mask = bound_here;
-        while mask != 0 {
-            let position = mask.trailing_zeros() as usize;
-            mask &= mask - 1;
-            if let SlotTerm::Var(slot) = &atom.terms[position] {
-                bindings[*slot] = None;
-            }
-        }
     }
 }
 
@@ -561,5 +684,77 @@ mod tests {
         assert!(eval
             .has_answer(&db, &db.all_facts(), &[Value::str("u"), Value::str("u")])
             .unwrap());
+        // Grounding mirrors the prebind rules: a conflicting candidate has
+        // no grounded atoms at all.
+        assert!(eval
+            .grounded_answer_atoms(&[Value::str("u"), Value::str("v")])
+            .unwrap()
+            .is_none());
+        assert!(eval
+            .grounded_answer_atoms(&[Value::str("u"), Value::str("u")])
+            .unwrap()
+            .is_some());
+        assert!(eval.grounded_answer_atoms(&[Value::str("u")]).is_err());
+    }
+
+    #[test]
+    fn planned_evaluation_agrees_with_the_unplanned_baseline() {
+        let db = graph_db();
+        let texts = [
+            "Ans() :- E(x, y), V(x, z), V(y, z), T(z)",
+            "Ans(x) :- V(x, z), T(z)",
+            "Ans(x, y) :- E(x, y), V(y, 1)",
+            "Ans() :- V(x, 9)",
+        ];
+        for text in texts {
+            let eval = QueryEvaluator::new(parse_query(db.schema(), text).unwrap());
+            for mask in 0u32..(1 << db.len().min(11)) {
+                let subset = FactSet::from_iter(
+                    db.len(),
+                    (0..db.len())
+                        .filter(|i| (mask >> i) & 1 == 1)
+                        .map(FactId::new),
+                );
+                assert_eq!(
+                    eval.entails(&db, &subset),
+                    eval.entails_unplanned(&db, &subset),
+                    "{text}, mask {mask:b}"
+                );
+                let mut planned: Vec<Homomorphism> = eval.homomorphisms(&db, &subset, None);
+                let mut unplanned = eval.homomorphisms_unplanned(&db, &subset, None);
+                planned.sort_by(|a, b| a.bindings.cmp(&b.bindings));
+                unplanned.sort_by(|a, b| a.bindings.cmp(&b.bindings));
+                assert_eq!(planned, unplanned, "{text}, mask {mask:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn grounded_answer_atoms_substitute_candidates_and_renumber() {
+        let db = graph_db();
+        let q = parse_query(db.schema(), "Ans(x) :- V(x, z), T(z)").unwrap();
+        let eval = QueryEvaluator::new(q);
+        let grounded = eval
+            .grounded_answer_atoms(&[Value::str("u")])
+            .unwrap()
+            .unwrap();
+        assert_eq!(grounded.len(), 2);
+        // The answer slot is substituted by the constant; z is renumbered
+        // to slot 0 in first-occurrence order along the plan.
+        let v = db.schema().relation_id("V").unwrap();
+        let first = grounded
+            .iter()
+            .find(|atom| atom.relation == v)
+            .expect("the V atom survives grounding");
+        assert_eq!(first.terms[0], PlanTerm::Const(Value::str("u")));
+        assert_eq!(first.terms[1], PlanTerm::Var(0));
+        // Identical queries with identical candidates ground identically
+        // (the trie-sharing invariant).
+        let q2 = parse_query(db.schema(), "Ans(a) :- V(a, b), T(b)").unwrap();
+        let eval2 = QueryEvaluator::new(q2);
+        assert_eq!(
+            eval2.grounded_answer_atoms(&[Value::str("u")]).unwrap(),
+            Some(grounded)
+        );
     }
 }

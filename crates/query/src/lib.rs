@@ -6,9 +6,14 @@
 //! A conjunctive query has the form `Ans(x̄) :- R₁(ȳ₁), …, Rₙ(ȳₙ)` where
 //! each `Rᵢ(ȳᵢ)` is a relational atom over variables and constants and the
 //! answer variables `x̄` all occur in the body.  Evaluation is defined via
-//! homomorphisms into a database; [`eval`] enumerates them with a simple
-//! indexed backtracking join, which is all the paper's algorithms need
-//! (queries are fixed — data complexity).
+//! homomorphisms into a database; [`eval`] enumerates them by executing a
+//! selectivity-ordered [`plan::JoinPlan`] over the database's
+//! `(position, value)` indexes (queries are fixed — data complexity — so
+//! the plan is built once per evaluator).  [`lineage`] compiles the
+//! enumeration result into witness bitsets for the Monte-Carlo hot loop,
+//! and [`bank`] shares both the enumeration (common atom prefixes, one
+//! scan trie) and the witnesses (one deduplicated arena) across a whole
+//! bank of queries.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -19,17 +24,19 @@ pub mod error;
 pub mod eval;
 pub mod lineage;
 pub mod parser;
+pub mod plan;
 
 pub use ast::{Atom, ConjunctiveQuery, Term, Variable};
 pub use bank::{BankLiveSet, BankScratch, LineageBank};
 pub use error::QueryError;
 pub use eval::{Bindings, QueryEvaluator};
 pub use lineage::CompiledLineage;
+pub use plan::JoinPlan;
 
 /// Commonly used types, re-exported for convenience.
 pub mod prelude {
     pub use crate::{
-        Atom, BankLiveSet, BankScratch, Bindings, CompiledLineage, ConjunctiveQuery, LineageBank,
-        QueryError, QueryEvaluator, Term, Variable,
+        Atom, BankLiveSet, BankScratch, Bindings, CompiledLineage, ConjunctiveQuery, JoinPlan,
+        LineageBank, QueryError, QueryEvaluator, Term, Variable,
     };
 }

@@ -57,6 +57,12 @@ impl CompiledLineage {
     }
 
     /// As [`CompiledLineage::compile`], with an explicit witness cap.
+    ///
+    /// Witness enumeration runs on the evaluator's plan-based pipeline
+    /// ([`QueryEvaluator::for_each_answer_image`] — selectivity-ordered
+    /// atom steps over the database's relation indexes); the pre-plan
+    /// behaviour survives as
+    /// [`CompiledLineage::compile_unplanned_with_cap`].
     pub fn compile_with_cap(
         evaluator: &QueryEvaluator,
         db: &Database,
@@ -82,19 +88,50 @@ impl CompiledLineage {
         Ok(Some(Self::from_witnesses(raw, universe)))
     }
 
+    /// As [`CompiledLineage::compile`], enumerating witnesses with the
+    /// **unplanned** backtracking baseline (body-order atoms,
+    /// whole-relation scans) — the pre-plan compile path measured by the
+    /// `e17` bench and cross-checked by the property tests.  The witness
+    /// set is identical to the planned compile's.
+    pub fn compile_unplanned(
+        evaluator: &QueryEvaluator,
+        db: &Database,
+        candidate: &[Value],
+    ) -> Result<Option<Self>, QueryError> {
+        Self::compile_unplanned_with_cap(evaluator, db, candidate, DEFAULT_WITNESS_CAP)
+    }
+
+    /// As [`CompiledLineage::compile_unplanned`], with an explicit cap.
+    pub fn compile_unplanned_with_cap(
+        evaluator: &QueryEvaluator,
+        db: &Database,
+        candidate: &[Value],
+        cap: usize,
+    ) -> Result<Option<Self>, QueryError> {
+        let universe = db.len();
+        let all = db.all_facts();
+        let mut raw: Vec<FactSet> = Vec::new();
+        let overflowed =
+            evaluator.for_each_answer_image_unplanned(db, &all, candidate, |image| {
+                let mut witness = FactSet::empty(universe);
+                for &fact in image {
+                    witness.insert(fact);
+                }
+                raw.push(witness);
+                raw.len() > cap
+            })?;
+        if overflowed {
+            return Ok(None);
+        }
+        Ok(Some(Self::from_witnesses(raw, universe)))
+    }
+
     /// Builds the minimal antichain from raw witness sets: duplicates and
     /// supersets are absorbed (`w ⊆ w'` makes `w'` redundant — monotone DNF
     /// absorption).
-    fn from_witnesses(mut raw: Vec<FactSet>, universe: usize) -> Self {
-        raw.sort_by_key(FactSet::len);
-        let mut witnesses: Vec<FactSet> = Vec::new();
-        for candidate in raw {
-            if !witnesses.iter().any(|kept| kept.is_subset_of(&candidate)) {
-                witnesses.push(candidate);
-            }
-        }
+    fn from_witnesses(raw: Vec<FactSet>, universe: usize) -> Self {
         CompiledLineage {
-            witnesses,
+            witnesses: minimal_antichain(raw),
             universe,
         }
     }
@@ -137,6 +174,39 @@ impl CompiledLineage {
     pub fn never_entails(&self) -> bool {
         self.witnesses.is_empty()
     }
+}
+
+/// Reduces raw witness sets to the minimal monotone-DNF antichain:
+/// duplicates and supersets are absorbed (`w ⊆ w'` makes `w'` redundant),
+/// and the survivors are sorted by ascending popcount (smaller witnesses
+/// are cheaper to check and more likely to be contained).
+///
+/// Exact duplicates are removed by sorting first, so the quadratic
+/// containment pass only compares a candidate against *strictly smaller*
+/// kept witnesses (among equal cardinalities, `⊆` implies `=`, which the
+/// dedup already handled).  Banks of equal-size witnesses — atomic
+/// membership queries, fixed-shape join banks — thus minimise in
+/// `O(n log n)` instead of `O(n²)` word scans.
+///
+/// Shared between single-query compilation and the bank's shared-trie
+/// compilation, so both produce the same antichain from the same raw set.
+pub(crate) fn minimal_antichain(mut raw: Vec<FactSet>) -> Vec<FactSet> {
+    raw.sort_unstable();
+    raw.dedup();
+    raw.sort_by_key(FactSet::len);
+    let mut witnesses: Vec<FactSet> = Vec::new();
+    for candidate in raw {
+        // `witnesses` is in ascending cardinality order (candidates
+        // arrive that way), so the strictly-smaller prefix is contiguous.
+        let smaller = witnesses.partition_point(|kept| kept.len() < candidate.len());
+        if !witnesses[..smaller]
+            .iter()
+            .any(|kept| kept.is_subset_of(&candidate))
+        {
+            witnesses.push(candidate);
+        }
+    }
+    witnesses
 }
 
 #[cfg(test)]

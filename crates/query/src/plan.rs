@@ -1,0 +1,376 @@
+//! Selectivity-ordered join plans for witness enumeration.
+//!
+//! The slot-compiled backtracking evaluator of [`crate::eval`] joins the
+//! query atoms **in the order they were written**, scanning the whole
+//! relation at every step.  That is fine for entailment checks on sampled
+//! repairs (the compiled-lineage bitsets took that job over in PR 1), but
+//! witness *enumeration* — the compile step behind every
+//! [`crate::CompiledLineage`] and [`crate::LineageBank`] entry — still ran
+//! one naive pass per `(query, candidate)`.  This module turns enumeration
+//! into a plan-based pipeline:
+//!
+//! * **Atom order** is chosen greedily by *bound coverage*: at each step
+//!   the planner picks the atom with the most bound terms (constants plus
+//!   variables bound by earlier steps, plus prebound answer slots), ties
+//!   broken by the original body order.  Bound-late atoms become indexed
+//!   lookups instead of cross products.
+//! * **Access paths**: a step with at least one bound position is executed
+//!   as an **indexed lookup** against the database's [`RelationIndex`] —
+//!   at run time the executor probes every statically bound position and
+//!   walks the *shortest* posting list; a step with no bound position
+//!   falls back to a filtered scan of the relation.
+//! * **No per-step allocation**: the executor recurses over borrowed
+//!   posting slices with the caller-owned slot bindings and image buffers
+//!   of the evaluator; nothing is heap-allocated per step.
+//!
+//! The planner is purely structural (it only needs the query), so a
+//! [`JoinPlan`] is built once per [`crate::QueryEvaluator`] and reused for
+//! every database subset.  [`LineageBank::compile`](crate::LineageBank)
+//! goes one step further and factors the *shared prefixes* of many planned
+//! queries into one scan trie — see [`crate::bank`].
+
+use ucqa_db::{Database, Fact, FactId, FactSet, RelationId, RelationIndex, Value};
+
+/// An atom term resolved against the evaluator's interned variable slots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanTerm {
+    /// A constant that the fact value must equal.
+    Const(Value),
+    /// A variable, identified by its slot index.
+    Var(usize),
+}
+
+/// An atom with terms resolved to slots — the planner's (and the shared
+/// scan trie's) unit of work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanAtom {
+    /// The atom's relation.
+    pub relation: RelationId,
+    /// The atom's terms, in positional order.
+    pub terms: Vec<PlanTerm>,
+}
+
+impl PlanAtom {
+    /// The term positions that are bound when `bound[slot]` marks the
+    /// already-bound variable slots: constants, plus bound variables.
+    pub(crate) fn bound_positions(&self, bound: &[bool]) -> Vec<usize> {
+        self.terms
+            .iter()
+            .enumerate()
+            .filter(|(_, term)| match term {
+                PlanTerm::Const(_) => true,
+                PlanTerm::Var(slot) => bound[*slot],
+            })
+            .map(|(position, _)| position)
+            .collect()
+    }
+}
+
+/// One step of a [`JoinPlan`]: match one atom against the sub-database,
+/// extending the current slot bindings.
+#[derive(Debug, Clone)]
+struct PlanStep {
+    /// Index of the atom in the original query body.
+    atom: usize,
+    relation: RelationId,
+    terms: Vec<PlanTerm>,
+    /// Term positions guaranteed bound when this step runs (constants and
+    /// variables bound by earlier steps / prebinding).  Non-empty ⇒ the
+    /// step executes as an indexed lookup.
+    bound_positions: Vec<usize>,
+}
+
+/// A selectivity-ordered join plan over the atoms of one query.
+///
+/// Built once per [`crate::QueryEvaluator`] (one plan for free
+/// enumeration, one with the answer slots treated as prebound for
+/// candidate-driven enumeration) and executed against any sub-database.
+#[derive(Debug, Clone)]
+pub struct JoinPlan {
+    steps: Vec<PlanStep>,
+}
+
+impl JoinPlan {
+    /// Plans `atoms` greedily by bound coverage.  `slot_count` is the
+    /// number of interned variable slots; `prebound_slots` lists the slots
+    /// that will be bound before execution starts (the answer slots of a
+    /// candidate-driven run, empty for free enumeration).
+    pub fn build(atoms: &[PlanAtom], slot_count: usize, prebound_slots: &[usize]) -> Self {
+        let mut bound = vec![false; slot_count];
+        for &slot in prebound_slots {
+            bound[slot] = true;
+        }
+        let mut remaining: Vec<usize> = (0..atoms.len()).collect();
+        let mut steps = Vec::with_capacity(atoms.len());
+        while !remaining.is_empty() {
+            // Max bound coverage; ties go to the earliest body atom, so
+            // queries sharing a written prefix keep sharing it after
+            // planning (which is what lets the bank trie factor it).
+            let mut best = 0;
+            let mut best_coverage = 0;
+            for (i, &atom) in remaining.iter().enumerate() {
+                let coverage = atoms[atom].bound_positions(&bound).len();
+                if i == 0 || coverage > best_coverage {
+                    best = i;
+                    best_coverage = coverage;
+                }
+            }
+            let atom = remaining.remove(best);
+            let bound_positions = atoms[atom].bound_positions(&bound);
+            for term in &atoms[atom].terms {
+                if let PlanTerm::Var(slot) = term {
+                    bound[*slot] = true;
+                }
+            }
+            steps.push(PlanStep {
+                atom,
+                relation: atoms[atom].relation,
+                terms: atoms[atom].terms.clone(),
+                bound_positions,
+            });
+        }
+        JoinPlan { steps }
+    }
+
+    /// The planned atom order, as indices into the original query body.
+    pub fn atom_order(&self) -> impl Iterator<Item = usize> + '_ {
+        self.steps.iter().map(|step| step.atom)
+    }
+
+    /// Number of steps that execute as indexed lookups (at least one
+    /// statically bound position).  The remaining
+    /// `len − indexed_steps` steps are filtered relation scans.
+    pub fn indexed_steps(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|step| !step.bound_positions.is_empty())
+            .count()
+    }
+
+    /// Number of plan steps (= number of body atoms).
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// `true` iff the plan has no steps (empty query body).
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Executes the plan against `subset ⊆ db`, invoking `sink` at every
+    /// full match with the slot bindings and the (unsorted, possibly
+    /// duplicated) image.  The sink returns `true` to stop; the overall
+    /// return value is `true` iff the run was stopped.
+    ///
+    /// `bindings` must have one entry per slot; prebound slots must
+    /// already be filled.  Performs no heap allocation besides the
+    /// amortised `image` pushes.
+    pub(crate) fn run<'d, F>(
+        &self,
+        db: &'d Database,
+        index: &RelationIndex,
+        subset: &FactSet,
+        bindings: &mut Vec<Option<&'d Value>>,
+        image: &mut Vec<FactId>,
+        sink: &mut F,
+    ) -> bool
+    where
+        F: FnMut(&[Option<&'d Value>], &[FactId]) -> bool,
+    {
+        self.step(db, index, subset, 0, bindings, image, sink)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn step<'d, F>(
+        &self,
+        db: &'d Database,
+        index: &RelationIndex,
+        subset: &FactSet,
+        depth: usize,
+        bindings: &mut Vec<Option<&'d Value>>,
+        image: &mut Vec<FactId>,
+        sink: &mut F,
+    ) -> bool
+    where
+        F: FnMut(&[Option<&'d Value>], &[FactId]) -> bool,
+    {
+        if depth == self.steps.len() {
+            return sink(bindings, image);
+        }
+        let step = &self.steps[depth];
+        let candidates = candidate_facts(
+            db,
+            index,
+            step.relation,
+            &step.terms,
+            &step.bound_positions,
+            bindings,
+        );
+        for &fact_id in candidates {
+            if !subset.contains(fact_id) {
+                continue;
+            }
+            let Some(bound_here) = match_and_bind(&step.terms, db.fact(fact_id), bindings) else {
+                continue;
+            };
+            image.push(fact_id);
+            let stop = self.step(db, index, subset, depth + 1, bindings, image, sink);
+            image.pop();
+            unbind(&step.terms, bound_here, bindings);
+            if stop {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Unifies an atom's terms with a fact's values against the current slot
+/// bindings.  On success, returns the term positions whose slots were
+/// **newly** bound by this frame as a bitmask (pass it to [`unbind`] on
+/// backtrack); on mismatch, any partial bindings are rolled back and
+/// `None` is returned.
+///
+/// This is the one definition of the match-and-bind semantics, shared by
+/// the plan executor, the bank's scan trie, and the unplanned baseline —
+/// so the planned/unplanned witness-set-identity invariant cannot drift.
+/// The bitmask limits atoms to 64 terms, which `QueryEvaluator::new`
+/// enforces at construction.
+pub(crate) fn match_and_bind<'d>(
+    terms: &[PlanTerm],
+    fact: &'d Fact,
+    bindings: &mut [Option<&'d Value>],
+) -> Option<u64> {
+    let mut bound_here: u64 = 0;
+    for (position, (term, value)) in terms.iter().zip(fact.values()).enumerate() {
+        match term {
+            PlanTerm::Const(c) => {
+                if c != value {
+                    unbind(terms, bound_here, bindings);
+                    return None;
+                }
+            }
+            PlanTerm::Var(slot) => match bindings[*slot] {
+                Some(bound) => {
+                    if bound != value {
+                        unbind(terms, bound_here, bindings);
+                        return None;
+                    }
+                }
+                None => {
+                    bindings[*slot] = Some(value);
+                    bound_here |= 1 << position;
+                }
+            },
+        }
+    }
+    Some(bound_here)
+}
+
+/// The candidate fact list of one plan (or trie) step: the shortest
+/// posting list among the step's statically bound positions, or the whole
+/// relation when nothing is bound.  Shared between [`JoinPlan`] execution
+/// and the bank's scan trie, which runs the same access logic per node.
+pub(crate) fn candidate_facts<'c>(
+    db: &'c Database,
+    index: &'c RelationIndex,
+    relation: RelationId,
+    terms: &[PlanTerm],
+    bound_positions: &[usize],
+    bindings: &[Option<&Value>],
+) -> &'c [FactId] {
+    if bound_positions.is_empty() {
+        return db.facts_of(relation);
+    }
+    let mut best: Option<&'c [FactId]> = None;
+    for &position in bound_positions {
+        let value: &Value = match &terms[position] {
+            PlanTerm::Const(c) => c,
+            PlanTerm::Var(slot) => bindings[*slot].expect("planner guarantees this slot is bound"),
+        };
+        let posting = index.matches(relation, position, value);
+        if best.is_none_or(|b| posting.len() < b.len()) {
+            best = Some(posting);
+        }
+        if posting.is_empty() {
+            break;
+        }
+    }
+    best.expect("bound_positions is non-empty")
+}
+
+/// Clears the bindings introduced by one frame, identified by the term
+/// positions recorded in `bound_here`.
+pub(crate) fn unbind(terms: &[PlanTerm], bound_here: u64, bindings: &mut [Option<&Value>]) {
+    let mut mask = bound_here;
+    while mask != 0 {
+        let position = mask.trailing_zeros() as usize;
+        mask &= mask - 1;
+        if let PlanTerm::Var(slot) = &terms[position] {
+            bindings[*slot] = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use crate::QueryEvaluator;
+    use ucqa_db::Schema;
+
+    fn graph_db() -> Database {
+        let mut schema = Schema::new();
+        schema.add_relation("V", &["N", "C"]).unwrap();
+        schema.add_relation("E", &["S", "T"]).unwrap();
+        let mut db = Database::with_schema(schema);
+        for node in ["u", "v", "w"] {
+            db.insert_values("V", [Value::str(node), Value::int(0)])
+                .unwrap();
+        }
+        db.insert_values("E", [Value::str("u"), Value::str("v")])
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn constants_and_join_chains_order_by_bound_coverage() {
+        let db = graph_db();
+        // Written order: unbound scan first, then a constant atom.  The
+        // planner flips them: the constant atom has coverage 1 at step
+        // one, then binds x so E(x, y) becomes an indexed lookup.
+        let q = parse_query(db.schema(), "Ans() :- E(x, y), V('u', z)").unwrap();
+        let evaluator = QueryEvaluator::new(q);
+        let order: Vec<usize> = evaluator.plan().atom_order().collect();
+        assert_eq!(order, vec![1, 0]);
+        // V('u', z) has a constant; E(x, y) stays a scan (x is not bound
+        // by the V atom).
+        assert_eq!(evaluator.plan().indexed_steps(), 1);
+    }
+
+    #[test]
+    fn ties_preserve_the_written_order() {
+        let db = graph_db();
+        let q = parse_query(db.schema(), "Ans() :- V('u', a), V('v', b), V('w', c)").unwrap();
+        let evaluator = QueryEvaluator::new(q);
+        let order: Vec<usize> = evaluator.plan().atom_order().collect();
+        assert_eq!(order, vec![0, 1, 2]);
+        assert_eq!(evaluator.plan().indexed_steps(), 3);
+    }
+
+    #[test]
+    fn answer_slots_count_as_bound_in_the_answer_plan() {
+        let db = graph_db();
+        // Free plan: both atoms start unbound, written order stays.  With
+        // x prebound (candidate-driven), E(x, y) becomes the first,
+        // indexed step.
+        let q = parse_query(db.schema(), "Ans(x) :- V(z, c), E(x, y), V(x, c)").unwrap();
+        let evaluator = QueryEvaluator::new(q);
+        let answer_order: Vec<usize> = evaluator.answer_plan().atom_order().collect();
+        assert_eq!(
+            answer_order[0], 1,
+            "the x-bound atom leads: {answer_order:?}"
+        );
+        assert!(evaluator.answer_plan().indexed_steps() >= 2);
+    }
+}

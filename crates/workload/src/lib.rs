@@ -36,12 +36,14 @@
 //! [`MultiFdWorkload::scaling`] keeps the conflict degree roughly
 //! size-independent as the fact count grows, so walk cost scales with the
 //! conflict structure rather than quadratically — this is the standard
-//! scaling workload of the `BENCH_e14`–`BENCH_e16` reports.  The
+//! scaling workload of the `BENCH_e14`–`BENCH_e17` reports.  The
 //! [`queries`] module provides matched query generators
 //! ([`queries::block_lookup_query`], [`queries::fact_membership_query`],
-//! multi-query banks via [`queries::fact_membership_query_bank`]) whose
-//! candidates are guaranteed answers on the full database, so target
-//! probabilities are non-zero.
+//! multi-query banks via [`queries::fact_membership_query_bank`], and
+//! banks of CQs sharing atom prefixes via
+//! [`queries::overlapping_join_bank`] — the shared-trie compilation
+//! workload of e17) whose candidates are guaranteed answers on the full
+//! database, so target probabilities are non-zero.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

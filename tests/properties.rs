@@ -433,6 +433,174 @@ proptest! {
         }
     }
 
+    /// Plan-based witness enumeration is **witness-set-identical** to the
+    /// unplanned backtracking baseline, on random multi-FD databases:
+    /// per-query homomorphism sets, compiled-lineage witness antichains,
+    /// and whole banks compiled through the shared scan trie (including
+    /// overlapping-join banks and over-cap fallback entries) all agree
+    /// with the pre-plan path on every tested subset.
+    #[test]
+    fn planned_enumeration_matches_the_backtracking_baseline(
+        rows in prop::collection::vec((0u8..3, 0u8..3, 0u8..3, 0u8..2), 2..10),
+        seed in 0u64..1_000,
+    ) {
+        use uocqa::query::LineageBank;
+        use uocqa::workload::queries::overlapping_join_bank;
+
+        let (db, _) = multi_fd_database(&rows);
+        // A mixed bank: overlapping joins (shared prefixes), atomic
+        // membership queries, a candidate-driven lookup, and an
+        // unsatisfiable query.
+        let mut queries: Vec<(ConjunctiveQuery, Vec<Value>)> = overlapping_join_bank(&db, 3, 1, seed)
+            .unwrap()
+            .into_iter()
+            .map(|q| (q, vec![]))
+            .collect();
+        for offset in 0..2usize {
+            let fact = db.fact(FactId::new((seed as usize + offset) % db.len()));
+            let terms: Vec<Term> = fact.values().iter().cloned().map(Term::Const).collect();
+            queries.push((
+                ConjunctiveQuery::boolean(db.schema(), vec![Atom::new(fact.relation(), terms)]).unwrap(),
+                vec![],
+            ));
+        }
+        {
+            // A lookup with an answer variable, prebound to a real value.
+            let fact = db.fact(FactId::new(seed as usize % db.len()));
+            let mut terms: Vec<Term> = fact.values().iter().cloned().map(Term::Const).collect();
+            terms[0] = Term::var("x");
+            queries.push((
+                ConjunctiveQuery::new(
+                    db.schema(),
+                    vec![uocqa::query::Variable::new("x")],
+                    vec![Atom::new(fact.relation(), terms)],
+                ).unwrap(),
+                vec![fact.values()[0].clone()],
+            ));
+        }
+        queries.push((
+            uocqa::query::parser::parse_query(db.schema(), "Ans() :- R(9, 9, 9, 9)").unwrap(),
+            vec![],
+        ));
+
+        let evaluators: Vec<(QueryEvaluator, Vec<Value>)> = queries
+            .into_iter()
+            .map(|(q, c)| (QueryEvaluator::new(q), c))
+            .collect();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5A5A);
+        let mut subsets: Vec<FactSet> = vec![db.all_facts()];
+        for _ in 0..8 {
+            subsets.push(FactSet::from_iter(
+                db.len(),
+                (0..db.len()).filter(|_| rng.random_bool(0.5)).map(FactId::new),
+            ));
+        }
+
+        // Per-query: planned evaluation and compilation agree with the
+        // unplanned baseline.
+        for (evaluator, candidate) in &evaluators {
+            for subset in &subsets {
+                prop_assert_eq!(
+                    evaluator.has_answer(&db, subset, candidate).unwrap(),
+                    evaluator.has_answer_unplanned(&db, subset, candidate).unwrap()
+                );
+                let mut planned = evaluator.homomorphisms(&db, subset, None);
+                let mut unplanned = evaluator.homomorphisms_unplanned(&db, subset, None);
+                planned.sort_by(|a, b| a.bindings.cmp(&b.bindings).then(a.image.cmp(&b.image)));
+                unplanned.sort_by(|a, b| a.bindings.cmp(&b.bindings).then(a.image.cmp(&b.image)));
+                prop_assert_eq!(planned, unplanned);
+            }
+            let planned = CompiledLineage::compile(evaluator, &db, candidate).unwrap();
+            let unplanned = CompiledLineage::compile_unplanned(evaluator, &db, candidate).unwrap();
+            let witness_set = |lineage: &CompiledLineage| -> std::collections::BTreeSet<Vec<FactId>> {
+                lineage.witnesses().iter().map(FactSet::to_vec).collect()
+            };
+            match (&planned, &unplanned) {
+                (Some(p), Some(u)) => prop_assert_eq!(witness_set(p), witness_set(u)),
+                _ => prop_assert!(planned.is_none() == unplanned.is_none()),
+            }
+        }
+
+        // Whole-bank: the shared scan trie produces the same entries as
+        // one unplanned pass per entry, under the default cap and under a
+        // tiny cap that forces fallbacks.
+        let refs: Vec<(&QueryEvaluator, &[Value])> =
+            evaluators.iter().map(|(e, c)| (e, c.as_slice())).collect();
+        for cap in [uocqa::query::lineage::DEFAULT_WITNESS_CAP, 1] {
+            let shared = LineageBank::compile_with_cap(&db, &refs, cap).unwrap();
+            let baseline = LineageBank::compile_unplanned_with_cap(&db, &refs, cap).unwrap();
+            let mut scratch = uocqa::query::BankScratch::new();
+            let mut shared_hits = vec![false; shared.len()];
+            let mut baseline_hits = vec![false; baseline.len()];
+            for i in 0..refs.len() {
+                prop_assert_eq!(shared.is_fallback(i), baseline.is_fallback(i), "cap {}, entry {}", cap, i);
+                prop_assert_eq!(
+                    shared.query_witness_count(i),
+                    baseline.query_witness_count(i),
+                    "cap {}, entry {}", cap, i
+                );
+            }
+            for subset in &subsets {
+                shared.evaluate_into(subset, &mut scratch, &mut shared_hits);
+                baseline.evaluate_into(subset, &mut scratch, &mut baseline_hits);
+                prop_assert_eq!(&shared_hits, &baseline_hits, "cap {}", cap);
+            }
+        }
+    }
+
+    /// Batched estimates are **bit-identical before and after the
+    /// planning refactor**: under a fixed seed, driving the shared
+    /// sampler loop over the shared-trie-compiled bank returns exactly
+    /// the estimates of the same loop over the unplanned per-entry bank
+    /// (the pre-refactor compile path), across all six generator specs on
+    /// random primary-key databases with overlapping-join banks.
+    #[test]
+    fn batched_estimates_are_bit_identical_before_and_after_planning(
+        profile in prop::collection::vec(1usize..4, 1..4),
+        seed in 0u64..1_000,
+    ) {
+        use uocqa::core::fpras::{ApproximationParams, BatchEstimator, BatchQuery, EstimatorMode};
+        use uocqa::workload::queries::overlapping_join_bank;
+
+        let (db, sigma) = block_database(&profile);
+        let mut queries: Vec<ConjunctiveQuery> = overlapping_join_bank(&db, 2, 1, seed).unwrap();
+        let fact = db.fact(FactId::new(seed as usize % db.len()));
+        let terms: Vec<Term> = fact.values().iter().cloned().map(Term::Const).collect();
+        queries.push(
+            ConjunctiveQuery::boolean(db.schema(), vec![Atom::new(fact.relation(), terms)]).unwrap(),
+        );
+        let evaluators: Vec<QueryEvaluator> =
+            queries.into_iter().map(QueryEvaluator::new).collect();
+        let bank: Vec<BatchQuery<'_>> =
+            evaluators.iter().map(|e| BatchQuery::new(e, &[])).collect();
+        let params = ApproximationParams::new(0.2, 0.2)
+            .unwrap()
+            .with_mode(EstimatorMode::FixedSamples(96));
+        for spec in [
+            GeneratorSpec::uniform_repairs(),
+            GeneratorSpec::uniform_repairs().with_singleton_only(),
+            GeneratorSpec::uniform_sequences(),
+            GeneratorSpec::uniform_sequences().with_singleton_only(),
+            GeneratorSpec::uniform_operations(),
+            GeneratorSpec::uniform_operations().with_singleton_only(),
+        ] {
+            let estimator = BatchEstimator::new(&db, &sigma, spec).unwrap();
+            let planned_bank = estimator.compile_bank(&bank).unwrap();
+            let unplanned_bank = estimator.compile_bank_unplanned(&bank).unwrap();
+            let planned = estimator
+                .estimate_batch_with_bank(&planned_bank, &bank, params, &mut StdRng::seed_from_u64(seed))
+                .unwrap();
+            let unplanned = estimator
+                .estimate_batch_with_bank(&unplanned_bank, &bank, params, &mut StdRng::seed_from_u64(seed))
+                .unwrap();
+            prop_assert_eq!(&planned, &unplanned, "spec {}", spec.short_name());
+            let routed = estimator
+                .estimate_batch(&bank, params, &mut StdRng::seed_from_u64(seed))
+                .unwrap();
+            prop_assert_eq!(&planned, &routed, "spec {}", spec.short_name());
+        }
+    }
+
     /// The incremental conflict index agrees with a from-scratch
     /// `ViolationSet::recompute` after **every** removal, on randomised
     /// multi-FD, non-key, cross-relation databases — the invariant that

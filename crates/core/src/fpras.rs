@@ -18,13 +18,16 @@
 use rand::Rng;
 
 use ucqa_db::{Database, FactSet, FdSet, Value};
+use ucqa_query::lineage::DEFAULT_WITNESS_CAP;
 use ucqa_query::{BankLiveSet, BankScratch, CompiledLineage, LineageBank, QueryEvaluator};
 use ucqa_repair::{GeneratorSpec, UniformSemantics};
 
 use crate::bounds;
+use crate::budget::{AchievedBound, EstimateOutcome, QueryOutcome, RunBudget};
 use crate::montecarlo::{
-    estimate_fixed, estimate_fixed_batch, estimate_stopping_batch, StoppingBatchExperiment,
-    StoppingRuleEstimator,
+    estimate_fixed, estimate_fixed_batch, estimate_fixed_batch_budgeted, estimate_fixed_budgeted,
+    estimate_stopping_batch, estimate_stopping_batch_budgeted, BudgetedStoppingOutcome,
+    StoppingBatchExperiment, StoppingRuleEstimator, StoppingRuleOutcome,
 };
 use crate::sample_operations::{OperationWalkSampler, WalkScratch};
 use crate::sample_repairs::RepairSampler;
@@ -313,6 +316,68 @@ impl<'a> OcqaEstimator<'a> {
             }
         };
         Ok(estimate)
+    }
+
+    /// As [`OcqaEstimator::estimate`], under a [`RunBudget`].
+    ///
+    /// The budget is polled between draws and consumes no randomness: an
+    /// unconstrained budget draws the same sample stream as
+    /// [`OcqaEstimator::estimate`] and reports the same counts, with
+    /// status [`Converged`](crate::budget::BudgetStatus::Converged).  An interrupted run returns the
+    /// partial estimate together with the achieved `(ε′, δ)` bound at the
+    /// observed counts (see [`AchievedBound`]).
+    pub fn estimate_with_budget<R: Rng + ?Sized>(
+        &self,
+        evaluator: &QueryEvaluator,
+        candidate: &[Value],
+        params: ApproximationParams,
+        budget: &RunBudget,
+        rng: &mut R,
+    ) -> Result<EstimateOutcome, CoreError> {
+        params.validate()?;
+        // Compilation also validates the candidate arity, before any
+        // sampling happens; the budget's compile-step cap (and its cancel
+        // flag) interrupt pathological banks into evaluator fallback.
+        let lineage = CompiledLineage::compile_with_budget(
+            evaluator,
+            self.db,
+            candidate,
+            &budget.compile_budget(),
+        )?;
+
+        let mut sample = SampleExperiment::new(self, lineage.as_ref(), evaluator, candidate);
+        let experiment = |rng: &mut R| -> bool { sample.draw(rng) };
+
+        let (outcome, status) = match params.mode {
+            EstimatorMode::OptimalStopping { max_samples } => {
+                StoppingRuleEstimator::try_new(params.epsilon, params.delta)?
+                    .with_max_samples(max_samples)
+                    .estimate_budgeted(rng, budget, experiment)
+            }
+            _ => {
+                let samples = self.fixed_sample_count(evaluator, params)?;
+                let (fixed, status) = estimate_fixed_budgeted(rng, samples, budget, experiment);
+                (
+                    StoppingRuleOutcome {
+                        estimate: fixed.estimate,
+                        samples: fixed.samples,
+                        successes: fixed.successes,
+                        truncated: !status.is_converged(),
+                    },
+                    status,
+                )
+            }
+        };
+        Ok(EstimateOutcome {
+            queries: vec![QueryOutcome {
+                estimate: outcome.estimate,
+                samples: outcome.samples,
+                successes: outcome.successes,
+                status,
+                achieved: AchievedBound::at(outcome.samples, outcome.successes, params.delta),
+            }],
+            total_draws: outcome.samples,
+        })
     }
 
     /// The sample count of a fixed-sample [`EstimatorMode`]; an error for
@@ -616,6 +681,136 @@ impl<'a> BatchEstimator<'a> {
             .collect())
     }
 
+    /// As [`BatchEstimator::estimate_batch`], under a [`RunBudget`].
+    ///
+    /// [`EstimatorMode::OptimalStopping`] routes through
+    /// [`BatchEstimator::estimate_stopping_batch_with_budget`]; the fixed
+    /// modes share one loop that the budget can cut at any draw, in which
+    /// case every query reports the same truncated sample count together
+    /// with its achieved `(ε′, δ)` bound.  The budget's compile-step cap
+    /// also bounds bank compilation
+    /// ([`BatchEstimator::compile_bank_with_budget`]).
+    pub fn estimate_batch_with_budget<R: Rng + ?Sized>(
+        &self,
+        queries: &[BatchQuery<'_>],
+        params: ApproximationParams,
+        budget: &RunBudget,
+        rng: &mut R,
+    ) -> Result<EstimateOutcome, CoreError> {
+        if matches!(params.mode, EstimatorMode::OptimalStopping { .. }) {
+            return self.estimate_stopping_batch_with_budget(queries, params, budget, rng);
+        }
+        let samples = self.batch_sample_count(params)?;
+        let bank = self.compile_bank_with_budget(queries, budget)?;
+        let mut experiment = BatchExperiment::new(&self.inner, &bank, queries);
+        let (outcome, status) =
+            estimate_fixed_batch_budgeted(rng, samples, queries.len(), budget, |rng, successes| {
+                experiment.draw(rng, successes)
+            });
+        let queries = outcome
+            .successes
+            .iter()
+            .map(|&s| QueryOutcome {
+                estimate: if outcome.samples == 0 {
+                    0.0
+                } else {
+                    s as f64 / outcome.samples as f64
+                },
+                samples: outcome.samples,
+                successes: s,
+                status,
+                achieved: AchievedBound::at(outcome.samples, s, params.delta),
+            })
+            .collect();
+        Ok(EstimateOutcome {
+            queries,
+            total_draws: outcome.samples,
+        })
+    }
+
+    /// As [`BatchEstimator::estimate_stopping_batch`], under a
+    /// [`RunBudget`].
+    ///
+    /// The budget is polled between draws and consumes no randomness, so
+    /// an unconstrained budget retires every query at exactly the draw
+    /// [`BatchEstimator::estimate_stopping_batch`] would, with status
+    /// [`Converged`](crate::budget::BudgetStatus::Converged)
+    /// (property-tested bit-identical).  When
+    /// the budget interrupts the stream, queries that already retired
+    /// **keep their converged values**; queries still live report the
+    /// empirical mean over the truncated stream, flagged
+    /// [`BudgetExhausted`](crate::budget::BudgetStatus::BudgetExhausted) or
+    /// [`Cancelled`](crate::budget::BudgetStatus::Cancelled), each with the achieved
+    /// `(ε′, δ/k)` bound at its observed counts.  An interrupted outcome
+    /// can be continued with
+    /// [`BatchEstimator::estimate_stopping_batch_resume`].
+    pub fn estimate_stopping_batch_with_budget<R: Rng + ?Sized>(
+        &self,
+        queries: &[BatchQuery<'_>],
+        params: ApproximationParams,
+        budget: &RunBudget,
+        rng: &mut R,
+    ) -> Result<EstimateOutcome, CoreError> {
+        self.stopping_batch_budgeted(queries, params, budget, rng, None)
+    }
+
+    /// Continues an interrupted
+    /// [`BatchEstimator::estimate_stopping_batch_with_budget`] run.
+    ///
+    /// `prior` must be the outcome of a budgeted stopping-batch run over
+    /// the **same queries and parameters**, and `rng` must be the same
+    /// generator, positioned where the interrupted run left it (the budget
+    /// machinery consumes no randomness, so an interruption at draw `t`
+    /// leaves the RNG after exactly `t` draws).  Converged entries keep
+    /// their frozen outcomes; live entries pick their success counts back
+    /// up, and the concatenated run is **bit-identical** to one
+    /// uninterrupted run (property-tested).  Draw counts are absolute
+    /// across resumption: `max_samples`, a draw cap and a
+    /// [`tripped_at_draw`](crate::budget::CancelToken::tripped_at_draw)
+    /// token all refer to the total stream length.
+    pub fn estimate_stopping_batch_resume<R: Rng + ?Sized>(
+        &self,
+        queries: &[BatchQuery<'_>],
+        params: ApproximationParams,
+        budget: &RunBudget,
+        prior: &EstimateOutcome,
+        rng: &mut R,
+    ) -> Result<EstimateOutcome, CoreError> {
+        let resume = Self::budgeted_from(prior);
+        self.stopping_batch_budgeted(queries, params, budget, rng, Some(&resume))
+    }
+
+    /// Shared driver of the budgeted stopping-batch paths.
+    fn stopping_batch_budgeted<R: Rng + ?Sized>(
+        &self,
+        queries: &[BatchQuery<'_>],
+        params: ApproximationParams,
+        budget: &RunBudget,
+        rng: &mut R,
+        resume: Option<&BudgetedStoppingOutcome>,
+    ) -> Result<EstimateOutcome, CoreError> {
+        let max_samples = self.stopping_cut_off(params)?;
+        let bank = self.compile_bank_with_budget(queries, budget)?;
+        let target = self
+            .per_query_stopping_rule(params, queries.len())
+            .success_target();
+        let targets = vec![target; queries.len()];
+        let live = BankLiveSet::full(&bank);
+        let mut experiment = BatchStoppingExperiment::new(&self.inner, &bank, queries, live);
+        let budgeted = estimate_stopping_batch_budgeted(
+            rng,
+            &targets,
+            max_samples,
+            budget,
+            &mut experiment,
+            resume,
+        );
+        Ok(Self::outcome_from(
+            budgeted,
+            params.delta / queries.len().max(1) as f64,
+        ))
+    }
+
     /// Round-based rayon-sharded variant of
     /// [`BatchEstimator::estimate_stopping_batch`]: draws `round_samples`
     /// shared repairs per round (sharded across worker threads with
@@ -678,6 +873,60 @@ impl<'a> BatchEstimator<'a> {
             .collect())
     }
 
+    /// As [`BatchEstimator::estimate_stopping_batch_rounds`], under a
+    /// [`RunBudget`].
+    ///
+    /// The budget is polled once per **round boundary** (consuming no
+    /// randomness): cancellation here is round-granular, an unconstrained
+    /// budget is bit-identical to the unbudgeted rounds path, and the
+    /// outcome stays bit-identical across thread counts for a fixed
+    /// `master_seed` whenever the budget decisions are deterministic (draw
+    /// caps and pre-tripped tokens are; wall-clock deadlines are not).
+    /// Resumption is not offered on this path — mid-round work cannot be
+    /// replayed draw-by-draw; use the sequential
+    /// [`BatchEstimator::estimate_stopping_batch_resume`] when resumable
+    /// interruption matters more than sharding.
+    ///
+    /// Only available with the `parallel` feature (rayon).
+    #[cfg(feature = "parallel")]
+    pub fn estimate_stopping_batch_rounds_with_budget(
+        &self,
+        queries: &[BatchQuery<'_>],
+        params: ApproximationParams,
+        master_seed: u64,
+        round_samples: u64,
+        budget: &RunBudget,
+    ) -> Result<EstimateOutcome, CoreError> {
+        use crate::montecarlo::{estimate_stopping_batch_rounds_budgeted, DEFAULT_SHARD_SIZE};
+
+        let max_samples = self.stopping_cut_off(params)?;
+        let bank = self.compile_bank_with_budget(queries, budget)?;
+        let target = self
+            .per_query_stopping_rule(params, queries.len())
+            .success_target();
+        let targets = vec![target; queries.len()];
+        let budgeted = estimate_stopping_batch_rounds_budgeted(
+            master_seed,
+            &targets,
+            max_samples,
+            round_samples,
+            DEFAULT_SHARD_SIZE,
+            budget,
+            |live_queries| {
+                let live = BankLiveSet::restrict(&bank, live_queries);
+                let mut experiment =
+                    BatchStoppingExperiment::new(&self.inner, &bank, queries, live);
+                move |rng: &mut rand::rngs::StdRng, hits: &mut [bool]| {
+                    experiment.draw_live(rng, hits)
+                }
+            },
+        );
+        Ok(Self::outcome_from(
+            budgeted,
+            params.delta / queries.len().max(1) as f64,
+        ))
+    }
+
     /// As [`BatchEstimator::estimate_batch`], with the shared samples
     /// sharded across rayon worker threads exactly like
     /// [`OcqaEstimator::estimate_parallel`]: same shard boundaries, same
@@ -734,6 +983,28 @@ impl<'a> BatchEstimator<'a> {
         Ok(LineageBank::compile(self.inner.db, &refs)?)
     }
 
+    /// As [`BatchEstimator::compile_bank`], under the compile-time part of
+    /// a [`RunBudget`] ([`RunBudget::with_max_compile_steps`] and the
+    /// cancel token).  An interrupted enumeration degrades the **whole
+    /// bank** to evaluator fallback — a partial witness set would
+    /// under-report entailment — so estimation proceeds correctly, just
+    /// without the word-level bitset fast path.  An unconstrained budget
+    /// compiles the identical bank as [`BatchEstimator::compile_bank`].
+    pub fn compile_bank_with_budget(
+        &self,
+        queries: &[BatchQuery<'_>],
+        budget: &RunBudget,
+    ) -> Result<LineageBank, CoreError> {
+        let refs: Vec<(&QueryEvaluator, &[Value])> =
+            queries.iter().map(|q| (q.evaluator, q.candidate)).collect();
+        Ok(LineageBank::compile_with_budget(
+            self.inner.db,
+            &refs,
+            DEFAULT_WITNESS_CAP,
+            &budget.compile_budget(),
+        )?)
+    }
+
     /// As [`BatchEstimator::compile_bank`], on the unplanned baseline
     /// ([`LineageBank::compile_unplanned`]: one naive backtracking
     /// enumeration per entry).  The resulting bank holds the same witness
@@ -747,6 +1018,47 @@ impl<'a> BatchEstimator<'a> {
         let refs: Vec<(&QueryEvaluator, &[Value])> =
             queries.iter().map(|q| (q.evaluator, q.candidate)).collect();
         Ok(LineageBank::compile_unplanned(self.inner.db, &refs)?)
+    }
+
+    /// Converts a budgeted stopping-batch outcome into the public
+    /// [`EstimateOutcome`], attaching each query's achieved `(ε′, δ/k)`
+    /// bound at its observed counts.
+    fn outcome_from(budgeted: BudgetedStoppingOutcome, per_query_delta: f64) -> EstimateOutcome {
+        let queries = budgeted
+            .outcomes
+            .iter()
+            .zip(&budgeted.statuses)
+            .map(|(o, &status)| QueryOutcome {
+                estimate: o.estimate,
+                samples: o.samples,
+                successes: o.successes,
+                status,
+                achieved: AchievedBound::at(o.samples, o.successes, per_query_delta),
+            })
+            .collect();
+        EstimateOutcome {
+            queries,
+            total_draws: budgeted.total_samples,
+        }
+    }
+
+    /// Reconstructs the resumable montecarlo-layer outcome from a prior
+    /// public [`EstimateOutcome`].
+    fn budgeted_from(prior: &EstimateOutcome) -> BudgetedStoppingOutcome {
+        BudgetedStoppingOutcome {
+            outcomes: prior
+                .queries
+                .iter()
+                .map(|q| StoppingRuleOutcome {
+                    estimate: q.estimate,
+                    samples: q.samples,
+                    successes: q.successes,
+                    truncated: !q.status.is_converged(),
+                })
+                .collect(),
+            statuses: prior.queries.iter().map(|q| q.status).collect(),
+            total_samples: prior.total_draws,
+        }
     }
 
     fn estimates_from(samples: u64, successes: &[u64]) -> Vec<Estimate> {
@@ -965,6 +1277,7 @@ impl<'e, 'a> SampleExperiment<'e, 'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::budget::{BudgetStatus, CancelToken};
     use crate::exact::ExactSolver;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -1445,6 +1758,304 @@ mod tests {
         // An empty bank is a no-op, not an error.
         let empty = batch.estimate_batch(&[], params, &mut rng).unwrap();
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn unlimited_budget_estimates_are_bit_identical_across_all_specs() {
+        // The acceptance criterion of the budget subsystem: with an
+        // unconstrained `RunBudget`, every estimator entry point draws the
+        // same sample stream and reports the same counts as the pre-budget
+        // path, for every generator spec.
+        let (db, sigma) = figure2();
+        let q = parse_query(db.schema(), "Ans(x) :- R('a1', x)").unwrap();
+        let evaluator = QueryEvaluator::new(q);
+        let candidate = [Value::str("b1")];
+        let params = ApproximationParams::new(0.25, 0.2).unwrap().with_mode(
+            EstimatorMode::OptimalStopping {
+                max_samples: 200_000,
+            },
+        );
+        let budget = RunBudget::unlimited();
+        for spec in all_specs() {
+            let estimator = OcqaEstimator::new(&db, &sigma, spec).unwrap();
+            let plain = estimator
+                .estimate(
+                    &evaluator,
+                    &candidate,
+                    params,
+                    &mut StdRng::seed_from_u64(11),
+                )
+                .unwrap();
+            let budgeted = estimator
+                .estimate_with_budget(
+                    &evaluator,
+                    &candidate,
+                    params,
+                    &budget,
+                    &mut StdRng::seed_from_u64(11),
+                )
+                .unwrap();
+            assert_eq!(budgeted.queries.len(), 1, "spec {}", spec.short_name());
+            let outcome = &budgeted.queries[0];
+            assert_eq!(outcome.estimate, plain.value, "spec {}", spec.short_name());
+            assert_eq!(outcome.samples, plain.samples);
+            assert_eq!(outcome.successes, plain.successes);
+            assert_eq!(outcome.status, BudgetStatus::Converged);
+            assert!(outcome.achieved.relative_epsilon.is_some());
+        }
+    }
+
+    #[test]
+    fn unlimited_budget_batch_paths_are_bit_identical_across_all_specs() {
+        let (db, sigma) = figure2();
+        let lookup = parse_query(db.schema(), "Ans(x) :- R('a1', x)").unwrap();
+        let lookup = QueryEvaluator::new(lookup);
+        let member = parse_query(db.schema(), "Ans() :- R('a3', 'b1')").unwrap();
+        let member = QueryEvaluator::new(member);
+        let b1 = [Value::str("b1")];
+        let queries = [BatchQuery::new(&lookup, &b1), BatchQuery::new(&member, &[])];
+        let budget = RunBudget::unlimited();
+        let stopping = ApproximationParams::new(0.25, 0.2).unwrap().with_mode(
+            EstimatorMode::OptimalStopping {
+                max_samples: 200_000,
+            },
+        );
+        let fixed = ApproximationParams::new(0.1, 0.1)
+            .unwrap()
+            .with_mode(EstimatorMode::FixedSamples(2_000));
+        for spec in all_specs() {
+            let batch = BatchEstimator::new(&db, &sigma, spec).unwrap();
+            for params in [stopping, fixed] {
+                let plain = batch
+                    .estimate_batch(&queries, params, &mut StdRng::seed_from_u64(29))
+                    .unwrap();
+                let budgeted = batch
+                    .estimate_batch_with_budget(
+                        &queries,
+                        params,
+                        &budget,
+                        &mut StdRng::seed_from_u64(29),
+                    )
+                    .unwrap();
+                assert_eq!(budgeted.queries.len(), plain.len());
+                for (i, (b, p)) in budgeted.queries.iter().zip(&plain).enumerate() {
+                    assert_eq!(
+                        (b.estimate, b.samples, b.successes),
+                        (p.value, p.samples, p.successes),
+                        "spec {}, query {i}, mode {:?}",
+                        spec.short_name(),
+                        params.mode,
+                    );
+                    assert_eq!(b.status, BudgetStatus::Converged);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cancelled_batch_resumes_bit_for_bit() {
+        // Cancel the shared stream mid-flight, then resume with the same
+        // RNG: the concatenated run must equal one uninterrupted run, for
+        // several truncation points.
+        let (db, sigma) = figure2();
+        let lookup = parse_query(db.schema(), "Ans(x) :- R('a1', x)").unwrap();
+        let lookup = QueryEvaluator::new(lookup);
+        let member = parse_query(db.schema(), "Ans() :- R('a3', 'b1')").unwrap();
+        let member = QueryEvaluator::new(member);
+        let b1 = [Value::str("b1")];
+        let queries = [BatchQuery::new(&lookup, &b1), BatchQuery::new(&member, &[])];
+        let params = ApproximationParams::new(0.25, 0.2).unwrap().with_mode(
+            EstimatorMode::OptimalStopping {
+                max_samples: 200_000,
+            },
+        );
+        let batch = BatchEstimator::new(&db, &sigma, GeneratorSpec::uniform_operations()).unwrap();
+        let uninterrupted = batch
+            .estimate_stopping_batch(&queries, params, &mut StdRng::seed_from_u64(41))
+            .unwrap();
+        for cut in [1u64, 17, 80, 500] {
+            let mut rng = StdRng::seed_from_u64(41);
+            let token = CancelToken::tripped_at_draw(cut);
+            let budget = RunBudget::unlimited().with_cancel_token(token);
+            let partial = batch
+                .estimate_stopping_batch_with_budget(&queries, params, &budget, &mut rng)
+                .unwrap();
+            assert_eq!(partial.total_draws, cut, "cut {cut}");
+            assert!(partial
+                .queries
+                .iter()
+                .any(|q| q.status == BudgetStatus::Cancelled));
+            let resumed = batch
+                .estimate_stopping_batch_resume(
+                    &queries,
+                    params,
+                    &RunBudget::unlimited(),
+                    &partial,
+                    &mut rng,
+                )
+                .unwrap();
+            for (i, (r, u)) in resumed.queries.iter().zip(&uninterrupted).enumerate() {
+                assert_eq!(
+                    (r.estimate, r.samples, r.successes),
+                    (u.value, u.samples, u.successes),
+                    "cut {cut}, query {i}"
+                );
+                assert_eq!(r.status, BudgetStatus::Converged);
+            }
+        }
+    }
+
+    #[test]
+    fn compile_budget_fallback_keeps_estimates_bit_identical() {
+        // A compile-step cap of 1 degrades the whole bank to evaluator
+        // fallback; the sampled repair stream consumes the RNG identically
+        // and the fallback evaluator decides the same entailments, so the
+        // estimates are bit-identical — only the per-draw cost changes.
+        let (db, sigma) = figure2();
+        let lookup = parse_query(db.schema(), "Ans(x) :- R('a1', x)").unwrap();
+        let lookup = QueryEvaluator::new(lookup);
+        let b1 = [Value::str("b1")];
+        let queries = [BatchQuery::new(&lookup, &b1)];
+        let params = ApproximationParams::new(0.25, 0.2).unwrap().with_mode(
+            EstimatorMode::OptimalStopping {
+                max_samples: 200_000,
+            },
+        );
+        let batch = BatchEstimator::new(&db, &sigma, GeneratorSpec::uniform_repairs()).unwrap();
+        let starved = RunBudget::unlimited().with_max_compile_steps(1);
+        let bank = batch.compile_bank_with_budget(&queries, &starved).unwrap();
+        assert!(bank.is_fallback(0), "the starved bank degrades to fallback");
+        let plain = batch
+            .estimate_stopping_batch(&queries, params, &mut StdRng::seed_from_u64(5))
+            .unwrap();
+        let degraded = batch
+            .estimate_stopping_batch_with_budget(
+                &queries,
+                params,
+                &starved,
+                &mut StdRng::seed_from_u64(5),
+            )
+            .unwrap();
+        assert_eq!(
+            (
+                degraded.queries[0].estimate,
+                degraded.queries[0].samples,
+                degraded.queries[0].successes,
+            ),
+            (plain[0].value, plain[0].samples, plain[0].successes),
+        );
+        assert_eq!(degraded.queries[0].status, BudgetStatus::Converged);
+    }
+
+    #[test]
+    fn truncated_estimates_satisfy_their_achieved_bound_against_the_exact_solver() {
+        // Cut the stream at several points; the reported achieved bound at
+        // the observed counts must cover the true probability (fixed seeds;
+        // the bound holds with probability ≥ 1 − δ per truncation point).
+        let (db, sigma) = figure2();
+        let q = parse_query(db.schema(), "Ans(x) :- R('a1', x)").unwrap();
+        let evaluator = QueryEvaluator::new(q);
+        let candidate = [Value::str("b1")];
+        let spec = GeneratorSpec::uniform_operations();
+        let exact = ExactSolver::new(&db, &sigma)
+            .answer_probability(spec, &evaluator, &candidate)
+            .unwrap()
+            .to_f64();
+        let params = ApproximationParams::new(0.05, 0.05).unwrap().with_mode(
+            EstimatorMode::OptimalStopping {
+                max_samples: 10_000_000,
+            },
+        );
+        let estimator = OcqaEstimator::new(&db, &sigma, spec).unwrap();
+        for cut in [50u64, 500, 5_000] {
+            let budget = RunBudget::unlimited().with_max_draws(cut);
+            let outcome = estimator
+                .estimate_with_budget(
+                    &evaluator,
+                    &candidate,
+                    params,
+                    &budget,
+                    &mut StdRng::seed_from_u64(13),
+                )
+                .unwrap();
+            let query = &outcome.queries[0];
+            assert_eq!(query.samples, cut);
+            assert_eq!(query.status, BudgetStatus::BudgetExhausted);
+            let additive = query.achieved.additive_epsilon;
+            assert!(
+                (query.estimate - exact).abs() <= additive,
+                "cut {cut}: estimate {} vs exact {exact}, additive ε′ {additive}",
+                query.estimate
+            );
+            if let Some(relative) = query.achieved.relative_epsilon {
+                assert!(
+                    (query.estimate - exact).abs() <= relative * exact,
+                    "cut {cut}: estimate {} vs exact {exact}, relative ε′ {relative}",
+                    query.estimate
+                );
+            }
+        }
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn budgeted_rounds_with_unlimited_budget_match_plain_rounds_at_fpras_level() {
+        let (db, sigma) = figure2();
+        let lookup = parse_query(db.schema(), "Ans(x) :- R('a1', x)").unwrap();
+        let lookup = QueryEvaluator::new(lookup);
+        let member = parse_query(db.schema(), "Ans() :- R('a3', 'b1')").unwrap();
+        let member = QueryEvaluator::new(member);
+        let b1 = [Value::str("b1")];
+        let queries = [BatchQuery::new(&lookup, &b1), BatchQuery::new(&member, &[])];
+        let params =
+            ApproximationParams::new(0.2, 0.1)
+                .unwrap()
+                .with_mode(EstimatorMode::OptimalStopping {
+                    max_samples: 1_000_000,
+                });
+        let batch = BatchEstimator::new(&db, &sigma, GeneratorSpec::uniform_operations()).unwrap();
+        let plain = batch
+            .estimate_stopping_batch_rounds(&queries, params, 23, DEFAULT_ROUND_SAMPLES)
+            .unwrap();
+        let budgeted = batch
+            .estimate_stopping_batch_rounds_with_budget(
+                &queries,
+                params,
+                23,
+                DEFAULT_ROUND_SAMPLES,
+                &RunBudget::unlimited(),
+            )
+            .unwrap();
+        for (i, (b, p)) in budgeted.queries.iter().zip(&plain).enumerate() {
+            assert_eq!(
+                (b.estimate, b.samples, b.successes),
+                (p.value, p.samples, p.successes),
+                "query {i}"
+            );
+            assert_eq!(b.status, BudgetStatus::Converged);
+        }
+        // A draw cap interrupts at a round boundary: a query that cannot
+        // converge is cut after the first round instead of running to the
+        // `max_samples` cut-off (queries that converged within the round
+        // keep their values — the cap is round-granular).
+        let never = parse_query(db.schema(), "Ans() :- R('zz', 'zz')").unwrap();
+        let never = QueryEvaluator::new(never);
+        let queries = [BatchQuery::new(&lookup, &b1), BatchQuery::new(&never, &[])];
+        let capped = batch
+            .estimate_stopping_batch_rounds_with_budget(
+                &queries,
+                params,
+                23,
+                DEFAULT_ROUND_SAMPLES,
+                &RunBudget::unlimited().with_max_draws(1),
+            )
+            .unwrap();
+        assert_eq!(capped.queries[1].status, BudgetStatus::BudgetExhausted);
+        assert!(
+            capped.total_draws < 1_000_000,
+            "the cap stops the stream long before the cut-off (drew {})",
+            capped.total_draws
+        );
     }
 
     #[test]

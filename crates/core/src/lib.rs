@@ -20,14 +20,23 @@
 //!   (Lemmas 5.3, 6.3, E.3, E.10, D.8 and Proposition 7.3).
 //! * [`montecarlo`] — Monte-Carlo estimation: fixed-sample-size estimators
 //!   and the Dagum–Karp–Luby–Ross optimal stopping rule.
+//! * [`budget`] — run budgets for the estimation loops: draw caps,
+//!   wall-clock deadlines, cooperative cancellation, and the achieved
+//!   `(ε′, δ)` bound of an interrupted run.
 //! * [`fpras`] — the end-to-end FPRAS drivers of Theorems 5.1(2), 6.1(2),
 //!   7.1(2), 7.5, E.1(2) and E.8(2), with the constraint-class requirements
 //!   of each theorem enforced at run time.
+//! * [`chaos`] (feature `chaos`) — deterministic fault injection for
+//!   robustness testing: skewed clocks and adversarial experiments.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod bounds;
+pub mod budget;
+#[cfg(feature = "chaos")]
+pub mod chaos;
 pub mod counting;
 pub mod error;
 pub mod exact;
@@ -38,6 +47,10 @@ pub mod sample_operations;
 pub mod sample_repairs;
 pub mod sample_sequences;
 
+pub use budget::{
+    AchievedBound, BudgetStatus, CancelToken, Clock, EstimateOutcome, ManualClock, QueryOutcome,
+    RunBudget,
+};
 pub use error::CoreError;
 pub use exact::ExactSolver;
 pub use fpras::{ApproximationParams, BatchEstimator, BatchQuery, Estimate, OcqaEstimator};
@@ -45,7 +58,7 @@ pub use fpras::{ApproximationParams, BatchEstimator, BatchQuery, Estimate, OcqaE
 /// Commonly used types, re-exported for convenience.
 pub mod prelude {
     pub use crate::{
-        ApproximationParams, BatchEstimator, BatchQuery, CoreError, Estimate, ExactSolver,
-        OcqaEstimator,
+        AchievedBound, ApproximationParams, BatchEstimator, BatchQuery, BudgetStatus, CancelToken,
+        CoreError, Estimate, EstimateOutcome, ExactSolver, OcqaEstimator, QueryOutcome, RunBudget,
     };
 }

@@ -20,7 +20,19 @@
 //! [`estimate_stopping_batch_rounds`]) for the adaptive stopping rule,
 //! where each query tracks its own success target and *retires* from the
 //! per-draw work as it converges.
+//!
+//! Every loop has a `_budgeted` counterpart taking a
+//! [`RunBudget`] — draw caps, wall-clock
+//! deadlines, cooperative cancellation — that can stop the stream
+//! mid-flight and reports a [`BudgetStatus`]
+//! alongside the partial outcome.  Budget checks consume no randomness and
+//! run *before* each draw, so an unconstrained budget is bit-identical to
+//! the plain loop and an interrupted run can be
+//! [resumed](estimate_stopping_batch_budgeted) from the same RNG state to
+//! reproduce the uninterrupted stream bit-for-bit.
 
+use crate::budget::{BudgetStatus, RunBudget};
+use crate::CoreError;
 use rand::Rng;
 #[cfg(feature = "parallel")]
 use rand::{rngs::StdRng, SeedableRng};
@@ -64,6 +76,50 @@ where
         samples,
         successes,
     }
+}
+
+/// As [`estimate_fixed`], under a [`RunBudget`].
+///
+/// The budget is polled *before* each draw (consuming no randomness), so
+/// an unconstrained budget draws the same sample sequence as
+/// [`estimate_fixed`] and returns a bit-identical outcome with status
+/// [`BudgetStatus::Converged`].  An interrupted run reports the empirical
+/// mean over the draws actually consumed and the interrupting status.
+pub fn estimate_fixed_budgeted<R, F>(
+    rng: &mut R,
+    samples: u64,
+    budget: &RunBudget,
+    mut experiment: F,
+) -> (MonteCarloOutcome, BudgetStatus)
+where
+    R: Rng + ?Sized,
+    F: FnMut(&mut R) -> bool,
+{
+    let mut successes = 0u64;
+    let mut drawn = 0u64;
+    let mut status = BudgetStatus::Converged;
+    while drawn < samples {
+        if let Some(interrupt) = budget.check(drawn) {
+            status = interrupt;
+            break;
+        }
+        drawn += 1;
+        if experiment(rng) {
+            successes += 1;
+        }
+    }
+    (
+        MonteCarloOutcome {
+            estimate: if drawn == 0 {
+                0.0
+            } else {
+                successes as f64 / drawn as f64
+            },
+            samples: drawn,
+            successes,
+        },
+        status,
+    )
 }
 
 /// The result of a batched Monte-Carlo run: one shared sample count, one
@@ -115,6 +171,44 @@ where
         experiment(rng, &mut successes);
     }
     BatchOutcome { samples, successes }
+}
+
+/// As [`estimate_fixed_batch`], under a [`RunBudget`].
+///
+/// One shared status for the whole batch: the fixed-sample stream either
+/// runs to its planned length ([`BudgetStatus::Converged`]) or every
+/// variable is cut at the same draw.  The budget is polled before each
+/// draw, so an unconstrained budget is bit-identical to
+/// [`estimate_fixed_batch`].
+pub fn estimate_fixed_batch_budgeted<R, F>(
+    rng: &mut R,
+    samples: u64,
+    queries: usize,
+    budget: &RunBudget,
+    mut experiment: F,
+) -> (BatchOutcome, BudgetStatus)
+where
+    R: Rng + ?Sized,
+    F: FnMut(&mut R, &mut [u64]),
+{
+    let mut successes = vec![0u64; queries];
+    let mut drawn = 0u64;
+    let mut status = BudgetStatus::Converged;
+    while drawn < samples {
+        if let Some(interrupt) = budget.check(drawn) {
+            status = interrupt;
+            break;
+        }
+        drawn += 1;
+        experiment(rng, &mut successes);
+    }
+    (
+        BatchOutcome {
+            samples: drawn,
+            successes,
+        },
+        status,
+    )
 }
 
 /// Batched counterpart of [`estimate_fixed_parallel`]: draws exactly
@@ -298,6 +392,75 @@ where
     R: Rng + ?Sized,
     E: StoppingBatchExperiment<R>,
 {
+    let budgeted = estimate_stopping_batch_budgeted(
+        rng,
+        targets,
+        max_samples,
+        &RunBudget::unlimited(),
+        experiment,
+        None,
+    );
+    StoppingBatchOutcome {
+        outcomes: budgeted.outcomes,
+        total_samples: budgeted.total_samples,
+    }
+}
+
+/// The result of a budgeted batched stopping-rule run: the per-query
+/// outcomes of [`StoppingBatchOutcome`] plus one [`BudgetStatus`] per
+/// query recording *why* that query's stream prefix ended.
+///
+/// A query is [`Converged`](BudgetStatus::Converged) iff it reached its
+/// success target; converged queries keep their values even when the run
+/// is later interrupted — only live queries degrade to
+/// [`BudgetExhausted`](BudgetStatus::BudgetExhausted) or
+/// [`Cancelled`](BudgetStatus::Cancelled) partial estimates.  The whole
+/// value can be fed back as the `resume` argument of
+/// [`estimate_stopping_batch_budgeted`] to continue the stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetedStoppingOutcome {
+    /// Per-query stopping-rule outcomes (partial for non-converged ones).
+    pub outcomes: Vec<StoppingRuleOutcome>,
+    /// Per-query termination statuses.
+    pub statuses: Vec<BudgetStatus>,
+    /// Total number of shared samples drawn, including the draws of a
+    /// resumed prior run.
+    pub total_samples: u64,
+}
+
+/// As [`estimate_stopping_batch`], under a [`RunBudget`], with optional
+/// resumption of an interrupted run.
+///
+/// The budget is polled *before* each draw and consumes no randomness, so
+/// an unconstrained budget is **bit-identical** to
+/// [`estimate_stopping_batch`], and an interruption at draw `t` leaves the
+/// RNG having consumed exactly `t` draws.  Feeding the returned outcome
+/// back as `resume` (with the *same* RNG, now positioned after draw `t`)
+/// continues the shared stream where it stopped: converged queries keep
+/// their frozen outcomes (their retirement is re-announced to
+/// `experiment`), live queries pick their success counts back up, and the
+/// concatenated run is bit-identical to one uninterrupted run.
+///
+/// Draw counts are absolute across resumption: `max_samples`, a
+/// [`max_draws`](RunBudget::with_max_draws) cap and a
+/// [`tripped_at_draw`](crate::budget::CancelToken::tripped_at_draw) token
+/// all refer to the total stream length, not to the draws of one call.
+///
+/// # Panics
+/// Panics if `resume` covers a different number of queries than `targets`
+/// (a programming error, not a runtime condition).
+pub fn estimate_stopping_batch_budgeted<R, E>(
+    rng: &mut R,
+    targets: &[u64],
+    max_samples: u64,
+    budget: &RunBudget,
+    experiment: &mut E,
+    resume: Option<&BudgetedStoppingOutcome>,
+) -> BudgetedStoppingOutcome
+where
+    R: Rng + ?Sized,
+    E: StoppingBatchExperiment<R>,
+{
     let k = targets.len();
     let mut outcomes = vec![
         StoppingRuleOutcome {
@@ -308,11 +471,40 @@ where
         };
         k
     ];
+    let mut statuses = vec![BudgetStatus::Converged; k];
     let mut successes = vec![0u64; k];
     let mut hits = vec![false; k];
-    let mut live: Vec<usize> = (0..k).collect();
+    let mut live: Vec<usize> = Vec::with_capacity(k);
     let mut draws = 0u64;
+    match resume {
+        Some(prior) => {
+            assert_eq!(
+                prior.outcomes.len(),
+                k,
+                "resume outcome must cover the same queries as `targets`"
+            );
+            draws = prior.total_samples;
+            for q in 0..k {
+                successes[q] = prior.outcomes[q].successes;
+                if prior.statuses[q] == BudgetStatus::Converged {
+                    // Converged entries keep their frozen outcome; the
+                    // experiment is told again so it can compact its
+                    // per-draw state exactly as in the original run.
+                    outcomes[q] = prior.outcomes[q];
+                    experiment.retire(q);
+                } else {
+                    live.push(q);
+                }
+            }
+        }
+        None => live.extend(0..k),
+    }
+    let mut interrupt = None;
     while !live.is_empty() && draws < max_samples {
+        if let Some(status) = budget.check(draws) {
+            interrupt = Some(status);
+            break;
+        }
         draws += 1;
         experiment.draw(rng, &mut hits);
         let mut j = 0;
@@ -335,6 +527,9 @@ where
             j += 1;
         }
     }
+    // Anything still live was cut off — by the budget if it fired, by the
+    // `max_samples` cut-off otherwise.
+    let live_status = interrupt.unwrap_or(BudgetStatus::BudgetExhausted);
     for &q in &live {
         outcomes[q] = StoppingRuleOutcome {
             estimate: if draws == 0 {
@@ -346,9 +541,11 @@ where
             successes: successes[q],
             truncated: true,
         };
+        statuses[q] = live_status;
     }
-    StoppingBatchOutcome {
+    BudgetedStoppingOutcome {
         outcomes,
+        statuses,
         total_samples: draws,
     }
 }
@@ -402,6 +599,48 @@ where
     F: Fn(&[usize]) -> E + Sync,
     E: FnMut(&mut StdRng, &mut [bool]),
 {
+    let budgeted = estimate_stopping_batch_rounds_budgeted(
+        master_seed,
+        targets,
+        max_samples,
+        round_samples,
+        shard_size,
+        &RunBudget::unlimited(),
+        make_experiment,
+    );
+    StoppingBatchOutcome {
+        outcomes: budgeted.outcomes,
+        total_samples: budgeted.total_samples,
+    }
+}
+
+/// As [`estimate_stopping_batch_rounds`], under a [`RunBudget`].
+///
+/// The budget is polled once per **round boundary** (consuming no
+/// randomness), so cancellation here is round-granular: a deadline or
+/// token observed at a boundary stops the run before the next round is
+/// dispatched to the thread pool, and live queries report the empirical
+/// mean over the rounds that completed.  An unconstrained budget is
+/// bit-identical to [`estimate_stopping_batch_rounds`], and the outcome
+/// remains bit-identical across thread counts for a fixed `master_seed`
+/// whenever the budget decisions themselves are deterministic (draw caps
+/// and pre-tripped tokens are; a wall-clock deadline is not, by nature).
+/// Resumption is not offered on this path — mid-round work cannot be
+/// replayed draw-by-draw.
+#[cfg(feature = "parallel")]
+pub fn estimate_stopping_batch_rounds_budgeted<E, F>(
+    master_seed: u64,
+    targets: &[u64],
+    max_samples: u64,
+    round_samples: u64,
+    shard_size: u64,
+    budget: &RunBudget,
+    make_experiment: F,
+) -> BudgetedStoppingOutcome
+where
+    F: Fn(&[usize]) -> E + Sync,
+    E: FnMut(&mut StdRng, &mut [bool]),
+{
     let k = targets.len();
     let round_samples = round_samples.max(1);
     let shard_size = shard_size.max(1);
@@ -414,11 +653,17 @@ where
         };
         k
     ];
+    let mut statuses = vec![BudgetStatus::Converged; k];
     let mut successes = vec![0u64; k];
     let mut live: Vec<usize> = (0..k).collect();
     let mut drawn = 0u64;
     let mut next_shard = 0u64;
+    let mut interrupt = None;
     while !live.is_empty() && drawn < max_samples {
+        if let Some(status) = budget.check(drawn) {
+            interrupt = Some(status);
+            break;
+        }
         // Shrink the round proportionally to the live set (at least one
         // shard's worth), so late-stage boundaries are finer.
         let scaled = ((round_samples as u128 * live.len() as u128).div_ceil(k as u128)) as u64;
@@ -471,6 +716,7 @@ where
             }
         });
     }
+    let live_status = interrupt.unwrap_or(BudgetStatus::BudgetExhausted);
     for &q in &live {
         outcomes[q] = StoppingRuleOutcome {
             estimate: if drawn == 0 {
@@ -482,9 +728,11 @@ where
             successes: successes[q],
             truncated: true,
         };
+        statuses[q] = live_status;
     }
-    StoppingBatchOutcome {
+    BudgetedStoppingOutcome {
         outcomes,
+        statuses,
         total_samples: drawn,
     }
 }
@@ -530,15 +778,34 @@ impl StoppingRuleEstimator {
     ///
     /// # Panics
     /// Panics if the parameters are out of range — callers validate them as
-    /// part of [`crate::fpras::ApproximationParams`].
+    /// part of [`crate::fpras::ApproximationParams`]; use
+    /// [`StoppingRuleEstimator::try_new`] for a typed error instead.
     pub fn new(epsilon: f64, delta: f64) -> Self {
-        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0, 1)");
-        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
-        StoppingRuleEstimator {
+        match Self::try_new(epsilon, delta) {
+            Ok(estimator) => estimator,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// As [`StoppingRuleEstimator::new`], returning
+    /// [`CoreError::InvalidParameters`] instead of panicking on
+    /// out-of-range parameters.
+    pub fn try_new(epsilon: f64, delta: f64) -> Result<Self, CoreError> {
+        if !(epsilon > 0.0 && epsilon < 1.0) {
+            return Err(CoreError::InvalidParameters {
+                message: format!("epsilon must be in (0, 1), got {epsilon}"),
+            });
+        }
+        if !(delta > 0.0 && delta < 1.0) {
+            return Err(CoreError::InvalidParameters {
+                message: format!("delta must be in (0, 1), got {delta}"),
+            });
+        }
+        Ok(StoppingRuleEstimator {
             epsilon,
             delta,
             max_samples: 50_000_000,
-        }
+        })
     }
 
     /// Overrides the sample cut-off.
@@ -587,6 +854,64 @@ impl StoppingRuleEstimator {
             successes,
             truncated,
         }
+    }
+
+    /// As [`StoppingRuleEstimator::estimate`], under a [`RunBudget`].
+    ///
+    /// The budget is polled before each draw (consuming no randomness), so
+    /// an unconstrained budget is bit-identical to
+    /// [`StoppingRuleEstimator::estimate`].  An interrupted run reports
+    /// the empirical mean over the draws consumed, `truncated = true`, and
+    /// the interrupting status; reaching the success target reports
+    /// [`BudgetStatus::Converged`].
+    pub fn estimate_budgeted<R, F>(
+        &self,
+        rng: &mut R,
+        budget: &RunBudget,
+        mut experiment: F,
+    ) -> (StoppingRuleOutcome, BudgetStatus)
+    where
+        R: Rng + ?Sized,
+        F: FnMut(&mut R) -> bool,
+    {
+        let target = self.success_target();
+        let mut successes = 0u64;
+        let mut samples = 0u64;
+        let mut interrupt = None;
+        while successes < target && samples < self.max_samples {
+            if let Some(status) = budget.check(samples) {
+                interrupt = Some(status);
+                break;
+            }
+            samples += 1;
+            if experiment(rng) {
+                successes += 1;
+            }
+        }
+        let truncated = successes < target;
+        let estimate = if truncated {
+            if samples == 0 {
+                0.0
+            } else {
+                successes as f64 / samples as f64
+            }
+        } else {
+            target as f64 / samples as f64
+        };
+        let status = if truncated {
+            interrupt.unwrap_or(BudgetStatus::BudgetExhausted)
+        } else {
+            BudgetStatus::Converged
+        };
+        (
+            StoppingRuleOutcome {
+                estimate,
+                samples,
+                successes,
+                truncated,
+            },
+            status,
+        )
     }
 }
 
@@ -975,6 +1300,231 @@ mod tests {
         assert!(batched.outcomes[0].truncated);
         assert_eq!(batched.outcomes[0].samples, 1_000);
         assert_eq!(batched.total_samples, 1_000);
+    }
+
+    #[test]
+    fn unbudgeted_and_unlimited_budget_fixed_runs_are_bit_identical() {
+        let plain = {
+            let mut rng = StdRng::seed_from_u64(77);
+            estimate_fixed(&mut rng, 5_000, |rng| rng.random_bool(0.3))
+        };
+        let (budgeted, status) = {
+            let mut rng = StdRng::seed_from_u64(77);
+            estimate_fixed_budgeted(&mut rng, 5_000, &RunBudget::unlimited(), |rng| {
+                rng.random_bool(0.3)
+            })
+        };
+        assert_eq!(budgeted, plain);
+        assert_eq!(status, BudgetStatus::Converged);
+    }
+
+    #[test]
+    fn budgeted_fixed_run_stops_at_the_draw_cap() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let budget = RunBudget::unlimited().with_max_draws(100);
+        let (outcome, status) =
+            estimate_fixed_budgeted(&mut rng, 5_000, &budget, |rng| rng.random_bool(0.3));
+        assert_eq!(status, BudgetStatus::BudgetExhausted);
+        assert_eq!(outcome.samples, 100);
+        // Exactly 100 draws were consumed: the next draw continues the
+        // uninterrupted stream.
+        let continued = estimate_fixed(&mut rng, 4_900, |rng| rng.random_bool(0.3));
+        let full = {
+            let mut rng = StdRng::seed_from_u64(77);
+            estimate_fixed(&mut rng, 5_000, |rng| rng.random_bool(0.3))
+        };
+        assert_eq!(outcome.successes + continued.successes, full.successes);
+    }
+
+    #[test]
+    fn budgeted_batch_run_cancels_mid_stream() {
+        let thresholds = [0.2f64, 0.8];
+        let token = crate::budget::CancelToken::tripped_at_draw(42);
+        let budget = RunBudget::unlimited().with_cancel_token(token);
+        let mut rng = StdRng::seed_from_u64(3);
+        let (outcome, status) =
+            estimate_fixed_batch_budgeted(&mut rng, 10_000, 2, &budget, |rng, successes| {
+                let draw: f64 = rng.random();
+                for (s, &t) in successes.iter_mut().zip(&thresholds) {
+                    if draw < t {
+                        *s += 1;
+                    }
+                }
+            });
+        assert_eq!(status, BudgetStatus::Cancelled);
+        assert_eq!(outcome.samples, 42);
+    }
+
+    #[test]
+    fn budgeted_stopping_batch_with_unlimited_budget_matches_plain() {
+        let thresholds = [0.6f64, 0.25, 0.05];
+        let targets: Vec<u64> = vec![40, 25, 10];
+        let plain = {
+            let mut experiment = ThresholdExperiment::new(&thresholds);
+            let mut rng = StdRng::seed_from_u64(21);
+            estimate_stopping_batch(&mut rng, &targets, 1_000_000, &mut experiment)
+        };
+        let budgeted = {
+            let mut experiment = ThresholdExperiment::new(&thresholds);
+            let mut rng = StdRng::seed_from_u64(21);
+            estimate_stopping_batch_budgeted(
+                &mut rng,
+                &targets,
+                1_000_000,
+                &RunBudget::unlimited(),
+                &mut experiment,
+                None,
+            )
+        };
+        assert_eq!(budgeted.outcomes, plain.outcomes);
+        assert_eq!(budgeted.total_samples, plain.total_samples);
+        assert!(budgeted.statuses.iter().all(|s| s.is_converged()));
+    }
+
+    #[test]
+    fn cancelled_stopping_batch_resumes_bit_for_bit() {
+        let thresholds = [0.6f64, 0.25, 0.05];
+        let targets: Vec<u64> = vec![40, 25, 10];
+        let uninterrupted = {
+            let mut experiment = ThresholdExperiment::new(&thresholds);
+            let mut rng = StdRng::seed_from_u64(21);
+            estimate_stopping_batch(&mut rng, &targets, 1_000_000, &mut experiment)
+        };
+        // Cancel mid-stream at several truncation points, then resume with
+        // the same RNG: the concatenated run must equal the uninterrupted
+        // one bit-for-bit.
+        for trip_at in [1u64, 17, 60, 150] {
+            let mut experiment = ThresholdExperiment::new(&thresholds);
+            let mut rng = StdRng::seed_from_u64(21);
+            let budget = RunBudget::unlimited()
+                .with_cancel_token(crate::budget::CancelToken::tripped_at_draw(trip_at));
+            let partial = estimate_stopping_batch_budgeted(
+                &mut rng,
+                &targets,
+                1_000_000,
+                &budget,
+                &mut experiment,
+                None,
+            );
+            assert_eq!(partial.total_samples, trip_at);
+            for (q, status) in partial.statuses.iter().enumerate() {
+                if !status.is_converged() {
+                    assert_eq!(*status, BudgetStatus::Cancelled, "query {q} at {trip_at}");
+                    assert!(partial.outcomes[q].truncated);
+                }
+            }
+            let resumed = estimate_stopping_batch_budgeted(
+                &mut rng,
+                &targets,
+                1_000_000,
+                &RunBudget::unlimited(),
+                &mut experiment,
+                Some(&partial),
+            );
+            assert_eq!(
+                resumed.outcomes, uninterrupted.outcomes,
+                "trip at {trip_at}"
+            );
+            assert_eq!(resumed.total_samples, uninterrupted.total_samples);
+            assert!(resumed.statuses.iter().all(|s| s.is_converged()));
+        }
+    }
+
+    #[test]
+    fn stopping_rule_budgeted_matches_plain_and_reports_cancellation() {
+        let estimator = StoppingRuleEstimator::new(0.2, 0.1);
+        let plain = {
+            let mut rng = StdRng::seed_from_u64(13);
+            estimator.estimate(&mut rng, |rng| rng.random_bool(0.4))
+        };
+        let (budgeted, status) = {
+            let mut rng = StdRng::seed_from_u64(13);
+            estimator.estimate_budgeted(&mut rng, &RunBudget::unlimited(), |rng| {
+                rng.random_bool(0.4)
+            })
+        };
+        assert_eq!(budgeted, plain);
+        assert_eq!(status, BudgetStatus::Converged);
+        let mut rng = StdRng::seed_from_u64(13);
+        let budget = RunBudget::unlimited()
+            .with_cancel_token(crate::budget::CancelToken::tripped_at_draw(7));
+        let (partial, status) =
+            estimator.estimate_budgeted(&mut rng, &budget, |rng| rng.random_bool(0.4));
+        assert_eq!(status, BudgetStatus::Cancelled);
+        assert!(partial.truncated);
+        assert_eq!(partial.samples, 7);
+    }
+
+    #[test]
+    fn try_new_rejects_out_of_range_parameters() {
+        assert!(StoppingRuleEstimator::try_new(0.0, 0.1).is_err());
+        assert!(StoppingRuleEstimator::try_new(0.1, 1.0).is_err());
+        assert!(StoppingRuleEstimator::try_new(f64::NAN, 0.1).is_err());
+        assert!(StoppingRuleEstimator::try_new(0.1, 0.1).is_ok());
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn budgeted_rounds_with_unlimited_budget_match_plain_rounds() {
+        let thresholds = [0.5f64, 0.02];
+        let targets = vec![StoppingRuleEstimator::new(0.1, 0.05).success_target(); 2];
+        let experiment = |_live: &[usize]| {
+            move |rng: &mut StdRng, hits: &mut [bool]| {
+                let draw: f64 = rng.random();
+                for (hit, &t) in hits.iter_mut().zip(&thresholds) {
+                    *hit = draw < t;
+                }
+            }
+        };
+        let plain =
+            estimate_stopping_batch_rounds(33, &targets, 10_000_000, 2_048, 512, experiment);
+        let budgeted = estimate_stopping_batch_rounds_budgeted(
+            33,
+            &targets,
+            10_000_000,
+            2_048,
+            512,
+            &RunBudget::unlimited(),
+            experiment,
+        );
+        assert_eq!(budgeted.outcomes, plain.outcomes);
+        assert_eq!(budgeted.total_samples, plain.total_samples);
+        assert!(budgeted.statuses.iter().all(|s| s.is_converged()));
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn budgeted_rounds_cancel_at_round_boundaries() {
+        let targets = vec![1_000u64];
+        let token = crate::budget::CancelToken::new();
+        token.cancel();
+        let budget = RunBudget::unlimited().with_cancel_token(token);
+        let cancelled = estimate_stopping_batch_rounds_budgeted(
+            1,
+            &targets,
+            1_000_000,
+            256,
+            64,
+            &budget,
+            |_live| |rng: &mut StdRng, hits: &mut [bool]| hits.fill(rng.random_bool(0.5)),
+        );
+        // A pre-tripped token fires at the first boundary: nothing drawn.
+        assert_eq!(cancelled.total_samples, 0);
+        assert_eq!(cancelled.statuses, vec![BudgetStatus::Cancelled]);
+        assert!(cancelled.outcomes[0].truncated);
+        let capped = estimate_stopping_batch_rounds_budgeted(
+            1,
+            &targets,
+            1_000_000,
+            256,
+            64,
+            &RunBudget::unlimited().with_max_draws(300),
+            |_live| |rng: &mut StdRng, hits: &mut [bool]| hits.fill(rng.random_bool(0.001)),
+        );
+        // The cap is observed at the next boundary after 300 draws.
+        assert_eq!(capped.statuses, vec![BudgetStatus::BudgetExhausted]);
+        assert!(capped.total_samples >= 300);
+        assert!(capped.outcomes[0].truncated);
     }
 
     #[cfg(feature = "parallel")]

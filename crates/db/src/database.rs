@@ -69,10 +69,21 @@ impl Database {
         Arc::clone(&self.schema)
     }
 
-    /// Inserts a fact, checking its arity against the schema.
+    /// Inserts a fact, checking its relation id and arity against the
+    /// schema.
     ///
     /// Returns the fact's id (existing id if the fact was already present).
+    /// A fact whose [`RelationId`] was minted by a
+    /// different (larger) schema is rejected with
+    /// [`DbError::ForeignRelationId`] instead of corrupting the per-relation
+    /// index.
     pub fn insert(&mut self, fact: Fact) -> Result<FactId, DbError> {
+        if fact.relation().index() >= self.schema.relation_count() {
+            return Err(DbError::ForeignRelationId {
+                index: fact.relation().index(),
+                relations: self.schema.relation_count(),
+            });
+        }
         let arity = self.schema.arity(fact.relation());
         if fact.arity() != arity {
             return Err(DbError::ArityMismatch {
@@ -261,6 +272,29 @@ mod tests {
         let mut db = Database::with_schema(schema_r2());
         let err = db.insert_values("S", [Value::int(1)]).unwrap_err();
         assert!(matches!(err, DbError::UnknownRelation { .. }));
+    }
+
+    #[test]
+    fn foreign_relation_id_rejected() {
+        // Mint a RelationId against a two-relation schema, then insert the
+        // fact into a database whose schema declares only one.
+        let mut big = Schema::new();
+        big.add_relation("R", &["A", "B"]).unwrap();
+        big.add_relation("S", &["A", "B"]).unwrap();
+        let foreign = big.relation_id("S").unwrap();
+        let mut db = Database::with_schema(schema_r2());
+        let err = db
+            .insert(Fact::new(foreign, vec![Value::int(1), Value::int(2)]))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            DbError::ForeignRelationId {
+                index: 1,
+                relations: 1
+            }
+        ));
+        assert!(err.to_string().contains("different schema"));
+        assert!(db.is_empty());
     }
 
     #[test]

@@ -52,6 +52,14 @@ pub enum DbError {
         /// Human-readable explanation.
         reason: String,
     },
+    /// A fact carried a `RelationId` minted by a different schema (its
+    /// index is out of range for this database's schema).
+    ForeignRelationId {
+        /// The out-of-range relation index carried by the fact.
+        index: usize,
+        /// The number of relations the schema declares.
+        relations: usize,
+    },
 }
 
 impl fmt::Display for DbError {
@@ -86,6 +94,10 @@ impl fmt::Display for DbError {
             DbError::NotKeys { reason } => {
                 write!(f, "constraint set is not a set of keys: {reason}")
             }
+            DbError::ForeignRelationId { index, relations } => write!(
+                f,
+                "fact carries relation index {index}, but the schema declares only {relations} relation(s) — was the RelationId minted by a different schema?"
+            ),
         }
     }
 }

@@ -41,6 +41,8 @@
 //! the bank drains.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use ucqa_db::{Database, FactId, FactSet, RelationIndex, Value};
 
@@ -91,6 +93,67 @@ fn minimal_antichain_images(mut raw: Vec<Vec<FactId>>) -> Vec<Vec<FactId>> {
 
 /// One query of a bank entry: an evaluator plus the candidate tuple.
 pub type BankQueryRef<'q> = (&'q QueryEvaluator, &'q [Value]);
+
+/// A bound on the *compile-time* work of [`LineageBank::compile`]: a cap
+/// on enumeration steps (candidate facts visited by the shared scan-trie
+/// DFS) and/or a shared cancellation flag.
+///
+/// Witness enumeration is output-polynomial per entry thanks to the
+/// witness cap, but a pathological bank — many deep joins over a large
+/// database — can still spend a long time *reaching* the cap.  A compile
+/// budget turns that stall into graceful degradation: when the budget
+/// interrupts enumeration, **every** entry of the bank is marked as a
+/// [fallback](LineageBank::is_fallback) entry (a partially enumerated
+/// witness set would under-report entailment, so no partial bank is ever
+/// used), and the caller answers all queries through the backtracking
+/// evaluator instead.  Correctness is unaffected; only the per-draw cost
+/// degrades.
+///
+/// The flag is a plain [`AtomicBool`] so callers outside this crate (the
+/// run budgets of `ucqa-core`) can share their cancellation token without
+/// a dependency cycle.
+#[derive(Debug, Clone, Default)]
+pub struct CompileBudget {
+    max_steps: Option<u64>,
+    cancel: Option<Arc<AtomicBool>>,
+}
+
+impl CompileBudget {
+    /// How many enumeration steps pass between two reads of the
+    /// cancellation flag (the step cap is checked on every step).
+    const CANCEL_CHECK_INTERVAL: u64 = 256;
+
+    /// No bound: compilation runs to completion.
+    pub fn unlimited() -> Self {
+        CompileBudget::default()
+    }
+
+    /// Caps the number of enumeration steps.
+    pub fn with_max_steps(mut self, max_steps: u64) -> Self {
+        self.max_steps = Some(max_steps);
+        self
+    }
+
+    /// Attaches a cancellation flag; setting it interrupts compilation at
+    /// the next flag check.
+    pub fn with_cancel_flag(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(flag);
+        self
+    }
+
+    /// Polls the budget after `steps` enumeration steps.
+    pub fn interrupted(&self, steps: u64) -> bool {
+        if self.max_steps.is_some_and(|cap| steps > cap) {
+            return true;
+        }
+        if let Some(flag) = &self.cancel {
+            if steps.is_multiple_of(Self::CANCEL_CHECK_INTERVAL) && flag.load(Ordering::Relaxed) {
+                return true;
+            }
+        }
+        false
+    }
+}
 
 /// How one bank entry answers the per-sample check.
 #[derive(Debug, Clone)]
@@ -154,6 +217,21 @@ impl LineageBank {
         queries: &[BankQueryRef<'_>],
         cap: usize,
     ) -> Result<Self, QueryError> {
+        Self::compile_with_budget(db, queries, cap, &CompileBudget::unlimited())
+    }
+
+    /// As [`LineageBank::compile_with_cap`], under a [`CompileBudget`].
+    ///
+    /// When the budget interrupts enumeration, the whole bank degrades to
+    /// [fallback](LineageBank::is_fallback) entries (see [`CompileBudget`]
+    /// for why no partial bank is kept) — compilation still succeeds, and
+    /// estimation proceeds through the backtracking evaluator.
+    pub fn compile_with_budget(
+        db: &Database,
+        queries: &[BankQueryRef<'_>],
+        cap: usize,
+        budget: &CompileBudget,
+    ) -> Result<Self, QueryError> {
         let universe = db.len();
         // Ground every entry first: candidate arities are validated for
         // the whole bank before any enumeration starts.  `None` marks a
@@ -167,7 +245,12 @@ impl LineageBank {
         }
         let mut raw: Vec<Vec<Vec<FactId>>> = vec![Vec::new(); queries.len()];
         let mut overflowed = vec![false; queries.len()];
-        trie.enumerate(db, cap, &mut raw, &mut overflowed);
+        if !trie.enumerate(db, cap, budget, &mut raw, &mut overflowed) {
+            // The budget interrupted enumeration: a partially enumerated
+            // witness set would under-report entailment, so the whole
+            // bank degrades to evaluator fallback.
+            overflowed.fill(true);
+        }
 
         // Witnesses are kept as sorted fact-id lists until here —
         // sparse-friendly to sort, hash and containment-check — and only
@@ -515,13 +598,17 @@ impl ScanTrie {
     /// An entry whose raw witness count exceeds `cap` is flagged in
     /// `overflowed` and collects no further witnesses; subtrees whose
     /// entries have all overflowed are pruned.
+    ///
+    /// Returns `false` iff `budget` interrupted the DFS (the collected
+    /// witnesses are then incomplete and must not be used).
     fn enumerate(
         &self,
         db: &Database,
         cap: usize,
+        budget: &CompileBudget,
         raw: &mut [Vec<Vec<FactId>>],
         overflowed: &mut [bool],
-    ) {
+    ) -> bool {
         for &entry in &self.root_terminals {
             // An empty body is matched by the empty image: one witness,
             // the empty set (entailed by every subset).
@@ -530,20 +617,28 @@ impl ScanTrie {
         let index = db.relation_index();
         let mut bindings: Vec<Option<&Value>> = vec![None; self.max_slots];
         let mut image: Vec<FactId> = Vec::new();
+        let mut steps = 0u64;
         for &root in &self.roots {
-            self.visit(
+            if !self.visit(
                 db,
                 index,
                 root,
                 cap,
+                budget,
+                &mut steps,
                 &mut bindings,
                 &mut image,
                 raw,
                 overflowed,
-            );
+            ) {
+                return false;
+            }
         }
+        true
     }
 
+    /// One DFS node of [`ScanTrie::enumerate`]; returns `false` iff the
+    /// compile budget interrupted the walk.
     #[allow(clippy::too_many_arguments)]
     fn visit<'d>(
         &self,
@@ -551,14 +646,16 @@ impl ScanTrie {
         index: &'d RelationIndex,
         node_id: usize,
         cap: usize,
+        budget: &CompileBudget,
+        steps: &mut u64,
         bindings: &mut Vec<Option<&'d Value>>,
         image: &mut Vec<FactId>,
         raw: &mut [Vec<Vec<FactId>>],
         overflowed: &mut [bool],
-    ) {
+    ) -> bool {
         let node = &self.nodes[node_id];
         if node.entries_below.iter().all(|&e| overflowed[e]) {
-            return;
+            return true;
         }
         let candidates = candidate_facts(
             db,
@@ -569,6 +666,10 @@ impl ScanTrie {
             bindings,
         );
         for &fact_id in candidates {
+            *steps += 1;
+            if budget.interrupted(*steps) {
+                return false;
+            }
             let Some(bound_here) = match_and_bind(&node.atom.terms, db.fact(fact_id), bindings)
             else {
                 continue;
@@ -593,11 +694,18 @@ impl ScanTrie {
                 }
             }
             for &child in &node.children {
-                self.visit(db, index, child, cap, bindings, image, raw, overflowed);
+                if !self.visit(
+                    db, index, child, cap, budget, steps, bindings, image, raw, overflowed,
+                ) {
+                    // Interrupted: the caller discards every witness, so
+                    // there is no need to unwind bindings on the way out.
+                    return false;
+                }
             }
             image.pop();
             unbind(&node.atom.terms, bound_here, bindings);
         }
+        true
     }
 }
 
@@ -844,6 +952,74 @@ mod tests {
         // answered on the bitset path.
         assert!(!hits[0]);
         assert!(hits[1]);
+    }
+
+    #[test]
+    fn interrupted_compile_budget_degrades_the_whole_bank_to_fallback() {
+        let db = blocks_db();
+        let evals = evaluators(&db, &["Ans() :- R(x, y)", "Ans() :- R(1, x)"]);
+        let queries: Vec<BankQueryRef<'_>> = evals.iter().map(|e| (e, &[] as &[Value])).collect();
+        let budget = CompileBudget::unlimited().with_max_steps(1);
+        let bank =
+            LineageBank::compile_with_budget(&db, &queries, DEFAULT_WITNESS_CAP, &budget).unwrap();
+        // No partial bank is ever kept: every entry falls back, even ones
+        // the DFS would have finished before the budget fired.
+        assert!(bank.is_fallback(0));
+        assert!(bank.is_fallback(1));
+        assert_eq!(bank.witness_count(), 0);
+    }
+
+    #[test]
+    fn tripped_cancel_flag_interrupts_compilation() {
+        let db = blocks_db();
+        let evals = evaluators(&db, &["Ans() :- R(x, y), R(z, y)"]);
+        let queries: Vec<BankQueryRef<'_>> = evals.iter().map(|e| (e, &[] as &[Value])).collect();
+        let flag = Arc::new(AtomicBool::new(false));
+        let budget = CompileBudget::unlimited().with_cancel_flag(Arc::clone(&flag));
+        // The flag is only polled every CANCEL_CHECK_INTERVAL steps.
+        flag.store(true, Ordering::Relaxed);
+        assert!(budget.interrupted(CompileBudget::CANCEL_CHECK_INTERVAL));
+        assert!(!budget.interrupted(CompileBudget::CANCEL_CHECK_INTERVAL + 1));
+        flag.store(false, Ordering::Relaxed);
+        assert!(!budget.interrupted(CompileBudget::CANCEL_CHECK_INTERVAL));
+        // A tripped flag never errors or panics compilation: the fixture's
+        // DFS finishes under one poll interval, so the bank still compiles.
+        flag.store(true, Ordering::Relaxed);
+        let bank =
+            LineageBank::compile_with_budget(&db, &queries, DEFAULT_WITNESS_CAP, &budget).unwrap();
+        assert_eq!(bank.len(), 1);
+    }
+
+    #[test]
+    fn unlimited_budget_compiles_identically_to_the_unbudgeted_path() {
+        let db = blocks_db();
+        let evals = evaluators(
+            &db,
+            &[
+                "Ans() :- R(1, x)",
+                "Ans() :- R(x, y), R(z, y)",
+                "Ans() :- R(9, 9)",
+            ],
+        );
+        let queries: Vec<BankQueryRef<'_>> = evals.iter().map(|e| (e, &[] as &[Value])).collect();
+        let plain = LineageBank::compile(&db, &queries).unwrap();
+        let budgeted = LineageBank::compile_with_budget(
+            &db,
+            &queries,
+            DEFAULT_WITNESS_CAP,
+            &CompileBudget::unlimited(),
+        )
+        .unwrap();
+        assert_eq!(plain.witness_count(), budgeted.witness_count());
+        let mut scratch_a = BankScratch::new();
+        let mut scratch_b = BankScratch::new();
+        let mut hits_a = vec![false; plain.len()];
+        let mut hits_b = vec![false; budgeted.len()];
+        for subset in subsets(db.len()) {
+            plain.evaluate_into(&subset, &mut scratch_a, &mut hits_a);
+            budgeted.evaluate_into(&subset, &mut scratch_b, &mut hits_b);
+            assert_eq!(hits_a, hits_b, "{subset:?}");
+        }
     }
 
     #[test]

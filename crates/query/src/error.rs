@@ -30,6 +30,12 @@ pub enum QueryError {
         /// Number of values supplied.
         actual: usize,
     },
+    /// The query is syntactically valid but outside the supported
+    /// fragment (e.g. an atom with more than 64 terms).
+    Unsupported {
+        /// Human-readable description of the unsupported construct.
+        message: String,
+    },
 }
 
 impl fmt::Display for QueryError {
@@ -47,6 +53,7 @@ impl fmt::Display for QueryError {
                 f,
                 "query has {expected} answer variables but {actual} values were supplied"
             ),
+            QueryError::Unsupported { message } => write!(f, "unsupported query: {message}"),
         }
     }
 }

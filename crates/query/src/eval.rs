@@ -48,6 +48,8 @@ impl Homomorphism {
             .map(|v| {
                 self.bindings
                     .get(v)
+                    // Invariant, not user-reachable: safety of answer
+                    // variables is checked at query construction.
                     .expect("answer variables are safe, so every homomorphism binds them")
                     .clone()
             })
@@ -80,7 +82,23 @@ pub struct QueryEvaluator {
 impl QueryEvaluator {
     /// Creates an evaluator for `query`, interning its variables into
     /// dense slots and planning the join order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query is outside the supported fragment (an atom
+    /// with more than 64 terms); use [`QueryEvaluator::try_new`] for a
+    /// typed error instead.
     pub fn new(query: ConjunctiveQuery) -> Self {
+        match Self::try_new(query) {
+            Ok(eval) => eval,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// As [`QueryEvaluator::new`], returning
+    /// [`QueryError::Unsupported`] instead of panicking when the query
+    /// is outside the supported fragment.
+    pub fn try_new(query: ConjunctiveQuery) -> Result<Self, QueryError> {
         let mut slots: Vec<Variable> = Vec::new();
         let slot_of = |slots: &mut Vec<Variable>, var: &Variable| -> usize {
             match slots.iter().position(|v| v == var) {
@@ -91,29 +109,27 @@ impl QueryEvaluator {
                 }
             }
         };
-        let atoms: Vec<PlanAtom> = query
-            .atoms()
-            .iter()
-            .map(|atom| {
-                // The search's backtrack bookkeeping records the term
-                // positions bound per frame in a u64 bitmask.
-                assert!(
-                    atom.terms().len() <= 64,
-                    "atoms with more than 64 terms are not supported"
-                );
-                PlanAtom {
-                    relation: atom.relation(),
-                    terms: atom
-                        .terms()
-                        .iter()
-                        .map(|term| match term {
-                            Term::Const(c) => PlanTerm::Const(c.clone()),
-                            Term::Var(v) => PlanTerm::Var(slot_of(&mut slots, v)),
-                        })
-                        .collect(),
-                }
-            })
-            .collect();
+        let mut atoms: Vec<PlanAtom> = Vec::with_capacity(query.atoms().len());
+        for atom in query.atoms() {
+            // The search's backtrack bookkeeping records the term
+            // positions bound per frame in a u64 bitmask.
+            if atom.terms().len() > 64 {
+                return Err(QueryError::Unsupported {
+                    message: "atoms with more than 64 terms are not supported".into(),
+                });
+            }
+            atoms.push(PlanAtom {
+                relation: atom.relation(),
+                terms: atom
+                    .terms()
+                    .iter()
+                    .map(|term| match term {
+                        Term::Const(c) => PlanTerm::Const(c.clone()),
+                        Term::Var(v) => PlanTerm::Var(slot_of(&mut slots, v)),
+                    })
+                    .collect(),
+            });
+        }
         let answer_slots: Vec<usize> = query
             .answer_vars()
             .iter()
@@ -121,19 +137,21 @@ impl QueryEvaluator {
                 slots
                     .iter()
                     .position(|s| s == v)
+                    // Invariant, not user-reachable: `ConjunctiveQuery::new`
+                    // rejects unsafe answer variables at construction.
                     .expect("answer variables are safe, so they occur in the body")
             })
             .collect();
         let plan = JoinPlan::build(&atoms, slots.len(), &[]);
         let answer_plan = JoinPlan::build(&atoms, slots.len(), &answer_slots);
-        QueryEvaluator {
+        Ok(QueryEvaluator {
             query,
             slots,
             atoms,
             answer_slots,
             plan,
             answer_plan,
-        }
+        })
     }
 
     /// The underlying query.
@@ -212,6 +230,8 @@ impl QueryEvaluator {
                         .iter()
                         .map(|&slot| {
                             bindings[slot]
+                                // Invariant, not user-reachable: the plan
+                                // binds every slot before reaching a leaf.
                                 .expect("answer slots are bound at every leaf")
                                 .clone()
                         })
@@ -727,6 +747,21 @@ mod tests {
                 assert_eq!(planned, unplanned, "{text}, mask {mask:b}");
             }
         }
+    }
+
+    #[test]
+    fn oversized_atoms_are_a_typed_error() {
+        let mut schema = Schema::new();
+        let attrs: Vec<String> = (0..65).map(|i| format!("A{i}")).collect();
+        let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+        schema.add_relation("W", &attr_refs).unwrap();
+        let relation = schema.relation_id("W").unwrap();
+        let terms: Vec<Term> = (0..65).map(|i| Term::var(format!("x{i}"))).collect();
+        let query = ConjunctiveQuery::new(&schema, vec![], vec![crate::Atom::new(relation, terms)])
+            .unwrap();
+        let err = QueryEvaluator::try_new(query).unwrap_err();
+        assert!(matches!(err, QueryError::Unsupported { .. }));
+        assert!(err.to_string().contains("64"));
     }
 
     #[test]

@@ -17,6 +17,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod ast;
 pub mod bank;
@@ -27,7 +28,7 @@ pub mod parser;
 pub mod plan;
 
 pub use ast::{Atom, ConjunctiveQuery, Term, Variable};
-pub use bank::{BankLiveSet, BankScratch, LineageBank};
+pub use bank::{BankLiveSet, BankScratch, CompileBudget, LineageBank};
 pub use error::QueryError;
 pub use eval::{Bindings, QueryEvaluator};
 pub use lineage::CompiledLineage;
@@ -36,7 +37,7 @@ pub use plan::JoinPlan;
 /// Commonly used types, re-exported for convenience.
 pub mod prelude {
     pub use crate::{
-        Atom, BankLiveSet, BankScratch, Bindings, CompiledLineage, ConjunctiveQuery, JoinPlan,
-        LineageBank, QueryError, QueryEvaluator, Term, Variable,
+        Atom, BankLiveSet, BankScratch, Bindings, CompileBudget, CompiledLineage, ConjunctiveQuery,
+        JoinPlan, LineageBank, QueryError, QueryEvaluator, Term, Variable,
     };
 }

@@ -20,7 +20,7 @@
 use ucqa_db::Value;
 use ucqa_db::{Database, FactSet};
 
-use crate::{QueryError, QueryEvaluator};
+use crate::{CompileBudget, QueryError, QueryEvaluator};
 
 /// Default cap on the number of witnesses materialised by
 /// [`CompiledLineage::compile`].
@@ -83,6 +83,40 @@ impl CompiledLineage {
             raw.len() > cap
         })?;
         if overflowed {
+            return Ok(None);
+        }
+        Ok(Some(Self::from_witnesses(raw, universe)))
+    }
+
+    /// As [`CompiledLineage::compile`], under a [`CompileBudget`].
+    ///
+    /// The budget is polled once per enumerated witness; when it
+    /// interrupts enumeration the result is `Ok(None)` — exactly the
+    /// over-cap outcome — so the caller degrades to the backtracking
+    /// evaluator instead of stalling on a pathological lineage.
+    pub fn compile_with_budget(
+        evaluator: &QueryEvaluator,
+        db: &Database,
+        candidate: &[Value],
+        budget: &CompileBudget,
+    ) -> Result<Option<Self>, QueryError> {
+        let universe = db.len();
+        let all = db.all_facts();
+        let mut raw: Vec<FactSet> = Vec::new();
+        let mut steps = 0u64;
+        let interrupted = evaluator.for_each_answer_image(db, &all, candidate, |image| {
+            steps += 1;
+            if budget.interrupted(steps) {
+                return true;
+            }
+            let mut witness = FactSet::empty(universe);
+            for &fact in image {
+                witness.insert(fact);
+            }
+            raw.push(witness);
+            raw.len() > DEFAULT_WITNESS_CAP
+        })?;
+        if interrupted {
             return Ok(None);
         }
         Ok(Some(Self::from_witnesses(raw, universe)))

@@ -286,6 +286,8 @@ pub(crate) fn candidate_facts<'c>(
     for &position in bound_positions {
         let value: &Value = match &terms[position] {
             PlanTerm::Const(c) => c,
+            // Invariant, not user-reachable: `bound_positions` only lists
+            // positions whose slots the plan has already bound.
             PlanTerm::Var(slot) => bindings[*slot].expect("planner guarantees this slot is bound"),
         };
         let posting = index.matches(relation, position, value);
@@ -296,6 +298,8 @@ pub(crate) fn candidate_facts<'c>(
             break;
         }
     }
+    // Invariant, not user-reachable: the early return above handles the
+    // empty case, so the loop assigned `best` at least once.
     best.expect("bound_positions is non-empty")
 }
 

@@ -743,3 +743,66 @@ fn parallel_batched_estimation_is_deterministic_across_thread_counts() {
         assert_eq!(baseline[i], single, "query {i}");
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Tripping the cancellation token at an arbitrary draw index never
+    /// panics, marks every still-live query `Cancelled` at exactly that
+    /// draw, and resuming with the remaining budget under the same seed
+    /// reproduces the uninterrupted estimates bit-for-bit.
+    #[test]
+    fn cancellation_is_clean_and_resumable(cut in 1u64..400, seed in 0u64..16) {
+        use uocqa::core::budget::{BudgetStatus, CancelToken, RunBudget};
+        use uocqa::core::fpras::{ApproximationParams, BatchEstimator, BatchQuery, EstimatorMode};
+
+        let (db, sigma) = block_database(&[2, 3, 1]);
+        let q = parse_membership(&db);
+        let bank = [BatchQuery::new(&q, &[])];
+        let params = ApproximationParams::new(0.25, 0.2)
+            .unwrap()
+            .with_mode(EstimatorMode::OptimalStopping { max_samples: 100_000 });
+        let estimator =
+            BatchEstimator::new(&db, &sigma, GeneratorSpec::uniform_repairs()).unwrap();
+        let uninterrupted = estimator
+            .estimate_stopping_batch(&bank, params, &mut StdRng::seed_from_u64(seed))
+            .unwrap();
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let budget =
+            RunBudget::unlimited().with_cancel_token(CancelToken::tripped_at_draw(cut));
+        let partial = estimator
+            .estimate_stopping_batch_with_budget(&bank, params, &budget, &mut rng)
+            .unwrap();
+        if cut < uninterrupted[0].samples {
+            // The token fired while the query was still live.
+            prop_assert_eq!(partial.total_draws, cut);
+            prop_assert_eq!(partial.queries[0].status, BudgetStatus::Cancelled);
+            prop_assert_eq!(partial.queries[0].samples, cut);
+        } else {
+            // The query retired before the token tripped: converged
+            // values are kept, bit-identical to the uninterrupted run.
+            prop_assert_eq!(partial.queries[0].status, BudgetStatus::Converged);
+            prop_assert_eq!(partial.queries[0].samples, uninterrupted[0].samples);
+        }
+        let resumed = estimator
+            .estimate_stopping_batch_resume(
+                &bank,
+                params,
+                &RunBudget::unlimited(),
+                &partial,
+                &mut rng,
+            )
+            .unwrap();
+        prop_assert_eq!(resumed.queries[0].status, BudgetStatus::Converged);
+        prop_assert_eq!(resumed.queries[0].estimate, uninterrupted[0].value);
+        prop_assert_eq!(resumed.queries[0].samples, uninterrupted[0].samples);
+        prop_assert_eq!(resumed.queries[0].successes, uninterrupted[0].successes);
+    }
+}
+
+/// A Boolean membership query `Ans() :- R(0, 0)` over the block database.
+fn parse_membership(db: &Database) -> QueryEvaluator {
+    let q = uocqa::query::parser::parse_query(db.schema(), "Ans() :- R(0, 0)").unwrap();
+    QueryEvaluator::new(q)
+}

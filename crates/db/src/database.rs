@@ -1,27 +1,52 @@
-//! Databases: finite sets of facts with dense ids and per-relation indexes.
+//! Databases: dictionary-encoded columnar fact storage with dense ids.
 
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
-use crate::{DbError, Fact, FactId, FactSet, RelationId, RelationIndex, Schema, Value};
+use crate::{
+    DbError, Dictionary, Fact, FactId, FactSet, RelationId, RelationIndex, Schema, Sym, Value,
+};
 
 /// A database `D` over a schema **S**: a finite set of facts.
 ///
 /// Facts are deduplicated on insertion and receive dense [`FactId`]s in
-/// insertion order.  The database keeps a per-relation index (used by query
-/// evaluation and violation detection) and exposes its facts both by id and
-/// by value.  The schema is shared behind an [`Arc`] so that derived
-/// databases (e.g. the reduction gadgets) can reuse it cheaply.
+/// insertion order.  Storage is *columnar and dictionary-encoded*: every
+/// constant is interned into a shared [`Dictionary`] and each relation
+/// stores its facts as per-position [`Sym`] columns, so the hot paths
+/// (violation detection, join probes) compare dense `u32` symbols instead
+/// of hashing [`Value`]s.  The [`Value`]-facing API ([`Database::fact`],
+/// [`Database::insert`], …) is a thin encode/decode shell over the
+/// columns.
+///
+/// The schema and dictionary are shared behind [`Arc`]s so that derived
+/// databases (e.g. the reduction gadgets) and concurrent samplers can
+/// reuse them cheaply; the dictionary is cloned copy-on-write only if a
+/// snapshot handle is still held when new constants arrive.
 pub struct Database {
     schema: Arc<Schema>,
-    facts: Vec<Fact>,
-    by_fact: HashMap<Fact, FactId>,
+    /// The shared value interner; append-only, copy-on-write under
+    /// [`Arc::make_mut`].
+    dict: Arc<Dictionary>,
+    /// Per relation, per position, per row: the interned symbol.  Rows of
+    /// relation `r` align with `by_relation[r]` (insertion order within
+    /// the relation).
+    columns: Vec<Vec<Vec<Sym>>>,
+    /// FactId → owning relation.
+    fact_rel: Vec<RelationId>,
+    /// FactId → row within its relation's columns.
+    fact_row: Vec<u32>,
     by_relation: Vec<Vec<FactId>>,
-    /// Lazily built `(position, value) → fact ids` index backing the
+    /// Dedup map from encoded fact to id.
+    by_key: HashMap<(RelationId, Box<[Sym]>), FactId>,
+    /// Lazily built `(position, symbol) → fact ids` index backing the
     /// plan-based query evaluator; invalidated whenever a new fact is
     /// inserted.
     value_index: OnceLock<Arc<RelationIndex>>,
+    /// Number of times the relation index has been (re)built, for
+    /// observing cache behaviour under bulk loads.
+    index_builds: AtomicU64,
 }
 
 impl Clone for Database {
@@ -33,10 +58,14 @@ impl Clone for Database {
         }
         Database {
             schema: Arc::clone(&self.schema),
-            facts: self.facts.clone(),
-            by_fact: self.by_fact.clone(),
+            dict: Arc::clone(&self.dict),
+            columns: self.columns.clone(),
+            fact_rel: self.fact_rel.clone(),
+            fact_row: self.fact_row.clone(),
             by_relation: self.by_relation.clone(),
+            by_key: self.by_key.clone(),
             value_index,
+            index_builds: AtomicU64::new(self.index_builds.load(Ordering::Relaxed)),
         }
     }
 }
@@ -44,19 +73,35 @@ impl Clone for Database {
 impl Database {
     /// Creates an empty database over `schema`.
     pub fn new(schema: Arc<Schema>) -> Self {
-        let relations = schema.relation_count();
-        Database {
-            schema,
-            facts: Vec::new(),
-            by_fact: HashMap::new(),
-            by_relation: vec![Vec::new(); relations],
-            value_index: OnceLock::new(),
-        }
+        Database::with_dictionary(schema, Arc::new(Dictionary::new()))
     }
 
     /// Creates an empty database taking ownership of `schema`.
     pub fn with_schema(schema: Schema) -> Self {
         Database::new(Arc::new(schema))
+    }
+
+    /// Creates an empty database over `schema` that interns into (a
+    /// copy-on-write handle of) an existing dictionary.
+    ///
+    /// Pre-seeding the dictionary lets several databases agree on symbol
+    /// assignments, and lets tests exercise symbol-order independence.
+    pub fn with_dictionary(schema: Arc<Schema>, dict: Arc<Dictionary>) -> Self {
+        let relations = schema.relation_count();
+        let columns = (0..relations)
+            .map(|r| vec![Vec::new(); schema.arity(RelationId(r as u32))])
+            .collect();
+        Database {
+            schema,
+            dict,
+            columns,
+            fact_rel: Vec::new(),
+            fact_row: Vec::new(),
+            by_relation: vec![Vec::new(); relations],
+            by_key: HashMap::new(),
+            value_index: OnceLock::new(),
+            index_builds: AtomicU64::new(0),
+        }
     }
 
     /// The schema of this database.
@@ -69,15 +114,21 @@ impl Database {
         Arc::clone(&self.schema)
     }
 
-    /// Inserts a fact, checking its relation id and arity against the
-    /// schema.
-    ///
-    /// Returns the fact's id (existing id if the fact was already present).
-    /// A fact whose [`RelationId`] was minted by a
-    /// different (larger) schema is rejected with
-    /// [`DbError::ForeignRelationId`] instead of corrupting the per-relation
-    /// index.
-    pub fn insert(&mut self, fact: Fact) -> Result<FactId, DbError> {
+    /// The dictionary this database interns its constants into.
+    pub fn dictionary(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    /// A shared handle to the dictionary, for decoding symbols on other
+    /// threads.  Later inserts of *new* constants copy-on-write the
+    /// database's dictionary, leaving the returned snapshot untouched.
+    pub fn share_dictionary(&self) -> Arc<Dictionary> {
+        Arc::clone(&self.dict)
+    }
+
+    /// Validates `fact` against the schema and encodes it, returning its
+    /// relation and symbol row.  Interns any constants not seen before.
+    fn encode_fact(&mut self, fact: &Fact) -> Result<(RelationId, Box<[Sym]>), DbError> {
         if fact.relation().index() >= self.schema.relation_count() {
             return Err(DbError::ForeignRelationId {
                 index: fact.relation().index(),
@@ -92,16 +143,77 @@ impl Database {
                 actual: fact.arity(),
             });
         }
-        if let Some(id) = self.by_fact.get(&fact) {
-            return Ok(*id);
+        let dict = Arc::make_mut(&mut self.dict);
+        let row: Box<[Sym]> = fact
+            .values()
+            .iter()
+            .map(|v| dict.intern(v.clone()))
+            .collect();
+        Ok((fact.relation(), row))
+    }
+
+    /// Appends an encoded (validated, deduplicated) row, returning the new
+    /// fact's id.  Does **not** invalidate the cached index.
+    fn push_row(&mut self, relation: RelationId, row: Box<[Sym]>) -> FactId {
+        let id = FactId::new(self.fact_rel.len());
+        let columns = &mut self.columns[relation.index()];
+        let row_index = self.by_relation[relation.index()].len() as u32;
+        for (column, &sym) in columns.iter_mut().zip(row.iter()) {
+            column.push(sym);
+        }
+        self.by_relation[relation.index()].push(id);
+        self.fact_rel.push(relation);
+        self.fact_row.push(row_index);
+        self.by_key.insert((relation, row), id);
+        id
+    }
+
+    /// Inserts a fact, checking its relation id and arity against the
+    /// schema.
+    ///
+    /// Returns the fact's id (existing id if the fact was already present).
+    /// A fact whose [`RelationId`] was minted by a different (larger)
+    /// schema is rejected with [`DbError::ForeignRelationId`] instead of
+    /// corrupting the per-relation index.  A genuinely new fact invalidates
+    /// the cached [`RelationIndex`]; prefer [`Database::extend`] for bulk
+    /// loads interleaved with reads.
+    pub fn insert(&mut self, fact: Fact) -> Result<FactId, DbError> {
+        let (relation, row) = self.encode_fact(&fact)?;
+        if let Some(&id) = self.by_key.get(&(relation, row.clone())) {
+            return Ok(id);
         }
         // A genuinely new fact invalidates the cached value index.
         self.value_index = OnceLock::new();
-        let id = FactId::new(self.facts.len());
-        self.by_relation[fact.relation().index()].push(id);
-        self.by_fact.insert(fact.clone(), id);
-        self.facts.push(fact);
-        Ok(id)
+        Ok(self.push_row(relation, row))
+    }
+
+    /// Bulk insert: inserts every fact, invalidating the cached
+    /// [`RelationIndex`] **once** instead of per fact.
+    ///
+    /// [`Database::insert`] drops the index on every genuinely new fact, so
+    /// a bulk load interleaved with reads rebuilds it from scratch each
+    /// round — accidentally quadratic.  `extend` defers the invalidation
+    /// to a single drop at the end (and skips it entirely if every fact
+    /// was a duplicate).  Returns the id of each input fact in order.
+    pub fn extend(
+        &mut self,
+        facts: impl IntoIterator<Item = Fact>,
+    ) -> Result<Vec<FactId>, DbError> {
+        let mut ids = Vec::new();
+        let mut inserted_any = false;
+        for fact in facts {
+            let (relation, row) = self.encode_fact(&fact)?;
+            if let Some(&id) = self.by_key.get(&(relation, row.clone())) {
+                ids.push(id);
+                continue;
+            }
+            inserted_any = true;
+            ids.push(self.push_row(relation, row));
+        }
+        if inserted_any {
+            self.value_index = OnceLock::new();
+        }
+        Ok(ids)
     }
 
     /// Convenience: insert a fact given by relation name and values.
@@ -116,40 +228,84 @@ impl Database {
 
     /// Number of facts (`|D|`).
     pub fn len(&self) -> usize {
-        self.facts.len()
+        self.fact_rel.len()
     }
 
     /// Returns `true` iff the database has no facts.
     pub fn is_empty(&self) -> bool {
-        self.facts.is_empty()
+        self.fact_rel.is_empty()
     }
 
-    /// The fact with the given id.
-    pub fn fact(&self, id: FactId) -> &Fact {
-        &self.facts[id.index()]
+    /// Decodes the fact with the given id.
+    ///
+    /// Facts are stored columnar, so this materializes an owned [`Fact`]
+    /// by decoding one symbol per position; hot paths should work on
+    /// [`Database::sym`] / [`Database::columns_of`] instead.
+    pub fn fact(&self, id: FactId) -> Fact {
+        let relation = self.fact_rel[id.index()];
+        let row = self.fact_row[id.index()] as usize;
+        let values = self.columns[relation.index()]
+            .iter()
+            .map(|column| self.dict.decode(column[row]).clone())
+            .collect();
+        Fact::new(relation, values)
+    }
+
+    /// The owning relation of a fact.
+    #[inline]
+    pub fn relation_of(&self, id: FactId) -> RelationId {
+        self.fact_rel[id.index()]
+    }
+
+    /// The row of a fact within its relation's columns (aligned with
+    /// [`Database::facts_of`]).
+    #[inline]
+    pub fn row_of(&self, id: FactId) -> usize {
+        self.fact_row[id.index()] as usize
+    }
+
+    /// The symbol of a fact at `position`.
+    #[inline]
+    pub fn sym(&self, id: FactId, position: usize) -> Sym {
+        let relation = self.fact_rel[id.index()];
+        self.columns[relation.index()][position][self.fact_row[id.index()] as usize]
+    }
+
+    /// The per-position symbol columns of `relation` (one `Vec<Sym>` per
+    /// position, rows aligned with [`Database::facts_of`]).
+    #[inline]
+    pub fn columns_of(&self, relation: RelationId) -> &[Vec<Sym>] {
+        &self.columns[relation.index()]
+    }
+
+    /// One symbol column of `relation`.
+    #[inline]
+    pub fn column(&self, relation: RelationId, position: usize) -> &[Sym] {
+        &self.columns[relation.index()][position]
     }
 
     /// Looks up the id of a fact, if present.
+    ///
+    /// A fact containing a constant the dictionary has never seen is
+    /// provably absent, so the lookup never interns.
     pub fn fact_id(&self, fact: &Fact) -> Option<FactId> {
-        self.by_fact.get(fact).copied()
+        let row: Option<Box<[Sym]>> = fact.values().iter().map(|v| self.dict.lookup(v)).collect();
+        self.by_key.get(&(fact.relation(), row?)).copied()
     }
 
     /// Returns `true` iff the database contains `fact`.
     pub fn contains(&self, fact: &Fact) -> bool {
-        self.by_fact.contains_key(fact)
+        self.fact_id(fact).is_some()
     }
 
     /// Iterates over all fact ids in insertion order.
     pub fn fact_ids(&self) -> impl Iterator<Item = FactId> + '_ {
-        (0..self.facts.len()).map(FactId::new)
+        (0..self.len()).map(FactId::new)
     }
 
-    /// Iterates over `(id, fact)` pairs.
-    pub fn iter(&self) -> impl Iterator<Item = (FactId, &Fact)> + '_ {
-        self.facts
-            .iter()
-            .enumerate()
-            .map(|(i, f)| (FactId::new(i), f))
+    /// Iterates over `(id, fact)` pairs, decoding each fact.
+    pub fn iter(&self) -> impl Iterator<Item = (FactId, Fact)> + '_ {
+        self.fact_ids().map(|id| (id, self.fact(id)))
     }
 
     /// The ids of the facts over `relation`.
@@ -157,15 +313,17 @@ impl Database {
         &self.by_relation[relation.index()]
     }
 
-    /// The `(position, value) → fact ids` index of this database, built on
+    /// The `(position, symbol) → fact ids` index of this database, built on
     /// first use and cached until the database is mutated.
     ///
     /// This is the access-path backbone of the plan-based query evaluator
     /// in `ucqa-query`: a join step whose term at some position is bound
     /// looks up its posting list here instead of scanning the relation.
     pub fn relation_index(&self) -> &RelationIndex {
-        self.value_index
-            .get_or_init(|| Arc::new(RelationIndex::build(self)))
+        self.value_index.get_or_init(|| {
+            self.index_builds.fetch_add(1, Ordering::Relaxed);
+            Arc::new(RelationIndex::build(self))
+        })
     }
 
     /// A shared handle to the relation index (building it if necessary),
@@ -175,6 +333,13 @@ impl Database {
         Arc::clone(self.value_index.get().expect("just initialised"))
     }
 
+    /// How many times the relation index has been (re)built over this
+    /// database's lifetime (diagnostics for bulk-load cache behaviour; see
+    /// [`Database::extend`]).
+    pub fn index_builds(&self) -> u64 {
+        self.index_builds.load(Ordering::Relaxed)
+    }
+
     /// The full fact set `D` as a [`FactSet`] over this database's universe.
     pub fn all_facts(&self) -> FactSet {
         FactSet::full(self.len())
@@ -182,21 +347,53 @@ impl Database {
 
     /// The active domain `dom(D)`: the set of constants occurring in `D`.
     pub fn active_domain(&self) -> BTreeSet<Value> {
-        self.facts
+        // The dictionary may hold constants interned by a sibling database
+        // sharing it, so walk the columns, not the dictionary.
+        self.columns
             .iter()
-            .flat_map(|f| f.values().iter().cloned())
+            .flat_map(|relation| relation.iter())
+            .flat_map(|column| column.iter())
+            .map(|&sym| self.dict.decode(sym).clone())
             .collect()
+    }
+
+    /// Approximate resident bytes of the fact storage (columns, id maps,
+    /// dedup map, and the dictionary), for per-fact memory reporting.
+    /// Excludes the lazily built [`RelationIndex`]
+    /// (see [`RelationIndex::approx_bytes`]).
+    pub fn approx_fact_bytes(&self) -> usize {
+        let sym = std::mem::size_of::<Sym>();
+        let column_bytes: usize = self
+            .columns
+            .iter()
+            .flat_map(|relation| relation.iter())
+            .map(|column| column.len() * sym)
+            .sum();
+        let per_fact = std::mem::size_of::<RelationId>() // fact_rel
+            + std::mem::size_of::<u32>() // fact_row
+            + std::mem::size_of::<FactId>(); // by_relation entry
+                                             // by_key: key tuple + boxed row + value, with ~1.8x hash slack.
+        let key_bytes: usize = self
+            .by_key
+            .keys()
+            .map(|(_, row)| {
+                (std::mem::size_of::<(RelationId, Box<[Sym]>)>()
+                    + std::mem::size_of::<FactId>()
+                    + row.len() * sym)
+                    * 9
+                    / 5
+            })
+            .sum();
+        column_bytes + self.len() * per_fact + key_bytes + self.dict.approx_bytes()
     }
 
     /// Materializes the sub-database induced by `subset` as a new
     /// [`Database`] (fresh ids).  Mostly useful for tests and displays; the
     /// algorithms operate on [`FactSet`]s directly.
     pub fn restrict(&self, subset: &FactSet) -> Database {
-        let mut db = Database::new(self.schema_arc());
-        for id in subset.iter() {
-            db.insert(self.fact(id).clone())
-                .expect("restricting an existing fact cannot fail arity checks");
-        }
+        let mut db = Database::with_dictionary(self.schema_arc(), self.share_dictionary());
+        db.extend(subset.iter().map(|id| self.fact(id)))
+            .expect("restricting an existing fact cannot fail arity checks");
         db
     }
 
@@ -213,7 +410,7 @@ impl Database {
 
 impl fmt::Debug for Database {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Database ({} facts):", self.facts.len())?;
+        writeln!(f, "Database ({} facts):", self.len())?;
         for (id, fact) in self.iter() {
             writeln!(f, "  {id}: {}", fact.display(&self.schema))?;
         }
@@ -298,6 +495,13 @@ mod tests {
     }
 
     #[test]
+    fn rejected_fact_does_not_pollute_the_dictionary() {
+        let mut db = Database::with_schema(schema_r2());
+        db.insert_values("R", [Value::int(1)]).unwrap_err();
+        assert!(db.dictionary().is_empty());
+    }
+
+    #[test]
     fn active_domain() {
         let mut db = Database::with_schema(schema_r2());
         db.insert_values("R", [Value::int(1), Value::str("a")])
@@ -322,5 +526,104 @@ mod tests {
         let restricted = db.restrict(&subset);
         assert_eq!(restricted.len(), 1);
         assert_eq!(db.render_subset(&subset), "{R(1, 2)}");
+    }
+
+    #[test]
+    fn columns_align_with_relation_rows() {
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["A", "B"]).unwrap();
+        schema.add_relation("S", &["A"]).unwrap();
+        let mut db = Database::with_schema(schema);
+        db.insert_values("S", [Value::str("s0")]).unwrap();
+        let f1 = db
+            .insert_values("R", [Value::str("a"), Value::str("b")])
+            .unwrap();
+        let f2 = db
+            .insert_values("R", [Value::str("a"), Value::str("c")])
+            .unwrap();
+        let r = db.schema().relation_id("R").unwrap();
+        assert_eq!(db.facts_of(r), &[f1, f2]);
+        assert_eq!(db.row_of(f1), 0);
+        assert_eq!(db.row_of(f2), 1);
+        assert_eq!(db.relation_of(f1), r);
+        // Shared first column, distinct second column.
+        assert_eq!(db.column(r, 0)[0], db.column(r, 0)[1]);
+        assert_ne!(db.column(r, 1)[0], db.column(r, 1)[1]);
+        assert_eq!(db.sym(f2, 1), db.column(r, 1)[1]);
+    }
+
+    #[test]
+    fn fact_id_with_unknown_constant_is_none() {
+        let mut db = Database::with_schema(schema_r2());
+        db.insert_values("R", [Value::int(1), Value::int(2)])
+            .unwrap();
+        let rel = db.schema().relation_id("R").unwrap();
+        let stranger = Fact::new(rel, vec![Value::int(1), Value::str("never-seen")]);
+        assert_eq!(db.fact_id(&stranger), None);
+        assert!(!db.contains(&stranger));
+        // The probe must not have interned the stranger's constant.
+        assert_eq!(db.dictionary().lookup(&Value::str("never-seen")), None);
+    }
+
+    #[test]
+    fn shared_dictionary_snapshot_is_copy_on_write() {
+        let mut db = Database::with_schema(schema_r2());
+        db.insert_values("R", [Value::int(1), Value::int(2)])
+            .unwrap();
+        let snapshot = db.share_dictionary();
+        db.insert_values("R", [Value::int(1), Value::int(99)])
+            .unwrap();
+        // The snapshot still decodes the old symbols but never saw 99.
+        assert_eq!(snapshot.lookup(&Value::int(99)), None);
+        assert!(db.dictionary().lookup(&Value::int(99)).is_some());
+        assert_eq!(
+            snapshot.decode(Sym::new(0)),
+            db.dictionary().decode(Sym::new(0))
+        );
+    }
+
+    #[test]
+    fn extend_defers_index_invalidation() {
+        let rel_facts = |n: usize| {
+            (0..n).map(move |i| {
+                Fact::new(
+                    RelationId(0),
+                    vec![Value::int(i as i64), Value::int((i % 3) as i64)],
+                )
+            })
+        };
+        // Interleaved insert + read rebuilds the index every round...
+        let mut slow = Database::with_schema(schema_r2());
+        for fact in rel_facts(10) {
+            slow.insert(fact).unwrap();
+            slow.relation_index();
+        }
+        assert_eq!(slow.index_builds(), 10);
+        // ...while extend batches the whole load into one rebuild.
+        let mut fast = Database::with_schema(schema_r2());
+        let ids = fast.extend(rel_facts(10)).unwrap();
+        assert_eq!(ids.len(), 10);
+        fast.relation_index();
+        assert_eq!(fast.index_builds(), 1);
+        // Same database either way.
+        assert_eq!(slow.len(), fast.len());
+        for id in slow.fact_ids() {
+            assert_eq!(slow.fact(id), fast.fact(id));
+        }
+        // An all-duplicate extend keeps the cached index alive.
+        fast.extend(rel_facts(10)).unwrap();
+        fast.relation_index();
+        assert_eq!(fast.index_builds(), 1);
+        // Duplicates report their original ids.
+        assert_eq!(fast.extend(rel_facts(3)).unwrap(), ids[..3].to_vec());
+    }
+
+    #[test]
+    fn extend_rejects_bad_facts() {
+        let mut db = Database::with_schema(schema_r2());
+        let err = db
+            .extend([Fact::new(RelationId(0), vec![Value::int(1)])])
+            .unwrap_err();
+        assert!(matches!(err, DbError::ArityMismatch { .. }));
     }
 }

@@ -284,7 +284,7 @@ impl FdSet {
         let facts: Vec<_> = subset.iter().collect();
         for (i, a) in facts.iter().enumerate() {
             for b in facts.iter().skip(i + 1) {
-                if !self.pair_satisfies(db.fact(*a), db.fact(*b)) {
+                if !self.pair_satisfies(&db.fact(*a), &db.fact(*b)) {
                     return false;
                 }
             }

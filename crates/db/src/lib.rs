@@ -63,6 +63,7 @@ pub mod blocks;
 pub mod conflict_graph;
 pub mod conflict_index;
 pub mod database;
+pub mod dictionary;
 pub mod error;
 pub mod fact;
 pub mod fd;
@@ -76,10 +77,11 @@ pub use blocks::{Block, BlockPartition};
 pub use conflict_graph::ConflictGraph;
 pub use conflict_index::{ConflictIndex, LiveOps};
 pub use database::Database;
+pub use dictionary::{Dictionary, Sym};
 pub use error::DbError;
 pub use fact::{Fact, FactId};
 pub use fd::{FdId, FdSet, FunctionalDependency};
-pub use relation_index::RelationIndex;
+pub use relation_index::{intersect_postings, RelationIndex};
 pub use schema::{AttributeId, RelationId, Schema};
 pub use subset::FactSet;
 pub use value::Value;
@@ -88,8 +90,8 @@ pub use violation::{Violation, ViolationSet};
 /// Commonly used types, re-exported for convenience.
 pub mod prelude {
     pub use crate::{
-        Block, BlockPartition, ConflictGraph, ConflictIndex, Database, DbError, Fact, FactId,
-        FactSet, FdId, FdSet, FunctionalDependency, LiveOps, RelationId, RelationIndex, Schema,
-        Value, Violation, ViolationSet,
+        Block, BlockPartition, ConflictGraph, ConflictIndex, Database, DbError, Dictionary, Fact,
+        FactId, FactSet, FdId, FdSet, FunctionalDependency, LiveOps, RelationId, RelationIndex,
+        Schema, Sym, Value, Violation, ViolationSet,
     };
 }

@@ -1,89 +1,251 @@
-//! Per-relation value indexes: `(position, value) → fact ids`.
+//! Per-relation symbol indexes: `(position, symbol) → fact ids` as dense
+//! sorted runs.
 //!
 //! The plan-based witness enumeration of `ucqa-query` replaces the naive
 //! "scan the whole relation per atom" join with indexed lookups: an atom
 //! whose term at some position is already bound (a constant, or a variable
 //! bound by an earlier join step) only has to look at the facts carrying
-//! that value at that position.  [`RelationIndex`] materialises those
-//! posting lists **once per database** — one hash map per (relation,
-//! position) from the value to the sorted fact-id list — and is immutable
-//! afterwards, so it can be shared across threads by reference exactly
-//! like [`crate::ConflictIndex`].
+//! that symbol at that position.  [`RelationIndex`] materialises those
+//! posting lists **once per database** in CSR form — per (relation,
+//! position) one flat `Vec<FactId>` of ascending runs plus an offset array
+//! indexed directly by [`Sym`] — so a probe is two array reads and a
+//! slice, with no `HashMap<Value, _>` on the path.  The index is immutable
+//! afterwards and shared across threads exactly like
+//! [`crate::ConflictIndex`].
 //!
 //! [`crate::Database::relation_index`] builds the index lazily on first
 //! use and caches it behind an `Arc`; mutating the database invalidates
-//! the cache.  Posting lists preserve insertion order of the underlying
-//! fact ids (ascending), so enumeration orders are deterministic.
+//! the cache.  Posting runs preserve insertion order of the underlying
+//! fact ids (ascending), so enumeration orders are deterministic — the
+//! counting-sort fill visits facts in id order, which also makes the runs
+//! valid inputs for [`intersect_postings`].
 
-use std::collections::HashMap;
+use crate::{Database, FactId, RelationId, Sym, Value};
 
-use crate::{Database, FactId, RelationId, Value};
+/// The posting lists of one `(relation, position)` pair in CSR form.
+#[derive(Debug, Clone, Default)]
+struct PostingColumn {
+    /// `offsets[sym.index()] .. offsets[sym.index() + 1]` delimits the run
+    /// of `facts` carrying `sym`; length `sym_bound + 1`.
+    offsets: Vec<u32>,
+    /// All fact ids of the relation, grouped by symbol, ascending within
+    /// each group.
+    facts: Vec<FactId>,
+    /// Number of distinct symbols with a non-empty run.
+    distinct: u32,
+}
 
-/// Immutable per-relation hash indexes from `(position, value)` to the
-/// ids of the facts carrying `value` at `position`.
+impl PostingColumn {
+    #[inline]
+    fn run(&self, sym: Sym) -> &[FactId] {
+        let i = sym.index();
+        if i + 1 >= self.offsets.len() {
+            // A symbol interned after this index was built (or by a
+            // sibling database) matches no indexed fact.
+            return &[];
+        }
+        &self.facts[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+}
+
+/// Immutable per-relation CSR indexes from `(position, symbol)` to the
+/// ids of the facts carrying that symbol at that position.
 ///
 /// Built once per [`Database`] (see [`Database::relation_index`]) and
 /// shared across threads; all lookups return borrowed slices, so the
-/// query-evaluation hot path performs no allocation.
+/// query-evaluation hot path performs no allocation.  The cardinality
+/// accessors ([`RelationIndex::posting_len`],
+/// [`RelationIndex::distinct_count`],
+/// [`RelationIndex::relation_cardinality`]) expose the exact statistics
+/// the join planner uses for selectivity-based ordering.
 #[derive(Debug, Clone, Default)]
 pub struct RelationIndex {
-    /// `postings[relation][position]`: value → ascending fact ids.
-    postings: Vec<Vec<HashMap<Value, Vec<FactId>>>>,
+    /// `columns[relation][position]`: symbol → ascending fact-id run.
+    columns: Vec<Vec<PostingColumn>>,
+    /// Facts per relation (for planner cardinality estimates).
+    cardinalities: Vec<u32>,
 }
 
 impl RelationIndex {
-    /// Builds the index of `db`: one pass over the facts.
+    /// Builds the index of `db`: one counting-sort pass per column.
     pub fn build(db: &Database) -> Self {
         let schema = db.schema();
-        let mut postings: Vec<Vec<HashMap<Value, Vec<FactId>>>> = schema
-            .relation_ids()
-            .map(|r| vec![HashMap::new(); schema.arity(r)])
-            .collect();
-        for (id, fact) in db.iter() {
-            let relation = &mut postings[fact.relation().index()];
-            for (position, value) in fact.values().iter().enumerate() {
-                relation[position]
-                    .entry(value.clone())
-                    .or_default()
-                    .push(id);
+        let sym_bound = db.dictionary().len();
+        let mut columns: Vec<Vec<PostingColumn>> = Vec::with_capacity(schema.relation_count());
+        let mut cardinalities = Vec::with_capacity(schema.relation_count());
+        for relation in schema.relation_ids() {
+            let ids = db.facts_of(relation);
+            cardinalities.push(ids.len() as u32);
+            let mut relation_columns = Vec::with_capacity(schema.arity(relation));
+            for column in db.columns_of(relation) {
+                // Count, prefix-sum, fill — visiting rows in ascending
+                // fact-id order keeps every run ascending.
+                let mut offsets = vec![0u32; sym_bound + 1];
+                for &sym in column {
+                    offsets[sym.index() + 1] += 1;
+                }
+                let distinct = offsets.iter().filter(|&&n| n > 0).count() as u32;
+                for i in 0..sym_bound {
+                    offsets[i + 1] += offsets[i];
+                }
+                let mut facts = vec![FactId::new(0); column.len()];
+                let mut cursor = offsets.clone();
+                for (row, &sym) in column.iter().enumerate() {
+                    facts[cursor[sym.index()] as usize] = ids[row];
+                    cursor[sym.index()] += 1;
+                }
+                relation_columns.push(PostingColumn {
+                    offsets,
+                    facts,
+                    distinct,
+                });
             }
+            columns.push(relation_columns);
         }
-        RelationIndex { postings }
+        RelationIndex {
+            columns,
+            cardinalities,
+        }
     }
 
-    /// The ids of the facts of `relation` whose value at `position` equals
-    /// `value`, in ascending id order (empty if no fact matches).
+    /// Iterates the non-empty posting runs of `(relation, position)` in
+    /// symbol order.  Each run is the ascending id list of the facts
+    /// sharing one symbol at that position — i.e. the runs partition the
+    /// relation into its groups of equal `position`-values, which is what
+    /// the FD violation scan consumes for single-attribute left-hand
+    /// sides.
     ///
     /// # Panics
     /// Panics if `relation` or `position` is out of range for the indexed
     /// database.
-    pub fn matches(&self, relation: RelationId, position: usize, value: &Value) -> &[FactId] {
-        self.postings[relation.index()][position]
-            .get(value)
-            .map_or(&[], Vec::as_slice)
+    pub fn posting_runs(
+        &self,
+        relation: RelationId,
+        position: usize,
+    ) -> impl Iterator<Item = &[FactId]> + '_ {
+        let column = &self.columns[relation.index()][position];
+        column
+            .offsets
+            .windows(2)
+            .filter(|w| w[0] < w[1])
+            .map(move |w| &column.facts[w[0] as usize..w[1] as usize])
     }
 
-    /// The number of facts of `relation` carrying `value` at `position` —
-    /// the posting-list length the planner uses to pick the most selective
-    /// access path at run time.
-    pub fn selectivity(&self, relation: RelationId, position: usize, value: &Value) -> usize {
-        self.matches(relation, position, value).len()
+    /// The ids of the facts of `relation` whose symbol at `position` equals
+    /// `sym`, in ascending id order (empty if no fact matches, including
+    /// for symbols interned after this index was built).
+    ///
+    /// # Panics
+    /// Panics if `relation` or `position` is out of range for the indexed
+    /// database.
+    #[inline]
+    pub fn matches(&self, relation: RelationId, position: usize, sym: Sym) -> &[FactId] {
+        self.columns[relation.index()][position].run(sym)
     }
 
-    /// Number of distinct values indexed at `(relation, position)`.
+    /// Value-level probe: resolves `value` through `dict` and returns its
+    /// posting run (empty when the value was never interned — it then
+    /// occurs in no fact).
+    pub fn matches_value(
+        &self,
+        dict: &crate::Dictionary,
+        relation: RelationId,
+        position: usize,
+        value: &Value,
+    ) -> &[FactId] {
+        match dict.lookup(value) {
+            Some(sym) => self.matches(relation, position, sym),
+            None => &[],
+        }
+    }
+
+    /// The exact length of the posting run of `sym` at
+    /// `(relation, position)` — the statistic the join planner uses to
+    /// break atom-order ties.
+    #[inline]
+    pub fn posting_len(&self, relation: RelationId, position: usize, sym: Sym) -> usize {
+        self.matches(relation, position, sym).len()
+    }
+
+    /// Alias of [`RelationIndex::posting_len`] kept for the run-time
+    /// access-path choice in `ucqa-query`.
+    pub fn selectivity(&self, relation: RelationId, position: usize, sym: Sym) -> usize {
+        self.posting_len(relation, position, sym)
+    }
+
+    /// Number of distinct symbols with at least one fact at
+    /// `(relation, position)`.
+    #[inline]
+    pub fn distinct_count(&self, relation: RelationId, position: usize) -> usize {
+        self.columns[relation.index()][position].distinct as usize
+    }
+
+    /// Alias of [`RelationIndex::distinct_count`] (pre-encoding name).
     pub fn distinct_values(&self, relation: RelationId, position: usize) -> usize {
-        self.postings[relation.index()][position].len()
+        self.distinct_count(relation, position)
+    }
+
+    /// Number of facts of `relation`.
+    #[inline]
+    pub fn relation_cardinality(&self, relation: RelationId) -> usize {
+        self.cardinalities[relation.index()] as usize
     }
 
     /// Total number of posting entries across all relations and positions
     /// (= Σ relation arity × fact count; a size diagnostic).
     pub fn posting_entries(&self) -> usize {
-        self.postings
+        self.columns
             .iter()
             .flatten()
-            .flat_map(HashMap::values)
-            .map(Vec::len)
+            .map(|column| column.facts.len())
             .sum()
+    }
+
+    /// Approximate resident bytes of the index (offset arrays + runs), for
+    /// memory reporting.
+    pub fn approx_bytes(&self) -> usize {
+        self.columns
+            .iter()
+            .flatten()
+            .map(|column| {
+                column.offsets.len() * std::mem::size_of::<u32>()
+                    + column.facts.len() * std::mem::size_of::<FactId>()
+            })
+            .sum()
+    }
+}
+
+/// Intersects two ascending fact-id runs with a galloping merge, appending
+/// the common ids (in ascending order) to `out`.
+///
+/// When the runs' lengths are lopsided the cost is
+/// `O(min · log(max / min))` instead of `O(min + max)`: each element of
+/// the shorter run gallops (doubling probe, then binary search) through
+/// the longer one.  Both inputs must be strictly ascending, which posting
+/// runs of a [`RelationIndex`] always are.
+pub fn intersect_postings(a: &[FactId], b: &[FactId], out: &mut Vec<FactId>) {
+    // Gallop from the shorter side.
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let mut lo = 0usize;
+    for &id in small {
+        if lo >= large.len() {
+            break;
+        }
+        // Exponential probe: after the loop, the first element `>= id`
+        // (if any) lies in `[lo, lo + step]`.
+        let mut step = 1usize;
+        while lo + step < large.len() && large[lo + step] < id {
+            lo += step;
+            step <<= 1;
+        }
+        let hi = (lo + step + 1).min(large.len());
+        match large[lo..hi].binary_search(&id) {
+            Ok(offset) => {
+                out.push(id);
+                lo += offset + 1;
+            }
+            Err(offset) => lo += offset,
+        }
     }
 }
 
@@ -105,41 +267,83 @@ mod tests {
         db
     }
 
+    fn sym_of(db: &Database, value: &Value) -> Sym {
+        db.dictionary().lookup(value).expect("interned")
+    }
+
     #[test]
-    fn postings_group_facts_by_position_and_value() {
+    fn postings_group_facts_by_position_and_symbol() {
+        let db = sample_db();
+        let index = RelationIndex::build(&db);
+        let r = db.schema().relation_id("R").unwrap();
+        let one = sym_of(&db, &Value::int(1));
+        assert_eq!(index.matches(r, 0, one), &[FactId::new(0), FactId::new(1)]);
+        assert_eq!(index.matches(r, 1, one), &[FactId::new(0), FactId::new(2)]);
+        assert_eq!(index.posting_len(r, 0, sym_of(&db, &Value::int(2))), 1);
+        assert_eq!(index.distinct_count(r, 0), 2);
+        assert_eq!(index.distinct_count(r, 1), 2);
+        assert_eq!(index.relation_cardinality(r), 3);
+        let s = db.schema().relation_id("S").unwrap();
+        assert_eq!(
+            index.matches(s, 0, sym_of(&db, &Value::str("u"))),
+            &[FactId::new(3)]
+        );
+        assert_eq!(index.relation_cardinality(s), 1);
+        // 3 facts × arity 2 + 1 fact × arity 1.
+        assert_eq!(index.posting_entries(), 7);
+        assert!(index.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn value_probe_resolves_through_the_dictionary() {
         let db = sample_db();
         let index = RelationIndex::build(&db);
         let r = db.schema().relation_id("R").unwrap();
         assert_eq!(
-            index.matches(r, 0, &Value::int(1)),
+            index.matches_value(db.dictionary(), r, 0, &Value::int(1)),
             &[FactId::new(0), FactId::new(1)]
         );
-        assert_eq!(
-            index.matches(r, 1, &Value::int(1)),
-            &[FactId::new(0), FactId::new(2)]
-        );
-        assert!(index.matches(r, 0, &Value::int(9)).is_empty());
-        assert_eq!(index.selectivity(r, 0, &Value::int(2)), 1);
-        assert_eq!(index.distinct_values(r, 0), 2);
-        let s = db.schema().relation_id("S").unwrap();
-        assert_eq!(index.matches(s, 0, &Value::str("u")), &[FactId::new(3)]);
-        // 3 facts × arity 2 + 1 fact × arity 1.
-        assert_eq!(index.posting_entries(), 7);
+        // A never-interned value matches nothing (and does not intern).
+        assert!(index
+            .matches_value(db.dictionary(), r, 0, &Value::int(9))
+            .is_empty());
+        assert_eq!(db.dictionary().lookup(&Value::int(9)), None);
+    }
+
+    #[test]
+    fn late_interned_symbols_match_nothing() {
+        let mut db = sample_db();
+        let index = db.share_relation_index();
+        let r = db.schema().relation_id("R").unwrap();
+        // Interning a new constant after the index snapshot was taken must
+        // not panic — the stale index simply reports no matches.
+        db.insert_values("R", [Value::int(50), Value::int(60)])
+            .unwrap();
+        let late = sym_of(&db, &Value::int(50));
+        assert!(index.matches(r, 0, late).is_empty());
+        assert_eq!(index.posting_len(r, 0, late), 0);
     }
 
     #[test]
     fn database_caches_and_invalidates_the_index() {
         let mut db = sample_db();
         let r = db.schema().relation_id("R").unwrap();
-        assert_eq!(db.relation_index().selectivity(r, 0, &Value::int(1)), 2);
+        let one = Value::int(1);
+        let len_of_one = |db: &Database| {
+            let sym = db.dictionary().lookup(&one).unwrap();
+            db.relation_index().posting_len(r, 0, sym)
+        };
+        assert_eq!(len_of_one(&db), 2);
         // Re-inserting an existing fact keeps the cache valid.
         db.insert_values("R", [Value::int(1), Value::int(2)])
             .unwrap();
-        assert_eq!(db.relation_index().selectivity(r, 0, &Value::int(1)), 2);
+        assert_eq!(len_of_one(&db), 2);
+        assert_eq!(db.index_builds(), 1);
         // A genuinely new fact invalidates and rebuilds.
         db.insert_values("R", [Value::int(1), Value::int(3)])
             .unwrap();
-        assert_eq!(db.relation_index().selectivity(r, 0, &Value::int(1)), 3);
+        assert_eq!(len_of_one(&db), 3);
+        assert_eq!(db.index_builds(), 2);
         // Clones share the already-built index.
         let shared = db.share_relation_index();
         let clone = db.clone();
@@ -147,5 +351,54 @@ mod tests {
             clone.relation_index().posting_entries(),
             shared.posting_entries()
         );
+    }
+
+    fn ids(raw: &[usize]) -> Vec<FactId> {
+        raw.iter().copied().map(FactId::new).collect()
+    }
+
+    #[test]
+    fn galloping_intersection_matches_naive() {
+        let cases: &[(&[usize], &[usize])] = &[
+            (&[], &[]),
+            (&[1], &[]),
+            (&[1, 2, 3], &[2]),
+            (&[2], &[1, 2, 3]),
+            (&[0, 5, 9], &[1, 2, 3, 4, 5, 6, 7, 8, 9]),
+            (&[0, 1, 2, 3], &[4, 5, 6]),
+            (&[0, 1, 2, 3], &[0, 1, 2, 3]),
+            (&[3, 50, 900], &(0..1000).step_by(3).collect::<Vec<_>>()),
+        ];
+        for (a, b) in cases {
+            let a = ids(a);
+            let b = ids(b);
+            let naive: Vec<FactId> = a.iter().filter(|x| b.contains(x)).copied().collect();
+            let mut out = Vec::new();
+            intersect_postings(&a, &b, &mut out);
+            assert_eq!(out, naive, "a={a:?} b={b:?}");
+            out.clear();
+            intersect_postings(&b, &a, &mut out);
+            assert_eq!(out, naive, "swapped a={a:?} b={b:?}");
+        }
+    }
+
+    #[test]
+    fn galloping_intersection_on_real_postings() {
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["A", "B"]).unwrap();
+        let mut db = Database::with_schema(schema);
+        for i in 0..100i64 {
+            db.insert_values("R", [Value::int(i % 4), Value::int(i % 7)])
+                .unwrap();
+        }
+        let r = db.schema().relation_id("R").unwrap();
+        let index = db.relation_index();
+        let a = index.matches(r, 0, sym_of(&db, &Value::int(1)));
+        let b = index.matches(r, 1, sym_of(&db, &Value::int(2)));
+        let mut out = Vec::new();
+        intersect_postings(a, b, &mut out);
+        let naive: Vec<FactId> = a.iter().filter(|x| b.contains(x)).copied().collect();
+        assert_eq!(out, naive);
+        assert!(!out.is_empty());
     }
 }

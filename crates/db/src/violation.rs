@@ -1,8 +1,6 @@
 //! FD violations `V(D, Σ)` (Definition 3.2).
 
-use std::collections::HashMap;
-
-use crate::{Database, FactId, FactSet, FdId, FdSet, Value};
+use crate::{Database, FactId, FactSet, FdId, FdSet, FunctionalDependency};
 
 /// A single violation: an FD `φ ∈ Σ` together with a pair of facts
 /// `{f, g} ⊆ D` such that `{f, g} ⊭ φ`.
@@ -37,48 +35,95 @@ impl Violation {
     }
 }
 
+/// Appends the violations of `fd` among the facts in `live` to `out`.
+///
+/// This is the shared detection kernel: it sorts the live facts by the
+/// FD's left-hand-side *symbols* (dense `u32`s straight off the relation's
+/// columns — no `Value` hashing or cloning), groups equal-LHS facts as
+/// consecutive runs, and checks pairs within each run for a differing
+/// right-hand-side symbol.  The first two LHS symbols are packed into a
+/// cached `u64` sort key so the comparator is a plain integer compare;
+/// FDs with longer left-hand sides fall back to comparing the remaining
+/// columns on key ties.  Interning is injective, so symbol (in)equality
+/// is value (in)equality; the caller canonicalises `out` by a final
+/// sort + dedup, which also erases the sort-order dependence of the
+/// emission order.
+fn scan_fd(
+    db: &Database,
+    fd_id: FdId,
+    fd: &FunctionalDependency,
+    live: &[FactId],
+    keyed: &mut Vec<(u64, FactId)>,
+    out: &mut Vec<Violation>,
+) {
+    let columns = db.columns_of(fd.relation());
+    let lhs: Vec<usize> = fd.lhs().iter().map(|a| a.index()).collect();
+    let rhs: Vec<usize> = fd.rhs().iter().map(|a| a.index()).collect();
+    let tail = &lhs[lhs.len().min(2)..];
+    keyed.clear();
+    keyed.extend(live.iter().map(|&fact| {
+        let row = db.row_of(fact);
+        let hi = columns[lhs[0]][row].0 as u64;
+        let lo = lhs.get(1).map_or(0, |&attr| columns[attr][row].0 as u64);
+        ((hi << 32) | lo, fact)
+    }));
+    let tail_cmp = |a: FactId, b: FactId| {
+        let (ra, rb) = (db.row_of(a), db.row_of(b));
+        tail.iter()
+            .map(|&attr| columns[attr][ra].cmp(&columns[attr][rb]))
+            .find(|o| o.is_ne())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    };
+    if tail.is_empty() {
+        keyed.sort_unstable_by_key(|&(key, _)| key);
+    } else {
+        keyed.sort_unstable_by(|&(ka, a), &(kb, b)| ka.cmp(&kb).then_with(|| tail_cmp(a, b)));
+    }
+    let same_group = |a: &(u64, FactId), b: &(u64, FactId)| {
+        a.0 == b.0 && (tail.is_empty() || tail_cmp(a.1, b.1).is_eq())
+    };
+    let rhs_differs = |a: FactId, b: FactId| {
+        let (ra, rb) = (db.row_of(a), db.row_of(b));
+        rhs.iter()
+            .any(|&attr| columns[attr][ra] != columns[attr][rb])
+    };
+    let mut start = 0;
+    while start < keyed.len() {
+        let mut end = start + 1;
+        while end < keyed.len() && same_group(&keyed[start], &keyed[end]) {
+            end += 1;
+        }
+        for i in start..end {
+            for j in (i + 1)..end {
+                if rhs_differs(keyed[i].1, keyed[j].1) {
+                    out.push(Violation::new(fd_id, keyed[i].1, keyed[j].1));
+                }
+            }
+        }
+        start = end;
+    }
+}
+
 /// The set `V(D', Σ)` of violations of a sub-database `D' ⊆ D`.
 #[derive(Debug, Clone, Default)]
 pub struct ViolationSet {
     violations: Vec<Violation>,
+    /// Sort-key scratch of [`scan_fd`], reused across recomputes so the
+    /// walk's rescan loop stays allocation-free at steady state.
+    keyed: Vec<(u64, FactId)>,
 }
 
 impl ViolationSet {
     /// Computes `V(D', Σ)` for the sub-database `subset ⊆ D`.
     ///
-    /// Facts are grouped per relation and FD left-hand-side value so that
-    /// only facts agreeing on the LHS are compared pairwise, which keeps
-    /// detection close to linear for databases with small blocks.
+    /// Facts are grouped per relation and FD left-hand side (by sorting on
+    /// the interned symbol columns) so that only facts agreeing on the LHS
+    /// are compared pairwise, which keeps detection close to linear for
+    /// databases with small blocks.
     pub fn compute(db: &Database, sigma: &FdSet, subset: &FactSet) -> Self {
-        let mut violations = Vec::new();
-        for (fd_id, fd) in sigma.iter() {
-            // Group the live facts of the FD's relation by their LHS values.
-            let mut groups: HashMap<Vec<Value>, Vec<FactId>> = HashMap::new();
-            for &fact_id in db.facts_of(fd.relation()) {
-                if !subset.contains(fact_id) {
-                    continue;
-                }
-                let fact = db.fact(fact_id);
-                let key: Vec<Value> = fd
-                    .lhs()
-                    .iter()
-                    .map(|attr| fact.value_at(*attr).clone())
-                    .collect();
-                groups.entry(key).or_default().push(fact_id);
-            }
-            for group in groups.values() {
-                for (i, &a) in group.iter().enumerate() {
-                    for &b in group.iter().skip(i + 1) {
-                        if !fd.satisfied_by_pair(db.fact(a), db.fact(b)) {
-                            violations.push(Violation::new(fd_id, a, b));
-                        }
-                    }
-                }
-            }
-        }
-        violations.sort();
-        violations.dedup();
-        ViolationSet { violations }
+        let mut set = ViolationSet::default();
+        set.recompute(db, sigma, subset, &mut Vec::new());
+        set
     }
 
     /// Computes `V(D, Σ)` for the whole database.
@@ -87,13 +132,16 @@ impl ViolationSet {
     }
 
     /// Recomputes `V(D', Σ)` into `self`, reusing its allocation and the
-    /// caller-provided `live` scratch buffer, so repeated scans (the inner
-    /// loop of the uniform-operations walk) perform no heap allocation once
-    /// the buffers have grown to their steady-state capacity.
+    /// caller-provided `live` scratch buffer, so repeated scans over
+    /// single-attribute left-hand sides (the inner loop of the
+    /// uniform-operations walk) perform no heap allocation once the
+    /// buffers have grown to their steady-state capacity.
     ///
     /// Instead of hashing LHS value tuples (which would allocate a key per
-    /// fact), the live facts of each FD's relation are sorted by their LHS
-    /// values in place and grouped as consecutive runs.
+    /// fact), single-attribute left-hand sides walk the relation index's
+    /// posting runs — which *are* the LHS groups, so grouping costs
+    /// nothing — and composite left-hand sides sort the live facts by
+    /// their LHS symbols (packed into cached `u64` sort keys).
     pub fn recompute(
         &mut self,
         db: &Database,
@@ -103,38 +151,35 @@ impl ViolationSet {
     ) {
         self.violations.clear();
         for (fd_id, fd) in sigma.iter() {
-            live.clear();
-            live.extend(
-                db.facts_of(fd.relation())
-                    .iter()
-                    .copied()
-                    .filter(|&f| subset.contains(f)),
-            );
-            let lhs_cmp = |a: &FactId, b: &FactId| {
-                let fa = db.fact(*a);
-                let fb = db.fact(*b);
-                fd.lhs()
-                    .iter()
-                    .map(|attr| fa.value_at(*attr).cmp(fb.value_at(*attr)))
-                    .find(|o| o.is_ne())
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            };
-            live.sort_unstable_by(lhs_cmp);
-            let mut start = 0;
-            while start < live.len() {
-                let mut end = start + 1;
-                while end < live.len() && lhs_cmp(&live[start], &live[end]).is_eq() {
-                    end += 1;
-                }
-                for i in start..end {
-                    for j in (i + 1)..end {
-                        if !fd.satisfied_by_pair(db.fact(live[i]), db.fact(live[j])) {
-                            self.violations
-                                .push(Violation::new(fd_id, live[i], live[j]));
+            if fd.lhs().len() == 1 {
+                let attr = fd.lhs().iter().next().expect("non-empty LHS").index();
+                let columns = db.columns_of(fd.relation());
+                let rhs_differs = |a: FactId, b: FactId| {
+                    let (ra, rb) = (db.row_of(a), db.row_of(b));
+                    fd.rhs()
+                        .iter()
+                        .any(|r| columns[r.index()][ra] != columns[r.index()][rb])
+                };
+                for run in db.relation_index().posting_runs(fd.relation(), attr) {
+                    live.clear();
+                    live.extend(run.iter().copied().filter(|&f| subset.contains(f)));
+                    for (i, &a) in live.iter().enumerate() {
+                        for &b in &live[i + 1..] {
+                            if rhs_differs(a, b) {
+                                self.violations.push(Violation::new(fd_id, a, b));
+                            }
                         }
                     }
                 }
-                start = end;
+            } else {
+                live.clear();
+                live.extend(
+                    db.facts_of(fd.relation())
+                        .iter()
+                        .copied()
+                        .filter(|&f| subset.contains(f)),
+                );
+                scan_fd(db, fd_id, fd, live, &mut self.keyed, &mut self.violations);
             }
         }
         self.violations.sort_unstable();
@@ -203,7 +248,7 @@ impl ViolationSet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Database, FunctionalDependency, Schema};
+    use crate::{Database, FunctionalDependency, Schema, Value};
 
     /// The running example of the paper (Example 3.6).
     fn running_example() -> (Database, FdSet) {
@@ -273,6 +318,27 @@ mod tests {
             reused.recompute(&db, &sigma, &subset, &mut scratch);
             assert_eq!(fresh.violations(), reused.violations(), "mask {mask:b}");
         }
+    }
+
+    #[test]
+    fn symbol_kernel_matches_pairwise_value_check() {
+        // Brute-force reference: every pair of live facts, checked through
+        // the Value-level FunctionalDependency::satisfied_by_pair shell.
+        let (db, sigma) = running_example();
+        let all = db.all_facts();
+        let violations = ViolationSet::compute(&db, &sigma, &all);
+        let mut reference = Vec::new();
+        for (fd_id, fd) in sigma.iter() {
+            for a in db.fact_ids() {
+                for b in db.fact_ids() {
+                    if a < b && !fd.satisfied_by_pair(&db.fact(a), &db.fact(b)) {
+                        reference.push(Violation::new(fd_id, a, b));
+                    }
+                }
+            }
+        }
+        reference.sort_unstable();
+        assert_eq!(violations.violations(), reference.as_slice());
     }
 
     #[test]

@@ -44,10 +44,10 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use ucqa_db::{Database, FactId, FactSet, RelationIndex, Value};
+use ucqa_db::{Database, FactId, FactSet, RelationIndex, Sym, Value};
 
 use crate::lineage::DEFAULT_WITNESS_CAP;
-use crate::plan::{candidate_facts, match_and_bind, unbind, PlanAtom, PlanTerm};
+use crate::plan::{candidate_facts, match_and_bind, unbind, SymAtom, SymTerm};
 use crate::{CompiledLineage, QueryError, QueryEvaluator};
 
 /// `a ⊆ b` over sorted, deduplicated fact-id lists (sorted-merge scan).
@@ -234,12 +234,14 @@ impl LineageBank {
     ) -> Result<Self, QueryError> {
         let universe = db.len();
         // Ground every entry first: candidate arities are validated for
-        // the whole bank before any enumeration starts.  `None` marks a
-        // candidate whose repeated answer variables received conflicting
-        // values — such an entry has no homomorphisms (zero witnesses).
+        // the whole bank before any enumeration starts.  `None` marks an
+        // entry with provably zero homomorphisms (a repeated answer
+        // variable received conflicting candidate values, or a constant
+        // was never interned by the dictionary) — zero witnesses.
+        let dict = db.dictionary();
         let mut trie = ScanTrie::default();
         for (entry, &(evaluator, candidate)) in queries.iter().enumerate() {
-            if let Some(atoms) = evaluator.grounded_answer_atoms(candidate)? {
+            if let Some(atoms) = evaluator.grounded_answer_atoms(dict, candidate)? {
                 trie.insert(entry, &atoms);
             }
         }
@@ -488,15 +490,16 @@ impl LineageBank {
     }
 }
 
-/// One node of the shared scan trie: a grounded, slot-normalized atom,
-/// plus everything the enumerator needs to run it as one indexed join
-/// step.
+/// One node of the shared scan trie: a grounded, slot-normalized,
+/// dictionary-encoded atom, plus everything the enumerator needs to run
+/// it as one indexed join step.
 #[derive(Debug)]
 struct TrieNode {
-    /// The grounded atom (constants substituted, variables renumbered by
-    /// first occurrence along the path — so structurally equal prefixes
-    /// share nodes regardless of the original variable names).
-    atom: PlanAtom,
+    /// The grounded atom (constants substituted and encoded to symbols,
+    /// variables renumbered by first occurrence along the path — so
+    /// prefixes equal up to naming share nodes, and node comparison
+    /// during insertion is a `u32`-wise compare).
+    atom: SymAtom,
     /// Term positions bound when this node runs (constants, plus
     /// variables introduced by ancestor nodes).
     bound_positions: Vec<usize>,
@@ -530,7 +533,7 @@ struct ScanTrie {
 impl ScanTrie {
     /// Inserts one entry's grounded atom sequence, sharing every node of
     /// the longest existing prefix.
-    fn insert(&mut self, entry: usize, atoms: &[PlanAtom]) {
+    fn insert(&mut self, entry: usize, atoms: &[SymAtom]) {
         if atoms.is_empty() {
             self.root_terminals.push(entry);
             return;
@@ -554,8 +557,8 @@ impl ScanTrie {
                         .iter()
                         .enumerate()
                         .filter(|(_, term)| match term {
-                            PlanTerm::Const(_) => true,
-                            PlanTerm::Var(slot) => *slot < slots_before,
+                            SymTerm::Const(_) => true,
+                            SymTerm::Var(slot) => *slot < slots_before,
                         })
                         .map(|(position, _)| position)
                         .collect();
@@ -563,8 +566,8 @@ impl ScanTrie {
                         .terms
                         .iter()
                         .filter_map(|term| match term {
-                            PlanTerm::Var(slot) => Some(slot + 1),
-                            PlanTerm::Const(_) => None,
+                            SymTerm::Var(slot) => Some(slot + 1),
+                            SymTerm::Const(_) => None,
                         })
                         .fold(slots_before, usize::max);
                     let node = self.nodes.len();
@@ -615,7 +618,7 @@ impl ScanTrie {
             raw[entry].push(Vec::new());
         }
         let index = db.relation_index();
-        let mut bindings: Vec<Option<&Value>> = vec![None; self.max_slots];
+        let mut bindings: Vec<Option<Sym>> = vec![None; self.max_slots];
         let mut image: Vec<FactId> = Vec::new();
         let mut steps = 0u64;
         for &root in &self.roots {
@@ -640,15 +643,15 @@ impl ScanTrie {
     /// One DFS node of [`ScanTrie::enumerate`]; returns `false` iff the
     /// compile budget interrupted the walk.
     #[allow(clippy::too_many_arguments)]
-    fn visit<'d>(
+    fn visit(
         &self,
-        db: &'d Database,
-        index: &'d RelationIndex,
+        db: &Database,
+        index: &RelationIndex,
         node_id: usize,
         cap: usize,
         budget: &CompileBudget,
         steps: &mut u64,
-        bindings: &mut Vec<Option<&'d Value>>,
+        bindings: &mut Vec<Option<Sym>>,
         image: &mut Vec<FactId>,
         raw: &mut [Vec<Vec<FactId>>],
         overflowed: &mut [bool],
@@ -657,6 +660,8 @@ impl ScanTrie {
         if node.entries_below.iter().all(|&e| overflowed[e]) {
             return true;
         }
+        let columns = db.columns_of(node.atom.relation);
+        let mut gallop_scratch = Vec::new();
         let candidates = candidate_facts(
             db,
             index,
@@ -664,13 +669,15 @@ impl ScanTrie {
             &node.atom.terms,
             &node.bound_positions,
             bindings,
+            &mut gallop_scratch,
         );
         for &fact_id in candidates {
             *steps += 1;
             if budget.interrupted(*steps) {
                 return false;
             }
-            let Some(bound_here) = match_and_bind(&node.atom.terms, db.fact(fact_id), bindings)
+            let Some(bound_here) =
+                match_and_bind(&node.atom.terms, columns, db.row_of(fact_id), bindings)
             else {
                 continue;
             };

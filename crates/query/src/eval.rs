@@ -5,12 +5,16 @@
 //! a constant or a slot index, and two [`JoinPlan`]s are built — one for
 //! free enumeration and one with the answer slots treated as prebound
 //! (the candidate-driven paths of the lineage compiler).  Evaluation
-//! executes the plan: atoms in selectivity order, each step an indexed
-//! lookup against the database's [`RelationIndex`](ucqa_db::RelationIndex)
-//! (or a filtered scan when nothing is bound), binding values by slot into
-//! a flat `Vec<Option<&Value>>` — no `BTreeMap` operations, no
+//! executes the plan on **dictionary-encoded symbols**: at each entry
+//! point the query's constants are resolved through the database's
+//! [`Dictionary`] (a constant the dictionary never
+//! saw provably matches nothing, so the run short-circuits), atoms join
+//! in selectivity order, each step an indexed lookup against the
+//! database's [`RelationIndex`](ucqa_db::RelationIndex) (or a filtered
+//! scan when nothing is bound), binding symbols by slot into a flat
+//! `Vec<Option<Sym>>` — every comparison a `u32` compare, no
 //! `Variable`/`Value` clones on the search path.  Named [`Bindings`] are
-//! only materialised when a full homomorphism is reported back.
+//! only decoded back to [`Value`]s when a full homomorphism is reported.
 //!
 //! The pre-plan behaviour — body order, whole-relation scans — survives as
 //! the `*_unplanned` methods ([`QueryEvaluator::entails_unplanned`],
@@ -19,9 +23,9 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use ucqa_db::{Database, FactId, FactSet, Value};
+use ucqa_db::{Database, Dictionary, FactId, FactSet, Sym, Value};
 
-use crate::plan::{match_and_bind, unbind, JoinPlan, PlanAtom, PlanTerm};
+use crate::plan::{match_and_bind, unbind, JoinPlan, PlanAtom, PlanTerm, SymAtom, SymTerm};
 use crate::{ConjunctiveQuery, QueryError, Term, Variable};
 
 /// A variable assignment produced by a homomorphism from a query into a
@@ -99,6 +103,23 @@ impl QueryEvaluator {
     /// [`QueryError::Unsupported`] instead of panicking when the query
     /// is outside the supported fragment.
     pub fn try_new(query: ConjunctiveQuery) -> Result<Self, QueryError> {
+        Self::build(query, None)
+    }
+
+    /// As [`QueryEvaluator::try_new`], but plans with exact cardinality
+    /// statistics from `db`'s relation index
+    /// ([`JoinPlan::build_with_stats`]): coverage ties are broken by
+    /// posting lengths instead of body order.
+    ///
+    /// Statistics describe `db` specifically, so use the resulting
+    /// evaluator against that database (family).  The default constructor
+    /// stays purely structural — its stable tie-break is what the bank
+    /// trie's prefix sharing relies on.
+    pub fn with_stats(query: ConjunctiveQuery, db: &Database) -> Result<Self, QueryError> {
+        Self::build(query, Some(db))
+    }
+
+    fn build(query: ConjunctiveQuery, stats_db: Option<&Database>) -> Result<Self, QueryError> {
         let mut slots: Vec<Variable> = Vec::new();
         let slot_of = |slots: &mut Vec<Variable>, var: &Variable| -> usize {
             match slots.iter().position(|v| v == var) {
@@ -142,8 +163,20 @@ impl QueryEvaluator {
                     .expect("answer variables are safe, so they occur in the body")
             })
             .collect();
-        let plan = JoinPlan::build(&atoms, slots.len(), &[]);
-        let answer_plan = JoinPlan::build(&atoms, slots.len(), &answer_slots);
+        let (plan, answer_plan) = match stats_db {
+            Some(db) => {
+                let index = db.relation_index();
+                let dict = db.dictionary();
+                (
+                    JoinPlan::build_with_stats(&atoms, slots.len(), &[], index, dict),
+                    JoinPlan::build_with_stats(&atoms, slots.len(), &answer_slots, index, dict),
+                )
+            }
+            None => (
+                JoinPlan::build(&atoms, slots.len(), &[]),
+                JoinPlan::build(&atoms, slots.len(), &answer_slots),
+            ),
+        };
         Ok(QueryEvaluator {
             query,
             slots,
@@ -171,6 +204,13 @@ impl QueryEvaluator {
         &self.answer_plan
     }
 
+    /// Dictionary-encodes the query body against `db`.  `None` means some
+    /// query constant was never interned, so no atom — and hence the whole
+    /// query — matches anything in `db`.
+    fn encode_atoms(&self, db: &Database) -> Option<Vec<SymAtom>> {
+        SymAtom::encode_all(&self.atoms, db.dictionary())
+    }
+
     /// Enumerates all homomorphisms from the query into the sub-database
     /// `subset ⊆ db`.
     ///
@@ -182,16 +222,21 @@ impl QueryEvaluator {
         max: Option<usize>,
     ) -> Vec<Homomorphism> {
         let mut results = Vec::new();
-        let mut bindings: Vec<Option<&Value>> = vec![None; self.slots.len()];
+        let Some(encoded) = self.encode_atoms(db) else {
+            return results;
+        };
+        let dict = db.dictionary();
+        let mut bindings: Vec<Option<Sym>> = vec![None; self.slots.len()];
         let mut image = Vec::new();
         self.plan.run(
             db,
             db.relation_index(),
             subset,
+            &encoded,
             &mut bindings,
             &mut image,
             &mut |bindings, image| {
-                results.push(self.materialize(bindings, image));
+                results.push(self.materialize(dict, bindings, image));
                 max.is_some_and(|limit| results.len() >= limit)
             },
         );
@@ -201,12 +246,16 @@ impl QueryEvaluator {
     /// Returns `true` iff at least one homomorphism exists, i.e. `D' ⊨ Q`
     /// for Boolean queries (and "Q has some answer" otherwise).
     pub fn entails(&self, db: &Database, subset: &FactSet) -> bool {
-        let mut bindings: Vec<Option<&Value>> = vec![None; self.slots.len()];
+        let Some(encoded) = self.encode_atoms(db) else {
+            return false;
+        };
+        let mut bindings: Vec<Option<Sym>> = vec![None; self.slots.len()];
         let mut image = Vec::new();
         self.plan.run(
             db,
             db.relation_index(),
             subset,
+            &encoded,
             &mut bindings,
             &mut image,
             &mut |_, _| true,
@@ -216,12 +265,17 @@ impl QueryEvaluator {
     /// The set of answers `Q(D')`.
     pub fn answers(&self, db: &Database, subset: &FactSet) -> BTreeSet<Vec<Value>> {
         let mut answers = BTreeSet::new();
-        let mut bindings: Vec<Option<&Value>> = vec![None; self.slots.len()];
+        let Some(encoded) = self.encode_atoms(db) else {
+            return answers;
+        };
+        let dict = db.dictionary();
+        let mut bindings: Vec<Option<Sym>> = vec![None; self.slots.len()];
         let mut image = Vec::new();
         self.plan.run(
             db,
             db.relation_index(),
             subset,
+            &encoded,
             &mut bindings,
             &mut image,
             &mut |bindings, _| {
@@ -229,11 +283,11 @@ impl QueryEvaluator {
                     self.answer_slots
                         .iter()
                         .map(|&slot| {
-                            bindings[slot]
+                            let sym = bindings[slot]
                                 // Invariant, not user-reachable: the plan
                                 // binds every slot before reaching a leaf.
-                                .expect("answer slots are bound at every leaf")
-                                .clone()
+                                .expect("answer slots are bound at every leaf");
+                            dict.decode(sym).clone()
                         })
                         .collect(),
                 );
@@ -251,15 +305,19 @@ impl QueryEvaluator {
         subset: &FactSet,
         candidate: &[Value],
     ) -> Result<bool, QueryError> {
-        let mut bindings: Vec<Option<&Value>> = vec![None; self.slots.len()];
-        if !self.prebind_candidate(candidate, &mut bindings)? {
+        let mut bindings: Vec<Option<Sym>> = vec![None; self.slots.len()];
+        if !self.prebind_candidate(db.dictionary(), candidate, &mut bindings)? {
             return Ok(false);
         }
+        let Some(encoded) = self.encode_atoms(db) else {
+            return Ok(false);
+        };
         let mut image = Vec::new();
         Ok(self.answer_plan.run(
             db,
             db.relation_index(),
             subset,
+            &encoded,
             &mut bindings,
             &mut image,
             &mut |_, _| true,
@@ -276,19 +334,24 @@ impl QueryEvaluator {
         candidate: &[Value],
     ) -> Result<Vec<Homomorphism>, QueryError> {
         let mut results = Vec::new();
-        let mut bindings: Vec<Option<&Value>> = vec![None; self.slots.len()];
-        if !self.prebind_candidate(candidate, &mut bindings)? {
+        let mut bindings: Vec<Option<Sym>> = vec![None; self.slots.len()];
+        if !self.prebind_candidate(db.dictionary(), candidate, &mut bindings)? {
             return Ok(results);
         }
+        let Some(encoded) = self.encode_atoms(db) else {
+            return Ok(results);
+        };
+        let dict = db.dictionary();
         let mut image = Vec::new();
         self.answer_plan.run(
             db,
             db.relation_index(),
             subset,
+            &encoded,
             &mut bindings,
             &mut image,
             &mut |bindings, image| {
-                results.push(self.materialize(bindings, image));
+                results.push(self.materialize(dict, bindings, image));
                 false
             },
         );
@@ -313,15 +376,19 @@ impl QueryEvaluator {
     where
         F: FnMut(&[FactId]) -> bool,
     {
-        let mut bindings: Vec<Option<&Value>> = vec![None; self.slots.len()];
-        if !self.prebind_candidate(candidate, &mut bindings)? {
+        let mut bindings: Vec<Option<Sym>> = vec![None; self.slots.len()];
+        if !self.prebind_candidate(db.dictionary(), candidate, &mut bindings)? {
             return Ok(false);
         }
+        let Some(encoded) = self.encode_atoms(db) else {
+            return Ok(false);
+        };
         let mut image = Vec::new();
         Ok(self.answer_plan.run(
             db,
             db.relation_index(),
             subset,
+            &encoded,
             &mut bindings,
             &mut image,
             &mut |_, image| visitor(image),
@@ -337,16 +404,21 @@ impl QueryEvaluator {
         max: Option<usize>,
     ) -> Vec<Homomorphism> {
         let mut results = Vec::new();
-        let mut bindings: Vec<Option<&Value>> = vec![None; self.slots.len()];
+        let Some(encoded) = self.encode_atoms(db) else {
+            return results;
+        };
+        let dict = db.dictionary();
+        let mut bindings: Vec<Option<Sym>> = vec![None; self.slots.len()];
         let mut image = Vec::new();
         self.search(
             db,
+            &encoded,
             subset,
             0,
             &mut bindings,
             &mut image,
             &mut |bindings, image| {
-                results.push(self.materialize(bindings, image));
+                results.push(self.materialize(dict, bindings, image));
                 max.is_some_and(|limit| results.len() >= limit)
             },
         );
@@ -355,9 +427,20 @@ impl QueryEvaluator {
 
     /// As [`QueryEvaluator::entails`], on the unplanned baseline.
     pub fn entails_unplanned(&self, db: &Database, subset: &FactSet) -> bool {
-        let mut bindings: Vec<Option<&Value>> = vec![None; self.slots.len()];
+        let Some(encoded) = self.encode_atoms(db) else {
+            return false;
+        };
+        let mut bindings: Vec<Option<Sym>> = vec![None; self.slots.len()];
         let mut image = Vec::new();
-        self.search(db, subset, 0, &mut bindings, &mut image, &mut |_, _| true)
+        self.search(
+            db,
+            &encoded,
+            subset,
+            0,
+            &mut bindings,
+            &mut image,
+            &mut |_, _| true,
+        )
     }
 
     /// As [`QueryEvaluator::has_answer`], on the unplanned baseline.
@@ -367,12 +450,23 @@ impl QueryEvaluator {
         subset: &FactSet,
         candidate: &[Value],
     ) -> Result<bool, QueryError> {
-        let mut bindings: Vec<Option<&Value>> = vec![None; self.slots.len()];
-        if !self.prebind_candidate(candidate, &mut bindings)? {
+        let mut bindings: Vec<Option<Sym>> = vec![None; self.slots.len()];
+        if !self.prebind_candidate(db.dictionary(), candidate, &mut bindings)? {
             return Ok(false);
         }
+        let Some(encoded) = self.encode_atoms(db) else {
+            return Ok(false);
+        };
         let mut image = Vec::new();
-        Ok(self.search(db, subset, 0, &mut bindings, &mut image, &mut |_, _| true))
+        Ok(self.search(
+            db,
+            &encoded,
+            subset,
+            0,
+            &mut bindings,
+            &mut image,
+            &mut |_, _| true,
+        ))
     }
 
     /// As [`QueryEvaluator::for_each_answer_image`], on the unplanned
@@ -388,32 +482,45 @@ impl QueryEvaluator {
     where
         F: FnMut(&[FactId]) -> bool,
     {
-        let mut bindings: Vec<Option<&Value>> = vec![None; self.slots.len()];
-        if !self.prebind_candidate(candidate, &mut bindings)? {
+        let mut bindings: Vec<Option<Sym>> = vec![None; self.slots.len()];
+        if !self.prebind_candidate(db.dictionary(), candidate, &mut bindings)? {
             return Ok(false);
         }
+        let Some(encoded) = self.encode_atoms(db) else {
+            return Ok(false);
+        };
         let mut image = Vec::new();
-        Ok(
-            self.search(db, subset, 0, &mut bindings, &mut image, &mut |_, image| {
-                visitor(image)
-            }),
-        )
+        Ok(self.search(
+            db,
+            &encoded,
+            subset,
+            0,
+            &mut bindings,
+            &mut image,
+            &mut |_, image| visitor(image),
+        ))
     }
 
-    /// The grounded, plan-ordered atoms of a candidate-driven enumeration:
-    /// the atoms in [`QueryEvaluator::answer_plan`] order, with answer
-    /// slots substituted by the candidate constants and the remaining
-    /// variables renumbered by first occurrence along that order.
+    /// The grounded, plan-ordered, dictionary-encoded atoms of a
+    /// candidate-driven enumeration: the atoms in
+    /// [`QueryEvaluator::answer_plan`] order, with answer slots
+    /// substituted by the candidate constants (as symbols) and the
+    /// remaining variables renumbered by first occurrence along that
+    /// order.
     ///
     /// Two bank entries with equal grounded atom prefixes enumerate the
     /// same partial joins, which is what the shared scan trie of
-    /// [`crate::LineageBank::compile`] factors out.  Returns `Ok(None)`
-    /// when a repeated answer variable receives two different candidate
-    /// values (the candidate has no homomorphisms at all).
+    /// [`crate::LineageBank::compile`] factors out — and symbol-encoded
+    /// atoms make that prefix comparison a `u32` compare.  Returns
+    /// `Ok(None)` when the candidate provably has no homomorphisms at
+    /// all: a repeated answer variable receives two different candidate
+    /// values, or a candidate/query constant was never interned by
+    /// `dict` (it then occurs in no fact).
     pub(crate) fn grounded_answer_atoms(
         &self,
+        dict: &Dictionary,
         candidate: &[Value],
-    ) -> Result<Option<Vec<PlanAtom>>, QueryError> {
+    ) -> Result<Option<Vec<SymAtom>>, QueryError> {
         if candidate.len() != self.answer_slots.len() {
             return Err(QueryError::AnswerArityMismatch {
                 expected: self.answer_slots.len(),
@@ -429,40 +536,49 @@ impl QueryEvaluator {
         }
         let mut renumbered: Vec<Option<usize>> = vec![None; self.slots.len()];
         let mut next = 0usize;
-        let grounded = self
-            .answer_plan
-            .atom_order()
-            .map(|atom| PlanAtom {
-                relation: self.atoms[atom].relation,
-                terms: self.atoms[atom]
-                    .terms
-                    .iter()
-                    .map(|term| match term {
-                        PlanTerm::Const(c) => PlanTerm::Const(c.clone()),
-                        PlanTerm::Var(slot) => match slot_value[*slot] {
-                            Some(value) => PlanTerm::Const(value.clone()),
-                            None => {
-                                let id = *renumbered[*slot].get_or_insert_with(|| {
-                                    let id = next;
-                                    next += 1;
-                                    id
-                                });
-                                PlanTerm::Var(id)
-                            }
+        let mut grounded = Vec::with_capacity(self.atoms.len());
+        for atom in self.answer_plan.atom_order() {
+            let mut terms = Vec::with_capacity(self.atoms[atom].terms.len());
+            for term in &self.atoms[atom].terms {
+                let encoded = match term {
+                    PlanTerm::Const(c) => match dict.lookup(c) {
+                        Some(sym) => SymTerm::Const(sym),
+                        None => return Ok(None),
+                    },
+                    PlanTerm::Var(slot) => match slot_value[*slot] {
+                        Some(value) => match dict.lookup(value) {
+                            Some(sym) => SymTerm::Const(sym),
+                            None => return Ok(None),
                         },
-                    })
-                    .collect(),
-            })
-            .collect();
+                        None => {
+                            let id = *renumbered[*slot].get_or_insert_with(|| {
+                                let id = next;
+                                next += 1;
+                                id
+                            });
+                            SymTerm::Var(id)
+                        }
+                    },
+                };
+                terms.push(encoded);
+            }
+            grounded.push(SymAtom {
+                relation: self.atoms[atom].relation,
+                terms,
+            });
+        }
         Ok(Some(grounded))
     }
 
-    /// Binds the answer slots to the candidate values, returning `Ok(false)`
-    /// if a repeated answer variable receives two different values.
-    fn prebind_candidate<'d>(
+    /// Binds the answer slots to the candidate values (encoded through
+    /// `dict`), returning `Ok(false)` if a repeated answer variable
+    /// receives two different values or a candidate value was never
+    /// interned (it then matches nothing).
+    fn prebind_candidate(
         &self,
-        candidate: &'d [Value],
-        bindings: &mut [Option<&'d Value>],
+        dict: &Dictionary,
+        candidate: &[Value],
+        bindings: &mut [Option<Sym>],
     ) -> Result<bool, QueryError> {
         if candidate.len() != self.answer_slots.len() {
             return Err(QueryError::AnswerArityMismatch {
@@ -471,22 +587,31 @@ impl QueryEvaluator {
             });
         }
         for (&slot, value) in self.answer_slots.iter().zip(candidate) {
+            let Some(sym) = dict.lookup(value) else {
+                return Ok(false);
+            };
             match bindings[slot] {
-                Some(existing) if existing != value => return Ok(false),
-                _ => bindings[slot] = Some(value),
+                Some(existing) if existing != sym => return Ok(false),
+                _ => bindings[slot] = Some(sym),
             }
         }
         Ok(true)
     }
 
     /// Builds a caller-facing [`Homomorphism`] from slot bindings and a raw
-    /// image (leaf-time only — never on the backtracking path).
-    fn materialize(&self, bindings: &[Option<&Value>], image: &[FactId]) -> Homomorphism {
+    /// image (leaf-time only — never on the backtracking path).  This is
+    /// the decode boundary: symbols become [`Value`]s here.
+    fn materialize(
+        &self,
+        dict: &Dictionary,
+        bindings: &[Option<Sym>],
+        image: &[FactId],
+    ) -> Homomorphism {
         let named: Bindings = self
             .slots
             .iter()
             .zip(bindings)
-            .filter_map(|(var, value)| value.map(|v| (var.clone(), v.clone())))
+            .filter_map(|(var, sym)| sym.map(|s| (var.clone(), dict.decode(s).clone())))
             .collect();
         let mut image = image.to_vec();
         image.sort();
@@ -502,34 +627,39 @@ impl QueryEvaluator {
     /// the (unsorted, possibly duplicated) image; it returns `true` to
     /// stop the search.  The overall return value is `true` iff the search
     /// was stopped by the sink.
-    fn search<'d, F>(
+    #[allow(clippy::too_many_arguments)]
+    fn search<F>(
         &self,
-        db: &'d Database,
+        db: &Database,
+        encoded: &[SymAtom],
         subset: &FactSet,
         atom_index: usize,
-        bindings: &mut Vec<Option<&'d Value>>,
+        bindings: &mut Vec<Option<Sym>>,
         image: &mut Vec<FactId>,
         sink: &mut F,
     ) -> bool
     where
-        F: FnMut(&[Option<&'d Value>], &[FactId]) -> bool,
+        F: FnMut(&[Option<Sym>], &[FactId]) -> bool,
     {
-        if atom_index == self.atoms.len() {
+        if atom_index == encoded.len() {
             return sink(bindings, image);
         }
-        let atom = &self.atoms[atom_index];
+        let atom = &encoded[atom_index];
+        let columns = db.columns_of(atom.relation);
         for &fact_id in db.facts_of(atom.relation) {
             if !subset.contains(fact_id) {
                 continue;
             }
-            // Unify the atom's terms with the fact's values; the same
+            // Unify the atom's terms with the fact's symbols; the same
             // match-and-bind kernel backs the planned executor and the
             // bank's scan trie, so the baselines cannot drift.
-            let Some(bound_here) = match_and_bind(&atom.terms, db.fact(fact_id), bindings) else {
+            let Some(bound_here) =
+                match_and_bind(&atom.terms, columns, db.row_of(fact_id), bindings)
+            else {
                 continue;
             };
             image.push(fact_id);
-            let stop = self.search(db, subset, atom_index + 1, bindings, image, sink);
+            let stop = self.search(db, encoded, subset, atom_index + 1, bindings, image, sink);
             image.pop();
             unbind(&atom.terms, bound_here, bindings);
             if stop {
@@ -598,6 +728,29 @@ mod tests {
             .unwrap());
         assert!(eval
             .has_answer(&db, &db.all_facts(), &[Value::str("v")])
+            .is_err());
+    }
+
+    #[test]
+    fn unknown_constants_match_nothing_without_interning() {
+        let db = graph_db();
+        // "zzz" was never inserted: the planned and unplanned paths, the
+        // candidate paths, and answers all agree on "no match", and the
+        // probe must not grow the dictionary.
+        let q = parse_query(db.schema(), "Ans() :- V('zzz', x)").unwrap();
+        let eval = QueryEvaluator::new(q);
+        assert!(!eval.entails(&db, &db.all_facts()));
+        assert!(!eval.entails_unplanned(&db, &db.all_facts()));
+        assert!(eval.homomorphisms(&db, &db.all_facts(), None).is_empty());
+        let q = parse_query(db.schema(), "Ans(x) :- E(x, y)").unwrap();
+        let eval = QueryEvaluator::new(q);
+        assert!(!eval
+            .has_answer(&db, &db.all_facts(), &[Value::str("zzz")])
+            .unwrap());
+        assert!(db.dictionary().lookup(&Value::str("zzz")).is_none());
+        // Arity errors still take precedence over unknown constants.
+        assert!(eval
+            .has_answer(&db, &db.all_facts(), &[Value::str("zzz"), Value::str("q")])
             .is_err());
     }
 
@@ -706,15 +859,23 @@ mod tests {
             .unwrap());
         // Grounding mirrors the prebind rules: a conflicting candidate has
         // no grounded atoms at all.
+        let dict = db.dictionary();
         assert!(eval
-            .grounded_answer_atoms(&[Value::str("u"), Value::str("v")])
+            .grounded_answer_atoms(dict, &[Value::str("u"), Value::str("v")])
             .unwrap()
             .is_none());
         assert!(eval
-            .grounded_answer_atoms(&[Value::str("u"), Value::str("u")])
+            .grounded_answer_atoms(dict, &[Value::str("u"), Value::str("u")])
             .unwrap()
             .is_some());
-        assert!(eval.grounded_answer_atoms(&[Value::str("u")]).is_err());
+        assert!(eval
+            .grounded_answer_atoms(dict, &[Value::str("u")])
+            .is_err());
+        // A never-interned candidate also grounds to nothing.
+        assert!(eval
+            .grounded_answer_atoms(dict, &[Value::str("zz"), Value::str("zz")])
+            .unwrap()
+            .is_none());
     }
 
     #[test]
@@ -769,26 +930,30 @@ mod tests {
         let db = graph_db();
         let q = parse_query(db.schema(), "Ans(x) :- V(x, z), T(z)").unwrap();
         let eval = QueryEvaluator::new(q);
+        let dict = db.dictionary();
         let grounded = eval
-            .grounded_answer_atoms(&[Value::str("u")])
+            .grounded_answer_atoms(dict, &[Value::str("u")])
             .unwrap()
             .unwrap();
         assert_eq!(grounded.len(), 2);
-        // The answer slot is substituted by the constant; z is renumbered
-        // to slot 0 in first-occurrence order along the plan.
+        // The answer slot is substituted by the constant's symbol; z is
+        // renumbered to slot 0 in first-occurrence order along the plan.
         let v = db.schema().relation_id("V").unwrap();
+        let u_sym = dict.lookup(&Value::str("u")).unwrap();
         let first = grounded
             .iter()
             .find(|atom| atom.relation == v)
             .expect("the V atom survives grounding");
-        assert_eq!(first.terms[0], PlanTerm::Const(Value::str("u")));
-        assert_eq!(first.terms[1], PlanTerm::Var(0));
+        assert_eq!(first.terms[0], SymTerm::Const(u_sym));
+        assert_eq!(first.terms[1], SymTerm::Var(0));
         // Identical queries with identical candidates ground identically
         // (the trie-sharing invariant).
         let q2 = parse_query(db.schema(), "Ans(a) :- V(a, b), T(b)").unwrap();
         let eval2 = QueryEvaluator::new(q2);
         assert_eq!(
-            eval2.grounded_answer_atoms(&[Value::str("u")]).unwrap(),
+            eval2
+                .grounded_answer_atoms(dict, &[Value::str("u")])
+                .unwrap(),
             Some(grounded)
         );
     }

@@ -12,24 +12,35 @@
 //! * **Atom order** is chosen greedily by *bound coverage*: at each step
 //!   the planner picks the atom with the most bound terms (constants plus
 //!   variables bound by earlier steps, plus prebound answer slots), ties
-//!   broken by the original body order.  Bound-late atoms become indexed
+//!   broken by the original body order ([`JoinPlan::build`]) or — opt-in,
+//!   see [`JoinPlan::build_with_stats`] — by exact posting lengths from
+//!   the database's [`RelationIndex`].  Bound-late atoms become indexed
 //!   lookups instead of cross products.
-//! * **Access paths**: a step with at least one bound position is executed
-//!   as an **indexed lookup** against the database's [`RelationIndex`] —
-//!   at run time the executor probes every statically bound position and
-//!   walks the *shortest* posting list; a step with no bound position
+//! * **Access paths**: execution works on dictionary-encoded [`Sym`]
+//!   columns end-to-end.  A step with at least one bound position probes
+//!   the [`RelationIndex`] posting runs (dense `u32`-indexed CSR slices)
+//!   and walks the *shortest*; when several bound runs are long, the two
+//!   shortest are first intersected with a galloping merge
+//!   ([`ucqa_db::intersect_postings`]).  A step with no bound position
 //!   falls back to a filtered scan of the relation.
 //! * **No per-step allocation**: the executor recurses over borrowed
 //!   posting slices with the caller-owned slot bindings and image buffers
-//!   of the evaluator; nothing is heap-allocated per step.
+//!   of the evaluator; nothing is heap-allocated per step (the galloping
+//!   path amortises one scratch buffer over its candidate threshold).
 //!
 //! The planner is purely structural (it only needs the query), so a
 //! [`JoinPlan`] is built once per [`crate::QueryEvaluator`] and reused for
-//! every database subset.  [`LineageBank::compile`](crate::LineageBank)
-//! goes one step further and factors the *shared prefixes* of many planned
-//! queries into one scan trie — see [`crate::bank`].
+//! every database subset; the query's [`Value`] constants are encoded to
+//! symbols once per evaluator entry point (a constant the dictionary has
+//! never seen matches nothing, so encoding can short-circuit the whole
+//! run).  [`LineageBank::compile`](crate::LineageBank) goes one step
+//! further and factors the *shared prefixes* of many planned queries into
+//! one scan trie — see [`crate::bank`].
 
-use ucqa_db::{Database, Fact, FactId, FactSet, RelationId, RelationIndex, Value};
+use ucqa_db::{
+    intersect_postings, Database, Dictionary, FactId, FactSet, RelationId, RelationIndex, Sym,
+    Value,
+};
 
 /// An atom term resolved against the evaluator's interned variable slots.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,14 +51,61 @@ pub enum PlanTerm {
     Var(usize),
 }
 
-/// An atom with terms resolved to slots — the planner's (and the shared
-/// scan trie's) unit of work.
+/// An atom with terms resolved to slots — the planner's unit of work.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PlanAtom {
     /// The atom's relation.
     pub relation: RelationId,
     /// The atom's terms, in positional order.
     pub terms: Vec<PlanTerm>,
+}
+
+/// A [`PlanTerm`] with its constant dictionary-encoded: the executor's
+/// unit of comparison (symbol equality = one `u32` compare).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SymTerm {
+    /// A constant symbol the fact's symbol must equal.
+    Const(Sym),
+    /// A variable, identified by its slot index.
+    Var(usize),
+}
+
+/// A [`PlanAtom`] with constants encoded to symbols — what the executor
+/// matches and what the bank's scan trie keys its nodes on.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SymAtom {
+    /// The atom's relation.
+    pub relation: RelationId,
+    /// The atom's encoded terms, in positional order.
+    pub terms: Vec<SymTerm>,
+}
+
+impl SymAtom {
+    /// Encodes `atom` against `dict` without interning.  `None` means some
+    /// constant was never interned — the atom (and hence the whole query)
+    /// matches no fact of any database over `dict`.
+    pub fn encode(atom: &PlanAtom, dict: &Dictionary) -> Option<SymAtom> {
+        let terms = atom
+            .terms
+            .iter()
+            .map(|term| match term {
+                PlanTerm::Const(value) => dict.lookup(value).map(SymTerm::Const),
+                PlanTerm::Var(slot) => Some(SymTerm::Var(*slot)),
+            })
+            .collect::<Option<Vec<SymTerm>>>()?;
+        Some(SymAtom {
+            relation: atom.relation,
+            terms,
+        })
+    }
+
+    /// Encodes a whole body; `None` if any atom has an unknown constant.
+    pub fn encode_all(atoms: &[PlanAtom], dict: &Dictionary) -> Option<Vec<SymAtom>> {
+        atoms
+            .iter()
+            .map(|atom| SymAtom::encode(atom, dict))
+            .collect()
+    }
 }
 
 impl PlanAtom {
@@ -70,10 +128,10 @@ impl PlanAtom {
 /// extending the current slot bindings.
 #[derive(Debug, Clone)]
 struct PlanStep {
-    /// Index of the atom in the original query body.
+    /// Index of the atom in the original query body (also the index into
+    /// the encoded body the executor runs on).
     atom: usize,
     relation: RelationId,
-    terms: Vec<PlanTerm>,
     /// Term positions guaranteed bound when this step runs (constants and
     /// variables bound by earlier steps / prebinding).  Non-empty ⇒ the
     /// step executes as an indexed lookup.
@@ -90,12 +148,54 @@ pub struct JoinPlan {
     steps: Vec<PlanStep>,
 }
 
+/// Once the shortest posting run of a step exceeds this many candidates
+/// (and a second bound run exists), the executor intersects the two
+/// shortest runs with a galloping merge before matching, instead of
+/// filtering the shortest run one fact at a time.
+const GALLOP_THRESHOLD: usize = 64;
+
 impl JoinPlan {
     /// Plans `atoms` greedily by bound coverage.  `slot_count` is the
     /// number of interned variable slots; `prebound_slots` lists the slots
     /// that will be bound before execution starts (the answer slots of a
     /// candidate-driven run, empty for free enumeration).
+    ///
+    /// Coverage ties go to the earliest body atom — a *stable* choice that
+    /// keeps queries sharing a written prefix sharing it after planning
+    /// (which is what lets the bank trie factor it).  For
+    /// cardinality-aware tie-breaking see [`JoinPlan::build_with_stats`].
     pub fn build(atoms: &[PlanAtom], slot_count: usize, prebound_slots: &[usize]) -> Self {
+        JoinPlan::build_inner(atoms, slot_count, prebound_slots, None)
+    }
+
+    /// As [`JoinPlan::build`], but breaks coverage ties with exact
+    /// cardinality statistics from `index` (resolving constants through
+    /// `dict`): among equally-covered atoms, the one whose cheapest
+    /// constant-bound posting run ([`RelationIndex::posting_len`]) is
+    /// shortest wins; atoms without a constant-bound position compare by
+    /// an expected-matches estimate (relation cardinality over the
+    /// per-position distinct count of their variable-bound positions),
+    /// and remaining ties keep the body order.
+    ///
+    /// Statistics describe one concrete database, so plans built this way
+    /// are *per-database*; the default [`JoinPlan::build`] stays purely
+    /// structural (and is what the bank trie's prefix sharing relies on).
+    pub fn build_with_stats(
+        atoms: &[PlanAtom],
+        slot_count: usize,
+        prebound_slots: &[usize],
+        index: &RelationIndex,
+        dict: &Dictionary,
+    ) -> Self {
+        JoinPlan::build_inner(atoms, slot_count, prebound_slots, Some((index, dict)))
+    }
+
+    fn build_inner(
+        atoms: &[PlanAtom],
+        slot_count: usize,
+        prebound_slots: &[usize],
+        stats: Option<(&RelationIndex, &Dictionary)>,
+    ) -> Self {
         let mut bound = vec![false; slot_count];
         for &slot in prebound_slots {
             bound[slot] = true;
@@ -103,16 +203,24 @@ impl JoinPlan {
         let mut remaining: Vec<usize> = (0..atoms.len()).collect();
         let mut steps = Vec::with_capacity(atoms.len());
         while !remaining.is_empty() {
-            // Max bound coverage; ties go to the earliest body atom, so
-            // queries sharing a written prefix keep sharing it after
-            // planning (which is what lets the bank trie factor it).
+            // Max bound coverage; ties go to the earliest body atom unless
+            // index statistics say otherwise.
             let mut best = 0;
             let mut best_coverage = 0;
+            let mut best_cost = f64::INFINITY;
             for (i, &atom) in remaining.iter().enumerate() {
                 let coverage = atoms[atom].bound_positions(&bound).len();
-                if i == 0 || coverage > best_coverage {
+                let cost = match stats {
+                    Some((index, dict)) => atom_cost(&atoms[atom], &bound, index, dict),
+                    None => 0.0,
+                };
+                if i == 0
+                    || coverage > best_coverage
+                    || (coverage == best_coverage && cost < best_cost)
+                {
                     best = i;
                     best_coverage = coverage;
+                    best_cost = cost;
                 }
             }
             let atom = remaining.remove(best);
@@ -125,7 +233,6 @@ impl JoinPlan {
             steps.push(PlanStep {
                 atom,
                 relation: atoms[atom].relation,
-                terms: atoms[atom].terms.clone(),
                 bound_positions,
             });
         }
@@ -162,61 +269,69 @@ impl JoinPlan {
     /// duplicated) image.  The sink returns `true` to stop; the overall
     /// return value is `true` iff the run was stopped.
     ///
-    /// `bindings` must have one entry per slot; prebound slots must
-    /// already be filled.  Performs no heap allocation besides the
-    /// amortised `image` pushes.
-    pub(crate) fn run<'d, F>(
+    /// `encoded` is the dictionary-encoded query body in **original body
+    /// order** (the plan's steps index into it); `bindings` must have one
+    /// entry per slot, with prebound slots already filled.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run<F>(
         &self,
-        db: &'d Database,
+        db: &Database,
         index: &RelationIndex,
         subset: &FactSet,
-        bindings: &mut Vec<Option<&'d Value>>,
+        encoded: &[SymAtom],
+        bindings: &mut Vec<Option<Sym>>,
         image: &mut Vec<FactId>,
         sink: &mut F,
     ) -> bool
     where
-        F: FnMut(&[Option<&'d Value>], &[FactId]) -> bool,
+        F: FnMut(&[Option<Sym>], &[FactId]) -> bool,
     {
-        self.step(db, index, subset, 0, bindings, image, sink)
+        self.step(db, index, subset, encoded, 0, bindings, image, sink)
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn step<'d, F>(
+    fn step<F>(
         &self,
-        db: &'d Database,
+        db: &Database,
         index: &RelationIndex,
         subset: &FactSet,
+        encoded: &[SymAtom],
         depth: usize,
-        bindings: &mut Vec<Option<&'d Value>>,
+        bindings: &mut Vec<Option<Sym>>,
         image: &mut Vec<FactId>,
         sink: &mut F,
     ) -> bool
     where
-        F: FnMut(&[Option<&'d Value>], &[FactId]) -> bool,
+        F: FnMut(&[Option<Sym>], &[FactId]) -> bool,
     {
         if depth == self.steps.len() {
             return sink(bindings, image);
         }
         let step = &self.steps[depth];
+        let terms = &encoded[step.atom].terms;
+        let columns = db.columns_of(step.relation);
+        let mut gallop_scratch = Vec::new();
         let candidates = candidate_facts(
             db,
             index,
             step.relation,
-            &step.terms,
+            terms,
             &step.bound_positions,
             bindings,
+            &mut gallop_scratch,
         );
         for &fact_id in candidates {
             if !subset.contains(fact_id) {
                 continue;
             }
-            let Some(bound_here) = match_and_bind(&step.terms, db.fact(fact_id), bindings) else {
+            let row = db.row_of(fact_id);
+            let Some(bound_here) = match_and_bind(terms, columns, row, bindings) else {
                 continue;
             };
             image.push(fact_id);
-            let stop = self.step(db, index, subset, depth + 1, bindings, image, sink);
+            let stop = self.step(db, index, subset, encoded, depth + 1, bindings, image, sink);
             image.pop();
-            unbind(&step.terms, bound_here, bindings);
+            unbind(terms, bound_here, bindings);
             if stop {
                 return true;
             }
@@ -225,8 +340,34 @@ impl JoinPlan {
     }
 }
 
-/// Unifies an atom's terms with a fact's values against the current slot
-/// bindings.  On success, returns the term positions whose slots were
+/// An expected-matches cost estimate for tie-breaking in
+/// [`JoinPlan::build_with_stats`]: the exact posting length for the best
+/// constant-bound position, else relation cardinality divided by the
+/// largest distinct count among bound positions, else the cardinality.
+fn atom_cost(atom: &PlanAtom, bound: &[bool], index: &RelationIndex, dict: &Dictionary) -> f64 {
+    let cardinality = index.relation_cardinality(atom.relation) as f64;
+    let mut cost = cardinality;
+    for (position, term) in atom.terms.iter().enumerate() {
+        let estimate = match term {
+            PlanTerm::Const(value) => match dict.lookup(value) {
+                Some(sym) => index.posting_len(atom.relation, position, sym) as f64,
+                // Never-interned constant: provably zero matches.
+                None => 0.0,
+            },
+            PlanTerm::Var(slot) if bound[*slot] => {
+                // The bound symbol is only known at run time; assume the
+                // position's average posting length.
+                cardinality / index.distinct_count(atom.relation, position).max(1) as f64
+            }
+            PlanTerm::Var(_) => continue,
+        };
+        cost = cost.min(estimate);
+    }
+    cost
+}
+
+/// Unifies an atom's encoded terms with one stored row against the current
+/// slot bindings.  On success, returns the term positions whose slots were
 /// **newly** bound by this frame as a bitmask (pass it to [`unbind`] on
 /// backtrack); on mismatch, any partial bindings are rolled back and
 /// `None` is returned.
@@ -234,31 +375,34 @@ impl JoinPlan {
 /// This is the one definition of the match-and-bind semantics, shared by
 /// the plan executor, the bank's scan trie, and the unplanned baseline —
 /// so the planned/unplanned witness-set-identity invariant cannot drift.
-/// The bitmask limits atoms to 64 terms, which `QueryEvaluator::new`
-/// enforces at construction.
-pub(crate) fn match_and_bind<'d>(
-    terms: &[PlanTerm],
-    fact: &'d Fact,
-    bindings: &mut [Option<&'d Value>],
+/// Every comparison is a `u32` symbol compare against the relation's
+/// columns; the fact is never materialized.  The bitmask limits atoms to
+/// 64 terms, which `QueryEvaluator::new` enforces at construction.
+pub(crate) fn match_and_bind(
+    terms: &[SymTerm],
+    columns: &[Vec<Sym>],
+    row: usize,
+    bindings: &mut [Option<Sym>],
 ) -> Option<u64> {
     let mut bound_here: u64 = 0;
-    for (position, (term, value)) in terms.iter().zip(fact.values()).enumerate() {
+    for (position, term) in terms.iter().enumerate() {
+        let sym = columns[position][row];
         match term {
-            PlanTerm::Const(c) => {
-                if c != value {
+            SymTerm::Const(c) => {
+                if *c != sym {
                     unbind(terms, bound_here, bindings);
                     return None;
                 }
             }
-            PlanTerm::Var(slot) => match bindings[*slot] {
+            SymTerm::Var(slot) => match bindings[*slot] {
                 Some(bound) => {
-                    if bound != value {
+                    if bound != sym {
                         unbind(terms, bound_here, bindings);
                         return None;
                     }
                 }
                 None => {
-                    bindings[*slot] = Some(value);
+                    bindings[*slot] = Some(sym);
                     bound_here |= 1 << position;
                 }
             },
@@ -268,31 +412,48 @@ pub(crate) fn match_and_bind<'d>(
 }
 
 /// The candidate fact list of one plan (or trie) step: the shortest
-/// posting list among the step's statically bound positions, or the whole
+/// posting run among the step's statically bound positions, or the whole
 /// relation when nothing is bound.  Shared between [`JoinPlan`] execution
 /// and the bank's scan trie, which runs the same access logic per node.
+///
+/// When a second bound run exists and the shortest run is longer than
+/// [`GALLOP_THRESHOLD`], the two shortest runs are intersected into
+/// `scratch` with a galloping merge first — the intersection is an
+/// order-preserving subset of the shortest run (dropped ids would have
+/// failed the dropped position's symbol check in [`match_and_bind`]), so
+/// enumeration order, and hence every witness set, is unchanged.
 pub(crate) fn candidate_facts<'c>(
     db: &'c Database,
     index: &'c RelationIndex,
     relation: RelationId,
-    terms: &[PlanTerm],
+    terms: &[SymTerm],
     bound_positions: &[usize],
-    bindings: &[Option<&Value>],
+    bindings: &[Option<Sym>],
+    scratch: &'c mut Vec<FactId>,
 ) -> &'c [FactId] {
     if bound_positions.is_empty() {
         return db.facts_of(relation);
     }
     let mut best: Option<&'c [FactId]> = None;
+    let mut second: Option<&'c [FactId]> = None;
     for &position in bound_positions {
-        let value: &Value = match &terms[position] {
-            PlanTerm::Const(c) => c,
+        let sym: Sym = match &terms[position] {
+            SymTerm::Const(c) => *c,
             // Invariant, not user-reachable: `bound_positions` only lists
             // positions whose slots the plan has already bound.
-            PlanTerm::Var(slot) => bindings[*slot].expect("planner guarantees this slot is bound"),
+            SymTerm::Var(slot) => bindings[*slot].expect("planner guarantees this slot is bound"),
         };
-        let posting = index.matches(relation, position, value);
-        if best.is_none_or(|b| posting.len() < b.len()) {
-            best = Some(posting);
+        let posting = index.matches(relation, position, sym);
+        match best {
+            Some(b) if posting.len() >= b.len() => {
+                if second.is_none_or(|s| posting.len() < s.len()) {
+                    second = Some(posting);
+                }
+            }
+            _ => {
+                second = best;
+                best = Some(posting);
+            }
         }
         if posting.is_empty() {
             break;
@@ -300,17 +461,25 @@ pub(crate) fn candidate_facts<'c>(
     }
     // Invariant, not user-reachable: the early return above handles the
     // empty case, so the loop assigned `best` at least once.
-    best.expect("bound_positions is non-empty")
+    let best = best.expect("bound_positions is non-empty");
+    if let Some(second) = second {
+        if best.len() > GALLOP_THRESHOLD && !second.is_empty() {
+            scratch.clear();
+            intersect_postings(best, second, scratch);
+            return scratch;
+        }
+    }
+    best
 }
 
 /// Clears the bindings introduced by one frame, identified by the term
 /// positions recorded in `bound_here`.
-pub(crate) fn unbind(terms: &[PlanTerm], bound_here: u64, bindings: &mut [Option<&Value>]) {
+pub(crate) fn unbind(terms: &[SymTerm], bound_here: u64, bindings: &mut [Option<Sym>]) {
     let mut mask = bound_here;
     while mask != 0 {
         let position = mask.trailing_zeros() as usize;
         mask &= mask - 1;
-        if let PlanTerm::Var(slot) = &terms[position] {
+        if let SymTerm::Var(slot) = &terms[position] {
             bindings[*slot] = None;
         }
     }
@@ -376,5 +545,62 @@ mod tests {
             "the x-bound atom leads: {answer_order:?}"
         );
         assert!(evaluator.answer_plan().indexed_steps() >= 2);
+    }
+
+    #[test]
+    fn stats_tie_break_prefers_the_shorter_posting() {
+        // V('hot', x) (posting length 3) vs V('cold', y) (posting length
+        // 1): same coverage, so the default plan keeps the written order
+        // while the stats-aware plan leads with the rarer constant.
+        let mut schema = Schema::new();
+        schema.add_relation("V", &["N", "C"]).unwrap();
+        let mut db = Database::with_schema(schema);
+        for i in 0..3 {
+            db.insert_values("V", [Value::str("hot"), Value::int(i)])
+                .unwrap();
+        }
+        db.insert_values("V", [Value::str("cold"), Value::int(9)])
+            .unwrap();
+        let q = parse_query(db.schema(), "Ans() :- V('hot', x), V('cold', y)").unwrap();
+        let evaluator = QueryEvaluator::new(q.clone());
+        let default_order: Vec<usize> = evaluator.plan().atom_order().collect();
+        assert_eq!(default_order, vec![0, 1]);
+        let stats = QueryEvaluator::with_stats(q, &db).unwrap();
+        let stats_order: Vec<usize> = stats.plan().atom_order().collect();
+        assert_eq!(stats_order, vec![1, 0]);
+    }
+
+    #[test]
+    fn stats_plan_enumerates_the_same_witnesses() {
+        let db = graph_db();
+        let q = parse_query(db.schema(), "Ans() :- V(x, c), E(x, y), V(y, c)").unwrap();
+        let default = QueryEvaluator::new(q.clone());
+        let stats = QueryEvaluator::with_stats(q, &db).unwrap();
+        let subset = db.all_facts();
+        let mut a = default.homomorphisms(&db, &subset, None);
+        let mut b = stats.homomorphisms(&db, &subset, None);
+        a.sort_by(|x, y| x.bindings.cmp(&y.bindings));
+        b.sort_by(|x, y| x.bindings.cmp(&y.bindings));
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn encoding_fails_only_for_unknown_constants() {
+        let db = graph_db();
+        let known = PlanAtom {
+            relation: db.schema().relation_id("V").unwrap(),
+            terms: vec![PlanTerm::Const(Value::str("u")), PlanTerm::Var(0)],
+        };
+        let unknown = PlanAtom {
+            relation: db.schema().relation_id("V").unwrap(),
+            terms: vec![PlanTerm::Const(Value::str("zzz")), PlanTerm::Var(0)],
+        };
+        let dict = db.dictionary();
+        let encoded = SymAtom::encode(&known, dict).unwrap();
+        assert_eq!(encoded.terms[1], SymTerm::Var(0));
+        assert!(matches!(encoded.terms[0], SymTerm::Const(_)));
+        assert!(SymAtom::encode(&unknown, dict).is_none());
+        assert!(SymAtom::encode_all(&[known, unknown], dict).is_none());
     }
 }

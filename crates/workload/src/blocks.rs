@@ -3,7 +3,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use ucqa_db::{Database, FdSet, FunctionalDependency, Schema, Value};
+use ucqa_db::{Database, Fact, FdSet, FunctionalDependency, Schema, Value};
 
 /// A generator for inconsistent databases over a single binary relation
 /// `R(K, V)` constrained by the primary key `R : K → V`.
@@ -53,13 +53,20 @@ impl BlockWorkload {
         let mut schema = Schema::new();
         schema.add_relation("R", &["K", "V"]).expect("fresh schema");
         let mut db = Database::with_schema(schema);
+        let relation = db.schema().relation_id("R").expect("relation R exists");
+        // Same RNG stream as the old per-insert loop; one bulk `extend`
+        // interns the domain and defers index invalidation to the end.
+        let mut facts = Vec::new();
         for block in 0..self.blocks {
             let size = rng.random_range(self.min_block_size..=self.max_block_size);
             for row in 0..size {
-                db.insert_values("R", [Value::int(block as i64), Value::int(row as i64)])
-                    .expect("schema matches");
+                facts.push(Fact::new(
+                    relation,
+                    vec![Value::int(block as i64), Value::int(row as i64)],
+                ));
             }
         }
+        db.extend(facts).expect("schema matches");
         let mut sigma = FdSet::new();
         sigma.add(
             FunctionalDependency::from_names(db.schema(), "R", &["K"], &["V"])

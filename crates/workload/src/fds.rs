@@ -3,7 +3,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use ucqa_db::{Database, FdSet, FunctionalDependency, Schema, Value};
+use ucqa_db::{Database, Fact, FdSet, FunctionalDependency, Schema, Value};
 
 /// A generator for databases over `R(A, B, C)` constrained by the single
 /// **non-key** FD `R : A → B`.
@@ -51,15 +51,21 @@ impl FdWorkload {
             .add_relation("R", &["A", "B", "C"])
             .expect("fresh schema");
         let mut db = Database::with_schema(schema);
-        for payload in 0..self.facts {
-            let a = rng.random_range(0..self.domain_a) as i64;
-            let b = rng.random_range(0..self.domain_b) as i64;
-            db.insert_values(
-                "R",
-                [Value::int(a), Value::int(b), Value::int(payload as i64)],
-            )
-            .expect("schema matches");
-        }
+        let relation = db.schema().relation_id("R").expect("relation R exists");
+        // Draw the whole fact stream first (the RNG consumption matches the
+        // old per-insert loop exactly), then bulk-load it: one `extend`
+        // interns every constant and defers index invalidation to the end.
+        let facts: Vec<Fact> = (0..self.facts)
+            .map(|payload| {
+                let a = rng.random_range(0..self.domain_a) as i64;
+                let b = rng.random_range(0..self.domain_b) as i64;
+                Fact::new(
+                    relation,
+                    vec![Value::int(a), Value::int(b), Value::int(payload as i64)],
+                )
+            })
+            .collect();
+        db.extend(facts).expect("schema matches");
         let mut sigma = FdSet::new();
         sigma.add(
             FunctionalDependency::from_names(db.schema(), "R", &["A"], &["B"])
@@ -138,22 +144,30 @@ impl MultiFdWorkload {
                 .expect("fresh schema");
         }
         let mut db = Database::with_schema(schema);
-        for payload in 0..self.facts {
-            let relation = &names[payload % self.relations];
-            let a = rng.random_range(0..self.lhs_domain) as i64;
-            let b = rng.random_range(0..self.rhs_domain) as i64;
-            let c = rng.random_range(0..self.lhs_domain) as i64;
-            db.insert_values(
-                relation,
-                [
-                    Value::int(a),
-                    Value::int(b),
-                    Value::int(c),
-                    Value::int(payload as i64),
-                ],
-            )
-            .expect("schema matches");
-        }
+        let ids: Vec<_> = names
+            .iter()
+            .map(|name| db.schema().relation_id(name).expect("relation exists"))
+            .collect();
+        // Same RNG stream as the old per-insert loop, loaded in one bulk
+        // `extend` (single intern pass, one deferred index invalidation) —
+        // this is the generator behind the 100k/1M-fact bench databases.
+        let facts: Vec<Fact> = (0..self.facts)
+            .map(|payload| {
+                let a = rng.random_range(0..self.lhs_domain) as i64;
+                let b = rng.random_range(0..self.rhs_domain) as i64;
+                let c = rng.random_range(0..self.lhs_domain) as i64;
+                Fact::new(
+                    ids[payload % self.relations],
+                    vec![
+                        Value::int(a),
+                        Value::int(b),
+                        Value::int(c),
+                        Value::int(payload as i64),
+                    ],
+                )
+            })
+            .collect();
+        db.extend(facts).expect("schema matches");
         let mut sigma = FdSet::new();
         for name in &names {
             sigma.add(

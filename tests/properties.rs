@@ -7,8 +7,8 @@ use rand::{Rng, SeedableRng};
 
 use uocqa::core::counting;
 use uocqa::db::{
-    ConflictGraph, ConflictIndex, Database, FactId, FactSet, FdSet, FunctionalDependency, LiveOps,
-    Schema, Value, ViolationSet,
+    ConflictGraph, ConflictIndex, Database, Fact, FactId, FactSet, FdSet, FunctionalDependency,
+    LiveOps, Schema, Value, ViolationSet,
 };
 use uocqa::numeric::Ratio;
 use uocqa::query::{Atom, CompiledLineage, ConjunctiveQuery, QueryEvaluator, Term};
@@ -805,4 +805,246 @@ proptest! {
 fn parse_membership(db: &Database) -> QueryEvaluator {
     let q = uocqa::query::parser::parse_query(db.schema(), "Ans() :- R(0, 0)").unwrap();
     QueryEvaluator::new(q)
+}
+
+/// A `Value`-level reference evaluator: naive backtracking over *decoded*
+/// facts, comparing [`Value`]s directly — no dictionary, no symbols, no
+/// index.  This is the pre-encoding semantics the symbol executor must
+/// reproduce bit-for-bit; returns the answer set and the set of
+/// sorted-deduplicated witness images.
+#[allow(clippy::too_many_arguments)]
+fn value_level_reference(
+    db: &Database,
+    subset: &FactSet,
+    query: &ConjunctiveQuery,
+) -> (
+    std::collections::BTreeSet<Vec<Value>>,
+    std::collections::BTreeSet<Vec<FactId>>,
+) {
+    use std::collections::{BTreeMap, BTreeSet};
+    use uocqa::query::Variable;
+
+    fn go(
+        live: &[(FactId, Fact)],
+        query: &ConjunctiveQuery,
+        depth: usize,
+        env: &mut BTreeMap<Variable, Value>,
+        image: &mut Vec<FactId>,
+        answers: &mut BTreeSet<Vec<Value>>,
+        images: &mut BTreeSet<Vec<FactId>>,
+    ) {
+        let atoms = query.atoms();
+        if depth == atoms.len() {
+            answers.insert(query.answer_vars().iter().map(|v| env[v].clone()).collect());
+            let mut img = image.clone();
+            img.sort();
+            img.dedup();
+            images.insert(img);
+            return;
+        }
+        let atom = &atoms[depth];
+        for (id, fact) in live {
+            if fact.relation() != atom.relation() {
+                continue;
+            }
+            let mut added: Vec<Variable> = Vec::new();
+            let mut ok = true;
+            for (term, value) in atom.terms().iter().zip(fact.values()) {
+                match term {
+                    Term::Const(c) => {
+                        if c != value {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    Term::Var(v) => match env.get(v) {
+                        Some(bound) => {
+                            if bound != value {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        None => {
+                            env.insert(v.clone(), value.clone());
+                            added.push(v.clone());
+                        }
+                    },
+                }
+            }
+            if ok {
+                image.push(*id);
+                go(live, query, depth + 1, env, image, answers, images);
+                image.pop();
+            }
+            for v in added {
+                env.remove(&v);
+            }
+        }
+    }
+
+    let live: Vec<(FactId, Fact)> = db.iter().filter(|(id, _)| subset.contains(*id)).collect();
+    let mut answers = std::collections::BTreeSet::new();
+    let mut images = std::collections::BTreeSet::new();
+    go(
+        &live,
+        query,
+        0,
+        &mut BTreeMap::new(),
+        &mut Vec::new(),
+        &mut answers,
+        &mut images,
+    );
+    (answers, images)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Dictionary round-trip: decoding every fact of an interned database
+    /// and re-inserting the decoded facts into a fresh database (fresh
+    /// dictionary) reproduces the database fact-for-fact, id-for-id —
+    /// `decode(encode(db)) == db`.
+    #[test]
+    fn interned_databases_round_trip_through_decode_and_reencode(
+        rows in prop::collection::vec((0u8..3, 0u8..3, 0u8..3, 0u8..2), 1..14),
+    ) {
+        let (db, _) = multi_fd_database(&rows);
+        let mut rebuilt = Database::with_schema(db.schema().clone());
+        for (_, fact) in db.iter() {
+            rebuilt.insert(fact).unwrap();
+        }
+        prop_assert_eq!(rebuilt.len(), db.len());
+        for id in db.fact_ids() {
+            prop_assert_eq!(rebuilt.fact(id), db.fact(id));
+            prop_assert_eq!(rebuilt.fact_id(&db.fact(id)), Some(id));
+        }
+        // Interning assigns symbols by first occurrence on both sides, so
+        // the rebuilt dictionary covers exactly the same constants.
+        prop_assert_eq!(rebuilt.dictionary().len(), db.dictionary().len());
+        prop_assert_eq!(rebuilt.active_domain().len(), db.active_domain().len());
+    }
+
+    /// The symbol executor agrees with the `Value`-level reference
+    /// evaluator on entailment, answer sets and witness images over random
+    /// subsets — the dictionary-encoding shell changes the representation,
+    /// never the semantics.  Covers joins, constants (both interned and
+    /// never-interned) and parameterised answers on both the planned and
+    /// unplanned paths.
+    #[test]
+    fn symbol_evaluation_matches_the_value_level_reference(
+        rows in prop::collection::vec((0u8..3, 0u8..3, 0u8..3, 0u8..2), 1..10),
+        seed in 0u64..500,
+    ) {
+        let (db, _) = multi_fd_database(&rows);
+        let texts = [
+            "Ans() :- R(a, b, c, p)",
+            "Ans(b) :- R(a, b, c, p)",
+            "Ans() :- R(a, b, c, p), S(a2, b, p2)",
+            "Ans(a) :- R(a, 0, c, p)",
+            "Ans() :- R(9, 9, 9, 9)",
+        ];
+        let mut rng = StdRng::seed_from_u64(seed);
+        for text in texts {
+            let query = uocqa::query::parser::parse_query(db.schema(), text).unwrap();
+            let evaluator = QueryEvaluator::new(query.clone());
+            for _ in 0..4 {
+                let subset = FactSet::from_iter(
+                    db.len(),
+                    (0..db.len()).filter(|_| rng.random_bool(0.7)).map(FactId::new),
+                );
+                let (ref_answers, ref_images) = value_level_reference(&db, &subset, &query);
+                prop_assert_eq!(
+                    evaluator.entails(&db, &subset),
+                    !ref_images.is_empty(),
+                    "{}", text
+                );
+                prop_assert_eq!(
+                    evaluator.entails_unplanned(&db, &subset),
+                    !ref_images.is_empty(),
+                    "{}", text
+                );
+                prop_assert_eq!(evaluator.answers(&db, &subset), ref_answers, "{}", text);
+                let planned: std::collections::BTreeSet<Vec<FactId>> = evaluator
+                    .homomorphisms(&db, &subset, None)
+                    .into_iter()
+                    .map(|h| h.image)
+                    .collect();
+                prop_assert_eq!(&planned, &ref_images, "{}", text);
+                let unplanned: std::collections::BTreeSet<Vec<FactId>> = evaluator
+                    .homomorphisms_unplanned(&db, &subset, None)
+                    .into_iter()
+                    .map(|h| h.image)
+                    .collect();
+                prop_assert_eq!(&unplanned, &ref_images, "{}", text);
+            }
+        }
+    }
+
+    /// A database bulk-loaded with `Database::extend` is bit-identical to
+    /// the same facts inserted one by one (same ids, rows and symbols),
+    /// and under a fixed seed the batched estimates drawn over the two are
+    /// bit-identical across **all six generator specs** — bulk loading and
+    /// interning change the cost, never a single estimate.
+    #[test]
+    fn bulk_extend_is_bit_identical_to_per_fact_insert_across_all_specs(
+        profile in prop::collection::vec(1usize..4, 1..4),
+        seed in 0u64..200,
+    ) {
+        use uocqa::core::fpras::{ApproximationParams, BatchEstimator, BatchQuery, EstimatorMode};
+
+        // A primary-key database: the one constraint class every generator
+        // spec supports (Theorem 5.1 restricts uniform repairs/sequences
+        // to primary keys).
+        let (db, sigma) = block_database(&profile);
+        let facts: Vec<Fact> = db.iter().map(|(_, fact)| fact).collect();
+        let mut one_by_one = Database::with_schema(db.schema().clone());
+        for fact in facts.clone() {
+            one_by_one.insert(fact).unwrap();
+        }
+        let mut bulk = Database::with_schema(db.schema().clone());
+        bulk.extend(facts).unwrap();
+        prop_assert_eq!(one_by_one.len(), bulk.len());
+        for id in one_by_one.fact_ids() {
+            prop_assert_eq!(one_by_one.relation_of(id), bulk.relation_of(id));
+            prop_assert_eq!(one_by_one.row_of(id), bulk.row_of(id));
+            prop_assert_eq!(one_by_one.fact(id), bulk.fact(id));
+        }
+        prop_assert_eq!(one_by_one.dictionary().len(), bulk.dictionary().len());
+
+        let texts = [
+            "Ans() :- R(0, v)",
+            "Ans() :- R(x, y), R(z, y)",
+        ];
+        let evaluators: Vec<QueryEvaluator> = texts
+            .iter()
+            .map(|t| {
+                QueryEvaluator::new(
+                    uocqa::query::parser::parse_query(one_by_one.schema(), t).unwrap(),
+                )
+            })
+            .collect();
+        let bank: Vec<BatchQuery<'_>> =
+            evaluators.iter().map(|e| BatchQuery::new(e, &[])).collect();
+        let params = ApproximationParams::new(0.2, 0.2)
+            .unwrap()
+            .with_mode(EstimatorMode::FixedSamples(64));
+        for spec in [
+            GeneratorSpec::uniform_repairs(),
+            GeneratorSpec::uniform_repairs().with_singleton_only(),
+            GeneratorSpec::uniform_sequences(),
+            GeneratorSpec::uniform_sequences().with_singleton_only(),
+            GeneratorSpec::uniform_operations(),
+            GeneratorSpec::uniform_operations().with_singleton_only(),
+        ] {
+            let a = BatchEstimator::new(&one_by_one, &sigma, spec)
+                .unwrap()
+                .estimate_batch(&bank, params, &mut StdRng::seed_from_u64(seed))
+                .unwrap();
+            let b = BatchEstimator::new(&bulk, &sigma, spec)
+                .unwrap()
+                .estimate_batch(&bank, params, &mut StdRng::seed_from_u64(seed))
+                .unwrap();
+            prop_assert_eq!(&a, &b, "spec {}", spec.short_name());
+        }
+    }
 }

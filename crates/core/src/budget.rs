@@ -384,9 +384,12 @@ pub fn achieved_relative_epsilon(successes: u64, delta: f64) -> Option<f64> {
 /// Inverts the Hoeffding sample bound at an achieved draw count: the
 /// additive error `ε′ = sqrt(ln(2/δ) / (2·N))` for which `N` draws
 /// suffice (the inverse of [`crate::bounds::samples_for_additive_error`]).
-/// Returns `+∞` for `N = 0`.
+/// Returns `+∞` for `N = 0` and for degenerate `δ ∉ (0, 1)` — mirroring
+/// [`achieved_relative_epsilon`]'s guard, so a nonsensical failure
+/// probability reports "no bound" instead of a NaN (for `δ < 0` the `ln`
+/// would go imaginary; for `δ ≥ 2` the square root would).
 pub fn achieved_additive_epsilon(samples: u64, delta: f64) -> f64 {
-    if samples == 0 {
+    if samples == 0 || !(delta > 0.0 && delta < 1.0) {
         return f64::INFINITY;
     }
     ((2.0 / delta).ln() / (2.0 * samples as f64)).sqrt()

@@ -17,7 +17,7 @@
 
 use rand::Rng;
 
-use ucqa_db::{Database, FactSet, FdSet, Value};
+use ucqa_db::{ConflictIndex, Database, FactSet, FdSet, Value};
 use ucqa_query::lineage::DEFAULT_WITNESS_CAP;
 use ucqa_query::{BankLiveSet, BankScratch, CompiledLineage, LineageBank, QueryEvaluator};
 use ucqa_repair::{GeneratorSpec, UniformSemantics};
@@ -169,6 +169,49 @@ impl<'a> OcqaEstimator<'a> {
     /// that the paper provides an FPRAS for the combination of generator
     /// and constraint class.
     pub fn new(db: &'a Database, sigma: &'a FdSet, spec: GeneratorSpec) -> Result<Self, CoreError> {
+        Self::new_inner(db, sigma, spec, None)
+    }
+
+    /// As [`OcqaEstimator::new`], reusing a caller-maintained
+    /// [`ConflictIndex`] for the uniform-operations walk — typically one
+    /// kept current across database mutations with
+    /// [`ConflictIndex::refresh`] — instead of rebuilding it from scratch.
+    /// Estimates are bit-identical to [`OcqaEstimator::new`] under the
+    /// same seed; only the construction cost differs.
+    ///
+    /// # Errors
+    /// The same support errors as [`OcqaEstimator::new`]; additionally,
+    /// the spec must use [`UniformSemantics::Operations`] (the repair and
+    /// sequence generators do not consume a conflict index).
+    ///
+    /// # Panics
+    /// Panics if `index` is stale with respect to `db` (see
+    /// [`crate::sample_operations::OperationWalkSampler::with_index`]).
+    pub fn with_conflict_index(
+        db: &'a Database,
+        sigma: &'a FdSet,
+        spec: GeneratorSpec,
+        index: ConflictIndex,
+    ) -> Result<Self, CoreError> {
+        if spec.semantics != UniformSemantics::Operations {
+            return Err(CoreError::Unsupported {
+                semantics: spec.semantics,
+                singleton_only: spec.singleton_only,
+                constraint_class: "any".to_string(),
+                explanation: "a precomputed conflict index only backs the uniform-operations \
+                              walk; use OcqaEstimator::new for the other generators"
+                    .to_string(),
+            });
+        }
+        Self::new_inner(db, sigma, spec, Some(index))
+    }
+
+    fn new_inner(
+        db: &'a Database,
+        sigma: &'a FdSet,
+        spec: GeneratorSpec,
+        index: Option<ConflictIndex>,
+    ) -> Result<Self, CoreError> {
         let schema = db.schema();
         let primary_keys = sigma.is_primary_keys(schema);
         let keys = sigma.is_keys(schema);
@@ -228,10 +271,17 @@ impl<'a> OcqaEstimator<'a> {
                          (Theorem 7.5) instead",
                     ));
                 }
-                SamplerKind::Operations(OperationWalkSampler::new(db, sigma))
+                SamplerKind::Operations(match index {
+                    Some(index) => OperationWalkSampler::with_index(db, sigma, index),
+                    None => OperationWalkSampler::new(db, sigma),
+                })
             }
             (UniformSemantics::Operations, true) => {
-                SamplerKind::Operations(OperationWalkSampler::new(db, sigma).singleton_only())
+                let walker = match index {
+                    Some(index) => OperationWalkSampler::with_index(db, sigma, index),
+                    None => OperationWalkSampler::new(db, sigma),
+                };
+                SamplerKind::Operations(walker.singleton_only())
             }
         };
         Ok(OcqaEstimator {
@@ -516,6 +566,21 @@ impl<'a> BatchEstimator<'a> {
     pub fn new(db: &'a Database, sigma: &'a FdSet, spec: GeneratorSpec) -> Result<Self, CoreError> {
         Ok(BatchEstimator {
             inner: OcqaEstimator::new(db, sigma, spec)?,
+        })
+    }
+
+    /// As [`BatchEstimator::new`], reusing a caller-maintained
+    /// [`ConflictIndex`] for the uniform-operations walk (see
+    /// [`OcqaEstimator::with_conflict_index`] for the errors, the
+    /// staleness panics, and the bit-identity guarantee).
+    pub fn with_conflict_index(
+        db: &'a Database,
+        sigma: &'a FdSet,
+        spec: GeneratorSpec,
+        index: ConflictIndex,
+    ) -> Result<Self, CoreError> {
+        Ok(BatchEstimator {
+            inner: OcqaEstimator::with_conflict_index(db, sigma, spec, index)?,
         })
     }
 
@@ -2073,5 +2138,75 @@ mod tests {
         .unwrap();
         let bound = uo1.theoretical_lower_bound(&evaluator).to_f64();
         assert!(bound > 0.0 && bound < 1.0);
+    }
+
+    #[test]
+    fn a_refreshed_conflict_index_reproduces_the_internally_built_estimates() {
+        let (mut db, sigma) = two_key_database();
+        // Build the index before the mutations, then bring it up to date
+        // with `refresh` — the estimator must behave exactly as if it had
+        // built a fresh index itself.
+        let mut index = ConflictIndex::build(&db, &sigma);
+        db.insert_values("R", [Value::int(3), Value::int(1)])
+            .unwrap();
+        let gone = ucqa_db::Fact::new(
+            db.schema().relation_id("R").unwrap(),
+            vec![Value::int(2), Value::int(2)],
+        );
+        db.retract(&gone).unwrap();
+        index.refresh(&db, &sigma);
+
+        let q = parse_query(db.schema(), "Ans(x) :- R(1, x)").unwrap();
+        let evaluator = QueryEvaluator::new(q);
+        let candidate = [Value::int(1)];
+        let params = ApproximationParams::new(0.1, 0.1)
+            .unwrap()
+            .with_mode(EstimatorMode::FixedSamples(512));
+        for spec in [
+            GeneratorSpec::uniform_operations(),
+            GeneratorSpec::uniform_operations().with_singleton_only(),
+        ] {
+            let fresh = OcqaEstimator::new(&db, &sigma, spec)
+                .unwrap()
+                .estimate(
+                    &evaluator,
+                    &candidate,
+                    params,
+                    &mut StdRng::seed_from_u64(99),
+                )
+                .unwrap();
+            let reused = OcqaEstimator::with_conflict_index(&db, &sigma, spec, index.clone())
+                .unwrap()
+                .estimate(
+                    &evaluator,
+                    &candidate,
+                    params,
+                    &mut StdRng::seed_from_u64(99),
+                )
+                .unwrap();
+            assert_eq!(
+                fresh,
+                reused,
+                "spec {}: a refreshed index must be bit-identical to a fresh build",
+                spec.short_name()
+            );
+        }
+    }
+
+    #[test]
+    fn a_conflict_index_is_rejected_for_non_operations_generators() {
+        let (db, sigma) = two_key_database();
+        let index = ConflictIndex::build(&db, &sigma);
+        for spec in [
+            GeneratorSpec::uniform_repairs(),
+            GeneratorSpec::uniform_sequences().with_singleton_only(),
+        ] {
+            let err = OcqaEstimator::with_conflict_index(&db, &sigma, spec, index.clone());
+            assert!(
+                matches!(err, Err(CoreError::Unsupported { .. })),
+                "spec {} must be rejected",
+                spec.short_name()
+            );
+        }
     }
 }

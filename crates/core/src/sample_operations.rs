@@ -90,6 +90,36 @@ impl<'a> OperationWalkSampler<'a> {
         }
     }
 
+    /// As [`OperationWalkSampler::new`], reusing a caller-maintained
+    /// [`ConflictIndex`] — typically one kept current across database
+    /// mutations with [`ConflictIndex::refresh`] — instead of rebuilding
+    /// the violations from scratch.  Walks are bit-identical to a sampler
+    /// built by [`OperationWalkSampler::new`] under the same seed; only
+    /// the construction cost differs.
+    ///
+    /// # Panics
+    /// Panics if `index` is stale: its universe must equal `db.len()` and
+    /// its changelog version must equal `db.version()` (a freshly built or
+    /// just-refreshed index satisfies both).
+    pub fn with_index(db: &'a Database, sigma: &'a FdSet, index: ConflictIndex) -> Self {
+        assert_eq!(
+            index.universe(),
+            db.len(),
+            "conflict index universe is stale"
+        );
+        assert_eq!(
+            index.version(),
+            db.version(),
+            "conflict index version is stale; refresh it first"
+        );
+        OperationWalkSampler {
+            db,
+            sigma,
+            index,
+            singleton_only: false,
+        }
+    }
+
     /// Restricts the walk to singleton removals (`M^{uo,1}_Σ`).
     pub fn singleton_only(mut self) -> Self {
         self.singleton_only = true;

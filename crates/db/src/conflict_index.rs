@@ -19,10 +19,50 @@
 //!   uniform pick over `Ops_s(D, Σ)` is O(1) and
 //!   [`LiveOps::remove_fact`] is O(degree of the removed fact).
 
-use crate::{Database, FactId, FactSet, FdSet, Violation, ViolationSet};
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+use crate::{Database, FactChange, FactId, FactSet, FdSet, Violation, ViolationSet};
 
 /// Sentinel marking a fact/pair as absent from its dense live array.
 const NOT_LIVE: u32 = u32::MAX;
+
+/// Merges two sorted, deduplicated, element-disjoint runs into one sorted
+/// list — the linear canonicalisation step of [`ConflictIndex::refresh`].
+/// Equal elements would indicate a broken disjointness invariant; they are
+/// collapsed (and rejected under `debug_assertions`) so the output stays
+/// canonical regardless.
+fn merge_disjoint_sorted<T: Ord + Copy>(a: Vec<T>, b: Vec<T>) -> Vec<T> {
+    debug_assert!(a.is_sorted() && b.is_sorted(), "runs must be sorted");
+    if b.is_empty() {
+        return a;
+    }
+    if a.is_empty() {
+        return b;
+    }
+    let mut merged = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                merged.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                merged.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                debug_assert!(false, "the merged runs must be disjoint");
+                merged.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    merged.extend_from_slice(&a[i..]);
+    merged.extend_from_slice(&b[j..]);
+    merged
+}
 
 /// The immutable conflict structure of `(D, Σ)`, precomputed once.
 ///
@@ -30,9 +70,18 @@ const NOT_LIVE: u32 = u32::MAX;
 /// operation sets of any sub-database reached by removals.  All state that
 /// changes during a walk lives in [`LiveOps`], so one `ConflictIndex` can
 /// back any number of concurrent walks.
-#[derive(Debug, Clone)]
+///
+/// A [`ConflictIndex::build`]-created index remembers the database
+/// version it describes and can be brought up to date with
+/// [`ConflictIndex::refresh`], which replays the fact-level changelog
+/// instead of recomputing `V(D, Σ)` from scratch; the refreshed index is
+/// structurally equal to a fresh build (the property-tested oracle).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ConflictIndex {
     universe: usize,
+    /// The [`Database::version`] this index describes (the changelog
+    /// cursor [`ConflictIndex::refresh`] resumes from).
+    version: u64,
     /// `V(D, Σ)`, canonically sorted.
     violations: Vec<Violation>,
     /// CSR offsets into [`ConflictIndex::violation_adjacency`] (length
@@ -57,16 +106,42 @@ impl ConflictIndex {
     /// Builds the index of `db` w.r.t. `sigma`, computing `V(D, Σ)` once.
     pub fn build(db: &Database, sigma: &FdSet) -> Self {
         let violations = ViolationSet::of_database(db, sigma);
-        Self::from_violations(db.len(), &violations)
+        Self::assemble(db.len(), db.version(), violations.violations().to_vec())
     }
 
     /// Builds the index over `universe` facts from a precomputed violation
     /// set of the **full** database.
+    ///
+    /// The index carries version 0; only [`ConflictIndex::build`]-created
+    /// indexes track the database version for [`ConflictIndex::refresh`].
     pub fn from_violations(universe: usize, violations: &ViolationSet) -> Self {
+        Self::assemble(universe, 0, violations.violations().to_vec())
+    }
+
+    /// Assembles the CSR structure from a canonically sorted, deduplicated
+    /// violation list — the shared tail of [`ConflictIndex::build`] and
+    /// [`ConflictIndex::refresh`], so a refreshed index is reassembled
+    /// exactly like a fresh one.
+    fn assemble(universe: usize, version: u64, violations: Vec<Violation>) -> Self {
         // Deduplicated pair universe (several FDs may violate the same
         // pair).
-        let pairs = violations.conflicting_pairs();
-        let violations: Vec<Violation> = violations.violations().to_vec();
+        let mut pairs: Vec<(FactId, FactId)> = violations.iter().map(Violation::pair).collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        Self::assemble_with_pairs(universe, version, violations, pairs)
+    }
+
+    /// As [`ConflictIndex::assemble`], with the deduplicated, sorted pair
+    /// universe already computed — [`ConflictIndex::refresh`] obtains it
+    /// by merging sorted runs instead of re-sorting `2|V|` pairs.
+    fn assemble_with_pairs(
+        universe: usize,
+        version: u64,
+        violations: Vec<Violation>,
+        pairs: Vec<(FactId, FactId)>,
+    ) -> Self {
+        debug_assert!(violations.is_sorted(), "violations must be canonical");
+        debug_assert!(pairs.is_sorted(), "pairs must be canonical");
 
         // CSR adjacency fact → violation ids (two passes: count, fill).
         let mut violation_offsets = vec![0u32; universe + 1];
@@ -111,6 +186,7 @@ impl ConflictIndex {
 
         ConflictIndex {
             universe,
+            version,
             violations,
             violation_offsets,
             violation_adjacency,
@@ -121,9 +197,121 @@ impl ConflictIndex {
         }
     }
 
+    /// Brings a [`ConflictIndex::build`]-created index up to date with
+    /// `db` by replaying the fact-level changelog since the index's
+    /// version, returning the number of changes applied.
+    ///
+    /// Violations are *local*: a violation of the current database either
+    /// survives from the old one (neither endpoint was deleted — an O(|V|)
+    /// filter) or touches a fact inserted since (discovered through the
+    /// maintained [`crate::RelationIndex`]'s posting runs, looking only at
+    /// the blocks of the inserted facts).  Survivors keep the canonical
+    /// order of the old list and a delta violation always touches a fact
+    /// that did not exist at the old version, so the two runs are disjoint
+    /// and a linear merge (no re-sort of `|V|` elements) canonicalises the
+    /// result; the pair universe is maintained the same way.  The CSR
+    /// adjacency is then reassembled, so the result is structurally equal
+    /// to `ConflictIndex::build(db, sigma)` — at a cost proportional to
+    /// the delta plus `|V|`, not to `|D|`.
+    pub fn refresh(&mut self, db: &Database, sigma: &FdSet) -> usize {
+        let changes = db.changes_since(self.version);
+        if changes.is_empty() {
+            return 0;
+        }
+        let applied = changes.len();
+        // Partition the delta: tombstoned ids kill old violations;
+        // still-live inserted facts may found new ones.  (A fact inserted
+        // and deleted again within the window is marked deleted and
+        // filtered from `inserted` by the liveness check.)
+        let mut deleted = vec![false; db.len()];
+        let mut inserted: Vec<FactId> = Vec::new();
+        for change in changes {
+            match change {
+                FactChange::Inserted(id) => {
+                    if db.is_live(*id) {
+                        inserted.push(*id);
+                    }
+                }
+                FactChange::Deleted { id, .. } => deleted[id.index()] = true,
+            }
+        }
+        // The filter preserves the canonical order of the old list.
+        let survivors: Vec<Violation> = self
+            .violations
+            .iter()
+            .filter(|v| !deleted[v.first.index()] && !deleted[v.second.index()])
+            .copied()
+            .collect();
+        // Every violation of the current database that is not a survivor
+        // touches an inserted fact (two live old facts violating an FD
+        // already violated it at the old version).  Probe each inserted
+        // fact's LHS block through the relation index; pairs of two
+        // inserted facts are discovered twice and deduplicated below.
+        let mut fresh: Vec<Violation> = Vec::new();
+        let index = db.relation_index();
+        for &f in &inserted {
+            let relation = db.relation_of(f);
+            let columns = db.columns_of(relation);
+            let row_f = db.row_of(f);
+            for (fd_id, fd) in sigma.iter() {
+                if fd.relation() != relation {
+                    continue;
+                }
+                let mut lhs = fd.lhs().iter().map(|a| a.index());
+                let first = lhs.next().expect("FDs have a non-empty LHS");
+                let rest: Vec<usize> = lhs.collect();
+                for &g in index.matches(relation, first, columns[first][row_f]) {
+                    if g == f {
+                        continue;
+                    }
+                    let row_g = db.row_of(g);
+                    let same_lhs = rest
+                        .iter()
+                        .all(|&attr| columns[attr][row_g] == columns[attr][row_f]);
+                    let rhs_differs = fd
+                        .rhs()
+                        .iter()
+                        .any(|r| columns[r.index()][row_g] != columns[r.index()][row_f]);
+                    if same_lhs && rhs_differs {
+                        fresh.push(Violation::new(fd_id, f, g));
+                    }
+                }
+            }
+        }
+        // Only the delta is sorted; the big list is reassembled by a
+        // linear merge.  A fresh violation involves a fact inserted in the
+        // window, and a re-inserted (revived) id is marked `deleted` — its
+        // old violations left `survivors` and are rediscovered fresh — so
+        // the runs never share an element.
+        fresh.sort_unstable();
+        fresh.dedup();
+        // The pair universe keeps a pair iff both endpoints are live (then
+        // every old violation on it survived) and gains the fresh pairs,
+        // disjoint for the same reason.
+        let surviving_pairs: Vec<(FactId, FactId)> = self
+            .pairs
+            .iter()
+            .filter(|(a, b)| !deleted[a.index()] && !deleted[b.index()])
+            .copied()
+            .collect();
+        let mut fresh_pairs: Vec<(FactId, FactId)> = fresh.iter().map(Violation::pair).collect();
+        fresh_pairs.sort_unstable();
+        fresh_pairs.dedup();
+        let violations = merge_disjoint_sorted(survivors, fresh);
+        let pairs = merge_disjoint_sorted(surviving_pairs, fresh_pairs);
+        *self = ConflictIndex::assemble_with_pairs(db.len(), db.version(), violations, pairs);
+        applied
+    }
+
     /// The size of the fact universe.
     pub fn universe(&self) -> usize {
         self.universe
+    }
+
+    /// The [`Database::version`] this index describes (0 for indexes built
+    /// via [`ConflictIndex::from_violations`]).
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// `V(D, Σ)` of the full database, canonically sorted.
@@ -605,6 +793,74 @@ mod tests {
         assert_eq!(
             sorted_state(&index_a, &reused),
             sorted_state(&index_a, &fresh)
+        );
+    }
+
+    #[test]
+    fn refresh_replays_the_changelog_and_matches_a_fresh_build() {
+        let (mut db, sigma) = running_example();
+        let mut index = ConflictIndex::build(&db, &sigma);
+        assert_eq!(index.version(), db.version());
+        // Nothing changed: refresh is a no-op.
+        assert_eq!(index.refresh(&db, &sigma), 0);
+
+        // Insert a fact extending the a1-block (new violations against f1
+        // and f2) and delete f3 (kills the φ2 violation {f2, f3}).
+        db.insert_values("R", [Value::str("a1"), Value::str("b3"), Value::str("c3")])
+            .unwrap();
+        db.delete(FactId::new(2)).unwrap();
+        assert_eq!(index.refresh(&db, &sigma), 2);
+        assert_eq!(index, ConflictIndex::build(&db, &sigma));
+        assert_eq!(index.universe(), 4);
+        // {f1, f4} under φ1 (b1 ≠ b3), {f2, f4} under φ1 (b2 ≠ b3); the
+        // old {f1, f2} survives; {f2, f3} died with f3.
+        assert_eq!(index.violations().len(), 3);
+        assert!(index
+            .violations()
+            .iter()
+            .all(|v| !v.involves(FactId::new(2))));
+
+        // A fact inserted and deleted again within the window leaves no
+        // trace, and a second refresh from the new cursor is a no-op.
+        let ephemeral = db
+            .insert_values("R", [Value::str("a9"), Value::str("x"), Value::str("y")])
+            .unwrap();
+        db.delete(ephemeral).unwrap();
+        assert_eq!(index.refresh(&db, &sigma), 2);
+        assert_eq!(index, ConflictIndex::build(&db, &sigma));
+        assert_eq!(index.refresh(&db, &sigma), 0);
+
+        // A refreshed index backs walks exactly like a fresh one.
+        let mut ops = LiveOps::new();
+        ops.reset_full(&index);
+        assert!(!ops.is_consistent());
+    }
+
+    #[test]
+    fn refresh_discovers_composite_lhs_violations() {
+        // FD with a two-attribute LHS: the refresh probe filters the first
+        // attribute's posting run by the remaining LHS columns.
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["A", "B", "C"]).unwrap();
+        let mut db = Database::with_schema(schema);
+        db.insert_values("R", [Value::int(1), Value::int(1), Value::int(1)])
+            .unwrap();
+        // Same A, different B: agrees on A but not on the full LHS {A, B}.
+        db.insert_values("R", [Value::int(1), Value::int(2), Value::int(2)])
+            .unwrap();
+        let mut sigma = FdSet::new();
+        sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["A", "B"], &["C"]).unwrap());
+        let mut index = ConflictIndex::build(&db, &sigma);
+        assert!(index.violations().is_empty());
+        // Full LHS match with differing RHS: one new violation against f0.
+        db.insert_values("R", [Value::int(1), Value::int(1), Value::int(3)])
+            .unwrap();
+        index.refresh(&db, &sigma);
+        assert_eq!(index, ConflictIndex::build(&db, &sigma));
+        assert_eq!(index.violations().len(), 1);
+        assert_eq!(
+            index.violations()[0].pair(),
+            (FactId::new(0), FactId::new(2))
         );
     }
 

@@ -12,10 +12,12 @@
 //! (like [`crate::ConflictIndex`]), cloned copy-on-write only if a
 //! snapshot is still held while new constants arrive.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 use std::collections::HashMap;
 use std::fmt;
 
-use crate::Value;
+use crate::{DbError, Value};
 
 /// A dense interned symbol standing for one [`Value`].
 ///
@@ -27,10 +29,23 @@ use crate::Value;
 pub struct Sym(pub(crate) u32);
 
 impl Sym {
-    /// Creates a symbol from a raw index (for index construction).
+    /// Creates a symbol from a raw index known to be in range (for index
+    /// construction over already-interned symbols).
     #[inline]
     pub(crate) fn new(index: usize) -> Self {
+        debug_assert!(
+            index <= u32::MAX as usize,
+            "symbol index {index} exceeds the u32 symbol space"
+        );
         Sym(index as u32)
+    }
+
+    /// Checked conversion from a raw index: `None` iff the index does not
+    /// fit the `u32` symbol width (the conversion that used to silently
+    /// truncate).
+    #[inline]
+    pub(crate) fn try_new(index: usize) -> Option<Self> {
+        u32::try_from(index).ok().map(Sym)
     }
 
     /// The dense index of this symbol.
@@ -75,14 +90,31 @@ impl Dictionary {
 
     /// Interns `value`, returning its symbol (existing symbol if the value
     /// was seen before).
+    ///
+    /// # Panics
+    /// Panics if the `u32` symbol space is exhausted; fallible callers use
+    /// [`Dictionary::try_intern`].
     pub fn intern(&mut self, value: Value) -> Sym {
-        if let Some(&sym) = self.index.get(&value) {
-            return sym;
+        match self.try_intern(value) {
+            Ok(sym) => sym,
+            Err(e) => panic!("{e}"),
         }
-        let sym = Sym::new(self.values.len());
+    }
+
+    /// Interns `value` with a checked symbol conversion: a dictionary that
+    /// already holds `u32::MAX + 1` distinct constants returns
+    /// [`DbError::DictionaryFull`] instead of silently aliasing the new
+    /// value onto an existing symbol.
+    pub fn try_intern(&mut self, value: Value) -> Result<Sym, DbError> {
+        if let Some(&sym) = self.index.get(&value) {
+            return Ok(sym);
+        }
+        let sym = Sym::try_new(self.values.len()).ok_or(DbError::DictionaryFull {
+            symbols: self.values.len(),
+        })?;
         self.values.push(value.clone());
         self.index.insert(value, sym);
-        sym
+        Ok(sym)
     }
 
     /// Looks up the symbol of `value` without interning it.
@@ -193,6 +225,27 @@ mod tests {
         dict.intern(Value::str("a"));
         let collected: Vec<&Value> = dict.iter().map(|(_, v)| v).collect();
         assert_eq!(collected, vec![&Value::str("b"), &Value::str("a")]);
+    }
+
+    #[test]
+    fn sym_conversion_is_checked_at_the_u32_boundary() {
+        assert_eq!(Sym::try_new(0), Some(Sym(0)));
+        assert_eq!(Sym::try_new(u32::MAX as usize), Some(Sym(u32::MAX)));
+        assert_eq!(Sym::try_new(u32::MAX as usize + 1), None);
+        // The error a full dictionary would surface is typed, not a
+        // silently aliased symbol.
+        let err = DbError::DictionaryFull {
+            symbols: u32::MAX as usize + 1,
+        };
+        assert!(err.to_string().contains("symbol space is exhausted"));
+    }
+
+    #[test]
+    fn try_intern_matches_intern_on_the_happy_path() {
+        let mut dict = Dictionary::new();
+        let a = dict.try_intern(Value::str("a")).unwrap();
+        assert_eq!(dict.intern(Value::str("a")), a);
+        assert_eq!(dict.len(), 1);
     }
 
     #[test]

@@ -60,6 +60,22 @@ pub enum DbError {
         /// The number of relations the schema declares.
         relations: usize,
     },
+    /// The dictionary ran out of symbol space: interning one more distinct
+    /// constant would overflow the `u32` symbol width and silently alias
+    /// an existing symbol.
+    DictionaryFull {
+        /// The number of distinct constants already interned.
+        symbols: usize,
+    },
+    /// A `FactId` outside the database's id space (or one whose fact was
+    /// already deleted) was passed to an operation that requires a live
+    /// fact.
+    NoSuchFact {
+        /// The offending fact id.
+        index: usize,
+        /// The id-space size of the database (`Database::len`).
+        universe: usize,
+    },
 }
 
 impl fmt::Display for DbError {
@@ -97,6 +113,14 @@ impl fmt::Display for DbError {
             DbError::ForeignRelationId { index, relations } => write!(
                 f,
                 "fact carries relation index {index}, but the schema declares only {relations} relation(s) — was the RelationId minted by a different schema?"
+            ),
+            DbError::DictionaryFull { symbols } => write!(
+                f,
+                "dictionary is full: {symbols} distinct constants are interned and the u32 symbol space is exhausted"
+            ),
+            DbError::NoSuchFact { index, universe } => write!(
+                f,
+                "fact id {index} does not name a live fact (id space has {universe} ids)"
             ),
         }
     }

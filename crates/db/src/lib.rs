@@ -76,7 +76,7 @@ pub mod violation;
 pub use blocks::{Block, BlockPartition};
 pub use conflict_graph::ConflictGraph;
 pub use conflict_index::{ConflictIndex, LiveOps};
-pub use database::Database;
+pub use database::{Database, FactChange};
 pub use dictionary::{Dictionary, Sym};
 pub use error::DbError;
 pub use fact::{Fact, FactId};
@@ -91,7 +91,7 @@ pub use violation::{Violation, ViolationSet};
 pub mod prelude {
     pub use crate::{
         Block, BlockPartition, ConflictGraph, ConflictIndex, Database, DbError, Dictionary, Fact,
-        FactId, FactSet, FdId, FdSet, FunctionalDependency, LiveOps, RelationId, RelationIndex,
-        Schema, Sym, Value, Violation, ViolationSet,
+        FactChange, FactId, FactSet, FdId, FdSet, FunctionalDependency, LiveOps, RelationId,
+        RelationIndex, Schema, Sym, Value, Violation, ViolationSet,
     };
 }

@@ -14,16 +14,22 @@
 //! [`crate::ConflictIndex`].
 //!
 //! [`crate::Database::relation_index`] builds the index lazily on first
-//! use and caches it behind an `Arc`; mutating the database invalidates
-//! the cache.  Posting runs preserve insertion order of the underlying
-//! fact ids (ascending), so enumeration orders are deterministic — the
-//! counting-sort fill visits facts in id order, which also makes the runs
-//! valid inputs for [`intersect_postings`].
+//! use and caches it behind an `Arc`; once built, the cache is
+//! *maintained*: database mutations patch it with fact-level deltas
+//! ([`RelationIndex::apply_insert`] / [`RelationIndex::apply_delete`])
+//! instead of invalidating it, and a delta-maintained index is
+//! structurally equal to a fresh [`RelationIndex::build`] (the rebuild is
+//! the property-tested oracle).  Posting runs preserve insertion order of
+//! the underlying fact ids (ascending), so enumeration orders are
+//! deterministic — the counting-sort fill visits facts in id order, which
+//! also makes the runs valid inputs for [`intersect_postings`].
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 use crate::{Database, FactId, RelationId, Sym, Value};
 
 /// The posting lists of one `(relation, position)` pair in CSR form.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 struct PostingColumn {
     /// `offsets[sym.index()] .. offsets[sym.index() + 1]` delimits the run
     /// of `facts` carrying `sym`; length `sym_bound + 1`.
@@ -58,7 +64,7 @@ impl PostingColumn {
 /// [`RelationIndex::distinct_count`],
 /// [`RelationIndex::relation_cardinality`]) expose the exact statistics
 /// the join planner uses for selectivity-based ordering.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RelationIndex {
     /// `columns[relation][position]`: symbol → ascending fact-id run.
     columns: Vec<Vec<PostingColumn>>,
@@ -201,6 +207,86 @@ impl RelationIndex {
             .sum()
     }
 
+    /// Extends every column's offset array to cover symbols `< bound`,
+    /// repeating the final offset (new symbols have empty runs).
+    ///
+    /// [`RelationIndex::build`] sizes every offset array to the *global*
+    /// dictionary bound, so a delta-maintained index must grow its arrays
+    /// the same way whenever a mutation interned new constants — otherwise
+    /// it could never be structurally equal to a fresh rebuild.
+    pub(crate) fn ensure_sym_bound(&mut self, bound: usize) {
+        for column in self.columns.iter_mut().flatten() {
+            let tail = column.offsets.last().copied().unwrap_or(0);
+            if column.offsets.is_empty() {
+                column.offsets.push(0);
+            }
+            while column.offsets.len() < bound + 1 {
+                column.offsets.push(tail);
+            }
+        }
+    }
+
+    /// Applies the insertion of fact `id` with symbols `row` into
+    /// `relation`: appends `id` to the posting run of each
+    /// `(position, symbol)` pair and bumps the relation cardinality.
+    ///
+    /// `id` must be a *newly assigned* fact id — greater than every id
+    /// already indexed — so appending at the end of each run preserves the
+    /// ascending-run invariant.  Callers must have called
+    /// [`RelationIndex::ensure_sym_bound`] first if the insertion interned
+    /// new constants.
+    pub(crate) fn apply_insert(&mut self, relation: RelationId, row: &[Sym], id: FactId) {
+        self.cardinalities[relation.index()] += 1;
+        for (position, &sym) in row.iter().enumerate() {
+            let column = &mut self.columns[relation.index()][position];
+            let s = sym.index();
+            debug_assert!(
+                s + 1 < column.offsets.len(),
+                "apply_insert without ensure_sym_bound: {sym} out of range"
+            );
+            let end = column.offsets[s + 1] as usize;
+            if column.offsets[s] as usize == end {
+                column.distinct += 1;
+            }
+            debug_assert!(
+                end == 0 || column.facts[end - 1] < id,
+                "inserted fact id must exceed every indexed id of its run"
+            );
+            column.facts.insert(end, id);
+            for offset in &mut column.offsets[s + 1..] {
+                *offset += 1;
+            }
+        }
+    }
+
+    /// Applies the deletion of fact `id` (which carried symbols `row` in
+    /// `relation`): removes `id` from the posting run of each
+    /// `(position, symbol)` pair and decrements the relation cardinality.
+    ///
+    /// # Panics
+    /// Panics if `id` is not indexed under every `(position, symbol)` of
+    /// `row` — the row must be exactly the one the fact was inserted with.
+    pub(crate) fn apply_delete(&mut self, relation: RelationId, row: &[Sym], id: FactId) {
+        self.cardinalities[relation.index()] -= 1;
+        for (position, &sym) in row.iter().enumerate() {
+            let column = &mut self.columns[relation.index()][position];
+            let s = sym.index();
+            let lo = column.offsets[s] as usize;
+            let hi = column.offsets[s + 1] as usize;
+            let at = match column.facts[lo..hi].binary_search(&id) {
+                Ok(at) => lo + at,
+                Err(_) => panic!("apply_delete: {id} is not indexed under {sym}"),
+            };
+            column.facts.remove(at);
+            for offset in &mut column.offsets[s + 1..] {
+                *offset -= 1;
+            }
+            if column.offsets[s] == column.offsets[s + 1] {
+                column.distinct -= 1;
+            }
+        }
+    }
+
     /// Approximate resident bytes of the index (offset arrays + runs), for
     /// memory reporting.
     pub fn approx_bytes(&self) -> usize {
@@ -325,7 +411,7 @@ mod tests {
     }
 
     #[test]
-    fn database_caches_and_invalidates_the_index() {
+    fn database_caches_and_maintains_the_index() {
         let mut db = sample_db();
         let r = db.schema().relation_id("R").unwrap();
         let one = Value::int(1);
@@ -339,11 +425,23 @@ mod tests {
             .unwrap();
         assert_eq!(len_of_one(&db), 2);
         assert_eq!(db.index_builds(), 1);
-        // A genuinely new fact invalidates and rebuilds.
+        assert_eq!(db.index_delta_applies(), 0);
+        // A genuinely new fact patches the cached index in place — no
+        // rebuild, and the patched index equals a fresh one.
         db.insert_values("R", [Value::int(1), Value::int(3)])
             .unwrap();
         assert_eq!(len_of_one(&db), 3);
-        assert_eq!(db.index_builds(), 2);
+        assert_eq!(db.index_builds(), 1);
+        assert_eq!(db.index_delta_applies(), 1);
+        assert_eq!(*db.relation_index(), RelationIndex::build(&db));
+        // Deleting patches too.
+        let gone = crate::Fact::new(r, vec![Value::int(1), Value::int(3)]);
+        let id = db.fact_id(&gone).unwrap();
+        db.delete(id).unwrap();
+        assert_eq!(len_of_one(&db), 2);
+        assert_eq!(db.index_builds(), 1);
+        assert_eq!(db.index_delta_applies(), 2);
+        assert_eq!(*db.relation_index(), RelationIndex::build(&db));
         // Clones share the already-built index.
         let shared = db.share_relation_index();
         let clone = db.clone();

@@ -137,6 +137,26 @@ impl FactSet {
         self.mask_tail();
     }
 
+    /// Widens the universe to `universe` facts, keeping the membership of
+    /// every existing id (new ids start absent).  Shrinking is not
+    /// supported — fact ids are never reused, so universes only grow.
+    pub fn grow(&mut self, universe: usize) {
+        debug_assert!(
+            universe >= self.universe,
+            "FactSet universes only grow ({} → {universe})",
+            self.universe
+        );
+        self.words.resize(universe.div_ceil(64), 0);
+        self.universe = universe;
+    }
+
+    /// Returns `true` iff `self ∩ other` is non-empty.  The sets may have
+    /// different universes: ids past the shorter universe are absent from
+    /// it, so only the common word prefix is scanned.
+    pub fn intersects(&self, other: &FactSet) -> bool {
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
     /// In-place intersection: `self ← self ∩ other`.
     pub fn intersect_with(&mut self, other: &FactSet) {
         debug_assert_eq!(self.universe, other.universe);

@@ -44,7 +44,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use ucqa_db::{Database, FactId, FactSet, RelationIndex, Sym, Value};
+use ucqa_db::{Database, FactChange, FactId, FactSet, RelationIndex, Sym, Value};
 
 use crate::lineage::DEFAULT_WITNESS_CAP;
 use crate::plan::{candidate_facts, match_and_bind, unbind, SymAtom, SymTerm};
@@ -188,6 +188,9 @@ pub struct LineageBank {
     /// stored once.
     witnesses: Vec<FactSet>,
     entries: Vec<BankEntry>,
+    /// The database changelog version the bank was compiled (or last
+    /// refreshed) against — what [`LineageBank::refresh`] replays from.
+    version: u64,
 }
 
 impl LineageBank {
@@ -290,6 +293,7 @@ impl LineageBank {
             universe,
             witnesses,
             entries,
+            version: db.version(),
         })
     }
 
@@ -346,7 +350,141 @@ impl LineageBank {
             universe,
             witnesses,
             entries,
+            version: db.version(),
         })
+    }
+
+    /// Incrementally refreshes the bank after database mutations, with the
+    /// default witness cap: replays the changelog since the version the
+    /// bank was compiled against instead of re-running the shared-trie
+    /// enumeration.  `queries` must be the same `(evaluator, candidate)`
+    /// list the bank was compiled from.
+    ///
+    /// Per compiled entry, witnesses touching a deleted fact are dropped
+    /// (any absorbed superset contained the same fact, so nothing
+    /// resurfaces), new witnesses are enumerated by pinned delta passes
+    /// ([`QueryEvaluator::for_each_delta_answer_image`]), and the merged
+    /// set re-minimalises to **exactly** the antichain a fresh compile
+    /// would build — so per-draw booleans, and hence estimates, are
+    /// bit-identical to a recompiled bank's.  The arena is rebuilt in
+    /// entry order, preserving the compile-time arena layout.
+    ///
+    /// Fallback entries stay fallback (the backtracking evaluator they
+    /// route through always sees the current database), and a compiled
+    /// entry whose refreshed witness count exceeds the cap degrades to
+    /// fallback.  Refresh counts only live witnesses against the cap,
+    /// where a fresh compile counts every enumerated image, so the two may
+    /// make different fallback decisions for borderline entries — the
+    /// per-query booleans agree either way.
+    ///
+    /// Returns the number of changelog entries replayed (`0` when the bank
+    /// is already current).
+    pub fn refresh(
+        &mut self,
+        db: &Database,
+        queries: &[BankQueryRef<'_>],
+    ) -> Result<usize, QueryError> {
+        self.refresh_with_cap(db, queries, DEFAULT_WITNESS_CAP)
+    }
+
+    /// As [`LineageBank::refresh`], with an explicit per-query witness cap.
+    ///
+    /// # Panics
+    /// Panics if `queries.len()` differs from the number of bank entries.
+    pub fn refresh_with_cap(
+        &mut self,
+        db: &Database,
+        queries: &[BankQueryRef<'_>],
+        cap: usize,
+    ) -> Result<usize, QueryError> {
+        assert_eq!(
+            queries.len(),
+            self.entries.len(),
+            "refresh requires the bank's own query list"
+        );
+        let changes = db.changes_since(self.version);
+        if changes.is_empty() {
+            return Ok(0);
+        }
+        let applied = changes.len();
+        let universe = db.len();
+        let mut deleted = FactSet::empty(universe);
+        let mut inserted_by_relation: Vec<Vec<FactId>> =
+            vec![Vec::new(); db.schema().relation_count()];
+        for change in changes {
+            match change {
+                FactChange::Inserted(id) => {
+                    if db.is_live(*id) {
+                        inserted_by_relation[db.relation_of(*id).index()].push(*id);
+                    }
+                }
+                FactChange::Deleted { id, .. } => {
+                    deleted.insert(*id);
+                }
+            }
+        }
+        let all = db.all_facts();
+        let mut witnesses: Vec<FactSet> = Vec::new();
+        let mut arena_index: HashMap<Vec<FactId>, usize> = HashMap::new();
+        let mut entries = Vec::with_capacity(self.entries.len());
+        for (entry, &(evaluator, candidate)) in queries.iter().enumerate() {
+            if self.is_fallback(entry) {
+                entries.push(BankEntry::Fallback);
+                continue;
+            }
+            // Survivors first, as sorted id lists (`FactSet::iter` is
+            // ascending); `intersects` scans the common word prefix, so
+            // old smaller-universe witnesses compare fine.
+            let mut raw: Vec<Vec<FactId>> = Vec::new();
+            for index in self.entry_witnesses(entry) {
+                let witness = &self.witnesses[index];
+                if !witness.intersects(&deleted) {
+                    raw.push(witness.iter().collect());
+                }
+            }
+            let mut over_cap = false;
+            evaluator.for_each_delta_answer_image(
+                db,
+                &all,
+                candidate,
+                &inserted_by_relation,
+                |image| {
+                    let mut ids = image.to_vec();
+                    ids.sort_unstable();
+                    ids.dedup();
+                    raw.push(ids);
+                    over_cap = raw.len() > cap;
+                    over_cap
+                },
+            )?;
+            if over_cap {
+                entries.push(BankEntry::Fallback);
+                continue;
+            }
+            let mut mask = Vec::new();
+            for witness in minimal_antichain_images(raw) {
+                let index = match arena_index.get(&witness) {
+                    Some(&index) => index,
+                    None => {
+                        let index = witnesses.len();
+                        witnesses.push(FactSet::from_iter(universe, witness.iter().copied()));
+                        arena_index.insert(witness, index);
+                        index
+                    }
+                };
+                let word = index / 64;
+                if mask.len() <= word {
+                    mask.resize(word + 1, 0u64);
+                }
+                mask[word] |= 1u64 << (index % 64);
+            }
+            entries.push(BankEntry::Compiled { mask });
+        }
+        self.universe = universe;
+        self.witnesses = witnesses;
+        self.entries = entries;
+        self.version = db.version();
+        Ok(applied)
     }
 
     /// The per-draw batched entailment check: writes, for every query `i`,
@@ -421,6 +559,13 @@ impl LineageBank {
     /// The size of the fact universe the bank ranges over.
     pub fn universe(&self) -> usize {
         self.universe
+    }
+
+    /// The database changelog version the bank is current with (see
+    /// [`Database::version`]); [`LineageBank::refresh`] replays the
+    /// changelog from here.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// The arena witness indices referenced by entry `index`'s mask
@@ -1233,6 +1378,91 @@ mod tests {
         let mut hits = vec![false; 1];
         bank.evaluate_into(&FactSet::empty(db.len()), &mut scratch, &mut hits);
         assert!(hits[0], "an empty body is entailed by the empty subset");
+    }
+
+    #[test]
+    fn refresh_replays_mutations_and_matches_a_fresh_compile() {
+        let mut db = blocks_db();
+        let evals = evaluators(
+            &db,
+            &[
+                "Ans() :- R(1, x)",
+                "Ans() :- R(x, y), R(z, y)",
+                "Ans() :- R(1, x), R(2, x)",
+                "Ans() :- R(9, 9)",
+            ],
+        );
+        let queries: Vec<BankQueryRef<'_>> = evals.iter().map(|e| (e, &[] as &[Value])).collect();
+        let mut bank = LineageBank::compile(&db, &queries).unwrap();
+        // Already current: nothing to replay.
+        assert_eq!(bank.refresh(&db, &queries).unwrap(), 0);
+        // Mutate: extend block 1, create the first R(9, 9) witness, and
+        // delete R(2, 1).
+        db.insert_values("R", [Value::int(1), Value::int(3)])
+            .unwrap();
+        db.insert_values("R", [Value::int(9), Value::int(9)])
+            .unwrap();
+        let gone = ucqa_db::Fact::new(
+            db.schema().relation_id("R").unwrap(),
+            vec![Value::int(2), Value::int(1)],
+        );
+        db.delete(db.fact_id(&gone).unwrap()).unwrap();
+        assert_eq!(bank.refresh(&db, &queries).unwrap(), 3);
+        assert_eq!(bank.version(), db.version());
+        assert_eq!(bank.universe(), db.len());
+        // The refreshed bank is structurally identical to a fresh shared
+        // compile: same arena size, same per-entry witness counts, same
+        // booleans on every subset.
+        let fresh = LineageBank::compile(&db, &queries).unwrap();
+        assert_eq!(bank.witness_count(), fresh.witness_count());
+        let mut scratch_a = BankScratch::new();
+        let mut scratch_b = BankScratch::new();
+        let mut hits_a = vec![false; bank.len()];
+        let mut hits_b = vec![false; fresh.len()];
+        for i in 0..queries.len() {
+            assert_eq!(bank.is_fallback(i), fresh.is_fallback(i), "entry {i}");
+            assert_eq!(
+                bank.query_witness_count(i),
+                fresh.query_witness_count(i),
+                "entry {i}"
+            );
+        }
+        for subset in subsets(db.len()) {
+            bank.evaluate_into(&subset, &mut scratch_a, &mut hits_a);
+            fresh.evaluate_into(&subset, &mut scratch_b, &mut hits_b);
+            assert_eq!(hits_a, hits_b, "{subset:?}");
+        }
+    }
+
+    #[test]
+    fn refresh_keeps_fallback_entries_and_degrades_over_cap_entries() {
+        let mut db = blocks_db();
+        let evals = evaluators(&db, &["Ans() :- R(x, y)", "Ans() :- R(1, x)"]);
+        let queries: Vec<BankQueryRef<'_>> = evals.iter().map(|e| (e, &[] as &[Value])).collect();
+        // Cap 3: the full scan (5 witnesses) falls back, the block lookup
+        // (2 witnesses) compiles.
+        let mut bank = LineageBank::compile_with_cap(&db, &queries, 3).unwrap();
+        assert!(bank.is_fallback(0));
+        assert!(!bank.is_fallback(1));
+        // Two more block-1 facts push the lookup past the cap on refresh;
+        // the fallback entry stays fallback.
+        db.insert_values("R", [Value::int(1), Value::int(8)])
+            .unwrap();
+        db.insert_values("R", [Value::int(1), Value::int(9)])
+            .unwrap();
+        assert_eq!(bank.refresh_with_cap(&db, &queries, 3).unwrap(), 2);
+        assert!(bank.is_fallback(0));
+        assert!(bank.is_fallback(1), "over-cap refresh degrades to fallback");
+    }
+
+    #[test]
+    #[should_panic(expected = "refresh requires the bank's own query list")]
+    fn refresh_with_a_mismatched_query_list_panics() {
+        let db = blocks_db();
+        let evals = evaluators(&db, &["Ans() :- R(1, x)"]);
+        let queries: Vec<BankQueryRef<'_>> = evals.iter().map(|e| (e, &[] as &[Value])).collect();
+        let mut bank = LineageBank::compile(&db, &queries).unwrap();
+        bank.refresh(&db, &[]).unwrap();
     }
 
     #[test]

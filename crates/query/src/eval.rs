@@ -395,6 +395,52 @@ impl QueryEvaluator {
         ))
     }
 
+    /// As [`QueryEvaluator::for_each_answer_image`], restricted to images
+    /// that touch at least one fact of `inserted_by_relation` (one
+    /// ascending fact-id list per relation id) — the delta enumeration
+    /// backend of [`crate::CompiledLineage::refresh`] and
+    /// [`crate::LineageBank::refresh`].
+    ///
+    /// Runs one pinned pass of the answer plan per plan step (step `p`
+    /// draws its candidates from the inserted facts of its relation, all
+    /// other steps keep their indexed access paths, and the pinned atom is
+    /// still fully re-validated); images touching several inserted facts
+    /// are visited once per touched step, so callers must deduplicate.
+    /// Candidate prebinding and atom encoding run against the *current*
+    /// dictionary, so a candidate or constant first interned by the
+    /// inserted facts grounds here even though it could not at compile
+    /// time.
+    pub fn for_each_delta_answer_image<F>(
+        &self,
+        db: &Database,
+        subset: &FactSet,
+        candidate: &[Value],
+        inserted_by_relation: &[Vec<FactId>],
+        mut visitor: F,
+    ) -> Result<bool, QueryError>
+    where
+        F: FnMut(&[FactId]) -> bool,
+    {
+        let mut bindings: Vec<Option<Sym>> = vec![None; self.slots.len()];
+        if !self.prebind_candidate(db.dictionary(), candidate, &mut bindings)? {
+            return Ok(false);
+        }
+        let Some(encoded) = self.encode_atoms(db) else {
+            return Ok(false);
+        };
+        let mut image = Vec::new();
+        Ok(self.answer_plan.run_delta(
+            db,
+            db.relation_index(),
+            subset,
+            &encoded,
+            inserted_by_relation,
+            &mut bindings,
+            &mut image,
+            &mut |_, image| visitor(image),
+        ))
+    }
+
     /// As [`QueryEvaluator::homomorphisms`], on the unplanned baseline
     /// (body-order backtracking, whole-relation scans).
     pub fn homomorphisms_unplanned(

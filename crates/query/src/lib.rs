@@ -28,7 +28,7 @@ pub mod parser;
 pub mod plan;
 
 pub use ast::{Atom, ConjunctiveQuery, Term, Variable};
-pub use bank::{BankLiveSet, BankScratch, CompileBudget, LineageBank};
+pub use bank::{BankLiveSet, BankQueryRef, BankScratch, CompileBudget, LineageBank};
 pub use error::QueryError;
 pub use eval::{Bindings, QueryEvaluator};
 pub use lineage::CompiledLineage;

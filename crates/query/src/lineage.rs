@@ -18,7 +18,7 @@
 //! falls back to the backtracking evaluator.
 
 use ucqa_db::Value;
-use ucqa_db::{Database, FactSet};
+use ucqa_db::{Database, FactChange, FactId, FactSet};
 
 use crate::{CompileBudget, QueryError, QueryEvaluator};
 
@@ -33,12 +33,15 @@ pub const DEFAULT_WITNESS_CAP: usize = 4096;
 
 /// The compiled lineage of one `(database, query, candidate)` triple: a
 /// minimal monotone DNF over fact bitsets.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CompiledLineage {
     /// Minimal witness antichain, sorted by ascending popcount (smaller
     /// witnesses are cheaper to check and more likely to be contained).
     witnesses: Vec<FactSet>,
     universe: usize,
+    /// The database changelog version the lineage was compiled (or last
+    /// refreshed) against — what [`CompiledLineage::refresh`] replays from.
+    version: u64,
 }
 
 impl CompiledLineage {
@@ -85,7 +88,7 @@ impl CompiledLineage {
         if overflowed {
             return Ok(None);
         }
-        Ok(Some(Self::from_witnesses(raw, universe)))
+        Ok(Some(Self::from_witnesses(raw, universe, db.version())))
     }
 
     /// As [`CompiledLineage::compile`], under a [`CompileBudget`].
@@ -119,7 +122,7 @@ impl CompiledLineage {
         if interrupted {
             return Ok(None);
         }
-        Ok(Some(Self::from_witnesses(raw, universe)))
+        Ok(Some(Self::from_witnesses(raw, universe, db.version())))
     }
 
     /// As [`CompiledLineage::compile`], enumerating witnesses with the
@@ -157,17 +160,109 @@ impl CompiledLineage {
         if overflowed {
             return Ok(None);
         }
-        Ok(Some(Self::from_witnesses(raw, universe)))
+        Ok(Some(Self::from_witnesses(raw, universe, db.version())))
     }
 
     /// Builds the minimal antichain from raw witness sets: duplicates and
     /// supersets are absorbed (`w ⊆ w'` makes `w'` redundant — monotone DNF
     /// absorption).
-    fn from_witnesses(raw: Vec<FactSet>, universe: usize) -> Self {
+    fn from_witnesses(raw: Vec<FactSet>, universe: usize, version: u64) -> Self {
         CompiledLineage {
             witnesses: minimal_antichain(raw),
             universe,
+            version,
         }
+    }
+
+    /// Incrementally refreshes the lineage after database mutations, with
+    /// the default witness cap: replays the changelog since the version
+    /// the lineage was compiled against instead of re-enumerating every
+    /// homomorphism.
+    ///
+    /// * Witnesses touching a deleted fact are dropped (their absorbed
+    ///   supersets contained the same fact, so no absorbed witness can
+    ///   resurface); survivors are grown to the new universe.
+    /// * New witnesses are enumerated by pinned delta passes of the join
+    ///   plan ([`QueryEvaluator::for_each_delta_answer_image`]), visiting
+    ///   only matches that touch an inserted fact.
+    ///
+    /// The merged set re-minimalises to **exactly** the antichain a fresh
+    /// [`CompiledLineage::compile`] would build — same witnesses, same
+    /// order — so estimates drawn over a refreshed lineage are
+    /// bit-identical to estimates over a recompiled one.
+    ///
+    /// Returns `Ok(false)` when the refreshed witness count exceeds the
+    /// cap; the lineage is then left unchanged and the caller should fall
+    /// back to the backtracking evaluator (or recompile).  `evaluator` and
+    /// `candidate` must be the pair the lineage was compiled from.
+    pub fn refresh(
+        &mut self,
+        evaluator: &QueryEvaluator,
+        db: &Database,
+        candidate: &[Value],
+    ) -> Result<bool, QueryError> {
+        self.refresh_with_cap(evaluator, db, candidate, DEFAULT_WITNESS_CAP)
+    }
+
+    /// As [`CompiledLineage::refresh`], with an explicit witness cap.
+    pub fn refresh_with_cap(
+        &mut self,
+        evaluator: &QueryEvaluator,
+        db: &Database,
+        candidate: &[Value],
+        cap: usize,
+    ) -> Result<bool, QueryError> {
+        let universe = db.len();
+        let mut deleted = FactSet::empty(universe);
+        let mut inserted_by_relation: Vec<Vec<FactId>> =
+            vec![Vec::new(); db.schema().relation_count()];
+        for change in db.changes_since(self.version) {
+            match change {
+                // An inserted-then-deleted fact is skipped here and cannot
+                // appear in old witnesses (its id postdates them), so it
+                // contributes nothing — as it should.
+                FactChange::Inserted(id) => {
+                    if db.is_live(*id) {
+                        inserted_by_relation[db.relation_of(*id).index()].push(*id);
+                    }
+                }
+                FactChange::Deleted { id, .. } => {
+                    deleted.insert(*id);
+                }
+            }
+        }
+        let mut raw: Vec<FactSet> = Vec::with_capacity(self.witnesses.len());
+        for witness in &self.witnesses {
+            // `intersects` scans the common word prefix, so the old
+            // (smaller-universe) witness compares fine against the new
+            // deleted set.
+            if witness.intersects(&deleted) {
+                continue;
+            }
+            let mut survivor = witness.clone();
+            survivor.grow(universe);
+            raw.push(survivor);
+        }
+        let all = db.all_facts();
+        let overflowed = evaluator.for_each_delta_answer_image(
+            db,
+            &all,
+            candidate,
+            &inserted_by_relation,
+            |image| {
+                let mut witness = FactSet::empty(universe);
+                for &fact in image {
+                    witness.insert(fact);
+                }
+                raw.push(witness);
+                raw.len() > cap
+            },
+        )?;
+        if overflowed {
+            return Ok(false);
+        }
+        *self = Self::from_witnesses(raw, universe, db.version());
+        Ok(true)
     }
 
     /// The per-sample entailment check: `true` iff some witness survives in
@@ -194,6 +289,13 @@ impl CompiledLineage {
     /// The size of the fact universe the lineage ranges over.
     pub fn universe(&self) -> usize {
         self.universe
+    }
+
+    /// The database changelog version the lineage is current with (see
+    /// [`Database::version`]); [`CompiledLineage::refresh`] replays the
+    /// changelog from here.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// `true` iff the candidate is entailed by **every** subset, including
@@ -331,6 +433,87 @@ mod tests {
         assert!(CompiledLineage::compile_with_cap(&evaluator, &db, &[], 5)
             .unwrap()
             .is_some());
+    }
+
+    #[test]
+    fn refresh_replays_mutations_and_matches_a_fresh_compile() {
+        let mut db = blocks_db();
+        for (text, candidate) in [
+            ("Ans(x) :- R(1, x)", vec![Value::int(1)]),
+            ("Ans() :- R(x, y), R(z, y)", vec![]),
+            ("Ans() :- R(1, x), R(2, x)", vec![]),
+            ("Ans() :- R(9, 9)", vec![]),
+        ] {
+            let evaluator = QueryEvaluator::new(parse_query(db.schema(), text).unwrap());
+            let mut lineage = CompiledLineage::compile(&evaluator, &db, &candidate)
+                .unwrap()
+                .unwrap();
+            // No mutations: refresh is a structural no-op.
+            let before = lineage.clone();
+            assert!(lineage.refresh(&evaluator, &db, &candidate).unwrap());
+            assert_eq!(lineage, before, "query {text}");
+            // Insert facts extending block 1 and bridging blocks, and
+            // delete R(2, 1); the refreshed lineage must equal — same
+            // witnesses, same order — a compile from scratch.
+            db.insert_values("R", [Value::int(1), Value::int(9)])
+                .unwrap();
+            db.insert_values("R", [Value::int(2), Value::int(9)])
+                .unwrap();
+            let gone = ucqa_db::Fact::new(
+                db.schema().relation_id("R").unwrap(),
+                vec![Value::int(2), Value::int(1)],
+            );
+            db.delete(db.fact_id(&gone).unwrap()).unwrap();
+            assert!(lineage.refresh(&evaluator, &db, &candidate).unwrap());
+            let fresh = CompiledLineage::compile(&evaluator, &db, &candidate)
+                .unwrap()
+                .unwrap();
+            assert_eq!(lineage, fresh, "query {text}");
+            // Undo for the next query: re-insert what was deleted (new id,
+            // but compile and refresh both see the same database).
+            db.insert_values("R", [Value::int(2), Value::int(1)])
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn refresh_grounds_constants_first_interned_by_the_mutations() {
+        let mut db = blocks_db();
+        // 8 is not interned at compile time: the lineage compiles to zero
+        // witnesses (never entails).
+        let evaluator = QueryEvaluator::new(parse_query(db.schema(), "Ans() :- R(8, x)").unwrap());
+        let mut lineage = CompiledLineage::compile(&evaluator, &db, &[])
+            .unwrap()
+            .unwrap();
+        assert!(lineage.never_entails());
+        db.insert_values("R", [Value::int(8), Value::int(1)])
+            .unwrap();
+        assert!(lineage.refresh(&evaluator, &db, &[]).unwrap());
+        let fresh = CompiledLineage::compile(&evaluator, &db, &[])
+            .unwrap()
+            .unwrap();
+        assert_eq!(lineage, fresh);
+        assert_eq!(lineage.witness_count(), 1);
+        assert!(lineage.entails(&db.all_facts()));
+    }
+
+    #[test]
+    fn over_cap_refresh_reports_false_and_leaves_the_lineage_unchanged() {
+        let mut db = blocks_db();
+        let evaluator = QueryEvaluator::new(parse_query(db.schema(), "Ans() :- R(1, x)").unwrap());
+        let mut lineage = CompiledLineage::compile_with_cap(&evaluator, &db, &[], 3)
+            .unwrap()
+            .unwrap();
+        let before = lineage.clone();
+        for v in 10..14 {
+            db.insert_values("R", [Value::int(1), Value::int(v)])
+                .unwrap();
+        }
+        assert!(!lineage.refresh_with_cap(&evaluator, &db, &[], 3).unwrap());
+        assert_eq!(
+            lineage, before,
+            "failed refresh must not corrupt the lineage"
+        );
     }
 
     #[test]

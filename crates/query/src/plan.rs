@@ -289,6 +289,128 @@ impl JoinPlan {
         self.step(db, index, subset, encoded, 0, bindings, image, sink)
     }
 
+    /// As [`JoinPlan::run`], restricted to matches whose image touches at
+    /// least one fact of `inserted_by_relation` (one fact-id list per
+    /// relation id, each sorted ascending) — the delta passes behind
+    /// incremental lineage refresh.
+    ///
+    /// The plan is executed once per step `p`, with step `p` *pinned*: its
+    /// candidate list is replaced by the inserted facts of its relation
+    /// while every other step keeps its normal access path.  Every new
+    /// match must place an inserted fact at some step, so the union of the
+    /// pinned passes covers exactly the new matches; a match placing `k`
+    /// inserted facts at `k` distinct steps is emitted once per such step,
+    /// and callers absorb the duplicates (the lineage compiler's antichain
+    /// does so by construction).  Pinning is safe because
+    /// [`match_and_bind`] re-validates *all* terms of the pinned atom — an
+    /// inserted fact that does not actually match is skipped, never bound.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_delta<F>(
+        &self,
+        db: &Database,
+        index: &RelationIndex,
+        subset: &FactSet,
+        encoded: &[SymAtom],
+        inserted_by_relation: &[Vec<FactId>],
+        bindings: &mut Vec<Option<Sym>>,
+        image: &mut Vec<FactId>,
+        sink: &mut F,
+    ) -> bool
+    where
+        F: FnMut(&[Option<Sym>], &[FactId]) -> bool,
+    {
+        for pinned in 0..self.steps.len() {
+            if inserted_by_relation[self.steps[pinned].relation.index()].is_empty() {
+                continue;
+            }
+            if self.step_delta(
+                db,
+                index,
+                subset,
+                encoded,
+                0,
+                pinned,
+                inserted_by_relation,
+                bindings,
+                image,
+                sink,
+            ) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// One recursion frame of a pinned [`JoinPlan::run_delta`] pass:
+    /// identical to [`JoinPlan::step`] except that at `depth == pinned`
+    /// the candidate facts are the inserted facts of the step's relation.
+    #[allow(clippy::too_many_arguments)]
+    fn step_delta<F>(
+        &self,
+        db: &Database,
+        index: &RelationIndex,
+        subset: &FactSet,
+        encoded: &[SymAtom],
+        depth: usize,
+        pinned: usize,
+        inserted_by_relation: &[Vec<FactId>],
+        bindings: &mut Vec<Option<Sym>>,
+        image: &mut Vec<FactId>,
+        sink: &mut F,
+    ) -> bool
+    where
+        F: FnMut(&[Option<Sym>], &[FactId]) -> bool,
+    {
+        if depth == self.steps.len() {
+            return sink(bindings, image);
+        }
+        let step = &self.steps[depth];
+        let terms = &encoded[step.atom].terms;
+        let columns = db.columns_of(step.relation);
+        let mut gallop_scratch = Vec::new();
+        let candidates = if depth == pinned {
+            inserted_by_relation[step.relation.index()].as_slice()
+        } else {
+            candidate_facts(
+                db,
+                index,
+                step.relation,
+                terms,
+                &step.bound_positions,
+                bindings,
+                &mut gallop_scratch,
+            )
+        };
+        for &fact_id in candidates {
+            if !subset.contains(fact_id) {
+                continue;
+            }
+            let row = db.row_of(fact_id);
+            let Some(bound_here) = match_and_bind(terms, columns, row, bindings) else {
+                continue;
+            };
+            image.push(fact_id);
+            let stop = self.step_delta(
+                db,
+                index,
+                subset,
+                encoded,
+                depth + 1,
+                pinned,
+                inserted_by_relation,
+                bindings,
+                image,
+                sink,
+            );
+            image.pop();
+            unbind(terms, bound_here, bindings);
+            if stop {
+                return true;
+            }
+        }
+        false
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn step<F>(
         &self,

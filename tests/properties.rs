@@ -1048,3 +1048,194 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Interleaved `insert` / `delete` / `extend` streams keep the
+    /// delta-maintained structures equal to from-scratch rebuilds after
+    /// **every** step: the in-place patched relation index against
+    /// `RelationIndex::build`, and the changelog-replayed conflict index
+    /// against `ConflictIndex::build` — the update-path oracle of the
+    /// delta maintenance layer, on multi-FD cross-relation databases.
+    #[test]
+    fn delta_maintained_indexes_match_rebuilds_after_every_interleaved_step(
+        rows in prop::collection::vec((0u8..3, 0u8..3, 0u8..3, 0u8..2), 1..12),
+        steps in prop::collection::vec((0u8..4, 0u8..3, 0u8..3, 0u8..3), 1..10),
+        seed in 0u64..1_000,
+    ) {
+        use uocqa::db::RelationIndex;
+
+        let (mut db, sigma) = multi_fd_database(&rows);
+        // Materialise the cached index so every mutation patches it in
+        // place instead of a later access rebuilding it wholesale.
+        let _ = db.relation_index();
+        let mut conflict = ConflictIndex::build(&db, &sigma);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut payload = rows.len() as i64;
+        let r = db.schema().relation_id("R").unwrap();
+        let s = db.schema().relation_id("S").unwrap();
+        let fresh_fact = |payload: &mut i64, a: u8, b: u8, c: u8| {
+            let (a, b, c) = (
+                Value::int(i64::from(a % 3)),
+                Value::int(i64::from(b % 3)),
+                Value::int(i64::from(c % 3)),
+            );
+            let fact = if *payload % 2 == 0 {
+                Fact::new(r, vec![a, b, c, Value::int(*payload)])
+            } else {
+                Fact::new(s, vec![a, b, Value::int(*payload)])
+            };
+            *payload += 1;
+            fact
+        };
+        for (op, a, b, c) in steps {
+            match op {
+                0 => {
+                    db.insert(fresh_fact(&mut payload, a, b, c)).unwrap();
+                }
+                1 => {
+                    let live: Vec<FactId> = db.fact_ids().collect();
+                    if !live.is_empty() {
+                        db.delete(live[rng.random_range(0..live.len())]).unwrap();
+                    }
+                }
+                2 => {
+                    let batch = vec![
+                        fresh_fact(&mut payload, a, b, c),
+                        fresh_fact(&mut payload, b, c, a),
+                    ];
+                    db.extend(batch).unwrap();
+                }
+                _ => {
+                    // Delete-then-reinsert the same fact within one step:
+                    // the changelog window sees the id both deleted and
+                    // (re-)inserted.
+                    let live: Vec<FactId> = db.fact_ids().collect();
+                    if !live.is_empty() {
+                        let victim = live[rng.random_range(0..live.len())];
+                        let fact = db.fact(victim);
+                        db.delete(victim).unwrap();
+                        db.insert(fact).unwrap();
+                    }
+                }
+            }
+            conflict.refresh(&db, &sigma);
+            prop_assert_eq!(&conflict, &ConflictIndex::build(&db, &sigma));
+            prop_assert_eq!(db.relation_index(), &RelationIndex::build(&db));
+        }
+    }
+
+    /// After a random mutation window, a `LineageBank` brought up to date
+    /// with `refresh` yields **bit-identical** batched estimates to a bank
+    /// recompiled from scratch, under the same seed, across all six
+    /// generator specs.
+    #[test]
+    fn refreshed_bank_estimates_match_recompilation_across_all_specs(
+        profile in prop::collection::vec(1usize..4, 1..4),
+        inserts in prop::collection::vec((0u8..6, 0u8..6), 1..4),
+        seed in 0u64..200,
+    ) {
+        use uocqa::core::fpras::{ApproximationParams, BatchEstimator, BatchQuery, EstimatorMode};
+        use uocqa::query::{BankQueryRef, LineageBank};
+
+        let (mut db, sigma) = block_database(&profile);
+        let texts = [
+            "Ans() :- R(0, v)",
+            "Ans() :- R(x, y), R(z, y)",
+        ];
+        let evaluators: Vec<QueryEvaluator> = texts
+            .iter()
+            .map(|t| {
+                QueryEvaluator::new(
+                    uocqa::query::parser::parse_query(db.schema(), t).unwrap(),
+                )
+            })
+            .collect();
+        let bank_refs: Vec<BankQueryRef<'_>> =
+            evaluators.iter().map(|e| (e, &[] as &[Value])).collect();
+        let mut bank = LineageBank::compile(&db, &bank_refs).unwrap();
+
+        // The mutation window: fresh blocks inserted, one live fact
+        // deleted.  Offsetting `A` by 100 + the insertion index keeps the
+        // new facts distinct from the block profile and each other.
+        let mut rng = StdRng::seed_from_u64(seed);
+        for (i, (a, b)) in inserts.iter().enumerate() {
+            db.insert_values(
+                "R",
+                [
+                    Value::int(100 + i64::from(*a) + 10 * i as i64),
+                    Value::int(i64::from(*b)),
+                ],
+            )
+            .unwrap();
+        }
+        let live: Vec<FactId> = db.fact_ids().collect();
+        db.delete(live[rng.random_range(0..live.len())]).unwrap();
+
+        bank.refresh(&db, &bank_refs).unwrap();
+        let recompiled = LineageBank::compile(&db, &bank_refs).unwrap();
+        prop_assert_eq!(bank.witness_count(), recompiled.witness_count());
+
+        let batch: Vec<BatchQuery<'_>> =
+            evaluators.iter().map(|e| BatchQuery::new(e, &[])).collect();
+        let params = ApproximationParams::new(0.2, 0.2)
+            .unwrap()
+            .with_mode(EstimatorMode::FixedSamples(64));
+        for spec in [
+            GeneratorSpec::uniform_repairs(),
+            GeneratorSpec::uniform_repairs().with_singleton_only(),
+            GeneratorSpec::uniform_sequences(),
+            GeneratorSpec::uniform_sequences().with_singleton_only(),
+            GeneratorSpec::uniform_operations(),
+            GeneratorSpec::uniform_operations().with_singleton_only(),
+        ] {
+            let estimator = BatchEstimator::new(&db, &sigma, spec).unwrap();
+            let refreshed = estimator
+                .estimate_batch_with_bank(&bank, &batch, params, &mut StdRng::seed_from_u64(seed))
+                .unwrap();
+            let fresh = estimator
+                .estimate_batch_with_bank(&recompiled, &batch, params, &mut StdRng::seed_from_u64(seed))
+                .unwrap();
+            prop_assert_eq!(&refreshed, &fresh, "spec {}", spec.short_name());
+        }
+    }
+
+    /// `AchievedBound::at` never reports a NaN, and guards its degenerate
+    /// corners: the additive inversion is `+∞` exactly when no draws
+    /// happened or `δ ∉ (0, 1)` (including NaN and infinite `δ`), and the
+    /// relative inversion is `None` exactly when at most one success was
+    /// observed or `δ` is degenerate.
+    #[test]
+    fn achieved_bounds_guard_their_degenerate_corners(
+        samples in 0u64..100_000,
+        successes in 0u64..100_000,
+        delta_bits in 0u64..u64::MAX,
+    ) {
+        use uocqa::core::budget::AchievedBound;
+
+        // Reinterpreting raw bits covers the whole f64 surface: NaNs,
+        // infinities, subnormals, negatives and ordinary values alike.
+        let delta = f64::from_bits(delta_bits);
+        let successes = successes.min(samples);
+        let bound = AchievedBound::at(samples, successes, delta);
+        prop_assert!(!bound.additive_epsilon.is_nan());
+        let degenerate_delta = !(delta > 0.0 && delta < 1.0);
+        if samples == 0 || degenerate_delta {
+            prop_assert_eq!(bound.additive_epsilon, f64::INFINITY);
+        } else {
+            // A subnormal δ can overflow `2/δ` to +∞, which honestly
+            // reports an infinite (useless) bound — never a NaN and never
+            // a non-positive one.
+            prop_assert!(bound.additive_epsilon > 0.0);
+        }
+        match bound.relative_epsilon {
+            None => prop_assert!(successes <= 1 || degenerate_delta),
+            Some(eps) => {
+                prop_assert!(successes > 1 && !degenerate_delta);
+                prop_assert!(!eps.is_nan());
+                prop_assert!(eps > 0.0);
+            }
+        }
+    }
+}

@@ -845,6 +845,83 @@ impl<'a> BatchEstimator<'a> {
         self.stopping_batch_budgeted(queries, params, budget, rng, Some(&resume))
     }
 
+    /// As [`BatchEstimator::estimate_stopping_batch_resume`], driving a
+    /// bank compiled (or [refreshed](LineageBank::refresh)) earlier
+    /// instead of recompiling — the **enrollment** path of the
+    /// sliding-window estimator (`crate::stream`), and the admission dual
+    /// of the retirement the stopping loop performs as queries converge.
+    ///
+    /// The live set is built from scratch: [`BankLiveSet::empty`], then
+    /// [`BankLiveSet::enroll`] for exactly the prior's non-converged
+    /// entries — the same membership the montecarlo resume derives, so
+    /// the driver's retirement re-announcements for frozen entries are
+    /// no-ops and construction cost tracks the enrolled set.  Converged
+    /// entries of `prior` are returned **verbatim** (bit-identical,
+    /// zero draws); enrolled entries continue their stream at absolute
+    /// draw counts exactly as
+    /// [`BatchEstimator::estimate_stopping_batch_resume`] would.
+    ///
+    /// `prior` is also the seeding hook for a *fresh* stream over a
+    /// refreshed bank: hand in a baseline outcome whose entries carry
+    /// zero counts and a non-converged status for everything that should
+    /// (re-)enter the loop, and converged outcomes carried over verbatim
+    /// for everything that should not.
+    ///
+    /// # Panics
+    /// Panics if `bank` was not compiled from `queries`, if `prior` is
+    /// for a different batch, or if `bank` is stale with respect to the
+    /// estimator's database.
+    pub fn estimate_stopping_batch_resume_with_bank<R: Rng + ?Sized>(
+        &self,
+        bank: &LineageBank,
+        queries: &[BatchQuery<'_>],
+        params: ApproximationParams,
+        budget: &RunBudget,
+        prior: &EstimateOutcome,
+        rng: &mut R,
+    ) -> Result<EstimateOutcome, CoreError> {
+        assert_eq!(
+            bank.len(),
+            queries.len(),
+            "bank was compiled from a different query list"
+        );
+        assert_eq!(
+            prior.queries.len(),
+            queries.len(),
+            "prior outcome is for a different batch"
+        );
+        assert_eq!(
+            bank.universe(),
+            self.inner.db.len(),
+            "bank is stale: refresh it against the database before resuming"
+        );
+        let max_samples = self.stopping_cut_off(params)?;
+        let target = self
+            .per_query_stopping_rule(params, queries.len())
+            .success_target();
+        let targets = vec![target; queries.len()];
+        let mut live = BankLiveSet::empty(bank);
+        for (query, outcome) in prior.queries.iter().enumerate() {
+            if !outcome.status.is_converged() {
+                live.enroll(bank, query);
+            }
+        }
+        let mut experiment = BatchStoppingExperiment::new(&self.inner, bank, queries, live);
+        let resume = Self::budgeted_from(prior);
+        let budgeted = estimate_stopping_batch_budgeted(
+            rng,
+            &targets,
+            max_samples,
+            budget,
+            &mut experiment,
+            Some(&resume),
+        );
+        Ok(Self::outcome_from(
+            budgeted,
+            params.delta / queries.len().max(1) as f64,
+        ))
+    }
+
     /// Shared driver of the budgeted stopping-batch paths.
     fn stopping_batch_budgeted<R: Rng + ?Sized>(
         &self,
@@ -1967,6 +2044,57 @@ mod tests {
                 );
                 assert_eq!(r.status, BudgetStatus::Converged);
             }
+        }
+    }
+
+    #[test]
+    fn enrollment_resume_with_a_precompiled_bank_matches_the_recompiling_resume() {
+        // The enrollment path (BankLiveSet::empty + enroll of the prior's
+        // non-converged entries, over a caller-held bank) must be
+        // indistinguishable from the recompiling resume: same outcomes,
+        // same statuses, same total draws, for several truncation points.
+        let (db, sigma) = figure2();
+        let lookup = parse_query(db.schema(), "Ans(x) :- R('a1', x)").unwrap();
+        let lookup = QueryEvaluator::new(lookup);
+        let member = parse_query(db.schema(), "Ans() :- R('a3', 'b1')").unwrap();
+        let member = QueryEvaluator::new(member);
+        let b1 = [Value::str("b1")];
+        let queries = [BatchQuery::new(&lookup, &b1), BatchQuery::new(&member, &[])];
+        let params = ApproximationParams::new(0.25, 0.2).unwrap().with_mode(
+            EstimatorMode::OptimalStopping {
+                max_samples: 200_000,
+            },
+        );
+        let batch = BatchEstimator::new(&db, &sigma, GeneratorSpec::uniform_operations()).unwrap();
+        let bank = batch.compile_bank(&queries).unwrap();
+        for cut in [1u64, 17, 80, 500] {
+            let mut rng = StdRng::seed_from_u64(41);
+            let budget =
+                RunBudget::unlimited().with_cancel_token(CancelToken::tripped_at_draw(cut));
+            let partial = batch
+                .estimate_stopping_batch_with_budget(&queries, params, &budget, &mut rng)
+                .unwrap();
+            let mut enrolled_rng = rng.clone();
+            let recompiled = batch
+                .estimate_stopping_batch_resume(
+                    &queries,
+                    params,
+                    &RunBudget::unlimited(),
+                    &partial,
+                    &mut rng,
+                )
+                .unwrap();
+            let enrolled = batch
+                .estimate_stopping_batch_resume_with_bank(
+                    &bank,
+                    &queries,
+                    params,
+                    &RunBudget::unlimited(),
+                    &partial,
+                    &mut enrolled_rng,
+                )
+                .unwrap();
+            assert_eq!(enrolled, recompiled, "cut {cut}");
         }
     }
 

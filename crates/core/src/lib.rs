@@ -26,6 +26,10 @@
 //! * [`fpras`] — the end-to-end FPRAS drivers of Theorems 5.1(2), 6.1(2),
 //!   7.1(2), 7.5, E.1(2) and E.8(2), with the constraint-class requirements
 //!   of each theorem enforced at run time.
+//! * [`stream`] — sliding-window continuous CQA: a windowed estimator
+//!   that slides facts out of a count- or tick-based window, refreshes
+//!   the derived structures by changelog replay, and reuses converged
+//!   draws for entries whose lineage fingerprint is unchanged.
 //! * [`chaos`] (feature `chaos`) — deterministic fault injection for
 //!   robustness testing: skewed clocks and adversarial experiments.
 
@@ -46,6 +50,7 @@ pub mod random;
 pub mod sample_operations;
 pub mod sample_repairs;
 pub mod sample_sequences;
+pub mod stream;
 
 pub use budget::{
     AchievedBound, BudgetStatus, CancelToken, Clock, EstimateOutcome, ManualClock, QueryOutcome,
@@ -54,11 +59,13 @@ pub use budget::{
 pub use error::CoreError;
 pub use exact::ExactSolver;
 pub use fpras::{ApproximationParams, BatchEstimator, BatchQuery, Estimate, OcqaEstimator};
+pub use stream::{TickOutcome, TickReport, WindowSpec, WindowedEstimator};
 
 /// Commonly used types, re-exported for convenience.
 pub mod prelude {
     pub use crate::{
         AchievedBound, ApproximationParams, BatchEstimator, BatchQuery, BudgetStatus, CancelToken,
         CoreError, Estimate, EstimateOutcome, ExactSolver, OcqaEstimator, QueryOutcome, RunBudget,
+        TickOutcome, TickReport, WindowSpec, WindowedEstimator,
     };
 }

@@ -398,6 +398,22 @@ impl Database {
         }
     }
 
+    /// Expires the oldest live facts until at most `keep` remain,
+    /// returning the expired ids, oldest first.  "Oldest" is insertion
+    /// order — fact ids are assigned monotonically and never reused, so
+    /// the lowest live ids are the ones that slid out of a count-bounded
+    /// window.  Each expiry is an ordinary [`Database::delete`]: it
+    /// tombstones the id, patches the cached indexes, and logs a
+    /// [`FactChange::Deleted`] for delta consumers to replay.
+    pub fn expire_oldest(&mut self, keep: usize) -> Result<Vec<FactId>, DbError> {
+        let excess = self.live_count.saturating_sub(keep);
+        let victims: Vec<FactId> = self.fact_ids().take(excess).collect();
+        for &id in &victims {
+            self.delete(id)?;
+        }
+        Ok(victims)
+    }
+
     /// The database version: the number of fact-level changes (insertions
     /// and deletions) ever applied.  Bumped monotonically; duplicates and
     /// rejected facts do not bump it.
@@ -665,6 +681,30 @@ mod tests {
         let mut schema = Schema::new();
         schema.add_relation("R", &["A", "B"]).unwrap();
         schema
+    }
+
+    #[test]
+    fn expire_oldest_slides_out_the_lowest_live_ids() {
+        let mut db = Database::with_schema(schema_r2());
+        let ids: Vec<FactId> = (0..6)
+            .map(|i| {
+                db.insert_values("R", [Value::int(i), Value::int(i)])
+                    .unwrap()
+            })
+            .collect();
+        // Tombstone one early id first: expiry must skip it and count
+        // only live facts against the window.
+        db.delete(ids[1]).unwrap();
+        let version = db.version();
+        let expired = db.expire_oldest(3).unwrap();
+        assert_eq!(expired, vec![ids[0], ids[2]], "oldest live facts first");
+        assert_eq!(db.live_count(), 3);
+        assert_eq!(db.fact_ids().collect::<Vec<_>>(), &ids[3..]);
+        // Each expiry is an ordinary logged deletion for delta replay.
+        assert_eq!(db.changes_since(version).len(), 2);
+        // Already within the window: a no-op.
+        assert_eq!(db.expire_oldest(3).unwrap(), Vec::<FactId>::new());
+        assert_eq!(db.version(), version + 2);
     }
 
     #[test]

@@ -16,7 +16,8 @@
 //! [`crate::Database::relation_index`] builds the index lazily on first
 //! use and caches it behind an `Arc`; once built, the cache is
 //! *maintained*: database mutations patch it with fact-level deltas
-//! ([`RelationIndex::apply_insert`] / [`RelationIndex::apply_delete`])
+//! (the crate-private `RelationIndex::apply_insert` /
+//! `RelationIndex::apply_delete`)
 //! instead of invalidating it, and a delta-maintained index is
 //! structurally equal to a fresh [`RelationIndex::build`] (the rebuild is
 //! the property-tested oracle).  Posting runs preserve insertion order of

@@ -387,6 +387,38 @@ impl LineageBank {
         self.refresh_with_cap(db, queries, DEFAULT_WITNESS_CAP)
     }
 
+    /// As [`LineageBank::refresh`], additionally reporting which entries'
+    /// lineage actually changed across the replay: per-entry
+    /// [fingerprints](LineageBank::entry_fingerprint) are taken before and
+    /// after, and an entry is flagged changed iff they differ (fallback
+    /// entries, which have no witness set to fingerprint, are always
+    /// flagged once anything at all replayed).
+    ///
+    /// This is the freshness signal of the sliding-window estimator
+    /// (`ucqa_core::stream`): entries whose fingerprint survived a tick
+    /// keep their converged estimates verbatim, entries that changed
+    /// re-enter the shared stopping loop via [`BankLiveSet::enroll`].
+    pub fn refresh_with_delta(
+        &mut self,
+        db: &Database,
+        queries: &[BankQueryRef<'_>],
+    ) -> Result<RefreshDelta, QueryError> {
+        let before = self.fingerprints();
+        let replayed = self.refresh(db, queries)?;
+        let changed = if replayed == 0 {
+            // Nothing replayed: the database did not move, so even
+            // fallback entries (fingerprint `None`) are provably fresh.
+            vec![false; self.entries.len()]
+        } else {
+            self.fingerprints()
+                .iter()
+                .zip(&before)
+                .map(|(after, prior)| after.is_none() || prior.is_none() || after != prior)
+                .collect()
+        };
+        Ok(RefreshDelta { replayed, changed })
+    }
+
     /// As [`LineageBank::refresh`], with an explicit per-query witness cap.
     ///
     /// # Panics
@@ -588,6 +620,77 @@ impl LineageBank {
         })
     }
 
+    /// A stable fingerprint of entry `index`'s lineage — a 64-bit FNV-1a
+    /// hash over its sorted witness id-lists (witnesses ordered
+    /// lexicographically, fact ids ascending within each witness) — or
+    /// `None` for a fallback entry, which has no witness set to hash.
+    ///
+    /// Two compilations assign an entry equal fingerprints iff its
+    /// witness *sets* are equal: the arena layout, which shifts as other
+    /// entries change across refreshes, does not participate.  The
+    /// windowed estimator uses this to detect entries whose lineage
+    /// survived a tick untouched and can keep their converged estimates.
+    ///
+    /// Note the fingerprint certifies unchanged *lineage*, not unchanged
+    /// *probability in isolation*: it is sound exactly because the
+    /// estimators condition every query in a batch on one shared repair
+    /// draw, so an entry whose witness sets are unchanged is decided by
+    /// the same containment tests as before.
+    pub fn entry_fingerprint(&self, index: usize) -> Option<u64> {
+        match &self.entries[index] {
+            BankEntry::Fallback => None,
+            BankEntry::Compiled { .. } => {
+                let mut lists: Vec<Vec<FactId>> = self
+                    .entry_witnesses(index)
+                    .map(|w| self.witnesses[w].iter().collect())
+                    .collect();
+                lists.sort_unstable();
+                const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+                const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+                let mut hash = FNV_OFFSET;
+                let mut mix = |value: u64| {
+                    for byte in value.to_le_bytes() {
+                        hash ^= u64::from(byte);
+                        hash = hash.wrapping_mul(FNV_PRIME);
+                    }
+                };
+                mix(lists.len() as u64);
+                for list in &lists {
+                    // Length-prefix each list so concatenations can't
+                    // collide across witness boundaries.
+                    mix(list.len() as u64);
+                    for &id in list {
+                        mix(id.index() as u64);
+                    }
+                }
+                Some(hash)
+            }
+        }
+    }
+
+    /// The per-entry lineage fingerprints, in entry order (see
+    /// [`LineageBank::entry_fingerprint`]).
+    pub fn fingerprints(&self) -> Vec<Option<u64>> {
+        (0..self.entries.len())
+            .map(|i| self.entry_fingerprint(i))
+            .collect()
+    }
+
+    /// The witness sets of entry `index`'s minimal antichain, in arena
+    /// order, or `None` for a fallback entry.  Ground-truth comparisons
+    /// (windowed state vs a from-scratch rebuild) canonicalize these into
+    /// sorted id-lists before comparing.
+    pub fn witnesses_of(&self, index: usize) -> Option<Vec<&FactSet>> {
+        match &self.entries[index] {
+            BankEntry::Fallback => None,
+            BankEntry::Compiled { .. } => Some(
+                self.entry_witnesses(index)
+                    .map(|w| &self.witnesses[w])
+                    .collect(),
+            ),
+        }
+    }
+
     /// As [`LineageBank::evaluate_into`], restricted to the live queries
     /// of `live`: writes `hits[q]` for every live query `q` (fallback
     /// entries are set to `false` as usual) and **skips** both retired
@@ -632,6 +735,28 @@ impl LineageBank {
                 BankEntry::Fallback => false,
             };
         }
+    }
+}
+
+/// What one [`LineageBank::refresh_with_delta`] actually touched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RefreshDelta {
+    /// Changelog entries replayed (`0` when the bank was already current).
+    pub replayed: usize,
+    /// Per entry, in bank order: `true` iff the lineage fingerprint
+    /// changed across the replay.  Fallback entries are flagged whenever
+    /// anything replayed — with no witness set there is nothing to prove
+    /// unchanged.
+    pub changed: Vec<bool>,
+}
+
+impl RefreshDelta {
+    /// The indices of the entries whose lineage changed.
+    pub fn changed_entries(&self) -> impl Iterator<Item = usize> + '_ {
+        self.changed
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &c)| c.then_some(i))
     }
 }
 
@@ -926,6 +1051,40 @@ impl BankLiveSet {
             witness_refs,
             live_witnesses,
             witness_pos,
+        }
+    }
+
+    /// A live set with **no** query live — the starting point of the
+    /// enrollment path: the windowed estimator re-admits only the
+    /// entries whose lineage changed (via [`BankLiveSet::enroll`], the
+    /// dual of the retirement the adaptive loop performs as queries
+    /// converge), so an all-unchanged tick drives zero draws.
+    pub fn empty(bank: &LineageBank) -> Self {
+        Self::restrict(bank, &[])
+    }
+
+    /// Enrolls query `query`: it (re-)joins the live set, and every arena
+    /// witness it references gains a reference; a witness whose count
+    /// rises from zero rejoins the containment scan.  The exact dual of
+    /// [`BankLiveSet::retire`]: enrolling after retiring restores the
+    /// same membership and reference counts (dense positions may differ,
+    /// which never affects evaluation).  Enrolling an already-live query
+    /// is a no-op.
+    ///
+    /// # Panics
+    /// Panics if `query` is out of range or `bank` has a different shape.
+    pub fn enroll(&mut self, bank: &LineageBank, query: usize) {
+        if self.entry_pos[query] != usize::MAX {
+            return;
+        }
+        self.entry_pos[query] = self.live_entries.len();
+        self.live_entries.push(query);
+        for witness in bank.entry_witnesses(query) {
+            self.witness_refs[witness] += 1;
+            if self.witness_refs[witness] == 1 {
+                self.witness_pos[witness] = self.live_witnesses.len();
+                self.live_witnesses.push(witness);
+            }
         }
     }
 
@@ -1482,5 +1641,157 @@ mod tests {
         let bank = LineageBank::compile(&db, &queries).unwrap();
         let mut scratch = BankScratch::new();
         bank.evaluate_into(&db.all_facts(), &mut scratch, &mut []);
+    }
+
+    /// Membership and refcount view of a live set, position-independent.
+    fn live_snapshot(live: &BankLiveSet) -> (Vec<usize>, Vec<u32>, Vec<usize>) {
+        let mut entries = live.live_queries().to_vec();
+        entries.sort_unstable();
+        let mut witnesses = live.live_witnesses.clone();
+        witnesses.sort_unstable();
+        (entries, live.witness_refs.clone(), witnesses)
+    }
+
+    #[test]
+    fn enroll_is_the_exact_dual_of_retire() {
+        let db = blocks_db();
+        let evals = evaluators(
+            &db,
+            &[
+                "Ans() :- R(1, x)",
+                "Ans() :- R(x, y), R(z, y)",
+                "Ans() :- R(1, x), R(2, x)",
+                "Ans() :- R(9, 9)",
+            ],
+        );
+        let queries: Vec<BankQueryRef<'_>> = evals.iter().map(|e| (e, &[] as &[Value])).collect();
+        let bank = LineageBank::compile(&db, &queries).unwrap();
+        let full = live_snapshot(&BankLiveSet::full(&bank));
+        let mut live = BankLiveSet::full(&bank);
+        // Retire everything, in an order that exercises witness sharing,
+        // then enroll everything back: membership and reference counts
+        // return to the full set exactly.
+        for query in [1, 3, 0, 2] {
+            live.retire(&bank, query);
+        }
+        assert_eq!(live.live_query_count(), 0);
+        assert_eq!(live.live_witness_count(), 0);
+        for query in [2, 0, 3, 1] {
+            live.enroll(&bank, query);
+            live.enroll(&bank, query); // enrolling a live query is a no-op
+        }
+        assert_eq!(live_snapshot(&live), full);
+        // And the restored set evaluates identically to the full one.
+        let mut scratch = BankScratch::new();
+        let mut full_hits = vec![false; bank.len()];
+        let mut live_hits = vec![false; bank.len()];
+        for subset in subsets(db.len()) {
+            bank.evaluate_into(&subset, &mut scratch, &mut full_hits);
+            bank.evaluate_live_into(&live, &subset, &mut scratch, &mut live_hits);
+            assert_eq!(full_hits, live_hits, "{subset:?}");
+        }
+    }
+
+    #[test]
+    fn empty_plus_enrollment_matches_restrict() {
+        let db = blocks_db();
+        let evals = evaluators(
+            &db,
+            &[
+                "Ans() :- R(1, x)",
+                "Ans() :- R(x, y), R(z, y)",
+                "Ans() :- R(2, x)",
+            ],
+        );
+        let queries: Vec<BankQueryRef<'_>> = evals.iter().map(|e| (e, &[] as &[Value])).collect();
+        let bank = LineageBank::compile(&db, &queries).unwrap();
+        let mut enrolled = BankLiveSet::empty(&bank);
+        assert_eq!(enrolled.live_query_count(), 0);
+        enrolled.enroll(&bank, 2);
+        enrolled.enroll(&bank, 0);
+        let restricted = BankLiveSet::restrict(&bank, &[0, 2]);
+        assert_eq!(live_snapshot(&enrolled), live_snapshot(&restricted));
+        assert!(enrolled.is_live(0) && !enrolled.is_live(1) && enrolled.is_live(2));
+    }
+
+    #[test]
+    fn fingerprints_identify_unchanged_lineage_across_refreshes() {
+        let mut db = blocks_db();
+        let evals = evaluators(
+            &db,
+            &[
+                "Ans() :- R(1, x)",
+                "Ans() :- R(3, x)",
+                "Ans() :- R(1, x), R(2, x)",
+            ],
+        );
+        let queries: Vec<BankQueryRef<'_>> = evals.iter().map(|e| (e, &[] as &[Value])).collect();
+        let mut bank = LineageBank::compile(&db, &queries).unwrap();
+        let before = bank.fingerprints();
+        // Identical lineage hashes identically within one compilation
+        // only when the witness sets coincide; distinct queries differ.
+        assert_ne!(before[0], before[1]);
+
+        // A current bank reports an empty delta.
+        let noop = bank.refresh_with_delta(&db, &queries).unwrap();
+        assert_eq!(noop.replayed, 0);
+        assert!(noop.changed.iter().all(|&c| !c));
+
+        // A block-3 insert rewrites entry 1's lineage and — because the
+        // new fact enters every witness's universe — leaves entries 0 and
+        // 2's witness id-sets untouched: their fingerprints survive even
+        // though the arena was rebuilt.
+        db.insert_values("R", [Value::int(3), Value::int(8)])
+            .unwrap();
+        let delta = bank.refresh_with_delta(&db, &queries).unwrap();
+        assert_eq!(delta.replayed, 1);
+        assert_eq!(delta.changed, vec![false, true, false]);
+        assert_eq!(delta.changed_entries().collect::<Vec<_>>(), vec![1]);
+        let after = bank.fingerprints();
+        assert_eq!(after[0], before[0]);
+        assert_ne!(after[1], before[1]);
+        assert_eq!(after[2], before[2]);
+
+        // The refreshed fingerprints agree with a from-scratch compile:
+        // the hash covers witness id-sets, never arena layout.
+        let fresh = LineageBank::compile(&db, &queries).unwrap();
+        assert_eq!(after, fresh.fingerprints());
+        // And `witnesses_of` exposes the id-sets the hash ranges over.
+        let ours: Vec<Vec<FactId>> = bank
+            .witnesses_of(1)
+            .unwrap()
+            .iter()
+            .map(|w| w.iter().collect())
+            .collect();
+        let theirs: Vec<Vec<FactId>> = fresh
+            .witnesses_of(1)
+            .unwrap()
+            .iter()
+            .map(|w| w.iter().collect())
+            .collect();
+        let (mut ours, mut theirs) = (ours, theirs);
+        ours.sort_unstable();
+        theirs.sort_unstable();
+        assert_eq!(ours, theirs);
+    }
+
+    #[test]
+    fn fallback_entries_have_no_fingerprint_and_always_read_changed() {
+        let mut db = blocks_db();
+        let evals = evaluators(&db, &["Ans() :- R(x, y)", "Ans() :- R(1, x)"]);
+        let queries: Vec<BankQueryRef<'_>> = evals.iter().map(|e| (e, &[] as &[Value])).collect();
+        let mut bank = LineageBank::compile_with_cap(&db, &queries, 2).unwrap();
+        assert!(bank.is_fallback(0));
+        assert_eq!(bank.entry_fingerprint(0), None);
+        assert!(bank.witnesses_of(0).is_none());
+        assert!(bank.entry_fingerprint(1).is_some());
+        // Any replay flags the fallback entry — there is no witness set
+        // to prove unchanged — while the untouched compiled entry stays
+        // fresh.
+        db.insert_values("R", [Value::int(5), Value::int(5)])
+            .unwrap();
+        let delta = bank.refresh_with_delta(&db, &queries).unwrap();
+        assert_eq!(delta.replayed, 1);
+        assert_eq!(delta.changed, vec![true, false]);
     }
 }

@@ -28,7 +28,7 @@ pub mod parser;
 pub mod plan;
 
 pub use ast::{Atom, ConjunctiveQuery, Term, Variable};
-pub use bank::{BankLiveSet, BankQueryRef, BankScratch, CompileBudget, LineageBank};
+pub use bank::{BankLiveSet, BankQueryRef, BankScratch, CompileBudget, LineageBank, RefreshDelta};
 pub use error::QueryError;
 pub use eval::{Bindings, QueryEvaluator};
 pub use lineage::CompiledLineage;
@@ -38,6 +38,6 @@ pub use plan::JoinPlan;
 pub mod prelude {
     pub use crate::{
         Atom, BankLiveSet, BankScratch, Bindings, CompileBudget, CompiledLineage, ConjunctiveQuery,
-        JoinPlan, LineageBank, QueryError, QueryEvaluator, Term, Variable,
+        JoinPlan, LineageBank, QueryError, QueryEvaluator, RefreshDelta, Term, Variable,
     };
 }

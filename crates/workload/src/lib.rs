@@ -16,6 +16,8 @@
 //! * [`graphs`] — random graphs and graph-derived databases for the
 //!   reduction experiments.
 //! * [`queries`] — query/candidate generators matched to the workloads.
+//! * [`stream`] — seeded insert/retract tick streams with configurable
+//!   churn and key overlap, for the sliding-window experiments.
 //!
 //! Every generator takes an explicit seed (or `rand::Rng`) so experiments
 //! are reproducible.
@@ -53,7 +55,9 @@ pub mod fds;
 pub mod graphs;
 pub mod keys;
 pub mod queries;
+pub mod stream;
 
 pub use blocks::BlockWorkload;
 pub use fds::{proposition_d6_database, FdWorkload, MultiFdWorkload};
 pub use keys::MultiKeyWorkload;
+pub use stream::StreamWorkload;

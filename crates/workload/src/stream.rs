@@ -1,0 +1,171 @@
+//! Seeded fact-stream generators for the sliding-window experiments.
+//!
+//! [`StreamWorkload`] emits per-tick batches of `(inserts, retracts)`
+//! over the [`BlockWorkload`](crate::BlockWorkload) schema `R(K, V)`
+//! with primary key `R : K → V` — the one constraint class every
+//! uniform semantics of the paper supports, so the same stream can
+//! drive all six generator specs.  Inserts carry a monotone value
+//! counter (never a duplicate); the **overlap** knob sets the
+//! probability that an insert reuses the key of a currently-live fact
+//! (growing an existing block, i.e. churning the conflict structure)
+//! instead of drawing a fresh uniform key.  Retractions pick uniformly,
+//! without replacement, among the live facts.
+//!
+//! The generator is `Clone` and fully determined by its seed and call
+//! sequence, so a property test can replay the identical stream into a
+//! windowed pipeline and a from-scratch oracle.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ucqa_db::{Database, Fact, FactId, FdSet, FunctionalDependency, Schema, Value};
+
+/// A seeded generator of insert/retract tick batches over `R(K, V)`
+/// with primary key `K → V`.
+#[derive(Debug, Clone)]
+pub struct StreamWorkload {
+    /// Key domain size (number of potential blocks).
+    pub keys: usize,
+    /// Inserts emitted per tick.
+    pub inserts_per_tick: usize,
+    /// Retractions emitted per tick (capped at the live fact count).
+    pub retracts_per_tick: usize,
+    /// Probability in `[0, 1]` that an insert reuses a live fact's key.
+    pub overlap: f64,
+    rng: StdRng,
+    next_value: i64,
+}
+
+impl StreamWorkload {
+    /// Creates a stream generator.
+    ///
+    /// # Panics
+    /// Panics if `keys == 0` or `overlap` is outside `[0, 1]`.
+    pub fn new(
+        keys: usize,
+        inserts_per_tick: usize,
+        retracts_per_tick: usize,
+        overlap: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(keys > 0, "at least one key is required");
+        assert!(
+            (0.0..=1.0).contains(&overlap),
+            "overlap is a probability, got {overlap}"
+        );
+        StreamWorkload {
+            keys,
+            inserts_per_tick,
+            retracts_per_tick,
+            overlap,
+            rng: StdRng::seed_from_u64(seed),
+            next_value: 0,
+        }
+    }
+
+    /// Generates the initial database (uniform keys, fresh values) and
+    /// its primary key.  Consumes the generator's RNG stream, so the
+    /// initial state and the subsequent ticks form one reproducible
+    /// sequence.
+    pub fn initial(&mut self, facts: usize) -> (Database, FdSet) {
+        let mut schema = Schema::new();
+        schema.add_relation("R", &["K", "V"]).expect("fresh schema");
+        let mut db = Database::with_schema(schema);
+        let relation = db.schema().relation_id("R").expect("relation R exists");
+        let batch: Vec<Fact> = (0..facts).map(|_| self.fresh_fact(relation)).collect();
+        db.extend(batch).expect("schema matches");
+        let mut sigma = FdSet::new();
+        sigma.add(
+            FunctionalDependency::from_names(db.schema(), "R", &["K"], &["V"])
+                .expect("R has attributes K and V"),
+        );
+        (db, sigma)
+    }
+
+    fn fresh_fact(&mut self, relation: ucqa_db::RelationId) -> Fact {
+        let key = self.rng.random_range(0..self.keys) as i64;
+        let value = self.next_value;
+        self.next_value += 1;
+        Fact::new(relation, vec![Value::int(key), Value::int(value)])
+    }
+
+    /// Emits one tick's `(inserts, retracts)` against the current
+    /// database state.  Retractions are uniform without replacement
+    /// among the live facts (fewer when fewer are live); each insert
+    /// reuses a live key with probability [`StreamWorkload::overlap`]
+    /// and carries a fresh value, so inserts are never duplicates.
+    pub fn tick(&mut self, db: &Database) -> (Vec<Fact>, Vec<Fact>) {
+        let relation = db.schema().relation_id("R").expect("stream schema R");
+        let live: Vec<FactId> = db.fact_ids().collect();
+        let mut pool = live.clone();
+        let mut retracts = Vec::new();
+        for _ in 0..self.retracts_per_tick.min(pool.len()) {
+            let at = self.rng.random_range(0..pool.len());
+            let id = pool.swap_remove(at);
+            retracts.push(db.fact(id));
+        }
+        let mut inserts = Vec::new();
+        for _ in 0..self.inserts_per_tick {
+            let reuse = !live.is_empty() && self.rng.random_bool(self.overlap);
+            let fact = if reuse {
+                let of = live[self.rng.random_range(0..live.len())];
+                let key = db.fact(of).values()[0].clone();
+                let value = self.next_value;
+                self.next_value += 1;
+                Fact::new(relation, vec![key, Value::int(value)])
+            } else {
+                self.fresh_fact(relation)
+            };
+            inserts.push(fact);
+        }
+        (inserts, retracts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn streams_are_reproducible_via_clone() {
+        let mut a = StreamWorkload::new(8, 5, 3, 0.5, 42);
+        let mut b = a.clone();
+        let (db_a, _) = a.initial(20);
+        let (db_b, _) = b.initial(20);
+        assert_eq!(db_a.len(), db_b.len());
+        let (ins_a, del_a) = a.tick(&db_a);
+        let (ins_b, del_b) = b.tick(&db_b);
+        assert_eq!(ins_a, ins_b);
+        assert_eq!(del_a, del_b);
+    }
+
+    #[test]
+    fn retracts_are_live_and_distinct() {
+        let mut w = StreamWorkload::new(4, 0, 6, 0.0, 7);
+        let (db, _) = w.initial(10);
+        let (inserts, retracts) = w.tick(&db);
+        assert!(inserts.is_empty());
+        assert_eq!(retracts.len(), 6);
+        let distinct: HashSet<_> = retracts.iter().map(|f| f.values().to_vec()).collect();
+        assert_eq!(distinct.len(), 6, "no fact retracted twice");
+        assert!(retracts.iter().all(|f| db.contains(f)));
+        // More retractions than live facts: capped, not panicking.
+        let mut starved = StreamWorkload::new(4, 0, 100, 0.0, 7);
+        let (small, _) = starved.initial(3);
+        let (_, capped) = starved.tick(&small);
+        assert_eq!(capped.len(), 3);
+    }
+
+    #[test]
+    fn full_overlap_only_reuses_live_keys() {
+        let mut w = StreamWorkload::new(1_000_000, 10, 0, 1.0, 11);
+        let (db, _) = w.initial(5);
+        let live_keys: HashSet<Value> = db.iter().map(|(_, f)| f.values()[0].clone()).collect();
+        let (inserts, _) = w.tick(&db);
+        assert_eq!(inserts.len(), 10);
+        assert!(inserts.iter().all(|f| live_keys.contains(&f.values()[0])));
+        // Values stay fresh: no insert duplicates an existing fact.
+        assert!(inserts.iter().all(|f| !db.contains(f)));
+    }
+}

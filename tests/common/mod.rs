@@ -1,0 +1,211 @@
+//! Shared fixtures and assert helpers for the integration test suites.
+//!
+//! Every test binary compiles this module independently and uses a
+//! different subset of it, hence the file-wide `dead_code` allowance.
+
+#![allow(dead_code)]
+
+use std::collections::BTreeSet;
+
+use uocqa::db::{ConflictIndex, Database, FactId, FdSet, FunctionalDependency, Schema, Value};
+use uocqa::query::{LineageBank, QueryEvaluator};
+use uocqa::repair::GeneratorSpec;
+
+/// All six generator specifications of the paper: the three uniform
+/// semantics, each with pair+singleton and singleton-only operations.
+pub fn all_specs() -> [GeneratorSpec; 6] {
+    [
+        GeneratorSpec::uniform_repairs(),
+        GeneratorSpec::uniform_repairs().with_singleton_only(),
+        GeneratorSpec::uniform_sequences(),
+        GeneratorSpec::uniform_sequences().with_singleton_only(),
+        GeneratorSpec::uniform_operations(),
+        GeneratorSpec::uniform_operations().with_singleton_only(),
+    ]
+}
+
+/// Builds a primary-key database (single relation `R(A, B)`, key `A → B`)
+/// from a block-size profile.
+pub fn block_database(profile: &[usize]) -> (Database, FdSet) {
+    let mut schema = Schema::new();
+    schema.add_relation("R", &["A", "B"]).unwrap();
+    let mut db = Database::with_schema(schema);
+    for (block, &size) in profile.iter().enumerate() {
+        for row in 0..size {
+            db.insert_values("R", [Value::int(block as i64), Value::int(row as i64)])
+                .unwrap();
+        }
+    }
+    let mut sigma = FdSet::new();
+    sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["A"], &["B"]).unwrap());
+    (db, sigma)
+}
+
+/// Builds a general-FD database over `R(A, B, C)` with `A → B` from a list
+/// of (a, b) pairs; the third attribute is a unique payload.
+pub fn fd_database(pairs: &[(u8, u8)]) -> (Database, FdSet) {
+    let mut schema = Schema::new();
+    schema.add_relation("R", &["A", "B", "C"]).unwrap();
+    let mut db = Database::with_schema(schema);
+    for (i, (a, b)) in pairs.iter().enumerate() {
+        db.insert_values(
+            "R",
+            [
+                Value::int(i64::from(*a % 3)),
+                Value::int(i64::from(*b % 3)),
+                Value::int(i as i64),
+            ],
+        )
+        .unwrap();
+    }
+    let mut sigma = FdSet::new();
+    sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["A"], &["B"]).unwrap());
+    (db, sigma)
+}
+
+/// Builds a two-relation database with overlapping **non-key** FDs
+/// (`R : A → B`, `R : C → B` and `S : A → B`) from value tuples; a unique
+/// payload attribute keeps facts distinct, so no FD is a key and conflict
+/// structures span both relations.
+pub fn multi_fd_database(rows: &[(u8, u8, u8, u8)]) -> (Database, FdSet) {
+    let mut schema = Schema::new();
+    schema.add_relation("R", &["A", "B", "C", "P"]).unwrap();
+    schema.add_relation("S", &["A", "B", "P"]).unwrap();
+    let mut db = Database::with_schema(schema);
+    for (i, (a, b, c, which)) in rows.iter().enumerate() {
+        let (a, b, c) = (
+            Value::int(i64::from(*a % 3)),
+            Value::int(i64::from(*b % 3)),
+            Value::int(i64::from(*c % 3)),
+        );
+        if which % 2 == 0 {
+            db.insert_values("R", [a, b, c, Value::int(i as i64)])
+                .unwrap();
+        } else {
+            db.insert_values("S", [a, b, Value::int(i as i64)]).unwrap();
+        }
+    }
+    let mut sigma = FdSet::new();
+    sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["A"], &["B"]).unwrap());
+    sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["C"], &["B"]).unwrap());
+    sigma.add(FunctionalDependency::from_names(db.schema(), "S", &["A"], &["B"]).unwrap());
+    (db, sigma)
+}
+
+/// A Boolean membership query `Ans() :- R(0, 0)` over the block database.
+pub fn parse_membership(db: &Database) -> QueryEvaluator {
+    let q = uocqa::query::parser::parse_query(db.schema(), "Ans() :- R(0, 0)").unwrap();
+    QueryEvaluator::new(q)
+}
+
+/// Rebuilds a fresh database holding exactly the live facts of `db`, in
+/// insertion (= ascending live id) order, together with the id map:
+/// `map[scratch_position] = windowed_id`.  Because ids are assigned
+/// densely in insertion order, the map is an order-preserving bijection
+/// from the windowed database's live ids onto `0..live_count` — the
+/// ground-truth universe the windowed state is compared against.
+pub fn scratch_rebuild(db: &Database) -> (Database, Vec<FactId>) {
+    let mut scratch = Database::with_schema(db.schema().clone());
+    let mut map = Vec::with_capacity(db.live_count());
+    for (id, fact) in db.iter() {
+        scratch.insert(fact).unwrap();
+        map.push(id);
+    }
+    (scratch, map)
+}
+
+/// Maps a windowed-database fact id to its position in the scratch
+/// rebuild (`map` as produced by [`scratch_rebuild`]).
+pub fn remap(map: &[FactId], id: FactId) -> FactId {
+    let position = map
+        .binary_search(&id)
+        .expect("windowed id is live and therefore in the scratch map");
+    FactId::new(position)
+}
+
+/// Asserts the delta-maintained conflict index over the windowed
+/// database equals, under the id remap, the index built from scratch
+/// over the rebuilt window.
+pub fn assert_conflict_matches_scratch(
+    windowed: &ConflictIndex,
+    scratch: &ConflictIndex,
+    map: &[FactId],
+    context: &str,
+) {
+    let mut remapped: BTreeSet<(FactId, FactId)> = windowed
+        .pairs()
+        .iter()
+        .map(|&(a, b)| {
+            let (a, b) = (remap(map, a), remap(map, b));
+            (a.min(b), a.max(b))
+        })
+        .collect();
+    let from_scratch: BTreeSet<(FactId, FactId)> = scratch
+        .pairs()
+        .iter()
+        .map(|&(a, b)| (a.min(b), a.max(b)))
+        .collect();
+    assert_eq!(remapped, from_scratch, "conflict pairs diverged: {context}");
+    remapped.clear();
+    let conflicting: BTreeSet<FactId> = windowed
+        .conflicting_facts()
+        .iter()
+        .map(|&f| remap(map, f))
+        .collect();
+    let scratch_conflicting: BTreeSet<FactId> =
+        scratch.conflicting_facts().iter().copied().collect();
+    assert_eq!(
+        conflicting, scratch_conflicting,
+        "conflicting fact sets diverged: {context}"
+    );
+}
+
+/// The canonical (sorted) witness id-sets of one bank entry, remapped
+/// through `map` when given — `None` for a fallback entry.
+pub fn canonical_witnesses(
+    bank: &LineageBank,
+    entry: usize,
+    map: Option<&[FactId]>,
+) -> Option<BTreeSet<Vec<FactId>>> {
+    bank.witnesses_of(entry).map(|witnesses| {
+        witnesses
+            .iter()
+            .map(|w| {
+                let mut ids: Vec<FactId> = match map {
+                    Some(map) => w.iter().map(|id| remap(map, id)).collect(),
+                    None => w.iter().collect(),
+                };
+                ids.sort_unstable();
+                ids
+            })
+            .collect()
+    })
+}
+
+/// Asserts the delta-maintained bank over the windowed database holds,
+/// entry by entry and under the id remap, the same witness sets as the
+/// bank compiled from scratch over the rebuilt window.
+pub fn assert_bank_matches_scratch(
+    windowed: &LineageBank,
+    scratch: &LineageBank,
+    map: &[FactId],
+    context: &str,
+) {
+    assert_eq!(
+        windowed.len(),
+        scratch.len(),
+        "bank sizes diverged: {context}"
+    );
+    for entry in 0..windowed.len() {
+        assert_eq!(
+            windowed.is_fallback(entry),
+            scratch.is_fallback(entry),
+            "fallback status of entry {entry} diverged: {context}"
+        );
+        assert_eq!(
+            canonical_witnesses(windowed, entry, Some(map)),
+            canonical_witnesses(scratch, entry, None),
+            "witness sets of entry {entry} diverged: {context}"
+        );
+    }
+}

@@ -7,80 +7,14 @@ use rand::{Rng, SeedableRng};
 
 use uocqa::core::counting;
 use uocqa::db::{
-    ConflictGraph, ConflictIndex, Database, Fact, FactId, FactSet, FdSet, FunctionalDependency,
-    LiveOps, Schema, Value, ViolationSet,
+    ConflictGraph, ConflictIndex, Database, Fact, FactId, FactSet, LiveOps, Value, ViolationSet,
 };
 use uocqa::numeric::Ratio;
 use uocqa::query::{Atom, CompiledLineage, ConjunctiveQuery, QueryEvaluator, Term};
 use uocqa::repair::{GeneratorSpec, OperationalSemantics, RepairingTree, TreeLimits};
 
-/// Builds a primary-key database (single relation `R(A, B)`, key `A → B`)
-/// from a block-size profile.
-fn block_database(profile: &[usize]) -> (Database, FdSet) {
-    let mut schema = Schema::new();
-    schema.add_relation("R", &["A", "B"]).unwrap();
-    let mut db = Database::with_schema(schema);
-    for (block, &size) in profile.iter().enumerate() {
-        for row in 0..size {
-            db.insert_values("R", [Value::int(block as i64), Value::int(row as i64)])
-                .unwrap();
-        }
-    }
-    let mut sigma = FdSet::new();
-    sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["A"], &["B"]).unwrap());
-    (db, sigma)
-}
-
-/// Builds a general-FD database over `R(A, B, C)` with `A → B` from a list
-/// of (a, b) pairs; the third attribute is a unique payload.
-fn fd_database(pairs: &[(u8, u8)]) -> (Database, FdSet) {
-    let mut schema = Schema::new();
-    schema.add_relation("R", &["A", "B", "C"]).unwrap();
-    let mut db = Database::with_schema(schema);
-    for (i, (a, b)) in pairs.iter().enumerate() {
-        db.insert_values(
-            "R",
-            [
-                Value::int(i64::from(*a % 3)),
-                Value::int(i64::from(*b % 3)),
-                Value::int(i as i64),
-            ],
-        )
-        .unwrap();
-    }
-    let mut sigma = FdSet::new();
-    sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["A"], &["B"]).unwrap());
-    (db, sigma)
-}
-
-/// Builds a two-relation database with overlapping **non-key** FDs
-/// (`R : A → B`, `R : C → B` and `S : A → B`) from value tuples; a unique
-/// payload attribute keeps facts distinct, so no FD is a key and conflict
-/// structures span both relations.
-fn multi_fd_database(rows: &[(u8, u8, u8, u8)]) -> (Database, FdSet) {
-    let mut schema = Schema::new();
-    schema.add_relation("R", &["A", "B", "C", "P"]).unwrap();
-    schema.add_relation("S", &["A", "B", "P"]).unwrap();
-    let mut db = Database::with_schema(schema);
-    for (i, (a, b, c, which)) in rows.iter().enumerate() {
-        let (a, b, c) = (
-            Value::int(i64::from(*a % 3)),
-            Value::int(i64::from(*b % 3)),
-            Value::int(i64::from(*c % 3)),
-        );
-        if which % 2 == 0 {
-            db.insert_values("R", [a, b, c, Value::int(i as i64)])
-                .unwrap();
-        } else {
-            db.insert_values("S", [a, b, Value::int(i as i64)]).unwrap();
-        }
-    }
-    let mut sigma = FdSet::new();
-    sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["A"], &["B"]).unwrap());
-    sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["C"], &["B"]).unwrap());
-    sigma.add(FunctionalDependency::from_names(db.schema(), "S", &["A"], &["B"]).unwrap());
-    (db, sigma)
-}
+mod common;
+use common::{all_specs, block_database, fd_database, multi_fd_database, parse_membership};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -576,14 +510,7 @@ proptest! {
         let params = ApproximationParams::new(0.2, 0.2)
             .unwrap()
             .with_mode(EstimatorMode::FixedSamples(96));
-        for spec in [
-            GeneratorSpec::uniform_repairs(),
-            GeneratorSpec::uniform_repairs().with_singleton_only(),
-            GeneratorSpec::uniform_sequences(),
-            GeneratorSpec::uniform_sequences().with_singleton_only(),
-            GeneratorSpec::uniform_operations(),
-            GeneratorSpec::uniform_operations().with_singleton_only(),
-        ] {
+        for spec in all_specs() {
             let estimator = BatchEstimator::new(&db, &sigma, spec).unwrap();
             let planned_bank = estimator.compile_bank(&bank).unwrap();
             let unplanned_bank = estimator.compile_bank_unplanned(&bank).unwrap();
@@ -799,12 +726,6 @@ proptest! {
         prop_assert_eq!(resumed.queries[0].samples, uninterrupted[0].samples);
         prop_assert_eq!(resumed.queries[0].successes, uninterrupted[0].successes);
     }
-}
-
-/// A Boolean membership query `Ans() :- R(0, 0)` over the block database.
-fn parse_membership(db: &Database) -> QueryEvaluator {
-    let q = uocqa::query::parser::parse_query(db.schema(), "Ans() :- R(0, 0)").unwrap();
-    QueryEvaluator::new(q)
 }
 
 /// A `Value`-level reference evaluator: naive backtracking over *decoded*
@@ -1028,14 +949,7 @@ proptest! {
         let params = ApproximationParams::new(0.2, 0.2)
             .unwrap()
             .with_mode(EstimatorMode::FixedSamples(64));
-        for spec in [
-            GeneratorSpec::uniform_repairs(),
-            GeneratorSpec::uniform_repairs().with_singleton_only(),
-            GeneratorSpec::uniform_sequences(),
-            GeneratorSpec::uniform_sequences().with_singleton_only(),
-            GeneratorSpec::uniform_operations(),
-            GeneratorSpec::uniform_operations().with_singleton_only(),
-        ] {
+        for spec in all_specs() {
             let a = BatchEstimator::new(&one_by_one, &sigma, spec)
                 .unwrap()
                 .estimate_batch(&bank, params, &mut StdRng::seed_from_u64(seed))
@@ -1182,14 +1096,7 @@ proptest! {
         let params = ApproximationParams::new(0.2, 0.2)
             .unwrap()
             .with_mode(EstimatorMode::FixedSamples(64));
-        for spec in [
-            GeneratorSpec::uniform_repairs(),
-            GeneratorSpec::uniform_repairs().with_singleton_only(),
-            GeneratorSpec::uniform_sequences(),
-            GeneratorSpec::uniform_sequences().with_singleton_only(),
-            GeneratorSpec::uniform_operations(),
-            GeneratorSpec::uniform_operations().with_singleton_only(),
-        ] {
+        for spec in all_specs() {
             let estimator = BatchEstimator::new(&db, &sigma, spec).unwrap();
             let refreshed = estimator
                 .estimate_batch_with_bank(&bank, &batch, params, &mut StdRng::seed_from_u64(seed))

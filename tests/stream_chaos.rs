@@ -1,0 +1,201 @@
+//! Chaos tests for the sliding-window pipeline (`--features chaos`):
+//! random streams interleaved with budget exhaustion and cancellation
+//! never panic, and a cancelled tick resumed with the same RNG
+//! reproduces the uninterrupted stream bit-for-bit.
+
+#![cfg(feature = "chaos")]
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use uocqa::core::chaos::FaultPlan;
+use uocqa::core::fpras::{ApproximationParams, EstimatorMode};
+use uocqa::core::{
+    BudgetStatus, CancelToken, RunBudget, TickOutcome, WindowSpec, WindowedEstimator,
+};
+use uocqa::db::{Database, Value};
+use uocqa::query::QueryEvaluator;
+use uocqa::repair::GeneratorSpec;
+use uocqa::workload::StreamWorkload;
+
+mod common;
+
+fn stream_queries(db: &Database) -> Vec<(QueryEvaluator, Vec<Value>)> {
+    ["Ans() :- R(0, 0)", "Ans() :- R(0, x)", "Ans() :- R(1, x)"]
+        .iter()
+        .map(|t| {
+            let q = uocqa::query::parser::parse_query(db.schema(), t).unwrap();
+            (QueryEvaluator::new(q), Vec::new())
+        })
+        .collect()
+}
+
+/// A stream query can drop to zero probability (its block may slide out
+/// of the window entirely), in which case the stopping rule runs to the
+/// cutoff and reports `BudgetExhausted` — a terminal state the twins
+/// must agree on bit-for-bit just like convergence, so the cutoff is
+/// kept small.
+fn params() -> ApproximationParams {
+    ApproximationParams::new(0.3, 0.2)
+        .unwrap()
+        .with_mode(EstimatorMode::OptimalStopping {
+            max_samples: 20_000,
+        })
+}
+
+fn windowed(seed: u64, facts: usize, window: WindowSpec) -> (WindowedEstimator, StreamWorkload) {
+    let mut workload = StreamWorkload::new(3, 2, 1, 0.6, seed);
+    let (db, sigma) = workload.initial(facts);
+    let queries = stream_queries(&db);
+    let w = WindowedEstimator::new(
+        db,
+        sigma,
+        GeneratorSpec::uniform_operations().with_singleton_only(),
+        window,
+        queries,
+    )
+    .unwrap();
+    (w, workload)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A stream whose every estimation pass is first cut by a
+    /// fault-plan-chosen interruption (draw cap or cancellation,
+    /// alternating by plan word) and then resumed with the **same** RNG
+    /// reproduces the uninterrupted stream bit-for-bit, tick for tick —
+    /// and never panics along the way.
+    #[test]
+    fn interrupted_stream_resumes_bit_for_bit(
+        seed in 0u64..1_000_000,
+        fault_seed in 0u64..1_000_000,
+        facts in 4usize..10,
+        window_kind in 0usize..3,
+    ) {
+        let window = match window_kind {
+            0 => WindowSpec::Unbounded,
+            1 => WindowSpec::Count(facts),
+            _ => WindowSpec::Ticks(2),
+        };
+        let (mut clean, mut clean_stream) = windowed(seed, facts, window);
+        let (mut chaotic, mut chaotic_stream) = windowed(seed, facts, window);
+        let mut plan = FaultPlan::new(fault_seed);
+
+        for tick in 1..=3u64 {
+            let (inserts, retracts) = clean_stream.tick(clean.db());
+            let clean_report = clean.tick(inserts, &retracts).unwrap();
+            let (inserts, retracts) = chaotic_stream.tick(chaotic.db());
+            let chaotic_report = chaotic.tick(inserts, &retracts).unwrap();
+            prop_assert_eq!(&clean_report, &chaotic_report, "tick {} diverged", tick);
+
+            let rng_seed = seed ^ tick;
+            let clean_pass = clean
+                .estimate(params(), &RunBudget::unlimited(), &mut StdRng::seed_from_u64(rng_seed))
+                .unwrap();
+
+            // The chaotic twin runs the same pass through one RNG,
+            // interrupted a fault-plan-chosen number of times before
+            // being allowed to finish.
+            let mut rng = StdRng::seed_from_u64(rng_seed);
+            let mut final_pass: Option<TickOutcome> = None;
+            for _ in 0..1 + plan.next_word() % 2 {
+                let cut = plan.truncation_point(40);
+                let budget = if plan.next_word().is_multiple_of(2) {
+                    RunBudget::unlimited().with_max_draws(cut)
+                } else {
+                    RunBudget::unlimited()
+                        .with_cancel_token(CancelToken::tripped_at_draw(cut))
+                };
+                let partial = chaotic.estimate(params(), &budget, &mut rng).unwrap();
+                if !partial.outcome.queries.iter().any(|q| q.status == BudgetStatus::Cancelled)
+                    && partial.outcome.total_draws >= clean_pass.outcome.total_draws
+                {
+                    // The cut landed past the clean pass's terminal
+                    // draw: the pass already finished.
+                    final_pass = Some(partial);
+                    break;
+                }
+                prop_assert!(chaotic.has_pending());
+            }
+            let final_pass = match final_pass {
+                Some(done) => done,
+                None => chaotic
+                    .estimate(params(), &RunBudget::unlimited(), &mut rng)
+                    .unwrap(),
+            };
+            prop_assert_eq!(
+                &final_pass.outcome,
+                &clean_pass.outcome,
+                "tick {}: concatenated interrupted passes != uninterrupted pass",
+                tick
+            );
+            // Under an unlimited final budget, cancellation faults never
+            // leak into the terminal statuses.
+            prop_assert!(final_pass
+                .outcome
+                .queries
+                .iter()
+                .all(|q| q.status != BudgetStatus::Cancelled));
+        }
+    }
+
+    /// Ticks interleaved with arbitrary interruptions — including
+    /// estimation passes abandoned mid-stream when the next tick
+    /// mutates the window — never panic, and the pipeline always
+    /// recovers to a converged pass under an unlimited budget.
+    #[test]
+    fn abandoned_passes_never_wedge_the_stream(
+        seed in 0u64..1_000_000,
+        fault_seed in 0u64..1_000_000,
+        facts in 4usize..10,
+    ) {
+        let (mut w, mut stream) = windowed(seed, facts, WindowSpec::Count(facts));
+        let mut plan = FaultPlan::new(fault_seed);
+        for tick in 1..=4u64 {
+            let (inserts, retracts) = stream.tick(w.db());
+            w.tick(inserts, &retracts).unwrap();
+            // Leave a truncated pass dangling on some ticks: the next
+            // mutating tick must drop it rather than resume draws from a
+            // stale window.
+            if plan.next_word().is_multiple_of(2) {
+                let cut = plan.truncation_point(10);
+                let budget =
+                    RunBudget::unlimited().with_cancel_token(CancelToken::tripped_at_draw(cut));
+                let _ = w
+                    .estimate(params(), &budget, &mut StdRng::seed_from_u64(seed ^ tick))
+                    .unwrap();
+            }
+        }
+        let done = w
+            .estimate(
+                params(),
+                &RunBudget::unlimited(),
+                &mut StdRng::seed_from_u64(seed),
+            )
+            .unwrap();
+        // An unlimited pass always reaches a terminal state — converged,
+        // or the stopping-rule cutoff for zero-probability entries —
+        // with no cancellation fault leaking through.
+        prop_assert!(done
+            .outcome
+            .queries
+            .iter()
+            .all(|q| q.status != BudgetStatus::Cancelled));
+        // The terminal state is stable: estimating again (reuse for a
+        // converged pass, resume-at-cutoff otherwise) reproduces the
+        // same per-query outcomes without another pass over the stream.
+        let again = w
+            .estimate(
+                params(),
+                &RunBudget::unlimited(),
+                &mut StdRng::seed_from_u64(seed ^ 1),
+            )
+            .unwrap();
+        prop_assert_eq!(&again.outcome.queries, &done.outcome.queries);
+        if done.outcome.converged() {
+            prop_assert_eq!(again.tick_draws, 0, "a converged pass is reused verbatim");
+        }
+    }
+}

@@ -17,9 +17,10 @@
 //! window.  Each tick the two pipelines answer the same bank:
 //!
 //! * **windowed** — `WindowedEstimator::tick` (changelog replay into the
-//!   maintained conflict index and bank) + `estimate` (unchanged-lineage
-//!   entries reuse their converged outcome verbatim at zero draws; only
-//!   changed entries re-enter the stopping loop).
+//!   maintained conflict index and bank) + `estimate` (entries with an
+//!   unchanged fingerprint — witness set *and* conflict-component
+//!   context — reuse their converged outcome verbatim at zero draws;
+//!   only changed entries re-enter the stopping loop).
 //! * **scratch** — a fresh `Database` holding exactly the live window,
 //!   `ConflictIndex::build`, `LineageBank::compile`, and a full
 //!   stopping-rule pass over every entry.
@@ -28,7 +29,7 @@
 //! bit-identical to the scratch rebuild — conflict pairs and bank
 //! witness sets under the live-id remap, plus a same-seed fixed-samples
 //! estimate probe over both states — and that a tick which changed no
-//! lineage fingerprint was answered from reuse alone at **zero draws**.
+//! entry fingerprint was answered from reuse alone at **zero draws**.
 //! When not `--smoke`, the windowed pipeline must sustain ≥ 2x the
 //! estimates/sec of rebuild-and-re-estimate.
 
@@ -270,12 +271,12 @@ fn main() {
         reused_entries += reused;
 
         // The draw-reuse acceptance assert: a tick that changed no
-        // lineage fingerprint is answered entirely from the converged
+        // entry fingerprint is answered entirely from the converged
         // baseline, at zero draws.
         if report.changed.iter().all(|&c| !c) {
             assert_eq!(
                 pass.tick_draws, 0,
-                "tick {tick}: unchanged lineage must consume zero draws"
+                "tick {tick}: unchanged fingerprints must consume zero draws"
             );
             assert_eq!(reused, BANK_SIZE);
             zero_draw_ticks += 1;

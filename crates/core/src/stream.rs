@@ -12,21 +12,35 @@
 //!
 //! **Draw reuse.**  Re-estimating the whole bank from draw zero after
 //! every tick would waste the dominant cost of the pipeline on queries
-//! the tick did not touch.  Each bank entry carries a lineage
-//! fingerprint ([`LineageBank::entry_fingerprint`]: a hash of its sorted
-//! witness id-lists); after a tick, entries whose fingerprint is
-//! unchanged keep their converged [`QueryOutcome`] **verbatim**
-//! (bit-identical, zero draws), and only changed entries re-enter the
-//! shared stopping loop through the enrollment path
+//! the tick did not touch.  Each bank entry carries a fingerprint
+//! ([`LineageBank::entry_fingerprint`]: a hash of its sorted witness
+//! id-lists, each witness fact paired with the digest of its conflict
+//! component); after a tick, entries whose fingerprint is unchanged keep
+//! their converged [`QueryOutcome`] **verbatim** (bit-identical, zero
+//! draws), and only changed entries re-enter the shared stopping loop
+//! through the enrollment path
 //! ([`BankLiveSet::enroll`](ucqa_query::BankLiveSet::enroll) — the dual
 //! of the retirement the loop performs as queries converge — driven by
 //! [`BatchEstimator::estimate_stopping_batch_resume_with_bank`]).
 //!
-//! The fingerprint certifies unchanged *lineage*, not an unchanged
-//! database: a reused outcome is the estimate the entry converged to
-//! when it last changed, carried forward across ticks that provably did
-//! not touch its witness sets.  Within one tick the estimate stream is
-//! tick-local and interruptible: a [`RunBudget`] can cut it, and calling
+//! A reused outcome is the estimate the entry converged to when it last
+//! changed, carried forward across ticks that provably did not move its
+//! answer probability.  The fingerprint covers both the witness sets
+//! *and* the composition of each witness fact's conflict block: a fact
+//! that joins a witness's block without matching any query atom leaves
+//! the lineage intact but changes the repair distribution, so it must
+//! (and does) re-enroll the entry.  Under uniform repairs and uniform
+//! operations the per-component repair marginals are independent of the
+//! rest of the database, so the per-entry fingerprint is a sound reuse
+//! gate on its own; under uniform **sequences** the marginals also
+//! depend on how sequences of *other* components interleave, so any tick
+//! that changes the conflict-component structure anywhere
+//! ([`ConflictStructure::fingerprint`]) re-enrolls the whole bank.
+//! Consistent churn — facts that conflict with nothing sliding in and
+//! out — never disturbs reuse under any semantics.
+//!
+//! Within one tick the estimate stream is tick-local and interruptible:
+//! a [`RunBudget`] can cut it, and calling
 //! [`WindowedEstimator::estimate`] again with the same RNG resumes it
 //! bit-for-bit (the same resume guarantee as the static batched paths).
 //!
@@ -39,7 +53,7 @@
 
 use rand::Rng;
 
-use ucqa_db::{ConflictIndex, Database, Fact, FactId, FdSet, Value};
+use ucqa_db::{ConflictIndex, ConflictStructure, Database, Fact, FactId, FdSet, Value};
 use ucqa_query::{BankQueryRef, LineageBank, QueryEvaluator};
 use ucqa_repair::{GeneratorSpec, UniformSemantics};
 
@@ -77,8 +91,13 @@ pub struct TickReport {
     pub expired: Vec<FactId>,
     /// Changelog entries the index/bank refreshes replayed.
     pub replayed: usize,
-    /// Per bank entry: `true` iff its lineage fingerprint changed (see
-    /// [`LineageBank::refresh_with_delta`]).
+    /// Per bank entry: `true` iff its fingerprint — witness sets plus
+    /// the composition of each witness fact's conflict component (see
+    /// [`LineageBank::refresh_with_delta`]) — changed, i.e. its answer
+    /// probability may have moved and its converged outcome cannot be
+    /// reused.  Under uniform-sequences generators any change to the
+    /// conflict-component structure flags every entry (the marginals do
+    /// not factorize across components).
     pub changed: Vec<bool>,
     /// Per bank entry: `true` iff the next [`WindowedEstimator::estimate`]
     /// will re-enter it into the stopping loop (changed this tick, still
@@ -108,7 +127,8 @@ pub struct TickOutcome {
 /// converged pass returns verbatim at zero draws).
 ///
 /// `params` should be held fixed across the stream: reused outcomes
-/// carry the `(ε, δ/k)` they converged under.
+/// carry the `(ε, δ/k)` they converged under, so a call with different
+/// params drops the reuse baseline and re-estimates the whole bank.
 pub struct WindowedEstimator {
     db: Database,
     sigma: FdSet,
@@ -117,15 +137,27 @@ pub struct WindowedEstimator {
     conflict: ConflictIndex,
     queries: Vec<(QueryEvaluator, Vec<Value>)>,
     bank: LineageBank,
+    /// Per-entry fingerprints current with `bank` and `conflict` (see
+    /// [`LineageBank::entry_fingerprint`]) — the `before` of the next
+    /// tick's delta.  Cached because the conflict structure they were
+    /// computed under no longer exists once a tick has mutated the
+    /// database.
+    fingerprints: Vec<Option<u64>>,
+    /// The [`ConflictStructure::fingerprint`] current with `conflict` —
+    /// the global freshness gate for uniform-sequences generators.
+    structure: u64,
     /// The last fully-converged estimation pass over the current (or an
     /// earlier, fingerprint-equivalent) window state.
     prior: Option<EstimateOutcome>,
     /// An interrupted tick-local pass, resumable until the next mutating
     /// tick.
     pending: Option<EstimateOutcome>,
+    /// The params `prior`/`pending` were produced under; estimating with
+    /// different params restarts the whole bank.
+    baseline_params: Option<ApproximationParams>,
     /// Sticky per-entry re-admission flags: set when a tick changes an
-    /// entry's lineage (or at construction), cleared only when a pass
-    /// converges for every entry.
+    /// entry's fingerprint (or at construction), cleared only when a
+    /// pass converges for every entry.
     enrolled: Vec<bool>,
     tick: u64,
     /// Arrival ticks of live facts, in insertion order; only maintained
@@ -173,6 +205,8 @@ impl WindowedEstimator {
         let refs = Self::query_refs(&queries);
         let bank = LineageBank::compile(&db, &refs)?;
         drop(refs);
+        let structure = conflict.structure();
+        let fingerprints = bank.fingerprints(&structure);
         let enrolled = vec![true; queries.len()];
         let this = WindowedEstimator {
             db,
@@ -182,8 +216,11 @@ impl WindowedEstimator {
             conflict,
             queries,
             bank,
+            fingerprints,
+            structure: structure.fingerprint(),
             prior: None,
             pending: None,
+            baseline_params: None,
             enrolled,
             tick: 0,
             arrivals,
@@ -241,10 +278,17 @@ impl WindowedEstimator {
     /// Advances the stream by one tick: applies the explicit
     /// retractions, inserts the new facts, slides the window, and
     /// replays the resulting changelog suffix into the conflict index
-    /// and the bank.  Entries whose lineage fingerprint changed are
-    /// marked for re-admission; an interrupted estimation pass is
-    /// dropped if anything at all changed (its stream no longer matches
-    /// the window) and kept resumable across a no-op tick.
+    /// and the bank.  Entries whose fingerprint changed are marked for
+    /// re-admission; an interrupted estimation pass is dropped if
+    /// anything at all changed (its stream no longer matches the window)
+    /// and kept resumable across a no-op tick.
+    ///
+    /// A tick that errors part-way (say, a schema-mismatched insert
+    /// after some retractions applied) leaves the database ahead of the
+    /// derived state; the next [`WindowedEstimator::tick`] or
+    /// [`WindowedEstimator::estimate`] replays the gap before doing
+    /// anything else, so a failed tick is self-healing rather than
+    /// poisoning the stream.
     pub fn tick(&mut self, inserts: Vec<Fact>, retracts: &[Fact]) -> Result<TickReport, CoreError> {
         self.tick += 1;
         let mut retracted = 0usize;
@@ -260,30 +304,69 @@ impl WindowedEstimator {
                 .extend(inserted_ids.iter().map(|&id| (tick, id)));
         }
         let expired = self.expire()?;
-        let conflict_replayed = self.conflict.refresh(&self.db, &self.sigma);
-        let refs = Self::query_refs(&self.queries);
-        let delta = self.bank.refresh_with_delta(&self.db, &refs)?;
-        debug_assert_eq!(
-            conflict_replayed, delta.replayed,
-            "conflict index and bank replay the same changelog window"
-        );
-        for (flag, &changed) in self.enrolled.iter_mut().zip(&delta.changed) {
-            *flag |= changed;
-        }
-        if delta.replayed > 0 {
-            // A mutated window invalidates a mid-stream pass: its draws
-            // came from the previous window's repair distribution.
-            self.pending = None;
-        }
+        let (replayed, changed) = self.refresh_derived()?;
         Ok(TickReport {
             tick: self.tick,
             inserted: inserted_ids.len(),
             retracted,
             expired,
-            replayed: delta.replayed,
-            changed: delta.changed,
+            replayed,
+            changed,
             enrolled: self.enrolled.clone(),
         })
+    }
+
+    /// Brings the conflict index, the bank, the cached fingerprints, and
+    /// the per-entry enrollment flags up to date with the database,
+    /// replaying the changelog since the last successful refresh.
+    /// Returns `(replayed, changed)` — a no-op when everything is
+    /// already current.
+    ///
+    /// Called by [`WindowedEstimator::tick`] after the tick's mutations
+    /// and defensively at the top of [`WindowedEstimator::estimate`]: if
+    /// an earlier tick failed between mutating the database and
+    /// refreshing the derived state, the estimate call heals the gap
+    /// instead of running the batch paths against a stale bank (which
+    /// panic by contract).
+    fn refresh_derived(&mut self) -> Result<(usize, Vec<bool>), CoreError> {
+        if self.conflict.version() == self.db.version() && self.bank.version() == self.db.version()
+        {
+            return Ok((0, vec![false; self.queries.len()]));
+        }
+        let conflict_replayed = self.conflict.refresh(&self.db, &self.sigma);
+        let structure: ConflictStructure = self.conflict.structure();
+        let refs = Self::query_refs(&self.queries);
+        let delta =
+            self.bank
+                .refresh_with_delta(&self.db, &refs, &self.fingerprints, &structure)?;
+        drop(refs);
+        let mut changed = delta.changed;
+        // Uniform-sequences marginals depend on how the repairing
+        // sequences of *other* components interleave with a witness's
+        // own: a changed component anywhere invalidates every entry, not
+        // just those whose witness facts touch it.  (Uniform repairs and
+        // uniform operations factorize per component, so their per-entry
+        // fingerprints already tell the whole story.)
+        if self.spec.semantics == UniformSemantics::Sequences
+            && structure.fingerprint() != self.structure
+        {
+            changed.iter_mut().for_each(|c| *c = true);
+        }
+        self.fingerprints = delta.fingerprints;
+        self.structure = structure.fingerprint();
+        for (flag, &c) in self.enrolled.iter_mut().zip(&changed) {
+            *flag |= c;
+        }
+        // After a partial failure the two replays can differ (one
+        // structure healed earlier than the other); report the wider
+        // window.
+        let replayed = conflict_replayed.max(delta.replayed);
+        if replayed > 0 {
+            // A mutated window invalidates a mid-stream pass: its draws
+            // came from the previous window's repair distribution.
+            self.pending = None;
+        }
+        Ok((replayed, changed))
     }
 
     /// Estimates the bank over the current window with draw reuse.
@@ -298,12 +381,28 @@ impl WindowedEstimator {
     /// `budget` is stored instead and the next call resumes it
     /// bit-for-bit (same RNG, absolute tick-local draw counts) as long
     /// as no mutating tick intervened.
+    ///
+    /// Reused outcomes carry the `(ε, δ/k)` they converged under, so
+    /// `params` is part of what "converged" means: calling with params
+    /// different from the baseline's drops the prior and any pending
+    /// pass and re-enrolls the whole bank rather than silently mixing
+    /// stopping targets.
     pub fn estimate<R: Rng + ?Sized>(
         &mut self,
         params: ApproximationParams,
         budget: &RunBudget,
         rng: &mut R,
     ) -> Result<TickOutcome, CoreError> {
+        // Heal a tick that failed between mutating the database and
+        // refreshing the derived state (newly changed entries enroll
+        // here exactly as they would have in the failed tick).
+        self.refresh_derived()?;
+        if self.baseline_params.is_some_and(|p| p != params) {
+            self.prior = None;
+            self.pending = None;
+            self.enrolled = vec![true; self.queries.len()];
+        }
+        self.baseline_params = Some(params);
         let per_delta = params.delta / self.queries.len().max(1) as f64;
         let source = match &self.pending {
             Some(pending) => pending.clone(),
@@ -652,6 +751,143 @@ mod tests {
         // unchanged one, whose interrupted pass never converged.
         assert_eq!(report.changed, vec![false, true]);
         assert_eq!(report.enrolled, vec![true, true]);
+    }
+
+    #[test]
+    fn conflict_growth_without_lineage_change_reenrolls_the_entry() {
+        // The reuse-soundness counterexample from review: blocks
+        // {1: 2, 2: 2, 3: 1} and the membership query R(1, 1).  Insert
+        // R(1, 100): it matches no query atom, so entry 0's witness set
+        // stays {R(1, 1)} — but block 1 grows from 2 to 3 facts and the
+        // exact probability drops from 1/2 to 1/3.  The fingerprint must
+        // catch this, and the re-estimate must track the new truth.
+        let (db, sigma) = blocks();
+        let qs = queries(&db, &["Ans() :- R(1, 1)"]);
+        let mut w = WindowedEstimator::new(
+            db,
+            sigma,
+            GeneratorSpec::uniform_operations().with_singleton_only(),
+            WindowSpec::Unbounded,
+            qs,
+        )
+        .unwrap();
+        let first = w
+            .estimate(
+                params(),
+                &RunBudget::unlimited(),
+                &mut StdRng::seed_from_u64(7),
+            )
+            .unwrap();
+        assert!(first.outcome.converged());
+        assert!((first.outcome.queries[0].estimate - 0.5).abs() <= 0.3 * 0.5);
+
+        let insert = fact(w.db(), 1, 100);
+        let report = w.tick(vec![insert], &[]).unwrap();
+        assert_eq!(
+            report.changed,
+            vec![true],
+            "a block-mate insert must invalidate the membership entry"
+        );
+        let second = w
+            .estimate(
+                params(),
+                &RunBudget::unlimited(),
+                &mut StdRng::seed_from_u64(8),
+            )
+            .unwrap();
+        assert!(second.outcome.converged());
+        assert!(second.tick_draws > 0, "the entry re-entered the loop");
+        let exact = 1.0 / 3.0;
+        assert!(
+            (second.outcome.queries[0].estimate - exact).abs() <= 0.3 * exact,
+            "re-estimate {} missed the post-tick truth {}",
+            second.outcome.queries[0].estimate,
+            exact
+        );
+    }
+
+    #[test]
+    fn failed_tick_heals_on_the_next_estimate() {
+        let mut w = windowed(WindowSpec::Unbounded);
+        let first = w
+            .estimate(
+                params(),
+                &RunBudget::unlimited(),
+                &mut StdRng::seed_from_u64(7),
+            )
+            .unwrap();
+        assert!(first.outcome.converged());
+
+        // A tick that applies its retraction and then fails on an
+        // arity-mismatched insert (inserts are staged after retracts)
+        // leaves the database ahead of the derived state.
+        let bad = Fact::new(
+            w.db().schema().relation_id("R").unwrap(),
+            vec![Value::int(1)],
+        );
+        let gone = fact(w.db(), 1, 2);
+        assert!(w.tick(vec![bad], &[gone]).is_err());
+        assert!(w.bank().version() < w.db().version(), "derived state lags");
+
+        // The next estimate replays the gap first: entry 0 (block 1 lost
+        // its conflict, the probability jumped to 1) re-enrolls and
+        // re-converges; entry 1 is reused.
+        let healed = w
+            .estimate(
+                params(),
+                &RunBudget::unlimited(),
+                &mut StdRng::seed_from_u64(9),
+            )
+            .unwrap();
+        assert!(healed.outcome.converged());
+        assert_eq!(w.bank().version(), w.db().version());
+        assert_eq!(healed.reused, vec![false, true]);
+        assert_eq!(healed.outcome.queries[1], first.outcome.queries[1]);
+        assert!((healed.outcome.queries[0].estimate - 1.0).abs() <= 0.3);
+        // And so does the next tick, reporting the healed backlog.
+        let report = w.tick(vec![], &[]).unwrap();
+        assert_eq!(report.replayed, 0, "nothing left to heal");
+    }
+
+    #[test]
+    fn changing_params_restarts_the_whole_bank() {
+        let mut w = windowed(WindowSpec::Unbounded);
+        let first = w
+            .estimate(
+                params(),
+                &RunBudget::unlimited(),
+                &mut StdRng::seed_from_u64(7),
+            )
+            .unwrap();
+        assert!(first.outcome.converged());
+        // Same params: reused verbatim.
+        let again = w
+            .estimate(
+                params(),
+                &RunBudget::unlimited(),
+                &mut StdRng::seed_from_u64(8),
+            )
+            .unwrap();
+        assert_eq!(again.tick_draws, 0);
+
+        // Tighter ε: the converged baseline no longer certifies the
+        // requested bound, so nothing is reused.
+        let tighter =
+            ApproximationParams::new(0.2, 0.2)
+                .unwrap()
+                .with_mode(EstimatorMode::OptimalStopping {
+                    max_samples: 200_000,
+                });
+        let restarted = w
+            .estimate(
+                tighter,
+                &RunBudget::unlimited(),
+                &mut StdRng::seed_from_u64(8),
+            )
+            .unwrap();
+        assert!(restarted.reused.iter().all(|&r| !r));
+        assert!(restarted.tick_draws > 0);
+        assert!(restarted.outcome.converged());
     }
 
     #[test]

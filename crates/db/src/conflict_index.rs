@@ -348,6 +348,139 @@ impl ConflictIndex {
         let end = self.pair_offsets[fact.index() + 1] as usize;
         &self.pair_adjacency[start..end]
     }
+
+    /// The connected components of the conflict graph: facts involved in
+    /// at least one violation, grouped by reachability over conflicting
+    /// pairs.  Each component is sorted ascending; components are sorted
+    /// by their smallest fact id.  Conflict-free facts belong to no
+    /// component (they survive every repair and play no role in the
+    /// repairing process).
+    pub fn components(&self) -> Vec<Vec<FactId>> {
+        // Union-find over the conflicting facts, path-halving.
+        let mut parent: Vec<u32> = (0..self.universe as u32).collect();
+        fn find(parent: &mut [u32], mut x: u32) -> u32 {
+            while parent[x as usize] != x {
+                parent[x as usize] = parent[parent[x as usize] as usize];
+                x = parent[x as usize];
+            }
+            x
+        }
+        for &(a, b) in &self.pairs {
+            let (ra, rb) = (
+                find(&mut parent, a.index() as u32),
+                find(&mut parent, b.index() as u32),
+            );
+            if ra != rb {
+                let (lo, hi) = (ra.min(rb), ra.max(rb));
+                parent[hi as usize] = lo;
+            }
+        }
+        // `conflicting` is sorted, so grouping by root yields components
+        // sorted ascending internally, in order of their smallest id.
+        let mut by_root: std::collections::BTreeMap<u32, Vec<FactId>> = Default::default();
+        for &fact in &self.conflicting {
+            let root = find(&mut parent, fact.index() as u32);
+            by_root.entry(root).or_default().push(fact);
+        }
+        by_root.into_values().collect()
+    }
+
+    /// The conflict structure of the indexed state: a stable digest of
+    /// each fact's conflict component, plus a fingerprint of the whole
+    /// component list.  See [`ConflictStructure`].
+    pub fn structure(&self) -> ConflictStructure {
+        ConflictStructure::of(self)
+    }
+}
+
+/// A digest view of a [`ConflictIndex`]'s conflict-graph components,
+/// built once per refresh and consumed by lineage fingerprinting.
+///
+/// The repair distribution a fact is subject to is determined by its
+/// conflict component (under uniform repairs and uniform operations the
+/// per-component marginals are independent of the rest of the database;
+/// under uniform sequences they additionally depend on the global
+/// component structure — see [`ConflictStructure::fingerprint`]).  Two
+/// database states assign a fact equal digests iff the fact's component
+/// holds the same fact ids, so an estimate that depends only on a set of
+/// facts and their components can be proven unchanged across a delta by
+/// comparing digests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConflictStructure {
+    /// Per fact id: a 64-bit FNV-1a digest of the sorted id-list of the
+    /// fact's conflict component, or the digest of `[id]` for a
+    /// conflict-free fact (its "component" is the fact alone).
+    digests: Vec<u64>,
+    /// A digest of the entire component list, in canonical order.
+    fingerprint: u64,
+}
+
+impl ConflictStructure {
+    fn of(index: &ConflictIndex) -> Self {
+        let mut digests: Vec<u64> = (0..index.universe)
+            .map(|id| {
+                let mut h = Fnv::new();
+                h.mix(1);
+                h.mix(id as u64);
+                h.finish()
+            })
+            .collect();
+        let mut global = Fnv::new();
+        let components = index.components();
+        global.mix(components.len() as u64);
+        for component in components {
+            let mut h = Fnv::new();
+            h.mix(component.len() as u64);
+            for &fact in &component {
+                h.mix(fact.index() as u64);
+            }
+            let digest = h.finish();
+            global.mix(digest);
+            for &fact in &component {
+                digests[fact.index()] = digest;
+            }
+        }
+        ConflictStructure {
+            digests,
+            fingerprint: global.finish(),
+        }
+    }
+
+    /// The component digest of `fact` (the digest of `[fact]` itself if
+    /// it conflicts with nothing).
+    pub fn digest(&self, fact: FactId) -> u64 {
+        self.digests[fact.index()]
+    }
+
+    /// A fingerprint of the whole conflict-component structure: equal
+    /// across two states iff they hold the same components over the same
+    /// fact ids.  Conflict-free facts do not participate, so consistent
+    /// churn leaves the fingerprint intact.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+}
+
+/// A minimal incremental FNV-1a hasher over little-endian `u64` words.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Fnv(u64);
+
+impl Fnv {
+    pub(crate) fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    pub(crate) fn mix(&mut self, value: u64) {
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        for byte in value.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    pub(crate) fn finish(self) -> u64 {
+        self.0
+    }
 }
 
 /// The mutable state of one walk over a [`ConflictIndex`]: the live
@@ -882,5 +1015,41 @@ mod tests {
         ops.reset_full(&index);
         assert!(ops.is_consistent());
         assert_eq!(ops.live().len(), 2);
+    }
+
+    #[test]
+    fn components_group_facts_by_conflict_reachability() {
+        // f1 –(A→B)– f2 –(C→B)– f3: one component, not a clique.
+        let (mut db, sigma) = running_example();
+        let index = ConflictIndex::build(&db, &sigma);
+        assert_eq!(
+            index.components(),
+            vec![vec![FactId::new(0), FactId::new(1), FactId::new(2)]]
+        );
+
+        // A conflict-free fact joins no component and leaves the
+        // structure fingerprint intact, but carries its own digest.
+        let before = index.structure();
+        db.insert_values("R", [Value::str("a9"), Value::str("b9"), Value::str("c9")])
+            .unwrap();
+        let mut index = index;
+        index.refresh(&db, &sigma);
+        let after = index.structure();
+        assert_eq!(index.components().len(), 1);
+        assert_eq!(before.fingerprint(), after.fingerprint());
+        for f in 0..3 {
+            assert_eq!(before.digest(FactId::new(f)), after.digest(FactId::new(f)));
+        }
+
+        // A fact that conflicts with f3 (same C, different B) extends the
+        // component: every member's digest and the fingerprint move.
+        db.insert_values("R", [Value::str("a2"), Value::str("b7"), Value::str("c2")])
+            .unwrap();
+        index.refresh(&db, &sigma);
+        let grown = index.structure();
+        assert_ne!(after.fingerprint(), grown.fingerprint());
+        assert_ne!(after.digest(FactId::new(2)), grown.digest(FactId::new(2)));
+        // The refreshed structure matches a from-scratch build.
+        assert_eq!(grown, ConflictIndex::build(&db, &sigma).structure());
     }
 }

@@ -44,7 +44,9 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use ucqa_db::{Database, FactChange, FactId, FactSet, RelationIndex, Sym, Value};
+use ucqa_db::{
+    ConflictStructure, Database, FactChange, FactId, FactSet, RelationIndex, Sym, Value,
+};
 
 use crate::lineage::DEFAULT_WITNESS_CAP;
 use crate::plan::{candidate_facts, match_and_bind, unbind, SymAtom, SymTerm};
@@ -388,35 +390,64 @@ impl LineageBank {
     }
 
     /// As [`LineageBank::refresh`], additionally reporting which entries'
-    /// lineage actually changed across the replay: per-entry
-    /// [fingerprints](LineageBank::entry_fingerprint) are taken before and
-    /// after, and an entry is flagged changed iff they differ (fallback
-    /// entries, which have no witness set to fingerprint, are always
-    /// flagged once anything at all replayed).
+    /// [fingerprint](LineageBank::entry_fingerprint) actually changed
+    /// across the replay.
+    ///
+    /// `before` is the fingerprint vector of the **pre-replay** state —
+    /// the caller caches it from compile time or from the previous
+    /// refresh, because the conflict structure it was computed under no
+    /// longer exists once the database has moved.  `structure` describes
+    /// the **post-replay** conflict state (the caller refreshes its
+    /// conflict index first, then the bank).  An entry is flagged changed
+    /// iff the fingerprints differ (fallback entries, which have no
+    /// witness set to fingerprint, are always flagged once anything at
+    /// all replayed), and the post-replay fingerprints are returned for
+    /// the caller to cache for the next delta.
     ///
     /// This is the freshness signal of the sliding-window estimator
     /// (`ucqa_core::stream`): entries whose fingerprint survived a tick
     /// keep their converged estimates verbatim, entries that changed
     /// re-enter the shared stopping loop via [`BankLiveSet::enroll`].
+    /// Under uniform-sequences generators the caller must additionally
+    /// compare [`ConflictStructure::fingerprint`]s — see
+    /// [`LineageBank::entry_fingerprint`].
+    ///
+    /// # Panics
+    /// Panics if `before.len()` differs from the number of bank entries.
     pub fn refresh_with_delta(
         &mut self,
         db: &Database,
         queries: &[BankQueryRef<'_>],
+        before: &[Option<u64>],
+        structure: &ConflictStructure,
     ) -> Result<RefreshDelta, QueryError> {
-        let before = self.fingerprints();
+        assert_eq!(
+            before.len(),
+            self.entries.len(),
+            "refresh_with_delta requires one cached fingerprint per entry"
+        );
         let replayed = self.refresh(db, queries)?;
-        let changed = if replayed == 0 {
+        if replayed == 0 {
             // Nothing replayed: the database did not move, so even
-            // fallback entries (fingerprint `None`) are provably fresh.
-            vec![false; self.entries.len()]
-        } else {
-            self.fingerprints()
-                .iter()
-                .zip(&before)
-                .map(|(after, prior)| after.is_none() || prior.is_none() || after != prior)
-                .collect()
-        };
-        Ok(RefreshDelta { replayed, changed })
+            // fallback entries (fingerprint `None`) are provably fresh
+            // and the cached fingerprints still describe this state.
+            return Ok(RefreshDelta {
+                replayed,
+                changed: vec![false; self.entries.len()],
+                fingerprints: before.to_vec(),
+            });
+        }
+        let fingerprints = self.fingerprints(structure);
+        let changed = fingerprints
+            .iter()
+            .zip(before)
+            .map(|(after, prior)| after.is_none() || prior.is_none() || after != prior)
+            .collect();
+        Ok(RefreshDelta {
+            replayed,
+            changed,
+            fingerprints,
+        })
     }
 
     /// As [`LineageBank::refresh`], with an explicit per-query witness cap.
@@ -620,23 +651,35 @@ impl LineageBank {
         })
     }
 
-    /// A stable fingerprint of entry `index`'s lineage — a 64-bit FNV-1a
-    /// hash over its sorted witness id-lists (witnesses ordered
-    /// lexicographically, fact ids ascending within each witness) — or
+    /// A stable fingerprint of entry `index`'s lineage **and its conflict
+    /// context** — a 64-bit FNV-1a hash over the sorted witness id-lists
+    /// (witnesses ordered lexicographically, fact ids ascending within
+    /// each witness), each fact id paired with the
+    /// [`ConflictStructure::digest`] of its conflict component — or
     /// `None` for a fallback entry, which has no witness set to hash.
+    /// `structure` must describe the same database state the bank is
+    /// current with.
     ///
-    /// Two compilations assign an entry equal fingerprints iff its
-    /// witness *sets* are equal: the arena layout, which shifts as other
-    /// entries change across refreshes, does not participate.  The
-    /// windowed estimator uses this to detect entries whose lineage
-    /// survived a tick untouched and can keep their converged estimates.
+    /// Two states assign an entry equal fingerprints iff its witness
+    /// *sets* are equal **and** every witness fact sits in a conflict
+    /// component holding the same fact ids: the arena layout, which
+    /// shifts as other entries change across refreshes, does not
+    /// participate.  The witness sets alone are not enough — a fact that
+    /// joins a witness fact's block without matching any query atom
+    /// leaves the lineage intact but changes the repair distribution the
+    /// witness is drawn under, and with it the answer probability.
     ///
-    /// Note the fingerprint certifies unchanged *lineage*, not unchanged
-    /// *probability in isolation*: it is sound exactly because the
-    /// estimators condition every query in a batch on one shared repair
-    /// draw, so an entry whose witness sets are unchanged is decided by
-    /// the same containment tests as before.
-    pub fn entry_fingerprint(&self, index: usize) -> Option<u64> {
+    /// The windowed estimator uses this to detect entries whose lineage
+    /// *and* whose repair marginals provably survived a tick, and keeps
+    /// their converged estimates.  Under uniform repairs and uniform
+    /// operations the per-component marginals are independent of the
+    /// rest of the database, so the fingerprint alone certifies an
+    /// unchanged probability; under uniform *sequences* the marginals
+    /// additionally depend on the global component structure (sequence
+    /// interleavings weight components against each other), which the
+    /// caller must gate separately via
+    /// [`ConflictStructure::fingerprint`].
+    pub fn entry_fingerprint(&self, index: usize, structure: &ConflictStructure) -> Option<u64> {
         match &self.entries[index] {
             BankEntry::Fallback => None,
             BankEntry::Compiled { .. } => {
@@ -661,6 +704,7 @@ impl LineageBank {
                     mix(list.len() as u64);
                     for &id in list {
                         mix(id.index() as u64);
+                        mix(structure.digest(id));
                     }
                 }
                 Some(hash)
@@ -668,11 +712,11 @@ impl LineageBank {
         }
     }
 
-    /// The per-entry lineage fingerprints, in entry order (see
+    /// The per-entry fingerprints under `structure`, in entry order (see
     /// [`LineageBank::entry_fingerprint`]).
-    pub fn fingerprints(&self) -> Vec<Option<u64>> {
+    pub fn fingerprints(&self, structure: &ConflictStructure) -> Vec<Option<u64>> {
         (0..self.entries.len())
-            .map(|i| self.entry_fingerprint(i))
+            .map(|i| self.entry_fingerprint(i, structure))
             .collect()
     }
 
@@ -743,11 +787,14 @@ impl LineageBank {
 pub struct RefreshDelta {
     /// Changelog entries replayed (`0` when the bank was already current).
     pub replayed: usize,
-    /// Per entry, in bank order: `true` iff the lineage fingerprint
-    /// changed across the replay.  Fallback entries are flagged whenever
-    /// anything replayed — with no witness set there is nothing to prove
-    /// unchanged.
+    /// Per entry, in bank order: `true` iff the lineage-and-conflict
+    /// fingerprint changed across the replay.  Fallback entries are
+    /// flagged whenever anything replayed — with no witness set there is
+    /// nothing to prove unchanged.
     pub changed: Vec<bool>,
+    /// The post-replay fingerprints, in bank order — the `before` of the
+    /// next delta.
+    pub fingerprints: Vec<Option<u64>>,
 }
 
 impl RefreshDelta {
@@ -1144,7 +1191,7 @@ impl BankLiveSet {
 mod tests {
     use super::*;
     use crate::parser::parse_query;
-    use ucqa_db::{FactId, Schema};
+    use ucqa_db::{ConflictIndex, FactId, FdSet, FunctionalDependency, Schema};
 
     fn blocks_db() -> Database {
         let mut schema = Schema::new();
@@ -1714,9 +1761,16 @@ mod tests {
         assert!(enrolled.is_live(0) && !enrolled.is_live(1) && enrolled.is_live(2));
     }
 
+    fn blocks_sigma(db: &Database) -> FdSet {
+        let mut sigma = FdSet::new();
+        sigma.add(FunctionalDependency::from_names(db.schema(), "R", &["K"], &["V"]).unwrap());
+        sigma
+    }
+
     #[test]
     fn fingerprints_identify_unchanged_lineage_across_refreshes() {
         let mut db = blocks_db();
+        let sigma = blocks_sigma(&db);
         let evals = evaluators(
             &db,
             &[
@@ -1727,35 +1781,43 @@ mod tests {
         );
         let queries: Vec<BankQueryRef<'_>> = evals.iter().map(|e| (e, &[] as &[Value])).collect();
         let mut bank = LineageBank::compile(&db, &queries).unwrap();
-        let before = bank.fingerprints();
+        let structure = ConflictIndex::build(&db, &sigma).structure();
+        let before = bank.fingerprints(&structure);
         // Identical lineage hashes identically within one compilation
         // only when the witness sets coincide; distinct queries differ.
         assert_ne!(before[0], before[1]);
 
         // A current bank reports an empty delta.
-        let noop = bank.refresh_with_delta(&db, &queries).unwrap();
+        let noop = bank
+            .refresh_with_delta(&db, &queries, &before, &structure)
+            .unwrap();
         assert_eq!(noop.replayed, 0);
         assert!(noop.changed.iter().all(|&c| !c));
+        assert_eq!(noop.fingerprints, before);
 
         // A block-3 insert rewrites entry 1's lineage and — because the
         // new fact enters every witness's universe — leaves entries 0 and
-        // 2's witness id-sets untouched: their fingerprints survive even
-        // though the arena was rebuilt.
+        // 2's witness id-sets and conflict components untouched: their
+        // fingerprints survive even though the arena was rebuilt.
         db.insert_values("R", [Value::int(3), Value::int(8)])
             .unwrap();
-        let delta = bank.refresh_with_delta(&db, &queries).unwrap();
+        let structure = ConflictIndex::build(&db, &sigma).structure();
+        let delta = bank
+            .refresh_with_delta(&db, &queries, &before, &structure)
+            .unwrap();
         assert_eq!(delta.replayed, 1);
         assert_eq!(delta.changed, vec![false, true, false]);
         assert_eq!(delta.changed_entries().collect::<Vec<_>>(), vec![1]);
-        let after = bank.fingerprints();
+        let after = &delta.fingerprints;
         assert_eq!(after[0], before[0]);
         assert_ne!(after[1], before[1]);
         assert_eq!(after[2], before[2]);
 
         // The refreshed fingerprints agree with a from-scratch compile:
-        // the hash covers witness id-sets, never arena layout.
+        // the hash covers witness id-sets and their conflict components,
+        // never arena layout.
         let fresh = LineageBank::compile(&db, &queries).unwrap();
-        assert_eq!(after, fresh.fingerprints());
+        assert_eq!(after, &fresh.fingerprints(&structure));
         // And `witnesses_of` exposes the id-sets the hash ranges over.
         let ours: Vec<Vec<FactId>> = bank
             .witnesses_of(1)
@@ -1778,20 +1840,68 @@ mod tests {
     #[test]
     fn fallback_entries_have_no_fingerprint_and_always_read_changed() {
         let mut db = blocks_db();
+        let sigma = blocks_sigma(&db);
         let evals = evaluators(&db, &["Ans() :- R(x, y)", "Ans() :- R(1, x)"]);
         let queries: Vec<BankQueryRef<'_>> = evals.iter().map(|e| (e, &[] as &[Value])).collect();
         let mut bank = LineageBank::compile_with_cap(&db, &queries, 2).unwrap();
+        let structure = ConflictIndex::build(&db, &sigma).structure();
         assert!(bank.is_fallback(0));
-        assert_eq!(bank.entry_fingerprint(0), None);
+        assert_eq!(bank.entry_fingerprint(0, &structure), None);
         assert!(bank.witnesses_of(0).is_none());
-        assert!(bank.entry_fingerprint(1).is_some());
+        assert!(bank.entry_fingerprint(1, &structure).is_some());
+        let before = bank.fingerprints(&structure);
         // Any replay flags the fallback entry — there is no witness set
         // to prove unchanged — while the untouched compiled entry stays
         // fresh.
         db.insert_values("R", [Value::int(5), Value::int(5)])
             .unwrap();
-        let delta = bank.refresh_with_delta(&db, &queries).unwrap();
+        let structure = ConflictIndex::build(&db, &sigma).structure();
+        let delta = bank
+            .refresh_with_delta(&db, &queries, &before, &structure)
+            .unwrap();
         assert_eq!(delta.replayed, 1);
         assert_eq!(delta.changed, vec![true, false]);
+    }
+
+    #[test]
+    fn fingerprints_track_conflict_context_not_just_lineage() {
+        // The reuse-soundness counterexample: a membership query whose
+        // witness set survives a tick untouched while the witness fact's
+        // block gains a member.  The answer probability moves (the
+        // witness is drawn under a bigger block), so the fingerprint
+        // must move with it.
+        let mut db = blocks_db();
+        let sigma = blocks_sigma(&db);
+        let evals = evaluators(&db, &["Ans() :- R(1, 1)"]);
+        let queries: Vec<BankQueryRef<'_>> = evals.iter().map(|e| (e, &[] as &[Value])).collect();
+        let mut bank = LineageBank::compile(&db, &queries).unwrap();
+        let before = bank.fingerprints(&ConflictIndex::build(&db, &sigma).structure());
+
+        // R(1, 9) matches no query atom — the witness set stays
+        // {R(1, 1)} — but joins the witness's conflict block.
+        db.insert_values("R", [Value::int(1), Value::int(9)])
+            .unwrap();
+        let structure = ConflictIndex::build(&db, &sigma).structure();
+        let delta = bank
+            .refresh_with_delta(&db, &queries, &before, &structure)
+            .unwrap();
+        assert_eq!(delta.changed, vec![true], "conflict growth must re-enroll");
+        let witnesses: Vec<Vec<FactId>> = bank
+            .witnesses_of(0)
+            .unwrap()
+            .iter()
+            .map(|w| w.iter().collect())
+            .collect();
+        assert_eq!(witnesses, vec![vec![FactId::new(0)]], "lineage untouched");
+
+        // A consistent insert under a fresh key touches no component:
+        // the fingerprint survives and the entry stays reusable.
+        db.insert_values("R", [Value::int(9), Value::int(9)])
+            .unwrap();
+        let structure = ConflictIndex::build(&db, &sigma).structure();
+        let delta = bank
+            .refresh_with_delta(&db, &queries, &delta.fingerprints, &structure)
+            .unwrap();
+        assert_eq!(delta.changed, vec![false]);
     }
 }

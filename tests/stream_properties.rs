@@ -238,10 +238,13 @@ proptest! {
     }
 
     /// Satellite 2 (re-convergence half): a tick that changes an entry's
-    /// lineage re-enrolls exactly that entry; the re-estimated outcome
-    /// converges within the relative `(ε, δ/k)` bound of the exact
-    /// solver over the mutated window, while untouched entries stay
-    /// byte-identical.
+    /// fingerprint re-enrolls it; the re-estimated outcome converges
+    /// within the relative `(ε, δ/k)` bound of the exact solver over the
+    /// mutated window, while untouched entries stay byte-identical —
+    /// and, crucially, **every** entry (reused or re-estimated) satisfies
+    /// the bound against the exact probabilities of the *post-tick*
+    /// window.  Reuse of a stale outcome whose block changed under it
+    /// (the fingerprint-soundness bug) fails the reused half.
     #[test]
     fn changed_entries_reconverge_to_the_exact_answer(
         est_seed in 0u64..16,
@@ -254,13 +257,21 @@ proptest! {
         prop_assert!(first.outcome.converged());
 
         // Grow block 0 or 1: the matching block query's lineage gains a
-        // witness (and the membership query's block gains a conflict
-        // without touching its witness set — the documented fingerprint
-        // caveat keeps it reused only when its own lineage is stable).
+        // witness.  Growing block 0 also re-enrolls the membership query
+        // R(0, 0): its witness set is untouched, but its witness now
+        // sits in a bigger block, so its answer probability moved.
         let insert = fact(w.db(), grow_block, 100 + grow_block);
         let report = w.tick(vec![insert], &[]).unwrap();
         let grown_query = (grow_block + 1) as usize; // QUERY_TEXTS[1] = block 0, [2] = block 1
         prop_assert!(report.changed[grown_query]);
+        if grow_block == 0 {
+            prop_assert!(
+                report.changed[0],
+                "the membership query's block grew: reusing its outcome would be unsound"
+            );
+        } else {
+            prop_assert!(!report.changed[0] && !report.changed[1]);
+        }
 
         let second = w
             .estimate(params, &RunBudget::unlimited(), &mut StdRng::seed_from_u64(est_seed))
@@ -270,18 +281,99 @@ proptest! {
         for (q, outcome) in second.outcome.queries.iter().enumerate() {
             if second.reused[q] {
                 prop_assert_eq!(*outcome, first.outcome.queries[q], "reused entry {} drifted", q);
-            } else {
-                // Converged under (ε, δ/k): relative error ε, checked
-                // against the exact chain probabilities.
-                prop_assert!(
-                    (outcome.estimate - exact[q]).abs() <= params.epsilon * exact[q] + 1e-12,
-                    "entry {}: estimate {} vs exact {} (ε = {})",
-                    q,
-                    outcome.estimate,
-                    exact[q],
-                    params.epsilon
-                );
             }
+            // Reused or re-estimated, every entry must satisfy the
+            // relative (ε, δ/k) bound against the exact chain
+            // probabilities of the mutated window: reuse is only legal
+            // when the tick provably did not move the probability.
+            prop_assert!(
+                (outcome.estimate - exact[q]).abs() <= params.epsilon * exact[q] + 1e-12,
+                "entry {} ({}): estimate {} vs exact {} (ε = {})",
+                q,
+                if second.reused[q] { "reused" } else { "re-estimated" },
+                outcome.estimate,
+                exact[q],
+                params.epsilon
+            );
         }
+    }
+
+    /// Uniform-sequences marginals do not factorize across conflict
+    /// components: the interleaving of other components' repairing
+    /// sequences reweights a component's own outcomes.  A tick that
+    /// changes *any* component must therefore re-enroll the whole bank
+    /// under `M^us` — per-entry fingerprints are not a sound gate there
+    /// — and the re-estimates must land on the post-tick truth.
+    #[test]
+    fn sequences_reenroll_everything_when_any_component_changes(
+        est_seed in 0u64..8,
+    ) {
+        let mut workload = StreamWorkload::new(1, 0, 0, 0.0, 0);
+        let (mut db, sigma) = workload.initial(0);
+        // Block 0 holds three facts (mixed sequence lengths: a pair
+        // removal can finish it early), so its marginals feel the
+        // interleaving of other blocks' sequences.
+        for (k, v) in [(0, 0), (0, 1), (0, 2), (1, 10), (1, 11)] {
+            db.insert_values("R", [Value::int(k), Value::int(v)])
+                .unwrap();
+        }
+        let queries = stream_queries(&db);
+        let mut w = WindowedEstimator::new(
+            db,
+            sigma,
+            GeneratorSpec::uniform_sequences(),
+            WindowSpec::Unbounded,
+            queries,
+        )
+        .unwrap();
+        let params = ApproximationParams::new(0.25, 0.15)
+            .unwrap()
+            .with_mode(EstimatorMode::OptimalStopping {
+                max_samples: 400_000,
+            });
+        let first = w
+            .estimate(params, &RunBudget::unlimited(), &mut StdRng::seed_from_u64(3))
+            .unwrap();
+        prop_assert!(first.outcome.converged());
+
+        // Grow block 1: block 0 is untouched — its witness sets and its
+        // component composition both survive — yet its probabilities
+        // move with the interleaving, so every entry must re-enroll.
+        let insert = fact(w.db(), 1, 100);
+        let report = w.tick(vec![insert], &[]).unwrap();
+        prop_assert!(
+            report.changed.iter().all(|&c| c),
+            "a changed component re-enrolls the whole bank under M^us, got {:?}",
+            report.changed
+        );
+
+        let second = w
+            .estimate(params, &RunBudget::unlimited(), &mut StdRng::seed_from_u64(est_seed))
+            .unwrap();
+        prop_assert!(second.outcome.converged());
+        prop_assert!(second.reused.iter().all(|&r| !r));
+        let exact = exact_probabilities(w.db(), w.sigma(), w.spec());
+        for (q, outcome) in second.outcome.queries.iter().enumerate() {
+            prop_assert!(
+                (outcome.estimate - exact[q]).abs() <= params.epsilon * exact[q] + 1e-12,
+                "entry {}: estimate {} vs exact {} (ε = {})",
+                q,
+                outcome.estimate,
+                exact[q],
+                params.epsilon
+            );
+        }
+
+        // Consistent churn, by contrast, leaves even `M^us` reuse
+        // intact: a conflict-free fact joins no component.
+        let insert = fact(w.db(), 7, 7);
+        let report = w.tick(vec![insert], &[]).unwrap();
+        prop_assert!(report.changed.iter().all(|&c| !c));
+        let third = w
+            .estimate(params, &RunBudget::unlimited(), &mut StdRng::seed_from_u64(est_seed ^ 9))
+            .unwrap();
+        prop_assert_eq!(third.tick_draws, 0);
+        prop_assert!(third.reused.iter().all(|&r| r));
+        prop_assert_eq!(third.outcome.queries, second.outcome.queries);
     }
 }

@@ -53,7 +53,9 @@
 
 use rand::Rng;
 
-use ucqa_db::{ConflictIndex, ConflictStructure, Database, Fact, FactId, FdSet, Value};
+use ucqa_db::{
+    ConflictIndex, ConflictStructure, Database, Fact, FactId, FdSet, StatsSnapshot, Value,
+};
 use ucqa_query::{BankQueryRef, LineageBank, QueryEvaluator};
 use ucqa_repair::{GeneratorSpec, UniformSemantics};
 
@@ -163,7 +165,25 @@ pub struct WindowedEstimator {
     /// Arrival ticks of live facts, in insertion order; only maintained
     /// for [`WindowSpec::Ticks`].
     arrivals: std::collections::VecDeque<(u64, FactId)>,
+    /// The [`RelationIndex`](ucqa_db::RelationIndex) statistics the
+    /// current query plans were costed against.  Steady-state ticks keep
+    /// the compiled plans (and therefore the bit-identical reuse path);
+    /// a tick whose maintained stats drift by more than
+    /// [`REPLAN_DRIFT_FACTOR`] against this snapshot re-costs every
+    /// evaluator before the next enumeration.
+    planning_stats: StatsSnapshot,
+    /// How many times the stream has re-costed its plans (see
+    /// [`WindowedEstimator::replans`]).
+    replans: u64,
 }
+
+/// A maintained statistic (relation cardinality or longest posting run)
+/// must move by more than this factor against the snapshot the current
+/// plans were costed under before a tick triggers a replan.  2× is
+/// deliberately coarse: the greedy cost order only changes when relative
+/// selectivities shift materially, and replanning on every tick would
+/// re-cost plans whose order cannot have moved.
+pub const REPLAN_DRIFT_FACTOR: f64 = 2.0;
 
 impl WindowedEstimator {
     /// Creates a windowed estimator over an initial database state,
@@ -208,6 +228,7 @@ impl WindowedEstimator {
         let structure = conflict.structure();
         let fingerprints = bank.fingerprints(&structure);
         let enrolled = vec![true; queries.len()];
+        let planning_stats = db.relation_index().stats_snapshot();
         let this = WindowedEstimator {
             db,
             sigma,
@@ -224,6 +245,8 @@ impl WindowedEstimator {
             enrolled,
             tick: 0,
             arrivals,
+            planning_stats,
+            replans: 0,
         };
         // Validate the generator/constraint combination now rather than
         // at the first estimate.
@@ -365,6 +388,20 @@ impl WindowedEstimator {
             // A mutated window invalidates a mid-stream pass: its draws
             // came from the previous window's repair distribution.
             self.pending = None;
+            // Replan only when the maintained statistics have drifted
+            // materially since the plans were last costed.  Witness sets
+            // are plan-independent (the planner only reorders the join
+            // enumeration), so re-costing evaluators never perturbs the
+            // fingerprints above — steady-state ticks and replanning
+            // ticks alike keep the bit-identical reuse path.
+            let current = self.db.relation_index().stats_snapshot();
+            if self.planning_stats.drifted(&current, REPLAN_DRIFT_FACTOR) {
+                for (evaluator, _) in &mut self.queries {
+                    *evaluator = QueryEvaluator::with_stats(evaluator.query().clone(), &self.db)?;
+                }
+                self.planning_stats = current;
+                self.replans += 1;
+            }
         }
         Ok((replayed, changed))
     }
@@ -484,6 +521,20 @@ impl WindowedEstimator {
     /// How many ticks the stream has advanced.
     pub fn tick_count(&self) -> u64 {
         self.tick
+    }
+
+    /// How many times the stream has re-costed its query plans.
+    ///
+    /// Plans are costed against a [`StatsSnapshot`] of the relation
+    /// index; a tick replans only when a maintained statistic (relation
+    /// cardinality or longest posting run) moves by more than
+    /// [`REPLAN_DRIFT_FACTOR`] against the snapshot the current plans
+    /// were costed under.  Steady-state ticks leave the compiled plans
+    /// untouched, so this counter staying flat certifies the
+    /// bit-identical reuse path was never re-entered for planning
+    /// reasons.
+    pub fn replans(&self) -> u64 {
+        self.replans
     }
 
     /// The last fully-converged estimation pass, if any — the baseline
@@ -888,6 +939,51 @@ mod tests {
         assert!(restarted.reused.iter().all(|&r| !r));
         assert!(restarted.tick_draws > 0);
         assert!(restarted.outcome.converged());
+    }
+
+    #[test]
+    fn steady_ticks_keep_plans_and_forced_skew_replans_exactly_once() {
+        let mut w = windowed(WindowSpec::Unbounded);
+        let first = w
+            .estimate(
+                params(),
+                &RunBudget::unlimited(),
+                &mut StdRng::seed_from_u64(7),
+            )
+            .unwrap();
+        assert!(first.outcome.converged());
+        // Steady state: singleton inserts move no maintained statistic
+        // past the 2× drift factor (cardinality 5 → 7, runs stay 2).
+        for (k, v) in [(4, 4), (5, 5)] {
+            let insert = fact(w.db(), k, v);
+            let report = w.tick(vec![insert], &[]).unwrap();
+            assert!(report.replayed > 0);
+            assert_eq!(w.replans(), 0, "steady-state ticks keep compiled plans");
+        }
+        // A burst under one key more than doubles both the relation
+        // cardinality (5 → 13 against the planning snapshot) and the
+        // longest K posting run (2 → 6): exactly one replan.
+        let burst: Vec<Fact> = (0..6).map(|v| fact(w.db(), 9, v)).collect();
+        w.tick(burst, &[]).unwrap();
+        assert_eq!(w.replans(), 1, "the skewed tick replans exactly once");
+        // The replan only re-costs join order — witness sets are
+        // plan-independent and block 9 intersects no witness, so every
+        // entry still reuses its converged outcome verbatim.
+        let reuse = w
+            .estimate(
+                params(),
+                &RunBudget::unlimited(),
+                &mut StdRng::seed_from_u64(99),
+            )
+            .unwrap();
+        assert_eq!(reuse.tick_draws, 0);
+        assert!(reuse.reused.iter().all(|&r| r));
+        assert_eq!(reuse.outcome.queries, first.outcome.queries);
+        // The snapshot rebased on the replan, so the next steady tick
+        // does not replan again.
+        let insert = fact(w.db(), 10, 10);
+        w.tick(vec![insert], &[]).unwrap();
+        assert_eq!(w.replans(), 1);
     }
 
     #[test]

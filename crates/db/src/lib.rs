@@ -81,7 +81,7 @@ pub use dictionary::{Dictionary, Sym};
 pub use error::DbError;
 pub use fact::{Fact, FactId};
 pub use fd::{FdId, FdSet, FunctionalDependency};
-pub use relation_index::{intersect_postings, RelationIndex};
+pub use relation_index::{intersect_postings, RelationIndex, StatsSnapshot};
 pub use schema::{AttributeId, RelationId, Schema};
 pub use subset::FactSet;
 pub use value::Value;
@@ -92,6 +92,6 @@ pub mod prelude {
     pub use crate::{
         Block, BlockPartition, ConflictGraph, ConflictIndex, Database, DbError, Dictionary, Fact,
         FactChange, FactId, FactSet, FdId, FdSet, FunctionalDependency, LiveOps, RelationId,
-        RelationIndex, Schema, Sym, Value, Violation, ViolationSet,
+        RelationIndex, Schema, StatsSnapshot, Sym, Value, Violation, ViolationSet,
     };
 }

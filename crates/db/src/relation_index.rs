@@ -288,6 +288,38 @@ impl RelationIndex {
         }
     }
 
+    /// Snapshots the statistics the cost-based join planner consumes:
+    /// per-relation cardinality plus, per column, the distinct-symbol
+    /// count and the *longest* posting run (the hot-spot statistic a skew
+    /// shift moves first).  The snapshot is the input of the drift
+    /// heuristic ([`StatsSnapshot::drifted`]) that gates replanning in
+    /// the streaming layer: steady-state ticks keep their compiled plans,
+    /// a >2× move in any counter triggers one replan.
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        let columns = self
+            .columns
+            .iter()
+            .map(|relation_columns| {
+                relation_columns
+                    .iter()
+                    .map(|column| {
+                        let longest = column
+                            .offsets
+                            .windows(2)
+                            .map(|w| w[1] - w[0])
+                            .max()
+                            .unwrap_or(0);
+                        (column.distinct, longest)
+                    })
+                    .collect()
+            })
+            .collect();
+        StatsSnapshot {
+            cardinalities: self.cardinalities.clone(),
+            columns,
+        }
+    }
+
     /// Approximate resident bytes of the index (offset arrays + runs), for
     /// memory reporting.
     pub fn approx_bytes(&self) -> usize {
@@ -299,6 +331,94 @@ impl RelationIndex {
                     + column.facts.len() * std::mem::size_of::<FactId>()
             })
             .sum()
+    }
+}
+
+/// A compact snapshot of the planner-relevant statistics of a
+/// [`RelationIndex`], from [`RelationIndex::stats_snapshot`]: per-relation
+/// cardinalities and per-column `(distinct count, longest posting run)`
+/// aggregates.
+///
+/// Cost-based plans (`JoinPlan::build_costed` in `ucqa-query`) are only
+/// as good as the statistics they were built from; the streaming layer
+/// snapshots the statistics at plan time and compares against the live
+/// index each tick.  [`StatsSnapshot::drifted`] is the replan gate, and
+/// [`StatsSnapshot::fingerprint`] a cheap "did anything move at all"
+/// probe for reporting.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Facts per relation.
+    cardinalities: Vec<u32>,
+    /// Per relation, per position: `(distinct symbols, longest run)`.
+    columns: Vec<Vec<(u32, u32)>>,
+}
+
+impl StatsSnapshot {
+    /// `true` iff `current` has moved by more than `factor` relative to
+    /// `self` in any relation cardinality or any column's longest posting
+    /// run — growth or shrink; a counter moving between zero and non-zero
+    /// (or a shape change, e.g. a new relation) always counts as drift.
+    /// `factor` is a ratio: the streaming layer passes `2.0` for its
+    /// ">2× moved ⇒ replan once" policy.
+    pub fn drifted(&self, current: &StatsSnapshot, factor: f64) -> bool {
+        fn moved(a: u32, b: u32, factor: f64) -> bool {
+            if a == b {
+                return false;
+            }
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            if lo == 0 {
+                return true;
+            }
+            hi as f64 > factor * lo as f64
+        }
+        if self.cardinalities.len() != current.cardinalities.len()
+            || self.columns.len() != current.columns.len()
+        {
+            return true;
+        }
+        for (&a, &b) in self.cardinalities.iter().zip(&current.cardinalities) {
+            if moved(a, b, factor) {
+                return true;
+            }
+        }
+        for (ours, theirs) in self.columns.iter().zip(&current.columns) {
+            if ours.len() != theirs.len() {
+                return true;
+            }
+            for (&(_, run_a), &(_, run_b)) in ours.iter().zip(theirs) {
+                if moved(run_a, run_b, factor) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// A 64-bit FNV-1a fingerprint over every counter of the snapshot —
+    /// equal fingerprints mean (modulo collisions) no planner statistic
+    /// moved at all, a stronger condition than the ratio-based
+    /// [`StatsSnapshot::drifted`].
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = OFFSET;
+        let mut mix = |value: u32| {
+            for byte in value.to_le_bytes() {
+                hash ^= byte as u64;
+                hash = hash.wrapping_mul(PRIME);
+            }
+        };
+        for &cardinality in &self.cardinalities {
+            mix(cardinality);
+        }
+        for relation_columns in &self.columns {
+            mix(relation_columns.len() as u32);
+            for &(distinct, longest) in relation_columns {
+                mix(distinct);
+                mix(longest);
+            }
+        }
+        hash
     }
 }
 
@@ -449,6 +569,39 @@ mod tests {
         assert_eq!(
             clone.relation_index().posting_entries(),
             shared.posting_entries()
+        );
+    }
+
+    #[test]
+    fn stats_snapshot_drifts_on_big_moves_only() {
+        let mut db = sample_db();
+        let r = db.schema().relation_id("R").unwrap();
+        let baseline = db.relation_index().stats_snapshot();
+        assert!(!baseline.drifted(&baseline, 2.0), "self-compare is stable");
+        let fp = baseline.fingerprint();
+
+        // One benign insert: cardinality 3 → 4, longest run 2 → 2 for
+        // column 0 (key 3 starts a fresh run).  No ratio clears 2×, but
+        // the exact fingerprint moves.
+        db.insert_values("R", [Value::int(3), Value::int(5)])
+            .unwrap();
+        let benign = db.relation_index().stats_snapshot();
+        assert!(!baseline.drifted(&benign, 2.0), "small moves stay quiet");
+        assert_ne!(fp, benign.fingerprint());
+
+        // A skew burst on key 1: its posting run grows 2 → 7, more than
+        // 2× — the drift heuristic fires (in both directions).
+        for i in 0..5 {
+            db.insert_values("R", [Value::int(1), Value::int(100 + i)])
+                .unwrap();
+        }
+        let skewed = db.relation_index().stats_snapshot();
+        assert!(baseline.drifted(&skewed, 2.0), "hot-run growth is drift");
+        assert!(skewed.drifted(&baseline, 2.0), "shrink is drift too");
+        assert_eq!(
+            db.relation_index()
+                .posting_len(r, 0, db.dictionary().lookup(&Value::int(1)).unwrap()),
+            7
         );
     }
 

@@ -41,6 +41,7 @@
 //! the bank drains.
 
 use std::collections::HashMap;
+use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -157,6 +158,27 @@ impl CompileBudget {
     }
 }
 
+/// Observability counters from one shared bank compilation
+/// ([`LineageBank::compile_instrumented`]).
+///
+/// `steps` is the *pass count* of the compile: candidate facts visited by
+/// the scan-trie DFS, including the fill passes of memoized subtrees but
+/// **not** their replays — so it measures how much enumeration work
+/// subtree sharing actually saved (the `e22` bench gates on it).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompileStats {
+    /// Candidate facts visited by the scan-trie DFS.
+    pub steps: u64,
+    /// Nodes in the shared scan trie after inserting every entry.
+    pub trie_nodes: usize,
+    /// Shared-subtree groups detected (≥ 2 structurally identical
+    /// subtrees, equal up to slot renaming, anywhere in the trie).
+    pub shared_subtrees: usize,
+    /// Memoized subtree replays: visits that reused a cached enumeration
+    /// instead of re-running the subtree's DFS.
+    pub replays: u64,
+}
+
 /// How one bank entry answers the per-sample check.
 #[derive(Debug, Clone)]
 enum BankEntry {
@@ -237,6 +259,18 @@ impl LineageBank {
         cap: usize,
         budget: &CompileBudget,
     ) -> Result<Self, QueryError> {
+        Self::compile_instrumented(db, queries, cap, budget).map(|(bank, _)| bank)
+    }
+
+    /// As [`LineageBank::compile_with_budget`], additionally returning the
+    /// [`CompileStats`] of the shared enumeration — the pass count the
+    /// `e22` bench gates subtree sharing on.
+    pub fn compile_instrumented(
+        db: &Database,
+        queries: &[BankQueryRef<'_>],
+        cap: usize,
+        budget: &CompileBudget,
+    ) -> Result<(Self, CompileStats), QueryError> {
         let universe = db.len();
         // Ground every entry first: candidate arities are validated for
         // the whole bank before any enumeration starts.  `None` marks an
@@ -252,7 +286,11 @@ impl LineageBank {
         }
         let mut raw: Vec<Vec<Vec<FactId>>> = vec![Vec::new(); queries.len()];
         let mut overflowed = vec![false; queries.len()];
-        if !trie.enumerate(db, cap, budget, &mut raw, &mut overflowed) {
+        let mut stats = CompileStats {
+            trie_nodes: trie.nodes.len(),
+            ..CompileStats::default()
+        };
+        if !trie.enumerate(db, cap, budget, &mut raw, &mut overflowed, &mut stats) {
             // The budget interrupted enumeration: a partially enumerated
             // witness set would under-report entailment, so the whole
             // bank degrades to evaluator fallback.
@@ -291,12 +329,15 @@ impl LineageBank {
             }
             entries.push(BankEntry::Compiled { mask });
         }
-        Ok(LineageBank {
-            universe,
-            witnesses,
-            entries,
-            version: db.version(),
-        })
+        Ok((
+            LineageBank {
+                universe,
+                witnesses,
+                entries,
+                version: db.version(),
+            },
+            stats,
+        ))
     }
 
     /// As [`LineageBank::compile`], on the **unplanned baseline**: one
@@ -913,11 +954,140 @@ impl ScanTrie {
         }
     }
 
+    /// `slots_before` of every node (the parent's `slots_after`, `0` at
+    /// the roots) — the base against which a subtree's slots are local.
+    fn compute_bases(&self) -> Vec<usize> {
+        let mut bases = vec![0usize; self.nodes.len()];
+        let mut stack: Vec<(usize, usize)> = self.roots.iter().map(|&root| (root, 0)).collect();
+        while let Some((node, base)) = stack.pop() {
+            bases[node] = base;
+            for &child in &self.nodes[node].children {
+                stack.push((child, self.nodes[node].slots_after));
+            }
+        }
+        bases
+    }
+
+    /// Serialises the subtree rooted at `node` into a canonical string:
+    /// local slots (introduced inside the subtree, `≥ base`) rebased to
+    /// `l{slot − base}`, external slots (bound by ancestors) numbered
+    /// `e{k}` by first occurrence in the canonical traversal, children
+    /// visited in sorted order of their own serialisation.  Two subtrees
+    /// serialise equally iff they are identical up to slot renaming —
+    /// enumeration of one under a binding of its external slots is then
+    /// valid verbatim for the other.  Appends the pre-order node ids to
+    /// `order` and the external slots to `externals` alongside.
+    fn canon_subtree(
+        &self,
+        node: usize,
+        base: usize,
+        out: &mut String,
+        externals: &mut Vec<usize>,
+        order: &mut Vec<usize>,
+    ) {
+        use std::fmt::Write as _;
+        order.push(node);
+        let n = &self.nodes[node];
+        let _ = write!(out, "{}(", n.atom.relation.index());
+        for term in &n.atom.terms {
+            match term {
+                SymTerm::Const(sym) => {
+                    let _ = write!(out, "c{},", sym.index());
+                }
+                SymTerm::Var(slot) if *slot >= base => {
+                    let _ = write!(out, "l{},", slot - base);
+                }
+                SymTerm::Var(slot) => {
+                    let k = match externals.iter().position(|s| s == slot) {
+                        Some(k) => k,
+                        None => {
+                            externals.push(*slot);
+                            externals.len() - 1
+                        }
+                    };
+                    let _ = write!(out, "e{k},");
+                }
+            }
+        }
+        out.push(')');
+        // Children ordered by their own standalone serialisation, so the
+        // canonical traversal is insertion-order independent.
+        let mut kids: Vec<(String, usize)> = n
+            .children
+            .iter()
+            .map(|&child| {
+                let mut key = String::new();
+                self.canon_subtree(child, base, &mut key, &mut Vec::new(), &mut Vec::new());
+                (key, child)
+            })
+            .collect();
+        kids.sort();
+        out.push('[');
+        for (_, child) in kids {
+            self.canon_subtree(child, base, out, externals, order);
+        }
+        out.push(']');
+    }
+
+    /// Detects every group of ≥ 2 structurally identical subtrees (equal
+    /// canonical serialisations, terminals ignored) anywhere in the trie.
+    /// Cost-based plans order each query's atoms independently, so shared
+    /// work no longer always surfaces as a shared *prefix*; these groups
+    /// are where [`ScanTrie::enumerate`] recovers the sharing, by
+    /// memoizing one member's enumeration per external-slot binding and
+    /// replaying it for the others.
+    fn shared_subtrees(&self) -> SubtreeSharing {
+        let mut sharing = SubtreeSharing::default();
+        if self.nodes.is_empty() {
+            return sharing;
+        }
+        let bases = self.compute_bases();
+        let mut by_key: HashMap<String, Vec<SubtreeMember>> = HashMap::new();
+        for (node, &base) in bases.iter().enumerate() {
+            let mut key = String::new();
+            let mut externals = Vec::new();
+            let mut order = Vec::new();
+            self.canon_subtree(node, base, &mut key, &mut externals, &mut order);
+            by_key
+                .entry(key)
+                .or_default()
+                .push(SubtreeMember { order, externals });
+        }
+        for (_, members) in by_key {
+            if members.len() < 2 {
+                continue;
+            }
+            let positions = members[0].order.len();
+            let mut emit = vec![false; positions];
+            for member in &members {
+                for (pos, &node) in member.order.iter().enumerate() {
+                    if !self.nodes[node].terminals.is_empty() {
+                        emit[pos] = true;
+                    }
+                }
+            }
+            let group = sharing.groups.len();
+            for (index, member) in members.iter().enumerate() {
+                sharing.member_of.insert(member.order[0], (group, index));
+            }
+            sharing.groups.push(SubtreeGroup { members, emit });
+        }
+        sharing
+    }
+
     /// Enumerates the whole trie in one DFS, appending each full match's
     /// image to `raw[entry]` for every terminal entry of the matched path.
     /// An entry whose raw witness count exceeds `cap` is flagged in
     /// `overflowed` and collects no further witnesses; subtrees whose
     /// entries have all overflowed are pruned.
+    ///
+    /// Structurally identical subtrees (as detected by
+    /// [`ScanTrie::shared_subtrees`]) are enumerated **once per binding of
+    /// their external slots**: the first visit records the subtree's
+    /// emissions, later visits replay them against their own terminals.
+    /// Replay preserves the per-entry witness multiset and the per-push
+    /// overflow accounting, so witness sets and fallback flags are
+    /// bit-identical to the unshared DFS — only the pass count shrinks.
     ///
     /// Returns `false` iff `budget` interrupted the DFS (the collected
     /// witnesses are then incomplete and must not be used).
@@ -928,48 +1098,49 @@ impl ScanTrie {
         budget: &CompileBudget,
         raw: &mut [Vec<Vec<FactId>>],
         overflowed: &mut [bool],
+        stats: &mut CompileStats,
     ) -> bool {
         for &entry in &self.root_terminals {
             // An empty body is matched by the empty image: one witness,
             // the empty set (entailed by every subset).
             raw[entry].push(Vec::new());
         }
-        let index = db.relation_index();
-        let mut bindings: Vec<Option<Sym>> = vec![None; self.max_slots];
-        let mut image: Vec<FactId> = Vec::new();
-        let mut steps = 0u64;
+        let sharing = self.shared_subtrees();
+        stats.shared_subtrees = sharing.groups.len();
+        let cx = EnumCx {
+            db,
+            index: db.relation_index(),
+            cap,
+            budget,
+            sharing: &sharing,
+        };
+        let mut state = EnumState {
+            steps: 0,
+            replays: 0,
+            bindings: vec![None; self.max_slots],
+            image: Vec::new(),
+            cache: HashMap::new(),
+            cached_emissions: 0,
+        };
+        let mut complete = true;
         for &root in &self.roots {
-            if !self.visit(
-                db,
-                index,
-                root,
-                cap,
-                budget,
-                &mut steps,
-                &mut bindings,
-                &mut image,
-                raw,
-                overflowed,
-            ) {
-                return false;
+            if !self.visit(&cx, &mut state, root, raw, overflowed) {
+                complete = false;
+                break;
             }
         }
-        true
+        stats.steps = state.steps;
+        stats.replays = state.replays;
+        complete
     }
 
     /// One DFS node of [`ScanTrie::enumerate`]; returns `false` iff the
     /// compile budget interrupted the walk.
-    #[allow(clippy::too_many_arguments)]
     fn visit(
         &self,
-        db: &Database,
-        index: &RelationIndex,
+        cx: &EnumCx<'_>,
+        state: &mut EnumState,
         node_id: usize,
-        cap: usize,
-        budget: &CompileBudget,
-        steps: &mut u64,
-        bindings: &mut Vec<Option<Sym>>,
-        image: &mut Vec<FactId>,
         raw: &mut [Vec<Vec<FactId>>],
         overflowed: &mut [bool],
     ) -> bool {
@@ -977,32 +1148,100 @@ impl ScanTrie {
         if node.entries_below.iter().all(|&e| overflowed[e]) {
             return true;
         }
-        let columns = db.columns_of(node.atom.relation);
+        // A shared subtree: enumerate once per external binding, replay
+        // everywhere else (unless the memo budget is spent — then this
+        // occurrence simply runs the plain DFS below).
+        if let Some(&(group, member)) = cx.sharing.member_of.get(&node_id) {
+            let group_ref = &cx.sharing.groups[group];
+            let member_ref = &group_ref.members[member];
+            let external_syms: Vec<Sym> = member_ref
+                .externals
+                .iter()
+                .map(|&slot| {
+                    // Invariant, not user-reachable: external slots are
+                    // bound by ancestor nodes before this depth.
+                    state.bindings[slot].expect("ancestor slots are bound during the DFS")
+                })
+                .collect();
+            let key = (group, external_syms);
+            if !state.cache.contains_key(&key) && state.cached_emissions < MEMO_EMISSION_BUDGET {
+                let mut recorded: Vec<(u32, Vec<FactId>)> = Vec::new();
+                let mut counts = vec![0usize; group_ref.emit.len()];
+                let mut open = group_ref.emit.iter().filter(|&&e| e).count();
+                let mut local_image: Vec<FactId> = Vec::new();
+                if !self.record(
+                    cx,
+                    state,
+                    member_ref,
+                    group_ref,
+                    0,
+                    &mut local_image,
+                    &mut recorded,
+                    &mut counts,
+                    &mut open,
+                ) {
+                    return false;
+                }
+                state.cached_emissions += recorded.len();
+                state.cache.insert(key.clone(), Rc::new(recorded));
+            }
+            if let Some(emissions) = state.cache.get(&key).cloned() {
+                state.replays += 1;
+                for (pos, local) in emissions.iter() {
+                    let emit_node = &self.nodes[member_ref.order[*pos as usize]];
+                    if emit_node.terminals.is_empty() {
+                        continue;
+                    }
+                    let mut ids: Vec<FactId> = state
+                        .image
+                        .iter()
+                        .copied()
+                        .chain(local.iter().copied())
+                        .collect();
+                    ids.sort_unstable();
+                    ids.dedup();
+                    for &entry in &emit_node.terminals {
+                        if !overflowed[entry] {
+                            raw[entry].push(ids.clone());
+                            if raw[entry].len() > cx.cap {
+                                overflowed[entry] = true;
+                                raw[entry] = Vec::new();
+                            }
+                        }
+                    }
+                }
+                return true;
+            }
+        }
+        let columns = cx.db.columns_of(node.atom.relation);
         let mut gallop_scratch = Vec::new();
         let candidates = candidate_facts(
-            db,
-            index,
+            cx.db,
+            cx.index,
             node.atom.relation,
             &node.atom.terms,
             &node.bound_positions,
-            bindings,
+            &state.bindings,
             &mut gallop_scratch,
         );
         for &fact_id in candidates {
-            *steps += 1;
-            if budget.interrupted(*steps) {
+            state.steps += 1;
+            if cx.budget.interrupted(state.steps) {
                 return false;
             }
-            let Some(bound_here) =
-                match_and_bind(&node.atom.terms, columns, db.row_of(fact_id), bindings)
-            else {
+            let Some(bound_here) = match_and_bind(
+                &node.atom.terms,
+                columns,
+                cx.db.row_of(fact_id),
+                &mut state.bindings,
+            ) else {
                 continue;
             };
-            image.push(fact_id);
+            state.image.push(fact_id);
             if !node.terminals.is_empty() {
                 // Normalise the image once per match, not once per
                 // terminal (duplicate entries share one terminal list).
-                let mut ids = image.clone();
+                let mut ids = state.image.clone();
                 ids.sort_unstable();
                 ids.dedup();
                 for &entry in &node.terminals {
@@ -1010,7 +1249,7 @@ impl ScanTrie {
                         raw[entry].push(ids.clone());
                         // One past the cap is enough to know this entry
                         // must fall back to the evaluator.
-                        if raw[entry].len() > cap {
+                        if raw[entry].len() > cx.cap {
                             overflowed[entry] = true;
                             raw[entry] = Vec::new();
                         }
@@ -1018,19 +1257,165 @@ impl ScanTrie {
                 }
             }
             for &child in &node.children {
-                if !self.visit(
-                    db, index, child, cap, budget, steps, bindings, image, raw, overflowed,
-                ) {
+                if !self.visit(cx, state, child, raw, overflowed) {
                     // Interrupted: the caller discards every witness, so
                     // there is no need to unwind bindings on the way out.
                     return false;
                 }
             }
-            image.pop();
-            unbind(&node.atom.terms, bound_here, bindings);
+            state.image.pop();
+            unbind(&node.atom.terms, bound_here, &mut state.bindings);
         }
         true
     }
+
+    /// The fill pass of one memoized subtree: a plain DFS over the member
+    /// rooted at `member.order[pos]` that *records* each match landing on
+    /// an emit position (a canonical position where some group member has
+    /// terminals) instead of pushing witnesses.  Per emit position, at
+    /// most `cap + 1` emissions are recorded — any entry replaying more
+    /// than that from one position has provably overflowed already, so
+    /// truncation cannot change a witness set or a fallback flag.  No
+    /// overflow pruning happens here (the cache must be complete for
+    /// *every* member), but the step budget still applies; returns `false`
+    /// iff interrupted.
+    #[allow(clippy::too_many_arguments)]
+    fn record(
+        &self,
+        cx: &EnumCx<'_>,
+        state: &mut EnumState,
+        member: &SubtreeMember,
+        group: &SubtreeGroup,
+        pos: usize,
+        local_image: &mut Vec<FactId>,
+        recorded: &mut Vec<(u32, Vec<FactId>)>,
+        counts: &mut [usize],
+        open: &mut usize,
+    ) -> bool {
+        if *open == 0 {
+            // Every emit position already holds cap + 1 emissions:
+            // nothing below can still matter.
+            return true;
+        }
+        let node_id = member.order[pos];
+        let node = &self.nodes[node_id];
+        let columns = cx.db.columns_of(node.atom.relation);
+        let mut gallop_scratch = Vec::new();
+        let candidates = candidate_facts(
+            cx.db,
+            cx.index,
+            node.atom.relation,
+            &node.atom.terms,
+            &node.bound_positions,
+            &state.bindings,
+            &mut gallop_scratch,
+        );
+        for &fact_id in candidates {
+            state.steps += 1;
+            if cx.budget.interrupted(state.steps) {
+                return false;
+            }
+            let Some(bound_here) = match_and_bind(
+                &node.atom.terms,
+                columns,
+                cx.db.row_of(fact_id),
+                &mut state.bindings,
+            ) else {
+                continue;
+            };
+            local_image.push(fact_id);
+            if group.emit[pos] && counts[pos] <= cx.cap {
+                recorded.push((pos as u32, local_image.clone()));
+                counts[pos] += 1;
+                if counts[pos] > cx.cap {
+                    *open -= 1;
+                }
+            }
+            for &child in &node.children {
+                // The canonical order is a pre-order traversal, so a
+                // child's position is its index in `member.order`.
+                let child_pos = member
+                    .order
+                    .iter()
+                    .position(|&n| n == child)
+                    .expect("subtree traversal covers every child");
+                if !self.record(
+                    cx,
+                    state,
+                    member,
+                    group,
+                    child_pos,
+                    local_image,
+                    recorded,
+                    counts,
+                    open,
+                ) {
+                    return false;
+                }
+            }
+            local_image.pop();
+            unbind(&node.atom.terms, bound_here, &mut state.bindings);
+        }
+        true
+    }
+}
+
+/// A hard bound on the total emissions retained by the subtree memo of one
+/// [`ScanTrie::enumerate`] — past it, further shared-subtree occurrences
+/// fall back to the plain DFS (correctness is unaffected; only the
+/// sharing degrades).
+const MEMO_EMISSION_BUDGET: usize = 1 << 20;
+
+/// One occurrence of a shared subtree in the trie.
+#[derive(Debug)]
+struct SubtreeMember {
+    /// Node ids in canonical (pre-order, sorted-children) traversal
+    /// order; `order[0]` is the subtree root.
+    order: Vec<usize>,
+    /// The ancestor-bound slots the subtree reads, in canonical
+    /// first-occurrence order — the memo key is their bound symbols.
+    externals: Vec<usize>,
+}
+
+/// A group of ≥ 2 structurally identical subtrees.
+#[derive(Debug)]
+struct SubtreeGroup {
+    members: Vec<SubtreeMember>,
+    /// Canonical position → some member has terminals there (the
+    /// positions whose matches the fill pass must record).
+    emit: Vec<bool>,
+}
+
+/// The sharing analysis of one trie, from [`ScanTrie::shared_subtrees`].
+#[derive(Debug, Default)]
+struct SubtreeSharing {
+    /// Subtree-root node id → (group index, member index).
+    member_of: HashMap<usize, (usize, usize)>,
+    groups: Vec<SubtreeGroup>,
+}
+
+/// The borrowed context of one [`ScanTrie::enumerate`] DFS.
+struct EnumCx<'a> {
+    db: &'a Database,
+    index: &'a RelationIndex,
+    cap: usize,
+    budget: &'a CompileBudget,
+    sharing: &'a SubtreeSharing,
+}
+
+/// One recorded subtree emission: the local emit position and the local
+/// fact image to splice onto the caller's prefix on replay.
+type SubtreeEmission = (u32, Vec<FactId>);
+
+/// The mutable state of one [`ScanTrie::enumerate`] DFS.
+struct EnumState {
+    steps: u64,
+    replays: u64,
+    bindings: Vec<Option<Sym>>,
+    image: Vec<FactId>,
+    /// `(group, external symbols)` → recorded emissions of the subtree.
+    cache: HashMap<(usize, Vec<Sym>), Rc<Vec<SubtreeEmission>>>,
+    cached_emissions: usize,
 }
 
 /// The live subset of a [`LineageBank`] under retirement: which queries
@@ -1903,5 +2288,151 @@ mod tests {
             .refresh_with_delta(&db, &queries, &delta.fingerprints, &structure)
             .unwrap();
         assert_eq!(delta.changed, vec![false]);
+    }
+
+    /// A database where costed plans destroy prefix sharing: S-keys are
+    /// rare (posting length 1), R('h', ·) is hot (posting length 3), so
+    /// every costed plan leads with its own S atom and the shared R work
+    /// moves to the suffix.
+    fn suffix_db() -> Database {
+        let mut schema = Schema::new();
+        schema.add_relation("S", &["K", "V"]).unwrap();
+        schema.add_relation("R", &["A", "B"]).unwrap();
+        let mut db = Database::with_schema(schema);
+        for k in 0..4 {
+            db.insert_values("S", [Value::int(k), Value::int(100 + k)])
+                .unwrap();
+        }
+        for b in 0..3 {
+            db.insert_values("R", [Value::str("h"), Value::int(b)])
+                .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn shared_suffixes_of_costed_plans_are_enumerated_once() {
+        // Four queries S(k, x), R('h', y) with distinct k: coverage-greedy
+        // keeps the written order and shares nothing (distinct first
+        // atoms); costed plans also lead with the rare S atom, so the
+        // closed R('h', y) suffix recurs four times — one subtree group,
+        // filled once, replayed at every occurrence.
+        let db = suffix_db();
+        let texts: Vec<String> = (0..4)
+            .map(|k| format!("Ans() :- S({k}, x), R('h', y)"))
+            .collect();
+        let evals: Vec<QueryEvaluator> = texts
+            .iter()
+            .map(|t| QueryEvaluator::with_stats(parse_query(db.schema(), t).unwrap(), &db).unwrap())
+            .collect();
+        let queries: Vec<BankQueryRef<'_>> = evals.iter().map(|e| (e, &[] as &[Value])).collect();
+        let (bank, stats) = LineageBank::compile_instrumented(
+            &db,
+            &queries,
+            DEFAULT_WITNESS_CAP,
+            &CompileBudget::unlimited(),
+        )
+        .unwrap();
+        assert!(
+            stats.shared_subtrees >= 1,
+            "the R('h', y) suffix must form a group: {stats:?}"
+        );
+        assert_eq!(stats.replays, 4, "every occurrence replays: {stats:?}");
+        // Fill pass: 4 S probes + one R('h', ·) walk (3 candidates), not
+        // four walks.
+        assert_eq!(stats.steps, 4 + 3, "shared fill, no repeated walks");
+        // Bit-identical to the unshared, unplanned baseline.
+        let baseline = LineageBank::compile_unplanned(&db, &queries).unwrap();
+        for entry in 0..queries.len() {
+            let canon = |b: &LineageBank| -> Vec<Vec<FactId>> {
+                let mut w: Vec<Vec<FactId>> = b
+                    .witnesses_of(entry)
+                    .unwrap()
+                    .iter()
+                    .map(|w| w.iter().collect())
+                    .collect();
+                w.sort();
+                w
+            };
+            assert_eq!(canon(&bank), canon(&baseline), "entry {entry}");
+        }
+    }
+
+    #[test]
+    fn correlated_shared_subtrees_memoize_per_binding() {
+        // The shared suffix R(x, y) reads x, bound by each query's own S
+        // atom — the memo key is the bound symbol, so occurrences binding
+        // the same x share one fill while different bindings fill their
+        // own.  Either way the witness sets match the unplanned baseline.
+        let mut schema = Schema::new();
+        schema.add_relation("S", &["K", "V"]).unwrap();
+        schema.add_relation("R", &["A", "B"]).unwrap();
+        let mut db = Database::with_schema(schema);
+        // S keys 0 and 1 both map to value 7; key 2 maps to 8.
+        for (k, v) in [(0, 7), (1, 7), (2, 8)] {
+            db.insert_values("S", [Value::int(k), Value::int(v)])
+                .unwrap();
+        }
+        for (a, b) in [(7, 1), (7, 2), (8, 3)] {
+            db.insert_values("R", [Value::int(a), Value::int(b)])
+                .unwrap();
+        }
+        let texts: Vec<String> = (0..3)
+            .map(|k| format!("Ans() :- S({k}, x), R(x, y)"))
+            .collect();
+        let evals: Vec<QueryEvaluator> = texts
+            .iter()
+            .map(|t| QueryEvaluator::with_stats(parse_query(db.schema(), t).unwrap(), &db).unwrap())
+            .collect();
+        let queries: Vec<BankQueryRef<'_>> = evals.iter().map(|e| (e, &[] as &[Value])).collect();
+        let (bank, stats) = LineageBank::compile_instrumented(
+            &db,
+            &queries,
+            DEFAULT_WITNESS_CAP,
+            &CompileBudget::unlimited(),
+        )
+        .unwrap();
+        assert!(stats.shared_subtrees >= 1, "{stats:?}");
+        assert_eq!(stats.replays, 3, "one replay per occurrence: {stats:?}");
+        let baseline = LineageBank::compile_unplanned(&db, &queries).unwrap();
+        for entry in 0..queries.len() {
+            let canon = |b: &LineageBank| -> Vec<Vec<FactId>> {
+                let mut w: Vec<Vec<FactId>> = b
+                    .witnesses_of(entry)
+                    .unwrap()
+                    .iter()
+                    .map(|w| w.iter().collect())
+                    .collect();
+                w.sort();
+                w
+            };
+            assert_eq!(canon(&bank), canon(&baseline), "entry {entry}");
+        }
+    }
+
+    #[test]
+    fn subtree_replay_preserves_overflow_accounting() {
+        // Cap 1: the shared R('h', y) suffix yields 3 witnesses per
+        // entry, so every entry overflows — through the replay path just
+        // as it would through the direct DFS.
+        let db = suffix_db();
+        let texts: Vec<String> = (0..4)
+            .map(|k| format!("Ans() :- S({k}, x), R('h', y)"))
+            .collect();
+        let evals: Vec<QueryEvaluator> = texts
+            .iter()
+            .map(|t| QueryEvaluator::with_stats(parse_query(db.schema(), t).unwrap(), &db).unwrap())
+            .collect();
+        let queries: Vec<BankQueryRef<'_>> = evals.iter().map(|e| (e, &[] as &[Value])).collect();
+        let shared = LineageBank::compile_with_cap(&db, &queries, 1).unwrap();
+        let baseline = LineageBank::compile_unplanned_with_cap(&db, &queries, 1).unwrap();
+        for entry in 0..queries.len() {
+            assert!(shared.is_fallback(entry), "entry {entry} must overflow");
+            assert_eq!(
+                shared.is_fallback(entry),
+                baseline.is_fallback(entry),
+                "entry {entry}"
+            );
+        }
     }
 }

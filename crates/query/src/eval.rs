@@ -106,15 +106,18 @@ impl QueryEvaluator {
         Self::build(query, None)
     }
 
-    /// As [`QueryEvaluator::try_new`], but plans with exact cardinality
-    /// statistics from `db`'s relation index
-    /// ([`JoinPlan::build_with_stats`]): coverage ties are broken by
-    /// posting lengths instead of body order.
+    /// As [`QueryEvaluator::try_new`], but plans with the full cost model
+    /// over `db`'s live relation-index statistics
+    /// ([`JoinPlan::build_costed`]): each step is chosen to minimise the
+    /// estimated output cardinality, instead of bound coverage with
+    /// body-order ties.
     ///
     /// Statistics describe `db` specifically, so use the resulting
     /// evaluator against that database (family).  The default constructor
-    /// stays purely structural — its stable tie-break is what the bank
-    /// trie's prefix sharing relies on.
+    /// stays purely structural — its stable tie-break is the
+    /// coverage-greedy baseline, and what the bank trie's prefix sharing
+    /// relies on.  Witness sets, fallback flags, and same-seed estimates
+    /// are identical either way; only enumeration speed differs.
     pub fn with_stats(query: ConjunctiveQuery, db: &Database) -> Result<Self, QueryError> {
         Self::build(query, Some(db))
     }
@@ -168,8 +171,8 @@ impl QueryEvaluator {
                 let index = db.relation_index();
                 let dict = db.dictionary();
                 (
-                    JoinPlan::build_with_stats(&atoms, slots.len(), &[], index, dict),
-                    JoinPlan::build_with_stats(&atoms, slots.len(), &answer_slots, index, dict),
+                    JoinPlan::build_costed(&atoms, slots.len(), &[], index, dict),
+                    JoinPlan::build_costed(&atoms, slots.len(), &answer_slots, index, dict),
                 )
             }
             None => (

@@ -7,13 +7,16 @@
 //! each `Rᵢ(ȳᵢ)` is a relational atom over variables and constants and the
 //! answer variables `x̄` all occur in the body.  Evaluation is defined via
 //! homomorphisms into a database; [`eval`] enumerates them by executing a
-//! selectivity-ordered [`plan::JoinPlan`] over the database's
-//! `(position, value)` indexes (queries are fixed — data complexity — so
+//! [`plan::JoinPlan`] over the database's `(position, value)` indexes —
+//! cost-ordered against the live [`ucqa_db::RelationIndex`] statistics
+//! when built with [`QueryEvaluator::with_stats`], structurally
+//! coverage-ordered otherwise (queries are fixed — data complexity — so
 //! the plan is built once per evaluator).  [`lineage`] compiles the
 //! enumeration result into witness bitsets for the Monte-Carlo hot loop,
-//! and [`bank`] shares both the enumeration (common atom prefixes, one
-//! scan trie) and the witnesses (one deduplicated arena) across a whole
-//! bank of queries.
+//! and [`bank`] shares both the enumeration (common atom prefixes *and*
+//! canonicalised suffix subtrees, one scan trie with fill-once/replay
+//! memoisation) and the witnesses (one deduplicated arena) across a
+//! whole bank of queries.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,16 +31,19 @@ pub mod parser;
 pub mod plan;
 
 pub use ast::{Atom, ConjunctiveQuery, Term, Variable};
-pub use bank::{BankLiveSet, BankQueryRef, BankScratch, CompileBudget, LineageBank, RefreshDelta};
+pub use bank::{
+    BankLiveSet, BankQueryRef, BankScratch, CompileBudget, CompileStats, LineageBank, RefreshDelta,
+};
 pub use error::QueryError;
 pub use eval::{Bindings, QueryEvaluator};
 pub use lineage::CompiledLineage;
-pub use plan::JoinPlan;
+pub use plan::{JoinPlan, PlanExplain, StepExplain};
 
 /// Commonly used types, re-exported for convenience.
 pub mod prelude {
     pub use crate::{
-        Atom, BankLiveSet, BankScratch, Bindings, CompileBudget, CompiledLineage, ConjunctiveQuery,
-        JoinPlan, LineageBank, QueryError, QueryEvaluator, RefreshDelta, Term, Variable,
+        Atom, BankLiveSet, BankScratch, Bindings, CompileBudget, CompileStats, CompiledLineage,
+        ConjunctiveQuery, JoinPlan, LineageBank, PlanExplain, QueryError, QueryEvaluator,
+        RefreshDelta, StepExplain, Term, Variable,
     };
 }

@@ -62,8 +62,11 @@ impl CompiledLineage {
     /// As [`CompiledLineage::compile`], with an explicit witness cap.
     ///
     /// Witness enumeration runs on the evaluator's plan-based pipeline
-    /// ([`QueryEvaluator::for_each_answer_image`] — selectivity-ordered
-    /// atom steps over the database's relation indexes); the pre-plan
+    /// ([`QueryEvaluator::for_each_answer_image`] — atom steps over the
+    /// database's relation indexes, cost-ordered against the live
+    /// statistics when the evaluator was built with
+    /// [`QueryEvaluator::with_stats`]); the step order never changes the
+    /// compiled antichain, only the enumeration cost, and the pre-plan
     /// behaviour survives as
     /// [`CompiledLineage::compile_unplanned_with_cap`].
     pub fn compile_with_cap(

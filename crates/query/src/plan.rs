@@ -9,13 +9,20 @@
 //! one naive pass per `(query, candidate)`.  This module turns enumeration
 //! into a plan-based pipeline:
 //!
-//! * **Atom order** is chosen greedily by *bound coverage*: at each step
-//!   the planner picks the atom with the most bound terms (constants plus
-//!   variables bound by earlier steps, plus prebound answer slots), ties
-//!   broken by the original body order ([`JoinPlan::build`]) or — opt-in,
-//!   see [`JoinPlan::build_with_stats`] — by exact posting lengths from
-//!   the database's [`RelationIndex`].  Bound-late atoms become indexed
-//!   lookups instead of cross products.
+//! * **Atom order** is chosen greedily.  The structural planner
+//!   ([`JoinPlan::build`]) picks the atom with the most bound terms
+//!   (constants plus variables bound by earlier steps, plus prebound
+//!   answer slots), ties broken by the original body order; the
+//!   cost-based planner ([`JoinPlan::build_costed`], the default whenever
+//!   a database is in scope) instead minimises an estimated output
+//!   cardinality per step, computed from live [`RelationIndex`]
+//!   statistics: the shortest constant-bound posting run, divided by the
+//!   distinct counts of variable-bound positions, falling back to the
+//!   relation cardinality for pure scans.  [`JoinPlan::build_with_stats`]
+//!   is the older middle ground that keeps coverage ordering and only
+//!   breaks ties with statistics.  Bound-late atoms become indexed
+//!   lookups instead of cross products, and [`JoinPlan::explain`] reports
+//!   the chosen order with per-step estimates.
 //! * **Access paths**: execution works on dictionary-encoded [`Sym`]
 //!   columns end-to-end.  A step with at least one bound position probes
 //!   the [`RelationIndex`] posting runs (dense `u32`-indexed CSR slices)
@@ -136,6 +143,21 @@ struct PlanStep {
     /// variables bound by earlier steps / prebinding).  Non-empty ⇒ the
     /// step executes as an indexed lookup.
     bound_positions: Vec<usize>,
+    /// The planner's estimated output cardinality for this step at the
+    /// time the order was chosen; `None` for purely structural plans
+    /// (no statistics were consulted).
+    estimate: Option<f64>,
+}
+
+/// How [`JoinPlan::build_inner`] orders the atoms.
+enum PlanMode<'a> {
+    /// Bound coverage only; ties keep the body order.
+    Structural,
+    /// Bound coverage first; ties broken by [`atom_cost`] estimates.
+    TieBreak(&'a RelationIndex, &'a Dictionary),
+    /// Minimal [`step_estimate`] per step; ties broken by coverage, then
+    /// body order.
+    Costed(&'a RelationIndex, &'a Dictionary),
 }
 
 /// A selectivity-ordered join plan over the atoms of one query.
@@ -165,7 +187,7 @@ impl JoinPlan {
     /// (which is what lets the bank trie factor it).  For
     /// cardinality-aware tie-breaking see [`JoinPlan::build_with_stats`].
     pub fn build(atoms: &[PlanAtom], slot_count: usize, prebound_slots: &[usize]) -> Self {
-        JoinPlan::build_inner(atoms, slot_count, prebound_slots, None)
+        JoinPlan::build_inner(atoms, slot_count, prebound_slots, PlanMode::Structural)
     }
 
     /// As [`JoinPlan::build`], but breaks coverage ties with exact
@@ -187,14 +209,52 @@ impl JoinPlan {
         index: &RelationIndex,
         dict: &Dictionary,
     ) -> Self {
-        JoinPlan::build_inner(atoms, slot_count, prebound_slots, Some((index, dict)))
+        JoinPlan::build_inner(
+            atoms,
+            slot_count,
+            prebound_slots,
+            PlanMode::TieBreak(index, dict),
+        )
+    }
+
+    /// Plans `atoms` by a real cost model: at each step the planner picks
+    /// the atom with the smallest `step_estimate` — the estimated output
+    /// cardinality of executing it next, computed from live
+    /// [`RelationIndex`] statistics (shortest constant-bound posting run,
+    /// divided by the distinct counts of already-bound variable positions,
+    /// relation cardinality for pure scans).  Since the intermediate size
+    /// after a step is the current size times the step's estimate, the
+    /// greedy minimum-estimate choice minimises the estimated *cumulative*
+    /// intermediate size one step at a time.  Estimate ties go to the atom
+    /// with higher bound coverage, then the body order.
+    ///
+    /// This is the default plan wherever a database is in scope
+    /// ([`crate::QueryEvaluator::with_stats`], and through it every
+    /// [`crate::CompiledLineage`] and [`crate::LineageBank`] compile); the
+    /// structural [`JoinPlan::build`] order survives as the baseline.
+    /// The chosen order never changes *what* is enumerated — witness sets
+    /// and fallback decisions are enumeration-order-independent — only how
+    /// fast.
+    pub fn build_costed(
+        atoms: &[PlanAtom],
+        slot_count: usize,
+        prebound_slots: &[usize],
+        index: &RelationIndex,
+        dict: &Dictionary,
+    ) -> Self {
+        JoinPlan::build_inner(
+            atoms,
+            slot_count,
+            prebound_slots,
+            PlanMode::Costed(index, dict),
+        )
     }
 
     fn build_inner(
         atoms: &[PlanAtom],
         slot_count: usize,
         prebound_slots: &[usize],
-        stats: Option<(&RelationIndex, &Dictionary)>,
+        mode: PlanMode<'_>,
     ) -> Self {
         let mut bound = vec![false; slot_count];
         for &slot in prebound_slots {
@@ -203,40 +263,78 @@ impl JoinPlan {
         let mut remaining: Vec<usize> = (0..atoms.len()).collect();
         let mut steps = Vec::with_capacity(atoms.len());
         while !remaining.is_empty() {
-            // Max bound coverage; ties go to the earliest body atom unless
-            // index statistics say otherwise.
-            let mut best = 0;
-            let mut best_coverage = 0;
-            let mut best_cost = f64::INFINITY;
+            // Pick the best remaining atom by strict improvement over the
+            // incumbent, scanning in body order — so full ties always keep
+            // the earliest body atom, with no seeded incumbent that could
+            // shadow a strictly better later one.
+            let mut best: Option<(usize, usize, f64)> = None;
             for (i, &atom) in remaining.iter().enumerate() {
                 let coverage = atoms[atom].bound_positions(&bound).len();
-                let cost = match stats {
-                    Some((index, dict)) => atom_cost(&atoms[atom], &bound, index, dict),
-                    None => 0.0,
+                let cost = match mode {
+                    PlanMode::Structural => 0.0,
+                    PlanMode::TieBreak(index, dict) => atom_cost(&atoms[atom], &bound, index, dict),
+                    PlanMode::Costed(index, dict) => {
+                        step_estimate(&atoms[atom], &bound, index, dict)
+                    }
                 };
-                if i == 0
-                    || coverage > best_coverage
-                    || (coverage == best_coverage && cost < best_cost)
-                {
-                    best = i;
-                    best_coverage = coverage;
-                    best_cost = cost;
+                let improves = match best {
+                    None => true,
+                    Some((_, best_coverage, best_cost)) => match mode {
+                        PlanMode::Costed(..) => {
+                            cost < best_cost || (cost == best_cost && coverage > best_coverage)
+                        }
+                        _ => {
+                            coverage > best_coverage
+                                || (coverage == best_coverage && cost < best_cost)
+                        }
+                    },
+                };
+                if improves {
+                    best = Some((i, coverage, cost));
                 }
             }
-            let atom = remaining.remove(best);
+            // Invariant, not user-reachable: `remaining` is non-empty, so
+            // the first iteration always sets `best`.
+            let (i, _, cost) = best.expect("non-empty remaining always yields a best atom");
+            let atom = remaining.remove(i);
             let bound_positions = atoms[atom].bound_positions(&bound);
             for term in &atoms[atom].terms {
                 if let PlanTerm::Var(slot) = term {
                     bound[*slot] = true;
                 }
             }
+            let estimate = match mode {
+                PlanMode::Structural => None,
+                _ => Some(cost),
+            };
             steps.push(PlanStep {
                 atom,
                 relation: atoms[atom].relation,
                 bound_positions,
+                estimate,
             });
         }
         JoinPlan { steps }
+    }
+
+    /// Introspects the plan: one [`StepExplain`] per step, in execution
+    /// order, carrying the atom index, the bound positions, the
+    /// lookup-vs-scan kind, and the planner's cost estimate (for plans
+    /// built with statistics).  The returned report implements
+    /// [`std::fmt::Display`] for one-line-per-step printing.
+    pub fn explain(&self) -> PlanExplain {
+        PlanExplain {
+            steps: self
+                .steps
+                .iter()
+                .map(|step| StepExplain {
+                    atom: step.atom,
+                    relation: step.relation,
+                    bound_positions: step.bound_positions.clone(),
+                    estimate: step.estimate,
+                })
+                .collect(),
+        }
     }
 
     /// The planned atom order, as indices into the original query body.
@@ -462,6 +560,114 @@ impl JoinPlan {
     }
 }
 
+/// One step of a [`PlanExplain`] report.
+#[derive(Debug, Clone)]
+pub struct StepExplain {
+    /// Index of the atom in the original query body.
+    pub atom: usize,
+    /// The relation the step matches against.
+    pub relation: RelationId,
+    /// Term positions statically bound when the step runs.
+    pub bound_positions: Vec<usize>,
+    /// The planner's estimated output cardinality for the step; `None`
+    /// for structural plans, which consult no statistics.
+    pub estimate: Option<f64>,
+}
+
+impl StepExplain {
+    /// `true` iff the step executes as an indexed lookup (at least one
+    /// statically bound position); `false` means a filtered relation scan.
+    pub fn is_lookup(&self) -> bool {
+        !self.bound_positions.is_empty()
+    }
+}
+
+/// Introspection report for a [`JoinPlan`], from [`JoinPlan::explain`]:
+/// the planned step order with per-step bound positions, access-path kind,
+/// and cost estimates.  [`std::fmt::Display`] renders one line per step
+/// plus the running (cumulative) estimated intermediate size, so plan
+/// regressions show up in plain text diffs.
+#[derive(Debug, Clone)]
+pub struct PlanExplain {
+    steps: Vec<StepExplain>,
+}
+
+impl PlanExplain {
+    /// The per-step reports, in execution order.
+    pub fn steps(&self) -> &[StepExplain] {
+        &self.steps
+    }
+}
+
+impl std::fmt::Display for PlanExplain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut cumulative = 1.0f64;
+        for (i, step) in self.steps.iter().enumerate() {
+            let kind = if step.is_lookup() {
+                format!("lookup{:?}", step.bound_positions)
+            } else {
+                "scan".to_string()
+            };
+            write!(
+                f,
+                "step {i}: atom {} relation {} {kind}",
+                step.atom,
+                step.relation.index()
+            )?;
+            match step.estimate {
+                Some(estimate) => {
+                    cumulative *= estimate.max(1.0);
+                    write!(f, " est {estimate:.1} (cumulative {cumulative:.1})")?;
+                }
+                None => write!(f, " est - (structural)")?,
+            }
+            if i + 1 < self.steps.len() {
+                writeln!(f)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The cost model of [`JoinPlan::build_costed`]: the estimated output
+/// cardinality of executing `atom` next, given the currently bound slots.
+///
+/// * Base: the *shortest* constant-bound posting run
+///   ([`RelationIndex::posting_len`]; a never-interned constant is a
+///   provable zero), or the relation cardinality when the atom has no
+///   constants (a scan).
+/// * Each variable-bound position divides the base by its
+///   [`RelationIndex::distinct_count`] — the expected shrink factor of
+///   matching a run-time symbol at that position.
+/// * Unbound variables are free and contribute nothing.
+fn step_estimate(atom: &PlanAtom, bound: &[bool], index: &RelationIndex, dict: &Dictionary) -> f64 {
+    let cardinality = index.relation_cardinality(atom.relation) as f64;
+    let mut constant_best = f64::INFINITY;
+    let mut distinct_product = 1.0f64;
+    for (position, term) in atom.terms.iter().enumerate() {
+        match term {
+            PlanTerm::Const(value) => {
+                let run = match dict.lookup(value) {
+                    Some(sym) => index.posting_len(atom.relation, position, sym) as f64,
+                    // Never-interned constant: provably zero matches.
+                    None => 0.0,
+                };
+                constant_best = constant_best.min(run);
+            }
+            PlanTerm::Var(slot) if bound[*slot] => {
+                distinct_product *= index.distinct_count(atom.relation, position).max(1) as f64;
+            }
+            PlanTerm::Var(_) => {}
+        }
+    }
+    let base = if constant_best.is_finite() {
+        constant_best
+    } else {
+        cardinality
+    };
+    base / distinct_product
+}
+
 /// An expected-matches cost estimate for tie-breaking in
 /// [`JoinPlan::build_with_stats`]: the exact posting length for the best
 /// constant-bound position, else relation cardinality divided by the
@@ -667,6 +873,68 @@ mod tests {
             "the x-bound atom leads: {answer_order:?}"
         );
         assert!(evaluator.answer_plan().indexed_steps() >= 2);
+    }
+
+    #[test]
+    fn a_later_higher_coverage_atom_always_beats_the_first_atom() {
+        // Crafted body with strictly increasing coverage left to right:
+        // E(x, y) covers 0, V('u', a) covers 1, E('u', 'v') covers 2.  With
+        // no statistics every cost is 0.0, so only coverage (then body
+        // order) decides — the first atom must not win by virtue of
+        // seeding the comparison.
+        let db = graph_db();
+        let q = parse_query(db.schema(), "Ans() :- E(x, y), V('u', a), E('u', 'v')").unwrap();
+        let evaluator = QueryEvaluator::new(q);
+        let order: Vec<usize> = evaluator.plan().atom_order().collect();
+        assert_eq!(order, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn costed_plans_prefer_a_cheap_scan_over_an_expensive_lookup() {
+        // V('hot', z) is an indexed lookup but walks a 3-fact posting run;
+        // W(x, y) is a scan of a 1-fact relation.  Coverage-greedy leads
+        // with the lookup; the cost model leads with the cheaper scan.
+        let mut schema = Schema::new();
+        schema.add_relation("V", &["N", "C"]).unwrap();
+        schema.add_relation("W", &["A", "B"]).unwrap();
+        let mut db = Database::with_schema(schema);
+        for i in 0..3 {
+            db.insert_values("V", [Value::str("hot"), Value::int(i)])
+                .unwrap();
+        }
+        db.insert_values("W", [Value::int(7), Value::int(8)])
+            .unwrap();
+        let q = parse_query(db.schema(), "Ans() :- V('hot', z), W(x, y)").unwrap();
+        let structural = QueryEvaluator::new(q.clone());
+        assert_eq!(
+            structural.plan().atom_order().collect::<Vec<_>>(),
+            vec![0, 1]
+        );
+        let costed = QueryEvaluator::with_stats(q, &db).unwrap();
+        assert_eq!(costed.plan().atom_order().collect::<Vec<_>>(), vec![1, 0]);
+    }
+
+    #[test]
+    fn explain_reports_estimates_kinds_and_bound_positions() {
+        let db = graph_db();
+        let q = parse_query(db.schema(), "Ans() :- E(x, y), V('u', z)").unwrap();
+        let structural = QueryEvaluator::new(q.clone()).plan().explain();
+        assert_eq!(structural.steps().len(), 2);
+        assert!(structural.steps().iter().all(|s| s.estimate.is_none()));
+        assert!(format!("{structural}").contains("structural"));
+        let costed = QueryEvaluator::with_stats(q, &db).unwrap().plan().explain();
+        // V('u', z) leads: a lookup on position 0 with posting length 1.
+        assert_eq!(costed.steps()[0].atom, 1);
+        assert!(costed.steps()[0].is_lookup());
+        assert_eq!(costed.steps()[0].bound_positions, vec![0]);
+        assert_eq!(costed.steps()[0].estimate, Some(1.0));
+        // E(x, y) stays a scan over the single edge.
+        assert!(!costed.steps()[1].is_lookup());
+        assert_eq!(costed.steps()[1].estimate, Some(1.0));
+        let rendered = format!("{costed}");
+        assert!(rendered.contains("lookup[0]"), "{rendered}");
+        assert!(rendered.contains("scan"), "{rendered}");
+        assert!(rendered.contains("est 1.0"), "{rendered}");
     }
 
     #[test]

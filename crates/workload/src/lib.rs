@@ -16,6 +16,9 @@
 //! * [`graphs`] — random graphs and graph-derived databases for the
 //!   reduction experiments.
 //! * [`queries`] — query/candidate generators matched to the workloads.
+//! * [`skew`] — Zipf-skewed multi-join workloads (one hot anchor value
+//!   per relation plus a tail of singletons), for the cost-based join
+//!   planning experiments.
 //! * [`stream`] — seeded insert/retract tick streams with configurable
 //!   churn and key overlap, for the sliding-window experiments.
 //!
@@ -33,6 +36,7 @@
 //! | [`MultiKeyWorkload`] | keys, not primary | `M^uo` with pair removals (Theorem 7.1(2)) |
 //! | [`FdWorkload`] / [`MultiFdWorkload`] | non-key FDs | `M^{uo,1}` (Theorem 7.5); the conflict-index and batched-estimation scaling benches (e14–e16) |
 //! | [`proposition_d6_database`] | non-key FD, star conflicts | the Proposition D.6 negative result; the skewed-bank retirement study of e16 |
+//! | [`SkewedJoinWorkload`] | non-key FDs, skewed postings | cost-based vs coverage-greedy join planning and subtree-shared bank compilation (e22) |
 //! | [`graphs`] | reduction databases | the hardness experiments (E10/E11) |
 //!
 //! [`MultiFdWorkload::scaling`] keeps the conflict degree roughly
@@ -55,9 +59,11 @@ pub mod fds;
 pub mod graphs;
 pub mod keys;
 pub mod queries;
+pub mod skew;
 pub mod stream;
 
 pub use blocks::BlockWorkload;
 pub use fds::{proposition_d6_database, FdWorkload, MultiFdWorkload};
 pub use keys::MultiKeyWorkload;
+pub use skew::SkewedJoinWorkload;
 pub use stream::StreamWorkload;

@@ -4,13 +4,15 @@
 //! Every compiled lineage starts with witness *enumeration* — finding all
 //! homomorphism images of a query in the full database.  This example
 //! shows the three layers the plan-based pipeline adds: the greedy join
-//! plan of a [`uocqa::query::QueryEvaluator`] (atom order by bound
-//! coverage, indexed lookups against the database's
-//! [`uocqa::db::RelationIndex`]), and the shared scan trie of
+//! plan of a [`uocqa::query::QueryEvaluator`] (structural bound-coverage
+//! order, or cost-based order over the live statistics of the database's
+//! [`uocqa::db::RelationIndex`] via
+//! [`uocqa::query::QueryEvaluator::with_stats`], both introspectable
+//! through [`uocqa::query::PlanExplain`]), and the shared scan trie of
 //! [`uocqa::query::LineageBank::compile`] that factors the common atom
-//! prefixes of an overlapping-join bank into ~one enumeration pass,
-//! compared against the unplanned one-backtracking-pass-per-entry
-//! baseline.
+//! prefixes and suffix subtrees of an overlapping-join bank into ~one
+//! enumeration pass, compared against the unplanned
+//! one-backtracking-pass-per-entry baseline.
 //!
 //! ```text
 //! cargo run --release --example join_planning
@@ -34,31 +36,60 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // atom leads, then everything joined through its variables becomes an
     // indexed lookup.
     let query = parse_query(db.schema(), "Ans(v) :- R0(x, v, y, p), R0(3, v, z, q)")?;
-    let evaluator = QueryEvaluator::new(query);
-    let order: Vec<usize> = evaluator.plan().atom_order().collect();
+    let structural = QueryEvaluator::new(query.clone());
+    let order: Vec<usize> = structural.plan().atom_order().collect();
     println!(
-        "free plan: atom order {order:?}, {} of {} steps indexed",
-        evaluator.plan().indexed_steps(),
-        evaluator.plan().len(),
+        "structural free plan: atom order {order:?}, {} of {} steps indexed",
+        structural.plan().indexed_steps(),
+        structural.plan().len(),
     );
-    let answer_order: Vec<usize> = evaluator.answer_plan().atom_order().collect();
+    println!("{}", structural.plan().explain());
+
+    // The cost-based planner consults the live relation-index statistics
+    // instead: shortest constant-bound posting run first, variable-bound
+    // positions discounted by their distinct counts.  `explain` reports
+    // the per-step and cumulative cardinality estimates it planned with.
+    let costed = QueryEvaluator::with_stats(query, &db)?;
+    let costed_order: Vec<usize> = costed.plan().atom_order().collect();
+    println!(
+        "cost-based free plan: atom order {costed_order:?}, {} of {} steps indexed",
+        costed.plan().indexed_steps(),
+        costed.plan().len(),
+    );
+    println!("{}", costed.plan().explain());
+    let answer_order: Vec<usize> = costed.answer_plan().atom_order().collect();
     println!(
         "answer plan (v prebound): atom order {answer_order:?}, {} of {} steps indexed",
-        evaluator.answer_plan().indexed_steps(),
-        evaluator.answer_plan().len(),
+        costed.answer_plan().indexed_steps(),
+        costed.answer_plan().len(),
     );
     // A bank of 64 overlapping joins sharing a two-atom prefix: the
-    // shared scan trie enumerates the prefix once for the whole bank.
+    // shared scan trie enumerates the prefix once for the whole bank,
+    // and canonicalised suffix subtrees recur across entries fill once
+    // and replay everywhere else.
     let queries = overlapping_join_bank(&db, 64, 2, 7)?;
-    let evaluators: Vec<QueryEvaluator> = queries.into_iter().map(QueryEvaluator::new).collect();
+    let evaluators: Vec<QueryEvaluator> = queries
+        .into_iter()
+        .map(|q| QueryEvaluator::with_stats(q, &db))
+        .collect::<Result<_, _>>()?;
     let refs: Vec<(&QueryEvaluator, &[uocqa::db::Value])> = evaluators
         .iter()
         .map(|e| (e, &[] as &[uocqa::db::Value]))
         .collect();
 
     let start = Instant::now();
-    let shared = LineageBank::compile(&db, &refs)?;
+    let (shared, stats) = LineageBank::compile_instrumented(
+        &db,
+        &refs,
+        uocqa::query::lineage::DEFAULT_WITNESS_CAP,
+        &uocqa::query::CompileBudget::unlimited(),
+    )?;
     let shared_ms = start.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "shared compile: {} enumeration steps over {} trie nodes, \
+         {} shared subtrees replayed {} times",
+        stats.steps, stats.trie_nodes, stats.shared_subtrees, stats.replays,
+    );
     let start = Instant::now();
     let baseline = LineageBank::compile_unplanned(&db, &refs)?;
     let baseline_ms = start.elapsed().as_secs_f64() * 1e3;

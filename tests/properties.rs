@@ -14,7 +14,10 @@ use uocqa::query::{Atom, CompiledLineage, ConjunctiveQuery, QueryEvaluator, Term
 use uocqa::repair::{GeneratorSpec, OperationalSemantics, RepairingTree, TreeLimits};
 
 mod common;
-use common::{all_specs, block_database, fd_database, multi_fd_database, parse_membership};
+use common::{
+    all_specs, block_database, canonical_witnesses, fd_database, multi_fd_database,
+    parse_membership,
+};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -528,6 +531,101 @@ proptest! {
         }
     }
 
+    /// Cost-based join plans are **end-to-end bit-identical** to the
+    /// structural baseline: per-query compiled-lineage antichains, bank
+    /// witness sets after `minimal_antichain`, fallback flags under the
+    /// default and a fallback-forcing cap, and same-seed batched
+    /// estimates across all six generator specs all agree between
+    /// evaluators planned with `QueryEvaluator::new` (structural order)
+    /// and `QueryEvaluator::with_stats` (cost-based order) — the cost
+    /// model reorders the enumeration, never the enumerated set.
+    #[test]
+    fn costed_plans_are_bit_identical_to_structural_plans_across_all_specs(
+        profile in prop::collection::vec(1usize..4, 1..4),
+        seed in 0u64..200,
+    ) {
+        use uocqa::core::fpras::{ApproximationParams, BatchEstimator, BatchQuery, EstimatorMode};
+        use uocqa::query::LineageBank;
+        use uocqa::workload::queries::overlapping_join_bank;
+
+        let (db, sigma) = block_database(&profile);
+        let mut queries: Vec<ConjunctiveQuery> = overlapping_join_bank(&db, 2, 1, seed).unwrap();
+        let fact = db.fact(FactId::new(seed as usize % db.len()));
+        let terms: Vec<Term> = fact.values().iter().cloned().map(Term::Const).collect();
+        queries.push(
+            ConjunctiveQuery::boolean(db.schema(), vec![Atom::new(fact.relation(), terms)]).unwrap(),
+        );
+        // A never-interned constant exercises the zero-cardinality cost
+        // estimate without changing the (empty) witness set.
+        queries.push(uocqa::query::parser::parse_query(db.schema(), "Ans() :- R(9, 9)").unwrap());
+
+        let structural: Vec<QueryEvaluator> =
+            queries.iter().cloned().map(QueryEvaluator::new).collect();
+        let costed: Vec<QueryEvaluator> = queries
+            .iter()
+            .cloned()
+            .map(|q| QueryEvaluator::with_stats(q, &db).unwrap())
+            .collect();
+
+        // Per-query compiled lineages hold the same minimal antichain.
+        let witness_set = |lineage: &CompiledLineage| -> std::collections::BTreeSet<Vec<FactId>> {
+            lineage.witnesses().iter().map(FactSet::to_vec).collect()
+        };
+        for (s, c) in structural.iter().zip(&costed) {
+            let s_lineage = CompiledLineage::compile(s, &db, &[]).unwrap();
+            let c_lineage = CompiledLineage::compile(c, &db, &[]).unwrap();
+            match (&s_lineage, &c_lineage) {
+                (Some(s), Some(c)) => prop_assert_eq!(witness_set(s), witness_set(c)),
+                _ => prop_assert!(s_lineage.is_none() == c_lineage.is_none()),
+            }
+        }
+
+        // Whole banks agree entry by entry — witness sets and fallback
+        // flags — under the default cap and a cap of 1 that forces
+        // fallback entries on every multi-witness query.
+        let s_refs: Vec<(&QueryEvaluator, &[Value])> =
+            structural.iter().map(|e| (e, &[] as &[Value])).collect();
+        let c_refs: Vec<(&QueryEvaluator, &[Value])> =
+            costed.iter().map(|e| (e, &[] as &[Value])).collect();
+        for cap in [uocqa::query::lineage::DEFAULT_WITNESS_CAP, 1] {
+            let s_bank = LineageBank::compile_with_cap(&db, &s_refs, cap).unwrap();
+            let c_bank = LineageBank::compile_with_cap(&db, &c_refs, cap).unwrap();
+            for entry in 0..s_refs.len() {
+                prop_assert_eq!(
+                    s_bank.is_fallback(entry),
+                    c_bank.is_fallback(entry),
+                    "cap {}, entry {}", cap, entry
+                );
+                prop_assert_eq!(
+                    canonical_witnesses(&s_bank, entry, None),
+                    canonical_witnesses(&c_bank, entry, None),
+                    "cap {}, entry {}", cap, entry
+                );
+            }
+        }
+
+        // Same-seed batched estimates agree across all six generator
+        // specs: the witness sets being equal, the shared sampler loop
+        // consumes the RNG identically on both sides.
+        let s_batch: Vec<BatchQuery<'_>> =
+            structural.iter().map(|e| BatchQuery::new(e, &[])).collect();
+        let c_batch: Vec<BatchQuery<'_>> =
+            costed.iter().map(|e| BatchQuery::new(e, &[])).collect();
+        let params = ApproximationParams::new(0.2, 0.2)
+            .unwrap()
+            .with_mode(EstimatorMode::FixedSamples(96));
+        for spec in all_specs() {
+            let estimator = BatchEstimator::new(&db, &sigma, spec).unwrap();
+            let s_estimates = estimator
+                .estimate_batch(&s_batch, params, &mut StdRng::seed_from_u64(seed))
+                .unwrap();
+            let c_estimates = estimator
+                .estimate_batch(&c_batch, params, &mut StdRng::seed_from_u64(seed))
+                .unwrap();
+            prop_assert_eq!(&s_estimates, &c_estimates, "spec {}", spec.short_name());
+        }
+    }
+
     /// The incremental conflict index agrees with a from-scratch
     /// `ViolationSet::recompute` after **every** removal, on randomised
     /// multi-FD, non-key, cross-relation databases — the invariant that
@@ -1036,7 +1134,31 @@ proptest! {
             }
             conflict.refresh(&db, &sigma);
             prop_assert_eq!(&conflict, &ConflictIndex::build(&db, &sigma));
-            prop_assert_eq!(db.relation_index(), &RelationIndex::build(&db));
+            let rebuilt = RelationIndex::build(&db);
+            let maintained = db.relation_index();
+            prop_assert_eq!(maintained, &rebuilt);
+            // The cost model reads the maintained index through these
+            // accessors, so assert the planner-facing statistics
+            // explicitly: a stale cardinality, distinct count or posting
+            // length would bias every cost estimate.
+            for relation in [r, s] {
+                prop_assert_eq!(
+                    maintained.relation_cardinality(relation),
+                    rebuilt.relation_cardinality(relation)
+                );
+                for position in 0..db.schema().arity(relation) {
+                    prop_assert_eq!(
+                        maintained.distinct_count(relation, position),
+                        rebuilt.distinct_count(relation, position)
+                    );
+                    for (sym, _) in db.dictionary().iter() {
+                        prop_assert_eq!(
+                            maintained.selectivity(relation, position, sym),
+                            rebuilt.selectivity(relation, position, sym)
+                        );
+                    }
+                }
+            }
         }
     }
 
